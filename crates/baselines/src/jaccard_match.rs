@@ -1,0 +1,189 @@
+//! Jaccard set-overlap baseline (the Appendix C strawman).
+//!
+//! Appendix C of the paper discusses — and rejects — treating instance
+//! matching as a set-similarity problem: "One could generalize a set
+//! equivalence measure (such as the Jaccard index) to sets with
+//! probabilistic equivalences. However, one would still need to take into
+//! account the functionality of the relations: If two people share an
+//! e-mail address (high inverse functionality), they are almost certainly
+//! equivalent. By contrast, if two people share the city they live in,
+//! they are not necessarily equivalent."
+//!
+//! This module implements exactly that strawman: each instance is reduced
+//! to its *set of literal values* (relations ignored!), candidates are
+//! scored by Jaccard overlap, and the best candidate above a threshold
+//! wins. The `appendix_c` bench shows where it breaks: shared
+//! low-functionality values (home cities, categories) inflate similarity,
+//! while a single decisive shared e-mail is diluted by differing
+//! incidental values.
+
+use paris_kb::{EntityId, EntityKind, FxHashMap, Kb};
+
+/// Result of the Jaccard baseline.
+#[derive(Clone, Debug, Default)]
+pub struct JaccardBaselineResult {
+    /// Matched pairs with their Jaccard scores, one per KB-1 instance.
+    pub pairs: Vec<(EntityId, EntityId, f64)>,
+}
+
+/// Per-instance bag of literal values (as interned target-side ids where
+/// possible, falling back to strings for the source side).
+fn literal_sets(kb: &Kb) -> FxHashMap<EntityId, Vec<String>> {
+    let mut sets: FxHashMap<EntityId, Vec<String>> = FxHashMap::default();
+    for x in kb.instances() {
+        let mut values: Vec<String> = kb
+            .facts(x)
+            .iter()
+            .filter_map(|&(_, y)| kb.literal(y).map(|l| l.value().to_owned()))
+            .collect();
+        values.sort_unstable();
+        values.dedup();
+        if !values.is_empty() {
+            sets.insert(x, values);
+        }
+    }
+    sets
+}
+
+/// Runs the baseline: for every KB-1 instance, the KB-2 instance with the
+/// highest Jaccard overlap of literal values, if at least `min_jaccard`.
+pub fn jaccard_baseline(kb1: &Kb, kb2: &Kb, min_jaccard: f64) -> JaccardBaselineResult {
+    let sets1 = literal_sets(kb1);
+    let sets2 = literal_sets(kb2);
+
+    // Invert KB-2: literal value → instances carrying it.
+    let mut by_value: FxHashMap<&str, Vec<EntityId>> = FxHashMap::default();
+    for (&x2, values) in &sets2 {
+        for v in values {
+            by_value.entry(v.as_str()).or_default().push(x2);
+        }
+    }
+
+    let mut pairs = Vec::new();
+    let mut overlap: FxHashMap<EntityId, usize> = FxHashMap::default();
+    let mut ordered: Vec<EntityId> = sets1.keys().copied().collect();
+    ordered.sort_unstable();
+    for x1 in ordered {
+        let values = &sets1[&x1];
+        overlap.clear();
+        for v in values {
+            if let Some(cands) = by_value.get(v.as_str()) {
+                for &x2 in cands {
+                    *overlap.entry(x2).or_insert(0) += 1;
+                }
+            }
+        }
+        let best = overlap
+            .iter()
+            .map(|(&x2, &inter)| {
+                let union = values.len() + sets2[&x2].len() - inter;
+                (x2, inter as f64 / union as f64)
+            })
+            // max by score, ties to the smallest id for determinism
+            .max_by(|a, b| a.1.total_cmp(&b.1).then_with(|| b.0.cmp(&a.0)));
+        if let Some((x2, score)) = best {
+            if score >= min_jaccard {
+                pairs.push((x1, x2, score));
+            }
+        }
+    }
+    JaccardBaselineResult { pairs }
+}
+
+/// Convenience: instances only, as `(EntityId, EntityId)`.
+impl JaccardBaselineResult {
+    /// The matched pairs without scores.
+    pub fn assignments(&self) -> impl Iterator<Item = (EntityId, EntityId)> + '_ {
+        self.pairs.iter().map(|&(a, b, _)| (a, b))
+    }
+}
+
+/// Guard: the baseline must only consider instances (documented contract).
+#[allow(dead_code)]
+fn kind_is_instance(kb: &Kb, e: EntityId) -> bool {
+    kb.kind(e) == EntityKind::Instance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paris_kb::KbBuilder;
+    use paris_rdf::Literal;
+
+    fn kb(name: &str, rows: &[(&str, &[&str])]) -> Kb {
+        let mut b = KbBuilder::new(name);
+        for (entity, values) in rows {
+            for (i, v) in values.iter().enumerate() {
+                b.add_literal_fact(
+                    format!("http://{name}/{entity}"),
+                    format!("http://{name}/attr{i}"),
+                    Literal::plain(*v),
+                );
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn identical_sets_score_one() {
+        let kb1 = kb("a", &[("x", &["p", "q", "r"])]);
+        let kb2 = kb("b", &[("u", &["p", "q", "r"])]);
+        let r = jaccard_baseline(&kb1, &kb2, 0.5);
+        assert_eq!(r.pairs.len(), 1);
+        assert_eq!(r.pairs[0].2, 1.0);
+    }
+
+    #[test]
+    fn partial_overlap_scores_fraction() {
+        let kb1 = kb("a", &[("x", &["p", "q"])]);
+        let kb2 = kb("b", &[("u", &["q", "r"])]);
+        let r = jaccard_baseline(&kb1, &kb2, 0.0);
+        assert_eq!(r.pairs.len(), 1);
+        assert!((r.pairs[0].2 - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_filters() {
+        let kb1 = kb("a", &[("x", &["p", "q"])]);
+        let kb2 = kb("b", &[("u", &["q", "r"])]);
+        assert!(jaccard_baseline(&kb1, &kb2, 0.5).pairs.is_empty());
+    }
+
+    #[test]
+    fn appendix_c_failure_mode() {
+        // x shares a decisive e-mail with u, but u has many extra values;
+        // v shares three incidental low-functionality values with x.
+        // Jaccard prefers v — the wrong answer PARIS avoids by weighting
+        // with inverse functionality.
+        let kb1 = kb("a", &[("x", &["alice@x.org", "Springfield", "teacher", "reading"])]);
+        let kb2 = kb(
+            "b",
+            &[
+                ("u", &["alice@x.org", "Shelbyville", "lawyer", "golf", "chess", "opera"]),
+                ("v", &["Springfield", "teacher", "reading", "bob@y.org"]),
+            ],
+        );
+        let r = jaccard_baseline(&kb1, &kb2, 0.0);
+        let v = kb2.entity_by_iri("http://b/v").unwrap();
+        assert_eq!(r.pairs[0].1, v, "Jaccard picks the wrong candidate by design");
+        assert!(r.pairs[0].2 > 0.4);
+    }
+
+    #[test]
+    fn instances_without_literals_are_skipped() {
+        let mut b = KbBuilder::new("a");
+        b.add_fact("http://a/x", "http://a/r", "http://a/y");
+        let kb1 = b.build();
+        let kb2 = kb("b", &[("u", &["p"])]);
+        assert!(jaccard_baseline(&kb1, &kb2, 0.0).pairs.is_empty());
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        let kb1 = kb("a", &[("x", &["p"])]);
+        let kb2 = kb("b", &[("u1", &["p"]), ("u2", &["p"])]);
+        let r1 = jaccard_baseline(&kb1, &kb2, 0.0);
+        let r2 = jaccard_baseline(&kb1, &kb2, 0.0);
+        assert_eq!(r1.pairs, r2.pairs);
+    }
+}

@@ -1,0 +1,16 @@
+//! Baseline aligners the paper compares against.
+//!
+//! §6.4: "This is a considerable improvement over a baseline approach
+//! that aligns entities by matching their `rdfs:label` properties
+//! (achieving 97 % precision and only 70 % recall, with an F-score of
+//! 82 %)." [`label_match`] implements that baseline.
+
+//! [`jaccard_match`] additionally implements the Appendix-C strawman —
+//! Jaccard set-overlap of literal values, with no functionality weighting
+//! — whose failure modes motivate the probabilistic model.
+
+pub mod jaccard_match;
+pub mod label_match;
+
+pub use jaccard_match::{jaccard_baseline, JaccardBaselineResult};
+pub use label_match::{label_baseline, LabelBaselineResult};

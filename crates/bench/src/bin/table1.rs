@@ -1,0 +1,51 @@
+//! Table 1: instance, class, and relation alignment on the OAEI-style
+//! person and restaurant datasets (paper §6.2).
+//!
+//! Paper numbers (for shape comparison): person — 100 % P/R/F on all three
+//! levels, 2 iterations; restaurant — instances 95 % P / 88 % R / 91 % F,
+//! classes 100 %, relations 100 % P / 66 % R.
+//!
+//! Run: `cargo run --release -p paris-bench --bin table1`
+
+use paris_bench::section;
+use paris_core::{Aligner, ParisConfig};
+use paris_datagen::persons::{generate as gen_persons, PersonsConfig};
+use paris_datagen::restaurants::{generate as gen_restaurants, RestaurantsConfig};
+use paris_datagen::DatasetPair;
+use paris_eval::{
+    evaluate_classes_1to2, evaluate_classes_2to1, evaluate_instances, evaluate_relations,
+};
+
+fn run(name: &str, pair: &DatasetPair) {
+    let start = std::time::Instant::now();
+    let result = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
+    let elapsed = start.elapsed();
+
+    let instances = evaluate_instances(&result, &pair.gold);
+    let classes = evaluate_classes_1to2(&result, &pair.gold, 0.4)
+        .merged(&evaluate_classes_2to1(&result, &pair.gold, 0.4));
+    let (rel_12, rel_21) = evaluate_relations(&result, &pair.gold);
+    let relations = rel_12.counts.merged(&rel_21.counts);
+
+    section(&format!(
+        "{name}: {} iterations, {:.2}s, gold = {} instances",
+        result.iterations.len(),
+        elapsed.as_secs_f64(),
+        pair.gold.num_instances(),
+    ));
+    println!("  instances: {}", instances.summary());
+    println!("  classes:   {}", classes.summary());
+    println!("  relations: {}", relations.summary());
+}
+
+fn main() {
+    println!("Table 1 — OAEI-style benchmark (synthetic equivalents)");
+    println!("paper: person 100/100/100 everywhere; restaurant inst 95/88/91,");
+    println!("       classes 100/100, relations 100/66\n");
+
+    let persons = gen_persons(&PersonsConfig::default());
+    run("person", &persons);
+
+    let restaurants = gen_restaurants(&RestaurantsConfig::default());
+    run("restaurant", &restaurants);
+}

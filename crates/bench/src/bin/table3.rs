@@ -1,0 +1,52 @@
+//! Table 3: yago–DBpedia alignment over iterations 1–4 (paper §6.4).
+//!
+//! Paper shape: instance precision/recall rise from 86 %/69 % to 90 %/73 %
+//! and plateau by iteration 3–4 (change-to-previous falls 12.4 % → 0.3 %);
+//! relation alignments number ~30 (yago ⊆ DBpedia, ~100 % precision) and
+//! ~150 (DBpedia ⊆ yago, ~92 %); class alignment runs once at the end.
+//!
+//! Run: `cargo run --release -p paris-bench --bin table3`
+
+use paris_bench::{pct, per_iteration_rows, section};
+use paris_core::ParisConfig;
+use paris_datagen::encyclopedia::{generate, EncyclopediaConfig};
+use paris_eval::{
+    evaluate_classes_1to2, evaluate_classes_2to1, evaluate_relations, iteration_table,
+};
+
+fn main() {
+    println!("Table 3 — yago-like vs DBpedia-like over iterations 1–4");
+    println!("paper: P 86→90%, R 69→73%, change 12.4%→0.3%\n");
+
+    let pair = generate(&EncyclopediaConfig::default());
+    let (rows, result) = per_iteration_rows(&pair, &ParisConfig::default(), 4);
+
+    section("instances per iteration");
+    print!("{}", iteration_table(&rows));
+
+    section("relations (final iteration, maximal assignment)");
+    let (rel_12, rel_21) = evaluate_relations(&result, &pair.gold);
+    println!(
+        "  {} ⊆ {}: {:>3} judged, precision {}",
+        pair.kb1.name(),
+        pair.kb2.name(),
+        rel_12.num(),
+        pct(rel_12.counts.precision())
+    );
+    println!(
+        "  {} ⊆ {}: {:>3} judged, precision {}",
+        pair.kb2.name(),
+        pair.kb1.name(),
+        rel_21.num(),
+        pct(rel_21.counts.precision())
+    );
+
+    section("classes (computed after the fixed point, threshold 0.4)");
+    let c12 = evaluate_classes_1to2(&result, &pair.gold, 0.4);
+    let c21 = evaluate_classes_2to1(&result, &pair.gold, 0.4);
+    let n12 = result.classes.above_1to2(0.4).count();
+    let n21 = result.classes.above_2to1(0.4).count();
+    println!("  {} ⊆ {}: {} assignments, precision {}", pair.kb1.name(), pair.kb2.name(), n12, pct(c12.precision()));
+    println!("  {} ⊆ {}: {} assignments, precision {}", pair.kb2.name(), pair.kb1.name(), n21, pct(c21.precision()));
+    println!("  class pass took {:.2}s", result.class_seconds);
+}

@@ -1,0 +1,797 @@
+//! Synthetic stand-in for the yago–DBpedia experiment (paper §6.4).
+//!
+//! One latent encyclopedic "world" (people, cities, countries,
+//! organizations, creative works, prizes) is rendered as two ontologies
+//! with deliberately different design philosophies, mirroring the real
+//! pair:
+//!
+//! * **side A ("wikia", yago-like)** — few, coarse relations
+//!   (`a:created` covers books, songs, and films; `a:isLocatedIn` covers
+//!   city→country and org→city), labels on everything, and a *deep,
+//!   fine-grained class taxonomy* including category-style classes
+//!   (`a:PeopleFromX`, `a:XWinner`) — yago has 292 k such classes;
+//! * **side B ("dbp", DBpedia-like)** — many fine-grained relations, some
+//!   *inverted* (`b:parent` is child→parent where side A has `a:hasChild`;
+//!   `b:author`/`b:composer`/`b:director` are work→person splits of
+//!   `a:created`), and a *small, flat class hierarchy* (DBpedia's manual
+//!   ontology has 318 classes).
+//!
+//! Entities overlap partially (the real yago/DBpedia share 1.4 M of
+//! 2.4–2.8 M instances); facts are dropped independently per side; a small
+//! fraction of people share names. All of this makes the alignment
+//! genuinely iterative: literal evidence seeds the first round, and
+//! relation/instance cross-fertilization lifts recall in later rounds —
+//! the Table 3 shape.
+
+use paris_kb::KbBuilder;
+use paris_rdf::{Iri, Literal};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::gold::{DatasetPair, GoldStandard, RelationGold};
+use crate::names;
+use crate::noise;
+
+/// Configuration of the encyclopedia generator.
+#[derive(Clone, Debug)]
+pub struct EncyclopediaConfig {
+    /// Number of people in the latent world. Other entity counts scale
+    /// from this (cities = n/40, orgs = n/50, works ≈ 0.7 n).
+    pub num_people: usize,
+    /// Fraction of people present in *both* ontologies.
+    pub overlap: f64,
+    /// Per-fact drop probability on side A.
+    pub fact_drop_1: f64,
+    /// Per-fact drop probability on side B.
+    pub fact_drop_2: f64,
+    /// Probability that a side-B entity lacks its `b:name` label.
+    pub label_drop_2: f64,
+    /// Fraction of people sharing their name with another person.
+    pub duplicate_name_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EncyclopediaConfig {
+    fn default() -> Self {
+        EncyclopediaConfig {
+            num_people: 2000,
+            overlap: 0.55,
+            fact_drop_1: 0.05,
+            fact_drop_2: 0.15,
+            label_drop_2: 0.15,
+            duplicate_name_fraction: 0.03,
+            seed: 11,
+        }
+    }
+}
+
+const NS1: &str = "http://wikia.test/";
+const NS2: &str = "http://dbp.test/";
+
+/// Creative-work types, driving the `created` → author/composer/director
+/// split.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum WorkType {
+    Book,
+    Song,
+    Film,
+}
+
+impl WorkType {
+    fn of(i: usize) -> Self {
+        match i % 3 {
+            0 => WorkType::Book,
+            1 => WorkType::Song,
+            _ => WorkType::Film,
+        }
+    }
+}
+
+pub(crate) struct World {
+    pub num_people: usize,
+    pub person_name: Vec<String>,
+    pub birth_year: Vec<u32>,
+    pub birth_city: Vec<usize>,
+    pub death_city: Vec<Option<usize>>,
+    pub spouse: Vec<Option<usize>>,
+    /// `(parent, child)` pairs.
+    pub children: Vec<(usize, usize)>,
+    pub employer: Vec<Option<usize>>,
+    pub citizenship: Vec<usize>,
+    /// `(person, work)` creation pairs.
+    pub creations: Vec<(usize, usize)>,
+    pub prizes_won: Vec<(usize, usize)>,
+    pub cities: Vec<String>,
+    pub city_country: Vec<usize>,
+    pub city_population: Vec<u64>,
+    pub countries: Vec<String>,
+    pub orgs: Vec<String>,
+    pub org_city: Vec<usize>,
+    pub works: Vec<String>,
+    pub work_type: Vec<WorkType>,
+    pub work_year: Vec<u32>,
+    /// For each work, its creator.
+    pub work_creator: Vec<usize>,
+    pub prizes: Vec<String>,
+}
+
+pub(crate) fn build_world(config: &EncyclopediaConfig) -> World {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.num_people;
+    let num_cities = (n / 40).max(4);
+    let num_countries = 12.min(num_cities);
+    let num_orgs = (n / 50).max(3);
+    let num_prizes = 20;
+
+    let countries: Vec<String> =
+        (0..num_countries).map(|i| format!("{}land", names::pseudo_word(&mut rng, 2 + i % 2))).collect();
+    let cities: Vec<String> = (0..num_cities).map(|i| names::city_name(&mut rng, i)).collect();
+    let city_country: Vec<usize> = (0..num_cities).map(|i| i % num_countries).collect();
+    let city_population: Vec<u64> =
+        (0..num_cities).map(|_| rng.random_range(10_000..5_000_000)).collect();
+    let orgs: Vec<String> = (0..num_orgs).map(|i| names::organization_name(&mut rng, i)).collect();
+    let org_city: Vec<usize> = (0..num_orgs).map(|_| rng.random_range(0..num_cities)).collect();
+    let prizes: Vec<String> =
+        (0..num_prizes).map(|i| format!("{} Prize", names::pseudo_word(&mut rng, 2 + i % 2))).collect();
+
+    let mut person_name: Vec<String> = (0..n).map(names::person_name).collect();
+    // Duplicate names: person i copies the name of person i-1.
+    for i in 1..n {
+        if noise::flip(&mut rng, config.duplicate_name_fraction) {
+            person_name[i] = person_name[i - 1].clone();
+        }
+    }
+    let birth_year: Vec<u32> = (0..n).map(|_| rng.random_range(1850..2000)).collect();
+    let birth_city: Vec<usize> = (0..n).map(|_| rng.random_range(0..num_cities)).collect();
+    let death_city: Vec<Option<usize>> = (0..n)
+        .map(|_| noise::flip(&mut rng, 0.4).then(|| rng.random_range(0..num_cities)))
+        .collect();
+    let citizenship: Vec<usize> = birth_city.iter().map(|&c| city_country[c]).collect();
+    let spouse: Vec<Option<usize>> = (0..n)
+        .map(|i| {
+            // Pair consecutive indices (2k, 2k+1) with probability 0.3.
+            if i % 2 == 0 && i + 1 < n && noise::flip(&mut rng, 0.3) {
+                Some(i + 1)
+            } else {
+                None
+            }
+        })
+        .collect();
+    // Symmetrize: if 2k married 2k+1, record only the forward pair; the
+    // emitters decide the stored direction.
+    let children: Vec<(usize, usize)> = (n / 2..n)
+        .filter_map(|child| {
+            let parent = child - n / 2;
+            noise::flip(&mut rng, 0.35).then_some((parent, child))
+        })
+        .collect();
+    let employer: Vec<Option<usize>> = (0..n)
+        .map(|_| noise::flip(&mut rng, 0.5).then(|| rng.random_range(0..num_orgs)))
+        .collect();
+
+    let mut creations: Vec<(usize, usize)> = Vec::new();
+    let mut works: Vec<String> = Vec::new();
+    let mut work_type: Vec<WorkType> = Vec::new();
+    let mut work_year: Vec<u32> = Vec::new();
+    let mut work_creator: Vec<usize> = Vec::new();
+    for (person, &born) in birth_year.iter().enumerate() {
+        let count = if noise::flip(&mut rng, 0.45) { 1 + usize::from(person % 5 == 0) } else { 0 };
+        for _ in 0..count {
+            let w = works.len();
+            works.push(names::movie_title(w));
+            work_type.push(WorkType::of(w));
+            work_year.push(born + rng.random_range(20..60));
+            work_creator.push(person);
+            creations.push((person, w));
+        }
+    }
+    let mut prizes_won: Vec<(usize, usize)> = Vec::new();
+    for p in 0..n {
+        if noise::flip(&mut rng, 0.1) {
+            prizes_won.push((p, rng.random_range(0..num_prizes)));
+        }
+    }
+
+    World {
+        num_people: n,
+        person_name,
+        birth_year,
+        birth_city,
+        death_city,
+        spouse,
+        children,
+        employer,
+        citizenship,
+        creations,
+        prizes_won,
+        cities,
+        city_country,
+        city_population,
+        countries,
+        orgs,
+        org_city,
+        works,
+        work_type,
+        work_year,
+        work_creator,
+        prizes,
+    }
+}
+
+/// Which people each side contains: side A gets `[0, a_end)`, side B gets
+/// `[b_start, n)`; the overlap is `[b_start, a_end)`.
+fn split(n: usize, overlap: f64) -> (usize, usize) {
+    let shared = ((n as f64) * overlap).round() as usize;
+    let only = n - shared;
+    let only_a = only / 2;
+    let a_end = only_a + shared;
+    let b_start = only_a;
+    (a_end, b_start)
+}
+
+fn emit_side_a(world: &World, a_end: usize, config: &EncyclopediaConfig) -> KbBuilder {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xA);
+    let mut b = KbBuilder::new("wikia");
+    let ns = NS1;
+    let keep = |rng: &mut StdRng| !noise::flip(rng, config.fact_drop_1);
+
+    // Deep taxonomy.
+    for (sub, sup) in [
+        ("Person", "Entity"),
+        ("Creator", "Person"),
+        ("Writer", "Creator"),
+        ("Composer", "Creator"),
+        ("Director", "Creator"),
+        ("Location", "Entity"),
+        ("City", "Location"),
+        ("Country", "Location"),
+        ("Organization", "Entity"),
+        ("Work", "Entity"),
+        ("Book", "Work"),
+        ("Song", "Work"),
+        ("Film", "Work"),
+    ] {
+        b.add_subclass(format!("{ns}{sub}"), format!("{ns}{sup}"));
+    }
+    // Category-style classes: one per city and per prize.
+    for city in &world.cities {
+        b.add_subclass(format!("{ns}PeopleFrom{city}"), format!("{ns}Person"));
+    }
+    for prize in &world.prizes {
+        let tag = prize.replace(' ', "");
+        b.add_subclass(format!("{ns}{tag}Winner"), format!("{ns}Person"));
+    }
+
+    let in_side = |p: usize| p < a_end;
+    for p in 0..a_end {
+        let e = format!("{ns}p{p}");
+        b.add_type(e.as_str(), format!("{ns}Person"));
+        b.add_type(e.as_str(), format!("{ns}PeopleFrom{}", world.cities[world.birth_city[p]]));
+        b.add_literal_fact(e.as_str(), format!("{ns}label"), Literal::plain(world.person_name[p].clone()));
+        if keep(&mut rng) {
+            b.add_literal_fact(
+                e.as_str(),
+                format!("{ns}bornOnDate"),
+                Literal::plain(world.birth_year[p].to_string()),
+            );
+        }
+        if keep(&mut rng) {
+            b.add_fact(e.as_str(), format!("{ns}wasBornIn"), format!("{ns}city{}", world.birth_city[p]));
+        }
+        if let Some(d) = world.death_city[p] {
+            if keep(&mut rng) {
+                b.add_fact(e.as_str(), format!("{ns}diedIn"), format!("{ns}city{d}"));
+            }
+        }
+        if let Some(s) = world.spouse[p] {
+            if in_side(s) && keep(&mut rng) {
+                b.add_fact(e.as_str(), format!("{ns}isMarriedTo"), format!("{ns}p{s}"));
+            }
+        }
+        if let Some(o) = world.employer[p] {
+            if keep(&mut rng) {
+                b.add_fact(e.as_str(), format!("{ns}worksAt"), format!("{ns}org{o}"));
+            }
+        }
+        if keep(&mut rng) {
+            b.add_fact(e.as_str(), format!("{ns}isCitizenOf"), format!("{ns}country{}", world.citizenship[p]));
+        }
+    }
+    for &(parent, child) in &world.children {
+        if in_side(parent) && in_side(child) && keep(&mut rng) {
+            b.add_fact(format!("{ns}p{parent}"), format!("{ns}hasChild"), format!("{ns}p{child}"));
+        }
+    }
+    for &(person, prize) in &world.prizes_won {
+        if in_side(person) && keep(&mut rng) {
+            b.add_fact(format!("{ns}p{person}"), format!("{ns}hasWonPrize"), format!("{ns}prize{prize}"));
+            let tag = world.prizes[prize].replace(' ', "");
+            b.add_type(format!("{ns}p{person}"), format!("{ns}{tag}Winner"));
+        }
+    }
+    for &(person, w) in &world.creations {
+        if !in_side(person) {
+            continue;
+        }
+        let we = format!("{ns}w{w}");
+        let (wclass, occupation) = match world.work_type[w] {
+            WorkType::Book => ("Book", "Writer"),
+            WorkType::Song => ("Song", "Composer"),
+            WorkType::Film => ("Film", "Director"),
+        };
+        b.add_type(we.as_str(), format!("{ns}{wclass}"));
+        b.add_type(format!("{ns}p{person}"), format!("{ns}{occupation}"));
+        b.add_literal_fact(we.as_str(), format!("{ns}label"), Literal::plain(world.works[w].clone()));
+        if keep(&mut rng) {
+            b.add_fact(format!("{ns}p{person}"), format!("{ns}created"), we.as_str());
+        }
+        if keep(&mut rng) {
+            b.add_literal_fact(
+                we.as_str(),
+                format!("{ns}createdOnDate"),
+                Literal::plain(world.work_year[w].to_string()),
+            );
+        }
+    }
+    for (c, city) in world.cities.iter().enumerate() {
+        let e = format!("{ns}city{c}");
+        b.add_type(e.as_str(), format!("{ns}City"));
+        b.add_literal_fact(e.as_str(), format!("{ns}label"), Literal::plain(city.clone()));
+        b.add_fact(e.as_str(), format!("{ns}isLocatedIn"), format!("{ns}country{}", world.city_country[c]));
+        if keep(&mut rng) {
+            b.add_literal_fact(
+                e.as_str(),
+                format!("{ns}hasPopulation"),
+                Literal::plain(world.city_population[c].to_string()),
+            );
+        }
+    }
+    for (k, country) in world.countries.iter().enumerate() {
+        let e = format!("{ns}country{k}");
+        b.add_type(e.as_str(), format!("{ns}Country"));
+        b.add_literal_fact(e.as_str(), format!("{ns}label"), Literal::plain(country.clone()));
+    }
+    for (o, org) in world.orgs.iter().enumerate() {
+        let e = format!("{ns}org{o}");
+        b.add_type(e.as_str(), format!("{ns}Organization"));
+        b.add_literal_fact(e.as_str(), format!("{ns}label"), Literal::plain(org.clone()));
+        b.add_fact(e.as_str(), format!("{ns}isLocatedIn"), format!("{ns}city{}", world.org_city[o]));
+    }
+    for (pz, prize) in world.prizes.iter().enumerate() {
+        let e = format!("{ns}prize{pz}");
+        b.add_literal_fact(e.as_str(), format!("{ns}label"), Literal::plain(prize.clone()));
+    }
+    b
+}
+
+fn emit_side_b(world: &World, b_start: usize, config: &EncyclopediaConfig) -> KbBuilder {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xB);
+    let mut b = KbBuilder::new("dbp");
+    let ns = NS2;
+    let n = world.num_people;
+    let keep = |rng: &mut StdRng| !noise::flip(rng, config.fact_drop_2);
+
+    // Flat(ish) hierarchy: DBpedia style.
+    for (sub, sup) in [
+        ("Person", "Agent"),
+        ("Writer", "Person"),
+        ("MusicalArtist", "Person"),
+        ("FilmDirector", "Person"),
+        ("Settlement", "Place"),
+        ("Country", "Place"),
+        ("WrittenWork", "Work"),
+        ("MusicalWork", "Work"),
+        ("Film", "Work"),
+    ] {
+        b.add_subclass(format!("{ns}{sub}"), format!("{ns}{sup}"));
+    }
+
+    let in_side = |p: usize| p >= b_start && p < n;
+    for p in b_start..n {
+        let e = format!("{ns}P{p}");
+        b.add_type(e.as_str(), format!("{ns}Person"));
+        if !noise::flip(&mut rng, config.label_drop_2) {
+            b.add_literal_fact(e.as_str(), format!("{ns}name"), Literal::plain(world.person_name[p].clone()));
+        }
+        if keep(&mut rng) {
+            b.add_literal_fact(
+                e.as_str(),
+                format!("{ns}birthYear"),
+                Literal::plain(world.birth_year[p].to_string()),
+            );
+        }
+        if keep(&mut rng) {
+            b.add_fact(e.as_str(), format!("{ns}birthPlace"), format!("{ns}C{}", world.birth_city[p]));
+        }
+        if let Some(d) = world.death_city[p] {
+            if keep(&mut rng) {
+                b.add_fact(e.as_str(), format!("{ns}deathPlace"), format!("{ns}C{d}"));
+            }
+        }
+        if let Some(s) = world.spouse[p] {
+            // Stored in the *opposite* person order from side A.
+            if in_side(s) && keep(&mut rng) {
+                b.add_fact(format!("{ns}P{s}"), format!("{ns}spouse"), e.as_str());
+            }
+        }
+        if let Some(o) = world.employer[p] {
+            if keep(&mut rng) {
+                b.add_fact(e.as_str(), format!("{ns}employer"), format!("{ns}O{o}"));
+            }
+        }
+        if keep(&mut rng) {
+            b.add_fact(e.as_str(), format!("{ns}nationality"), format!("{ns}K{}", world.citizenship[p]));
+        }
+    }
+    for &(parent, child) in &world.children {
+        // Inverted: child → parent.
+        if in_side(parent) && in_side(child) && keep(&mut rng) {
+            b.add_fact(format!("{ns}P{child}"), format!("{ns}parent"), format!("{ns}P{parent}"));
+        }
+    }
+    for &(person, prize) in &world.prizes_won {
+        if in_side(person) && keep(&mut rng) {
+            b.add_fact(format!("{ns}P{person}"), format!("{ns}award"), format!("{ns}Z{prize}"));
+        }
+    }
+    for &(person, w) in &world.creations {
+        if !in_side(person) {
+            continue;
+        }
+        let we = format!("{ns}W{w}");
+        let (wclass, pclass, rel) = match world.work_type[w] {
+            WorkType::Book => ("WrittenWork", "Writer", "author"),
+            WorkType::Song => ("MusicalWork", "MusicalArtist", "composer"),
+            WorkType::Film => ("Film", "FilmDirector", "director"),
+        };
+        b.add_type(we.as_str(), format!("{ns}{wclass}"));
+        b.add_type(format!("{ns}P{person}"), format!("{ns}{pclass}"));
+        if !noise::flip(&mut rng, config.label_drop_2) {
+            b.add_literal_fact(we.as_str(), format!("{ns}name"), Literal::plain(world.works[w].clone()));
+        }
+        // Inverted and split: work → person.
+        if keep(&mut rng) {
+            b.add_fact(we.as_str(), format!("{ns}{rel}"), format!("{ns}P{person}"));
+        }
+        if keep(&mut rng) {
+            b.add_literal_fact(
+                we.as_str(),
+                format!("{ns}releaseYear"),
+                Literal::plain(world.work_year[w].to_string()),
+            );
+        }
+    }
+    for (c, city) in world.cities.iter().enumerate() {
+        let e = format!("{ns}C{c}");
+        b.add_type(e.as_str(), format!("{ns}Settlement"));
+        b.add_literal_fact(e.as_str(), format!("{ns}name"), Literal::plain(city.clone()));
+        b.add_fact(e.as_str(), format!("{ns}locatedIn"), format!("{ns}K{}", world.city_country[c]));
+        if keep(&mut rng) {
+            b.add_literal_fact(
+                e.as_str(),
+                format!("{ns}populationTotal"),
+                Literal::plain(world.city_population[c].to_string()),
+            );
+        }
+    }
+    for (k, country) in world.countries.iter().enumerate() {
+        let e = format!("{ns}K{k}");
+        b.add_type(e.as_str(), format!("{ns}Country"));
+        b.add_literal_fact(e.as_str(), format!("{ns}name"), Literal::plain(country.clone()));
+    }
+    for (o, org) in world.orgs.iter().enumerate() {
+        let e = format!("{ns}O{o}");
+        b.add_type(e.as_str(), format!("{ns}Organisation"));
+        b.add_literal_fact(e.as_str(), format!("{ns}name"), Literal::plain(org.clone()));
+        // Split of a:isLocatedIn for organizations.
+        b.add_fact(e.as_str(), format!("{ns}headquarter"), format!("{ns}C{}", world.org_city[o]));
+    }
+    for (pz, prize) in world.prizes.iter().enumerate() {
+        let e = format!("{ns}Z{pz}");
+        b.add_literal_fact(e.as_str(), format!("{ns}name"), Literal::plain(prize.clone()));
+    }
+    b
+}
+
+fn relation_gold() -> (Vec<RelationGold>, Vec<RelationGold>) {
+    let g = |sub: &str, sup: &str, inverted: bool| RelationGold {
+        sub: Iri::new(format!("{NS1}{sub}")),
+        sup: Iri::new(format!("{NS2}{sup}")),
+        inverted,
+    };
+    let h = |sub: &str, sup: &str, inverted: bool| RelationGold {
+        sub: Iri::new(format!("{NS2}{sub}")),
+        sup: Iri::new(format!("{NS1}{sup}")),
+        inverted,
+    };
+    let one_to_two = vec![
+        g("label", "name", false),
+        g("bornOnDate", "birthYear", false),
+        g("wasBornIn", "birthPlace", false),
+        g("diedIn", "deathPlace", false),
+        g("isMarriedTo", "spouse", false),
+        g("isMarriedTo", "spouse", true), // symmetric in the world
+        g("hasChild", "parent", true),
+        g("worksAt", "employer", false),
+        g("isCitizenOf", "nationality", false),
+        g("hasWonPrize", "award", false),
+        g("created", "author", true),
+        g("created", "composer", true),
+        g("created", "director", true),
+        g("createdOnDate", "releaseYear", false),
+        g("hasPopulation", "populationTotal", false),
+    ];
+    let two_to_one = vec![
+        h("name", "label", false),
+        h("birthYear", "bornOnDate", false),
+        h("birthPlace", "wasBornIn", false),
+        h("deathPlace", "diedIn", false),
+        h("spouse", "isMarriedTo", false),
+        h("spouse", "isMarriedTo", true),
+        h("parent", "hasChild", true),
+        h("employer", "worksAt", false),
+        h("nationality", "isCitizenOf", false),
+        h("award", "hasWonPrize", false),
+        h("author", "created", true),
+        h("composer", "created", true),
+        h("director", "created", true),
+        h("releaseYear", "createdOnDate", false),
+        h("populationTotal", "hasPopulation", false),
+        h("locatedIn", "isLocatedIn", false),
+        h("headquarter", "isLocatedIn", false),
+    ];
+    (one_to_two, two_to_one)
+}
+
+/// Strict ancestors within side A's hardcoded taxonomy.
+fn a_ancestors(class: &str) -> &'static [&'static str] {
+    match class {
+        "Person" | "Location" | "Organization" | "Work" => &["Entity"],
+        "Creator" => &["Person", "Entity"],
+        "Writer" | "Composer" | "Director" => &["Creator", "Person", "Entity"],
+        "City" | "Country" => &["Location", "Entity"],
+        "Book" | "Song" | "Film" => &["Work", "Entity"],
+        _ => &[],
+    }
+}
+
+/// Strict ancestors within side B's hardcoded taxonomy.
+fn b_ancestors(class: &str) -> &'static [&'static str] {
+    match class {
+        "Person" => &["Agent"],
+        "Writer" | "MusicalArtist" | "FilmDirector" => &["Person", "Agent"],
+        "Settlement" | "Country" => &["Place"],
+        "WrittenWork" | "MusicalWork" | "Film" => &["Work"],
+        _ => &[],
+    }
+}
+
+/// The true class inclusions in both directions: for each source class,
+/// its tightest counterpart on the other side plus all of that
+/// counterpart's ancestors. (The paper evaluates class alignments
+/// manually; completeness here matters because an incomplete gold would
+/// count true inclusions like `b:Country ⊆ a:Location` as errors.)
+/// A directional list of `(sub-class IRI, super-class IRI)` gold pairs.
+type ClassGoldList = Vec<(Iri, Iri)>;
+
+fn class_gold(world: &World) -> (ClassGoldList, ClassGoldList) {
+    let a = |c: &str| Iri::new(format!("{NS1}{c}"));
+    let b = |c: &str| Iri::new(format!("{NS2}{c}"));
+
+    // Tightest A → B counterparts.
+    const CORE_A_TO_B: &[(&str, &str)] = &[
+        ("Person", "Person"),
+        ("Creator", "Person"), // B has no Creator; Person is the tightest superset
+        ("Writer", "Writer"),
+        ("Composer", "MusicalArtist"),
+        ("Director", "FilmDirector"),
+        ("Location", "Place"),
+        ("City", "Settlement"),
+        ("Country", "Country"),
+        ("Organization", "Organisation"),
+        ("Work", "Work"),
+        ("Book", "WrittenWork"),
+        ("Song", "MusicalWork"),
+        ("Film", "Film"),
+    ];
+    let mut one_to_two = Vec::new();
+    for &(ca, cb) in CORE_A_TO_B {
+        one_to_two.push((a(ca), b(cb)));
+        for &anc in b_ancestors(cb) {
+            one_to_two.push((a(ca), b(anc)));
+        }
+    }
+    // Category classes are subclasses of Person on the other side.
+    let mut category_tags: Vec<String> =
+        world.cities.iter().map(|c| format!("PeopleFrom{c}")).collect();
+    category_tags.extend(world.prizes.iter().map(|p| format!("{}Winner", p.replace(' ', ""))));
+    for tag in &category_tags {
+        one_to_two.push((a(tag), b("Person")));
+        one_to_two.push((a(tag), b("Agent")));
+    }
+
+    // Tightest B → A counterparts.
+    const CORE_B_TO_A: &[(&str, &str)] = &[
+        ("Person", "Person"),
+        ("Agent", "Person"), // every Agent in this world is a person
+        ("Writer", "Writer"),
+        ("MusicalArtist", "Composer"),
+        ("FilmDirector", "Director"),
+        ("Place", "Location"),
+        ("Settlement", "City"),
+        ("Country", "Country"),
+        ("Organisation", "Organization"),
+        ("Work", "Work"),
+        ("WrittenWork", "Book"),
+        ("MusicalWork", "Song"),
+        ("Film", "Film"),
+    ];
+    let mut two_to_one = Vec::new();
+    for &(cb, ca) in CORE_B_TO_A {
+        two_to_one.push((b(cb), a(ca)));
+        for &anc in a_ancestors(ca) {
+            two_to_one.push((b(cb), a(anc)));
+        }
+    }
+    (one_to_two, two_to_one)
+}
+
+/// Generates the encyclopedia dataset pair.
+pub fn generate(config: &EncyclopediaConfig) -> DatasetPair {
+    let world = build_world(config);
+    let (a_end, b_start) = split(world.num_people, config.overlap);
+    let kb1 = emit_side_a(&world, a_end, config).build();
+    let kb2 = emit_side_b(&world, b_start, config).build();
+
+    let mut gold = GoldStandard::default();
+    for p in b_start..a_end {
+        gold.instances.push((Iri::new(format!("{NS1}p{p}")), Iri::new(format!("{NS2}P{p}"))));
+    }
+    for c in 0..world.cities.len() {
+        gold.instances.push((Iri::new(format!("{NS1}city{c}")), Iri::new(format!("{NS2}C{c}"))));
+    }
+    for k in 0..world.countries.len() {
+        gold.instances.push((Iri::new(format!("{NS1}country{k}")), Iri::new(format!("{NS2}K{k}"))));
+    }
+    for o in 0..world.orgs.len() {
+        gold.instances.push((Iri::new(format!("{NS1}org{o}")), Iri::new(format!("{NS2}O{o}"))));
+    }
+    for z in 0..world.prizes.len() {
+        gold.instances.push((Iri::new(format!("{NS1}prize{z}")), Iri::new(format!("{NS2}Z{z}"))));
+    }
+    for (w, &creator) in world.work_creator.iter().enumerate() {
+        if creator >= b_start && creator < a_end {
+            gold.instances.push((Iri::new(format!("{NS1}w{w}")), Iri::new(format!("{NS2}W{w}"))));
+        }
+    }
+    let (r12, r21) = relation_gold();
+    gold.relations_1to2 = r12;
+    gold.relations_2to1 = r21;
+    let (c12, c21) = class_gold(&world);
+    gold.classes_1to2 = c12;
+    gold.classes_2to1 = c21;
+
+    DatasetPair { kb1, kb2, gold }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> EncyclopediaConfig {
+        EncyclopediaConfig { num_people: 400, ..EncyclopediaConfig::default() }
+    }
+
+    #[test]
+    fn sides_have_contrasting_shapes() {
+        let pair = generate(&small());
+        // Side A: fewer relations, more classes (yago-like).
+        assert!(pair.kb1.num_base_relations() < pair.kb2.num_base_relations());
+        assert!(pair.kb1.num_classes() > pair.kb2.num_classes());
+        assert!(pair.gold_is_consistent());
+    }
+
+    #[test]
+    fn overlap_fraction_is_respected() {
+        let config = small();
+        let pair = generate(&config);
+        let people_gold = pair
+            .gold
+            .instances
+            .iter()
+            .filter(|(a, _)| {
+                a.as_str()
+                    .strip_prefix("http://wikia.test/p")
+                    .is_some_and(|rest| rest.chars().all(|c| c.is_ascii_digit()))
+            })
+            .count();
+        let expected = (400.0 * config.overlap).round() as usize;
+        assert_eq!(people_gold, expected);
+    }
+
+    #[test]
+    fn inverted_relations_are_really_inverted() {
+        let pair = generate(&small());
+        // a:hasChild goes parent→child; b:parent goes child→parent.
+        let has_child = pair.kb1.relation_by_iri("http://wikia.test/hasChild").unwrap();
+        let parent = pair.kb2.relation_by_iri("http://dbp.test/parent").unwrap();
+        assert!(pair.kb1.num_pairs(has_child) > 0);
+        assert!(pair.kb2.num_pairs(parent) > 0);
+        // Spot-check one pair: the child id is numerically > parent id.
+        let (x, y) = pair.kb1.pairs(has_child).next().unwrap();
+        let xi: usize = pair.kb1.iri(x).unwrap().as_str().rsplit('p').next().unwrap().parse().unwrap();
+        let yi: usize = pair.kb1.iri(y).unwrap().as_str().rsplit('p').next().unwrap().parse().unwrap();
+        assert!(yi > xi, "hasChild must go parent→child");
+        let (c, p) = pair.kb2.pairs(parent).next().unwrap();
+        let ci: usize = pair.kb2.iri(c).unwrap().as_str().rsplit('P').next().unwrap().parse().unwrap();
+        let pi: usize = pair.kb2.iri(p).unwrap().as_str().rsplit('P').next().unwrap().parse().unwrap();
+        assert!(ci > pi, "parent must go child→parent");
+    }
+
+    #[test]
+    fn created_is_split_by_work_type() {
+        let pair = generate(&small());
+        let created = pair.kb1.relation_by_iri("http://wikia.test/created").unwrap();
+        let author = pair.kb2.relation_by_iri("http://dbp.test/author").unwrap();
+        let composer = pair.kb2.relation_by_iri("http://dbp.test/composer").unwrap();
+        let director = pair.kb2.relation_by_iri("http://dbp.test/director").unwrap();
+        let split_total = pair.kb2.num_pairs(author)
+            + pair.kb2.num_pairs(composer)
+            + pair.kb2.num_pairs(director);
+        assert!(pair.kb1.num_pairs(created) > 0);
+        assert!(split_total > 0);
+        // The three splits partition roughly evenly.
+        assert!(pair.kb2.num_pairs(author) > 0);
+        assert!(pair.kb2.num_pairs(composer) > 0);
+        assert!(pair.kb2.num_pairs(director) > 0);
+    }
+
+    #[test]
+    fn category_classes_exist_on_side_a() {
+        let pair = generate(&small());
+        let from_classes = pair
+            .kb1
+            .classes()
+            .iter()
+            .filter(|&&c| pair.kb1.iri(c).unwrap().as_str().contains("PeopleFrom"))
+            .count();
+        assert!(from_classes >= 4, "{from_classes}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&small());
+        let b = generate(&small());
+        assert_eq!(a.kb1.num_facts(), b.kb1.num_facts());
+        assert_eq!(a.kb2.num_facts(), b.kb2.num_facts());
+        assert_eq!(a.gold.instances, b.gold.instances);
+    }
+
+    #[test]
+    fn seeds_change_content() {
+        let a = generate(&small());
+        let b = generate(&EncyclopediaConfig { seed: 99, ..small() });
+        assert_ne!(a.kb1.num_facts(), b.kb1.num_facts());
+    }
+
+    #[test]
+    fn label_drop_reduces_side_b_names() {
+        let pair = generate(&small());
+        let name = pair.kb2.relation_by_iri("http://dbp.test/name").unwrap();
+        let people: usize = pair
+            .kb2
+            .entities()
+            .filter(|&e| {
+                pair.kb2.iri(e).map(|i| i.as_str().contains("/P")).unwrap_or(false)
+            })
+            .count();
+        let named_people = pair
+            .kb2
+            .pairs(name)
+            .filter(|&(s, _)| pair.kb2.iri(s).map(|i| i.as_str().contains("/P")).unwrap_or(false))
+            .count();
+        assert!(named_people < people, "some labels must be missing");
+        assert!(named_people as f64 > people as f64 * 0.7);
+    }
+}

@@ -1,0 +1,98 @@
+//! Gold standards and dataset pairs.
+//!
+//! Every generator produces a [`DatasetPair`]: two knowledge bases derived
+//! from one latent "world", plus the ground-truth alignment — instance
+//! pairs (like the OAEI reference alignments, §6.2), expected relation
+//! inclusions (like the manually-created relation gold standard for
+//! yago–IMDb, §6.4), and expected class inclusions.
+
+use paris_kb::Kb;
+use paris_rdf::Iri;
+
+/// An expected relation inclusion, directionally:
+/// `sub ⊆ sup` where `sub` lives in one KB and `sup` in the other.
+///
+/// `inverted` marks that `sub`'s pairs are the *reverse* of `sup`'s (the
+/// paper's `y:actedIn ⊆ dbp:starring⁻¹` case).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelationGold {
+    /// IRI of the sub-relation (in the source KB of this direction).
+    pub sub: Iri,
+    /// IRI of the super-relation (in the target KB).
+    pub sup: Iri,
+    /// Whether the inclusion holds against the inverse of `sup`.
+    pub inverted: bool,
+}
+
+/// The complete ground truth of a generated dataset pair.
+#[derive(Clone, Debug, Default)]
+pub struct GoldStandard {
+    /// Equivalent instance pairs `(KB-1 IRI, KB-2 IRI)`.
+    pub instances: Vec<(Iri, Iri)>,
+    /// Expected relation inclusions, KB1 → KB2.
+    pub relations_1to2: Vec<RelationGold>,
+    /// Expected relation inclusions, KB2 → KB1.
+    pub relations_2to1: Vec<RelationGold>,
+    /// Expected class inclusions `(KB-1 class, KB-2 class)` — KB-1 class is
+    /// a subclass of (or equivalent to) the KB-2 class.
+    pub classes_1to2: Vec<(Iri, Iri)>,
+    /// Expected class inclusions `(KB-2 class, KB-1 class)`.
+    pub classes_2to1: Vec<(Iri, Iri)>,
+}
+
+impl GoldStandard {
+    /// Number of gold instance pairs (the paper's "Gold" column).
+    pub fn num_instances(&self) -> usize {
+        self.instances.len()
+    }
+}
+
+/// Two generated ontologies plus their ground truth.
+pub struct DatasetPair {
+    /// The first ontology.
+    pub kb1: Kb,
+    /// The second ontology.
+    pub kb2: Kb,
+    /// Ground-truth alignment between them.
+    pub gold: GoldStandard,
+}
+
+impl DatasetPair {
+    /// Sanity check used by tests: every gold IRI actually occurs in its KB.
+    pub fn gold_is_consistent(&self) -> bool {
+        self.gold.instances.iter().all(|(a, b)| {
+            self.kb1.entity_by_iri(a.as_str()).is_some()
+                && self.kb2.entity_by_iri(b.as_str()).is_some()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paris_kb::KbBuilder;
+
+    #[test]
+    fn consistency_check_detects_missing_entities() {
+        let mut b1 = KbBuilder::new("a");
+        b1.add_fact("http://a/x", "http://a/r", "http://a/y");
+        let mut b2 = KbBuilder::new("b");
+        b2.add_fact("http://b/x", "http://b/r", "http://b/y");
+        let pair = DatasetPair {
+            kb1: b1.build(),
+            kb2: b2.build(),
+            gold: GoldStandard {
+                instances: vec![(Iri::new("http://a/x"), Iri::new("http://b/x"))],
+                ..GoldStandard::default()
+            },
+        };
+        assert!(pair.gold_is_consistent());
+
+        let broken = GoldStandard {
+            instances: vec![(Iri::new("http://a/missing"), Iri::new("http://b/x"))],
+            ..GoldStandard::default()
+        };
+        let pair2 = DatasetPair { kb1: pair.kb1, kb2: pair.kb2, gold: broken };
+        assert!(!pair2.gold_is_consistent());
+    }
+}

@@ -1,0 +1,431 @@
+//! Synthetic stand-in for the yago–IMDb experiment (paper §6.4).
+//!
+//! One latent movie world is rendered as:
+//!
+//! * **side A ("yagofilm", yago-like)** — the *famous* subset of people and
+//!   movies (yago covers Wikipedia-notable entities only), with
+//!   person→movie relations (`a:actedIn`, `a:directed`), `rdfs:label` on
+//!   everything, and subclassed person types (`a:Actor ⊑ a:Person`);
+//! * **side B ("imdb", IMDb-like)** — *everything*, with the relations
+//!   stored movie→person (`b:cast`, `b:director` — inverted, like the
+//!   plain-text IMDb dumps), a flat 4-class schema, and catalogue-style
+//!   title conventions.
+//!
+//! Noise reproduces the paper's observed error sources: word-order title
+//! variants (*Sugata Sanshirô* / *Sanshiro Sugata*), near-duplicate movies
+//! (*King of the Royal Mounted* vs its feature version *The Yukon Patrol*
+//! with the same cast and crew), shared person names, and label variants
+//! that cripple the exact-label baseline (97 % precision but only ~70 %
+//! recall in the paper).
+
+use paris_kb::KbBuilder;
+use paris_rdf::{Iri, Literal};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::gold::{DatasetPair, GoldStandard, RelationGold};
+use crate::names;
+use crate::noise;
+
+/// Configuration of the movies generator.
+#[derive(Clone, Debug)]
+pub struct MoviesConfig {
+    /// Number of movies in the world.
+    pub num_movies: usize,
+    /// People per movie (cast size range is 2..=this).
+    pub max_cast: usize,
+    /// Fraction of movies/people famous enough for side A.
+    pub famous_fraction: f64,
+    /// Fraction of side-B titles with swapped word order.
+    pub title_swap_fraction: f64,
+    /// Fraction of side-A person labels that differ from side B (middle
+    /// initials etc.) — what caps the label baseline's recall.
+    pub label_variant_fraction: f64,
+    /// Number of near-duplicate movie pairs (feature versions sharing cast
+    /// and director) — the paper's precision hazard.
+    pub near_duplicates: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MoviesConfig {
+    fn default() -> Self {
+        MoviesConfig {
+            num_movies: 800,
+            max_cast: 6,
+            famous_fraction: 0.55,
+            title_swap_fraction: 0.06,
+            label_variant_fraction: 0.25,
+            near_duplicates: 8,
+            seed: 23,
+        }
+    }
+}
+
+const NS1: &str = "http://yagofilm.test/";
+const NS2: &str = "http://imdb.test/";
+
+struct MovieWorld {
+    num_people: usize,
+    person_name: Vec<String>,
+    /// Side-A label variant (sometimes with a middle initial).
+    person_label_a: Vec<String>,
+    person_birth: Vec<u32>,
+    movie_title: Vec<String>,
+    /// Side-B title (sometimes word-swapped).
+    movie_title_b: Vec<String>,
+    movie_year: Vec<u32>,
+    /// `(movie, person)` cast pairs.
+    cast: Vec<(usize, usize)>,
+    /// Per movie: director person.
+    director: Vec<usize>,
+    /// Movies that are TV series (class differs on side B).
+    is_series: Vec<bool>,
+    famous_person: Vec<bool>,
+    famous_movie: Vec<bool>,
+}
+
+fn build_world(config: &MoviesConfig) -> MovieWorld {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let base_movies = config.num_movies;
+    let num_people = (base_movies as f64 * 2.5) as usize;
+
+    let mut person_name: Vec<String> = (0..num_people).map(names::person_name).collect();
+    // A few people share names (precision hazard for the label baseline).
+    for i in 1..num_people {
+        if noise::flip(&mut rng, 0.02) {
+            person_name[i] = person_name[i - 1].clone();
+        }
+    }
+    let person_label_a: Vec<String> = person_name
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            if noise::flip(&mut rng, config.label_variant_fraction) {
+                // Middle initial on side A: "Alice Smith" → "Alice K. Smith".
+                let initial = (b'A' + (i % 26) as u8) as char;
+                match n.split_once(' ') {
+                    Some((first, rest)) => format!("{first} {initial}. {rest}"),
+                    None => format!("{n} {initial}."),
+                }
+            } else {
+                n.clone()
+            }
+        })
+        .collect();
+    let person_birth: Vec<u32> = (0..num_people).map(|_| rng.random_range(1900..2000)).collect();
+
+    let mut movie_title: Vec<String> = (0..base_movies).map(names::movie_title).collect();
+    let mut movie_year: Vec<u32> = (0..base_movies).map(|_| rng.random_range(1930..2010)).collect();
+    let mut cast: Vec<(usize, usize)> = Vec::new();
+    let mut director: Vec<usize> = Vec::new();
+    let mut is_series: Vec<bool> = Vec::new();
+    for m in 0..base_movies {
+        let cast_size = rng.random_range(2..=config.max_cast.max(3));
+        for _ in 0..cast_size {
+            cast.push((m, rng.random_range(0..num_people)));
+        }
+        director.push(rng.random_range(0..num_people));
+        is_series.push(noise::flip(&mut rng, 0.1));
+    }
+    cast.sort_unstable();
+    cast.dedup();
+
+    // Near-duplicates: append a feature version sharing cast and director.
+    let mut duplicates = Vec::new();
+    for k in 0..config.near_duplicates.min(base_movies) {
+        let orig = k * (base_movies / config.near_duplicates.max(1)).max(1);
+        let dup = movie_title.len();
+        movie_title.push(format!("{}: The Feature", movie_title[orig]));
+        movie_year.push(movie_year[orig] + 1);
+        let orig_cast: Vec<(usize, usize)> =
+            cast.iter().filter(|&&(m, _)| m == orig).map(|&(_, p)| (dup, p)).collect();
+        cast.extend(orig_cast);
+        director.push(director[orig]);
+        is_series.push(false);
+        duplicates.push((orig, dup));
+    }
+
+    let num_movies = movie_title.len();
+    let movie_title_b: Vec<String> = movie_title
+        .iter()
+        .map(|t| {
+            if noise::flip(&mut rng, config.title_swap_fraction) {
+                noise::swap_words(t)
+            } else {
+                t.clone()
+            }
+        })
+        .collect();
+
+    let famous_person: Vec<bool> =
+        (0..num_people).map(|_| noise::flip(&mut rng, config.famous_fraction)).collect();
+    let mut famous_movie: Vec<bool> =
+        (0..num_movies).map(|_| noise::flip(&mut rng, config.famous_fraction)).collect();
+    // Feature versions are obscure: only the original is in yago.
+    for &(_, dup) in &duplicates {
+        famous_movie[dup] = false;
+    }
+
+    // False friends: a few catalogue-only people carry *exactly* the
+    // curated side's variant label of a famous person. Both labels are
+    // unique on their side, so the exact-label baseline confidently
+    // mismatches them — this keeps the baseline's precision below 100 %
+    // (the paper measured it at 97 %). PARIS recovers these through
+    // shared movie structure in later iterations.
+    let variant_famous: Vec<usize> = (0..num_people)
+        .filter(|&i| famous_person[i] && person_label_a[i] != person_name[i])
+        .collect();
+    let obscure: Vec<usize> = (0..num_people).rev().filter(|&j| !famous_person[j]).collect();
+    let false_friends = (num_people / 120).min(variant_famous.len()).min(obscure.len());
+    for k in 0..false_friends {
+        person_name[obscure[k]] = person_label_a[variant_famous[k]].clone();
+    }
+
+    MovieWorld {
+        num_people,
+        person_name,
+        person_label_a,
+        person_birth,
+        movie_title,
+        movie_title_b,
+        movie_year,
+        cast,
+        director,
+        is_series,
+        famous_person,
+        famous_movie,
+
+    }
+}
+
+/// Generates the movies dataset pair.
+pub fn generate(config: &MoviesConfig) -> DatasetPair {
+    let world = build_world(config);
+
+    // ---- side A: famous subset, person→movie relations, labels.
+    let mut b1 = KbBuilder::new("yagofilm");
+    for (sub, sup) in [("Actor", "Person"), ("Director", "Person"), ("Movie", "Work")] {
+        b1.add_subclass(format!("{NS1}{sub}"), format!("{NS1}{sup}"));
+    }
+    for p in 0..world.num_people {
+        if !world.famous_person[p] {
+            continue;
+        }
+        let e = format!("{NS1}p{p}");
+        b1.add_type(e.as_str(), format!("{NS1}Person"));
+        b1.add_literal_fact(
+            e.as_str(),
+            paris_rdf::vocab::RDFS_LABEL,
+            Literal::plain(world.person_label_a[p].clone()),
+        );
+        b1.add_literal_fact(
+            e.as_str(),
+            format!("{NS1}bornOnDate"),
+            Literal::plain(world.person_birth[p].to_string()),
+        );
+    }
+    for m in 0..world.movie_title.len() {
+        if !world.famous_movie[m] {
+            continue;
+        }
+        let e = format!("{NS1}m{m}");
+        b1.add_type(e.as_str(), format!("{NS1}Movie"));
+        b1.add_literal_fact(
+            e.as_str(),
+            paris_rdf::vocab::RDFS_LABEL,
+            Literal::plain(world.movie_title[m].clone()),
+        );
+        b1.add_literal_fact(
+            e.as_str(),
+            format!("{NS1}producedOnDate"),
+            Literal::plain(world.movie_year[m].to_string()),
+        );
+        if world.famous_person[world.director[m]] {
+            b1.add_fact(format!("{NS1}p{}", world.director[m]), format!("{NS1}directed"), e.as_str());
+            b1.add_type(format!("{NS1}p{}", world.director[m]), format!("{NS1}Director"));
+        }
+    }
+    for &(m, p) in &world.cast {
+        if world.famous_movie[m] && world.famous_person[p] {
+            b1.add_fact(format!("{NS1}p{p}"), format!("{NS1}actedIn"), format!("{NS1}m{m}"));
+            b1.add_type(format!("{NS1}p{p}"), format!("{NS1}Actor"));
+        }
+    }
+
+    // ---- side B: everything, movie→person relations, flat classes.
+    let mut b2 = KbBuilder::new("imdb");
+    for p in 0..world.num_people {
+        let e = format!("{NS2}nm{p}");
+        b2.add_type(e.as_str(), format!("{NS2}person"));
+        b2.add_literal_fact(
+            e.as_str(),
+            paris_rdf::vocab::RDFS_LABEL,
+            Literal::plain(world.person_name[p].clone()),
+        );
+        b2.add_literal_fact(
+            e.as_str(),
+            format!("{NS2}birthYear"),
+            Literal::plain(world.person_birth[p].to_string()),
+        );
+    }
+    for m in 0..world.movie_title.len() {
+        let e = format!("{NS2}tt{m}");
+        let class = if world.is_series[m] { "tvSeries" } else { "movie" };
+        b2.add_type(e.as_str(), format!("{NS2}{class}"));
+        b2.add_literal_fact(
+            e.as_str(),
+            paris_rdf::vocab::RDFS_LABEL,
+            Literal::plain(world.movie_title_b[m].clone()),
+        );
+        b2.add_literal_fact(
+            e.as_str(),
+            format!("{NS2}year"),
+            Literal::plain(world.movie_year[m].to_string()),
+        );
+        b2.add_fact(e.as_str(), format!("{NS2}director"), format!("{NS2}nm{}", world.director[m]));
+    }
+    for &(m, p) in &world.cast {
+        b2.add_fact(format!("{NS2}tt{m}"), format!("{NS2}cast"), format!("{NS2}nm{p}"));
+    }
+
+    // ---- gold
+    let mut gold = GoldStandard::default();
+    for p in 0..world.num_people {
+        if world.famous_person[p] {
+            gold.instances.push((Iri::new(format!("{NS1}p{p}")), Iri::new(format!("{NS2}nm{p}"))));
+        }
+    }
+    for m in 0..world.movie_title.len() {
+        if world.famous_movie[m] {
+            gold.instances.push((Iri::new(format!("{NS1}m{m}")), Iri::new(format!("{NS2}tt{m}"))));
+        }
+    }
+    let g = |sub: &str, sup: &str, inverted: bool| RelationGold {
+        sub: Iri::new(if sub.contains("://") { sub.to_owned() } else { format!("{NS1}{sub}") }),
+        sup: Iri::new(if sup.contains("://") { sup.to_owned() } else { format!("{NS2}{sup}") }),
+        inverted,
+    };
+    gold.relations_1to2 = vec![
+        g("actedIn", "cast", true),
+        g("directed", "director", true),
+        g(paris_rdf::vocab::RDFS_LABEL, paris_rdf::vocab::RDFS_LABEL, false),
+        g("bornOnDate", "birthYear", false),
+        g("producedOnDate", "year", false),
+    ];
+    let h = |sub: &str, sup: &str, inverted: bool| RelationGold {
+        sub: Iri::new(if sub.contains("://") { sub.to_owned() } else { format!("{NS2}{sub}") }),
+        sup: Iri::new(if sup.contains("://") { sup.to_owned() } else { format!("{NS1}{sup}") }),
+        inverted,
+    };
+    gold.relations_2to1 = vec![
+        h("cast", "actedIn", true),
+        h("director", "directed", true),
+        h(paris_rdf::vocab::RDFS_LABEL, paris_rdf::vocab::RDFS_LABEL, false),
+        h("birthYear", "bornOnDate", false),
+        h("year", "producedOnDate", false),
+    ];
+    gold.classes_1to2 = vec![
+        (Iri::new(format!("{NS1}Person")), Iri::new(format!("{NS2}person"))),
+        (Iri::new(format!("{NS1}Actor")), Iri::new(format!("{NS2}person"))),
+        (Iri::new(format!("{NS1}Director")), Iri::new(format!("{NS2}person"))),
+        (Iri::new(format!("{NS1}Movie")), Iri::new(format!("{NS2}movie"))),
+    ];
+    gold.classes_2to1 = vec![
+        (Iri::new(format!("{NS2}person")), Iri::new(format!("{NS1}Person"))),
+        (Iri::new(format!("{NS2}movie")), Iri::new(format!("{NS1}Movie"))),
+    ];
+
+    DatasetPair { kb1: b1.build(), kb2: b2.build(), gold }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> MoviesConfig {
+        MoviesConfig { num_movies: 200, ..MoviesConfig::default() }
+    }
+
+    #[test]
+    fn side_b_is_strictly_larger() {
+        let pair = generate(&small());
+        assert!(pair.kb2.num_instances() > pair.kb1.num_instances());
+        assert!(pair.gold_is_consistent());
+    }
+
+    #[test]
+    fn relations_are_inverted_across_sides() {
+        let pair = generate(&small());
+        let acted = pair.kb1.relation_by_iri("http://yagofilm.test/actedIn").unwrap();
+        let cast = pair.kb2.relation_by_iri("http://imdb.test/cast").unwrap();
+        // a:actedIn subjects are people (IRIs contain "/p"); b:cast subjects
+        // are movies ("tt").
+        let (s, _) = pair.kb1.pairs(acted).next().unwrap();
+        assert!(pair.kb1.iri(s).unwrap().as_str().contains("/p"));
+        let (s2, _) = pair.kb2.pairs(cast).next().unwrap();
+        assert!(pair.kb2.iri(s2).unwrap().as_str().contains("/tt"));
+    }
+
+    #[test]
+    fn labels_exist_on_both_sides() {
+        let pair = generate(&small());
+        let l1 = pair.kb1.relation_by_iri(paris_rdf::vocab::RDFS_LABEL).unwrap();
+        let l2 = pair.kb2.relation_by_iri(paris_rdf::vocab::RDFS_LABEL).unwrap();
+        assert!(pair.kb1.num_pairs(l1) > 0);
+        assert!(pair.kb2.num_pairs(l2) > 0);
+    }
+
+    #[test]
+    fn label_variants_limit_exact_matching() {
+        let pair = generate(&small());
+        let l1 = pair.kb1.relation_by_iri(paris_rdf::vocab::RDFS_LABEL).unwrap();
+        let labels2: std::collections::HashSet<String> = {
+            let l2 = pair.kb2.relation_by_iri(paris_rdf::vocab::RDFS_LABEL).unwrap();
+            pair.kb2
+                .pairs(l2)
+                .map(|(_, l)| pair.kb2.literal(l).unwrap().value().to_owned())
+                .collect()
+        };
+        let (mut hit, mut miss) = (0usize, 0usize);
+        for (_, l) in pair.kb1.pairs(l1) {
+            if labels2.contains(pair.kb1.literal(l).unwrap().value()) {
+                hit += 1;
+            } else {
+                miss += 1;
+            }
+        }
+        let recall_bound = hit as f64 / (hit + miss) as f64;
+        assert!(recall_bound < 0.95, "label variants must exist: {recall_bound}");
+        assert!(recall_bound > 0.5, "most labels still match: {recall_bound}");
+    }
+
+    #[test]
+    fn near_duplicates_share_cast() {
+        let config = small();
+        let pair = generate(&config);
+        // The duplicate movies exist on side B with ": The Feature" titles.
+        let l2 = pair.kb2.relation_by_iri(paris_rdf::vocab::RDFS_LABEL).unwrap();
+        let feature_titles = pair
+            .kb2
+            .pairs(l2)
+            .filter(|&(_, l)| pair.kb2.literal(l).unwrap().value().contains(": The Feature"))
+            .count();
+        assert_eq!(feature_titles, config.near_duplicates);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&small());
+        let b = generate(&small());
+        assert_eq!(a.kb1.num_facts(), b.kb1.num_facts());
+        assert_eq!(a.gold.instances, b.gold.instances);
+    }
+
+    #[test]
+    fn famous_fraction_scales_side_a() {
+        let sparse = generate(&MoviesConfig { famous_fraction: 0.2, ..small() });
+        let dense = generate(&MoviesConfig { famous_fraction: 0.9, ..small() });
+        assert!(dense.kb1.num_instances() > sparse.kb1.num_instances() * 2);
+    }
+}

@@ -1,0 +1,184 @@
+//! Deterministic synthetic name generation.
+//!
+//! Produces human-looking names, street names, movie titles, and
+//! organization names from small word pools plus syllable composition —
+//! scalable to arbitrary counts without ever repeating (a numeric
+//! discriminator is appended when pools are exhausted), so the
+//! "one ontology contains no duplicates" assumption (§3) holds by
+//! construction.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+const SYLLABLES: &[&str] = &[
+    "ka", "ro", "mi", "ta", "lo", "ve", "na", "si", "du", "fe", "gar", "bel", "ton", "mar",
+    "lin", "sor", "pel", "ran", "vi", "ze", "qua", "bri", "cho", "dre",
+];
+
+const FIRST_NAMES: &[&str] = &[
+    "Alice", "Bruno", "Carla", "David", "Elena", "Felix", "Grace", "Hugo", "Irene", "Jonas",
+    "Karin", "Louis", "Marta", "Nils", "Olga", "Pavel", "Quinn", "Rosa", "Stefan", "Tina",
+    "Ursula", "Victor", "Wanda", "Xavier", "Yara", "Zeno",
+];
+
+const SURNAME_STEMS: &[&str] = &[
+    "Smith", "Berg", "Rossi", "Kato", "Novak", "Dubois", "Meier", "Olsen", "Silva", "Kumar",
+    "Haas", "Lindt", "Moreau", "Petrov", "Quist", "Ricci", "Sato", "Tanaka", "Urban", "Vogel",
+];
+
+const STREET_WORDS: &[&str] = &[
+    "Oak", "Maple", "Cedar", "River", "Hill", "Lake", "Park", "Mill", "Church", "Station",
+    "Garden", "Bridge", "Market", "Forest", "Harbor", "Spring", "Sunset", "Meadow",
+];
+
+const TITLE_WORDS: &[&str] = &[
+    "Shadow", "River", "King", "Night", "Garden", "Secret", "Voyage", "Winter", "Crimson",
+    "Echo", "Silent", "Golden", "Broken", "Last", "First", "Hidden", "Lost", "Iron",
+    "Glass", "Paper", "Electric", "Distant", "Burning", "Frozen",
+];
+
+const TITLE_NOUNS: &[&str] = &[
+    "Empire", "Patrol", "Letter", "Story", "Dream", "Road", "Island", "Mountain", "Song",
+    "Return", "Promise", "Harvest", "Journey", "Legacy", "Mirror", "Storm", "Garden", "City",
+];
+
+const CUISINES: &[&str] = &[
+    "Italian", "French", "Japanese", "Mexican", "Thai", "Indian", "Greek", "Spanish",
+    "Korean", "Vietnamese", "American", "Ethiopian",
+];
+
+/// A capitalized pseudo-word of `n` syllables.
+pub fn pseudo_word(rng: &mut StdRng, n: usize) -> String {
+    let mut w = String::new();
+    for _ in 0..n.max(1) {
+        w.push_str(SYLLABLES[rng.random_range(0..SYLLABLES.len())]);
+    }
+    let mut chars = w.chars();
+    match chars.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+        None => w,
+    }
+}
+
+/// The `i`-th person's full name: deterministic per index, unique.
+pub fn person_name(i: usize) -> String {
+    let first = FIRST_NAMES[i % FIRST_NAMES.len()];
+    let stem = SURNAME_STEMS[(i / FIRST_NAMES.len()) % SURNAME_STEMS.len()];
+    let gen = i / (FIRST_NAMES.len() * SURNAME_STEMS.len());
+    if gen == 0 {
+        format!("{first} {stem}")
+    } else {
+        format!("{first} {stem}-{gen}")
+    }
+}
+
+/// The `i`-th unique city name.
+pub fn city_name(rng: &mut StdRng, i: usize) -> String {
+    let base = pseudo_word(rng, 2 + i % 2);
+    format!("{base}ville")
+}
+
+/// The `i`-th street address line.
+pub fn street_address(rng: &mut StdRng, i: usize) -> String {
+    let number = 1 + (i * 37) % 9900;
+    let word = STREET_WORDS[rng.random_range(0..STREET_WORDS.len())];
+    let kind = ["St", "Ave", "Blvd", "Rd"][i % 4];
+    format!("{number} {word} {kind}")
+}
+
+/// A unique phone number for index `i`, formatted with dashes.
+pub fn phone_number(i: usize) -> String {
+    let area = 200 + (i * 7) % 700;
+    let mid = 100 + (i * 13) % 900;
+    let last = 1000 + (i * 31) % 9000;
+    format!("{area}-{mid}-{last}")
+}
+
+/// A unique social-security-like identifier.
+pub fn ssn(i: usize) -> String {
+    format!("{:03}-{:02}-{:04}", (i * 17) % 1000, (i * 5) % 100, i % 10_000)
+}
+
+/// The `i`-th movie title: two pool words plus a discriminator when pools
+/// recycle.
+pub fn movie_title(i: usize) -> String {
+    let adj = TITLE_WORDS[i % TITLE_WORDS.len()];
+    let noun = TITLE_NOUNS[(i / TITLE_WORDS.len()) % TITLE_NOUNS.len()];
+    let cycle = i / (TITLE_WORDS.len() * TITLE_NOUNS.len());
+    if cycle == 0 {
+        format!("The {adj} {noun}")
+    } else {
+        format!("The {adj} {noun} {}", cycle + 1)
+    }
+}
+
+/// The `i`-th restaurant name.
+pub fn restaurant_name(rng: &mut StdRng, i: usize) -> String {
+    let cuisine = CUISINES[i % CUISINES.len()];
+    let word = pseudo_word(rng, 2);
+    match i % 3 {
+        0 => format!("{word}'s {cuisine} Kitchen"),
+        1 => format!("Cafe {word}"),
+        _ => format!("The {cuisine} {word}"),
+    }
+}
+
+/// A cuisine label.
+pub fn cuisine(i: usize) -> &'static str {
+    CUISINES[i % CUISINES.len()]
+}
+
+/// The `i`-th organization name.
+pub fn organization_name(rng: &mut StdRng, i: usize) -> String {
+    let word = pseudo_word(rng, 2);
+    let kind = ["University", "Institute", "Corporation", "Studios", "Labs"][i % 5];
+    format!("{word} {kind}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn person_names_unique_at_scale() {
+        let names: std::collections::HashSet<String> = (0..5000).map(person_name).collect();
+        assert_eq!(names.len(), 5000);
+    }
+
+    #[test]
+    fn movie_titles_unique_at_scale() {
+        let titles: std::collections::HashSet<String> = (0..3000).map(movie_title).collect();
+        assert_eq!(titles.len(), 3000);
+    }
+
+    #[test]
+    fn phones_and_ssns_deterministic() {
+        assert_eq!(phone_number(7), phone_number(7));
+        assert_eq!(ssn(7), ssn(7));
+        assert_ne!(phone_number(7), phone_number(8));
+    }
+
+    #[test]
+    fn pseudo_word_is_capitalized_and_seeded() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let wa = pseudo_word(&mut a, 3);
+        let wb = pseudo_word(&mut b, 3);
+        assert_eq!(wa, wb);
+        assert!(wa.chars().next().unwrap().is_uppercase());
+        assert!(wa.len() >= 6);
+    }
+
+    #[test]
+    fn generators_do_not_panic_at_zero() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = person_name(0);
+        let _ = city_name(&mut rng, 0);
+        let _ = street_address(&mut rng, 0);
+        let _ = movie_title(0);
+        let _ = restaurant_name(&mut rng, 0);
+        let _ = organization_name(&mut rng, 0);
+        let _ = pseudo_word(&mut rng, 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Literal-noise models.
+//!
+//! Each noise function reproduces a disturbance the paper explicitly ran
+//! into: phone-number reformatting (`213/467-1108` vs `213-467-1108`,
+//! §6.3), word-order swaps in titles (*Sugata Sanshirô* vs *Sanshiro
+//! Sugata*, §6.4), and plain typos. All draws come from a caller-provided
+//! seeded RNG, so datasets are reproducible.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Reformats a dash-separated phone number with slashes, the exact §6.3
+/// pattern: `213-467-1108` → `213/467-1108` (first separator only).
+pub fn reformat_phone(phone: &str) -> String {
+    phone.replacen('-', "/", 1)
+}
+
+/// Swaps the first two whitespace-separated words, dropping a leading
+/// article first (mimicking *Sanshiro Sugata* vs *Sugata Sanshirô* and
+/// catalogue-style titles).
+pub fn swap_words(s: &str) -> String {
+    let words: Vec<&str> = s.split_whitespace().collect();
+    let skip = usize::from(matches!(words.first(), Some(&"The") | Some(&"A") | Some(&"An")));
+    if words.len() < skip + 2 {
+        return s.to_owned();
+    }
+    let mut out: Vec<&str> = words.clone();
+    out.swap(skip, skip + 1);
+    out.join(" ")
+}
+
+/// Introduces one character-level typo: transposes two adjacent letters at
+/// a random interior position. Strings shorter than 4 chars are returned
+/// unchanged.
+pub fn typo(rng: &mut StdRng, s: &str) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.len() < 4 {
+        return s.to_owned();
+    }
+    let i = rng.random_range(1..chars.len() - 2);
+    let mut out = chars;
+    out.swap(i, i + 1);
+    out.into_iter().collect()
+}
+
+/// Randomly uppercases or adds punctuation to a name (case/punctuation
+/// noise that `Normalized` literal similarity absorbs).
+pub fn restyle(rng: &mut StdRng, s: &str) -> String {
+    match rng.random_range(0..3) {
+        0 => s.to_uppercase(),
+        1 => s.replace(' ', "  "),
+        _ => format!("{s}."),
+    }
+}
+
+/// True with probability `p`.
+pub fn flip(rng: &mut StdRng, p: f64) -> bool {
+    p > 0.0 && rng.random_range(0.0..1.0) < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn phone_reformat_matches_paper_example() {
+        assert_eq!(reformat_phone("213-467-1108"), "213/467-1108");
+    }
+
+    #[test]
+    fn swap_words_basic() {
+        assert_eq!(swap_words("Sanshiro Sugata"), "Sugata Sanshiro");
+        assert_eq!(swap_words("The Crimson Empire"), "The Empire Crimson");
+        assert_eq!(swap_words("Single"), "Single");
+        assert_eq!(swap_words("The Single"), "The Single");
+    }
+
+    #[test]
+    fn typo_changes_exactly_one_adjacent_pair() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let orig = "restaurant";
+        let noisy = typo(&mut rng, orig);
+        assert_ne!(noisy, orig);
+        assert_eq!(noisy.len(), orig.len());
+        let diffs: Vec<usize> = orig
+            .chars()
+            .zip(noisy.chars())
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(diffs.len(), 2);
+        assert_eq!(diffs[1], diffs[0] + 1);
+    }
+
+    #[test]
+    fn typo_preserves_short_strings() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(typo(&mut rng, "abc"), "abc");
+    }
+
+    #[test]
+    fn restyle_keeps_normalized_form() {
+        use paris_literals::normalize_alnum;
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let styled = restyle(&mut rng, "Cafe Karo");
+            assert_eq!(normalize_alnum(&styled), normalize_alnum("Cafe Karo"));
+        }
+    }
+
+    #[test]
+    fn flip_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let fa: Vec<bool> = (0..50).map(|_| flip(&mut a, 0.3)).collect();
+        let fb: Vec<bool> = (0..50).map(|_| flip(&mut b, 0.3)).collect();
+        assert_eq!(fa, fb);
+        assert!(fa.iter().any(|&x| x));
+        assert!(fa.iter().any(|&x| !x));
+    }
+
+    #[test]
+    fn flip_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!flip(&mut rng, 0.0));
+        assert!(flip(&mut rng, 1.0));
+    }
+}

@@ -1,0 +1,333 @@
+//! Synthetic stand-in for the OAEI 2010 *restaurant* dataset (§6.2–6.3).
+//!
+//! The original pairs two restaurant catalogues with 112 gold matches and
+//! systematically different literal conventions — the paper calls out phone
+//! numbers written `213/467-1108` in one source and `213-467-1108` in the
+//! other. This generator reproduces the three §6.3 regimes:
+//!
+//! * **identity literals**: phones never match (reformatted on side 2),
+//!   names match for the clean majority → recall ≈ 0.88, precision < 1
+//!   (chain restaurants share names across cities);
+//! * **negative evidence + identity**: the ubiquitous attribute mismatches
+//!   kill every match (the paper's "gave up all matches");
+//! * **normalized strings**: punctuation/case differences vanish, typos
+//!   remain → precision 1, recall ≈ 0.7–0.9.
+
+use paris_kb::KbBuilder;
+use paris_rdf::{Iri, Literal};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::gold::{DatasetPair, GoldStandard, RelationGold};
+use crate::names;
+use crate::noise;
+
+/// Configuration of the restaurants generator.
+#[derive(Clone, Debug)]
+pub struct RestaurantsConfig {
+    /// Matched restaurants (gold size). Paper: 112.
+    pub num_matched: usize,
+    /// Restaurants only in catalogue 1.
+    pub extra_1: usize,
+    /// Restaurants only in catalogue 2.
+    pub extra_2: usize,
+    /// Fraction of side-2 names restyled (case/punctuation — normalizable).
+    pub restyle_fraction: f64,
+    /// Fraction of *dirty* records: the side-2 copy has a typo'd name AND
+    /// a reformatted street, so no literal matches under identity — these
+    /// are the records that cap recall (paper: ~12 % unmatched).
+    pub dirty_fraction: f64,
+    /// Number of chain pairs: two *different* restaurants (in different
+    /// cities) sharing one name on both sides — the precision hazard.
+    pub chains: usize,
+    /// Fraction of clean records whose side-2 phone keeps the dash format
+    /// (matches under identity). This keeps the phone ↔ telephone
+    /// sub-relation discoverable, which is what lets negative evidence
+    /// (§6.3, experiment 3) punish the majority of records whose phones
+    /// *don't* match — the paper's "gave up all matches" effect.
+    pub phone_match_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RestaurantsConfig {
+    fn default() -> Self {
+        RestaurantsConfig {
+            num_matched: 112,
+            extra_1: 20,
+            extra_2: 30,
+            restyle_fraction: 0.12,
+            dirty_fraction: 0.12,
+            chains: 4,
+            phone_match_fraction: 0.1,
+            seed: 7,
+        }
+    }
+}
+
+const NS1: &str = "http://rest1.test/";
+const NS2: &str = "http://rest2.test/";
+
+struct RestaurantRecord {
+    name: String,
+    phone: String,
+    street: String,
+    city: String,
+    cuisine: &'static str,
+    /// Side-2 name (noisy variant of `name`).
+    name_2: String,
+    /// Side-2 street.
+    street_2: String,
+    /// Side-2 phone (usually slash-reformatted).
+    phone_2: String,
+}
+
+fn world(config: &RestaurantsConfig) -> Vec<RestaurantRecord> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let total = config.num_matched + config.extra_1 + config.extra_2;
+    // Few cities and cuisines: these attributes are shared so widely that
+    // their inverse functionality stays below θ even with perfect
+    // sub-relation scores — like "category" in the real OAEI data, they
+    // must never seed a match on their own.
+    let num_cities = 6;
+    let num_cuisines = 6;
+    let cities: Vec<String> = (0..num_cities).map(|i| names::city_name(&mut rng, i)).collect();
+
+    let mut records: Vec<RestaurantRecord> = (0..total)
+        .map(|i| {
+            let name = names::restaurant_name(&mut rng, i);
+            let street = names::street_address(&mut rng, i);
+            // Dirty records lose every identity match on side 2: typo'd
+            // name plus catalogue-style street suffix expansion ("St" →
+            // "Street"). Clean records keep street verbatim and the name
+            // either verbatim or merely restyled (case/punctuation).
+            let dirty = noise::flip(&mut rng, config.dirty_fraction);
+            let street_2 = if dirty {
+                street
+                    .replace(" Ave", " Avenue")
+                    .replace(" Blvd", " Boulevard")
+                    .replace(" Rd", " Road")
+                    .replace(" St", " Street")
+            } else {
+                street.clone()
+            };
+            let name_2 = if dirty {
+                noise::typo(&mut rng, &name)
+            } else if noise::flip(&mut rng, config.restyle_fraction) {
+                noise::restyle(&mut rng, &name)
+            } else {
+                name.clone()
+            };
+            let phone = names::phone_number(i);
+            // Most side-2 phones use the slash format (the paper's exact
+            // mismatch); a small fraction keeps the dash format.
+            let phone_2 = if !dirty && noise::flip(&mut rng, config.phone_match_fraction) {
+                phone.clone()
+            } else {
+                noise::reformat_phone(&phone)
+            };
+            RestaurantRecord {
+                name,
+                phone,
+                street,
+                city: cities[i % num_cities].clone(),
+                cuisine: names::cuisine(i % num_cuisines),
+                name_2,
+                street_2,
+                phone_2,
+            }
+        })
+        .collect();
+
+    // Franchise pairs: two *different* restaurants (2k, 2k+1) in the same
+    // city sharing one name and cuisine, with their side-2 streets
+    // reformatted — only the ambiguous name + city evidence remains, so
+    // PARIS has to guess. This is the precision hazard (the paper's ~5 %
+    // wrong restaurant matches).
+    for k in 0..config.chains.min(config.num_matched / 2) {
+        let shared = format!("Chain House {k}");
+        let city = records[2 * k].city.clone();
+        for offset in [2 * k, 2 * k + 1] {
+            let r = &mut records[offset];
+            r.name = shared.clone();
+            r.name_2 = shared.clone();
+            r.city = city.clone();
+            r.cuisine = names::cuisine(0);
+            r.street_2 = r
+                .street
+                .replace(" Ave", " Avenue")
+                .replace(" Blvd", " Boulevard")
+                .replace(" Rd", " Road")
+                .replace(" St", " Street");
+        }
+    }
+    records
+}
+
+/// Generates the restaurants dataset pair.
+pub fn generate(config: &RestaurantsConfig) -> DatasetPair {
+    let records = world(config);
+    let n = config.num_matched;
+
+    let mut b1 = KbBuilder::new("rest1");
+    for (i, r) in records.iter().take(n + config.extra_1).enumerate() {
+        let e = format!("{NS1}r{i}");
+        let a = format!("{NS1}addr{i}");
+        b1.add_type(e.as_str(), format!("{NS1}Restaurant"));
+        b1.add_type(a.as_str(), format!("{NS1}Address"));
+        b1.add_literal_fact(e.as_str(), format!("{NS1}name"), Literal::plain(r.name.clone()));
+        b1.add_literal_fact(e.as_str(), format!("{NS1}phone"), Literal::plain(r.phone.clone()));
+        b1.add_literal_fact(e.as_str(), format!("{NS1}category"), Literal::plain(r.cuisine));
+        b1.add_fact(e.as_str(), format!("{NS1}hasAddress"), a.as_str());
+        b1.add_literal_fact(a.as_str(), format!("{NS1}street"), Literal::plain(r.street.clone()));
+        b1.add_literal_fact(a.as_str(), format!("{NS1}city"), Literal::plain(r.city.clone()));
+    }
+
+    let mut b2 = KbBuilder::new("rest2");
+    let side2_indices = (0..n).chain(n + config.extra_1..records.len());
+    for i in side2_indices {
+        let r = &records[i];
+        let e = format!("{NS2}r{i}");
+        let a = format!("{NS2}addr{i}");
+        b2.add_type(e.as_str(), format!("{NS2}Eatery"));
+        b2.add_type(a.as_str(), format!("{NS2}Place"));
+        b2.add_literal_fact(e.as_str(), format!("{NS2}title"), Literal::plain(r.name_2.clone()));
+        b2.add_literal_fact(e.as_str(), format!("{NS2}telephone"), Literal::plain(r.phone_2.clone()));
+        b2.add_literal_fact(e.as_str(), format!("{NS2}cuisine"), Literal::plain(r.cuisine));
+        b2.add_fact(e.as_str(), format!("{NS2}location"), a.as_str());
+        b2.add_literal_fact(a.as_str(), format!("{NS2}streetAddress"), Literal::plain(r.street_2.clone()));
+        b2.add_literal_fact(a.as_str(), format!("{NS2}cityName"), Literal::plain(r.city.clone()));
+    }
+
+    let mut gold = GoldStandard::default();
+    for i in 0..n {
+        gold.instances.push((Iri::new(format!("{NS1}r{i}")), Iri::new(format!("{NS2}r{i}"))));
+        gold.instances.push((Iri::new(format!("{NS1}addr{i}")), Iri::new(format!("{NS2}addr{i}"))));
+    }
+    for (r1, r2) in [
+        ("name", "title"),
+        ("phone", "telephone"),
+        ("category", "cuisine"),
+        ("hasAddress", "location"),
+        ("street", "streetAddress"),
+        ("city", "cityName"),
+    ] {
+        gold.relations_1to2.push(RelationGold {
+            sub: Iri::new(format!("{NS1}{r1}")),
+            sup: Iri::new(format!("{NS2}{r2}")),
+            inverted: false,
+        });
+        gold.relations_2to1.push(RelationGold {
+            sub: Iri::new(format!("{NS2}{r2}")),
+            sup: Iri::new(format!("{NS1}{r1}")),
+            inverted: false,
+        });
+    }
+    gold.classes_1to2.push((Iri::new(format!("{NS1}Restaurant")), Iri::new(format!("{NS2}Eatery"))));
+    gold.classes_1to2.push((Iri::new(format!("{NS1}Address")), Iri::new(format!("{NS2}Place"))));
+    gold.classes_2to1.push((Iri::new(format!("{NS2}Eatery")), Iri::new(format!("{NS1}Restaurant"))));
+    gold.classes_2to1.push((Iri::new(format!("{NS2}Place")), Iri::new(format!("{NS1}Address"))));
+
+    DatasetPair { kb1: b1.build(), kb2: b2.build(), gold }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paris_literals::normalize_alnum;
+
+    #[test]
+    fn default_sizes_match_paper() {
+        let pair = generate(&RestaurantsConfig::default());
+        assert_eq!(pair.gold.num_instances(), 224); // 112 restaurants + addresses
+        assert_eq!(pair.kb1.num_instances(), 2 * 132);
+        assert_eq!(pair.kb2.num_instances(), 2 * 142);
+        assert!(pair.gold_is_consistent());
+    }
+
+    #[test]
+    fn phones_never_match_identically_but_normalize() {
+        let pair = generate(&RestaurantsConfig::default());
+        let phone1 = pair.kb1.relation_by_iri("http://rest1.test/phone").unwrap();
+        let tel2 = pair.kb2.relation_by_iri("http://rest2.test/telephone").unwrap();
+        let p1: Vec<String> = pair
+            .kb1
+            .pairs(phone1)
+            .map(|(_, l)| pair.kb1.literal(l).unwrap().value().to_owned())
+            .collect();
+        let p2: std::collections::HashSet<String> = pair
+            .kb2
+            .pairs(tel2)
+            .map(|(_, l)| pair.kb2.literal(l).unwrap().value().to_owned())
+            .collect();
+        let p2_norm: std::collections::HashSet<String> =
+            p2.iter().map(|s| normalize_alnum(s)).collect();
+        let raw_hits = p1.iter().filter(|v| p2.contains(*v)).count();
+        assert!(raw_hits < 25, "only the phone_match_fraction matches raw: {raw_hits}");
+        assert!(raw_hits > 0, "some phones must keep the dash format");
+        let normalized_hits =
+            p1.iter().filter(|v| p2_norm.contains(&normalize_alnum(v))).count();
+        assert!(normalized_hits >= 112, "normalized phones must match: {normalized_hits}");
+    }
+
+    #[test]
+    fn most_names_match_identically() {
+        let config = RestaurantsConfig::default();
+        let pair = generate(&config);
+        let name1 = pair.kb1.relation_by_iri("http://rest1.test/name").unwrap();
+        let names2: std::collections::HashSet<String> = {
+            let title2 = pair.kb2.relation_by_iri("http://rest2.test/title").unwrap();
+            pair.kb2
+                .pairs(title2)
+                .map(|(_, l)| pair.kb2.literal(l).unwrap().value().to_owned())
+                .collect()
+        };
+        let hits = pair
+            .kb1
+            .pairs(name1)
+            .filter(|&(_, l)| names2.contains(pair.kb1.literal(l).unwrap().value()))
+            .count();
+        // ~80 % of matched names are identical strings
+        assert!(hits >= 70, "identical names: {hits}");
+        assert!(hits <= 130);
+    }
+
+    #[test]
+    fn chains_share_names() {
+        let pair = generate(&RestaurantsConfig::default());
+        let name1 = pair.kb1.relation_by_iri("http://rest1.test/name").unwrap();
+        let mut counts: std::collections::HashMap<String, usize> = Default::default();
+        for (_, l) in pair.kb1.pairs(name1) {
+            *counts.entry(pair.kb1.literal(l).unwrap().value().to_owned()).or_default() += 1;
+        }
+        assert!(counts.values().any(|&c| c >= 2), "chain names must repeat");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&RestaurantsConfig::default());
+        let b = generate(&RestaurantsConfig::default());
+        assert_eq!(a.kb1.num_facts(), b.kb1.num_facts());
+        assert_eq!(a.kb2.num_facts(), b.kb2.num_facts());
+    }
+
+    #[test]
+    fn no_noise_config_gives_clean_pair() {
+        let config = RestaurantsConfig {
+            restyle_fraction: 0.0,
+            dirty_fraction: 0.0,
+            phone_match_fraction: 0.0,
+            chains: 0,
+            extra_1: 0,
+            extra_2: 0,
+            num_matched: 20,
+            seed: 1,
+        };
+        let pair = generate(&config);
+        let name1 = pair.kb1.relation_by_iri("http://rest1.test/name").unwrap();
+        for (_, l) in pair.kb1.pairs(name1) {
+            let term = pair.kb1.term(l).clone();
+            assert!(pair.kb2.entity(&term).is_some());
+        }
+    }
+}

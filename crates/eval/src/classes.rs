@@ -1,0 +1,166 @@
+//! Class-alignment evaluation and threshold curves (paper §6.4,
+//! Figures 1–2).
+//!
+//! The paper samples class assignments above a probability threshold and
+//! judges them manually; precision rises with the threshold (Figure 1)
+//! while the number of aligned classes falls (Figure 2). Our generators
+//! enumerate the true class inclusions, so judging is mechanical. As in
+//! the paper, evaluation "excluded high-level classes": gold entries list
+//! only meaningful targets, and predictions for source classes the gold
+//! does not cover are skipped rather than counted as wrong.
+
+use paris_core::{AlignmentResult, ClassScore};
+use paris_datagen::GoldStandard;
+use paris_kb::{EntityId, FxHashMap, FxHashSet, Kb};
+
+use crate::metrics::Counts;
+
+/// One point of the Figure-1/Figure-2 curves.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ThresholdPoint {
+    /// Probability threshold.
+    pub threshold: f64,
+    /// Precision of assignments scoring at least the threshold.
+    pub precision: f64,
+    /// Assignments at or above the threshold.
+    pub assignments: usize,
+    /// Distinct source classes with at least one assignment ≥ threshold.
+    pub classes_with_assignment: usize,
+}
+
+fn gold_pairs(kb_sub: &Kb, kb_sup: &Kb, entries: &[(paris_rdf::Iri, paris_rdf::Iri)])
+    -> (FxHashSet<(EntityId, EntityId)>, FxHashSet<EntityId>)
+{
+    let mut pairs = FxHashSet::default();
+    let mut covered = FxHashSet::default();
+    for (sub, sup) in entries {
+        if let (Some(c1), Some(c2)) =
+            (kb_sub.entity_by_iri(sub.as_str()), kb_sup.entity_by_iri(sup.as_str()))
+        {
+            pairs.insert((c1, c2));
+            covered.insert(c1);
+        }
+    }
+    (pairs, covered)
+}
+
+fn judge(
+    scores: &[ClassScore],
+    pairs: &FxHashSet<(EntityId, EntityId)>,
+    covered: &FxHashSet<EntityId>,
+    threshold: f64,
+) -> Counts {
+    let mut counts = Counts::default();
+    for s in scores {
+        if s.prob < threshold || !covered.contains(&s.sub) {
+            continue;
+        }
+        if pairs.contains(&(s.sub, s.sup)) {
+            counts.true_positives += 1;
+        } else {
+            counts.false_positives += 1;
+        }
+    }
+    // Recall basis: gold pairs never predicted above the threshold.
+    let predicted: FxHashSet<(EntityId, EntityId)> = scores
+        .iter()
+        .filter(|s| s.prob >= threshold)
+        .map(|s| (s.sub, s.sup))
+        .collect();
+    counts.false_negatives = pairs.iter().filter(|p| !predicted.contains(p)).count();
+    counts
+}
+
+/// Evaluates the KB1 → KB2 class alignment at one threshold.
+pub fn evaluate_classes_1to2(
+    result: &AlignmentResult<'_>,
+    gold: &GoldStandard,
+    threshold: f64,
+) -> Counts {
+    let (pairs, covered) = gold_pairs(result.kb1, result.kb2, &gold.classes_1to2);
+    judge(&result.classes.one_to_two, &pairs, &covered, threshold)
+}
+
+/// Evaluates the KB2 → KB1 class alignment at one threshold.
+pub fn evaluate_classes_2to1(
+    result: &AlignmentResult<'_>,
+    gold: &GoldStandard,
+    threshold: f64,
+) -> Counts {
+    let (pairs, covered) = gold_pairs(result.kb2, result.kb1, &gold.classes_2to1);
+    judge(&result.classes.two_to_one, &pairs, &covered, threshold)
+}
+
+/// The Figure-1 + Figure-2 sweep: precision and class counts for each
+/// threshold, KB1 → KB2.
+pub fn threshold_curve(
+    result: &AlignmentResult<'_>,
+    gold: &GoldStandard,
+    thresholds: &[f64],
+) -> Vec<ThresholdPoint> {
+    let (pairs, covered) = gold_pairs(result.kb1, result.kb2, &gold.classes_1to2);
+    thresholds
+        .iter()
+        .map(|&t| {
+            let counts = judge(&result.classes.one_to_two, &pairs, &covered, t);
+            let mut classes: FxHashMap<EntityId, ()> = FxHashMap::default();
+            let mut assignments = 0usize;
+            for s in &result.classes.one_to_two {
+                if s.prob >= t {
+                    assignments += 1;
+                    classes.insert(s.sub, ());
+                }
+            }
+            ThresholdPoint {
+                threshold: t,
+                precision: counts.precision(),
+                assignments,
+                classes_with_assignment: classes.len(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paris_core::{Aligner, ParisConfig};
+    use paris_datagen::persons::{generate, PersonsConfig};
+
+    fn aligned_pair() -> (paris_datagen::DatasetPair, Counts, Counts) {
+        let pair = generate(&PersonsConfig { num_persons: 50, ..Default::default() });
+        let result = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
+        let c12 = evaluate_classes_1to2(&result, &pair.gold, 0.4);
+        let c21 = evaluate_classes_2to1(&result, &pair.gold, 0.4);
+        (pair, c12, c21)
+    }
+
+    #[test]
+    fn clean_persons_classes_align() {
+        let (_, c12, c21) = aligned_pair();
+        assert_eq!(c12.precision(), 1.0, "{c12:?}");
+        assert_eq!(c12.recall(), 1.0, "{c12:?}");
+        assert_eq!(c21.precision(), 1.0, "{c21:?}");
+    }
+
+    #[test]
+    fn curve_is_monotone_in_counts() {
+        let pair = generate(&PersonsConfig { num_persons: 50, ..Default::default() });
+        let result = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
+        let curve = threshold_curve(&result, &pair.gold, &[0.1, 0.3, 0.5, 0.7, 0.9]);
+        assert_eq!(curve.len(), 5);
+        for w in curve.windows(2) {
+            assert!(w[0].assignments >= w[1].assignments, "counts fall as threshold rises");
+            assert!(w[0].classes_with_assignment >= w[1].classes_with_assignment);
+        }
+    }
+
+    #[test]
+    fn impossible_threshold_yields_nothing() {
+        let pair = generate(&PersonsConfig { num_persons: 20, ..Default::default() });
+        let result = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
+        let curve = threshold_curve(&result, &pair.gold, &[1.01]);
+        assert_eq!(curve[0].assignments, 0);
+        assert_eq!(curve[0].classes_with_assignment, 0);
+    }
+}

@@ -1,0 +1,23 @@
+//! Evaluation harness for the PARIS reproduction (paper §6.1).
+//!
+//! Computes precision / recall / F-measure of instance, relation, and
+//! class alignments against the generators' gold standards; produces the
+//! per-iteration tables (Tables 3, 5) and the class-threshold curves
+//! (Figures 1, 2).
+//!
+//! The paper evaluated relations and classes *manually*; here the
+//! generators know the latent world, so the same judgments are mechanical
+//! — see [`relations`] and [`classes`] for exactly how predictions are
+//! judged.
+
+pub mod classes;
+pub mod instances;
+pub mod metrics;
+pub mod relations;
+pub mod report;
+
+pub use classes::{evaluate_classes_1to2, evaluate_classes_2to1, threshold_curve, ThresholdPoint};
+pub use instances::{evaluate_instances, evaluate_instances_min_facts};
+pub use metrics::Counts;
+pub use relations::{evaluate_relations, RelationEval};
+pub use report::{alignment_list, iteration_table, IterationRow};

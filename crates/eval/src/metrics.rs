@@ -1,0 +1,125 @@
+//! Precision / recall / F-measure (paper §6.1).
+
+/// Counted outcomes of comparing predictions against a gold standard.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counts {
+    /// Predictions that match the gold standard.
+    pub true_positives: usize,
+    /// Predictions that contradict the gold standard.
+    pub false_positives: usize,
+    /// Gold pairs with no (correct) prediction.
+    pub false_negatives: usize,
+}
+
+impl Counts {
+    /// Creates counts directly.
+    pub fn new(true_positives: usize, false_positives: usize, false_negatives: usize) -> Self {
+        Counts { true_positives, false_positives, false_negatives }
+    }
+
+    /// `tp / (tp + fp)`; defined as 1 when nothing was predicted.
+    pub fn precision(&self) -> f64 {
+        let predicted = self.true_positives + self.false_positives;
+        if predicted == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / predicted as f64
+        }
+    }
+
+    /// `tp / (tp + fn)`; defined as 1 when the gold standard is empty.
+    pub fn recall(&self) -> f64 {
+        let gold = self.true_positives + self.false_negatives;
+        if gold == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / gold as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall; 0 when both are 0.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Merges two counts (e.g. both alignment directions, as the paper
+    /// accumulates class and relation numbers "for both directions").
+    #[must_use]
+    pub fn merged(&self, other: &Counts) -> Counts {
+        Counts {
+            true_positives: self.true_positives + other.true_positives,
+            false_positives: self.false_positives + other.false_positives,
+            false_negatives: self.false_negatives + other.false_negatives,
+        }
+    }
+
+    /// `"P=xx.x% R=xx.x% F=xx.x%"` for reports.
+    pub fn summary(&self) -> String {
+        format!(
+            "P={:5.1}% R={:5.1}% F={:5.1}%",
+            self.precision() * 100.0,
+            self.recall() * 100.0,
+            self.f1() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_scores() {
+        let c = Counts::new(10, 0, 0);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let c = Counts::new(8, 2, 2);
+        assert!((c.precision() - 0.8).abs() < 1e-12);
+        assert!((c.recall() - 0.8).abs() < 1e-12);
+        assert!((c.f1() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymmetric_values() {
+        let c = Counts::new(6, 2, 6);
+        assert!((c.precision() - 0.75).abs() < 1e-12);
+        assert!((c.recall() - 0.5).abs() < 1e-12);
+        assert!((c.f1() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let empty = Counts::default();
+        assert_eq!(empty.precision(), 1.0);
+        assert_eq!(empty.recall(), 1.0);
+        let no_pred = Counts::new(0, 0, 5);
+        assert_eq!(no_pred.precision(), 1.0);
+        assert_eq!(no_pred.recall(), 0.0);
+        assert_eq!(no_pred.f1(), 0.0);
+        let all_wrong = Counts::new(0, 5, 5);
+        assert_eq!(all_wrong.precision(), 0.0);
+        assert_eq!(all_wrong.f1(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = Counts::new(1, 2, 3);
+        let b = Counts::new(10, 20, 30);
+        assert_eq!(a.merged(&b), Counts::new(11, 22, 33));
+    }
+
+    #[test]
+    fn summary_formats() {
+        assert_eq!(Counts::new(1, 1, 1).summary(), "P= 50.0% R= 50.0% F= 50.0%");
+    }
+}

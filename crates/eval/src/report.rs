@@ -1,0 +1,132 @@
+//! Report formatting: the per-iteration tables of the paper (Tables 3
+//! and 5) and generic aligned-column output for the bench binaries.
+
+use paris_core::IterationStats;
+
+use crate::metrics::Counts;
+
+/// One row of a Table-3/Table-5-style per-iteration report.
+#[derive(Clone, Debug)]
+pub struct IterationRow {
+    /// Which iteration (1-based).
+    pub iteration: usize,
+    /// Fraction of instances that changed maximal assignment.
+    pub change: f64,
+    /// Instance-pass wall-clock seconds.
+    pub seconds: f64,
+    /// Instance metrics after this iteration.
+    pub instances: Counts,
+}
+
+/// Renders the per-iteration table the paper prints for yago–DBpedia and
+/// yago–IMDb.
+pub fn iteration_table(rows: &[IterationRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<5} {:>9} {:>9} {:>7} {:>7} {:>7}\n",
+        "Iter", "Change", "Time(s)", "Prec", "Rec", "F"
+    ));
+    for row in rows {
+        let change = if row.iteration == 1 {
+            "-".to_owned()
+        } else {
+            format!("{:.1}%", row.change * 100.0)
+        };
+        out.push_str(&format!(
+            "{:<5} {:>9} {:>9.2} {:>6.1}% {:>6.1}% {:>6.1}%\n",
+            row.iteration,
+            change,
+            row.seconds,
+            row.instances.precision() * 100.0,
+            row.instances.recall() * 100.0,
+            row.instances.f1() * 100.0,
+        ));
+    }
+    out
+}
+
+/// Renders a simple two-column-plus-score list (the Table 4 format).
+pub fn alignment_list(title: &str, rows: &[(String, String, f64)]) -> String {
+    let mut out = format!("{title}\n");
+    let width = rows.iter().map(|(a, _, _)| a.len()).max().unwrap_or(10).max(10);
+    for (sub, sup, p) in rows {
+        out.push_str(&format!("  {sub:<width$} ⊆ {sup:<24} {p:.2}\n"));
+    }
+    out
+}
+
+/// Summarizes a finished run's iteration stats as debug lines.
+pub fn stats_lines(stats: &[IterationStats]) -> String {
+    let mut out = String::new();
+    for s in stats {
+        out.push_str(&format!(
+            "iter {}: changed {:.1}% | {} equivalences | {} assigned | inst {:.2}s subrel {:.2}s\n",
+            s.iteration,
+            s.changed_fraction * 100.0,
+            s.instance_equivalences,
+            s.assigned_instances,
+            s.instance_seconds,
+            s.subrelation_seconds,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_table_formats() {
+        let rows = vec![
+            IterationRow {
+                iteration: 1,
+                change: 0.0,
+                seconds: 1.5,
+                instances: Counts::new(86, 14, 31),
+            },
+            IterationRow {
+                iteration: 2,
+                change: 0.124,
+                seconds: 1.7,
+                instances: Counts::new(89, 11, 27),
+            },
+        ];
+        let table = iteration_table(&rows);
+        assert!(table.contains("Iter"));
+        assert!(table.contains("12.4%"), "{table}");
+        assert!(table.lines().count() == 3);
+        // First iteration shows "-" for change, like the paper.
+        assert!(table.lines().nth(1).unwrap().contains('-'));
+    }
+
+    #[test]
+    fn stats_lines_formats() {
+        let stats = vec![IterationStats {
+            iteration: 1,
+            changed: 5,
+            changed_fraction: 0.05,
+            instance_equivalences: 123,
+            assigned_instances: 100,
+            subrelation_entries: 40,
+            instance_seconds: 0.5,
+            subrelation_seconds: 0.25,
+        }];
+        let s = stats_lines(&stats);
+        assert!(s.contains("iter 1"));
+        assert!(s.contains("5.0%"));
+        assert!(s.contains("123 equivalences"));
+    }
+
+    #[test]
+    fn alignment_list_formats() {
+        let rows = vec![
+            ("actedIn".to_owned(), "starring⁻".to_owned(), 0.95),
+            ("graduatedFrom".to_owned(), "almaMater".to_owned(), 0.93),
+        ];
+        let s = alignment_list("yago ⊆ DBpedia", &rows);
+        assert!(s.contains("actedIn"));
+        assert!(s.contains("⊆"));
+        assert!(s.contains("0.95"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Serializing a [`Kb`] back to triples.
+//!
+//! The export is the KB's *deductive closure* (§3): type memberships and
+//! subclass edges are emitted in their closed form, so exporting and
+//! re-importing is idempotent (verified by the round-trip tests) even
+//! though the original pre-closure statements are not retained.
+
+use paris_rdf::triple::Triple;
+use paris_rdf::vocab;
+use paris_rdf::Iri;
+
+use crate::ids::RelationId;
+use crate::store::Kb;
+
+/// Emits every statement of the KB as triples: facts (forward direction
+/// only — inverses are reconstructed on import), `rdf:type` memberships,
+/// and `rdfs:subClassOf` edges.
+pub fn to_triples(kb: &Kb) -> Vec<Triple> {
+    let mut out = Vec::with_capacity(kb.num_facts());
+    for base in 0..kb.num_base_relations() {
+        let r = RelationId::forward(base);
+        let predicate = kb.relation_iri(r).clone();
+        for (x, y) in kb.pairs(r) {
+            let Some(subject) = kb.iri(x) else {
+                // Literal in subject position cannot be serialized; emit
+                // the inverse-direction statement instead. This only
+                // happens for KBs built programmatically with literal
+                // subjects, which the builder does not produce.
+                continue;
+            };
+            out.push(Triple {
+                subject: subject.clone(),
+                predicate: predicate.clone(),
+                object: kb.term(y).clone(),
+            });
+        }
+    }
+    let rdf_type = Iri::new(vocab::RDF_TYPE);
+    for &class in kb.classes() {
+        let class_iri = kb.iri(class).expect("classes are resources");
+        for &member in kb.members(class) {
+            if let Some(m) = kb.iri(member) {
+                out.push(Triple {
+                    subject: m.clone(),
+                    predicate: rdf_type.clone(),
+                    object: class_iri.clone().into(),
+                });
+            }
+        }
+    }
+    let subclass_of = Iri::new(vocab::RDFS_SUBCLASS_OF);
+    for &class in kb.classes() {
+        let class_iri = kb.iri(class).expect("classes are resources");
+        for &sup in kb.superclasses(class) {
+            if let Some(s) = kb.iri(sup) {
+                out.push(Triple {
+                    subject: class_iri.clone(),
+                    predicate: subclass_of.clone(),
+                    object: s.clone().into(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Serializes the KB as an N-Triples document.
+pub fn to_ntriples(kb: &Kb) -> String {
+    paris_rdf::ntriples::to_string(&to_triples(kb))
+}
+
+/// Writes the KB to an N-Triples file.
+pub fn write_ntriples(kb: &Kb, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    std::fs::write(path, to_ntriples(kb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{kb_from_ntriples, KbBuilder};
+    use paris_rdf::Literal;
+
+    fn sample_kb() -> Kb {
+        let mut b = KbBuilder::new("t");
+        b.add_fact("http://x/elvis", "http://x/bornIn", "http://x/tupelo");
+        b.add_literal_fact("http://x/elvis", "http://x/name", Literal::plain("Elvis"));
+        b.add_type("http://x/elvis", "http://x/Singer");
+        b.add_subclass("http://x/Singer", "http://x/Person");
+        b.build()
+    }
+
+    #[test]
+    fn export_contains_all_statement_kinds() {
+        let kb = sample_kb();
+        let triples = to_triples(&kb);
+        assert!(triples.iter().any(|t| t.predicate.as_str() == "http://x/bornIn"));
+        assert!(triples.iter().any(|t| t.predicate.as_str() == vocab::RDF_TYPE));
+        assert!(triples.iter().any(|t| t.predicate.as_str() == vocab::RDFS_SUBCLASS_OF));
+        // closure: elvis is typed both Singer and Person
+        let types = triples
+            .iter()
+            .filter(|t| t.predicate.as_str() == vocab::RDF_TYPE)
+            .count();
+        assert_eq!(types, 2);
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let kb = sample_kb();
+        let reloaded = kb_from_ntriples("t2", &to_ntriples(&kb)).unwrap();
+        assert_eq!(kb.num_instances(), reloaded.num_instances());
+        assert_eq!(kb.num_classes(), reloaded.num_classes());
+        assert_eq!(kb.num_base_relations(), reloaded.num_base_relations());
+        assert_eq!(kb.num_facts(), reloaded.num_facts());
+        assert_eq!(kb.num_literals(), reloaded.num_literals());
+    }
+
+    #[test]
+    fn round_trip_is_idempotent_under_closure() {
+        let kb = sample_kb();
+        let once = kb_from_ntriples("t2", &to_ntriples(&kb)).unwrap();
+        let twice = kb_from_ntriples("t3", &to_ntriples(&once)).unwrap();
+        assert_eq!(once.num_facts(), twice.num_facts());
+        assert_eq!(
+            to_triples(&once).len(),
+            to_triples(&twice).len(),
+            "closure must not grow on re-export"
+        );
+    }
+
+    #[test]
+    fn functionality_survives_round_trip() {
+        let kb = sample_kb();
+        let reloaded = kb_from_ntriples("t2", &to_ntriples(&kb)).unwrap();
+        let r1 = kb.relation_by_iri("http://x/bornIn").unwrap();
+        let r2 = reloaded.relation_by_iri("http://x/bornIn").unwrap();
+        assert_eq!(kb.functionality(r1), reloaded.functionality(r2));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let kb = sample_kb();
+        let path = std::env::temp_dir().join("paris_kb_export_test.nt");
+        write_ntriples(&kb, &path).unwrap();
+        let reloaded = crate::builder::kb_from_file("t2", &path).unwrap();
+        assert_eq!(kb.num_facts(), reloaded.num_facts());
+        std::fs::remove_file(&path).ok();
+    }
+}

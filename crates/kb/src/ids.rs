@@ -1,0 +1,142 @@
+//! Dense integer identifiers for entities and relations.
+//!
+//! Every resource and literal of one knowledge base is interned to an
+//! [`EntityId`] (a dense `u32`), and every property to a [`RelationId`]
+//! whose **low bit encodes inverse-ness**: `r⁻¹ = r ^ 1`. This realizes the
+//! paper's assumption (§3) that "the ontology contains all inverse relations
+//! and their corresponding statements" without storing anything twice.
+
+use std::fmt;
+
+/// Identifier of an entity (instance, class, or literal) within one KB.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EntityId(pub u32);
+
+impl EntityId {
+    /// The dense index, usable directly into per-entity vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a dense index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        EntityId(u32::try_from(i).expect("entity count exceeds u32"))
+    }
+}
+
+impl fmt::Debug for EntityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Identifier of a directed relation within one KB.
+///
+/// Base relations receive even ids; `r.inverse()` flips the low bit, so the
+/// inverse of an inverse is the original relation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelationId(pub u32);
+
+impl RelationId {
+    /// Creates the forward direction of the `base`-th relation.
+    #[inline]
+    pub fn forward(base: usize) -> Self {
+        RelationId(u32::try_from(base * 2).expect("relation count exceeds u32/2"))
+    }
+
+    /// The opposite direction: `r⁻¹` for `r`, and `r` for `r⁻¹`.
+    #[inline]
+    #[must_use]
+    pub fn inverse(self) -> Self {
+        RelationId(self.0 ^ 1)
+    }
+
+    /// True iff this is an inverse (`r⁻¹`) direction.
+    #[inline]
+    pub fn is_inverse(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Index of the underlying base relation (shared by `r` and `r⁻¹`).
+    #[inline]
+    pub fn base_index(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    /// Dense index over *directed* relations (`0..2 * base_count`).
+    #[inline]
+    pub fn directed_index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a dense directed index.
+    #[inline]
+    pub fn from_directed_index(i: usize) -> Self {
+        RelationId(u32::try_from(i).expect("directed relation index exceeds u32"))
+    }
+}
+
+impl fmt::Debug for RelationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_inverse() {
+            write!(f, "r{}⁻¹", self.base_index())
+        } else {
+            write!(f, "r{}", self.base_index())
+        }
+    }
+}
+
+/// What kind of node an [`EntityId`] denotes.
+///
+/// The paper assumes the ontology "partitions the resources into classes and
+/// instances" (§3); literals form the third kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EntityKind {
+    /// An ordinary instance (alignable by the instance equations).
+    Instance,
+    /// A class (aligned by the subclass equations, Eq. 15–17).
+    Class,
+    /// A literal (equivalence clamped up front, §5.3).
+    Literal,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_is_involutive() {
+        let r = RelationId::forward(3);
+        assert!(!r.is_inverse());
+        assert!(r.inverse().is_inverse());
+        assert_eq!(r.inverse().inverse(), r);
+        assert_eq!(r.base_index(), 3);
+        assert_eq!(r.inverse().base_index(), 3);
+    }
+
+    #[test]
+    fn directed_indices_are_dense() {
+        let r0 = RelationId::forward(0);
+        let r1 = RelationId::forward(1);
+        assert_eq!(r0.directed_index(), 0);
+        assert_eq!(r0.inverse().directed_index(), 1);
+        assert_eq!(r1.directed_index(), 2);
+        assert_eq!(r1.inverse().directed_index(), 3);
+        assert_eq!(RelationId::from_directed_index(3), r1.inverse());
+    }
+
+    #[test]
+    fn entity_id_round_trip() {
+        let e = EntityId::from_index(42);
+        assert_eq!(e.index(), 42);
+        assert_eq!(format!("{e:?}"), "e42");
+    }
+
+    #[test]
+    fn debug_marks_inverse() {
+        assert_eq!(format!("{:?}", RelationId::forward(2)), "r2");
+        assert_eq!(format!("{:?}", RelationId::forward(2).inverse()), "r2⁻¹");
+    }
+}

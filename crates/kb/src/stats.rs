@@ -1,0 +1,92 @@
+//! Summary statistics of a knowledge base (paper Table 2).
+
+use crate::store::Kb;
+
+/// Counts reported in the paper's Table 2 plus a few extras useful for
+/// sizing synthetic datasets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KbStats {
+    /// KB display name.
+    pub name: String,
+    /// Number of instance entities.
+    pub instances: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// Number of base relations.
+    pub relations: usize,
+    /// Number of stored (deduplicated, forward) facts.
+    pub facts: usize,
+    /// Number of distinct literals.
+    pub literals: usize,
+}
+
+impl KbStats {
+    /// Gathers statistics from a KB.
+    pub fn of(kb: &Kb) -> Self {
+        KbStats {
+            name: kb.name().to_owned(),
+            instances: kb.num_instances(),
+            classes: kb.num_classes(),
+            relations: kb.num_base_relations(),
+            facts: kb.num_facts(),
+            literals: kb.num_literals(),
+        }
+    }
+
+    /// Renders one row of a Table-2-style report.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<14} {:>10} {:>9} {:>10} {:>10} {:>10}",
+            self.name, self.instances, self.classes, self.relations, self.facts, self.literals
+        )
+    }
+
+    /// The header matching [`KbStats::table_row`].
+    pub fn table_header() -> String {
+        format!(
+            "{:<14} {:>10} {:>9} {:>10} {:>10} {:>10}",
+            "Ontology", "#Instances", "#Classes", "#Relations", "#Facts", "#Literals"
+        )
+    }
+}
+
+impl std::fmt::Display for KbStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} instances, {} classes, {} relations, {} facts, {} literals",
+            self.name, self.instances, self.classes, self.relations, self.facts, self.literals
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KbBuilder;
+    use paris_rdf::Literal;
+
+    #[test]
+    fn counts_are_consistent() {
+        let mut b = KbBuilder::new("demo");
+        b.add_fact("http://x/a", "http://x/r", "http://x/b");
+        b.add_literal_fact("http://x/a", "http://x/name", Literal::plain("A"));
+        b.add_type("http://x/a", "http://x/C");
+        let kb = b.build();
+        let s = KbStats::of(&kb);
+        assert_eq!(s.name, "demo");
+        assert_eq!(s.instances, 2);
+        assert_eq!(s.classes, 1);
+        assert_eq!(s.relations, 2);
+        assert_eq!(s.facts, 2);
+        assert_eq!(s.literals, 1);
+    }
+
+    #[test]
+    fn header_and_row_align() {
+        let mut b = KbBuilder::new("x");
+        b.add_fact("http://x/a", "http://x/r", "http://x/b");
+        let s = KbStats::of(&b.build());
+        assert_eq!(KbStats::table_header().len(), s.table_row().len());
+    }
+}

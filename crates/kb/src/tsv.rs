@@ -1,0 +1,213 @@
+//! Loading knowledge bases from tab-separated plain-text files.
+//!
+//! §6.4 of the paper: "The content of the IMDb database is available for
+//! download as plain-text files. The format of each file is ad hoc but we
+//! transformed the content of the database in a fairly straightforward
+//! manner into a collection of triples." This module is that
+//! transformation path, for the simplest possible tabular convention:
+//!
+//! ```text
+//! # subject <TAB> relation <TAB> object
+//! imdb:nm0001    imdb:cast      imdb:tt0099
+//! imdb:tt0099    rdfs:label     "The Yukon Patrol"
+//! imdb:tt0099    rdf:type       imdb:movie
+//! ```
+//!
+//! * Blank lines and `#` comments are skipped.
+//! * Objects in double quotes are literals (with `\t`, `\n`, `\"`, `\\`
+//!   escapes); everything else is a resource.
+//! * Compact IRIs (`prefix:local`) are expanded through a caller-provided
+//!   [`Namespaces`] table; bare names fall back to a default namespace.
+//! * `rdf:type`, `rdfs:subClassOf`, and `rdfs:subPropertyOf` receive
+//!   their schema interpretation via the regular builder dispatch.
+
+use paris_rdf::namespace::Namespaces;
+use paris_rdf::{Iri, Literal, RdfError, Term, Triple};
+
+use crate::builder::KbBuilder;
+use crate::store::Kb;
+
+/// Parses the TSV fact format into triples.
+///
+/// `namespaces` expands compact IRIs; names without a registered prefix
+/// (or without any colon) are placed under `default_ns`.
+pub fn parse_tsv(
+    input: &str,
+    namespaces: &Namespaces,
+    default_ns: &str,
+) -> Result<Vec<Triple>, RdfError> {
+    let mut out = Vec::new();
+    for (number, raw) in input.lines().enumerate() {
+        let line = raw.trim_end_matches('\r');
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.splitn(3, '\t');
+        let (Some(s), Some(p), Some(o)) = (fields.next(), fields.next(), fields.next()) else {
+            return Err(RdfError::Syntax {
+                line: number as u64 + 1,
+                message: "expected three tab-separated fields".to_owned(),
+            });
+        };
+        let subject = resolve(s.trim(), namespaces, default_ns);
+        let predicate = resolve(p.trim(), namespaces, default_ns);
+        let object = object_term(o.trim(), namespaces, default_ns, number as u64 + 1)?;
+        out.push(Triple { subject, predicate, object });
+    }
+    Ok(out)
+}
+
+fn resolve(name: &str, namespaces: &Namespaces, default_ns: &str) -> Iri {
+    if name.contains("://") {
+        return Iri::new(name);
+    }
+    if let Some(iri) = namespaces.expand(name) {
+        return iri;
+    }
+    Iri::new(format!("{default_ns}{name}"))
+}
+
+fn object_term(
+    text: &str,
+    namespaces: &Namespaces,
+    default_ns: &str,
+    line: u64,
+) -> Result<Term, RdfError> {
+    if let Some(rest) = text.strip_prefix('"') {
+        let Some(body) = rest.strip_suffix('"') else {
+            return Err(RdfError::Syntax { line, message: "unterminated quoted literal".into() });
+        };
+        let mut value = String::with_capacity(body.len());
+        let mut chars = body.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                value.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('t') => value.push('\t'),
+                Some('n') => value.push('\n'),
+                Some('"') => value.push('"'),
+                Some('\\') => value.push('\\'),
+                other => {
+                    return Err(RdfError::Syntax {
+                        line,
+                        message: format!("illegal escape {other:?} in literal"),
+                    })
+                }
+            }
+        }
+        return Ok(Term::Literal(Literal::plain(value)));
+    }
+    Ok(Term::Iri(resolve(text, namespaces, default_ns)))
+}
+
+/// Parses a TSV document and builds a KB directly.
+pub fn kb_from_tsv(
+    name: &str,
+    input: &str,
+    namespaces: &Namespaces,
+    default_ns: &str,
+) -> Result<Kb, RdfError> {
+    let triples = parse_tsv(input, namespaces, default_ns)?;
+    let mut b = KbBuilder::new(name);
+    b.add_triples(&triples);
+    Ok(b.build())
+}
+
+/// Loads a TSV fact file and builds a KB. `rdf:`/`rdfs:` prefixes are
+/// pre-registered; other names land under `default_ns`.
+pub fn kb_from_tsv_file(
+    name: &str,
+    path: impl AsRef<std::path::Path>,
+    default_ns: &str,
+) -> Result<Kb, RdfError> {
+    let text = std::fs::read_to_string(path)?;
+    kb_from_tsv(name, &text, &Namespaces::with_well_known(), default_ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns() -> Namespaces {
+        let mut ns = Namespaces::with_well_known();
+        ns.insert("imdb", "http://imdb.test/");
+        ns
+    }
+
+    #[test]
+    fn basic_facts_parse() {
+        let doc = "imdb:nm1\timdb:cast\timdb:tt9\nimdb:tt9\trdfs:label\t\"The Yukon Patrol\"\n";
+        let triples = parse_tsv(doc, &ns(), "http://x/").unwrap();
+        assert_eq!(triples.len(), 2);
+        assert_eq!(triples[0].subject.as_str(), "http://imdb.test/nm1");
+        assert_eq!(triples[1].object.as_literal().unwrap().value(), "The Yukon Patrol");
+        assert_eq!(triples[1].predicate.as_str(), paris_rdf::vocab::RDFS_LABEL);
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let doc = "# header\n\nimdb:a\timdb:r\timdb:b\n  \n";
+        assert_eq!(parse_tsv(doc, &ns(), "http://x/").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn bare_names_use_default_namespace() {
+        let doc = "elvis\tbornIn\ttupelo\n";
+        let triples = parse_tsv(doc, &ns(), "http://default/").unwrap();
+        assert_eq!(triples[0].subject.as_str(), "http://default/elvis");
+        assert_eq!(triples[0].predicate.as_str(), "http://default/bornIn");
+    }
+
+    #[test]
+    fn full_iris_pass_through() {
+        let doc = "http://a/x\thttp://a/r\thttp://a/y\n";
+        let triples = parse_tsv(doc, &ns(), "http://d/").unwrap();
+        assert_eq!(triples[0].subject.as_str(), "http://a/x");
+    }
+
+    #[test]
+    fn literal_escapes() {
+        let doc = "imdb:a\timdb:note\t\"tab\\there \\\"quoted\\\" back\\\\slash\"\n";
+        let triples = parse_tsv(doc, &ns(), "http://x/").unwrap();
+        assert_eq!(
+            triples[0].object.as_literal().unwrap().value(),
+            "tab\there \"quoted\" back\\slash"
+        );
+    }
+
+    #[test]
+    fn malformed_lines_error_with_number() {
+        let doc = "imdb:a\timdb:r\timdb:b\nonly-two\tfields\n";
+        match parse_tsv(doc, &ns(), "http://x/") {
+            Err(RdfError::Syntax { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn schema_vocabulary_reaches_the_builder() {
+        let doc = "\
+imdb:elvis\trdf:type\timdb:Singer
+imdb:Singer\trdfs:subClassOf\timdb:Person
+imdb:elvis\trdfs:label\t\"Elvis\"
+";
+        let kb = kb_from_tsv("t", doc, &ns(), "http://x/").unwrap();
+        assert_eq!(kb.num_classes(), 2);
+        let elvis = kb.entity_by_iri("http://imdb.test/elvis").unwrap();
+        assert_eq!(kb.types_of(elvis).len(), 2, "closure applied");
+        assert_eq!(kb.num_facts(), 1, "label is the only plain fact");
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let path = std::env::temp_dir().join("paris_tsv_test.tsv");
+        std::fs::write(&path, "a\tr\tb\na\tlabel\t\"A!\"\n").unwrap();
+        let kb = kb_from_tsv_file("t", &path, "http://d/").unwrap();
+        assert_eq!(kb.num_facts(), 2);
+        assert_eq!(kb.num_literals(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,111 @@
+//! Edit-distance primitives.
+//!
+//! §5.3: "The probability that two strings are equal can be inverse
+//! proportional to their edit distance." We provide Levenshtein distance
+//! (banded, O(min(n,m)) memory) and a similarity normalization.
+
+/// Levenshtein distance between two strings, by Unicode scalar values.
+///
+/// Classic two-row dynamic program; strings are compared by `char`, so
+/// multi-byte characters count as single edits.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    if a == b {
+        return 0;
+    }
+    let a_chars: Vec<char> = a.chars().collect();
+    let b_chars: Vec<char> = b.chars().collect();
+    // Keep the shorter string in the inner loop for memory locality.
+    let (short, long) =
+        if a_chars.len() <= b_chars.len() { (&a_chars, &b_chars) } else { (&b_chars, &a_chars) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut current = vec![0usize; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        current[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let substitution = prev[j] + usize::from(lc != sc);
+            current[j + 1] = substitution.min(prev[j + 1] + 1).min(current[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut current);
+    }
+    prev[short.len()]
+}
+
+/// Similarity in `[0, 1]`: `1 − lev(a, b) / max(|a|, |b|)`.
+///
+/// Empty-vs-empty is 1 (identical); empty-vs-nonempty is 0.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Jaccard similarity of the two token multisets (as sets).
+pub fn token_jaccard(a: &[String], b: &[String]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let sa: std::collections::BTreeSet<&str> = a.iter().map(String::as_str).collect();
+    let sb: std::collections::BTreeSet<&str> = b.iter().map(String::as_str).collect();
+    let inter = sa.intersection(&sb).count();
+    let union = sa.union(&sb).count();
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_cases() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(levenshtein("abcdef", "azced"), levenshtein("azced", "abcdef"));
+    }
+
+    #[test]
+    fn unicode_counts_scalars() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+        assert_eq!(levenshtein("日本", "日本語"), 1);
+    }
+
+    #[test]
+    fn similarity_range() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("a", ""), 0.0);
+        assert_eq!(levenshtein_similarity("abc", "abc"), 1.0);
+        let s = levenshtein_similarity("kitten", "sitting");
+        assert!((s - (1.0 - 3.0 / 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_cases() {
+        let t = |s: &str| crate::normalize::tokens(s);
+        assert_eq!(token_jaccard(&t("a b c"), &t("a b c")), 1.0);
+        assert_eq!(token_jaccard(&t("a b"), &t("c d")), 0.0);
+        assert!((token_jaccard(&t("a b c"), &t("b c d")) - 0.5).abs() < 1e-12);
+        assert_eq!(token_jaccard(&t(""), &t("")), 1.0);
+    }
+
+    #[test]
+    fn triangle_inequality_sample() {
+        let (a, b, c) = ("restaurant", "restorant", "resturant");
+        assert!(levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c));
+    }
+}

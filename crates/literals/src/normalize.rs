@@ -1,0 +1,71 @@
+//! String normalization used by literal matchers.
+//!
+//! §6.3 of the paper: after plain identity matching failed on restaurant
+//! phone numbers ("213/467-1108" vs "213-467-1108"), the authors plugged in
+//! "a different string equality measure [that] normalizes two strings by
+//! removing all non-alphanumeric characters and lowercasing them".
+
+/// Removes all non-alphanumeric characters and lowercases the rest —
+/// the paper's normalization, verbatim.
+pub fn normalize_alnum(s: &str) -> String {
+    s.chars()
+        .filter(|c| c.is_alphanumeric())
+        .flat_map(char::to_lowercase)
+        .collect()
+}
+
+/// Splits into lowercase alphanumeric tokens.
+pub fn tokens(s: &str) -> Vec<String> {
+    s.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(str::to_lowercase)
+        .collect()
+}
+
+/// Lowercase alphanumeric tokens, sorted — a word-order-insensitive key
+/// ("Sugata Sanshirô" and "Sanshiro Sugata" agree after accent folding is
+/// *not* applied; token sorting handles the word-swap half of that example).
+pub fn token_sort_key(s: &str) -> String {
+    let mut ts = tokens(s);
+    ts.sort_unstable();
+    ts.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phone_number_formats_agree() {
+        assert_eq!(normalize_alnum("213/467-1108"), normalize_alnum("213-467-1108"));
+        assert_eq!(normalize_alnum("213/467-1108"), "2134671108");
+    }
+
+    #[test]
+    fn case_and_punctuation_fold() {
+        assert_eq!(normalize_alnum("L'Étoile, Paris!"), "létoileparis");
+    }
+
+    #[test]
+    fn empty_and_symbol_only() {
+        assert_eq!(normalize_alnum(""), "");
+        assert_eq!(normalize_alnum("-/-"), "");
+    }
+
+    #[test]
+    fn tokens_split_on_punctuation() {
+        assert_eq!(tokens("King of the Royal-Mounted"), vec!["king", "of", "the", "royal", "mounted"]);
+    }
+
+    #[test]
+    fn token_sort_key_is_order_insensitive() {
+        assert_eq!(token_sort_key("Sanshiro Sugata"), token_sort_key("Sugata  Sanshiro"));
+        assert_ne!(token_sort_key("Sanshiro Sugata"), token_sort_key("Sugata Sanshirô"));
+    }
+
+    #[test]
+    fn unicode_lowercasing_expands() {
+        // 'İ' lowercases to "i\u{307}" — two chars; must not panic.
+        assert_eq!(normalize_alnum("İstanbul"), "i\u{307}stanbul");
+    }
+}

@@ -1,0 +1,93 @@
+//! Numeric literal handling.
+//!
+//! §5.3: "We normalize numeric values by removing all data type or
+//! dimension information", and "the probability that two numeric values of
+//! the same dimension are equal can be a function of their proportional
+//! difference".
+
+/// Attempts to read a literal's lexical form as a number.
+///
+/// Accepts optional surrounding whitespace, a leading sign, decimal point,
+/// and exponent — i.e. the union of the XSD numeric lexical spaces. Returns
+/// `None` for NaN/infinite results and non-numeric strings.
+pub fn parse_numeric(value: &str) -> Option<f64> {
+    let trimmed = value.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    let parsed: f64 = trimmed.parse().ok()?;
+    parsed.is_finite().then_some(parsed)
+}
+
+/// Proportional difference `|a − b| / max(|a|, |b|)`, with 0 for two zeros.
+pub fn proportional_difference(a: f64, b: f64) -> f64 {
+    let denom = a.abs().max(b.abs());
+    if denom == 0.0 {
+        0.0
+    } else {
+        (a - b).abs() / denom
+    }
+}
+
+/// Equality probability for two numbers: linear fall-off from 1 at equal
+/// values to 0 at `tolerance` proportional difference.
+pub fn numeric_probability(a: f64, b: f64, tolerance: f64) -> f64 {
+    debug_assert!(tolerance > 0.0, "tolerance must be positive");
+    let d = proportional_difference(a, b);
+    (1.0 - d / tolerance).max(0.0)
+}
+
+/// A canonical blocking key so that numerically-equal lexical forms ("42",
+/// "42.0", "4.2e1") land in the same candidate bucket.
+pub fn canonical_key(x: f64) -> String {
+    // Round to 12 significant digits to absorb parse noise, then render
+    // minimally. f64 formatting in Rust is already shortest-round-trip.
+    let rounded = format!("{x:.12e}").parse::<f64>().unwrap_or(x);
+    format!("{rounded}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_xsd_forms() {
+        assert_eq!(parse_numeric("42"), Some(42.0));
+        assert_eq!(parse_numeric("-3.25"), Some(-3.25));
+        assert_eq!(parse_numeric(" 4.2e1 "), Some(42.0));
+        assert_eq!(parse_numeric("+0.5"), Some(0.5));
+    }
+
+    #[test]
+    fn parse_rejects_non_numbers() {
+        assert_eq!(parse_numeric(""), None);
+        assert_eq!(parse_numeric("abc"), None);
+        assert_eq!(parse_numeric("1 2"), None);
+        assert_eq!(parse_numeric("NaN"), None);
+        assert_eq!(parse_numeric("inf"), None);
+    }
+
+    #[test]
+    fn proportional_difference_cases() {
+        assert_eq!(proportional_difference(0.0, 0.0), 0.0);
+        assert_eq!(proportional_difference(100.0, 100.0), 0.0);
+        assert!((proportional_difference(100.0, 90.0) - 0.1).abs() < 1e-12);
+        assert!((proportional_difference(-100.0, 100.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_fall_off() {
+        assert_eq!(numeric_probability(10.0, 10.0, 0.05), 1.0);
+        assert_eq!(numeric_probability(10.0, 20.0, 0.05), 0.0);
+        let p = numeric_probability(100.0, 99.0, 0.05);
+        assert!(p > 0.0 && p < 1.0);
+    }
+
+    #[test]
+    fn canonical_keys_unify_lexical_forms() {
+        let k = |s: &str| canonical_key(parse_numeric(s).unwrap());
+        assert_eq!(k("42"), k("42.0"));
+        assert_eq!(k("42"), k("4.2e1"));
+        assert_ne!(k("42"), k("42.1"));
+    }
+}

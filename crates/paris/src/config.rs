@@ -1,0 +1,214 @@
+//! Algorithm configuration (paper §5.4).
+//!
+//! The paper's claim is that PARIS has *no dataset-dependent tuning
+//! parameters*: only the bootstrap value θ (whose choice provably does not
+//! affect the final scores — reproduced by the `theta_sweep` bench) and the
+//! application-dependent literal similarity function. Everything else here
+//! toggles the design alternatives evaluated in §6.3 so the ablation
+//! benches can flip them; the defaults are exactly the paper's choices.
+
+use paris_literals::LiteralSimilarity;
+
+/// Configuration of one PARIS run. `Default` reproduces the paper's setup.
+#[derive(Clone, Debug)]
+pub struct ParisConfig {
+    /// Bootstrap value for `Pr(r ⊆ r′)` in the very first iteration
+    /// (§5.1). Paper value: 0.1. §6.3 shows (and the `theta_sweep` bench
+    /// reproduces) that the final scores do not depend on it.
+    pub theta: f64,
+    /// Truncation threshold: equivalence probabilities below it are
+    /// treated as zero and not stored (§5.2). In the bootstrap iteration
+    /// all scores are scaled by θ, so the effective cutoff there is
+    /// `2·θ·truncation` (≈ the score of a single shared value of a
+    /// fully inverse-functional relation is `2θ−θ²`); this keeps the
+    /// truncation meaningful for any θ and preserves θ-independence.
+    pub truncation: f64,
+    /// The clamped literal-equivalence function (§5.3).
+    /// Paper default: identity after numeric normalization.
+    pub literal_similarity: LiteralSimilarity,
+    /// Use Eq. (14) (positive *and* negative evidence) instead of Eq. (13)
+    /// (positive only). Paper default: off — "Equation (4) suffices in
+    /// practice" (§4.1, §6.3 experiment 3).
+    pub negative_evidence: bool,
+    /// Propagate *all* equivalence probabilities of the previous iteration
+    /// instead of only those of the maximal assignment. Paper default: off;
+    /// turning it on "changed the results only marginally" but costs an
+    /// order of magnitude of runtime (§5.2, §6.3 experiment 2).
+    pub propagate_all_equalities: bool,
+    /// Cap on the number of pairs evaluated per relation in Eq. (12) and
+    /// per class in Eq. (17). Paper value: 10 000 (§5.2).
+    pub max_pairs: usize,
+    /// Hard iteration cap (the paper always converged "after a few
+    /// iterations"; 4 on the real-world datasets).
+    pub max_iterations: usize,
+    /// Convergence: stop once fewer than this fraction of instances change
+    /// their maximal assignment between iterations. Paper: 1 % (§6.1).
+    ///
+    /// (The Appendix-A functionality variant is a property of the
+    /// [`Kb`](paris_kb::Kb) — see
+    /// [`Kb::set_functionality_variant`](paris_kb::Kb::set_functionality_variant)
+    /// — because functionalities are computed once per ontology, §5.1.)
+    pub convergence_change: f64,
+    /// Progressive dampening factor in `[0, 1)` (paper §5.1: "one could
+    /// always enforce convergence of such iterations by introducing a
+    /// progressively increasing dampening factor"). At iteration `k ≥ 2`
+    /// the fresh scores are blended with the previous iteration's as
+    /// `(1 − d_k)·new + d_k·old` with `d_k = damping · (1 − 1/k)`, so the
+    /// brake tightens as the iteration proceeds. `0` (the paper's actual
+    /// setting — their runs converged without it) disables blending.
+    pub damping: f64,
+    /// Shard the per-instance computation across this many threads
+    /// (`0` = all available cores, `1` = sequential). Results are
+    /// independent of the thread count.
+    pub threads: usize,
+}
+
+impl Default for ParisConfig {
+    fn default() -> Self {
+        ParisConfig {
+            theta: 0.1,
+            truncation: 0.1,
+            literal_similarity: LiteralSimilarity::Identity,
+            negative_evidence: false,
+            propagate_all_equalities: false,
+            max_pairs: 10_000,
+            max_iterations: 10,
+            convergence_change: 0.01,
+            damping: 0.0,
+            threads: 0,
+        }
+    }
+}
+
+impl ParisConfig {
+    /// Builder-style: set θ.
+    #[must_use]
+    pub fn with_theta(mut self, theta: f64) -> Self {
+        assert!(theta > 0.0 && theta < 1.0, "θ must be in (0, 1)");
+        self.theta = theta;
+        self
+    }
+
+    /// Builder-style: set the truncation threshold (§5.2).
+    #[must_use]
+    pub fn with_truncation(mut self, truncation: f64) -> Self {
+        assert!((0.0..1.0).contains(&truncation), "truncation must be in [0, 1)");
+        self.truncation = truncation;
+        self
+    }
+
+    /// The effective truncation cutoff for an instance pass:
+    /// θ-scaled while bootstrapping, plain afterwards.
+    pub fn effective_cutoff(&self, bootstrap: bool) -> f64 {
+        if bootstrap {
+            2.0 * self.theta * self.truncation
+        } else {
+            self.truncation
+        }
+    }
+
+    /// Builder-style: set the literal similarity function.
+    #[must_use]
+    pub fn with_literal_similarity(mut self, sim: LiteralSimilarity) -> Self {
+        self.literal_similarity = sim;
+        self
+    }
+
+    /// Builder-style: toggle negative evidence (Eq. 14).
+    #[must_use]
+    pub fn with_negative_evidence(mut self, on: bool) -> Self {
+        self.negative_evidence = on;
+        self
+    }
+
+    /// Builder-style: toggle full-probability propagation (§6.3 exp. 2).
+    #[must_use]
+    pub fn with_propagate_all(mut self, on: bool) -> Self {
+        self.propagate_all_equalities = on;
+        self
+    }
+
+    /// Builder-style: set the iteration cap.
+    #[must_use]
+    pub fn with_max_iterations(mut self, n: usize) -> Self {
+        assert!(n >= 1, "need at least one iteration");
+        self.max_iterations = n;
+        self
+    }
+
+    /// Builder-style: set the progressive dampening factor (§5.1).
+    #[must_use]
+    pub fn with_damping(mut self, damping: f64) -> Self {
+        assert!((0.0..1.0).contains(&damping), "damping must be in [0, 1)");
+        self.damping = damping;
+        self
+    }
+
+    /// The effective dampening weight `d_k` at iteration `k` (1-based):
+    /// zero in the first iteration, approaching `damping` from below.
+    pub fn damping_at(&self, iteration: usize) -> f64 {
+        if iteration < 2 {
+            0.0
+        } else {
+            self.damping * (1.0 - 1.0 / iteration as f64)
+        }
+    }
+
+    /// Builder-style: set thread count (`1` forces sequential execution).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The effective number of worker threads.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = ParisConfig::default();
+        assert_eq!(c.theta, 0.1);
+        assert_eq!(c.literal_similarity, LiteralSimilarity::Identity);
+        assert!(!c.negative_evidence);
+        assert!(!c.propagate_all_equalities);
+        assert_eq!(c.max_pairs, 10_000);
+        assert_eq!(c.convergence_change, 0.01);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = ParisConfig::default()
+            .with_theta(0.05)
+            .with_negative_evidence(true)
+            .with_propagate_all(true)
+            .with_max_iterations(3)
+            .with_threads(2);
+        assert_eq!(c.theta, 0.05);
+        assert!(c.negative_evidence);
+        assert!(c.propagate_all_equalities);
+        assert_eq!(c.max_iterations, 3);
+        assert_eq!(c.effective_threads(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "θ must be in (0, 1)")]
+    fn theta_must_be_probability() {
+        let _ = ParisConfig::default().with_theta(1.5);
+    }
+
+    #[test]
+    fn auto_threads_is_positive() {
+        assert!(ParisConfig::default().effective_threads() >= 1);
+    }
+}

@@ -1,0 +1,268 @@
+//! Sparse storage of instance-equivalence probabilities.
+//!
+//! §5.2 of the paper: the model distinguishes *true* equivalences
+//! (`Pr > 0`), *false* ones (`Pr = 0`), and *unknown* ones (never
+//! computed) — and since every equation consumes probabilities through
+//! `∏ (1 − P)`, unknown and false coincide, so zeros are simply not
+//! stored. Each KB-1 entity holds a short sorted row of
+//! `(KB-2 entity, probability)` candidates.
+
+use paris_kb::{EntityId, FxHashMap};
+
+/// One candidate row per source entity: `(target entity, probability)`
+/// pairs, sorted by entity id. The common currency between the passes.
+pub type CandidateRows = Vec<Vec<(EntityId, f64)>>;
+
+/// A sparse `Pr(x ≡ x′)` matrix between the entities of two KBs.
+#[derive(Clone, Debug, Default)]
+pub struct EquivStore {
+    /// Row per KB-1 entity: candidates in KB-2, sorted by entity id.
+    forward: Vec<Vec<(EntityId, f64)>>,
+    /// Row per KB-2 entity: candidates in KB-1, derived from `forward`.
+    backward: Vec<Vec<(EntityId, f64)>>,
+}
+
+impl EquivStore {
+    /// An empty store sized for `n1` KB-1 entities and `n2` KB-2 entities.
+    pub fn new(n1: usize, n2: usize) -> Self {
+        EquivStore { forward: vec![Vec::new(); n1], backward: vec![Vec::new(); n2] }
+    }
+
+    /// Builds a store from per-KB-1-entity rows, deriving the backward
+    /// index. Rows need not be sorted; zero and sub-threshold entries
+    /// should already have been dropped by the caller.
+    pub fn from_rows(rows: Vec<Vec<(EntityId, f64)>>, n2: usize) -> Self {
+        let mut forward = rows;
+        let mut backward: Vec<Vec<(EntityId, f64)>> = vec![Vec::new(); n2];
+        for (i, row) in forward.iter_mut().enumerate() {
+            row.sort_unstable_by_key(|&(e, _)| e);
+            let x1 = EntityId::from_index(i);
+            for &(x2, p) in row.iter() {
+                backward[x2.index()].push((x1, p));
+            }
+        }
+        for row in &mut backward {
+            row.sort_unstable_by_key(|&(e, _)| e);
+        }
+        EquivStore { forward, backward }
+    }
+
+    /// The number of KB-1 rows.
+    pub fn len_kb1(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// The number of KB-2 rows.
+    pub fn len_kb2(&self) -> usize {
+        self.backward.len()
+    }
+
+    /// Candidates of a KB-1 entity, sorted by KB-2 entity id.
+    #[inline]
+    pub fn candidates(&self, x: EntityId) -> &[(EntityId, f64)] {
+        &self.forward[x.index()]
+    }
+
+    /// Candidates of a KB-2 entity, sorted by KB-1 entity id.
+    #[inline]
+    pub fn candidates_rev(&self, x2: EntityId) -> &[(EntityId, f64)] {
+        &self.backward[x2.index()]
+    }
+
+    /// `Pr(x ≡ x′)`, zero if unknown.
+    pub fn prob(&self, x: EntityId, x2: EntityId) -> f64 {
+        match self.forward[x.index()].binary_search_by_key(&x2, |&(e, _)| e) {
+            Ok(i) => self.forward[x.index()][i].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Total number of stored (non-zero) equivalences.
+    pub fn num_pairs(&self) -> usize {
+        self.forward.iter().map(Vec::len).sum()
+    }
+
+    /// The maximal assignment (§4.2): for each KB-1 entity, the KB-2
+    /// candidate with the maximum score. Ties break toward the smallest
+    /// entity id, making runs deterministic.
+    pub fn maximal_assignment(&self) -> Vec<Option<(EntityId, f64)>> {
+        self.forward.iter().map(|row| best_of(row)).collect()
+    }
+
+    /// The maximal assignment in the KB-2 → KB-1 direction.
+    pub fn maximal_assignment_rev(&self) -> Vec<Option<(EntityId, f64)>> {
+        self.backward.iter().map(|row| best_of(row)).collect()
+    }
+
+    /// Counts how many KB-1 entities have a different maximal assignment
+    /// in `other`, plus entities assigned in exactly one of the two.
+    ///
+    /// This is the paper's convergence measure: iterate "until the entity
+    /// pairs under the maximal assignments change no more" (§5.1).
+    pub fn assignment_changes(&self, other: &EquivStore) -> usize {
+        assert_eq!(self.len_kb1(), other.len_kb1(), "stores must cover the same KB");
+        self.forward
+            .iter()
+            .zip(&other.forward)
+            .filter(|(a, b)| best_of(a).map(|(e, _)| e) != best_of(b).map(|(e, _)| e))
+            .count()
+    }
+}
+
+fn best_of(row: &[(EntityId, f64)]) -> Option<(EntityId, f64)> {
+    let mut best: Option<(EntityId, f64)> = None;
+    for &(e, p) in row {
+        match best {
+            // Strict `>` keeps the smallest id on ties (rows are sorted).
+            Some((_, bp)) if p <= bp => {}
+            _ => best = Some((e, p)),
+        }
+    }
+    best
+}
+
+/// A per-pass, read-only view of "which KB-2 entities may `y` equal, with
+/// what probability" — the previous iteration's equalities (§5.2: "our
+/// algorithm considers only the equalities of the previous maximal
+/// assignment"), merged with the clamped literal equivalences.
+#[derive(Clone, Debug, Default)]
+pub struct CandidateView {
+    rows: Vec<Vec<(EntityId, f64)>>,
+    informed: bool,
+}
+
+impl CandidateView {
+    /// Builds the view for one direction.
+    ///
+    /// The rows combine the previous iteration's [`EquivStore`] (already
+    /// reduced to the maximal assignment unless
+    /// `propagate_all_equalities` is set) with the clamped literal bridge
+    /// (never reduced: a literal may legitimately equal several literals
+    /// on the other side). A view built this way is *informed*: its
+    /// probabilities reflect computed sub-relation scores.
+    pub fn new(rows: Vec<Vec<(EntityId, f64)>>) -> Self {
+        CandidateView { rows, informed: true }
+    }
+
+    /// A view whose instance probabilities are still θ-scaled (they come
+    /// from the bootstrap iteration). Negative evidence (Eq. 14) must not
+    /// consume such probabilities: `1 − Pr` would read a correctly
+    /// matched neighbour as ~80 % *mismatched* and destroy every
+    /// candidate.
+    pub fn uninformed(rows: Vec<Vec<(EntityId, f64)>>) -> Self {
+        CandidateView { rows, informed: false }
+    }
+
+    /// Whether the instance probabilities in this view were computed with
+    /// informed (non-bootstrap) sub-relation scores.
+    pub fn is_informed(&self) -> bool {
+        self.informed
+    }
+
+    /// An empty view over `n` entities.
+    pub fn empty(n: usize) -> Self {
+        CandidateView { rows: vec![Vec::new(); n], informed: false }
+    }
+
+    /// Candidates of entity `y`.
+    #[inline]
+    pub fn candidates(&self, y: EntityId) -> &[(EntityId, f64)] {
+        &self.rows[y.index()]
+    }
+
+    /// Number of entities covered.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the view covers no entities.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Probability lookup via a transient hash map when rows get long.
+    pub fn prob(&self, y: EntityId, y2: EntityId) -> f64 {
+        self.rows[y.index()]
+            .iter()
+            .find(|&&(e, _)| e == y2)
+            .map_or(0.0, |&(_, p)| p)
+    }
+
+    /// Builds a hash-map snapshot of one row (used by the sub-relation
+    /// pass, which probes the same row many times).
+    pub fn row_map(&self, y: EntityId) -> FxHashMap<EntityId, f64> {
+        self.rows[y.index()].iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: usize) -> EntityId {
+        EntityId::from_index(i)
+    }
+
+    #[test]
+    fn from_rows_builds_backward_index() {
+        let rows = vec![vec![(e(1), 0.9), (e(0), 0.3)], vec![], vec![(e(1), 0.5)]];
+        let s = EquivStore::from_rows(rows, 2);
+        assert_eq!(s.prob(e(0), e(1)), 0.9);
+        assert_eq!(s.prob(e(0), e(0)), 0.3);
+        assert_eq!(s.prob(e(1), e(0)), 0.0);
+        assert_eq!(s.candidates_rev(e(1)), &[(e(0), 0.9), (e(2), 0.5)]);
+        assert_eq!(s.num_pairs(), 3);
+    }
+
+    #[test]
+    fn maximal_assignment_picks_best() {
+        let rows = vec![vec![(e(0), 0.3), (e(1), 0.9)], vec![(e(0), 0.2)], vec![]];
+        let s = EquivStore::from_rows(rows, 2);
+        let m = s.maximal_assignment();
+        assert_eq!(m[0], Some((e(1), 0.9)));
+        assert_eq!(m[1], Some((e(0), 0.2)));
+        assert_eq!(m[2], None);
+    }
+
+    #[test]
+    fn ties_break_to_smallest_id() {
+        let rows = vec![vec![(e(0), 0.5), (e(1), 0.5)]];
+        let s = EquivStore::from_rows(rows, 2);
+        assert_eq!(s.maximal_assignment()[0], Some((e(0), 0.5)));
+    }
+
+    #[test]
+    fn assignment_changes_counts_diffs() {
+        let a = EquivStore::from_rows(vec![vec![(e(0), 0.9)], vec![(e(1), 0.8)], vec![]], 2);
+        let b = EquivStore::from_rows(vec![vec![(e(1), 0.9)], vec![(e(1), 0.3)], vec![]], 2);
+        // row 0 changed target, row 1 same target (different score), row 2 same (none)
+        assert_eq!(a.assignment_changes(&b), 1);
+        assert_eq!(a.assignment_changes(&a), 0);
+    }
+
+    #[test]
+    fn changes_count_appearing_and_disappearing() {
+        let a = EquivStore::from_rows(vec![vec![(e(0), 0.9)], vec![]], 1);
+        let b = EquivStore::from_rows(vec![vec![], vec![(e(0), 0.9)]], 1);
+        assert_eq!(a.assignment_changes(&b), 2);
+    }
+
+    #[test]
+    fn reverse_maximal_assignment() {
+        let rows = vec![vec![(e(0), 0.9)], vec![(e(0), 0.95)]];
+        let s = EquivStore::from_rows(rows, 1);
+        assert_eq!(s.maximal_assignment_rev()[0], Some((e(1), 0.95)));
+    }
+
+    #[test]
+    fn candidate_view_lookups() {
+        let v = CandidateView::new(vec![vec![(e(3), 0.7)], vec![]]);
+        assert_eq!(v.candidates(e(0)), &[(e(3), 0.7)]);
+        assert_eq!(v.prob(e(0), e(3)), 0.7);
+        assert_eq!(v.prob(e(0), e(2)), 0.0);
+        assert_eq!(v.prob(e(1), e(3)), 0.0);
+        assert_eq!(v.row_map(e(0)).len(), 1);
+        assert_eq!(v.len(), 2);
+        assert!(!v.is_empty());
+    }
+}

@@ -1,0 +1,478 @@
+//! The PARIS fixed-point driver (paper §5.1).
+//!
+//! "First, we compute the probabilities of equivalences of instances.
+//! Then, we compute the probabilities for sub-relationships. These two
+//! steps are iterated until convergence. In a last step, the equivalences
+//! between classes are computed … from the final assignment. To bootstrap
+//! the algorithm in the very first step, we set Pr(r ⊆ r′) = θ."
+//!
+//! Functionalities are computed once per ontology up front (they live on
+//! the [`Kb`]); literal equivalences are clamped once up front (the
+//! [`LiteralBridge`]); convergence is declared when fewer than
+//! `convergence_change` of the instances change their maximal assignment.
+
+use std::time::Instant;
+
+use paris_kb::{EntityId, Kb};
+use paris_rdf::Iri;
+
+use crate::config::ParisConfig;
+use crate::equiv::{CandidateView, EquivStore};
+use crate::instance::instance_pass;
+use crate::literal_bridge::LiteralBridge;
+use crate::subclass::{subclass_pass, ClassAlignment};
+use crate::subrel::{subrelation_pass, SubrelStore};
+
+/// Measurements of one fixed-point iteration (one row of the paper's
+/// Tables 3 and 5).
+#[derive(Clone, Debug)]
+pub struct IterationStats {
+    /// 1-based iteration number.
+    pub iteration: usize,
+    /// Instances whose maximal assignment differs from the previous
+    /// iteration.
+    pub changed: usize,
+    /// `changed` relative to the number of currently assigned instances
+    /// (the paper's "change to previous" column).
+    pub changed_fraction: f64,
+    /// Non-zero instance equivalences stored after this iteration.
+    pub instance_equivalences: usize,
+    /// KB-1 instances that have at least one candidate.
+    pub assigned_instances: usize,
+    /// Stored sub-relation score entries (both directions).
+    pub subrelation_entries: usize,
+    /// Wall-clock seconds of the instance pass.
+    pub instance_seconds: f64,
+    /// Wall-clock seconds of the two sub-relation passes.
+    pub subrelation_seconds: f64,
+}
+
+/// The complete output of a PARIS run.
+pub struct AlignmentResult<'a> {
+    /// The first (source) ontology.
+    pub kb1: &'a Kb,
+    /// The second (target) ontology.
+    pub kb2: &'a Kb,
+    /// Final instance-equivalence probabilities.
+    pub instances: EquivStore,
+    /// Final sub-relation scores (both directions).
+    pub subrelations: SubrelStore,
+    /// Class-inclusion scores (both directions), computed from the final
+    /// assignment.
+    pub classes: ClassAlignment,
+    /// Per-iteration measurements, in order.
+    pub iterations: Vec<IterationStats>,
+    /// Number of clamped literal-equivalence pairs.
+    pub literal_pairs: usize,
+    /// Wall-clock seconds of the final class pass.
+    pub class_seconds: f64,
+    /// The convergence threshold the run was configured with.
+    convergence_change_used: f64,
+    /// The full configuration of the run (needed to rebuild candidate
+    /// views for explanations).
+    pub(crate) config: ParisConfig,
+}
+
+impl AlignmentResult<'_> {
+    /// The final maximal assignment restricted to instances:
+    /// `(x, x′, Pr)` triples, one per assigned KB-1 instance.
+    pub fn instance_pairs(&self) -> Vec<(EntityId, EntityId, f64)> {
+        let assign = self.instances.maximal_assignment();
+        self.kb1
+            .instances()
+            .filter_map(|x| assign[x.index()].map(|(x2, p)| (x, x2, p)))
+            .collect()
+    }
+
+    /// Looks up the maximal assignment of one KB-1 instance by IRI.
+    pub fn instance_alignment_by_iri(&self, iri: &str) -> Option<Iri> {
+        let x = self.kb1.entity_by_iri(iri)?;
+        let row = self.instances.candidates(x);
+        let best = row.iter().copied().reduce(|a, b| if b.1 > a.1 { b } else { a })?;
+        self.kb2.iri(best.0).cloned()
+    }
+
+    /// Explains why the final run scores `iri1 ≡ iri2` (or would): the
+    /// individual Eq. 13 evidence factors, strongest first. Returns
+    /// `None` when either IRI is unknown. See
+    /// [`Explanation::render`](crate::explain::Explanation::render) for a
+    /// printable form.
+    pub fn explain(&self, iri1: &str, iri2: &str) -> Option<crate::explain::Explanation> {
+        let x = self.kb1.entity_by_iri(iri1)?;
+        let x2 = self.kb2.entity_by_iri(iri2)?;
+        let bridge = LiteralBridge::build(self.kb1, self.kb2, &self.config.literal_similarity);
+        let view = forward_view(self.kb1, &self.instances, &bridge, &self.config, true);
+        Some(crate::explain::explain_pair(
+            self.kb1,
+            self.kb2,
+            x,
+            x2,
+            &view,
+            &self.subrelations,
+            &self.config,
+        ))
+    }
+
+    /// Renders the final instance alignment as `owl:sameAs` statements —
+    /// the Semantic Web interlinking format the paper's introduction
+    /// motivates. Only alignments with probability ≥ `threshold` are
+    /// emitted, one triple per assigned KB-1 instance.
+    pub fn sameas_triples(&self, threshold: f64) -> Vec<paris_rdf::Triple> {
+        self.instance_pairs()
+            .into_iter()
+            .filter(|&(_, _, p)| p >= threshold)
+            .filter_map(|(x, x2, _)| {
+                Some(paris_rdf::Triple::new(
+                    self.kb1.iri(x)?.clone(),
+                    paris_rdf::vocab::OWL_SAME_AS,
+                    self.kb2.iri(x2)?.clone(),
+                ))
+            })
+            .collect()
+    }
+
+    /// Sub-relation alignments KB1 → KB2 above `threshold`, best target
+    /// first, rendered with relation names (`name` / `name⁻`).
+    pub fn relation_alignments_1to2(&self, threshold: f64) -> Vec<(String, String, f64)> {
+        let mut out: Vec<(String, String, f64)> = self
+            .subrelations
+            .alignments_1to2()
+            .filter(|&(_, _, p)| p >= threshold)
+            .map(|(r1, r2, p)| {
+                (self.kb1.relation_display(r1), self.kb2.relation_display(r2), p)
+            })
+            .collect();
+        out.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Sub-relation alignments KB2 → KB1 above `threshold`.
+    pub fn relation_alignments_2to1(&self, threshold: f64) -> Vec<(String, String, f64)> {
+        let mut out: Vec<(String, String, f64)> = self
+            .subrelations
+            .alignments_2to1()
+            .filter(|&(_, _, p)| p >= threshold)
+            .map(|(r2, r1, p)| {
+                (self.kb2.relation_display(r2), self.kb1.relation_display(r1), p)
+            })
+            .collect();
+        out.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Convergence: did the run stop because fewer than the configured
+    /// fraction of instances changed their maximal assignment (as opposed
+    /// to hitting the iteration cap)?
+    pub fn converged(&self) -> bool {
+        self.iterations.len() > 1
+            && self
+                .iterations
+                .last()
+                .is_some_and(|s| s.changed_fraction < self.convergence_change_used)
+    }
+}
+
+/// Aligns two knowledge bases with PARIS.
+///
+/// ```
+/// use paris_core::{Aligner, ParisConfig};
+/// use paris_kb::KbBuilder;
+/// use paris_rdf::Literal;
+///
+/// let mut a = KbBuilder::new("left");
+/// a.add_literal_fact("http://a/alice", "http://a/email", Literal::plain("alice@x.org"));
+/// let mut b = KbBuilder::new("right");
+/// b.add_literal_fact("http://b/asmith", "http://b/mail", Literal::plain("alice@x.org"));
+/// let (kb1, kb2) = (a.build(), b.build());
+///
+/// let result = Aligner::new(&kb1, &kb2, ParisConfig::default()).run();
+/// assert_eq!(
+///     result.instance_alignment_by_iri("http://a/alice").unwrap().as_str(),
+///     "http://b/asmith",
+/// );
+/// ```
+pub struct Aligner<'a> {
+    kb1: &'a Kb,
+    kb2: &'a Kb,
+    config: ParisConfig,
+}
+
+impl<'a> Aligner<'a> {
+    /// Creates an aligner over two frozen KBs.
+    pub fn new(kb1: &'a Kb, kb2: &'a Kb, config: ParisConfig) -> Self {
+        Aligner { kb1, kb2, config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ParisConfig {
+        &self.config
+    }
+
+    /// Runs to convergence (or the iteration cap) and computes the final
+    /// class alignment.
+    pub fn run(&self) -> AlignmentResult<'a> {
+        self.run_with_progress(|_| {})
+    }
+
+    /// Like [`run`](Self::run), invoking `progress` after every iteration —
+    /// used by the benches to print per-iteration table rows.
+    pub fn run_with_progress(
+        &self,
+        mut progress: impl FnMut(&IterationStats),
+    ) -> AlignmentResult<'a> {
+        let (kb1, kb2, config) = (self.kb1, self.kb2, &self.config);
+        let bridge = LiteralBridge::build(kb1, kb2, &config.literal_similarity);
+        let literal_pairs = bridge.num_pairs();
+
+        let mut equiv = EquivStore::new(kb1.num_entities(), kb2.num_entities());
+        let mut subrel = SubrelStore::bootstrap(
+            config.theta,
+            kb1.num_directed_relations(),
+            kb2.num_directed_relations(),
+        );
+        let mut iterations = Vec::new();
+        let mut prev_score_sum = 0.0f64;
+        // Whether `equiv`'s probabilities were computed with informed
+        // (non-bootstrap) sub-relation scores — gates Eq. 14.
+        let mut equiv_informed = false;
+
+        for iteration in 1..=config.max_iterations {
+            // ---- instance pass (uses the previous iteration's equalities)
+            let t0 = Instant::now();
+            let cand = forward_view(kb1, &equiv, &bridge, config, equiv_informed);
+            let mut rows = instance_pass(kb1, kb2, &cand, &subrel, config);
+            let damping = config.damping_at(iteration);
+            if damping > 0.0 {
+                blend_rows(&mut rows, &equiv, damping, config.truncation);
+            }
+            let new_equiv = EquivStore::from_rows(rows, kb2.num_entities());
+            let instance_seconds = t0.elapsed().as_secs_f64();
+
+            let changed = equiv.assignment_changes(&new_equiv);
+            let assignment = new_equiv.maximal_assignment();
+            let assigned = assignment.iter().filter(|a| a.is_some()).count();
+            let score_sum: f64 = assignment.iter().flatten().map(|&(_, p)| p).sum();
+            equiv = new_equiv;
+            equiv_informed = !subrel.is_bootstrap();
+
+            // ---- sub-relation passes (use the fresh equalities)
+            let t1 = Instant::now();
+            let cand_fwd = forward_view(kb1, &equiv, &bridge, config, equiv_informed);
+            let one = subrelation_pass(kb1, kb2, &cand_fwd, config);
+            let cand_rev = reverse_view(kb2, &equiv, &bridge, config, equiv_informed);
+            let two = subrelation_pass(kb2, kb1, &cand_rev, config);
+            subrel = SubrelStore::from_rows(one, two);
+            let subrelation_seconds = t1.elapsed().as_secs_f64();
+
+            let stats = IterationStats {
+                iteration,
+                changed,
+                changed_fraction: changed as f64 / assigned.max(1) as f64,
+                instance_equivalences: equiv.num_pairs(),
+                assigned_instances: assigned,
+                subrelation_entries: subrel.num_entries(),
+                instance_seconds,
+                subrelation_seconds,
+            };
+            // Convergence is the paper's criterion — the maximal
+            // assignment stopped changing — strengthened by requiring the
+            // assignment *scores* to have stabilized as well: after
+            // iteration 1 the scores are still θ-scaled, so a tiny θ
+            // would otherwise look converged one round too early even
+            // though the next round (with computed sub-relation scores)
+            // still adds matches. This is what makes the §6.3
+            // θ-independence hold for extreme θ.
+            let scores_stable = prev_score_sum > 0.0
+                && (score_sum - prev_score_sum).abs() / prev_score_sum
+                    < config.convergence_change.max(1e-6);
+            prev_score_sum = score_sum;
+            let done =
+                iteration > 1 && stats.changed_fraction < config.convergence_change && scores_stable;
+            progress(&stats);
+            iterations.push(stats);
+            if done {
+                break;
+            }
+        }
+
+        // ---- final class pass (§5.1: "in a last step")
+        let t2 = Instant::now();
+        let classes = subclass_pass(kb1, kb2, &equiv, config);
+        let class_seconds = t2.elapsed().as_secs_f64();
+
+        AlignmentResult {
+            kb1,
+            kb2,
+            instances: equiv,
+            subrelations: subrel,
+            classes,
+            iterations,
+            literal_pairs,
+            class_seconds,
+            convergence_change_used: config.convergence_change,
+            config: config.clone(),
+        }
+    }
+}
+
+/// Blends freshly computed equivalence rows with the previous iteration's
+/// scores: `(1 − d)·new + d·old` over the union of candidates (a candidate
+/// absent from one side contributes 0 there). Scores falling below the
+/// truncation threshold are dropped, as everywhere else.
+fn blend_rows(
+    rows: &mut [Vec<(EntityId, f64)>],
+    previous: &EquivStore,
+    damping: f64,
+    truncation: f64,
+) {
+    use paris_kb::FxHashMap;
+    let mut merged: FxHashMap<EntityId, f64> = FxHashMap::default();
+    for (i, row) in rows.iter_mut().enumerate() {
+        let old = previous.candidates(EntityId::from_index(i));
+        if old.is_empty() {
+            for (_, p) in row.iter_mut() {
+                *p *= 1.0 - damping;
+            }
+            row.retain(|&(_, p)| p >= truncation);
+            continue;
+        }
+        merged.clear();
+        for &(e, p) in row.iter() {
+            merged.insert(e, (1.0 - damping) * p);
+        }
+        for &(e, p) in old {
+            *merged.entry(e).or_insert(0.0) += damping * p;
+        }
+        row.clear();
+        row.extend(merged.iter().filter(|&(_, &p)| p >= truncation).map(|(&e, &p)| (e, p)));
+        row.sort_unstable_by_key(|&(e, _)| e);
+    }
+}
+
+/// KB1 → KB2 candidates: previous instance equalities (maximal assignment
+/// unless `propagate_all_equalities`, §5.2) merged with the literal bridge.
+fn forward_view(
+    kb1: &Kb,
+    equiv: &EquivStore,
+    bridge: &LiteralBridge,
+    config: &ParisConfig,
+    informed: bool,
+) -> CandidateView {
+    let mut rows: Vec<Vec<(EntityId, f64)>> = vec![Vec::new(); kb1.num_entities()];
+    if config.propagate_all_equalities {
+        for x in kb1.entities() {
+            let cands = equiv.candidates(x);
+            if !cands.is_empty() {
+                rows[x.index()] = cands.to_vec();
+            }
+        }
+    } else {
+        for (i, best) in equiv.maximal_assignment().into_iter().enumerate() {
+            if let Some((x2, p)) = best {
+                rows[i].push((x2, p));
+            }
+        }
+    }
+    for l in kb1.literals() {
+        let cands = bridge.candidates(l);
+        if !cands.is_empty() {
+            rows[l.index()] = cands.to_vec();
+        }
+    }
+    if informed {
+        CandidateView::new(rows)
+    } else {
+        CandidateView::uninformed(rows)
+    }
+}
+
+/// KB2 → KB1 candidates (for the reverse sub-relation pass).
+fn reverse_view(
+    kb2: &Kb,
+    equiv: &EquivStore,
+    bridge: &LiteralBridge,
+    config: &ParisConfig,
+    informed: bool,
+) -> CandidateView {
+    let mut rows: Vec<Vec<(EntityId, f64)>> = vec![Vec::new(); kb2.num_entities()];
+    if config.propagate_all_equalities {
+        for x2 in kb2.entities() {
+            let cands = equiv.candidates_rev(x2);
+            if !cands.is_empty() {
+                rows[x2.index()] = cands.to_vec();
+            }
+        }
+    } else {
+        for (i, best) in equiv.maximal_assignment_rev().into_iter().enumerate() {
+            if let Some((x1, p)) = best {
+                rows[i].push((x1, p));
+            }
+        }
+    }
+    for l2 in kb2.literals() {
+        let cands = bridge.candidates_rev(l2);
+        if !cands.is_empty() {
+            rows[l2.index()] = cands.to_vec();
+        }
+    }
+    if informed {
+        CandidateView::new(rows)
+    } else {
+        CandidateView::uninformed(rows)
+    }
+}
+
+#[cfg(test)]
+mod blend_tests {
+    use super::*;
+
+    fn e(i: usize) -> EntityId {
+        EntityId::from_index(i)
+    }
+
+    #[test]
+    fn blend_mixes_old_and_new() {
+        let previous = EquivStore::from_rows(vec![vec![(e(0), 0.8)]], 2);
+        let mut rows = vec![vec![(e(0), 0.4)]];
+        blend_rows(&mut rows, &previous, 0.5, 0.0);
+        assert!((rows[0][0].1 - 0.6).abs() < 1e-12, "{rows:?}");
+    }
+
+    #[test]
+    fn blend_keeps_vanished_candidates_decayed() {
+        // The fresh pass dropped the candidate; damping keeps a decayed
+        // trace of the old score, which is exactly what suppresses
+        // flip-flopping assignments.
+        let previous = EquivStore::from_rows(vec![vec![(e(1), 0.9)]], 2);
+        let mut rows = vec![vec![]];
+        blend_rows(&mut rows, &previous, 0.5, 0.1);
+        assert_eq!(rows[0], vec![(e(1), 0.45)]);
+    }
+
+    #[test]
+    fn blend_scales_new_candidates_without_history() {
+        let previous = EquivStore::new(1, 2);
+        let mut rows = vec![vec![(e(0), 0.8)]];
+        blend_rows(&mut rows, &previous, 0.25, 0.1);
+        assert!((rows[0][0].1 - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blend_respects_truncation() {
+        let previous = EquivStore::new(1, 2);
+        let mut rows = vec![vec![(e(0), 0.15)]];
+        blend_rows(&mut rows, &previous, 0.5, 0.1);
+        assert!(rows[0].is_empty(), "0.075 < truncation 0.1: {rows:?}");
+    }
+
+    #[test]
+    fn zero_damping_never_invoked() {
+        let config = ParisConfig::default();
+        assert_eq!(config.damping_at(1), 0.0);
+        assert_eq!(config.damping_at(5), 0.0);
+        let damped = ParisConfig::default().with_damping(0.6);
+        assert_eq!(damped.damping_at(1), 0.0);
+        assert!((damped.damping_at(2) - 0.3).abs() < 1e-12);
+        assert!(damped.damping_at(10) < 0.6);
+    }
+}

@@ -1,0 +1,45 @@
+//! # The PARIS alignment algorithm
+//!
+//! A faithful implementation of *PARIS: Probabilistic Alignment of
+//! Relations, Instances, and Schema* (Suchanek, Abiteboul & Senellart,
+//! PVLDB 5(3), 2011) over the [`paris_kb`] substrate.
+//!
+//! PARIS aligns two RDFS ontologies **holistically**: instance
+//! equivalences, sub-relation scores, and sub-class scores are all
+//! estimated in one probabilistic model that lets schema and instance
+//! evidence cross-fertilize. The key quantity is the (inverse)
+//! *functionality* of a relation (Eq. 1–2): sharing the value of a highly
+//! inverse-functional relation (an e-mail address) is strong evidence of
+//! equality; sharing a low-functionality value (a home city) is weak
+//! evidence.
+//!
+//! The module layout mirrors the paper:
+//!
+//! | module | paper | content |
+//! |---|---|---|
+//! | [`config`] | §5.4 | θ, literal similarity, design-alternative toggles |
+//! | [`equiv`] | §5.2 | sparse `Pr(x ≡ x′)` storage, maximal assignment |
+//! | [`literal_bridge`] | §5.3 | clamped literal equivalences |
+//! | [`instance`] | §4.1–4.2 | Eq. 13 (and Eq. 14) instance pass |
+//! | [`subrel`] | §4.2 | Eq. 12 sub-relation pass |
+//! | [`subclass`] | §4.3 | Eq. 17 class pass |
+//! | [`iteration`] | §5.1 | bootstrap, fixed point, convergence |
+//!
+//! See [`Aligner`] for the entry point.
+
+pub mod config;
+pub mod equiv;
+pub mod explain;
+pub mod instance;
+pub mod iteration;
+pub mod literal_bridge;
+pub mod subclass;
+pub mod subrel;
+
+pub use config::ParisConfig;
+pub use equiv::{CandidateView, EquivStore};
+pub use explain::{Evidence, Explanation};
+pub use iteration::{Aligner, AlignmentResult, IterationStats};
+pub use literal_bridge::LiteralBridge;
+pub use subclass::{ClassAlignment, ClassScore};
+pub use subrel::SubrelStore;

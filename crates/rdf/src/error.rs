@@ -1,0 +1,67 @@
+//! Error types for RDF parsing and I/O.
+
+use std::fmt;
+
+/// An error raised while parsing or loading RDF data.
+#[derive(Debug)]
+pub enum RdfError {
+    /// A syntax error at a specific line (1-based) of an N-Triples document.
+    Syntax {
+        /// 1-based line number of the offending statement.
+        line: u64,
+        /// Human-readable description of what went wrong.
+        message: String,
+    },
+    /// An underlying I/O error while reading a document.
+    Io(std::io::Error),
+}
+
+impl RdfError {
+    pub(crate) fn syntax(line: u64, message: impl Into<String>) -> Self {
+        RdfError::Syntax { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for RdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdfError::Syntax { line, message } => {
+                write!(f, "N-Triples syntax error on line {line}: {message}")
+            }
+            RdfError::Io(e) => write!(f, "I/O error while reading RDF: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RdfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RdfError::Io(e) => Some(e),
+            RdfError::Syntax { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for RdfError {
+    fn from(e: std::io::Error) -> Self {
+        RdfError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = RdfError::syntax(7, "expected '.'");
+        assert_eq!(e.to_string(), "N-Triples syntax error on line 7: expected '.'");
+    }
+
+    #[test]
+    fn io_error_is_source() {
+        use std::error::Error;
+        let e = RdfError::from(std::io::Error::other("boom"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,44 @@
+//! RDF data model and serialization substrate for the PARIS reproduction.
+//!
+//! PARIS (§3 of the paper) operates on RDFS ontologies: sets of triples
+//! `⟨subject, property, object⟩` where subjects are resources, properties are
+//! binary predicates, and objects are resources or literals. This crate
+//! provides:
+//!
+//! * the term model ([`Iri`], [`Literal`], [`Term`]) and [`Triple`],
+//! * a spec-faithful [N-Triples](https://www.w3.org/TR/n-triples/) parser
+//!   ([`ntriples::Parser`]) and writer ([`ntriples::Writer`]),
+//! * the handful of RDF/RDFS vocabulary IRIs PARIS interprets
+//!   ([`vocab`]: `rdf:type`, `rdfs:subClassOf`, `rdfs:subPropertyOf`,
+//!   `rdfs:label`),
+//! * prefix handling for compact IRIs ([`namespace::Namespaces`]).
+//!
+//! The paper's implementation used the Jena framework to load ontologies;
+//! this crate is the from-scratch Rust equivalent of that substrate.
+//!
+//! # Example
+//!
+//! ```
+//! use paris_rdf::{ntriples::Parser, Term};
+//!
+//! let doc = r#"
+//! <http://ex.org/Elvis> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex.org/singer> .
+//! <http://ex.org/Elvis> <http://ex.org/name> "Elvis Presley" .
+//! "#;
+//! let triples: Vec<_> = Parser::new(doc).collect::<Result<_, _>>().unwrap();
+//! assert_eq!(triples.len(), 2);
+//! assert!(matches!(triples[1].object, Term::Literal(_)));
+//! ```
+
+pub mod error;
+pub mod namespace;
+pub mod ntriples;
+pub mod term;
+pub mod triple;
+pub mod turtle;
+pub mod vocab;
+
+pub use error::RdfError;
+pub use namespace::Namespaces;
+pub use term::{Iri, Literal, Term};
+pub use triple::Triple;

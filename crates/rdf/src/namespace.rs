@@ -1,0 +1,115 @@
+//! Prefix → namespace mapping for compact IRI notation.
+//!
+//! The synthetic datasets and the examples use compact IRIs like
+//! `y:actedIn` or `dbp:starring`; [`Namespaces`] expands them to full IRIs
+//! and abbreviates full IRIs back for display (as in the paper's Table 4).
+
+use std::collections::BTreeMap;
+
+use crate::term::Iri;
+
+/// A bidirectional prefix table.
+///
+/// Longest-namespace match wins when abbreviating, so overlapping
+/// namespaces (`http://ex.org/` and `http://ex.org/onto/`) behave sanely.
+#[derive(Clone, Debug, Default)]
+pub struct Namespaces {
+    by_prefix: BTreeMap<String, String>,
+}
+
+impl Namespaces {
+    /// An empty prefix table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A table pre-loaded with `rdf:`, `rdfs:`, and `xsd:`.
+    pub fn with_well_known() -> Self {
+        let mut ns = Self::new();
+        ns.insert("rdf", "http://www.w3.org/1999/02/22-rdf-syntax-ns#");
+        ns.insert("rdfs", "http://www.w3.org/2000/01/rdf-schema#");
+        ns.insert("xsd", "http://www.w3.org/2001/XMLSchema#");
+        ns
+    }
+
+    /// Registers (or replaces) a prefix.
+    pub fn insert(&mut self, prefix: impl Into<String>, namespace: impl Into<String>) {
+        self.by_prefix.insert(prefix.into(), namespace.into());
+    }
+
+    /// Expands a compact IRI (`prefix:local`) to a full [`Iri`].
+    ///
+    /// Returns `None` if the prefix is unregistered or the input has no
+    /// colon.
+    pub fn expand(&self, compact: &str) -> Option<Iri> {
+        let (prefix, local) = compact.split_once(':')?;
+        let ns = self.by_prefix.get(prefix)?;
+        Some(Iri::new(format!("{ns}{local}")))
+    }
+
+    /// Abbreviates a full IRI to `prefix:local` if a registered namespace
+    /// is a prefix of it; otherwise returns the full IRI string.
+    pub fn abbreviate(&self, iri: &Iri) -> String {
+        let s = iri.as_str();
+        let best = self
+            .by_prefix
+            .iter()
+            .filter(|(_, ns)| s.starts_with(ns.as_str()))
+            .max_by_key(|(_, ns)| ns.len());
+        match best {
+            Some((prefix, ns)) => format!("{prefix}:{}", &s[ns.len()..]),
+            None => s.to_owned(),
+        }
+    }
+
+    /// Iterates over `(prefix, namespace)` pairs in prefix order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.by_prefix.iter().map(|(p, n)| (p.as_str(), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expand_round_trip() {
+        let mut ns = Namespaces::with_well_known();
+        ns.insert("y", "http://yago-knowledge.org/resource/");
+        let iri = ns.expand("y:actedIn").unwrap();
+        assert_eq!(iri.as_str(), "http://yago-knowledge.org/resource/actedIn");
+        assert_eq!(ns.abbreviate(&iri), "y:actedIn");
+    }
+
+    #[test]
+    fn expand_unknown_prefix() {
+        let ns = Namespaces::new();
+        assert!(ns.expand("y:foo").is_none());
+        assert!(ns.expand("nocolon").is_none());
+    }
+
+    #[test]
+    fn abbreviate_prefers_longest_namespace() {
+        let mut ns = Namespaces::new();
+        ns.insert("a", "http://ex.org/");
+        ns.insert("b", "http://ex.org/onto/");
+        assert_eq!(ns.abbreviate(&Iri::new("http://ex.org/onto/X")), "b:X");
+        assert_eq!(ns.abbreviate(&Iri::new("http://ex.org/X")), "a:X");
+    }
+
+    #[test]
+    fn abbreviate_falls_back_to_full_iri() {
+        let ns = Namespaces::new();
+        assert_eq!(ns.abbreviate(&Iri::new("http://other/X")), "http://other/X");
+    }
+
+    #[test]
+    fn well_known_prefixes() {
+        let ns = Namespaces::with_well_known();
+        assert_eq!(
+            ns.expand("rdf:type").unwrap().as_str(),
+            crate::vocab::RDF_TYPE
+        );
+        assert_eq!(ns.iter().count(), 3);
+    }
+}

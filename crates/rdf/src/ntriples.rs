@@ -1,0 +1,551 @@
+//! N-Triples parsing and serialization.
+//!
+//! [N-Triples](https://www.w3.org/TR/n-triples/) is the line-oriented RDF
+//! syntax the paper's datasets ship in (yago and DBpedia dumps). The
+//! [`Parser`] is an iterator over statements; the [`Writer`] serializes
+//! triples back out with correct escaping, so parse → write → parse is the
+//! identity (property-tested in this crate).
+//!
+//! Deviations from the spec, both documented and deliberate:
+//!
+//! * Blank nodes (`_:label`) are accepted and skolemized into IRIs of the
+//!   form `bnode://label`. PARIS has no special treatment for blank nodes —
+//!   they are just resources without global identity — and skolemization
+//!   preserves that semantics within a single document.
+//! * `\u`/`\U` escapes are decoded in both IRIs and literals.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, Read, Write as IoWrite};
+use std::path::Path;
+
+use crate::error::RdfError;
+use crate::term::{Iri, Literal, Term};
+use crate::triple::Triple;
+
+/// Streaming N-Triples parser: an `Iterator<Item = Result<Triple, RdfError>>`.
+///
+/// ```
+/// use paris_rdf::ntriples::Parser;
+/// let doc = "<http://s> <http://p> \"o\" . # comment\n";
+/// let t = Parser::new(doc).next().unwrap().unwrap();
+/// assert_eq!(t.predicate.as_str(), "http://p");
+/// ```
+pub struct Parser<'a> {
+    input: &'a str,
+    line: u64,
+}
+
+impl<'a> Parser<'a> {
+    /// Creates a parser over an in-memory document.
+    pub fn new(input: &'a str) -> Self {
+        Parser { input, line: 0 }
+    }
+
+    /// Parses the whole document into a vector, failing on the first error.
+    pub fn parse_all(input: &'a str) -> Result<Vec<Triple>, RdfError> {
+        Parser::new(input).collect()
+    }
+}
+
+impl Iterator for Parser<'_> {
+    type Item = Result<Triple, RdfError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.input.is_empty() {
+                return None;
+            }
+            let (raw_line, rest) = match self.input.find('\n') {
+                Some(i) => (&self.input[..i], &self.input[i + 1..]),
+                None => (self.input, ""),
+            };
+            self.input = rest;
+            self.line += 1;
+            let raw_line = raw_line.strip_suffix('\r').unwrap_or(raw_line);
+            let mut cursor = Cursor::new(raw_line, self.line);
+            match cursor.statement() {
+                Ok(Some(triple)) => return Some(Ok(triple)),
+                Ok(None) => continue, // blank / comment-only line
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+/// Reads and parses an entire N-Triples file.
+pub fn parse_file(path: impl AsRef<Path>) -> Result<Vec<Triple>, RdfError> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf)?;
+    Parser::parse_all(&buf)
+}
+
+/// Reads and parses N-Triples from any reader, line by line.
+pub fn parse_reader(reader: impl Read) -> Result<Vec<Triple>, RdfError> {
+    let mut out = Vec::new();
+    let mut line_no = 0u64;
+    let mut reader = BufReader::new(reader);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(out);
+        }
+        line_no += 1;
+        let mut cursor = Cursor::new(line.trim_end_matches(['\n', '\r']), line_no);
+        if let Some(t) = cursor.statement()? {
+            out.push(t);
+        }
+    }
+}
+
+/// Single-statement scanner over one line.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u64,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str, line: u64) -> Self {
+        Cursor { bytes: text.as_bytes(), pos: 0, line }
+    }
+
+    fn err(&self, message: impl Into<String>) -> RdfError {
+        RdfError::syntax(self.line, message)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Parses one line: either a statement, or nothing (blank / comment).
+    fn statement(&mut self) -> Result<Option<Triple>, RdfError> {
+        self.skip_ws();
+        match self.peek() {
+            None | Some(b'#') => return Ok(None),
+            _ => {}
+        }
+        let subject = self.subject()?;
+        self.skip_ws();
+        let predicate = self.iri_ref()?;
+        self.skip_ws();
+        let object = self.object()?;
+        self.skip_ws();
+        if self.bump() != Some(b'.') {
+            return Err(self.err("expected '.' terminating the statement"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            None | Some(b'#') => Ok(Some(Triple { subject, predicate, object })),
+            Some(c) => Err(self.err(format!("unexpected trailing character '{}'", c as char))),
+        }
+    }
+
+    fn subject(&mut self) -> Result<Iri, RdfError> {
+        match self.peek() {
+            Some(b'<') => self.iri_ref(),
+            Some(b'_') => self.blank_node(),
+            _ => Err(self.err("expected IRI or blank node as subject")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Term, RdfError> {
+        match self.peek() {
+            Some(b'<') => Ok(Term::Iri(self.iri_ref()?)),
+            Some(b'_') => Ok(Term::Iri(self.blank_node()?)),
+            Some(b'"') => Ok(Term::Literal(self.literal()?)),
+            _ => Err(self.err("expected IRI, blank node, or literal as object")),
+        }
+    }
+
+    fn iri_ref(&mut self) -> Result<Iri, RdfError> {
+        if self.bump() != Some(b'<') {
+            return Err(self.err("expected '<' opening an IRI"));
+        }
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'>') => break,
+                Some(b'\\') => out.push(self.unicode_escape()?),
+                Some(c) if (0x21..=0x7e).contains(&c) && !b"<\"{}|^`".contains(&c) => {
+                    out.push(c as char)
+                }
+                Some(c) if c >= 0x80 => {
+                    // Re-sync to the UTF-8 char boundary and take the char.
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| self.err("invalid UTF-8 in IRI"))?;
+                    let ch = s.chars().next().expect("non-empty by construction");
+                    out.push(ch);
+                    self.pos = start + ch.len_utf8();
+                }
+                Some(c) => {
+                    return Err(self.err(format!("illegal character '{}' in IRI", c as char)))
+                }
+                None => return Err(self.err("unterminated IRI")),
+            }
+        }
+        if out.is_empty() {
+            return Err(self.err("empty IRI"));
+        }
+        Ok(Iri::new(out))
+    }
+
+    /// `\u` / `\U` escape inside an IRI (the only escapes IRIs permit).
+    fn unicode_escape(&mut self) -> Result<char, RdfError> {
+        let kind = self.bump().ok_or_else(|| self.err("dangling '\\' in IRI"))?;
+        let len = match kind {
+            b'u' => 4,
+            b'U' => 8,
+            c => return Err(self.err(format!("illegal IRI escape '\\{}'", c as char))),
+        };
+        self.hex_char(len)
+    }
+
+    fn hex_char(&mut self, len: usize) -> Result<char, RdfError> {
+        if self.pos + len > self.bytes.len() {
+            return Err(self.err("truncated unicode escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + len])
+            .map_err(|_| self.err("non-ASCII unicode escape"))?;
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid hex in unicode escape"))?;
+        self.pos += len;
+        char::from_u32(code).ok_or_else(|| self.err("escape is not a valid code point"))
+    }
+
+    fn blank_node(&mut self) -> Result<Iri, RdfError> {
+        // "_:" PN_LOCAL — we accept alphanumerics plus '-' '_' '.'
+        self.pos += 1; // consume '_'
+        if self.bump() != Some(b':') {
+            return Err(self.err("expected ':' after '_' in blank node"));
+        }
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_' || c == b'-' || c == b'.')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("empty blank node label"));
+        }
+        let label = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ASCII by construction");
+        Ok(Iri::new(format!("bnode://{label}")))
+    }
+
+    fn literal(&mut self) -> Result<Literal, RdfError> {
+        self.pos += 1; // consume '"'
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => break,
+                Some(b'\\') => value.push(self.string_escape()?),
+                Some(c) if c < 0x80 => value.push(c as char),
+                Some(_) => {
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| self.err("invalid UTF-8 in literal"))?;
+                    let ch = s.chars().next().expect("non-empty by construction");
+                    value.push(ch);
+                    self.pos = start + ch.len_utf8();
+                }
+                None => return Err(self.err("unterminated string literal")),
+            }
+        }
+        match self.peek() {
+            Some(b'@') => {
+                self.pos += 1;
+                let start = self.pos;
+                while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'-') {
+                    self.pos += 1;
+                }
+                if self.pos == start {
+                    return Err(self.err("empty language tag"));
+                }
+                let lang = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .expect("ASCII by construction");
+                Ok(Literal::lang_tagged(value, lang))
+            }
+            Some(b'^') => {
+                self.pos += 1;
+                if self.bump() != Some(b'^') {
+                    return Err(self.err("expected '^^' before datatype IRI"));
+                }
+                let dt = self.iri_ref()?;
+                Ok(Literal::typed(value, dt))
+            }
+            _ => Ok(Literal::plain(value)),
+        }
+    }
+
+    /// ECHAR or UCHAR inside a quoted literal.
+    fn string_escape(&mut self) -> Result<char, RdfError> {
+        match self.bump() {
+            Some(b't') => Ok('\t'),
+            Some(b'b') => Ok('\u{8}'),
+            Some(b'n') => Ok('\n'),
+            Some(b'r') => Ok('\r'),
+            Some(b'f') => Ok('\u{c}'),
+            Some(b'"') => Ok('"'),
+            Some(b'\'') => Ok('\''),
+            Some(b'\\') => Ok('\\'),
+            Some(b'u') => self.hex_char(4),
+            Some(b'U') => self.hex_char(8),
+            Some(c) => Err(self.err(format!("illegal string escape '\\{}'", c as char))),
+            None => Err(self.err("dangling '\\' in string literal")),
+        }
+    }
+}
+
+/// Serializes triples to N-Triples with spec-conformant escaping.
+pub struct Writer<W: IoWrite> {
+    sink: W,
+}
+
+impl<W: IoWrite> Writer<W> {
+    /// Wraps an output sink.
+    pub fn new(sink: W) -> Self {
+        Writer { sink }
+    }
+
+    /// Writes one triple as a single `subject predicate object .` line.
+    pub fn write_triple(&mut self, triple: &Triple) -> std::io::Result<()> {
+        write_iri(&mut self.sink, &triple.subject)?;
+        self.sink.write_all(b" ")?;
+        write_iri(&mut self.sink, &triple.predicate)?;
+        self.sink.write_all(b" ")?;
+        match &triple.object {
+            Term::Iri(iri) => write_iri(&mut self.sink, iri)?,
+            Term::Literal(lit) => write_literal(&mut self.sink, lit)?,
+        }
+        self.sink.write_all(b" .\n")
+    }
+
+    /// Writes every triple from an iterator.
+    pub fn write_all<'t>(
+        &mut self,
+        triples: impl IntoIterator<Item = &'t Triple>,
+    ) -> std::io::Result<()> {
+        for t in triples {
+            self.write_triple(t)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes and returns the underlying sink.
+    pub fn into_inner(mut self) -> std::io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Serializes a slice of triples to an in-memory string.
+pub fn to_string(triples: &[Triple]) -> String {
+    let mut w = Writer::new(Vec::new());
+    w.write_all(triples).expect("writing to Vec cannot fail");
+    String::from_utf8(w.into_inner().expect("flush to Vec cannot fail"))
+        .expect("writer emits UTF-8 only")
+}
+
+fn write_iri(sink: &mut impl IoWrite, iri: &Iri) -> std::io::Result<()> {
+    sink.write_all(b"<")?;
+    for ch in iri.as_str().chars() {
+        match ch {
+            // Characters N-Triples forbids raw inside <>: escape as \u.
+            '\u{0}'..='\u{20}' | '<' | '>' | '"' | '{' | '}' | '|' | '^' | '`' | '\\' => {
+                write!(sink, "\\u{:04X}", ch as u32)?
+            }
+            _ => write!(sink, "{ch}")?,
+        }
+    }
+    sink.write_all(b">")
+}
+
+fn write_literal(sink: &mut impl IoWrite, lit: &Literal) -> std::io::Result<()> {
+    sink.write_all(b"\"")?;
+    for ch in lit.value().chars() {
+        match ch {
+            '"' => sink.write_all(b"\\\"")?,
+            '\\' => sink.write_all(b"\\\\")?,
+            '\n' => sink.write_all(b"\\n")?,
+            '\r' => sink.write_all(b"\\r")?,
+            '\t' => sink.write_all(b"\\t")?,
+            '\u{0}'..='\u{1f}' | '\u{7f}' => write!(sink, "\\u{:04X}", ch as u32)?,
+            _ => write!(sink, "{ch}")?,
+        }
+    }
+    sink.write_all(b"\"")?;
+    match lit.kind() {
+        crate::term::LiteralKind::Plain => Ok(()),
+        crate::term::LiteralKind::LanguageTagged(lang) => write!(sink, "@{lang}"),
+        crate::term::LiteralKind::Typed(dt) => {
+            sink.write_all(b"^^")?;
+            write_iri(sink, dt)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one(s: &str) -> Triple {
+        let mut p = Parser::new(s);
+        let t = p.next().expect("one statement").expect("valid");
+        assert!(p.next().is_none(), "exactly one statement expected");
+        t
+    }
+
+    #[test]
+    fn basic_resource_triple() {
+        let t = parse_one("<http://s> <http://p> <http://o> .");
+        assert_eq!(t.subject.as_str(), "http://s");
+        assert_eq!(t.predicate.as_str(), "http://p");
+        assert_eq!(t.object.as_iri().unwrap().as_str(), "http://o");
+    }
+
+    #[test]
+    fn plain_literal() {
+        let t = parse_one(r#"<http://s> <http://p> "hello world" ."#);
+        assert_eq!(t.object.as_literal().unwrap().value(), "hello world");
+    }
+
+    #[test]
+    fn lang_tagged_literal() {
+        let t = parse_one(r#"<http://s> <http://p> "London"@en-GB ."#);
+        let lit = t.object.as_literal().unwrap();
+        assert_eq!(lit.value(), "London");
+        assert_eq!(lit.language(), Some("en-GB"));
+    }
+
+    #[test]
+    fn typed_literal() {
+        let t = parse_one(
+            r#"<http://s> <http://p> "42"^^<http://www.w3.org/2001/XMLSchema#integer> ."#,
+        );
+        let lit = t.object.as_literal().unwrap();
+        assert_eq!(lit.value(), "42");
+        assert_eq!(lit.datatype().unwrap().local_name(), "integer");
+    }
+
+    #[test]
+    fn string_escapes() {
+        let t = parse_one(r#"<http://s> <http://p> "a\tb\nc\"d\\eéf" ."#);
+        assert_eq!(t.object.as_literal().unwrap().value(), "a\tb\nc\"d\\e\u{e9}f");
+    }
+
+    #[test]
+    fn long_unicode_escape() {
+        let t = parse_one(r#"<http://s> <http://p> "\U0001F600" ."#);
+        assert_eq!(t.object.as_literal().unwrap().value(), "\u{1F600}");
+    }
+
+    #[test]
+    fn iri_unicode_escape() {
+        let t = parse_one(r#"<http://s/é> <http://p> <http://o> ."#);
+        assert_eq!(t.subject.as_str(), "http://s/\u{e9}");
+    }
+
+    #[test]
+    fn raw_utf8_passthrough() {
+        let t = parse_one("<http://s/é> <http://p> \"naïve café\" .");
+        assert_eq!(t.subject.as_str(), "http://s/é");
+        assert_eq!(t.object.as_literal().unwrap().value(), "naïve café");
+    }
+
+    #[test]
+    fn blank_nodes_are_skolemized() {
+        let t = parse_one("_:a1 <http://p> _:b-2 .");
+        assert_eq!(t.subject.as_str(), "bnode://a1");
+        assert_eq!(t.object.as_iri().unwrap().as_str(), "bnode://b-2");
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let doc = "\n# header\n  \n<http://s> <http://p> <http://o> . # trailing\n#tail\n";
+        let ts = Parser::parse_all(doc).unwrap();
+        assert_eq!(ts.len(), 1);
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let doc = "<http://s> <http://p> <http://o> .\n<http://s> <http://p> garbage .\n";
+        let err = Parser::parse_all(doc).unwrap_err();
+        match err {
+            RdfError::Syntax { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected syntax error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_dot_is_an_error() {
+        assert!(Parser::parse_all("<http://s> <http://p> <http://o>").is_err());
+    }
+
+    #[test]
+    fn unterminated_literal_is_an_error() {
+        assert!(Parser::parse_all(r#"<http://s> <http://p> "oops ."#).is_err());
+    }
+
+    #[test]
+    fn unterminated_iri_is_an_error() {
+        assert!(Parser::parse_all("<http://s <http://p> <http://o> .").is_err());
+    }
+
+    #[test]
+    fn empty_iri_is_an_error() {
+        assert!(Parser::parse_all("<> <http://p> <http://o> .").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        assert!(Parser::parse_all("<http://s> <http://p> <http://o> . junk").is_err());
+    }
+
+    #[test]
+    fn literal_subject_is_an_error() {
+        assert!(Parser::parse_all(r#""lit" <http://p> <http://o> ."#).is_err());
+    }
+
+    #[test]
+    fn writer_round_trip() {
+        let doc = concat!(
+            "<http://s> <http://p> <http://o> .\n",
+            "<http://s> <http://name> \"a\\tb \\\"quoted\\\" \\\\slash\" .\n",
+            "<http://s> <http://label> \"Lond\\u00f3n\"@es .\n",
+            "<http://s> <http://num> \"3.14\"^^<http://www.w3.org/2001/XMLSchema#decimal> .\n",
+        );
+        let triples = Parser::parse_all(doc).unwrap();
+        let serialized = to_string(&triples);
+        let reparsed = Parser::parse_all(&serialized).unwrap();
+        assert_eq!(triples, reparsed);
+    }
+
+    #[test]
+    fn parse_reader_matches_parser() {
+        let doc = "<http://s> <http://p> <http://o> .\n# c\n<http://s2> <http://p> \"x\" .\n";
+        let a = Parser::parse_all(doc).unwrap();
+        let b = parse_reader(doc.as_bytes()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let doc = "<http://s> <http://p> <http://o> .\r\n<http://s2> <http://p> <http://o> .\r\n";
+        let b = parse_reader(doc.as_bytes()).unwrap();
+        assert_eq!(b.len(), 2);
+    }
+}

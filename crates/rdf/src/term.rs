@@ -1,0 +1,287 @@
+//! RDF terms: IRIs, literals, and the [`Term`] sum type.
+//!
+//! The paper assumes a global set of resources `R`, literals `L`, and
+//! properties `P` (§3). We model resources and properties as [`Iri`]s and
+//! literals as [`Literal`]s carrying an optional datatype or language tag.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// An IRI identifying a resource, class, or property.
+///
+/// Internally reference-counted so that terms can be shared cheaply between
+/// triples and the knowledge-base interner.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Iri(Arc<str>);
+
+impl Iri {
+    /// Creates an IRI from any string-like value.
+    ///
+    /// No syntactic validation is performed beyond what the N-Triples
+    /// parser enforces; PARIS treats IRIs as opaque identifiers.
+    pub fn new(iri: impl Into<Arc<str>>) -> Self {
+        Iri(iri.into())
+    }
+
+    /// Returns the IRI as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Returns the local name: the suffix after the last `#`, `/`, or `:`.
+    ///
+    /// Useful for display; PARIS itself never interprets IRI structure.
+    pub fn local_name(&self) -> &str {
+        let s = self.as_str();
+        match s.rfind(['#', '/', ':']) {
+            Some(i) => &s[i + 1..],
+            None => s,
+        }
+    }
+}
+
+impl fmt::Debug for Iri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}>", self.0)
+    }
+}
+
+impl fmt::Display for Iri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Iri {
+    fn from(s: &str) -> Self {
+        Iri::new(s)
+    }
+}
+
+impl From<String> for Iri {
+    fn from(s: String) -> Self {
+        Iri::new(s)
+    }
+}
+
+impl Borrow<str> for Iri {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Iri {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+/// The qualifier attached to a literal's lexical form.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum LiteralKind {
+    /// A plain literal with no datatype or language tag
+    /// (equivalently, `xsd:string` under RDF 1.1).
+    #[default]
+    Plain,
+    /// A language-tagged string, e.g. `"London"@en`.
+    LanguageTagged(Arc<str>),
+    /// A typed literal, e.g. `"42"^^xsd:integer`.
+    Typed(Iri),
+}
+
+/// An RDF literal: a lexical form plus an optional datatype / language tag.
+///
+/// PARIS §5.3 clamps literal-equivalence probabilities up front; the
+/// default implementation *normalizes numeric values by removing datatype
+/// information* and then compares for identity. The normalization lives in
+/// `paris-literals`; this type just faithfully carries what was parsed.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Literal {
+    value: Arc<str>,
+    kind: LiteralKind,
+}
+
+impl Literal {
+    /// Creates a plain (untyped, untagged) literal.
+    pub fn plain(value: impl Into<Arc<str>>) -> Self {
+        Literal { value: value.into(), kind: LiteralKind::Plain }
+    }
+
+    /// Creates a language-tagged literal such as `"London"@en`.
+    pub fn lang_tagged(value: impl Into<Arc<str>>, lang: impl Into<Arc<str>>) -> Self {
+        Literal { value: value.into(), kind: LiteralKind::LanguageTagged(lang.into()) }
+    }
+
+    /// Creates a datatyped literal such as `"42"^^xsd:integer`.
+    pub fn typed(value: impl Into<Arc<str>>, datatype: impl Into<Iri>) -> Self {
+        Literal { value: value.into(), kind: LiteralKind::Typed(datatype.into()) }
+    }
+
+    /// The lexical form.
+    pub fn value(&self) -> &str {
+        &self.value
+    }
+
+    /// The datatype / language qualifier.
+    pub fn kind(&self) -> &LiteralKind {
+        &self.kind
+    }
+
+    /// The language tag, if this is a language-tagged string.
+    pub fn language(&self) -> Option<&str> {
+        match &self.kind {
+            LiteralKind::LanguageTagged(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The datatype IRI, if this is a typed literal.
+    pub fn datatype(&self) -> Option<&Iri> {
+        match &self.kind {
+            LiteralKind::Typed(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            LiteralKind::Plain => write!(f, "{:?}", self.value()),
+            LiteralKind::LanguageTagged(l) => write!(f, "{:?}@{}", self.value(), l),
+            LiteralKind::Typed(d) => write!(f, "{:?}^^{:?}", self.value(), d),
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.value())
+    }
+}
+
+/// A term in object position: either a resource or a literal.
+///
+/// The paper (§3) allows literals in subject position for inverse
+/// statements — a "minor digression from the standard" — but that digression
+/// is handled inside the knowledge-base store, which iterates facts in both
+/// directions; parsed triples always have IRI subjects.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A resource (instance, class, or property) identified by IRI.
+    Iri(Iri),
+    /// A literal value.
+    Literal(Literal),
+}
+
+impl Term {
+    /// Returns the IRI if this term is a resource.
+    pub fn as_iri(&self) -> Option<&Iri> {
+        match self {
+            Term::Iri(i) => Some(i),
+            Term::Literal(_) => None,
+        }
+    }
+
+    /// Returns the literal if this term is one.
+    pub fn as_literal(&self) -> Option<&Literal> {
+        match self {
+            Term::Literal(l) => Some(l),
+            Term::Iri(_) => None,
+        }
+    }
+
+    /// True iff this term is a literal.
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Term::Literal(_))
+    }
+}
+
+impl From<Iri> for Term {
+    fn from(i: Iri) -> Self {
+        Term::Iri(i)
+    }
+}
+
+impl From<Literal> for Term {
+    fn from(l: Literal) -> Self {
+        Term::Literal(l)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(i) => write!(f, "{i}"),
+            Term::Literal(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iri_local_name_hash() {
+        assert_eq!(Iri::new("http://ex.org/onto#Elvis").local_name(), "Elvis");
+    }
+
+    #[test]
+    fn iri_local_name_slash() {
+        assert_eq!(Iri::new("http://ex.org/Elvis").local_name(), "Elvis");
+    }
+
+    #[test]
+    fn iri_local_name_opaque() {
+        assert_eq!(Iri::new("urn:x").local_name(), "x");
+        assert_eq!(Iri::new("plain").local_name(), "plain");
+    }
+
+    #[test]
+    fn iri_equality_is_structural() {
+        assert_eq!(Iri::new("http://a"), Iri::new(String::from("http://a")));
+        assert_ne!(Iri::new("http://a"), Iri::new("http://b"));
+    }
+
+    #[test]
+    fn literal_accessors() {
+        let plain = Literal::plain("x");
+        assert_eq!(plain.value(), "x");
+        assert_eq!(plain.language(), None);
+        assert_eq!(plain.datatype(), None);
+
+        let lang = Literal::lang_tagged("London", "en");
+        assert_eq!(lang.language(), Some("en"));
+        assert_eq!(lang.datatype(), None);
+
+        let typed = Literal::typed("42", "http://www.w3.org/2001/XMLSchema#integer");
+        assert_eq!(typed.language(), None);
+        assert_eq!(typed.datatype().unwrap().local_name(), "integer");
+    }
+
+    #[test]
+    fn literal_kind_distinguishes_equality() {
+        assert_ne!(Literal::plain("42"), Literal::typed("42", "http://t"));
+        assert_ne!(Literal::lang_tagged("x", "en"), Literal::lang_tagged("x", "fr"));
+        assert_eq!(Literal::plain("x"), Literal::plain("x"));
+    }
+
+    #[test]
+    fn term_accessors() {
+        let t: Term = Iri::new("http://a").into();
+        assert!(t.as_iri().is_some());
+        assert!(!t.is_literal());
+        let l: Term = Literal::plain("v").into();
+        assert!(l.is_literal());
+        assert_eq!(l.as_literal().unwrap().value(), "v");
+    }
+
+    #[test]
+    fn debug_formats() {
+        let t = Term::Literal(Literal::lang_tagged("a", "en"));
+        assert_eq!(format!("{t:?}"), "Literal(\"a\"@en)");
+        assert_eq!(format!("{:?}", Iri::new("http://a")), "<http://a>");
+    }
+}

@@ -1,0 +1,51 @@
+//! RDF statements (triples).
+
+use std::fmt;
+
+use crate::term::{Iri, Term};
+
+/// A statement `r(x, y)`: subject `x`, property `r`, object `y` (paper §3).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    /// The subject resource (`x` in `r(x, y)`).
+    pub subject: Iri,
+    /// The property (`r`).
+    pub predicate: Iri,
+    /// The object (`y`): resource or literal.
+    pub object: Term,
+}
+
+impl Triple {
+    /// Creates a triple from its three components.
+    pub fn new(subject: impl Into<Iri>, predicate: impl Into<Iri>, object: impl Into<Term>) -> Self {
+        Triple { subject: subject.into(), predicate: predicate.into(), object: object.into() }
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({}, {})", self.predicate.local_name(), self.subject.local_name(), self.object)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Literal;
+
+    #[test]
+    fn construction_and_display() {
+        let t = Triple::new("http://ex.org/Elvis", "http://ex.org/name", Literal::plain("Elvis"));
+        assert_eq!(t.subject.as_str(), "http://ex.org/Elvis");
+        assert_eq!(format!("{t}"), "name(Elvis, Elvis)");
+    }
+
+    #[test]
+    fn equality() {
+        let a = Triple::new("http://s", "http://p", Iri::new("http://o"));
+        let b = Triple::new("http://s", "http://p", Iri::new("http://o"));
+        let c = Triple::new("http://s", "http://p", Literal::plain("http://o"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

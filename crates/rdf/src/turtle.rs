@@ -1,0 +1,711 @@
+//! Turtle parsing (the practical subset real KB dumps use).
+//!
+//! The paper's ontologies ship as [Turtle](https://www.w3.org/TR/turtle/)
+//! as often as N-Triples (DBpedia's dumps in particular). This is a
+//! recursive-descent parser for the subset those dumps exercise:
+//!
+//! * `@prefix` / `@base` directives (and their SPARQL-style spellings),
+//! * predicate lists (`;`), object lists (`,`), the `a` keyword,
+//! * prefixed names and relative IRIs (resolved against the base),
+//! * all literal forms: quoted strings (`"…"`, `'…'`, and their long
+//!   triple-quoted variants), language tags, datatypes, and the bare
+//!   numeric / boolean shorthands,
+//! * blank-node labels (`_:x`, skolemized like the N-Triples parser) and
+//!   anonymous blank nodes `[ … ]` with property lists.
+//!
+//! RDF collections (`( … )`) are rejected with a clear error — none of
+//! the targeted dumps use them, and silently mis-parsing would be worse.
+
+use crate::error::RdfError;
+use crate::term::{Iri, Literal, Term};
+use crate::triple::Triple;
+use crate::vocab;
+
+/// Parses a complete Turtle document.
+pub fn parse_turtle(input: &str) -> Result<Vec<Triple>, RdfError> {
+    let mut parser = TurtleParser::new(input);
+    parser.document()?;
+    Ok(parser.triples)
+}
+
+/// Reads and parses a Turtle file.
+pub fn parse_turtle_file(path: impl AsRef<std::path::Path>) -> Result<Vec<Triple>, RdfError> {
+    let text = std::fs::read_to_string(path)?;
+    parse_turtle(&text)
+}
+
+struct TurtleParser {
+    chars: Vec<char>,
+    pos: usize,
+    line: u64,
+    base: Option<String>,
+    prefixes: std::collections::HashMap<String, String>,
+    /// Counter for anonymous blank nodes.
+    anon: u64,
+    triples: Vec<Triple>,
+}
+
+impl TurtleParser {
+    fn new(input: &str) -> Self {
+        TurtleParser {
+            chars: input.chars().collect(),
+            pos: 0,
+            line: 1,
+            base: None,
+            prefixes: std::collections::HashMap::new(),
+            anon: 0,
+            triples: Vec::new(),
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> RdfError {
+        RdfError::Syntax { line: self.line, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('#') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), RdfError> {
+        self.skip_ws();
+        if self.bump() == Some(c) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{c}'")))
+        }
+    }
+
+    fn starts_with_keyword(&self, kw: &str) -> bool {
+        let kw_chars: Vec<char> = kw.chars().collect();
+        if self.chars.len() < self.pos + kw_chars.len() {
+            return false;
+        }
+        self.chars[self.pos..self.pos + kw_chars.len()]
+            .iter()
+            .zip(&kw_chars)
+            .all(|(a, b)| a.eq_ignore_ascii_case(b))
+    }
+
+    fn consume_keyword(&mut self, kw: &str) {
+        for _ in kw.chars() {
+            self.bump();
+        }
+    }
+
+    // ------------------------------------------------------------------
+
+    fn document(&mut self) -> Result<(), RdfError> {
+        loop {
+            self.skip_ws();
+            if self.peek().is_none() {
+                return Ok(());
+            }
+            if self.starts_with_keyword("@prefix") {
+                self.consume_keyword("@prefix");
+                self.prefix_directive(true)?;
+            } else if self.starts_with_keyword("@base") {
+                self.consume_keyword("@base");
+                self.base_directive(true)?;
+            } else if self.starts_with_keyword("PREFIX") {
+                self.consume_keyword("PREFIX");
+                self.prefix_directive(false)?;
+            } else if self.starts_with_keyword("BASE") {
+                self.consume_keyword("BASE");
+                self.base_directive(false)?;
+            } else {
+                self.statement()?;
+            }
+        }
+    }
+
+    fn prefix_directive(&mut self, dotted: bool) -> Result<(), RdfError> {
+        self.skip_ws();
+        let mut prefix = String::new();
+        while let Some(c) = self.peek() {
+            if c == ':' {
+                break;
+            }
+            if c.is_whitespace() {
+                return Err(self.err("expected ':' in prefix declaration"));
+            }
+            prefix.push(c);
+            self.bump();
+        }
+        self.expect(':')?;
+        self.skip_ws();
+        let iri = self.iriref()?;
+        self.prefixes.insert(prefix, iri);
+        if dotted {
+            self.expect('.')?;
+        }
+        Ok(())
+    }
+
+    fn base_directive(&mut self, dotted: bool) -> Result<(), RdfError> {
+        self.skip_ws();
+        let iri = self.iriref()?;
+        self.base = Some(iri);
+        if dotted {
+            self.expect('.')?;
+        }
+        Ok(())
+    }
+
+    fn statement(&mut self) -> Result<(), RdfError> {
+        let subject = self.subject()?;
+        self.predicate_object_list(&subject)?;
+        self.expect('.')
+    }
+
+    fn subject(&mut self) -> Result<Iri, RdfError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('<') => Ok(Iri::new(self.iriref()?)),
+            Some('_') => self.blank_label(),
+            Some('[') => self.anonymous_blank(),
+            Some('(') => Err(self.err("RDF collections '( … )' are not supported")),
+            Some(_) => Ok(self.prefixed_name()?),
+            None => Err(self.err("unexpected end of input, expected subject")),
+        }
+    }
+
+    fn predicate_object_list(&mut self, subject: &Iri) -> Result<(), RdfError> {
+        loop {
+            let predicate = self.verb()?;
+            loop {
+                let object = self.object()?;
+                self.triples.push(Triple {
+                    subject: subject.clone(),
+                    predicate: predicate.clone(),
+                    object,
+                });
+                self.skip_ws();
+                if self.peek() == Some(',') {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.skip_ws();
+            if self.peek() == Some(';') {
+                self.bump();
+                self.skip_ws();
+                // trailing ';' before '.' or ']' is legal
+                match self.peek() {
+                    Some('.') | Some(']') | None => return Ok(()),
+                    _ => continue,
+                }
+            }
+            return Ok(());
+        }
+    }
+
+    fn verb(&mut self) -> Result<Iri, RdfError> {
+        self.skip_ws();
+        // 'a' keyword: must be followed by whitespace or '<'
+        if self.peek() == Some('a') {
+            let next = self.chars.get(self.pos + 1).copied();
+            if next.is_none_or(|c| c.is_whitespace() || c == '<') {
+                self.bump();
+                return Ok(Iri::new(vocab::RDF_TYPE));
+            }
+        }
+        match self.peek() {
+            Some('<') => Ok(Iri::new(self.iriref()?)),
+            Some(_) => self.prefixed_name(),
+            None => Err(self.err("unexpected end of input, expected predicate")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Term, RdfError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('<') => Ok(Term::Iri(Iri::new(self.iriref()?))),
+            Some('_') => Ok(Term::Iri(self.blank_label()?)),
+            Some('[') => Ok(Term::Iri(self.anonymous_blank()?)),
+            Some('(') => Err(self.err("RDF collections '( … )' are not supported")),
+            Some('"') | Some('\'') => Ok(Term::Literal(self.string_literal()?)),
+            Some(c) if c.is_ascii_digit() || c == '+' || c == '-' => {
+                Ok(Term::Literal(self.numeric_literal()?))
+            }
+            Some('t') | Some('f') if self.starts_with_keyword("true") || self.starts_with_keyword("false") => {
+                let value = if self.starts_with_keyword("true") { "true" } else { "false" };
+                self.consume_keyword(value);
+                Ok(Term::Literal(Literal::typed(
+                    value,
+                    "http://www.w3.org/2001/XMLSchema#boolean",
+                )))
+            }
+            Some(_) => Ok(Term::Iri(self.prefixed_name()?)),
+            None => Err(self.err("unexpected end of input, expected object")),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // terminals
+
+    fn iriref(&mut self) -> Result<String, RdfError> {
+        self.skip_ws();
+        if self.bump() != Some('<') {
+            return Err(self.err("expected '<'"));
+        }
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some('>') => break,
+                Some('\\') => match self.bump() {
+                    Some('u') => out.push(self.hex_char(4)?),
+                    Some('U') => out.push(self.hex_char(8)?),
+                    other => {
+                        return Err(self.err(format!("illegal IRI escape {other:?}")));
+                    }
+                },
+                Some(c) if c.is_whitespace() => return Err(self.err("whitespace in IRI")),
+                Some(c) => out.push(c),
+                None => return Err(self.err("unterminated IRI")),
+            }
+        }
+        // Resolve relative IRIs against the base (simple concatenation —
+        // enough for dump-style data where relative IRIs are fragments).
+        if !out.contains(':') {
+            if let Some(base) = &self.base {
+                return Ok(format!("{base}{out}"));
+            }
+        }
+        Ok(out)
+    }
+
+    fn hex_char(&mut self, len: usize) -> Result<char, RdfError> {
+        let mut code = 0u32;
+        for _ in 0..len {
+            let c = self.bump().ok_or_else(|| self.err("truncated unicode escape"))?;
+            let digit =
+                c.to_digit(16).ok_or_else(|| self.err("invalid hex in unicode escape"))?;
+            code = code * 16 + digit;
+        }
+        char::from_u32(code).ok_or_else(|| self.err("escape is not a valid code point"))
+    }
+
+    fn prefixed_name(&mut self) -> Result<Iri, RdfError> {
+        self.skip_ws();
+        let mut prefix = String::new();
+        while let Some(c) = self.peek() {
+            if c == ':' {
+                break;
+            }
+            if !(c.is_alphanumeric() || c == '_' || c == '-' || c == '.') {
+                return Err(self.err(format!("unexpected character '{c}' in prefixed name")));
+            }
+            prefix.push(c);
+            self.bump();
+        }
+        if self.bump() != Some(':') {
+            return Err(self.err("expected ':' in prefixed name"));
+        }
+        let namespace = self
+            .prefixes
+            .get(&prefix)
+            .ok_or_else(|| self.err(format!("undeclared prefix '{prefix}:'")))?
+            .clone();
+        let mut local = String::new();
+        while let Some(c) = self.peek() {
+            // PN_LOCAL approximation; '.' is allowed mid-name but a
+            // trailing '.' terminates the statement instead.
+            if c.is_alphanumeric() || c == '_' || c == '-' || c == '%' {
+                local.push(c);
+                self.bump();
+            } else if c == '.' {
+                match self.chars.get(self.pos + 1) {
+                    Some(n) if n.is_alphanumeric() || *n == '_' => {
+                        local.push(c);
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            } else if c == '\\' {
+                // PN_LOCAL_ESC: backslash-escaped punctuation
+                self.bump();
+                match self.bump() {
+                    Some(esc) => local.push(esc),
+                    None => return Err(self.err("dangling '\\' in prefixed name")),
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(Iri::new(format!("{namespace}{local}")))
+    }
+
+    fn blank_label(&mut self) -> Result<Iri, RdfError> {
+        self.bump(); // '_'
+        if self.bump() != Some(':') {
+            return Err(self.err("expected ':' after '_'"));
+        }
+        let mut label = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' {
+                label.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if label.is_empty() {
+            return Err(self.err("empty blank node label"));
+        }
+        Ok(Iri::new(format!("bnode://{label}")))
+    }
+
+    fn anonymous_blank(&mut self) -> Result<Iri, RdfError> {
+        self.bump(); // '['
+        self.anon += 1;
+        let node = Iri::new(format!("bnode://anon{}", self.anon));
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.bump();
+            return Ok(node);
+        }
+        self.predicate_object_list(&node)?;
+        self.expect(']')?;
+        Ok(node)
+    }
+
+    fn string_literal(&mut self) -> Result<Literal, RdfError> {
+        let quote = self.bump().expect("caller checked quote");
+        // Long string?
+        let long = self.peek() == Some(quote) && self.chars.get(self.pos + 1) == Some(&quote);
+        if long {
+            self.bump();
+            self.bump();
+        }
+        let mut value = String::new();
+        loop {
+            let Some(c) = self.bump() else {
+                return Err(self.err("unterminated string literal"));
+            };
+            if c == quote {
+                if !long {
+                    break;
+                }
+                if self.peek() == Some(quote) && self.chars.get(self.pos + 1) == Some(&quote) {
+                    self.bump();
+                    self.bump();
+                    break;
+                }
+                value.push(c);
+                continue;
+            }
+            if c == '\\' {
+                match self.bump() {
+                    Some('t') => value.push('\t'),
+                    Some('b') => value.push('\u{8}'),
+                    Some('n') => value.push('\n'),
+                    Some('r') => value.push('\r'),
+                    Some('f') => value.push('\u{c}'),
+                    Some('"') => value.push('"'),
+                    Some('\'') => value.push('\''),
+                    Some('\\') => value.push('\\'),
+                    Some('u') => value.push(self.hex_char(4)?),
+                    Some('U') => value.push(self.hex_char(8)?),
+                    other => return Err(self.err(format!("illegal string escape {other:?}"))),
+                }
+                continue;
+            }
+            if !long && (c == '\n' || c == '\r') {
+                return Err(self.err("newline in single-quoted string"));
+            }
+            value.push(c);
+        }
+        // Qualifier?
+        match self.peek() {
+            Some('@') => {
+                self.bump();
+                let mut lang = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == '-' {
+                        lang.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if lang.is_empty() {
+                    return Err(self.err("empty language tag"));
+                }
+                Ok(Literal::lang_tagged(value, lang))
+            }
+            Some('^') => {
+                self.bump();
+                if self.bump() != Some('^') {
+                    return Err(self.err("expected '^^'"));
+                }
+                self.skip_ws();
+                let dt = match self.peek() {
+                    Some('<') => Iri::new(self.iriref()?),
+                    _ => self.prefixed_name()?,
+                };
+                Ok(Literal::typed(value, dt))
+            }
+            _ => Ok(Literal::plain(value)),
+        }
+    }
+
+    fn numeric_literal(&mut self) -> Result<Literal, RdfError> {
+        let mut text = String::new();
+        let mut has_dot = false;
+        let mut has_exp = false;
+        if matches!(self.peek(), Some('+') | Some('-')) {
+            text.push(self.bump().expect("peeked"));
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                text.push(c);
+                self.bump();
+            } else if c == '.' && !has_dot && !has_exp {
+                // A '.' only belongs to the number if a digit follows —
+                // otherwise it terminates the statement.
+                match self.chars.get(self.pos + 1) {
+                    Some(n) if n.is_ascii_digit() => {
+                        has_dot = true;
+                        text.push(c);
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            } else if (c == 'e' || c == 'E') && !has_exp {
+                has_exp = true;
+                text.push(c);
+                self.bump();
+                if matches!(self.peek(), Some('+') | Some('-')) {
+                    text.push(self.bump().expect("peeked"));
+                }
+            } else {
+                break;
+            }
+        }
+        if text.is_empty() || text.chars().all(|c| c == '+' || c == '-') {
+            return Err(self.err("malformed numeric literal"));
+        }
+        let datatype = if has_exp {
+            vocab::XSD_DOUBLE
+        } else if has_dot {
+            vocab::XSD_DECIMAL
+        } else {
+            vocab::XSD_INTEGER
+        };
+        Ok(Literal::typed(text, datatype))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(doc: &str) -> Vec<Triple> {
+        parse_turtle(doc).expect("valid turtle")
+    }
+
+    #[test]
+    fn basic_statement_with_prefixes() {
+        let doc = r#"
+@prefix ex: <http://ex.org/> .
+ex:elvis ex:bornIn ex:tupelo .
+"#;
+        let ts = parse(doc);
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].subject.as_str(), "http://ex.org/elvis");
+        assert_eq!(ts[0].predicate.as_str(), "http://ex.org/bornIn");
+    }
+
+    #[test]
+    fn sparql_style_prefix() {
+        let doc = "PREFIX ex: <http://ex.org/>\nex:a ex:b ex:c .";
+        assert_eq!(parse(doc).len(), 1);
+    }
+
+    #[test]
+    fn a_keyword_is_rdf_type() {
+        let doc = "@prefix ex: <http://ex.org/> .\nex:elvis a ex:Singer .";
+        let ts = parse(doc);
+        assert_eq!(ts[0].predicate.as_str(), vocab::RDF_TYPE);
+    }
+
+    #[test]
+    fn predicate_and_object_lists() {
+        let doc = r#"
+@prefix ex: <http://ex.org/> .
+ex:elvis a ex:Singer, ex:Actor ;
+    ex:name "Elvis" ;
+    ex:knows ex:carl, ex:bob .
+"#;
+        let ts = parse(doc);
+        assert_eq!(ts.len(), 5);
+        assert!(ts.iter().all(|t| t.subject.as_str() == "http://ex.org/elvis"));
+    }
+
+    #[test]
+    fn literal_forms() {
+        let doc = r#"
+@prefix ex: <http://ex.org/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+ex:x ex:plain "hello" ;
+     ex:lang "hallo"@de ;
+     ex:typed "42"^^xsd:integer ;
+     ex:int 42 ;
+     ex:dec 3.25 ;
+     ex:dbl 1.0e6 ;
+     ex:neg -7 ;
+     ex:yes true .
+"#;
+        let ts = parse(doc);
+        assert_eq!(ts.len(), 8);
+        let lit = |i: usize| ts[i].object.as_literal().expect("literal");
+        assert_eq!(lit(0).value(), "hello");
+        assert_eq!(lit(1).language(), Some("de"));
+        assert_eq!(lit(2).datatype().unwrap().local_name(), "integer");
+        assert_eq!(lit(3).value(), "42");
+        assert_eq!(lit(3).datatype().unwrap().local_name(), "integer");
+        assert_eq!(lit(4).datatype().unwrap().local_name(), "decimal");
+        assert_eq!(lit(5).datatype().unwrap().local_name(), "double");
+        assert_eq!(lit(6).value(), "-7");
+        assert_eq!(lit(7).value(), "true");
+    }
+
+    #[test]
+    fn single_quoted_and_long_strings() {
+        let doc = "@prefix ex: <http://e/> .\nex:x ex:a 'single' ; ex:b \"\"\"multi\nline \"quoted\" text\"\"\" .";
+        let ts = parse(doc);
+        assert_eq!(ts[0].object.as_literal().unwrap().value(), "single");
+        assert_eq!(ts[1].object.as_literal().unwrap().value(), "multi\nline \"quoted\" text");
+    }
+
+    #[test]
+    fn base_resolution() {
+        let doc = "@base <http://base.org/> .\n<rel> <p> <other> .";
+        let ts = parse(doc);
+        assert_eq!(ts[0].subject.as_str(), "http://base.org/rel");
+        assert_eq!(ts[0].object.as_iri().unwrap().as_str(), "http://base.org/other");
+        // absolute IRIs are untouched — 'p'? 'p' has no colon → resolved too
+        assert_eq!(ts[0].predicate.as_str(), "http://base.org/p");
+    }
+
+    #[test]
+    fn blank_nodes() {
+        let doc = "@prefix ex: <http://e/> .\n_:a ex:p _:b .\nex:x ex:q [] .\nex:y ex:r [ ex:s ex:z ] .";
+        let ts = parse(doc);
+        assert_eq!(ts[0].subject.as_str(), "bnode://a");
+        assert!(ts[1].object.as_iri().unwrap().as_str().starts_with("bnode://anon"));
+        // the bracketed property list emits its own triple
+        assert_eq!(ts.len(), 4);
+        let inner = ts.iter().find(|t| t.predicate.as_str() == "http://e/s").unwrap();
+        assert!(inner.subject.as_str().starts_with("bnode://anon"));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let doc = "# header\n@prefix ex: <http://e/> . # trailing\nex:a ex:b ex:c . # done";
+        assert_eq!(parse(doc).len(), 1);
+    }
+
+    #[test]
+    fn dot_in_local_names() {
+        let doc = "@prefix ex: <http://e/> .\nex:v1.2 ex:p ex:x .";
+        let ts = parse(doc);
+        assert_eq!(ts[0].subject.as_str(), "http://e/v1.2");
+    }
+
+    #[test]
+    fn errors_are_reported_with_lines() {
+        let doc = "@prefix ex: <http://e/> .\nex:a ex:b ( ex:c ) .";
+        match parse_turtle(doc) {
+            Err(RdfError::Syntax { line, message }) => {
+                assert_eq!(line, 2);
+                assert!(message.contains("collections"));
+            }
+            other => panic!("expected collection error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undeclared_prefix_is_an_error() {
+        assert!(parse_turtle("nope:a nope:b nope:c .").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(parse_turtle("@prefix e: <http://e/> .\ne:a e:b \"oops .").is_err());
+    }
+
+    #[test]
+    fn turtle_agrees_with_ntriples_on_shared_subset() {
+        use crate::ntriples::Parser;
+        let nt = r#"<http://e/a> <http://e/p> "x"@en .
+<http://e/a> <http://e/q> <http://e/b> .
+"#;
+        // Same content in Turtle:
+        let ttl = r#"@prefix e: <http://e/> .
+e:a e:p "x"@en ; e:q e:b .
+"#;
+        let from_nt = Parser::parse_all(nt).unwrap();
+        let from_ttl = parse(ttl);
+        assert_eq!(from_nt, from_ttl);
+    }
+
+    #[test]
+    fn ntriples_documents_parse_as_turtle() {
+        // N-Triples is a subset of Turtle; our parser must accept it.
+        let nt = "<http://e/a> <http://e/p> \"val\" .\n<http://e/b> <http://e/q> <http://e/c> .\n";
+        assert_eq!(parse(nt).len(), 2);
+    }
+
+    #[test]
+    fn schema_vocabulary_parses() {
+        let doc = r#"
+@prefix ex: <http://ex.org/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+ex:Singer rdfs:subClassOf ex:Person .
+ex:elvis a ex:Singer ; ex:name "Elvis Presley" .
+"#;
+        let triples = parse(doc);
+        assert_eq!(triples.len(), 3);
+        assert!(triples.iter().any(|t| t.predicate.as_str() == vocab::RDFS_SUBCLASS_OF));
+    }
+
+    #[test]
+    fn round_trip_through_ntriples_writer() {
+        let ttl = r#"@prefix e: <http://e/> .
+e:a e:p "hello\nworld" ; e:q 3.25 ; a e:C .
+"#;
+        let triples = parse(ttl);
+        let nt = crate::ntriples::to_string(&triples);
+        let reparsed = crate::ntriples::Parser::parse_all(&nt).unwrap();
+        assert_eq!(triples, reparsed);
+    }
+}

@@ -1,0 +1,80 @@
+//! The RDF/RDFS vocabulary terms that PARIS interprets.
+//!
+//! PARIS is vocabulary-agnostic except for four properties (§3):
+//! `rdf:type` (instance-to-class membership), `rdfs:subClassOf` and
+//! `rdfs:subPropertyOf` (used to compute the deductive closure), and
+//! `rdfs:label` (used by the baseline aligner and shown in Table 4 as an
+//! alignment target, e.g. `dbp:birthName ⊆ rdfs:label`).
+
+use crate::term::Iri;
+
+/// `rdf:type` — connects an instance to a class.
+pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+/// `rdfs:subClassOf` — class `c` is a subclass of class `d`.
+pub const RDFS_SUBCLASS_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+
+/// `rdfs:subPropertyOf` — relation `r` is a sub-relation of `s`.
+pub const RDFS_SUBPROPERTY_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+
+/// `rdfs:label` — human-readable name of a resource.
+pub const RDFS_LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+
+/// `owl:sameAs` — links two resources denoting the same real-world object.
+/// PARIS's instance alignments are published as `sameAs` statements, the
+/// Semantic Web's interlinking vocabulary (paper §1).
+pub const OWL_SAME_AS: &str = "http://www.w3.org/2002/07/owl#sameAs";
+
+/// `xsd:string` datatype IRI.
+pub const XSD_STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+
+/// `xsd:integer` datatype IRI.
+pub const XSD_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+
+/// `xsd:decimal` datatype IRI.
+pub const XSD_DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+
+/// `xsd:double` datatype IRI.
+pub const XSD_DOUBLE: &str = "http://www.w3.org/2001/XMLSchema#double";
+
+/// `xsd:date` datatype IRI.
+pub const XSD_DATE: &str = "http://www.w3.org/2001/XMLSchema#date";
+
+/// Returns `rdf:type` as an [`Iri`].
+pub fn rdf_type() -> Iri {
+    Iri::new(RDF_TYPE)
+}
+
+/// Returns `rdfs:subClassOf` as an [`Iri`].
+pub fn rdfs_subclass_of() -> Iri {
+    Iri::new(RDFS_SUBCLASS_OF)
+}
+
+/// Returns `rdfs:subPropertyOf` as an [`Iri`].
+pub fn rdfs_subproperty_of() -> Iri {
+    Iri::new(RDFS_SUBPROPERTY_OF)
+}
+
+/// Returns `rdfs:label` as an [`Iri`].
+pub fn rdfs_label() -> Iri {
+    Iri::new(RDFS_LABEL)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_match_constants() {
+        assert_eq!(rdf_type().as_str(), RDF_TYPE);
+        assert_eq!(rdfs_subclass_of().as_str(), RDFS_SUBCLASS_OF);
+        assert_eq!(rdfs_subproperty_of().as_str(), RDFS_SUBPROPERTY_OF);
+        assert_eq!(rdfs_label().as_str(), RDFS_LABEL);
+    }
+
+    #[test]
+    fn local_names() {
+        assert_eq!(rdf_type().local_name(), "type");
+        assert_eq!(rdfs_subclass_of().local_name(), "subClassOf");
+    }
+}

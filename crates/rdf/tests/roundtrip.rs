@@ -1,0 +1,59 @@
+//! Property tests: serialize → parse is the identity on arbitrary triples.
+
+use paris_rdf::ntriples::{to_string, Parser};
+use paris_rdf::{Iri, Literal, Term, Triple};
+use proptest::prelude::*;
+
+/// IRI bodies: non-empty, printable, excluding characters the writer escapes
+/// (which are still legal — covered by `escaped_iri_round_trips` below).
+fn arb_iri() -> impl Strategy<Value = Iri> {
+    "[a-zA-Z][a-zA-Z0-9:/._~#-]{0,40}".prop_map(Iri::new)
+}
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        any::<String>().prop_map(Literal::plain),
+        (any::<String>(), "[a-z]{2}(-[A-Z]{2})?")
+            .prop_map(|(v, l)| Literal::lang_tagged(v, l)),
+        (any::<String>(), arb_iri()).prop_map(|(v, d)| Literal::typed(v, d)),
+    ]
+}
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![arb_iri().prop_map(Term::Iri), arb_literal().prop_map(Term::Literal)]
+}
+
+fn arb_triple() -> impl Strategy<Value = Triple> {
+    (arb_iri(), arb_iri(), arb_term())
+        .prop_map(|(s, p, o)| Triple { subject: s, predicate: p, object: o })
+}
+
+proptest! {
+    #[test]
+    fn round_trip(triples in proptest::collection::vec(arb_triple(), 0..20)) {
+        let doc = to_string(&triples);
+        let reparsed = Parser::parse_all(&doc).unwrap();
+        prop_assert_eq!(triples, reparsed);
+    }
+
+    /// IRIs containing characters that must be \u-escaped still round-trip.
+    #[test]
+    fn escaped_iri_round_trips(body in "[ <>\"{}|^`\\\\a-z]{1,20}") {
+        let t = Triple::new(
+            Iri::new(format!("http://x/{body}")),
+            "http://p",
+            Iri::new("http://o"),
+        );
+        let doc = to_string(std::slice::from_ref(&t));
+        let reparsed = Parser::parse_all(&doc).unwrap();
+        prop_assert_eq!(vec![t], reparsed);
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_never_panics(input in any::<String>()) {
+        for item in Parser::new(&input) {
+            let _ = item;
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Compare literal-similarity functions on dirty catalogue data.
+//!
+//! §5.3 of the paper: literal equivalence is the one application-dependent
+//! ingredient of PARIS. This example runs the restaurant benchmark (whose
+//! phone numbers are systematically reformatted, §6.3) under every
+//! similarity function shipped in `paris-literals` and prints the
+//! precision/recall trade-off each one buys — the experiment you would run
+//! when tuning PARIS for a new dataset pair.
+//!
+//! Run: `cargo run --release --example literal_similarity_tuning`
+
+use paris_repro::datagen::restaurants::{generate, RestaurantsConfig};
+use paris_repro::eval::evaluate_instances;
+use paris_repro::literals::LiteralSimilarity;
+use paris_repro::paris::{Aligner, ParisConfig};
+
+fn main() {
+    let pair = generate(&RestaurantsConfig::default());
+
+    let candidates: Vec<(&str, LiteralSimilarity)> = vec![
+        ("identity (paper default)", LiteralSimilarity::Identity),
+        ("normalized (paper §6.3)", LiteralSimilarity::Normalized),
+        ("edit distance ≥ 0.8", LiteralSimilarity::EditDistance { min_similarity: 0.8 }),
+        ("token sort", LiteralSimilarity::TokenSort),
+        ("numeric ±5%", LiteralSimilarity::NumericProportional { tolerance: 0.05 }),
+    ];
+
+    println!(
+        "{:<28} {:>8} {:>8} {:>8} {:>9} {:>7}",
+        "literal similarity", "P", "R", "F", "#matched", "iters"
+    );
+    for (label, sim) in candidates {
+        let config = ParisConfig::default().with_literal_similarity(sim);
+        let result = Aligner::new(&pair.kb1, &pair.kb2, config).run();
+        let counts = evaluate_instances(&result, &pair.gold);
+        println!(
+            "{label:<28} {:>7.1}% {:>7.1}% {:>7.1}% {:>9} {:>7}",
+            counts.precision() * 100.0,
+            counts.recall() * 100.0,
+            counts.f1() * 100.0,
+            result.instance_pairs().len(),
+            result.iterations.len(),
+        );
+    }
+
+    println!("\nedit distance recovers typo'd names that identity misses;");
+    println!("normalized fixes the 213/467-1108 vs 213-467-1108 phones (paper §6.3).");
+}

@@ -1,0 +1,81 @@
+//! Quickstart: align two tiny hand-written ontologies.
+//!
+//! This is the paper's introductory scenario in miniature: two knowledge
+//! bases describe overlapping people with *entirely different* vocabularies
+//! (relation and class names share nothing), and PARIS discovers the
+//! instance equivalences, the relation inclusions, and the class inclusions
+//! in one run — no training data, no tuning.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use paris_repro::kb::KbBuilder;
+use paris_repro::paris::{Aligner, ParisConfig};
+use paris_repro::rdf::Literal;
+
+fn main() {
+    // ---- ontology 1: a small curated KB --------------------------------
+    let mut a = KbBuilder::new("curated");
+    for (person, email, city) in [
+        ("alice", "alice@example.org", "paris"),
+        ("bob", "bob@example.org", "paris"),
+        ("carla", "carla@example.org", "lyon"),
+    ] {
+        let p = format!("http://curated.org/{person}");
+        a.add_type(p.as_str(), "http://curated.org/Person");
+        a.add_literal_fact(p.as_str(), "http://curated.org/email", Literal::plain(email));
+        a.add_fact(p.as_str(), "http://curated.org/livesIn", format!("http://curated.org/{city}"));
+    }
+    a.add_literal_fact("http://curated.org/paris", "http://curated.org/name", Literal::plain("Paris"));
+    a.add_literal_fact("http://curated.org/lyon", "http://curated.org/name", Literal::plain("Lyon"));
+    a.add_type("http://curated.org/paris", "http://curated.org/City");
+    a.add_type("http://curated.org/lyon", "http://curated.org/City");
+
+    // ---- ontology 2: an extracted KB with different design --------------
+    let mut b = KbBuilder::new("extracted");
+    for (id, email, city) in [
+        ("u17", "alice@example.org", "c1"),
+        ("u42", "bob@example.org", "c1"),
+        ("u99", "carla@example.org", "c2"),
+        ("u07", "dave@example.org", "c2"), // only in this ontology
+    ] {
+        let p = format!("http://extracted.net/{id}");
+        b.add_type(p.as_str(), "http://extracted.net/Agent");
+        b.add_literal_fact(p.as_str(), "http://extracted.net/mbox", Literal::plain(email));
+        // Inverted direction: city → resident.
+        b.add_fact(format!("http://extracted.net/{city}"), "http://extracted.net/resident", p.as_str());
+    }
+    b.add_literal_fact("http://extracted.net/c1", "http://extracted.net/label", Literal::plain("Paris"));
+    b.add_literal_fact("http://extracted.net/c2", "http://extracted.net/label", Literal::plain("Lyon"));
+    b.add_type("http://extracted.net/c1", "http://extracted.net/Settlement");
+    b.add_type("http://extracted.net/c2", "http://extracted.net/Settlement");
+
+    // ---- align ----------------------------------------------------------
+    let (kb1, kb2) = (a.build(), b.build());
+    let result = Aligner::new(&kb1, &kb2, ParisConfig::default()).run();
+
+    println!("converged after {} iterations\n", result.iterations.len());
+
+    println!("instance alignments (maximal assignment):");
+    for (x, x2, p) in result.instance_pairs() {
+        println!(
+            "  {:<28} ≡ {:<28} {p:.2}",
+            kb1.iri(x).expect("instances have IRIs").as_str(),
+            kb2.iri(x2).expect("instances have IRIs").as_str(),
+        );
+    }
+
+    println!("\nrelation inclusions (curated ⊆ extracted, score ≥ 0.3):");
+    for (sub, sup, p) in result.relation_alignments_1to2(0.3) {
+        println!("  {sub:<12} ⊆ {sup:<12} {p:.2}");
+    }
+
+    println!("\nclass inclusions (score ≥ 0.3):");
+    for score in result.classes.above_1to2(0.3) {
+        println!(
+            "  {:<10} ⊆ {:<12} {:.2}",
+            kb1.iri(score.sub).expect("classes have IRIs").local_name(),
+            kb2.iri(score.sup).expect("classes have IRIs").local_name(),
+            score.prob,
+        );
+    }
+}

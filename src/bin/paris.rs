@@ -1,0 +1,511 @@
+//! `paris` — command-line ontology alignment.
+//!
+//! The front door for using this reproduction as a tool rather than a
+//! library:
+//!
+//! ```text
+//! paris align left.nt right.nt --sameas links.nt     # align two RDF files
+//! paris stats dump.nt                                # Table-2-style statistics
+//! paris generate movies --out /tmp/movies            # emit a benchmark pair
+//! ```
+//!
+//! Arguments are parsed by hand — the tool's surface is small and the
+//! workspace deliberately avoids dependencies beyond the approved set.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use paris_repro::datagen;
+use paris_repro::eval::Counts;
+use paris_repro::kb::{kb_from_file, Kb, KbStats};
+use paris_repro::literals::LiteralSimilarity;
+use paris_repro::paris::{Aligner, ParisConfig};
+use paris_repro::rdf::Iri;
+
+const USAGE: &str = "\
+paris — Probabilistic Alignment of Relations, Instances, and Schema
+
+USAGE:
+  paris align <LEFT> <RIGHT> [OPTIONS]
+  paris stats <FILE>...
+  paris generate <persons|restaurants|encyclopedia|movies> --out <DIR> [--seed N] [--scale N]
+
+Input files may be N-Triples (.nt), Turtle (.ttl/.turtle), or tab-separated
+facts (.tsv: subject TAB relation TAB object, quoted objects are literals).
+
+ALIGN OPTIONS:
+  --literals <identity|normalized|tokensort|edit:<min>|numeric:<tol>>
+                          literal similarity function   [default: identity]
+  --theta <F>             bootstrap sub-relation score  [default: 0.1]
+  --truncation <F>        probability truncation        [default: 0.1]
+  --max-iterations <N>    iteration cap                 [default: 10]
+  --threads <N>           worker threads (0 = auto)     [default: 0]
+  --negative-evidence     use Eq. 14 instead of Eq. 13
+  --propagate-all         propagate all equalities, not just the maximal assignment
+  --threshold <F>         minimum score for printed/emitted alignments [default: 0.4]
+  --sameas <FILE.nt>      write instance alignments as owl:sameAs N-Triples
+  --gold <FILE.tsv>       score the alignment against a tab-separated gold standard
+  --relations             print relation alignments
+  --classes               print class alignments
+  --explain <IRI1> <IRI2> print the evidence for one candidate pair
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("align") => align(&args[1..]),
+        Some("stats") => stats(&args[1..]),
+        Some("generate") => generate(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'")),
+    }
+}
+
+/// Options accepted by `paris align`, parsed from the raw arguments.
+struct AlignOptions {
+    left: PathBuf,
+    right: PathBuf,
+    config: ParisConfig,
+    threshold: f64,
+    sameas: Option<PathBuf>,
+    gold: Option<PathBuf>,
+    show_relations: bool,
+    show_classes: bool,
+    explain: Option<(String, String)>,
+}
+
+fn parse_literals(spec: &str) -> Result<LiteralSimilarity, String> {
+    match spec {
+        "identity" => Ok(LiteralSimilarity::Identity),
+        "normalized" => Ok(LiteralSimilarity::Normalized),
+        "tokensort" => Ok(LiteralSimilarity::TokenSort),
+        other => {
+            if let Some(min) = other.strip_prefix("edit:") {
+                let min: f64 =
+                    min.parse().map_err(|_| format!("bad edit threshold '{min}'"))?;
+                Ok(LiteralSimilarity::EditDistance { min_similarity: min })
+            } else if let Some(tol) = other.strip_prefix("numeric:") {
+                let tol: f64 =
+                    tol.parse().map_err(|_| format!("bad numeric tolerance '{tol}'"))?;
+                Ok(LiteralSimilarity::NumericProportional { tolerance: tol })
+            } else {
+                Err(format!("unknown literal similarity '{other}'"))
+            }
+        }
+    }
+}
+
+fn parse_align(args: &[String]) -> Result<AlignOptions, String> {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut config = ParisConfig::default();
+    let mut threshold = 0.4;
+    let mut sameas = None;
+    let mut gold = None;
+    let mut show_relations = false;
+    let mut show_classes = false;
+    let mut explain = None;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |name: &str| {
+            iter.next().ok_or_else(|| format!("{name} requires a value")).cloned()
+        };
+        match arg.as_str() {
+            "--literals" => config.literal_similarity = parse_literals(&value_of("--literals")?)?,
+            "--theta" => {
+                config.theta = value_of("--theta")?
+                    .parse()
+                    .map_err(|_| "bad --theta value".to_owned())?
+            }
+            "--truncation" => {
+                config.truncation = value_of("--truncation")?
+                    .parse()
+                    .map_err(|_| "bad --truncation value".to_owned())?
+            }
+            "--max-iterations" => {
+                config.max_iterations = value_of("--max-iterations")?
+                    .parse()
+                    .map_err(|_| "bad --max-iterations value".to_owned())?
+            }
+            "--threads" => {
+                config.threads = value_of("--threads")?
+                    .parse()
+                    .map_err(|_| "bad --threads value".to_owned())?
+            }
+            "--negative-evidence" => config.negative_evidence = true,
+            "--propagate-all" => config.propagate_all_equalities = true,
+            "--threshold" => {
+                threshold = value_of("--threshold")?
+                    .parse()
+                    .map_err(|_| "bad --threshold value".to_owned())?
+            }
+            "--sameas" => sameas = Some(PathBuf::from(value_of("--sameas")?)),
+            "--gold" => gold = Some(PathBuf::from(value_of("--gold")?)),
+            "--relations" => show_relations = true,
+            "--classes" => show_classes = true,
+            "--explain" => {
+                let a = value_of("--explain")?;
+                let b = iter
+                    .next()
+                    .ok_or("--explain needs two IRIs")?
+                    .clone();
+                explain = Some((a, b));
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown option '{flag}'")),
+            _ => positional.push(arg),
+        }
+    }
+    let [left, right] = positional.as_slice() else {
+        return Err("align needs exactly two N-Triples files".to_owned());
+    };
+    Ok(AlignOptions {
+        left: PathBuf::from(left),
+        right: PathBuf::from(right),
+        config,
+        threshold,
+        sameas,
+        gold,
+        show_relations,
+        show_classes,
+        explain,
+    })
+}
+
+fn align(args: &[String]) -> Result<(), String> {
+    let opts = parse_align(args)?;
+    let kb1 = load(&opts.left)?;
+    let kb2 = load(&opts.right)?;
+    eprintln!("loaded {}", KbStats::of(&kb1));
+    eprintln!("loaded {}", KbStats::of(&kb2));
+
+    let aligner = Aligner::new(&kb1, &kb2, opts.config.clone());
+    let result = aligner.run_with_progress(|stats| {
+        eprintln!(
+            "iteration {}: {} assigned, {:.1}% changed, {:.2}s",
+            stats.iteration,
+            stats.assigned_instances,
+            stats.changed_fraction * 100.0,
+            stats.instance_seconds + stats.subrelation_seconds,
+        );
+    });
+
+    let pairs = result.instance_pairs();
+    println!(
+        "aligned {} instances ({} above threshold {})",
+        pairs.len(),
+        pairs.iter().filter(|&&(_, _, p)| p >= opts.threshold).count(),
+        opts.threshold,
+    );
+
+    if opts.show_relations {
+        println!("\nrelation alignments (left ⊆ right):");
+        for (sub, sup, p) in result.relation_alignments_1to2(opts.threshold) {
+            println!("  {sub} ⊆ {sup}  {p:.2}");
+        }
+        println!("relation alignments (right ⊆ left):");
+        for (sub, sup, p) in result.relation_alignments_2to1(opts.threshold) {
+            println!("  {sub} ⊆ {sup}  {p:.2}");
+        }
+    }
+    if opts.show_classes {
+        println!("\nclass alignments (left ⊆ right):");
+        for s in result.classes.above_1to2(opts.threshold) {
+            let (Some(sub), Some(sup)) = (kb1.iri(s.sub), kb2.iri(s.sup)) else { continue };
+            println!("  {} ⊆ {}  {:.2}", sub.local_name(), sup.local_name(), s.prob);
+        }
+    }
+
+    if let Some(path) = &opts.sameas {
+        let links = result.sameas_triples(opts.threshold);
+        let doc = paris_repro::rdf::ntriples::to_string(&links);
+        std::fs::write(path, doc).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("\nwrote {} owl:sameAs links to {}", links.len(), path.display());
+    }
+
+    if let Some(path) = &opts.gold {
+        let gold = read_gold(path)?;
+        let counts = score_against_gold(&result.instance_pairs(), &kb1, &kb2, &gold);
+        println!("\ngold standard ({} pairs): {}", gold.len(), counts.summary());
+    }
+
+    if let Some((iri1, iri2)) = &opts.explain {
+        match result.explain(iri1, iri2) {
+            Some(explanation) => println!("\n{}", explanation.render(&kb1, &kb2)),
+            None => return Err(format!("unknown IRI in --explain ({iri1} / {iri2})")),
+        }
+    }
+    Ok(())
+}
+
+fn load(path: &Path) -> Result<Kb, String> {
+    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("kb").to_owned();
+    let is_tsv = path
+        .extension()
+        .and_then(|e| e.to_str())
+        .is_some_and(|e| e.eq_ignore_ascii_case("tsv"));
+    let result = if is_tsv {
+        // The paper's IMDb path: ad-hoc tabular facts → triples (§6.4).
+        paris_repro::kb::tsv::kb_from_tsv_file(&name, path, &format!("urn:{name}:"))
+    } else {
+        // .ttl/.turtle parse as Turtle, everything else as N-Triples.
+        kb_from_file(&name, path)
+    };
+    result.map_err(|e| format!("loading {}: {e}", path.display()))
+}
+
+fn read_gold(path: &Path) -> Result<Vec<(String, String)>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let mut out = Vec::new();
+    for (number, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((a, b)) = line.split_once('\t') else {
+            return Err(format!("{}:{}: expected two tab-separated IRIs", path.display(), number + 1));
+        };
+        out.push((a.trim().to_owned(), b.trim().to_owned()));
+    }
+    Ok(out)
+}
+
+fn score_against_gold(
+    pairs: &[(paris_repro::kb::EntityId, paris_repro::kb::EntityId, f64)],
+    kb1: &Kb,
+    kb2: &Kb,
+    gold: &[(String, String)],
+) -> Counts {
+    let mut counts = Counts::default();
+    let predicted: std::collections::HashMap<_, _> =
+        pairs.iter().map(|&(x, y, _)| (x, y)).collect();
+    for (a, b) in gold {
+        let (Some(e1), Some(e2)) = (kb1.entity_by_iri(a), kb2.entity_by_iri(b)) else {
+            continue;
+        };
+        match predicted.get(&e1) {
+            Some(&p) if p == e2 => counts.true_positives += 1,
+            Some(_) => {
+                counts.false_positives += 1;
+                counts.false_negatives += 1;
+            }
+            None => counts.false_negatives += 1,
+        }
+    }
+    counts
+}
+
+fn stats(args: &[String]) -> Result<(), String> {
+    if args.is_empty() {
+        return Err("stats needs at least one N-Triples file".to_owned());
+    }
+    println!("{}", KbStats::table_header());
+    for path in args {
+        let kb = load(Path::new(path))?;
+        println!("{}", KbStats::of(&kb).table_row());
+    }
+    Ok(())
+}
+
+fn generate(args: &[String]) -> Result<(), String> {
+    let mut dataset: Option<&str> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut seed: Option<u64> = None;
+    let mut scale: Option<usize> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = Some(PathBuf::from(
+                    iter.next().ok_or("--out requires a directory")?,
+                ))
+            }
+            "--seed" => {
+                seed = Some(
+                    iter.next()
+                        .ok_or("--seed requires a value")?
+                        .parse()
+                        .map_err(|_| "bad --seed value".to_owned())?,
+                )
+            }
+            "--scale" => {
+                scale = Some(
+                    iter.next()
+                        .ok_or("--scale requires a value")?
+                        .parse()
+                        .map_err(|_| "bad --scale value".to_owned())?,
+                )
+            }
+            name if !name.starts_with("--") && dataset.is_none() => dataset = Some(name),
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    let dataset = dataset.ok_or("generate needs a dataset name")?;
+    let out = out.ok_or("generate needs --out <DIR>")?;
+
+    let pair = match dataset {
+        "persons" => {
+            let mut c = datagen::PersonsConfig::default();
+            if let Some(s) = seed {
+                c.seed = s;
+            }
+            if let Some(n) = scale {
+                c.num_persons = n;
+            }
+            datagen::persons::generate(&c)
+        }
+        "restaurants" => {
+            let mut c = datagen::RestaurantsConfig::default();
+            if let Some(s) = seed {
+                c.seed = s;
+            }
+            if let Some(n) = scale {
+                c.num_matched = n;
+            }
+            datagen::restaurants::generate(&c)
+        }
+        "encyclopedia" => {
+            let mut c = datagen::EncyclopediaConfig::default();
+            if let Some(s) = seed {
+                c.seed = s;
+            }
+            if let Some(n) = scale {
+                c.num_people = n;
+            }
+            datagen::encyclopedia::generate(&c)
+        }
+        "movies" => {
+            let mut c = datagen::MoviesConfig::default();
+            if let Some(s) = seed {
+                c.seed = s;
+            }
+            if let Some(n) = scale {
+                c.num_movies = n;
+            }
+            datagen::movies::generate(&c)
+        }
+        other => return Err(format!("unknown dataset '{other}'")),
+    };
+
+    std::fs::create_dir_all(&out).map_err(|e| format!("creating {}: {e}", out.display()))?;
+    let write = |name: &str, content: String| -> Result<(), String> {
+        let path = out.join(name);
+        std::fs::write(&path, content).map_err(|e| format!("writing {}: {e}", path.display()))
+    };
+    write("left.nt", paris_repro::kb::export::to_ntriples(&pair.kb1))?;
+    write("right.nt", paris_repro::kb::export::to_ntriples(&pair.kb2))?;
+    write("gold.tsv", gold_tsv(&pair.gold.instances))?;
+    println!(
+        "wrote left.nt ({}), right.nt ({}), gold.tsv ({} pairs) to {}",
+        KbStats::of(&pair.kb1),
+        KbStats::of(&pair.kb2),
+        pair.gold.num_instances(),
+        out.display(),
+    );
+    Ok(())
+}
+
+fn gold_tsv(instances: &[(Iri, Iri)]) -> String {
+    let mut s = String::from("# gold standard: <left IRI> TAB <right IRI>\n");
+    for (a, b) in instances {
+        s.push_str(a.as_str());
+        s.push('\t');
+        s.push_str(b.as_str());
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_align_defaults() {
+        let opts = parse_align(&strings(&["a.nt", "b.nt"])).unwrap();
+        assert_eq!(opts.left, PathBuf::from("a.nt"));
+        assert_eq!(opts.right, PathBuf::from("b.nt"));
+        assert_eq!(opts.config.theta, 0.1);
+        assert_eq!(opts.threshold, 0.4);
+        assert!(!opts.show_relations);
+    }
+
+    #[test]
+    fn parse_align_options() {
+        let opts = parse_align(&strings(&[
+            "a.nt",
+            "--literals",
+            "edit:0.8",
+            "b.nt",
+            "--theta",
+            "0.05",
+            "--negative-evidence",
+            "--relations",
+            "--sameas",
+            "out.nt",
+        ]))
+        .unwrap();
+        assert_eq!(
+            opts.config.literal_similarity,
+            LiteralSimilarity::EditDistance { min_similarity: 0.8 }
+        );
+        assert_eq!(opts.config.theta, 0.05);
+        assert!(opts.config.negative_evidence);
+        assert!(opts.show_relations);
+        assert_eq!(opts.sameas, Some(PathBuf::from("out.nt")));
+    }
+
+    #[test]
+    fn parse_align_rejects_bad_input() {
+        assert!(parse_align(&strings(&["only-one.nt"])).is_err());
+        assert!(parse_align(&strings(&["a.nt", "b.nt", "--bogus"])).is_err());
+        assert!(parse_align(&strings(&["a.nt", "b.nt", "--theta"])).is_err());
+        assert!(parse_align(&strings(&["a.nt", "b.nt", "--theta", "xyz"])).is_err());
+    }
+
+    #[test]
+    fn parse_literals_variants() {
+        assert_eq!(parse_literals("identity").unwrap(), LiteralSimilarity::Identity);
+        assert_eq!(parse_literals("normalized").unwrap(), LiteralSimilarity::Normalized);
+        assert_eq!(parse_literals("tokensort").unwrap(), LiteralSimilarity::TokenSort);
+        assert_eq!(
+            parse_literals("numeric:0.02").unwrap(),
+            LiteralSimilarity::NumericProportional { tolerance: 0.02 }
+        );
+        assert!(parse_literals("nope").is_err());
+        assert!(parse_literals("edit:abc").is_err());
+    }
+
+    #[test]
+    fn gold_tsv_round_trips_through_reader() {
+        let gold = vec![
+            (Iri::new("http://a/x"), Iri::new("http://b/y")),
+            (Iri::new("http://a/z"), Iri::new("http://b/w")),
+        ];
+        let text = gold_tsv(&gold);
+        let path = std::env::temp_dir().join("paris_cli_gold_test.tsv");
+        std::fs::write(&path, text).unwrap();
+        let read = read_gold(&path).unwrap();
+        assert_eq!(read.len(), 2);
+        assert_eq!(read[0], ("http://a/x".to_owned(), "http://b/y".to_owned()));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,69 @@
+//! Determinism guarantees: identical runs produce identical alignments,
+//! thread count does not affect results, and θ does not affect the final
+//! assignment (§6.3 experiment 1).
+
+use paris_repro::datagen::{restaurants, RestaurantsConfig};
+use paris_repro::kb::EntityId;
+use paris_repro::paris::{Aligner, AlignmentResult, ParisConfig};
+
+fn assignments(result: &AlignmentResult<'_>) -> Vec<Option<(EntityId, f64)>> {
+    result.instances.maximal_assignment()
+}
+
+#[test]
+fn identical_runs_are_bit_identical() {
+    let pair = restaurants::generate(&RestaurantsConfig::default());
+    let a = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
+    let b = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
+    assert_eq!(assignments(&a), assignments(&b));
+    assert_eq!(a.iterations.len(), b.iterations.len());
+    assert_eq!(
+        a.subrelations.num_entries(),
+        b.subrelations.num_entries()
+    );
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let pair = restaurants::generate(&RestaurantsConfig::default());
+    let seq = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default().with_threads(1)).run();
+    let par = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default().with_threads(4)).run();
+    assert_eq!(assignments(&seq), assignments(&par));
+}
+
+#[test]
+fn theta_does_not_change_final_assignment() {
+    // §6.3 experiment 1, as a regression test on a smaller dataset.
+    let pair = restaurants::generate(&RestaurantsConfig {
+        num_matched: 60,
+        ..RestaurantsConfig::default()
+    });
+    let reference: Vec<Option<EntityId>> = {
+        let r = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
+        assignments(&r).into_iter().map(|a| a.map(|(e, _)| e)).collect()
+    };
+    for theta in [0.001, 0.01, 0.05, 0.2] {
+        let r =
+            Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default().with_theta(theta)).run();
+        let got: Vec<Option<EntityId>> =
+            assignments(&r).into_iter().map(|a| a.map(|(e, _)| e)).collect();
+        assert_eq!(reference, got, "θ = {theta} changed the assignment");
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_data_same_quality() {
+    let a = restaurants::generate(&RestaurantsConfig { seed: 1, ..Default::default() });
+    let b = restaurants::generate(&RestaurantsConfig { seed: 2, ..Default::default() });
+    // The structural sizes are seed-independent; the literal content is not.
+    assert_ne!(
+        paris_repro::kb::export::to_ntriples(&a.kb1),
+        paris_repro::kb::export::to_ntriples(&b.kb1)
+    );
+
+    for pair in [&a, &b] {
+        let result = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
+        let counts = paris_repro::eval::evaluate_instances(&result, &pair.gold);
+        assert!(counts.f1() > 0.8, "seed robustness: {counts:?}");
+    }
+}

@@ -1,0 +1,201 @@
+//! End-to-end alignment on every synthetic dataset, asserting the paper's
+//! result *shapes* (who wins, roughly by how much, where the errors come
+//! from) rather than exact figures.
+
+use paris_repro::baselines::label_baseline;
+use paris_repro::datagen::{
+    encyclopedia, movies, persons, restaurants, EncyclopediaConfig, MoviesConfig, PersonsConfig,
+    RestaurantsConfig,
+};
+use paris_repro::eval::{
+    evaluate_classes_1to2, evaluate_classes_2to1, evaluate_instances, evaluate_relations, Counts,
+};
+use paris_repro::literals::LiteralSimilarity;
+use paris_repro::paris::{Aligner, ParisConfig};
+
+#[test]
+fn persons_aligns_perfectly_like_table_1() {
+    let pair = persons::generate(&PersonsConfig::default());
+    let result = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
+
+    let instances = evaluate_instances(&result, &pair.gold);
+    assert_eq!(instances.precision(), 1.0, "{instances:?}");
+    assert_eq!(instances.recall(), 1.0, "{instances:?}");
+
+    let (rel_12, rel_21) = evaluate_relations(&result, &pair.gold);
+    assert_eq!(rel_12.counts.precision(), 1.0);
+    assert_eq!(rel_12.counts.recall(), 1.0);
+    assert_eq!(rel_21.counts.precision(), 1.0);
+
+    let classes = evaluate_classes_1to2(&result, &pair.gold, 0.4);
+    assert_eq!(classes.precision(), 1.0);
+    assert_eq!(classes.recall(), 1.0);
+
+    assert!(result.iterations.len() <= 4, "paper: converged after 2 iterations");
+}
+
+#[test]
+fn restaurants_matches_table_1_shape() {
+    let pair = restaurants::generate(&RestaurantsConfig::default());
+    let result = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
+    let counts = evaluate_instances(&result, &pair.gold);
+    // Paper: P 95 %, R 88 %, F 91 % — precision above recall, both high.
+    assert!(counts.precision() >= 0.90, "{counts:?}");
+    assert!(counts.precision() < 1.0, "chains must cost some precision: {counts:?}");
+    assert!((0.75..0.95).contains(&counts.recall()), "{counts:?}");
+    assert!(counts.precision() > counts.recall(), "paper shape: P > R");
+}
+
+#[test]
+fn restaurants_normalized_literals_fix_recall() {
+    // §6.3: the normalized string measure repairs the phone-format
+    // mismatch; with our noise model it recovers all matches.
+    let pair = restaurants::generate(&RestaurantsConfig::default());
+    let config = ParisConfig::default().with_literal_similarity(LiteralSimilarity::Normalized);
+    let result = Aligner::new(&pair.kb1, &pair.kb2, config).run();
+    let counts = evaluate_instances(&result, &pair.gold);
+    assert_eq!(counts.precision(), 1.0, "{counts:?}");
+    assert!(counts.recall() >= 0.95, "{counts:?}");
+}
+
+#[test]
+fn restaurants_negative_evidence_destroys_identity_matches() {
+    // §6.3 experiment 3: Eq. 14 + identity literals ⇒ PARIS gives up
+    // (nearly) all matches because phones systematically differ.
+    let pair = restaurants::generate(&RestaurantsConfig::default());
+    let config = ParisConfig::default().with_negative_evidence(true);
+    let result = Aligner::new(&pair.kb1, &pair.kb2, config).run();
+    let counts = evaluate_instances(&result, &pair.gold);
+    assert!(counts.recall() < 0.15, "paper: 'give up all matches': {counts:?}");
+}
+
+#[test]
+fn restaurants_negative_evidence_with_normalized_keeps_precision() {
+    // §6.3 experiment 3 continued: Eq. 14 + normalized ⇒ P = 100 %,
+    // recall reduced (paper: 70 %).
+    let pair = restaurants::generate(&RestaurantsConfig::default());
+    let config = ParisConfig::default()
+        .with_negative_evidence(true)
+        .with_literal_similarity(LiteralSimilarity::Normalized);
+    let result = Aligner::new(&pair.kb1, &pair.kb2, config).run();
+    let counts = evaluate_instances(&result, &pair.gold);
+    assert_eq!(counts.precision(), 1.0, "{counts:?}");
+    assert!((0.6..0.95).contains(&counts.recall()), "{counts:?}");
+}
+
+#[test]
+fn encyclopedia_recall_rises_over_iterations_like_table_3() {
+    let pair = encyclopedia::generate(&EncyclopediaConfig {
+        num_people: 800,
+        ..EncyclopediaConfig::default()
+    });
+    let recall_after = |k: usize| {
+        let config = ParisConfig {
+            max_iterations: k,
+            convergence_change: 0.0,
+            ..ParisConfig::default()
+        };
+        let result = Aligner::new(&pair.kb1, &pair.kb2, config).run();
+        evaluate_instances(&result, &pair.gold).recall()
+    };
+    let r1 = recall_after(1);
+    let r3 = recall_after(3);
+    assert!(r3 > r1 + 0.02, "recall must rise via cross-fertilization: {r1} → {r3}");
+    assert!(r3 > 0.85, "final recall high: {r3}");
+}
+
+#[test]
+fn encyclopedia_finds_inverted_and_split_relations() {
+    let pair = encyclopedia::generate(&EncyclopediaConfig {
+        num_people: 800,
+        ..EncyclopediaConfig::default()
+    });
+    let result = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
+
+    // Table-4-style phenomena, mechanically checked:
+    let find = |list: &[(String, String, f64)], sub: &str, sup: &str| {
+        list.iter().find(|(a, b, _)| a == sub && b == sup).map(|&(_, _, p)| p)
+    };
+    let one = result.relation_alignments_1to2(0.05);
+    let two = result.relation_alignments_2to1(0.05);
+
+    // inverted: hasChild ⊆ parent⁻ (fact drops on both sides keep this
+    // below the clean relations, like the paper's hasChild ⊆ parent⁻¹ 0.53)
+    assert!(find(&one, "hasChild", "parent⁻").unwrap_or(0.0) > 0.2, "{one:?}");
+    // split: author/composer/director ⊆ created⁻ (each near 1)
+    for sub in ["author", "composer", "director"] {
+        assert!(find(&two, sub, "created⁻").unwrap_or(0.0) > 0.5, "{sub}: {two:?}");
+    }
+    // coarse ⊇ fine: headquarter ⊆ isLocatedIn
+    assert!(find(&two, "headquarter", "isLocatedIn").unwrap_or(0.0) > 0.3);
+    // the split direction has fractional scores: created ⊆ author⁻ well below 1
+    let created_author = find(&one, "created", "author⁻").unwrap_or(0.0);
+    assert!(created_author > 0.05 && created_author < 0.8, "{created_author}");
+}
+
+#[test]
+fn encyclopedia_class_threshold_curve_has_figure_1_shape() {
+    let pair = encyclopedia::generate(&EncyclopediaConfig {
+        num_people: 800,
+        ..EncyclopediaConfig::default()
+    });
+    let result = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
+    let curve = paris_repro::eval::threshold_curve(
+        &result,
+        &pair.gold,
+        &[0.1, 0.3, 0.5, 0.7, 0.9],
+    );
+    // Precision at high thresholds beats precision at low thresholds.
+    assert!(
+        curve.last().unwrap().precision >= curve.first().unwrap().precision,
+        "{curve:?}"
+    );
+    // Assignment counts decrease monotonically.
+    for w in curve.windows(2) {
+        assert!(w[0].assignments >= w[1].assignments);
+    }
+    // Class alignments exist in both directions at 0.4.
+    assert!(evaluate_classes_1to2(&result, &pair.gold, 0.4).precision() > 0.85);
+    assert!(evaluate_classes_2to1(&result, &pair.gold, 0.4).precision() > 0.85);
+}
+
+#[test]
+fn movies_beats_label_baseline_like_table_5() {
+    let pair = movies::generate(&MoviesConfig::default());
+    let result = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
+    let paris = evaluate_instances(&result, &pair.gold);
+
+    let baseline = label_baseline(&pair.kb1, &pair.kb2);
+    let gold: std::collections::HashSet<(&str, &str)> =
+        pair.gold.instances.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+    let correct = baseline
+        .pairs
+        .iter()
+        .filter(|&&(e1, e2)| match (pair.kb1.iri(e1), pair.kb2.iri(e2)) {
+            (Some(a), Some(b)) => gold.contains(&(a.as_str(), b.as_str())),
+            _ => false,
+        })
+        .count();
+    let base = Counts::new(correct, baseline.pairs.len() - correct, gold.len() - correct);
+
+    // Paper: baseline P=97 R=70 F=82; PARIS F=92.
+    assert!(base.precision() > 0.9, "label matching is precise: {base:?}");
+    assert!(base.recall() < 0.9, "label variants cap baseline recall: {base:?}");
+    assert!(paris.f1() > base.f1() + 0.03, "PARIS {} vs baseline {}", paris.f1(), base.f1());
+    assert!(paris.f1() > 0.85, "{paris:?}");
+}
+
+#[test]
+fn movies_relations_align_inverted() {
+    let pair = movies::generate(&MoviesConfig { num_movies: 300, ..Default::default() });
+    let result = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
+    let (rel_12, rel_21) = evaluate_relations(&result, &pair.gold);
+    assert!(rel_12.counts.precision() >= 0.8, "{:?}", rel_12.judged);
+    assert!(rel_21.counts.precision() >= 0.8, "{:?}", rel_21.judged);
+    // The paper's y:actedIn ⊆ imdb:cast⁻¹ analogue must be found.
+    let found = result
+        .relation_alignments_1to2(0.3)
+        .iter()
+        .any(|(a, b, _)| a == "actedIn" && b == "cast⁻");
+    assert!(found, "{:?}", result.relation_alignments_1to2(0.1));
+}

@@ -1,0 +1,70 @@
+//! Full-pipeline round trip: generate a dataset → serialize both sides to
+//! N-Triples → reload through the parser → align → identical metrics.
+//!
+//! This exercises the same path as the `paris` CLI (`generate` + `align`)
+//! and pins down that serialization loses nothing the algorithm needs.
+
+use paris_repro::datagen::{restaurants, RestaurantsConfig};
+use paris_repro::eval::evaluate_instances;
+use paris_repro::kb::export::to_ntriples;
+use paris_repro::kb::kb_from_ntriples;
+use paris_repro::paris::{Aligner, ParisConfig};
+
+#[test]
+fn alignment_metrics_survive_serialization() {
+    let pair = restaurants::generate(&RestaurantsConfig {
+        num_matched: 60,
+        ..RestaurantsConfig::default()
+    });
+
+    // Direct alignment.
+    let direct = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
+    let direct_counts = evaluate_instances(&direct, &pair.gold);
+
+    // Serialize → reparse → realign.
+    let kb1 = kb_from_ntriples("left", &to_ntriples(&pair.kb1)).expect("reload kb1");
+    let kb2 = kb_from_ntriples("right", &to_ntriples(&pair.kb2)).expect("reload kb2");
+    assert_eq!(kb1.num_facts(), pair.kb1.num_facts());
+    assert_eq!(kb2.num_instances(), pair.kb2.num_instances());
+
+    let reloaded = Aligner::new(&kb1, &kb2, ParisConfig::default()).run();
+
+    // Metrics must be identical: entity ids may differ, so compare via
+    // IRI-level assignments.
+    let by_iri = |result: &paris_repro::paris::AlignmentResult<'_>| {
+        let mut v: Vec<(String, String)> = result
+            .instance_pairs()
+            .into_iter()
+            .filter_map(|(x, y, _)| {
+                Some((
+                    result.kb1.iri(x)?.as_str().to_owned(),
+                    result.kb2.iri(y)?.as_str().to_owned(),
+                ))
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(by_iri(&direct), by_iri(&reloaded));
+
+    let reloaded_counts = evaluate_instances(&reloaded, &pair.gold);
+    assert_eq!(direct_counts, reloaded_counts);
+}
+
+#[test]
+fn sameas_links_parse_back() {
+    let pair = restaurants::generate(&RestaurantsConfig {
+        num_matched: 30,
+        ..RestaurantsConfig::default()
+    });
+    let result = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
+    let links = result.sameas_triples(0.5);
+    assert!(!links.is_empty());
+
+    let doc = paris_repro::rdf::ntriples::to_string(&links);
+    let reparsed = paris_repro::rdf::ntriples::Parser::parse_all(&doc).expect("valid N-Triples");
+    assert_eq!(links, reparsed);
+    for t in &reparsed {
+        assert_eq!(t.predicate.as_str(), paris_repro::rdf::vocab::OWL_SAME_AS);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based invariants of the full pipeline on randomly generated
+//! knowledge-base pairs.
+
+use proptest::prelude::*;
+
+use paris_repro::kb::{Kb, KbBuilder};
+use paris_repro::paris::{Aligner, ParisConfig};
+use paris_repro::rdf::Literal;
+
+/// A compact random-world model: `n` entities, `r` relations, literal
+/// values drawn from a pool whose size controls ambiguity.
+#[derive(Clone, Debug)]
+struct RandomWorld {
+    facts: Vec<(u8, u8, u8)>,
+    literal_facts: Vec<(u8, u8, u8)>,
+    types: Vec<(u8, u8)>,
+}
+
+fn arb_world() -> impl Strategy<Value = RandomWorld> {
+    (
+        proptest::collection::vec((any::<u8>(), 0u8..4, any::<u8>()), 0..60),
+        proptest::collection::vec((any::<u8>(), 4u8..8, 0u8..30), 0..60),
+        proptest::collection::vec((any::<u8>(), 0u8..5), 0..20),
+    )
+        .prop_map(|(facts, literal_facts, types)| RandomWorld { facts, literal_facts, types })
+}
+
+/// Renders the world into one KB with a namespace — two renders of
+/// overlapping worlds give an alignable pair.
+fn render(world: &RandomWorld, ns: &str) -> Kb {
+    let mut b = KbBuilder::new(ns);
+    for &(s, r, o) in &world.facts {
+        b.add_fact(
+            format!("http://{ns}/e{}", s % 40),
+            format!("http://{ns}/r{r}"),
+            format!("http://{ns}/e{}", o % 40),
+        );
+    }
+    for &(s, r, v) in &world.literal_facts {
+        b.add_literal_fact(
+            format!("http://{ns}/e{}", s % 40),
+            format!("http://{ns}/r{r}"),
+            Literal::plain(format!("value-{v}")), // shared across namespaces
+        );
+    }
+    for &(e, c) in &world.types {
+        b.add_type(format!("http://{ns}/e{}", e % 40), format!("http://{ns}/C{c}"));
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every probability the algorithm produces is in [0, 1].
+    #[test]
+    fn all_scores_are_probabilities(wa in arb_world(), wb in arb_world()) {
+        let kb1 = render(&wa, "left");
+        let kb2 = render(&wb, "right");
+        let config = ParisConfig::default().with_max_iterations(3);
+        let result = Aligner::new(&kb1, &kb2, config).run();
+
+        for x in kb1.entities() {
+            for &(_, p) in result.instances.candidates(x) {
+                prop_assert!((0.0..=1.0).contains(&p), "instance prob {p}");
+            }
+        }
+        for (_, _, p) in result.subrelations.alignments_1to2() {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&p), "subrel prob {p}");
+        }
+        for (_, _, p) in result.subrelations.alignments_2to1() {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&p), "subrel prob {p}");
+        }
+        for s in result.classes.one_to_two.iter().chain(&result.classes.two_to_one) {
+            prop_assert!((0.0..=1.0).contains(&s.prob), "class prob {}", s.prob);
+        }
+    }
+
+    /// Functionalities are in (0, 1] for every variant.
+    #[test]
+    fn functionalities_in_unit_interval(w in arb_world()) {
+        let kb = render(&w, "x");
+        for variant in paris_repro::kb::FunctionalityVariant::ALL {
+            for f in kb.functionalities_with(variant) {
+                prop_assert!(f > 0.0 && f <= 1.0, "{variant:?}: {f}");
+            }
+        }
+    }
+
+    /// Stored equivalences respect the truncation threshold.
+    #[test]
+    fn truncation_is_enforced(wa in arb_world(), wb in arb_world()) {
+        let kb1 = render(&wa, "left");
+        let kb2 = render(&wb, "right");
+        let config = ParisConfig::default().with_truncation(0.3).with_max_iterations(2);
+        let cutoff = config.effective_cutoff(true).min(config.effective_cutoff(false));
+        let result = Aligner::new(&kb1, &kb2, config).run();
+        for x in kb1.entities() {
+            for &(_, p) in result.instances.candidates(x) {
+                prop_assert!(p >= cutoff, "stored {p} below cutoff {cutoff}");
+            }
+        }
+    }
+
+    /// The maximal assignment only contains entities of the right KBs and
+    /// is consistent with the stored candidates.
+    #[test]
+    fn maximal_assignment_is_consistent(wa in arb_world(), wb in arb_world()) {
+        let kb1 = render(&wa, "left");
+        let kb2 = render(&wb, "right");
+        let result = Aligner::new(&kb1, &kb2, ParisConfig::default().with_max_iterations(2)).run();
+        let assignment = result.instances.maximal_assignment();
+        prop_assert_eq!(assignment.len(), kb1.num_entities());
+        for (i, a) in assignment.iter().enumerate() {
+            if let Some((e2, p)) = a {
+                prop_assert!(e2.index() < kb2.num_entities());
+                let x = paris_repro::kb::EntityId::from_index(i);
+                let best = result
+                    .instances
+                    .candidates(x)
+                    .iter()
+                    .map(|&(_, q)| q)
+                    .fold(0.0f64, f64::max);
+                prop_assert!((best - p).abs() < 1e-12, "max {best} vs assigned {p}");
+            }
+        }
+    }
+
+    /// The identity alignment: a world aligned against itself (different
+    /// namespaces) maps shared-literal entities onto themselves — and
+    /// never crosses two entities with disjoint literal sets.
+    #[test]
+    fn self_alignment_is_sane(w in arb_world()) {
+        let kb1 = render(&w, "left");
+        let kb2 = render(&w, "right");
+        let result = Aligner::new(&kb1, &kb2, ParisConfig::default().with_max_iterations(3)).run();
+        for (x, x2, _) in result.instance_pairs() {
+            let id1 = kb1.iri(x).unwrap().local_name().to_owned();
+            // With identical worlds, literal evidence can never prefer a
+            // different entity over the twin; ties break by id order, so a
+            // mismatch is only legal if the twin has identical evidence
+            // (duplicate literal profiles). Check the weaker invariant:
+            // the matched pair shares at least one literal value, or is
+            // reached through matched neighbours.
+            let id2 = kb2.iri(x2).unwrap().local_name().to_owned();
+            if id1 == id2 {
+                continue;
+            }
+            let lits = |kb: &Kb, e| {
+                kb.facts(e)
+                    .iter()
+                    .filter_map(|&(_, y)| kb.literal(y).map(|l| l.value().to_owned()))
+                    .collect::<std::collections::BTreeSet<_>>()
+            };
+            let shared = lits(&kb1, x).intersection(&lits(&kb2, x2)).count();
+            let has_instance_neighbor = kb1
+                .facts(x)
+                .iter()
+                .any(|&(_, y)| kb1.literal(y).is_none());
+            prop_assert!(
+                shared > 0 || has_instance_neighbor,
+                "{id1} ≠ {id2} matched without any shared evidence"
+            );
+        }
+    }
+}

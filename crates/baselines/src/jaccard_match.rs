@@ -155,17 +155,33 @@ mod tests {
         // v shares three incidental low-functionality values with x.
         // Jaccard prefers v — the wrong answer PARIS avoids by weighting
         // with inverse functionality.
-        let kb1 = kb("a", &[("x", &["alice@x.org", "Springfield", "teacher", "reading"])]);
+        let kb1 = kb(
+            "a",
+            &[("x", &["alice@x.org", "Springfield", "teacher", "reading"])],
+        );
         let kb2 = kb(
             "b",
             &[
-                ("u", &["alice@x.org", "Shelbyville", "lawyer", "golf", "chess", "opera"]),
+                (
+                    "u",
+                    &[
+                        "alice@x.org",
+                        "Shelbyville",
+                        "lawyer",
+                        "golf",
+                        "chess",
+                        "opera",
+                    ],
+                ),
                 ("v", &["Springfield", "teacher", "reading", "bob@y.org"]),
             ],
         );
         let r = jaccard_baseline(&kb1, &kb2, 0.0);
         let v = kb2.entity_by_iri("http://b/v").unwrap();
-        assert_eq!(r.pairs[0].1, v, "Jaccard picks the wrong candidate by design");
+        assert_eq!(
+            r.pairs[0].1, v,
+            "Jaccard picks the wrong candidate by design"
+        );
         assert!(r.pairs[0].2 > 0.4);
     }
 

@@ -62,7 +62,11 @@ pub fn label_baseline(kb1: &Kb, kb2: &Kb) -> LabelBaselineResult {
         }
     }
     pairs.sort_unstable();
-    LabelBaselineResult { pairs, labeled_1: count_distinct(&idx1), labeled_2: count_distinct(&idx2) }
+    LabelBaselineResult {
+        pairs,
+        labeled_1: count_distinct(&idx1),
+        labeled_2: count_distinct(&idx2),
+    }
 }
 
 #[cfg(test)]
@@ -128,7 +132,10 @@ mod tests {
     #[test]
     fn baseline_on_movies_dataset_has_paper_shape() {
         use paris_datagen::movies::{generate, MoviesConfig};
-        let pair = generate(&MoviesConfig { num_movies: 300, ..Default::default() });
+        let pair = generate(&MoviesConfig {
+            num_movies: 300,
+            ..Default::default()
+        });
         let r = label_baseline(&pair.kb1, &pair.kb2);
         // Judge against gold.
         let gold: std::collections::HashSet<(String, String)> = pair

@@ -1,27 +1,34 @@
-//! Criterion micro-benchmarks for the PARIS building blocks.
+//! Micro-benchmarks for the PARIS building blocks.
 //!
 //! The paper reports wall-clock per iteration (hours, on 2011 hardware
 //! with Berkeley DB on SSD); these benches measure the in-memory
 //! equivalents so that regressions in the hot paths (store construction,
 //! functionality computation, the alignment passes, literal matching)
-//! are visible.
+//! are visible. Uses the workspace's own harness (`paris_bench::timing`)
+//! — the build is offline, so no criterion.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use paris_bench::timing::{bench, bench_with, print_header};
 use paris_core::{Aligner, ParisConfig};
 use paris_datagen::encyclopedia::{generate as gen_encyclopedia, EncyclopediaConfig};
 use paris_datagen::persons::{generate as gen_persons, PersonsConfig};
 use paris_kb::{FunctionalityVariant, KbBuilder};
 use paris_literals::{levenshtein, normalize_alnum, LiteralSimilarity};
 use paris_rdf::{ntriples, Literal, Triple};
+use std::time::Duration;
 
-fn bench_ntriples(c: &mut Criterion) {
+fn bench_ntriples() {
     // Serialize a representative KB once, then measure parsing it back.
-    let pair = gen_persons(&PersonsConfig { num_persons: 200, ..Default::default() });
+    let pair = gen_persons(&PersonsConfig {
+        num_persons: 200,
+        ..Default::default()
+    });
     let mut triples = Vec::new();
     for e in pair.kb1.entities() {
-        let Some(subject) = pair.kb1.iri(e).cloned() else { continue };
+        let Some(subject) = pair.kb1.iri(e).cloned() else {
+            continue;
+        };
         for &(r, y) in pair.kb1.facts(e) {
             if !r.is_inverse() {
                 triples.push(Triple {
@@ -33,82 +40,91 @@ fn bench_ntriples(c: &mut Criterion) {
         }
     }
     let doc = ntriples::to_string(&triples);
-    c.bench_function("ntriples/parse_person_dump", |b| {
-        b.iter(|| ntriples::Parser::parse_all(black_box(&doc)).unwrap())
+    bench("ntriples/parse_person_dump", || {
+        ntriples::Parser::parse_all(black_box(&doc)).unwrap()
     });
 }
 
-fn bench_store_build(c: &mut Criterion) {
-    c.bench_function("kb/build_500_persons", |b| {
-        b.iter(|| gen_persons(&PersonsConfig::default()))
+fn bench_store_build() {
+    bench("kb/build_500_persons", || {
+        gen_persons(&PersonsConfig::default())
     });
 }
 
-fn bench_functionality(c: &mut Criterion) {
+fn bench_functionality() {
     let pair = gen_encyclopedia(&EncyclopediaConfig::default());
-    let mut group = c.benchmark_group("kb/functionality");
     for variant in FunctionalityVariant::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(variant.name()),
-            &variant,
-            |b, &v| b.iter(|| pair.kb1.functionalities_with(black_box(v))),
-        );
+        bench(&format!("kb/functionality/{}", variant.name()), || {
+            pair.kb1.functionalities_with(black_box(variant))
+        });
     }
-    group.finish();
 }
 
-fn bench_literals(c: &mut Criterion) {
-    let mut group = c.benchmark_group("literals");
-    group.bench_function("levenshtein_20ch", |b| {
-        b.iter(|| levenshtein(black_box("The Crimson Patrol!!"), black_box("The Crimsen Patrol??")))
+fn bench_literals() {
+    bench("literals/levenshtein_20ch", || {
+        levenshtein(
+            black_box("The Crimson Patrol!!"),
+            black_box("The Crimsen Patrol??"),
+        )
     });
-    group.bench_function("normalize_alnum", |b| {
-        b.iter(|| normalize_alnum(black_box("213/467-1108 ext. 99")))
+    bench("literals/normalize_alnum", || {
+        normalize_alnum(black_box("213/467-1108 ext. 99"))
     });
     let sim = LiteralSimilarity::Normalized;
-    let (a, bl) = (Literal::plain("213/467-1108"), Literal::plain("213-467-1108"));
-    group.bench_function("normalized_probability", |b| {
-        b.iter(|| sim.probability(black_box(&a), black_box(&bl)))
+    let (a, bl) = (
+        Literal::plain("213/467-1108"),
+        Literal::plain("213-467-1108"),
+    );
+    bench("literals/normalized_probability", || {
+        sim.probability(black_box(&a), black_box(&bl))
     });
-    group.finish();
 }
 
-fn bench_alignment(c: &mut Criterion) {
-    let mut group = c.benchmark_group("paris");
-    group.sample_size(10);
-
-    let persons = gen_persons(&PersonsConfig { num_persons: 200, ..Default::default() });
-    group.bench_function("persons_200_full_run", |b| {
-        b.iter(|| {
+fn bench_alignment() {
+    let persons = gen_persons(&PersonsConfig {
+        num_persons: 200,
+        ..Default::default()
+    });
+    bench_with(
+        "paris/persons_200_full_run",
+        Duration::from_secs(2),
+        10,
+        || {
             Aligner::new(
                 black_box(&persons.kb1),
                 black_box(&persons.kb2),
                 ParisConfig::default(),
             )
             .run()
-        })
-    });
+        },
+    );
 
-    let enc = gen_encyclopedia(&EncyclopediaConfig { num_people: 500, ..Default::default() });
-    group.bench_function("encyclopedia_500_one_iteration", |b| {
-        b.iter(|| {
+    let enc = gen_encyclopedia(&EncyclopediaConfig {
+        num_people: 500,
+        ..Default::default()
+    });
+    bench_with(
+        "paris/encyclopedia_500_one_iteration",
+        Duration::from_secs(2),
+        10,
+        || {
             Aligner::new(
                 black_box(&enc.kb1),
                 black_box(&enc.kb2),
                 ParisConfig::default().with_max_iterations(1),
             )
             .run()
-        })
-    });
-    group.finish();
+        },
+    );
 }
 
-fn bench_builder_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kb/builder_scaling");
-    group.sample_size(10);
+fn bench_builder_scaling() {
     for n in [100usize, 400, 1600] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
+        bench_with(
+            &format!("kb/builder_scaling/{n}"),
+            Duration::from_secs(1),
+            10,
+            || {
                 let mut kb = KbBuilder::new("scale");
                 for i in 0..n {
                     kb.add_fact(
@@ -123,19 +139,17 @@ fn bench_builder_scaling(c: &mut Criterion) {
                     );
                 }
                 kb.build()
-            })
-        });
+            },
+        );
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_ntriples,
-    bench_store_build,
-    bench_functionality,
-    bench_literals,
-    bench_alignment,
-    bench_builder_scaling
-);
-criterion_main!(benches);
+fn main() {
+    print_header();
+    bench_ntriples();
+    bench_store_build();
+    bench_functionality();
+    bench_literals();
+    bench_alignment();
+    bench_builder_scaling();
+}

@@ -58,6 +58,15 @@ fn main() {
     println!("Appendix C — PARIS vs. unweighted set similarity");
     println!("expected: PARIS dominates; Jaccard trades P against R and wins neither\n");
 
-    compare("restaurants", &gen_restaurants(&RestaurantsConfig::default()));
-    compare("movies", &gen_movies(&MoviesConfig { num_movies: 400, ..Default::default() }));
+    compare(
+        "restaurants",
+        &gen_restaurants(&RestaurantsConfig::default()),
+    );
+    compare(
+        "movies",
+        &gen_movies(&MoviesConfig {
+            num_movies: 400,
+            ..Default::default()
+        }),
+    );
 }

@@ -21,9 +21,17 @@ fn main() {
     let thresholds: Vec<f64> = (1..=9).map(|i| i as f64 / 10.0).collect();
     let curve = threshold_curve(&result, &pair.gold, &thresholds);
 
-    println!("{:>9} {:>10} {:>12}", "threshold", "precision", "#assignments");
+    println!(
+        "{:>9} {:>10} {:>12}",
+        "threshold", "precision", "#assignments"
+    );
     for p in &curve {
         let bar = "#".repeat((p.precision * 40.0).round() as usize);
-        println!("{:>9.1} {:>9.1}% {:>12}  {bar}", p.threshold, p.precision * 100.0, p.assignments);
+        println!(
+            "{:>9.1} {:>9.1}% {:>12}  {bar}",
+            p.threshold,
+            p.precision * 100.0,
+            p.assignments
+        );
     }
 }

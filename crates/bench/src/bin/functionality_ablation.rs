@@ -19,7 +19,10 @@ fn main() {
     println!("Functionality-definition ablation (Appendix A) on encyclopedia");
     println!("expected: harmonic mean ≥ alternatives, arg-ratio weakest\n");
 
-    println!("{:>18} {:>8} {:>8} {:>8} {:>9}", "variant", "P", "R", "F", "#aligned");
+    println!(
+        "{:>18} {:>8} {:>8} {:>8} {:>9}",
+        "variant", "P", "R", "F", "#aligned"
+    );
     for variant in FunctionalityVariant::ALL {
         let mut pair = generate(&EncyclopediaConfig::default());
         pair.kb1.set_functionality_variant(variant);

@@ -20,10 +20,17 @@ fn main() {
     println!("paper: Eq.14+identity → all matches lost; Eq.14+normalized → P=100%, R=70%\n");
 
     let pair = generate(&RestaurantsConfig::default());
-    println!("{:>34} {:>8} {:>8} {:>8} {:>9}", "configuration", "P", "R", "F", "#matches");
+    println!(
+        "{:>34} {:>8} {:>8} {:>8} {:>9}",
+        "configuration", "P", "R", "F", "#matches"
+    );
 
     let runs: [(&str, bool, LiteralSimilarity); 4] = [
-        ("Eq.13 + identity (default)", false, LiteralSimilarity::Identity),
+        (
+            "Eq.13 + identity (default)",
+            false,
+            LiteralSimilarity::Identity,
+        ),
         ("Eq.14 + identity", true, LiteralSimilarity::Identity),
         ("Eq.13 + normalized", false, LiteralSimilarity::Normalized),
         ("Eq.14 + normalized", true, LiteralSimilarity::Normalized),

@@ -19,7 +19,10 @@ fn main() {
     println!("expected: marginal metric change, slower with all equalities\n");
 
     let pair = generate(&RestaurantsConfig::default());
-    println!("{:>22} {:>8} {:>8} {:>8} {:>7} {:>9}", "mode", "P", "R", "F", "TP", "time");
+    println!(
+        "{:>22} {:>8} {:>8} {:>8} {:>7} {:>9}",
+        "mode", "P", "R", "F", "TP", "time"
+    );
 
     let mut tp = Vec::new();
     for propagate_all in [false, true] {
@@ -31,7 +34,11 @@ fn main() {
         tp.push(counts.true_positives);
         println!(
             "{:>22} {:>7.1}% {:>7.1}% {:>7.1}% {:>7} {:>8.2}s",
-            if propagate_all { "all equalities" } else { "maximal assignment" },
+            if propagate_all {
+                "all equalities"
+            } else {
+                "maximal assignment"
+            },
             counts.precision() * 100.0,
             counts.recall() * 100.0,
             counts.f1() * 100.0,

@@ -21,7 +21,10 @@ fn main() {
     );
 
     for num_people in [500usize, 1000, 2000, 4000, 8000] {
-        let pair = generate(&EncyclopediaConfig { num_people, ..EncyclopediaConfig::default() });
+        let pair = generate(&EncyclopediaConfig {
+            num_people,
+            ..EncyclopediaConfig::default()
+        });
         let start = std::time::Instant::now();
         let result = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
         let total = start.elapsed().as_secs_f64();

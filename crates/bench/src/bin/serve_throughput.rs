@@ -1,0 +1,136 @@
+//! Request-throughput benchmark for the serving daemon.
+//!
+//! Builds an aligned `movies` snapshot in memory, starts the daemon on an
+//! ephemeral port, and hammers `GET /sameas` from several client threads
+//! over keep-alive connections, then over one-shot connections — the two
+//! traffic shapes a production deployment sees (pooled upstreams vs.
+//! cold clients).
+//!
+//! Usage: `serve_throughput [scale] [clients] [requests-per-client]`
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use paris_core::{AlignedPairSnapshot, Aligner, OwnedAlignment, ParisConfig};
+use paris_datagen::movies::{generate, MoviesConfig};
+use paris_server::{Server, ServerConfig};
+
+/// Reads one HTTP response off the stream, returning the status code.
+fn read_response(reader: &mut BufReader<TcpStream>) -> u16 {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().expect("content-length");
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    std::io::Read::read_exact(reader, &mut body).expect("body");
+    status
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(300);
+    let clients: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let per_client: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2000);
+
+    println!("dataset: movies, scale {scale}; {clients} clients × {per_client} requests");
+    let pair = generate(&MoviesConfig {
+        num_movies: scale,
+        ..Default::default()
+    });
+    let result = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
+    let iris: Vec<String> = result
+        .instance_pairs()
+        .iter()
+        .filter_map(|&(x, _, _)| pair.kb1.iri(x).map(|i| i.as_str().to_owned()))
+        .collect();
+    let owned = OwnedAlignment::from_result(&result);
+    drop(result);
+    assert!(!iris.is_empty());
+
+    let server = Server::bind(
+        AlignedPairSnapshot::new(pair.kb1, pair.kb2, owned),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: clients,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let handle = server.spawn().expect("spawn server");
+    let addr = handle.addr();
+
+    // --- keep-alive: one connection per client, pipelined sequentially.
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let iris = &iris;
+            scope.spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).expect("nodelay");
+                let mut writer = stream.try_clone().expect("clone stream");
+                let mut reader = BufReader::new(stream);
+                for i in 0..per_client {
+                    let iri = &iris[(c * per_client + i * 31) % iris.len()];
+                    let request = format!("GET /sameas?iri={iri} HTTP/1.1\r\nHost: b\r\n\r\n");
+                    writer.write_all(request.as_bytes()).expect("send");
+                    assert_eq!(read_response(&mut reader), 200);
+                }
+            });
+        }
+    });
+    let keep_alive = t0.elapsed();
+    let total = (clients * per_client) as f64;
+    println!(
+        "keep-alive:  {total:>8} requests in {:.2}s → {:>9.0} req/s",
+        keep_alive.as_secs_f64(),
+        total / keep_alive.as_secs_f64()
+    );
+
+    // --- one-shot: a fresh connection per request (cold clients).
+    let oneshot_per_client = per_client / 10;
+    let t1 = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let iris = &iris;
+            scope.spawn(move || {
+                for i in 0..oneshot_per_client {
+                    let iri = &iris[(c + i * 17) % iris.len()];
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    stream.set_nodelay(true).expect("nodelay");
+                    let mut writer = stream.try_clone().expect("clone stream");
+                    let mut reader = BufReader::new(stream);
+                    let request = format!(
+                        "GET /sameas?iri={iri} HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\r\n"
+                    );
+                    writer.write_all(request.as_bytes()).expect("send");
+                    assert_eq!(read_response(&mut reader), 200);
+                }
+            });
+        }
+    });
+    let oneshot = t1.elapsed();
+    let total = (clients * oneshot_per_client) as f64;
+    println!(
+        "one-shot:    {total:>8} requests in {:.2}s → {:>9.0} req/s",
+        oneshot.as_secs_f64(),
+        total / oneshot.as_secs_f64()
+    );
+
+    handle.shutdown();
+}

@@ -46,7 +46,19 @@ fn main() {
     let c21 = evaluate_classes_2to1(&result, &pair.gold, 0.4);
     let n12 = result.classes.above_1to2(0.4).count();
     let n21 = result.classes.above_2to1(0.4).count();
-    println!("  {} ⊆ {}: {} assignments, precision {}", pair.kb1.name(), pair.kb2.name(), n12, pct(c12.precision()));
-    println!("  {} ⊆ {}: {} assignments, precision {}", pair.kb2.name(), pair.kb1.name(), n21, pct(c21.precision()));
+    println!(
+        "  {} ⊆ {}: {} assignments, precision {}",
+        pair.kb1.name(),
+        pair.kb2.name(),
+        n12,
+        pct(c12.precision())
+    );
+    println!(
+        "  {} ⊆ {}: {} assignments, precision {}",
+        pair.kb2.name(),
+        pair.kb1.name(),
+        n21,
+        pct(c21.precision())
+    );
     println!("  class pass took {:.2}s", result.class_seconds);
 }

@@ -37,12 +37,22 @@ fn main() {
         .iter()
         .filter(|&&(e1, e2)| {
             gold.contains(&(
-                pair.kb1.iri(e1).map(|i| i.as_str().to_owned()).unwrap_or_default(),
-                pair.kb2.iri(e2).map(|i| i.as_str().to_owned()).unwrap_or_default(),
+                pair.kb1
+                    .iri(e1)
+                    .map(|i| i.as_str().to_owned())
+                    .unwrap_or_default(),
+                pair.kb2
+                    .iri(e2)
+                    .map(|i| i.as_str().to_owned())
+                    .unwrap_or_default(),
             ))
         })
         .count();
-    let counts = Counts::new(correct, baseline.pairs.len() - correct, gold.len() - correct);
+    let counts = Counts::new(
+        correct,
+        baseline.pairs.len() - correct,
+        gold.len() - correct,
+    );
     println!("  baseline: {}", counts.summary());
     println!(
         "  PARIS:    {}  ← must beat the baseline's F",

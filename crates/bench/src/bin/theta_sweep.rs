@@ -18,7 +18,10 @@ fn main() {
     println!("expected: identical final assignments for every θ\n");
 
     let pair = generate(&RestaurantsConfig::default());
-    println!("{:>8} {:>8} {:>8} {:>8} {:>12} {:>6}", "theta", "P", "R", "F", "#aligned", "iters");
+    println!(
+        "{:>8} {:>8} {:>8} {:>8} {:>12} {:>6}",
+        "theta", "P", "R", "F", "#aligned", "iters"
+    );
 
     let mut reference: Option<Vec<Option<paris_kb::EntityId>>> = None;
     for theta in [0.001, 0.01, 0.05, 0.1, 0.2] {

@@ -7,6 +7,8 @@
 //! produced. (Runs are deterministic, so re-running with a smaller
 //! iteration cap reproduces the prefix of a longer run exactly.)
 
+pub mod timing;
+
 use paris_core::{Aligner, AlignmentResult, ParisConfig};
 use paris_datagen::DatasetPair;
 use paris_eval::{evaluate_instances, IterationRow};
@@ -28,7 +30,10 @@ pub fn per_iteration_rows<'a>(
             ..base.clone()
         };
         let result = Aligner::new(&pair.kb1, &pair.kb2, config).run();
-        let stats = result.iterations.last().expect("at least one iteration ran");
+        let stats = result
+            .iterations
+            .last()
+            .expect("at least one iteration ran");
         rows.push(IterationRow {
             iteration: k,
             change: stats.changed_fraction,
@@ -57,7 +62,10 @@ mod tests {
 
     #[test]
     fn per_iteration_rows_produces_one_row_per_iteration() {
-        let pair = generate(&PersonsConfig { num_persons: 20, ..Default::default() });
+        let pair = generate(&PersonsConfig {
+            num_persons: 20,
+            ..Default::default()
+        });
         let (rows, result) = per_iteration_rows(&pair, &ParisConfig::default(), 3);
         assert_eq!(rows.len(), 3);
         assert_eq!(result.iterations.len(), 3);

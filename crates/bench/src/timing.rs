@@ -1,0 +1,119 @@
+//! A tiny self-contained timing harness.
+//!
+//! The workspace builds offline with zero external dependencies, so the
+//! benches use this instead of criterion: auto-calibrated repetition
+//! counts, warm-up, and min/median/mean reporting. Results are printed as
+//! one aligned row per benchmark, suitable for eyeballing regressions.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Timing summary of one benchmark.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Benchmark label.
+    pub name: String,
+    /// Number of timed runs.
+    pub runs: usize,
+    /// Fastest run.
+    pub min: Duration,
+    /// Median run.
+    pub median: Duration,
+    /// Arithmetic mean.
+    pub mean: Duration,
+}
+
+impl Measurement {
+    /// One aligned report row.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<44} {:>12} {:>12} {:>12}   ({} runs)",
+            self.name,
+            fmt_duration(self.min),
+            fmt_duration(self.median),
+            fmt_duration(self.mean),
+            self.runs,
+        )
+    }
+}
+
+/// Formats a duration with an adaptive unit.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1} µs", ns as f64 / 1_000.0)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Prints the header matching [`Measurement::row`].
+pub fn print_header() {
+    println!(
+        "{:<44} {:>12} {:>12} {:>12}",
+        "benchmark", "min", "median", "mean"
+    );
+}
+
+/// Times `f`, choosing a repetition count so the whole measurement takes
+/// roughly `budget` (but at least `min_runs` runs), and prints the row.
+pub fn bench_with<R>(
+    name: &str,
+    budget: Duration,
+    min_runs: usize,
+    mut f: impl FnMut() -> R,
+) -> Measurement {
+    // Warm-up + calibration run.
+    let t0 = Instant::now();
+    black_box(f());
+    let estimate = t0.elapsed().max(Duration::from_nanos(50));
+    let runs = ((budget.as_secs_f64() / estimate.as_secs_f64()) as usize).clamp(min_runs, 10_000);
+
+    let mut samples: Vec<Duration> = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let t = Instant::now();
+        black_box(f());
+        samples.push(t.elapsed());
+    }
+    samples.sort_unstable();
+    let total: Duration = samples.iter().sum();
+    let m = Measurement {
+        name: name.to_owned(),
+        runs,
+        min: samples[0],
+        median: samples[runs / 2],
+        mean: total / runs as u32,
+    };
+    println!("{}", m.row());
+    m
+}
+
+/// [`bench_with`] under the default budget (~300 ms per benchmark).
+pub fn bench<R>(name: &str, f: impl FnMut() -> R) -> Measurement {
+    bench_with(name, Duration::from_millis(300), 5, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_orders_hold() {
+        let m = bench_with("noop", Duration::from_millis(5), 5, || 1 + 1);
+        assert!(m.runs >= 5);
+        assert!(m.min <= m.median);
+        assert!(m.min <= m.mean);
+    }
+
+    #[test]
+    fn duration_formatting_picks_units() {
+        assert!(fmt_duration(Duration::from_nanos(500)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(500)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(500)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(20)).ends_with(" s"));
+    }
+}

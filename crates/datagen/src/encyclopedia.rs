@@ -124,16 +124,25 @@ pub(crate) fn build_world(config: &EncyclopediaConfig) -> World {
     let num_orgs = (n / 50).max(3);
     let num_prizes = 20;
 
-    let countries: Vec<String> =
-        (0..num_countries).map(|i| format!("{}land", names::pseudo_word(&mut rng, 2 + i % 2))).collect();
-    let cities: Vec<String> = (0..num_cities).map(|i| names::city_name(&mut rng, i)).collect();
+    let countries: Vec<String> = (0..num_countries)
+        .map(|i| format!("{}land", names::pseudo_word(&mut rng, 2 + i % 2)))
+        .collect();
+    let cities: Vec<String> = (0..num_cities)
+        .map(|i| names::city_name(&mut rng, i))
+        .collect();
     let city_country: Vec<usize> = (0..num_cities).map(|i| i % num_countries).collect();
-    let city_population: Vec<u64> =
-        (0..num_cities).map(|_| rng.random_range(10_000..5_000_000)).collect();
-    let orgs: Vec<String> = (0..num_orgs).map(|i| names::organization_name(&mut rng, i)).collect();
-    let org_city: Vec<usize> = (0..num_orgs).map(|_| rng.random_range(0..num_cities)).collect();
-    let prizes: Vec<String> =
-        (0..num_prizes).map(|i| format!("{} Prize", names::pseudo_word(&mut rng, 2 + i % 2))).collect();
+    let city_population: Vec<u64> = (0..num_cities)
+        .map(|_| rng.random_range(10_000..5_000_000))
+        .collect();
+    let orgs: Vec<String> = (0..num_orgs)
+        .map(|i| names::organization_name(&mut rng, i))
+        .collect();
+    let org_city: Vec<usize> = (0..num_orgs)
+        .map(|_| rng.random_range(0..num_cities))
+        .collect();
+    let prizes: Vec<String> = (0..num_prizes)
+        .map(|i| format!("{} Prize", names::pseudo_word(&mut rng, 2 + i % 2)))
+        .collect();
 
     let mut person_name: Vec<String> = (0..n).map(names::person_name).collect();
     // Duplicate names: person i copies the name of person i-1.
@@ -176,12 +185,16 @@ pub(crate) fn build_world(config: &EncyclopediaConfig) -> World {
     let mut work_year: Vec<u32> = Vec::new();
     let mut work_creator: Vec<usize> = Vec::new();
     for (person, &born) in birth_year.iter().enumerate() {
-        let count = if noise::flip(&mut rng, 0.45) { 1 + usize::from(person % 5 == 0) } else { 0 };
+        let count = if noise::flip(&mut rng, 0.45) {
+            1 + usize::from(person % 5 == 0)
+        } else {
+            0
+        };
         for _ in 0..count {
             let w = works.len();
             works.push(names::movie_title(w));
             work_type.push(WorkType::of(w));
-            work_year.push(born + rng.random_range(20..60));
+            work_year.push(born + rng.random_range(20u32..60));
             work_creator.push(person);
             creations.push((person, w));
         }
@@ -267,8 +280,15 @@ fn emit_side_a(world: &World, a_end: usize, config: &EncyclopediaConfig) -> KbBu
     for p in 0..a_end {
         let e = format!("{ns}p{p}");
         b.add_type(e.as_str(), format!("{ns}Person"));
-        b.add_type(e.as_str(), format!("{ns}PeopleFrom{}", world.cities[world.birth_city[p]]));
-        b.add_literal_fact(e.as_str(), format!("{ns}label"), Literal::plain(world.person_name[p].clone()));
+        b.add_type(
+            e.as_str(),
+            format!("{ns}PeopleFrom{}", world.cities[world.birth_city[p]]),
+        );
+        b.add_literal_fact(
+            e.as_str(),
+            format!("{ns}label"),
+            Literal::plain(world.person_name[p].clone()),
+        );
         if keep(&mut rng) {
             b.add_literal_fact(
                 e.as_str(),
@@ -277,7 +297,11 @@ fn emit_side_a(world: &World, a_end: usize, config: &EncyclopediaConfig) -> KbBu
             );
         }
         if keep(&mut rng) {
-            b.add_fact(e.as_str(), format!("{ns}wasBornIn"), format!("{ns}city{}", world.birth_city[p]));
+            b.add_fact(
+                e.as_str(),
+                format!("{ns}wasBornIn"),
+                format!("{ns}city{}", world.birth_city[p]),
+            );
         }
         if let Some(d) = world.death_city[p] {
             if keep(&mut rng) {
@@ -295,17 +319,29 @@ fn emit_side_a(world: &World, a_end: usize, config: &EncyclopediaConfig) -> KbBu
             }
         }
         if keep(&mut rng) {
-            b.add_fact(e.as_str(), format!("{ns}isCitizenOf"), format!("{ns}country{}", world.citizenship[p]));
+            b.add_fact(
+                e.as_str(),
+                format!("{ns}isCitizenOf"),
+                format!("{ns}country{}", world.citizenship[p]),
+            );
         }
     }
     for &(parent, child) in &world.children {
         if in_side(parent) && in_side(child) && keep(&mut rng) {
-            b.add_fact(format!("{ns}p{parent}"), format!("{ns}hasChild"), format!("{ns}p{child}"));
+            b.add_fact(
+                format!("{ns}p{parent}"),
+                format!("{ns}hasChild"),
+                format!("{ns}p{child}"),
+            );
         }
     }
     for &(person, prize) in &world.prizes_won {
         if in_side(person) && keep(&mut rng) {
-            b.add_fact(format!("{ns}p{person}"), format!("{ns}hasWonPrize"), format!("{ns}prize{prize}"));
+            b.add_fact(
+                format!("{ns}p{person}"),
+                format!("{ns}hasWonPrize"),
+                format!("{ns}prize{prize}"),
+            );
             let tag = world.prizes[prize].replace(' ', "");
             b.add_type(format!("{ns}p{person}"), format!("{ns}{tag}Winner"));
         }
@@ -322,9 +358,17 @@ fn emit_side_a(world: &World, a_end: usize, config: &EncyclopediaConfig) -> KbBu
         };
         b.add_type(we.as_str(), format!("{ns}{wclass}"));
         b.add_type(format!("{ns}p{person}"), format!("{ns}{occupation}"));
-        b.add_literal_fact(we.as_str(), format!("{ns}label"), Literal::plain(world.works[w].clone()));
+        b.add_literal_fact(
+            we.as_str(),
+            format!("{ns}label"),
+            Literal::plain(world.works[w].clone()),
+        );
         if keep(&mut rng) {
-            b.add_fact(format!("{ns}p{person}"), format!("{ns}created"), we.as_str());
+            b.add_fact(
+                format!("{ns}p{person}"),
+                format!("{ns}created"),
+                we.as_str(),
+            );
         }
         if keep(&mut rng) {
             b.add_literal_fact(
@@ -337,8 +381,16 @@ fn emit_side_a(world: &World, a_end: usize, config: &EncyclopediaConfig) -> KbBu
     for (c, city) in world.cities.iter().enumerate() {
         let e = format!("{ns}city{c}");
         b.add_type(e.as_str(), format!("{ns}City"));
-        b.add_literal_fact(e.as_str(), format!("{ns}label"), Literal::plain(city.clone()));
-        b.add_fact(e.as_str(), format!("{ns}isLocatedIn"), format!("{ns}country{}", world.city_country[c]));
+        b.add_literal_fact(
+            e.as_str(),
+            format!("{ns}label"),
+            Literal::plain(city.clone()),
+        );
+        b.add_fact(
+            e.as_str(),
+            format!("{ns}isLocatedIn"),
+            format!("{ns}country{}", world.city_country[c]),
+        );
         if keep(&mut rng) {
             b.add_literal_fact(
                 e.as_str(),
@@ -350,17 +402,33 @@ fn emit_side_a(world: &World, a_end: usize, config: &EncyclopediaConfig) -> KbBu
     for (k, country) in world.countries.iter().enumerate() {
         let e = format!("{ns}country{k}");
         b.add_type(e.as_str(), format!("{ns}Country"));
-        b.add_literal_fact(e.as_str(), format!("{ns}label"), Literal::plain(country.clone()));
+        b.add_literal_fact(
+            e.as_str(),
+            format!("{ns}label"),
+            Literal::plain(country.clone()),
+        );
     }
     for (o, org) in world.orgs.iter().enumerate() {
         let e = format!("{ns}org{o}");
         b.add_type(e.as_str(), format!("{ns}Organization"));
-        b.add_literal_fact(e.as_str(), format!("{ns}label"), Literal::plain(org.clone()));
-        b.add_fact(e.as_str(), format!("{ns}isLocatedIn"), format!("{ns}city{}", world.org_city[o]));
+        b.add_literal_fact(
+            e.as_str(),
+            format!("{ns}label"),
+            Literal::plain(org.clone()),
+        );
+        b.add_fact(
+            e.as_str(),
+            format!("{ns}isLocatedIn"),
+            format!("{ns}city{}", world.org_city[o]),
+        );
     }
     for (pz, prize) in world.prizes.iter().enumerate() {
         let e = format!("{ns}prize{pz}");
-        b.add_literal_fact(e.as_str(), format!("{ns}label"), Literal::plain(prize.clone()));
+        b.add_literal_fact(
+            e.as_str(),
+            format!("{ns}label"),
+            Literal::plain(prize.clone()),
+        );
     }
     b
 }
@@ -392,7 +460,11 @@ fn emit_side_b(world: &World, b_start: usize, config: &EncyclopediaConfig) -> Kb
         let e = format!("{ns}P{p}");
         b.add_type(e.as_str(), format!("{ns}Person"));
         if !noise::flip(&mut rng, config.label_drop_2) {
-            b.add_literal_fact(e.as_str(), format!("{ns}name"), Literal::plain(world.person_name[p].clone()));
+            b.add_literal_fact(
+                e.as_str(),
+                format!("{ns}name"),
+                Literal::plain(world.person_name[p].clone()),
+            );
         }
         if keep(&mut rng) {
             b.add_literal_fact(
@@ -402,7 +474,11 @@ fn emit_side_b(world: &World, b_start: usize, config: &EncyclopediaConfig) -> Kb
             );
         }
         if keep(&mut rng) {
-            b.add_fact(e.as_str(), format!("{ns}birthPlace"), format!("{ns}C{}", world.birth_city[p]));
+            b.add_fact(
+                e.as_str(),
+                format!("{ns}birthPlace"),
+                format!("{ns}C{}", world.birth_city[p]),
+            );
         }
         if let Some(d) = world.death_city[p] {
             if keep(&mut rng) {
@@ -421,18 +497,30 @@ fn emit_side_b(world: &World, b_start: usize, config: &EncyclopediaConfig) -> Kb
             }
         }
         if keep(&mut rng) {
-            b.add_fact(e.as_str(), format!("{ns}nationality"), format!("{ns}K{}", world.citizenship[p]));
+            b.add_fact(
+                e.as_str(),
+                format!("{ns}nationality"),
+                format!("{ns}K{}", world.citizenship[p]),
+            );
         }
     }
     for &(parent, child) in &world.children {
         // Inverted: child → parent.
         if in_side(parent) && in_side(child) && keep(&mut rng) {
-            b.add_fact(format!("{ns}P{child}"), format!("{ns}parent"), format!("{ns}P{parent}"));
+            b.add_fact(
+                format!("{ns}P{child}"),
+                format!("{ns}parent"),
+                format!("{ns}P{parent}"),
+            );
         }
     }
     for &(person, prize) in &world.prizes_won {
         if in_side(person) && keep(&mut rng) {
-            b.add_fact(format!("{ns}P{person}"), format!("{ns}award"), format!("{ns}Z{prize}"));
+            b.add_fact(
+                format!("{ns}P{person}"),
+                format!("{ns}award"),
+                format!("{ns}Z{prize}"),
+            );
         }
     }
     for &(person, w) in &world.creations {
@@ -448,7 +536,11 @@ fn emit_side_b(world: &World, b_start: usize, config: &EncyclopediaConfig) -> Kb
         b.add_type(we.as_str(), format!("{ns}{wclass}"));
         b.add_type(format!("{ns}P{person}"), format!("{ns}{pclass}"));
         if !noise::flip(&mut rng, config.label_drop_2) {
-            b.add_literal_fact(we.as_str(), format!("{ns}name"), Literal::plain(world.works[w].clone()));
+            b.add_literal_fact(
+                we.as_str(),
+                format!("{ns}name"),
+                Literal::plain(world.works[w].clone()),
+            );
         }
         // Inverted and split: work → person.
         if keep(&mut rng) {
@@ -465,8 +557,16 @@ fn emit_side_b(world: &World, b_start: usize, config: &EncyclopediaConfig) -> Kb
     for (c, city) in world.cities.iter().enumerate() {
         let e = format!("{ns}C{c}");
         b.add_type(e.as_str(), format!("{ns}Settlement"));
-        b.add_literal_fact(e.as_str(), format!("{ns}name"), Literal::plain(city.clone()));
-        b.add_fact(e.as_str(), format!("{ns}locatedIn"), format!("{ns}K{}", world.city_country[c]));
+        b.add_literal_fact(
+            e.as_str(),
+            format!("{ns}name"),
+            Literal::plain(city.clone()),
+        );
+        b.add_fact(
+            e.as_str(),
+            format!("{ns}locatedIn"),
+            format!("{ns}K{}", world.city_country[c]),
+        );
         if keep(&mut rng) {
             b.add_literal_fact(
                 e.as_str(),
@@ -478,18 +578,30 @@ fn emit_side_b(world: &World, b_start: usize, config: &EncyclopediaConfig) -> Kb
     for (k, country) in world.countries.iter().enumerate() {
         let e = format!("{ns}K{k}");
         b.add_type(e.as_str(), format!("{ns}Country"));
-        b.add_literal_fact(e.as_str(), format!("{ns}name"), Literal::plain(country.clone()));
+        b.add_literal_fact(
+            e.as_str(),
+            format!("{ns}name"),
+            Literal::plain(country.clone()),
+        );
     }
     for (o, org) in world.orgs.iter().enumerate() {
         let e = format!("{ns}O{o}");
         b.add_type(e.as_str(), format!("{ns}Organisation"));
         b.add_literal_fact(e.as_str(), format!("{ns}name"), Literal::plain(org.clone()));
         // Split of a:isLocatedIn for organizations.
-        b.add_fact(e.as_str(), format!("{ns}headquarter"), format!("{ns}C{}", world.org_city[o]));
+        b.add_fact(
+            e.as_str(),
+            format!("{ns}headquarter"),
+            format!("{ns}C{}", world.org_city[o]),
+        );
     }
     for (pz, prize) in world.prizes.iter().enumerate() {
         let e = format!("{ns}Z{pz}");
-        b.add_literal_fact(e.as_str(), format!("{ns}name"), Literal::plain(prize.clone()));
+        b.add_literal_fact(
+            e.as_str(),
+            format!("{ns}name"),
+            Literal::plain(prize.clone()),
+        );
     }
     b
 }
@@ -603,9 +715,17 @@ fn class_gold(world: &World) -> (ClassGoldList, ClassGoldList) {
         }
     }
     // Category classes are subclasses of Person on the other side.
-    let mut category_tags: Vec<String> =
-        world.cities.iter().map(|c| format!("PeopleFrom{c}")).collect();
-    category_tags.extend(world.prizes.iter().map(|p| format!("{}Winner", p.replace(' ', ""))));
+    let mut category_tags: Vec<String> = world
+        .cities
+        .iter()
+        .map(|c| format!("PeopleFrom{c}"))
+        .collect();
+    category_tags.extend(
+        world
+            .prizes
+            .iter()
+            .map(|p| format!("{}Winner", p.replace(' ', ""))),
+    );
     for tag in &category_tags {
         one_to_two.push((a(tag), b("Person")));
         one_to_two.push((a(tag), b("Agent")));
@@ -646,23 +766,41 @@ pub fn generate(config: &EncyclopediaConfig) -> DatasetPair {
 
     let mut gold = GoldStandard::default();
     for p in b_start..a_end {
-        gold.instances.push((Iri::new(format!("{NS1}p{p}")), Iri::new(format!("{NS2}P{p}"))));
+        gold.instances.push((
+            Iri::new(format!("{NS1}p{p}")),
+            Iri::new(format!("{NS2}P{p}")),
+        ));
     }
     for c in 0..world.cities.len() {
-        gold.instances.push((Iri::new(format!("{NS1}city{c}")), Iri::new(format!("{NS2}C{c}"))));
+        gold.instances.push((
+            Iri::new(format!("{NS1}city{c}")),
+            Iri::new(format!("{NS2}C{c}")),
+        ));
     }
     for k in 0..world.countries.len() {
-        gold.instances.push((Iri::new(format!("{NS1}country{k}")), Iri::new(format!("{NS2}K{k}"))));
+        gold.instances.push((
+            Iri::new(format!("{NS1}country{k}")),
+            Iri::new(format!("{NS2}K{k}")),
+        ));
     }
     for o in 0..world.orgs.len() {
-        gold.instances.push((Iri::new(format!("{NS1}org{o}")), Iri::new(format!("{NS2}O{o}"))));
+        gold.instances.push((
+            Iri::new(format!("{NS1}org{o}")),
+            Iri::new(format!("{NS2}O{o}")),
+        ));
     }
     for z in 0..world.prizes.len() {
-        gold.instances.push((Iri::new(format!("{NS1}prize{z}")), Iri::new(format!("{NS2}Z{z}"))));
+        gold.instances.push((
+            Iri::new(format!("{NS1}prize{z}")),
+            Iri::new(format!("{NS2}Z{z}")),
+        ));
     }
     for (w, &creator) in world.work_creator.iter().enumerate() {
         if creator >= b_start && creator < a_end {
-            gold.instances.push((Iri::new(format!("{NS1}w{w}")), Iri::new(format!("{NS2}W{w}"))));
+            gold.instances.push((
+                Iri::new(format!("{NS1}w{w}")),
+                Iri::new(format!("{NS2}W{w}")),
+            ));
         }
     }
     let (r12, r21) = relation_gold();
@@ -680,7 +818,10 @@ mod tests {
     use super::*;
 
     fn small() -> EncyclopediaConfig {
-        EncyclopediaConfig { num_people: 400, ..EncyclopediaConfig::default() }
+        EncyclopediaConfig {
+            num_people: 400,
+            ..EncyclopediaConfig::default()
+        }
     }
 
     #[test]
@@ -714,28 +855,76 @@ mod tests {
     fn inverted_relations_are_really_inverted() {
         let pair = generate(&small());
         // a:hasChild goes parent→child; b:parent goes child→parent.
-        let has_child = pair.kb1.relation_by_iri("http://wikia.test/hasChild").unwrap();
+        let has_child = pair
+            .kb1
+            .relation_by_iri("http://wikia.test/hasChild")
+            .unwrap();
         let parent = pair.kb2.relation_by_iri("http://dbp.test/parent").unwrap();
         assert!(pair.kb1.num_pairs(has_child) > 0);
         assert!(pair.kb2.num_pairs(parent) > 0);
         // Spot-check one pair: the child id is numerically > parent id.
         let (x, y) = pair.kb1.pairs(has_child).next().unwrap();
-        let xi: usize = pair.kb1.iri(x).unwrap().as_str().rsplit('p').next().unwrap().parse().unwrap();
-        let yi: usize = pair.kb1.iri(y).unwrap().as_str().rsplit('p').next().unwrap().parse().unwrap();
+        let xi: usize = pair
+            .kb1
+            .iri(x)
+            .unwrap()
+            .as_str()
+            .rsplit('p')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        let yi: usize = pair
+            .kb1
+            .iri(y)
+            .unwrap()
+            .as_str()
+            .rsplit('p')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
         assert!(yi > xi, "hasChild must go parent→child");
         let (c, p) = pair.kb2.pairs(parent).next().unwrap();
-        let ci: usize = pair.kb2.iri(c).unwrap().as_str().rsplit('P').next().unwrap().parse().unwrap();
-        let pi: usize = pair.kb2.iri(p).unwrap().as_str().rsplit('P').next().unwrap().parse().unwrap();
+        let ci: usize = pair
+            .kb2
+            .iri(c)
+            .unwrap()
+            .as_str()
+            .rsplit('P')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        let pi: usize = pair
+            .kb2
+            .iri(p)
+            .unwrap()
+            .as_str()
+            .rsplit('P')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
         assert!(ci > pi, "parent must go child→parent");
     }
 
     #[test]
     fn created_is_split_by_work_type() {
         let pair = generate(&small());
-        let created = pair.kb1.relation_by_iri("http://wikia.test/created").unwrap();
+        let created = pair
+            .kb1
+            .relation_by_iri("http://wikia.test/created")
+            .unwrap();
         let author = pair.kb2.relation_by_iri("http://dbp.test/author").unwrap();
-        let composer = pair.kb2.relation_by_iri("http://dbp.test/composer").unwrap();
-        let director = pair.kb2.relation_by_iri("http://dbp.test/director").unwrap();
+        let composer = pair
+            .kb2
+            .relation_by_iri("http://dbp.test/composer")
+            .unwrap();
+        let director = pair
+            .kb2
+            .relation_by_iri("http://dbp.test/director")
+            .unwrap();
         let split_total = pair.kb2.num_pairs(author)
             + pair.kb2.num_pairs(composer)
             + pair.kb2.num_pairs(director);
@@ -771,7 +960,10 @@ mod tests {
     #[test]
     fn seeds_change_content() {
         let a = generate(&small());
-        let b = generate(&EncyclopediaConfig { seed: 99, ..small() });
+        let b = generate(&EncyclopediaConfig {
+            seed: 99,
+            ..small()
+        });
         assert_ne!(a.kb1.num_facts(), b.kb1.num_facts());
     }
 
@@ -783,13 +975,21 @@ mod tests {
             .kb2
             .entities()
             .filter(|&e| {
-                pair.kb2.iri(e).map(|i| i.as_str().contains("/P")).unwrap_or(false)
+                pair.kb2
+                    .iri(e)
+                    .map(|i| i.as_str().contains("/P"))
+                    .unwrap_or(false)
             })
             .count();
         let named_people = pair
             .kb2
             .pairs(name)
-            .filter(|&(s, _)| pair.kb2.iri(s).map(|i| i.as_str().contains("/P")).unwrap_or(false))
+            .filter(|&(s, _)| {
+                pair.kb2
+                    .iri(s)
+                    .map(|i| i.as_str().contains("/P"))
+                    .unwrap_or(false)
+            })
             .count();
         assert!(named_people < people, "some labels must be missing");
         assert!(named_people as f64 > people as f64 * 0.7);

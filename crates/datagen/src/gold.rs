@@ -92,7 +92,11 @@ mod tests {
             instances: vec![(Iri::new("http://a/missing"), Iri::new("http://b/x"))],
             ..GoldStandard::default()
         };
-        let pair2 = DatasetPair { kb1: pair.kb1, kb2: pair.kb2, gold: broken };
+        let pair2 = DatasetPair {
+            kb1: pair.kb1,
+            kb2: pair.kb2,
+            gold: broken,
+        };
         assert!(!pair2.gold_is_consistent());
     }
 }

@@ -11,8 +11,8 @@ use rand::rngs::StdRng;
 use rand::RngExt;
 
 const SYLLABLES: &[&str] = &[
-    "ka", "ro", "mi", "ta", "lo", "ve", "na", "si", "du", "fe", "gar", "bel", "ton", "mar",
-    "lin", "sor", "pel", "ran", "vi", "ze", "qua", "bri", "cho", "dre",
+    "ka", "ro", "mi", "ta", "lo", "ve", "na", "si", "du", "fe", "gar", "bel", "ton", "mar", "lin",
+    "sor", "pel", "ran", "vi", "ze", "qua", "bri", "cho", "dre",
 ];
 
 const FIRST_NAMES: &[&str] = &[
@@ -32,19 +32,29 @@ const STREET_WORDS: &[&str] = &[
 ];
 
 const TITLE_WORDS: &[&str] = &[
-    "Shadow", "River", "King", "Night", "Garden", "Secret", "Voyage", "Winter", "Crimson",
-    "Echo", "Silent", "Golden", "Broken", "Last", "First", "Hidden", "Lost", "Iron",
-    "Glass", "Paper", "Electric", "Distant", "Burning", "Frozen",
+    "Shadow", "River", "King", "Night", "Garden", "Secret", "Voyage", "Winter", "Crimson", "Echo",
+    "Silent", "Golden", "Broken", "Last", "First", "Hidden", "Lost", "Iron", "Glass", "Paper",
+    "Electric", "Distant", "Burning", "Frozen",
 ];
 
 const TITLE_NOUNS: &[&str] = &[
-    "Empire", "Patrol", "Letter", "Story", "Dream", "Road", "Island", "Mountain", "Song",
-    "Return", "Promise", "Harvest", "Journey", "Legacy", "Mirror", "Storm", "Garden", "City",
+    "Empire", "Patrol", "Letter", "Story", "Dream", "Road", "Island", "Mountain", "Song", "Return",
+    "Promise", "Harvest", "Journey", "Legacy", "Mirror", "Storm", "Garden", "City",
 ];
 
 const CUISINES: &[&str] = &[
-    "Italian", "French", "Japanese", "Mexican", "Thai", "Indian", "Greek", "Spanish",
-    "Korean", "Vietnamese", "American", "Ethiopian",
+    "Italian",
+    "French",
+    "Japanese",
+    "Mexican",
+    "Thai",
+    "Indian",
+    "Greek",
+    "Spanish",
+    "Korean",
+    "Vietnamese",
+    "American",
+    "Ethiopian",
 ];
 
 /// A capitalized pseudo-word of `n` syllables.
@@ -96,7 +106,12 @@ pub fn phone_number(i: usize) -> String {
 
 /// A unique social-security-like identifier.
 pub fn ssn(i: usize) -> String {
-    format!("{:03}-{:02}-{:04}", (i * 17) % 1000, (i * 5) % 100, i % 10_000)
+    format!(
+        "{:03}-{:02}-{:04}",
+        (i * 17) % 1000,
+        (i * 5) % 100,
+        i % 10_000
+    )
 }
 
 /// The `i`-th movie title: two pool words plus a discriminator when pools

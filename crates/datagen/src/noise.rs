@@ -20,7 +20,10 @@ pub fn reformat_phone(phone: &str) -> String {
 /// catalogue-style titles).
 pub fn swap_words(s: &str) -> String {
     let words: Vec<&str> = s.split_whitespace().collect();
-    let skip = usize::from(matches!(words.first(), Some(&"The") | Some(&"A") | Some(&"An")));
+    let skip = usize::from(matches!(
+        words.first(),
+        Some(&"The") | Some(&"A") | Some(&"An")
+    ));
     if words.len() < skip + 2 {
         return s.to_owned();
     }

@@ -34,7 +34,12 @@ pub struct PersonsConfig {
 
 impl Default for PersonsConfig {
     fn default() -> Self {
-        PersonsConfig { num_persons: 500, extra_1: 0, extra_2: 0, seed: 42 }
+        PersonsConfig {
+            num_persons: 500,
+            extra_1: 0,
+            extra_2: 0,
+            seed: 42,
+        }
     }
 }
 
@@ -54,8 +59,9 @@ fn world(config: &PersonsConfig) -> Vec<PersonRecord> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let total = config.num_persons + config.extra_1 + config.extra_2;
     let num_cities = (total / 25).max(2);
-    let cities: Vec<String> =
-        (0..num_cities).map(|i| names::city_name(&mut rng, i)).collect();
+    let cities: Vec<String> = (0..num_cities)
+        .map(|i| names::city_name(&mut rng, i))
+        .collect();
     (0..total)
         .map(|i| PersonRecord {
             name: names::person_name(i),
@@ -88,27 +94,61 @@ fn emit(
         let a = format!("{ns}addr{i}");
         b.add_type(p.as_str(), format!("{ns}{cls_person}"));
         b.add_type(a.as_str(), format!("{ns}{cls_address}"));
-        b.add_literal_fact(p.as_str(), format!("{ns}{r_name}"), Literal::plain(rec.name.clone()));
-        b.add_literal_fact(p.as_str(), format!("{ns}{r_ssn}"), Literal::plain(rec.ssn.clone()));
-        b.add_literal_fact(p.as_str(), format!("{ns}{r_phone}"), Literal::plain(rec.phone.clone()));
+        b.add_literal_fact(
+            p.as_str(),
+            format!("{ns}{r_name}"),
+            Literal::plain(rec.name.clone()),
+        );
+        b.add_literal_fact(
+            p.as_str(),
+            format!("{ns}{r_ssn}"),
+            Literal::plain(rec.ssn.clone()),
+        );
+        b.add_literal_fact(
+            p.as_str(),
+            format!("{ns}{r_phone}"),
+            Literal::plain(rec.phone.clone()),
+        );
         b.add_literal_fact(
             p.as_str(),
             format!("{ns}{r_birth}"),
             Literal::plain(rec.birth_year.to_string()),
         );
         b.add_fact(p.as_str(), format!("{ns}{r_addr}"), a.as_str());
-        b.add_literal_fact(a.as_str(), format!("{ns}{r_street}"), Literal::plain(rec.street.clone()));
-        b.add_literal_fact(a.as_str(), format!("{ns}{r_city}"), Literal::plain(rec.city.clone()));
+        b.add_literal_fact(
+            a.as_str(),
+            format!("{ns}{r_street}"),
+            Literal::plain(rec.street.clone()),
+        );
+        b.add_literal_fact(
+            a.as_str(),
+            format!("{ns}{r_city}"),
+            Literal::plain(rec.city.clone()),
+        );
     }
 }
 
 const VOCAB1: [&str; 9] = [
-    "Person", "Address", "hasName", "hasSSN", "hasPhone", "bornInYear", "hasAddress", "street",
+    "Person",
+    "Address",
+    "hasName",
+    "hasSSN",
+    "hasPhone",
+    "bornInYear",
+    "hasAddress",
+    "street",
     "inCity",
 ];
 const VOCAB2: [&str; 9] = [
-    "Human", "Location", "fullName", "socialSecurityNumber", "phoneNumber", "yearOfBirth",
-    "residence", "streetLine", "cityName",
+    "Human",
+    "Location",
+    "fullName",
+    "socialSecurityNumber",
+    "phoneNumber",
+    "yearOfBirth",
+    "residence",
+    "streetLine",
+    "cityName",
 ];
 
 /// Generates the persons dataset pair.
@@ -117,7 +157,14 @@ pub fn generate(config: &PersonsConfig) -> DatasetPair {
     let n = config.num_persons;
 
     let mut b1 = KbBuilder::new("person1");
-    emit(&mut b1, NS1, "p", &VOCAB1, &records, (0..n).chain(n..n + config.extra_1));
+    emit(
+        &mut b1,
+        NS1,
+        "p",
+        &VOCAB1,
+        &records,
+        (0..n).chain(n..n + config.extra_1),
+    );
     let mut b2 = KbBuilder::new("person2");
     emit(
         &mut b2,
@@ -130,8 +177,14 @@ pub fn generate(config: &PersonsConfig) -> DatasetPair {
 
     let mut gold = GoldStandard::default();
     for i in 0..n {
-        gold.instances.push((Iri::new(format!("{NS1}p{i}")), Iri::new(format!("{NS2}q{i}"))));
-        gold.instances.push((Iri::new(format!("{NS1}addr{i}")), Iri::new(format!("{NS2}addr{i}"))));
+        gold.instances.push((
+            Iri::new(format!("{NS1}p{i}")),
+            Iri::new(format!("{NS2}q{i}")),
+        ));
+        gold.instances.push((
+            Iri::new(format!("{NS1}addr{i}")),
+            Iri::new(format!("{NS2}addr{i}")),
+        ));
     }
     for (r1, r2) in VOCAB1[2..].iter().zip(&VOCAB2[2..]) {
         gold.relations_1to2.push(RelationGold {
@@ -146,11 +199,21 @@ pub fn generate(config: &PersonsConfig) -> DatasetPair {
         });
     }
     for (c1, c2) in VOCAB1[..2].iter().zip(&VOCAB2[..2]) {
-        gold.classes_1to2.push((Iri::new(format!("{NS1}{c1}")), Iri::new(format!("{NS2}{c2}"))));
-        gold.classes_2to1.push((Iri::new(format!("{NS2}{c2}")), Iri::new(format!("{NS1}{c1}"))));
+        gold.classes_1to2.push((
+            Iri::new(format!("{NS1}{c1}")),
+            Iri::new(format!("{NS2}{c2}")),
+        ));
+        gold.classes_2to1.push((
+            Iri::new(format!("{NS2}{c2}")),
+            Iri::new(format!("{NS1}{c1}")),
+        ));
     }
 
-    DatasetPair { kb1: b1.build(), kb2: b2.build(), gold }
+    DatasetPair {
+        kb1: b1.build(),
+        kb2: b2.build(),
+        gold,
+    }
 }
 
 #[cfg(test)]
@@ -172,17 +235,26 @@ mod tests {
     fn vocabularies_are_disjoint() {
         let pair = generate(&PersonsConfig::default());
         for r in 0..pair.kb1.num_base_relations() {
-            let iri = &pair.kb1.relation_iri(paris_kb::RelationId::forward(r)).clone();
+            let iri = &pair
+                .kb1
+                .relation_iri(paris_kb::RelationId::forward(r))
+                .clone();
             assert!(pair.kb2.relation_by_iri(iri.as_str()).is_none());
         }
     }
 
     #[test]
     fn literals_are_shared_values() {
-        let config = PersonsConfig { num_persons: 20, ..PersonsConfig::default() };
+        let config = PersonsConfig {
+            num_persons: 20,
+            ..PersonsConfig::default()
+        };
         let pair = generate(&config);
         // Every KB-1 SSN literal exists verbatim in KB-2.
-        let ssn_rel = pair.kb1.relation_by_iri("http://person1.test/hasSSN").unwrap();
+        let ssn_rel = pair
+            .kb1
+            .relation_by_iri("http://person1.test/hasSSN")
+            .unwrap();
         for (_, lit) in pair.kb1.pairs(ssn_rel) {
             let term = pair.kb1.term(lit).clone();
             assert!(pair.kb2.entity(&term).is_some(), "missing {term:?}");
@@ -191,8 +263,12 @@ mod tests {
 
     #[test]
     fn extras_are_unmatched() {
-        let config =
-            PersonsConfig { num_persons: 10, extra_1: 3, extra_2: 5, ..PersonsConfig::default() };
+        let config = PersonsConfig {
+            num_persons: 10,
+            extra_1: 3,
+            extra_2: 5,
+            ..PersonsConfig::default()
+        };
         let pair = generate(&config);
         assert_eq!(pair.kb1.num_instances(), 2 * 13);
         assert_eq!(pair.kb2.num_instances(), 2 * 15);
@@ -206,8 +282,14 @@ mod tests {
 
     #[test]
     fn deterministic_across_calls() {
-        let a = generate(&PersonsConfig { num_persons: 30, ..Default::default() });
-        let b = generate(&PersonsConfig { num_persons: 30, ..Default::default() });
+        let a = generate(&PersonsConfig {
+            num_persons: 30,
+            ..Default::default()
+        });
+        let b = generate(&PersonsConfig {
+            num_persons: 30,
+            ..Default::default()
+        });
         assert_eq!(a.kb1.num_facts(), b.kb1.num_facts());
         assert_eq!(a.gold.instances, b.gold.instances);
     }
@@ -215,11 +297,17 @@ mod tests {
     #[test]
     fn ssn_is_inverse_functional() {
         let pair = generate(&PersonsConfig::default());
-        let ssn = pair.kb1.relation_by_iri("http://person1.test/hasSSN").unwrap();
+        let ssn = pair
+            .kb1
+            .relation_by_iri("http://person1.test/hasSSN")
+            .unwrap();
         assert_eq!(pair.kb1.functionality(ssn), 1.0);
         assert_eq!(pair.kb1.functionality(ssn.inverse()), 1.0);
         // city, by contrast, is shared by many addresses
-        let city = pair.kb1.relation_by_iri("http://person1.test/inCity").unwrap();
+        let city = pair
+            .kb1
+            .relation_by_iri("http://person1.test/inCity")
+            .unwrap();
         assert!(pair.kb1.functionality(city.inverse()) < 0.2);
     }
 }

@@ -91,7 +91,9 @@ fn world(config: &RestaurantsConfig) -> Vec<RestaurantRecord> {
     // must never seed a match on their own.
     let num_cities = 6;
     let num_cuisines = 6;
-    let cities: Vec<String> = (0..num_cities).map(|i| names::city_name(&mut rng, i)).collect();
+    let cities: Vec<String> = (0..num_cities)
+        .map(|i| names::city_name(&mut rng, i))
+        .collect();
 
     let mut records: Vec<RestaurantRecord> = (0..total)
         .map(|i| {
@@ -175,12 +177,32 @@ pub fn generate(config: &RestaurantsConfig) -> DatasetPair {
         let a = format!("{NS1}addr{i}");
         b1.add_type(e.as_str(), format!("{NS1}Restaurant"));
         b1.add_type(a.as_str(), format!("{NS1}Address"));
-        b1.add_literal_fact(e.as_str(), format!("{NS1}name"), Literal::plain(r.name.clone()));
-        b1.add_literal_fact(e.as_str(), format!("{NS1}phone"), Literal::plain(r.phone.clone()));
-        b1.add_literal_fact(e.as_str(), format!("{NS1}category"), Literal::plain(r.cuisine));
+        b1.add_literal_fact(
+            e.as_str(),
+            format!("{NS1}name"),
+            Literal::plain(r.name.clone()),
+        );
+        b1.add_literal_fact(
+            e.as_str(),
+            format!("{NS1}phone"),
+            Literal::plain(r.phone.clone()),
+        );
+        b1.add_literal_fact(
+            e.as_str(),
+            format!("{NS1}category"),
+            Literal::plain(r.cuisine),
+        );
         b1.add_fact(e.as_str(), format!("{NS1}hasAddress"), a.as_str());
-        b1.add_literal_fact(a.as_str(), format!("{NS1}street"), Literal::plain(r.street.clone()));
-        b1.add_literal_fact(a.as_str(), format!("{NS1}city"), Literal::plain(r.city.clone()));
+        b1.add_literal_fact(
+            a.as_str(),
+            format!("{NS1}street"),
+            Literal::plain(r.street.clone()),
+        );
+        b1.add_literal_fact(
+            a.as_str(),
+            format!("{NS1}city"),
+            Literal::plain(r.city.clone()),
+        );
     }
 
     let mut b2 = KbBuilder::new("rest2");
@@ -191,18 +213,44 @@ pub fn generate(config: &RestaurantsConfig) -> DatasetPair {
         let a = format!("{NS2}addr{i}");
         b2.add_type(e.as_str(), format!("{NS2}Eatery"));
         b2.add_type(a.as_str(), format!("{NS2}Place"));
-        b2.add_literal_fact(e.as_str(), format!("{NS2}title"), Literal::plain(r.name_2.clone()));
-        b2.add_literal_fact(e.as_str(), format!("{NS2}telephone"), Literal::plain(r.phone_2.clone()));
-        b2.add_literal_fact(e.as_str(), format!("{NS2}cuisine"), Literal::plain(r.cuisine));
+        b2.add_literal_fact(
+            e.as_str(),
+            format!("{NS2}title"),
+            Literal::plain(r.name_2.clone()),
+        );
+        b2.add_literal_fact(
+            e.as_str(),
+            format!("{NS2}telephone"),
+            Literal::plain(r.phone_2.clone()),
+        );
+        b2.add_literal_fact(
+            e.as_str(),
+            format!("{NS2}cuisine"),
+            Literal::plain(r.cuisine),
+        );
         b2.add_fact(e.as_str(), format!("{NS2}location"), a.as_str());
-        b2.add_literal_fact(a.as_str(), format!("{NS2}streetAddress"), Literal::plain(r.street_2.clone()));
-        b2.add_literal_fact(a.as_str(), format!("{NS2}cityName"), Literal::plain(r.city.clone()));
+        b2.add_literal_fact(
+            a.as_str(),
+            format!("{NS2}streetAddress"),
+            Literal::plain(r.street_2.clone()),
+        );
+        b2.add_literal_fact(
+            a.as_str(),
+            format!("{NS2}cityName"),
+            Literal::plain(r.city.clone()),
+        );
     }
 
     let mut gold = GoldStandard::default();
     for i in 0..n {
-        gold.instances.push((Iri::new(format!("{NS1}r{i}")), Iri::new(format!("{NS2}r{i}"))));
-        gold.instances.push((Iri::new(format!("{NS1}addr{i}")), Iri::new(format!("{NS2}addr{i}"))));
+        gold.instances.push((
+            Iri::new(format!("{NS1}r{i}")),
+            Iri::new(format!("{NS2}r{i}")),
+        ));
+        gold.instances.push((
+            Iri::new(format!("{NS1}addr{i}")),
+            Iri::new(format!("{NS2}addr{i}")),
+        ));
     }
     for (r1, r2) in [
         ("name", "title"),
@@ -223,12 +271,28 @@ pub fn generate(config: &RestaurantsConfig) -> DatasetPair {
             inverted: false,
         });
     }
-    gold.classes_1to2.push((Iri::new(format!("{NS1}Restaurant")), Iri::new(format!("{NS2}Eatery"))));
-    gold.classes_1to2.push((Iri::new(format!("{NS1}Address")), Iri::new(format!("{NS2}Place"))));
-    gold.classes_2to1.push((Iri::new(format!("{NS2}Eatery")), Iri::new(format!("{NS1}Restaurant"))));
-    gold.classes_2to1.push((Iri::new(format!("{NS2}Place")), Iri::new(format!("{NS1}Address"))));
+    gold.classes_1to2.push((
+        Iri::new(format!("{NS1}Restaurant")),
+        Iri::new(format!("{NS2}Eatery")),
+    ));
+    gold.classes_1to2.push((
+        Iri::new(format!("{NS1}Address")),
+        Iri::new(format!("{NS2}Place")),
+    ));
+    gold.classes_2to1.push((
+        Iri::new(format!("{NS2}Eatery")),
+        Iri::new(format!("{NS1}Restaurant")),
+    ));
+    gold.classes_2to1.push((
+        Iri::new(format!("{NS2}Place")),
+        Iri::new(format!("{NS1}Address")),
+    ));
 
-    DatasetPair { kb1: b1.build(), kb2: b2.build(), gold }
+    DatasetPair {
+        kb1: b1.build(),
+        kb2: b2.build(),
+        gold,
+    }
 }
 
 #[cfg(test)]
@@ -249,7 +313,10 @@ mod tests {
     fn phones_never_match_identically_but_normalize() {
         let pair = generate(&RestaurantsConfig::default());
         let phone1 = pair.kb1.relation_by_iri("http://rest1.test/phone").unwrap();
-        let tel2 = pair.kb2.relation_by_iri("http://rest2.test/telephone").unwrap();
+        let tel2 = pair
+            .kb2
+            .relation_by_iri("http://rest2.test/telephone")
+            .unwrap();
         let p1: Vec<String> = pair
             .kb1
             .pairs(phone1)
@@ -263,11 +330,19 @@ mod tests {
         let p2_norm: std::collections::HashSet<String> =
             p2.iter().map(|s| normalize_alnum(s)).collect();
         let raw_hits = p1.iter().filter(|v| p2.contains(*v)).count();
-        assert!(raw_hits < 25, "only the phone_match_fraction matches raw: {raw_hits}");
+        assert!(
+            raw_hits < 25,
+            "only the phone_match_fraction matches raw: {raw_hits}"
+        );
         assert!(raw_hits > 0, "some phones must keep the dash format");
-        let normalized_hits =
-            p1.iter().filter(|v| p2_norm.contains(&normalize_alnum(v))).count();
-        assert!(normalized_hits >= 112, "normalized phones must match: {normalized_hits}");
+        let normalized_hits = p1
+            .iter()
+            .filter(|v| p2_norm.contains(&normalize_alnum(v)))
+            .count();
+        assert!(
+            normalized_hits >= 112,
+            "normalized phones must match: {normalized_hits}"
+        );
     }
 
     #[test]
@@ -298,7 +373,9 @@ mod tests {
         let name1 = pair.kb1.relation_by_iri("http://rest1.test/name").unwrap();
         let mut counts: std::collections::HashMap<String, usize> = Default::default();
         for (_, l) in pair.kb1.pairs(name1) {
-            *counts.entry(pair.kb1.literal(l).unwrap().value().to_owned()).or_default() += 1;
+            *counts
+                .entry(pair.kb1.literal(l).unwrap().value().to_owned())
+                .or_default() += 1;
         }
         assert!(counts.values().any(|&c| c >= 2), "chain names must repeat");
     }

@@ -28,15 +28,18 @@ pub struct ThresholdPoint {
     pub classes_with_assignment: usize,
 }
 
-fn gold_pairs(kb_sub: &Kb, kb_sup: &Kb, entries: &[(paris_rdf::Iri, paris_rdf::Iri)])
-    -> (FxHashSet<(EntityId, EntityId)>, FxHashSet<EntityId>)
-{
+fn gold_pairs(
+    kb_sub: &Kb,
+    kb_sup: &Kb,
+    entries: &[(paris_rdf::Iri, paris_rdf::Iri)],
+) -> (FxHashSet<(EntityId, EntityId)>, FxHashSet<EntityId>) {
     let mut pairs = FxHashSet::default();
     let mut covered = FxHashSet::default();
     for (sub, sup) in entries {
-        if let (Some(c1), Some(c2)) =
-            (kb_sub.entity_by_iri(sub.as_str()), kb_sup.entity_by_iri(sup.as_str()))
-        {
+        if let (Some(c1), Some(c2)) = (
+            kb_sub.entity_by_iri(sub.as_str()),
+            kb_sup.entity_by_iri(sup.as_str()),
+        ) {
             pairs.insert((c1, c2));
             covered.insert(c1);
         }
@@ -128,7 +131,10 @@ mod tests {
     use paris_datagen::persons::{generate, PersonsConfig};
 
     fn aligned_pair() -> (paris_datagen::DatasetPair, Counts, Counts) {
-        let pair = generate(&PersonsConfig { num_persons: 50, ..Default::default() });
+        let pair = generate(&PersonsConfig {
+            num_persons: 50,
+            ..Default::default()
+        });
         let result = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
         let c12 = evaluate_classes_1to2(&result, &pair.gold, 0.4);
         let c21 = evaluate_classes_2to1(&result, &pair.gold, 0.4);
@@ -145,19 +151,28 @@ mod tests {
 
     #[test]
     fn curve_is_monotone_in_counts() {
-        let pair = generate(&PersonsConfig { num_persons: 50, ..Default::default() });
+        let pair = generate(&PersonsConfig {
+            num_persons: 50,
+            ..Default::default()
+        });
         let result = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
         let curve = threshold_curve(&result, &pair.gold, &[0.1, 0.3, 0.5, 0.7, 0.9]);
         assert_eq!(curve.len(), 5);
         for w in curve.windows(2) {
-            assert!(w[0].assignments >= w[1].assignments, "counts fall as threshold rises");
+            assert!(
+                w[0].assignments >= w[1].assignments,
+                "counts fall as threshold rises"
+            );
             assert!(w[0].classes_with_assignment >= w[1].classes_with_assignment);
         }
     }
 
     #[test]
     fn impossible_threshold_yields_nothing() {
-        let pair = generate(&PersonsConfig { num_persons: 20, ..Default::default() });
+        let pair = generate(&PersonsConfig {
+            num_persons: 20,
+            ..Default::default()
+        });
         let result = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
         let curve = threshold_curve(&result, &pair.gold, &[1.01]);
         assert_eq!(curve[0].assignments, 0);

@@ -90,7 +90,10 @@ mod tests {
 
     #[test]
     fn clean_persons_dataset_aligns_perfectly() {
-        let pair = generate(&PersonsConfig { num_persons: 60, ..Default::default() });
+        let pair = generate(&PersonsConfig {
+            num_persons: 60,
+            ..Default::default()
+        });
         let result = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
         let counts = evaluate_instances(&result, &pair.gold);
         assert_eq!(counts.precision(), 1.0, "{counts:?}");
@@ -99,7 +102,10 @@ mod tests {
 
     #[test]
     fn min_facts_slice_is_subset() {
-        let pair = generate(&PersonsConfig { num_persons: 40, ..Default::default() });
+        let pair = generate(&PersonsConfig {
+            num_persons: 40,
+            ..Default::default()
+        });
         let result = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
         let all = evaluate_instances(&result, &pair.gold);
         let sliced = evaluate_instances_min_facts(&result, &pair.gold, 5);
@@ -128,6 +134,10 @@ mod tests {
         assert_eq!(counts.true_positives, 0);
         assert_eq!(counts.false_negatives, 1);
         assert_eq!(counts.recall(), 0.0);
-        assert_eq!(counts.precision(), 1.0, "no predictions → vacuous precision");
+        assert_eq!(
+            counts.precision(),
+            1.0,
+            "no predictions → vacuous precision"
+        );
     }
 }

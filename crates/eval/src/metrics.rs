@@ -14,7 +14,11 @@ pub struct Counts {
 impl Counts {
     /// Creates counts directly.
     pub fn new(true_positives: usize, false_positives: usize, false_negatives: usize) -> Self {
-        Counts { true_positives, false_positives, false_negatives }
+        Counts {
+            true_positives,
+            false_positives,
+            false_negatives,
+        }
     }
 
     /// `tp / (tp + fp)`; defined as 1 when nothing was predicted.

@@ -36,7 +36,13 @@ impl RelationEval {
 fn gold_set(entries: &[RelationGold]) -> FxHashSet<(String, String, bool)> {
     entries
         .iter()
-        .map(|g| (g.sub.as_str().to_owned(), g.sup.as_str().to_owned(), g.inverted))
+        .map(|g| {
+            (
+                g.sub.as_str().to_owned(),
+                g.sup.as_str().to_owned(),
+                g.inverted,
+            )
+        })
         .collect()
 }
 
@@ -61,7 +67,11 @@ fn eval_direction(
     let mut best: paris_kb::FxHashMap<RelationId, (RelationId, f64)> =
         paris_kb::FxHashMap::default();
     for (r, r2, p) in alignments {
-        let (key, target) = if r.is_inverse() { (r.inverse(), r2.inverse()) } else { (r, r2) };
+        let (key, target) = if r.is_inverse() {
+            (r.inverse(), r2.inverse())
+        } else {
+            (r, r2)
+        };
         let entry = best.entry(key).or_insert((target, p));
         if p > entry.1 {
             *entry = (target, p);
@@ -86,17 +96,24 @@ fn eval_direction(
         } else {
             eval.counts.false_positives += 1;
         }
-        eval.judged.push((src.relation_display(r), dst.relation_display(r2), p, correct));
+        eval.judged.push((
+            src.relation_display(r),
+            dst.relation_display(r2),
+            p,
+            correct,
+        ));
     }
     // Recall: each distinct gold sub-relation counts once — several gold
     // rows may share a sub (created → author/composer/director); a correct
     // top-1 against any of them satisfies it.
-    let matched_subs: FxHashSet<&str> =
-        matched_gold.iter().map(|(s, _, _)| s.as_str()).collect();
+    let matched_subs: FxHashSet<&str> = matched_gold.iter().map(|(s, _, _)| s.as_str()).collect();
     let all_subs: FxHashSet<&str> = gold_entries.iter().map(|g| g.sub.as_str()).collect();
-    eval.counts.false_negatives =
-        all_subs.iter().filter(|s| !matched_subs.contains(**s)).count();
-    eval.judged.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+    eval.counts.false_negatives = all_subs
+        .iter()
+        .filter(|s| !matched_subs.contains(**s))
+        .count();
+    eval.judged
+        .sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
     eval
 }
 
@@ -128,7 +145,10 @@ mod tests {
 
     #[test]
     fn clean_persons_relations_align_perfectly() {
-        let pair = generate(&PersonsConfig { num_persons: 60, ..Default::default() });
+        let pair = generate(&PersonsConfig {
+            num_persons: 60,
+            ..Default::default()
+        });
         let result = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
         let (one, two) = evaluate_relations(&result, &pair.gold);
         assert_eq!(one.counts.precision(), 1.0, "{:?}", one.judged);
@@ -139,7 +159,10 @@ mod tests {
 
     #[test]
     fn judged_list_is_sorted_by_score() {
-        let pair = generate(&PersonsConfig { num_persons: 30, ..Default::default() });
+        let pair = generate(&PersonsConfig {
+            num_persons: 30,
+            ..Default::default()
+        });
         let result = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
         let (one, _) = evaluate_relations(&result, &pair.gold);
         for w in one.judged.windows(2) {

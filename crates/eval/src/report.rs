@@ -48,7 +48,12 @@ pub fn iteration_table(rows: &[IterationRow]) -> String {
 /// Renders a simple two-column-plus-score list (the Table 4 format).
 pub fn alignment_list(title: &str, rows: &[(String, String, f64)]) -> String {
     let mut out = format!("{title}\n");
-    let width = rows.iter().map(|(a, _, _)| a.len()).max().unwrap_or(10).max(10);
+    let width = rows
+        .iter()
+        .map(|(a, _, _)| a.len())
+        .max()
+        .unwrap_or(10)
+        .max(10);
     for (sub, sup, p) in rows {
         out.push_str(&format!("  {sub:<width$} ⊆ {sup:<24} {p:.2}\n"));
     }

@@ -183,7 +183,9 @@ impl KbBuilder {
         //    for every r(x,y).
         let prop_closure = close_taxonomy(
             self.relation_names.len(),
-            self.subproperty_edges.iter().map(|&(a, b)| (a as usize, b as usize)),
+            self.subproperty_edges
+                .iter()
+                .map(|&(a, b)| (a as usize, b as usize)),
         );
         let mut closed_facts = self.facts.clone();
         for &(s, r, o) in &self.facts {
@@ -223,7 +225,13 @@ impl KbBuilder {
         let mut kinds: Vec<EntityKind> = self
             .terms
             .iter()
-            .map(|t| if t.is_literal() { EntityKind::Literal } else { EntityKind::Instance })
+            .map(|t| {
+                if t.is_literal() {
+                    EntityKind::Literal
+                } else {
+                    EntityKind::Instance
+                }
+            })
             .collect();
         for &(_, c) in &self.type_edges {
             kinds[c.index()] = EntityKind::Class;
@@ -249,8 +257,10 @@ impl KbBuilder {
         let mut superclasses: FxHashMap<EntityId, Vec<EntityId>> = FxHashMap::default();
         for (i, sups) in tax_closure.iter().enumerate() {
             if !sups.is_empty() {
-                superclasses
-                    .insert(classes[i], sups.iter().map(|&s| classes[s]).collect::<Vec<_>>());
+                superclasses.insert(
+                    classes[i],
+                    sups.iter().map(|&s| classes[s]).collect::<Vec<_>>(),
+                );
             }
         }
 
@@ -310,7 +320,10 @@ pub fn kb_from_ntriples(name: &str, doc: &str) -> Result<Kb, paris_rdf::RdfError
 /// Convenience: load an RDF file and build a KB from it. Files ending in
 /// `.ttl` / `.turtle` are parsed as Turtle, everything else as N-Triples
 /// (which Turtle subsumes, so `.nt` always works).
-pub fn kb_from_file(name: &str, path: impl AsRef<std::path::Path>) -> Result<Kb, paris_rdf::RdfError> {
+pub fn kb_from_file(
+    name: &str,
+    path: impl AsRef<std::path::Path>,
+) -> Result<Kb, paris_rdf::RdfError> {
     let path = path.as_ref();
     let is_turtle = path
         .extension()
@@ -375,8 +388,11 @@ mod tests {
     fn type_closure_reaches_all_superclasses() {
         let kb = small_kb();
         let elvis = kb.entity_by_iri("http://x/Elvis").unwrap();
-        let types: Vec<_> =
-            kb.types_of(elvis).iter().map(|&c| kb.iri(c).unwrap().local_name()).collect();
+        let types: Vec<_> = kb
+            .types_of(elvis)
+            .iter()
+            .map(|&c| kb.iri(c).unwrap().local_name())
+            .collect();
         assert_eq!(types.len(), 3, "Singer, Person, Agent: {types:?}");
         let agent = kb.entity_by_iri("http://x/Agent").unwrap();
         assert_eq!(kb.members(agent), &[elvis]);

@@ -87,8 +87,7 @@ pub fn close_taxonomy(
     loop {
         let mut changed = false;
         for node in 0..n {
-            let current: crate::fxhash::FxHashSet<usize> =
-                closure[node].iter().copied().collect();
+            let current: crate::fxhash::FxHashSet<usize> = closure[node].iter().copied().collect();
             let mut extra: Vec<usize> = Vec::new();
             for &a in &closure[node] {
                 for &aa in &closure[a] {

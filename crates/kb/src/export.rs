@@ -93,9 +93,15 @@ mod tests {
     fn export_contains_all_statement_kinds() {
         let kb = sample_kb();
         let triples = to_triples(&kb);
-        assert!(triples.iter().any(|t| t.predicate.as_str() == "http://x/bornIn"));
-        assert!(triples.iter().any(|t| t.predicate.as_str() == vocab::RDF_TYPE));
-        assert!(triples.iter().any(|t| t.predicate.as_str() == vocab::RDFS_SUBCLASS_OF));
+        assert!(triples
+            .iter()
+            .any(|t| t.predicate.as_str() == "http://x/bornIn"));
+        assert!(triples
+            .iter()
+            .any(|t| t.predicate.as_str() == vocab::RDF_TYPE));
+        assert!(triples
+            .iter()
+            .any(|t| t.predicate.as_str() == vocab::RDFS_SUBCLASS_OF));
         // closure: elvis is typed both Singer and Person
         let types = triples
             .iter()

@@ -109,9 +109,7 @@ pub fn compute_functionalities(kb: &Kb, variant: FunctionalityVariant) -> Vec<f6
             FunctionalityVariant::HarmonicMean => {
                 (s.distinct_sources as f64 / n, o.distinct_sources as f64 / n)
             }
-            FunctionalityVariant::PairRatio => {
-                (n / s.sum_squared_fanout, n / o.sum_squared_fanout)
-            }
+            FunctionalityVariant::PairRatio => (n / s.sum_squared_fanout, n / o.sum_squared_fanout),
             FunctionalityVariant::ArgRatio => {
                 let r = s.distinct_sources as f64 / o.distinct_sources as f64;
                 (r.min(1.0), (1.0 / r).min(1.0))
@@ -208,8 +206,14 @@ mod tests {
         let r = kb.relation_by_iri("http://x/likesDish").unwrap();
         let arg = kb.functionalities_with(FunctionalityVariant::ArgRatio);
         let harm = kb.functionalities_with(FunctionalityVariant::HarmonicMean);
-        assert!((arg[r.directed_index()] - 1.0).abs() < 1e-12, "pathological 1.0");
-        assert!((harm[r.directed_index()] - 0.25).abs() < 1e-12, "harmonic 4/16");
+        assert!(
+            (arg[r.directed_index()] - 1.0).abs() < 1e-12,
+            "pathological 1.0"
+        );
+        assert!(
+            (harm[r.directed_index()] - 0.25).abs() < 1e-12,
+            "harmonic 4/16"
+        );
     }
 
     #[test]

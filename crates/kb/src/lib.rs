@@ -36,6 +36,7 @@ pub mod export;
 pub mod functionality;
 pub mod fxhash;
 pub mod ids;
+pub mod snapshot;
 pub mod stats;
 pub mod store;
 pub mod tsv;

@@ -9,8 +9,8 @@
 
 use paris_rdf::term::{Iri, Literal, Term};
 
-use crate::fxhash::FxHashMap;
 use crate::functionality::{compute_functionalities, FunctionalityVariant};
+use crate::fxhash::FxHashMap;
 use crate::ids::{EntityId, EntityKind, RelationId};
 
 /// An immutable, indexed RDFS knowledge base (one "ontology" of the paper).
@@ -95,22 +95,30 @@ impl Kb {
 
     /// Iterates over instance entities only.
     pub fn instances(&self) -> impl Iterator<Item = EntityId> + '_ {
-        self.entities().filter(|&e| self.kind(e) == EntityKind::Instance)
+        self.entities()
+            .filter(|&e| self.kind(e) == EntityKind::Instance)
     }
 
     /// Iterates over literal entities only.
     pub fn literals(&self) -> impl Iterator<Item = EntityId> + '_ {
-        self.entities().filter(|&e| self.kind(e) == EntityKind::Literal)
+        self.entities()
+            .filter(|&e| self.kind(e) == EntityKind::Literal)
     }
 
     /// Number of instance entities.
     pub fn num_instances(&self) -> usize {
-        self.kinds.iter().filter(|k| **k == EntityKind::Instance).count()
+        self.kinds
+            .iter()
+            .filter(|k| **k == EntityKind::Instance)
+            .count()
     }
 
     /// Number of literal entities.
     pub fn num_literals(&self) -> usize {
-        self.kinds.iter().filter(|k| **k == EntityKind::Literal).count()
+        self.kinds
+            .iter()
+            .filter(|k| **k == EntityKind::Literal)
+            .count()
     }
 
     // ------------------------------------------------------------------
@@ -135,7 +143,8 @@ impl Kb {
     pub fn pairs(&self, r: RelationId) -> impl Iterator<Item = (EntityId, EntityId)> + '_ {
         let base = &self.pairs[r.base_index()];
         let inv = r.is_inverse();
-        base.iter().map(move |&(x, y)| if inv { (y, x) } else { (x, y) })
+        base.iter()
+            .map(move |&(x, y)| if inv { (y, x) } else { (x, y) })
     }
 
     /// Number of pairs of a directed relation (same for `r` and `r⁻¹`).
@@ -179,7 +188,9 @@ impl Kb {
 
     /// Looks up the forward direction of a relation by IRI string.
     pub fn relation_by_iri(&self, iri: &str) -> Option<RelationId> {
-        self.relation_index.get(iri).map(|&b| RelationId::forward(b as usize))
+        self.relation_index
+            .get(iri)
+            .map(|&b| RelationId::forward(b as usize))
     }
 
     // ------------------------------------------------------------------
@@ -199,17 +210,26 @@ impl Kb {
     /// Instances of a class, including those inherited from subclasses
     /// (deductive closure, §3).
     pub fn members(&self, class: EntityId) -> &[EntityId] {
-        self.class_members.get(&class).map(Vec::as_slice).unwrap_or(&[])
+        self.class_members
+            .get(&class)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Classes of an instance, including superclasses (deductive closure).
     pub fn types_of(&self, instance: EntityId) -> &[EntityId] {
-        self.types_of.get(&instance).map(Vec::as_slice).unwrap_or(&[])
+        self.types_of
+            .get(&instance)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Strict superclasses of a class (transitively closed).
     pub fn superclasses(&self, class: EntityId) -> &[EntityId] {
-        self.superclasses.get(&class).map(Vec::as_slice).unwrap_or(&[])
+        self.superclasses
+            .get(&class)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// True iff `sub` is a (strict or reflexive) subclass of `sup`.

@@ -53,7 +53,11 @@ pub fn parse_tsv(
         let subject = resolve(s.trim(), namespaces, default_ns);
         let predicate = resolve(p.trim(), namespaces, default_ns);
         let object = object_term(o.trim(), namespaces, default_ns, number as u64 + 1)?;
-        out.push(Triple { subject, predicate, object });
+        out.push(Triple {
+            subject,
+            predicate,
+            object,
+        });
     }
     Ok(out)
 }
@@ -76,7 +80,10 @@ fn object_term(
 ) -> Result<Term, RdfError> {
     if let Some(rest) = text.strip_prefix('"') {
         let Some(body) = rest.strip_suffix('"') else {
-            return Err(RdfError::Syntax { line, message: "unterminated quoted literal".into() });
+            return Err(RdfError::Syntax {
+                line,
+                message: "unterminated quoted literal".into(),
+            });
         };
         let mut value = String::with_capacity(body.len());
         let mut chars = body.chars();
@@ -143,7 +150,10 @@ mod tests {
         let triples = parse_tsv(doc, &ns(), "http://x/").unwrap();
         assert_eq!(triples.len(), 2);
         assert_eq!(triples[0].subject.as_str(), "http://imdb.test/nm1");
-        assert_eq!(triples[1].object.as_literal().unwrap().value(), "The Yukon Patrol");
+        assert_eq!(
+            triples[1].object.as_literal().unwrap().value(),
+            "The Yukon Patrol"
+        );
         assert_eq!(triples[1].predicate.as_str(), paris_rdf::vocab::RDFS_LABEL);
     }
 

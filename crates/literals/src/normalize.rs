@@ -37,7 +37,10 @@ mod tests {
 
     #[test]
     fn phone_number_formats_agree() {
-        assert_eq!(normalize_alnum("213/467-1108"), normalize_alnum("213-467-1108"));
+        assert_eq!(
+            normalize_alnum("213/467-1108"),
+            normalize_alnum("213-467-1108")
+        );
         assert_eq!(normalize_alnum("213/467-1108"), "2134671108");
     }
 
@@ -54,13 +57,22 @@ mod tests {
 
     #[test]
     fn tokens_split_on_punctuation() {
-        assert_eq!(tokens("King of the Royal-Mounted"), vec!["king", "of", "the", "royal", "mounted"]);
+        assert_eq!(
+            tokens("King of the Royal-Mounted"),
+            vec!["king", "of", "the", "royal", "mounted"]
+        );
     }
 
     #[test]
     fn token_sort_key_is_order_insensitive() {
-        assert_eq!(token_sort_key("Sanshiro Sugata"), token_sort_key("Sugata  Sanshiro"));
-        assert_ne!(token_sort_key("Sanshiro Sugata"), token_sort_key("Sugata Sanshirô"));
+        assert_eq!(
+            token_sort_key("Sanshiro Sugata"),
+            token_sort_key("Sugata  Sanshiro")
+        );
+        assert_ne!(
+            token_sort_key("Sanshiro Sugata"),
+            token_sort_key("Sugata Sanshirô")
+        );
     }
 
     #[test]

@@ -148,7 +148,10 @@ mod tests {
         let m = LiteralSimilarity::Identity;
         assert_eq!(m.probability(&lit("abc"), &lit("abc")), 1.0);
         assert_eq!(m.probability(&lit("abc"), &lit("Abc")), 0.0);
-        assert_eq!(m.probability(&lit("213/467-1108"), &lit("213-467-1108")), 0.0);
+        assert_eq!(
+            m.probability(&lit("213/467-1108"), &lit("213-467-1108")),
+            0.0
+        );
     }
 
     #[test]
@@ -162,7 +165,10 @@ mod tests {
     #[test]
     fn normalized_fixes_phone_formats() {
         let m = LiteralSimilarity::Normalized;
-        assert_eq!(m.probability(&lit("213/467-1108"), &lit("213-467-1108")), 1.0);
+        assert_eq!(
+            m.probability(&lit("213/467-1108"), &lit("213-467-1108")),
+            1.0
+        );
         assert_eq!(m.keys(&lit("213/467-1108")), m.keys(&lit("213-467-1108")));
         assert_eq!(m.probability(&lit("abc"), &lit("ABC!")), 1.0);
         assert_eq!(m.probability(&lit("abc"), &lit("abd")), 0.0);
@@ -170,7 +176,9 @@ mod tests {
 
     #[test]
     fn edit_distance_grades() {
-        let m = LiteralSimilarity::EditDistance { min_similarity: 0.7 };
+        let m = LiteralSimilarity::EditDistance {
+            min_similarity: 0.7,
+        };
         assert_eq!(m.probability(&lit("restaurant"), &lit("restaurant")), 1.0);
         let p = m.probability(&lit("restaurant"), &lit("restorant"));
         assert!(p > 0.7 && p < 1.0, "{p}");
@@ -179,7 +187,9 @@ mod tests {
 
     #[test]
     fn edit_distance_keys_include_prefix() {
-        let m = LiteralSimilarity::EditDistance { min_similarity: 0.7 };
+        let m = LiteralSimilarity::EditDistance {
+            min_similarity: 0.7,
+        };
         let keys = m.keys(&lit("restaurant"));
         assert!(keys.contains(&"restaurant".to_owned()));
         assert!(keys.contains(&"p:rest".to_owned()));
@@ -190,8 +200,14 @@ mod tests {
     #[test]
     fn token_sort_swaps_words() {
         let m = LiteralSimilarity::TokenSort;
-        assert_eq!(m.probability(&lit("Sanshiro Sugata"), &lit("Sugata Sanshiro")), 1.0);
-        assert_eq!(m.probability(&lit("Sanshiro Sugata"), &lit("Sugata Sanshirô")), 0.0);
+        assert_eq!(
+            m.probability(&lit("Sanshiro Sugata"), &lit("Sugata Sanshiro")),
+            1.0
+        );
+        assert_eq!(
+            m.probability(&lit("Sanshiro Sugata"), &lit("Sugata Sanshirô")),
+            0.0
+        );
     }
 
     #[test]
@@ -211,14 +227,20 @@ mod tests {
         let variants = [
             LiteralSimilarity::Identity,
             LiteralSimilarity::Normalized,
-            LiteralSimilarity::EditDistance { min_similarity: 0.5 },
+            LiteralSimilarity::EditDistance {
+                min_similarity: 0.5,
+            },
             LiteralSimilarity::TokenSort,
             LiteralSimilarity::NumericProportional { tolerance: 0.05 },
         ];
         let samples = ["abc", "213/467-1108", "42", "Sugata Sanshiro", ""];
         for m in &variants {
             for a in samples {
-                assert_eq!(m.probability(&lit(a), &lit(a)), 1.0, "{m:?} not reflexive on {a:?}");
+                assert_eq!(
+                    m.probability(&lit(a), &lit(a)),
+                    1.0,
+                    "{m:?} not reflexive on {a:?}"
+                );
                 for b in samples {
                     let ab = m.probability(&lit(a), &lit(b));
                     let ba = m.probability(&lit(b), &lit(a));
@@ -239,7 +261,15 @@ mod tests {
             LiteralSimilarity::TokenSort,
             LiteralSimilarity::NumericProportional { tolerance: 0.05 },
         ];
-        let samples = ["abc", "ABC", "a b c", "42", "42.0", "213/467-1108", "213-467-1108"];
+        let samples = [
+            "abc",
+            "ABC",
+            "a b c",
+            "42",
+            "42.0",
+            "213/467-1108",
+            "213-467-1108",
+        ];
         for m in &variants {
             for a in samples {
                 for b in samples {

@@ -92,7 +92,10 @@ impl ParisConfig {
     /// Builder-style: set the truncation threshold (§5.2).
     #[must_use]
     pub fn with_truncation(mut self, truncation: f64) -> Self {
-        assert!((0.0..1.0).contains(&truncation), "truncation must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&truncation),
+            "truncation must be in [0, 1)"
+        );
         self.truncation = truncation;
         self
     }
@@ -164,7 +167,9 @@ impl ParisConfig {
     /// The effective number of worker threads.
     pub fn effective_threads(&self) -> usize {
         if self.threads == 0 {
-            std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(1)
         } else {
             self.threads
         }

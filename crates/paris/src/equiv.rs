@@ -25,7 +25,10 @@ pub struct EquivStore {
 impl EquivStore {
     /// An empty store sized for `n1` KB-1 entities and `n2` KB-2 entities.
     pub fn new(n1: usize, n2: usize) -> Self {
-        EquivStore { forward: vec![Vec::new(); n1], backward: vec![Vec::new(); n2] }
+        EquivStore {
+            forward: vec![Vec::new(); n1],
+            backward: vec![Vec::new(); n2],
+        }
     }
 
     /// Builds a store from per-KB-1-entity rows, deriving the backward
@@ -100,7 +103,11 @@ impl EquivStore {
     /// This is the paper's convergence measure: iterate "until the entity
     /// pairs under the maximal assignments change no more" (§5.1).
     pub fn assignment_changes(&self, other: &EquivStore) -> usize {
-        assert_eq!(self.len_kb1(), other.len_kb1(), "stores must cover the same KB");
+        assert_eq!(
+            self.len_kb1(),
+            other.len_kb1(),
+            "stores must cover the same KB"
+        );
         self.forward
             .iter()
             .zip(&other.forward)
@@ -141,7 +148,10 @@ impl CandidateView {
     /// on the other side). A view built this way is *informed*: its
     /// probabilities reflect computed sub-relation scores.
     pub fn new(rows: Vec<Vec<(EntityId, f64)>>) -> Self {
-        CandidateView { rows, informed: true }
+        CandidateView {
+            rows,
+            informed: true,
+        }
     }
 
     /// A view whose instance probabilities are still θ-scaled (they come
@@ -150,7 +160,10 @@ impl CandidateView {
     /// matched neighbour as ~80 % *mismatched* and destroy every
     /// candidate.
     pub fn uninformed(rows: Vec<Vec<(EntityId, f64)>>) -> Self {
-        CandidateView { rows, informed: false }
+        CandidateView {
+            rows,
+            informed: false,
+        }
     }
 
     /// Whether the instance probabilities in this view were computed with
@@ -161,7 +174,10 @@ impl CandidateView {
 
     /// An empty view over `n` entities.
     pub fn empty(n: usize) -> Self {
-        CandidateView { rows: vec![Vec::new(); n], informed: false }
+        CandidateView {
+            rows: vec![Vec::new(); n],
+            informed: false,
+        }
     }
 
     /// Candidates of entity `y`.

@@ -122,8 +122,8 @@ pub fn explain_pair(
                     continue;
                 }
                 let fun_inv_r2 = kb2.functionality(r2.inverse());
-                let factor = (1.0 - p_r2_in_r * fun_inv_r * p_yy)
-                    * (1.0 - p_r_in_r2 * fun_inv_r2 * p_yy);
+                let factor =
+                    (1.0 - p_r2_in_r * fun_inv_r * p_yy) * (1.0 - p_r_in_r2 * fun_inv_r2 * p_yy);
                 if factor < 1.0 {
                     product *= factor;
                     evidence.push(Evidence {
@@ -141,7 +141,12 @@ pub fn explain_pair(
         }
     }
     evidence.sort_by(|a, b| a.factor.total_cmp(&b.factor));
-    Explanation { entity_1: x, entity_2: x2, evidence, score: 1.0 - product }
+    Explanation {
+        entity_1: x,
+        entity_2: x2,
+        evidence,
+        score: 1.0 - product,
+    }
 }
 
 #[cfg(test)]
@@ -155,13 +160,37 @@ mod tests {
 
     fn kbs() -> (Kb, Kb) {
         let mut b1 = KbBuilder::new("a");
-        b1.add_literal_fact("http://a/alice", "http://a/email", Literal::plain("al@x.org"));
-        b1.add_literal_fact("http://a/alice", "http://a/city", Literal::plain("Springfield"));
-        b1.add_literal_fact("http://a/eve", "http://a/city", Literal::plain("Springfield"));
+        b1.add_literal_fact(
+            "http://a/alice",
+            "http://a/email",
+            Literal::plain("al@x.org"),
+        );
+        b1.add_literal_fact(
+            "http://a/alice",
+            "http://a/city",
+            Literal::plain("Springfield"),
+        );
+        b1.add_literal_fact(
+            "http://a/eve",
+            "http://a/city",
+            Literal::plain("Springfield"),
+        );
         let mut b2 = KbBuilder::new("b");
-        b2.add_literal_fact("http://b/asmith", "http://b/mail", Literal::plain("al@x.org"));
-        b2.add_literal_fact("http://b/asmith", "http://b/town", Literal::plain("Springfield"));
-        b2.add_literal_fact("http://b/bob", "http://b/town", Literal::plain("Springfield"));
+        b2.add_literal_fact(
+            "http://b/asmith",
+            "http://b/mail",
+            Literal::plain("al@x.org"),
+        );
+        b2.add_literal_fact(
+            "http://b/asmith",
+            "http://b/town",
+            Literal::plain("Springfield"),
+        );
+        b2.add_literal_fact(
+            "http://b/bob",
+            "http://b/town",
+            Literal::plain("Springfield"),
+        );
         (b1.build(), b2.build())
     }
 
@@ -179,7 +208,9 @@ mod tests {
             kb1.num_directed_relations(),
             kb2.num_directed_relations(),
         );
-        let config = ParisConfig::default().with_threads(1).with_truncation(0.0001);
+        let config = ParisConfig::default()
+            .with_threads(1)
+            .with_truncation(0.0001);
         let rows = instance_pass(&kb1, &kb2, &cand, &subrel, &config);
 
         let alice = kb1.entity_by_iri("http://a/alice").unwrap();
@@ -205,7 +236,15 @@ mod tests {
         );
         let alice = kb1.entity_by_iri("http://a/alice").unwrap();
         let asmith = kb2.entity_by_iri("http://b/asmith").unwrap();
-        let ex = explain_pair(&kb1, &kb2, alice, asmith, &cand, &subrel, &ParisConfig::default());
+        let ex = explain_pair(
+            &kb1,
+            &kb2,
+            alice,
+            asmith,
+            &cand,
+            &subrel,
+            &ParisConfig::default(),
+        );
         assert_eq!(ex.evidence.len(), 2, "{ex:?}");
         // The e-mail (unique on both sides, fun⁻¹ = 1) must be the
         // strongest evidence; the shared city (fun⁻¹ = 0.5) the weaker.
@@ -230,7 +269,15 @@ mod tests {
         let eve = kb1.entity_by_iri("http://a/eve").unwrap();
         let asmith = kb2.entity_by_iri("http://b/asmith").unwrap();
         // eve shares only the city value with asmith (via the literal).
-        let ex = explain_pair(&kb1, &kb2, eve, asmith, &cand, &subrel, &ParisConfig::default());
+        let ex = explain_pair(
+            &kb1,
+            &kb2,
+            eve,
+            asmith,
+            &cand,
+            &subrel,
+            &ParisConfig::default(),
+        );
         assert_eq!(ex.evidence.len(), 1);
         assert!(ex.score < 0.1);
     }
@@ -246,7 +293,15 @@ mod tests {
         );
         let alice = kb1.entity_by_iri("http://a/alice").unwrap();
         let asmith = kb2.entity_by_iri("http://b/asmith").unwrap();
-        let ex = explain_pair(&kb1, &kb2, alice, asmith, &cand, &subrel, &ParisConfig::default());
+        let ex = explain_pair(
+            &kb1,
+            &kb2,
+            alice,
+            asmith,
+            &cand,
+            &subrel,
+            &ParisConfig::default(),
+        );
         let text = ex.render(&kb1, &kb2);
         assert!(text.contains("alice"), "{text}");
         assert!(text.contains("email"), "{text}");

@@ -69,7 +69,10 @@ pub fn instance_pass(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
     });
     for shard in results {
         for (x, row) in shard {
@@ -108,8 +111,8 @@ fn score_row(
                     continue;
                 }
                 let fun_inv_r2 = kb2.functionality(r2.inverse());
-                let factor = (1.0 - p_r2_in_r * fun_inv_r * p_yy)
-                    * (1.0 - p_r_in_r2 * fun_inv_r2 * p_yy);
+                let factor =
+                    (1.0 - p_r2_in_r * fun_inv_r * p_yy) * (1.0 - p_r_in_r2 * fun_inv_r2 * p_yy);
                 if factor < 1.0 {
                     *acc.entry(z).or_insert(1.0) *= factor;
                 }
@@ -131,11 +134,7 @@ fn score_row(
     // neighbour probabilities are still θ-scaled (a correctly matched
     // neighbour at Pr ≈ 2θ would read as ~80 % mismatched). Eq. 14 fires
     // only once both inputs carry computed scores.
-    if config.negative_evidence
-        && !subrel.is_bootstrap()
-        && cand.is_informed()
-        && !row.is_empty()
-    {
+    if config.negative_evidence && !subrel.is_bootstrap() && cand.is_informed() && !row.is_empty() {
         for (x2, p) in &mut row {
             *p *= negative_factor(kb1, kb2, x, *x2, cand, subrel);
         }
@@ -210,11 +209,27 @@ mod tests {
     /// probability fun⁻¹ × θ-bootstrapped sub-relation weight.
     fn email_kbs() -> (Kb, Kb) {
         let mut b1 = KbBuilder::new("a");
-        b1.add_literal_fact("http://a/alice", "http://a/email", Literal::plain("al@x.org"));
-        b1.add_literal_fact("http://a/bob", "http://a/email", Literal::plain("bob@x.org"));
+        b1.add_literal_fact(
+            "http://a/alice",
+            "http://a/email",
+            Literal::plain("al@x.org"),
+        );
+        b1.add_literal_fact(
+            "http://a/bob",
+            "http://a/email",
+            Literal::plain("bob@x.org"),
+        );
         let mut b2 = KbBuilder::new("b");
-        b2.add_literal_fact("http://b/asmith", "http://b/mail", Literal::plain("al@x.org"));
-        b2.add_literal_fact("http://b/bjones", "http://b/mail", Literal::plain("bob@x.org"));
+        b2.add_literal_fact(
+            "http://b/asmith",
+            "http://b/mail",
+            Literal::plain("al@x.org"),
+        );
+        b2.add_literal_fact(
+            "http://b/bjones",
+            "http://b/mail",
+            Literal::plain("bob@x.org"),
+        );
         (b1.build(), b2.build())
     }
 
@@ -227,7 +242,11 @@ mod tests {
     fn shared_inverse_functional_value_unifies() {
         let (kb1, kb2) = email_kbs();
         let cand = literal_view(&kb1, &kb2);
-        let subrel = SubrelStore::bootstrap(0.1, kb1.num_directed_relations(), kb2.num_directed_relations());
+        let subrel = SubrelStore::bootstrap(
+            0.1,
+            kb1.num_directed_relations(),
+            kb2.num_directed_relations(),
+        );
         let config = ParisConfig::default().with_threads(1);
         let rows = instance_pass(&kb1, &kb2, &cand, &subrel, &config);
 
@@ -270,13 +289,25 @@ mod tests {
         let mut b1 = KbBuilder::new("a");
         let mut b2 = KbBuilder::new("b");
         for i in 0..10 {
-            b1.add_literal_fact(format!("http://a/p{i}"), "http://a/city", Literal::plain("Springfield"));
-            b2.add_literal_fact(format!("http://b/q{i}"), "http://b/town", Literal::plain("Springfield"));
+            b1.add_literal_fact(
+                format!("http://a/p{i}"),
+                "http://a/city",
+                Literal::plain("Springfield"),
+            );
+            b2.add_literal_fact(
+                format!("http://b/q{i}"),
+                "http://b/town",
+                Literal::plain("Springfield"),
+            );
         }
         let kb1 = b1.build();
         let kb2 = b2.build();
         let cand = literal_view(&kb1, &kb2);
-        let subrel = SubrelStore::bootstrap(0.1, kb1.num_directed_relations(), kb2.num_directed_relations());
+        let subrel = SubrelStore::bootstrap(
+            0.1,
+            kb1.num_directed_relations(),
+            kb2.num_directed_relations(),
+        );
         let config = ParisConfig::default().with_threads(1);
         let rows = instance_pass(&kb1, &kb2, &cand, &subrel, &config);
         let p0 = kb1.entity_by_iri("http://a/p0").unwrap();
@@ -288,7 +319,11 @@ mod tests {
     fn truncation_drops_weak_scores() {
         let (kb1, kb2) = email_kbs();
         let cand = literal_view(&kb1, &kb2);
-        let subrel = SubrelStore::bootstrap(0.1, kb1.num_directed_relations(), kb2.num_directed_relations());
+        let subrel = SubrelStore::bootstrap(
+            0.1,
+            kb1.num_directed_relations(),
+            kb2.num_directed_relations(),
+        );
         // Bootstrap cutoff is 2·θ·truncation = 0.192 > the 0.19 score.
         let config = ParisConfig::default().with_truncation(0.96).with_threads(1);
         let rows = instance_pass(&kb1, &kb2, &cand, &subrel, &config);
@@ -317,17 +352,49 @@ mod tests {
         let mut b1 = KbBuilder::new("a");
         let mut b2 = KbBuilder::new("b");
         for i in 0..40 {
-            b1.add_literal_fact(format!("http://a/p{i}"), "http://a/ssn", Literal::plain(format!("S{i}")));
-            b1.add_fact(format!("http://a/p{i}"), "http://a/friend", format!("http://a/p{}", (i + 1) % 40));
-            b2.add_literal_fact(format!("http://b/q{i}"), "http://b/id", Literal::plain(format!("S{i}")));
-            b2.add_fact(format!("http://b/q{i}"), "http://b/knows", format!("http://b/q{}", (i + 1) % 40));
+            b1.add_literal_fact(
+                format!("http://a/p{i}"),
+                "http://a/ssn",
+                Literal::plain(format!("S{i}")),
+            );
+            b1.add_fact(
+                format!("http://a/p{i}"),
+                "http://a/friend",
+                format!("http://a/p{}", (i + 1) % 40),
+            );
+            b2.add_literal_fact(
+                format!("http://b/q{i}"),
+                "http://b/id",
+                Literal::plain(format!("S{i}")),
+            );
+            b2.add_fact(
+                format!("http://b/q{i}"),
+                "http://b/knows",
+                format!("http://b/q{}", (i + 1) % 40),
+            );
         }
         let kb1 = b1.build();
         let kb2 = b2.build();
         let cand = literal_view(&kb1, &kb2);
-        let subrel = SubrelStore::bootstrap(0.1, kb1.num_directed_relations(), kb2.num_directed_relations());
-        let seq = instance_pass(&kb1, &kb2, &cand, &subrel, &ParisConfig::default().with_threads(1));
-        let par = instance_pass(&kb1, &kb2, &cand, &subrel, &ParisConfig::default().with_threads(4));
+        let subrel = SubrelStore::bootstrap(
+            0.1,
+            kb1.num_directed_relations(),
+            kb2.num_directed_relations(),
+        );
+        let seq = instance_pass(
+            &kb1,
+            &kb2,
+            &cand,
+            &subrel,
+            &ParisConfig::default().with_threads(1),
+        );
+        let par = instance_pass(
+            &kb1,
+            &kb2,
+            &cand,
+            &subrel,
+            &ParisConfig::default().with_threads(4),
+        );
         assert_eq!(seq, par);
     }
 
@@ -366,21 +433,36 @@ mod tests {
         let p_pos = pos[p.index()].first().map_or(0.0, |&(_, p)| p);
         let p_neg = neg[p.index()].first().map_or(0.0, |&(_, p)| p);
         assert!(p_pos > 0.0);
-        assert!(p_neg < p_pos, "negative evidence must reduce the score: {p_neg} vs {p_pos}");
+        assert!(
+            p_neg < p_pos,
+            "negative evidence must reduce the score: {p_neg} vs {p_pos}"
+        );
     }
 
     #[test]
     fn negative_evidence_is_inert_during_bootstrap() {
         let (kb1, kb2) = email_kbs();
         let cand = literal_view(&kb1, &kb2);
-        let subrel = SubrelStore::bootstrap(0.1, kb1.num_directed_relations(), kb2.num_directed_relations());
-        let pos = instance_pass(&kb1, &kb2, &cand, &subrel, &ParisConfig::default().with_threads(1));
+        let subrel = SubrelStore::bootstrap(
+            0.1,
+            kb1.num_directed_relations(),
+            kb2.num_directed_relations(),
+        );
+        let pos = instance_pass(
+            &kb1,
+            &kb2,
+            &cand,
+            &subrel,
+            &ParisConfig::default().with_threads(1),
+        );
         let neg = instance_pass(
             &kb1,
             &kb2,
             &cand,
             &subrel,
-            &ParisConfig::default().with_negative_evidence(true).with_threads(1),
+            &ParisConfig::default()
+                .with_negative_evidence(true)
+                .with_threads(1),
         );
         assert_eq!(pos, neg, "Eq. 14 must not fire on θ-bootstrapped links");
     }
@@ -389,7 +471,11 @@ mod tests {
     fn empty_candidate_view_scores_nothing() {
         let (kb1, kb2) = email_kbs();
         let cand = CandidateView::empty(kb1.num_entities());
-        let subrel = SubrelStore::bootstrap(0.1, kb1.num_directed_relations(), kb2.num_directed_relations());
+        let subrel = SubrelStore::bootstrap(
+            0.1,
+            kb1.num_directed_relations(),
+            kb2.num_directed_relations(),
+        );
         let rows = instance_pass(&kb1, &kb2, &cand, &subrel, &ParisConfig::default());
         assert!(rows.iter().all(Vec::is_empty));
     }
@@ -408,8 +494,18 @@ mod tests {
         b2.add_literal_fact("http://b/two", "http://b/fiscal", Literal::plain("T2"));
         let (kb1, kb2) = (b1.build(), b2.build());
         let cand = literal_view(&kb1, &kb2);
-        let subrel = SubrelStore::bootstrap(0.1, kb1.num_directed_relations(), kb2.num_directed_relations());
-        let rows = instance_pass(&kb1, &kb2, &cand, &subrel, &ParisConfig::default().with_threads(1));
+        let subrel = SubrelStore::bootstrap(
+            0.1,
+            kb1.num_directed_relations(),
+            kb2.num_directed_relations(),
+        );
+        let rows = instance_pass(
+            &kb1,
+            &kb2,
+            &cand,
+            &subrel,
+            &ParisConfig::default().with_threads(1),
+        );
         let p1 = rows[kb1.entity_by_iri("http://a/one").unwrap().index()][0].1;
         let p2 = rows[kb1.entity_by_iri("http://a/two").unwrap().index()][0].1;
         assert!(p2 > p1, "two shared values ({p2}) must beat one ({p1})");
@@ -419,7 +515,11 @@ mod tests {
     fn scores_are_probabilities() {
         let (kb1, kb2) = email_kbs();
         let cand = literal_view(&kb1, &kb2);
-        let subrel = SubrelStore::bootstrap(0.1, kb1.num_directed_relations(), kb2.num_directed_relations());
+        let subrel = SubrelStore::bootstrap(
+            0.1,
+            kb1.num_directed_relations(),
+            kb2.num_directed_relations(),
+        );
         let rows = instance_pass(&kb1, &kb2, &cand, &subrel, &ParisConfig::default());
         for row in &rows {
             for &(_, p) in row {

@@ -88,7 +88,10 @@ impl AlignmentResult<'_> {
     pub fn instance_alignment_by_iri(&self, iri: &str) -> Option<Iri> {
         let x = self.kb1.entity_by_iri(iri)?;
         let row = self.instances.candidates(x);
-        let best = row.iter().copied().reduce(|a, b| if b.1 > a.1 { b } else { a })?;
+        let best = row
+            .iter()
+            .copied()
+            .reduce(|a, b| if b.1 > a.1 { b } else { a })?;
         self.kb2.iri(best.0).cloned()
     }
 
@@ -139,7 +142,11 @@ impl AlignmentResult<'_> {
             .alignments_1to2()
             .filter(|&(_, _, p)| p >= threshold)
             .map(|(r1, r2, p)| {
-                (self.kb1.relation_display(r1), self.kb2.relation_display(r2), p)
+                (
+                    self.kb1.relation_display(r1),
+                    self.kb2.relation_display(r2),
+                    p,
+                )
             })
             .collect();
         out.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
@@ -153,7 +160,11 @@ impl AlignmentResult<'_> {
             .alignments_2to1()
             .filter(|&(_, _, p)| p >= threshold)
             .map(|(r2, r1, p)| {
-                (self.kb2.relation_display(r2), self.kb1.relation_display(r1), p)
+                (
+                    self.kb2.relation_display(r2),
+                    self.kb1.relation_display(r1),
+                    p,
+                )
             })
             .collect();
         out.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
@@ -286,8 +297,9 @@ impl<'a> Aligner<'a> {
                 && (score_sum - prev_score_sum).abs() / prev_score_sum
                     < config.convergence_change.max(1e-6);
             prev_score_sum = score_sum;
-            let done =
-                iteration > 1 && stats.changed_fraction < config.convergence_change && scores_stable;
+            let done = iteration > 1
+                && stats.changed_fraction < config.convergence_change
+                && scores_stable;
             progress(&stats);
             iterations.push(stats);
             if done {
@@ -344,7 +356,12 @@ fn blend_rows(
             *merged.entry(e).or_insert(0.0) += damping * p;
         }
         row.clear();
-        row.extend(merged.iter().filter(|&(_, &p)| p >= truncation).map(|(&e, &p)| (e, p)));
+        row.extend(
+            merged
+                .iter()
+                .filter(|&(_, &p)| p >= truncation)
+                .map(|(&e, &p)| (e, p)),
+        );
         row.sort_unstable_by_key(|&(e, _)| e);
     }
 }

@@ -33,6 +33,7 @@ pub mod explain;
 pub mod instance;
 pub mod iteration;
 pub mod literal_bridge;
+pub mod owned;
 pub mod subclass;
 pub mod subrel;
 
@@ -41,5 +42,6 @@ pub use equiv::{CandidateView, EquivStore};
 pub use explain::{Evidence, Explanation};
 pub use iteration::{Aligner, AlignmentResult, IterationStats};
 pub use literal_bridge::LiteralBridge;
+pub use owned::{AlignedPairSnapshot, OwnedAlignment};
 pub use subclass::{ClassAlignment, ClassScore};
 pub use subrel::SubrelStore;

@@ -97,13 +97,18 @@ mod tests {
     fn kb_with_literals(name: &str, values: &[&str]) -> Kb {
         let mut b = KbBuilder::new(name);
         for (i, v) in values.iter().enumerate() {
-            b.add_literal_fact(format!("http://{name}/e{i}"), "http://x/val", Literal::plain(*v));
+            b.add_literal_fact(
+                format!("http://{name}/e{i}"),
+                "http://x/val",
+                Literal::plain(*v),
+            );
         }
         b.build()
     }
 
     fn lit_id(kb: &Kb, value: &str) -> EntityId {
-        kb.entity(&paris_rdf::Term::Literal(Literal::plain(value))).unwrap()
+        kb.entity(&paris_rdf::Term::Literal(Literal::plain(value)))
+            .unwrap()
     }
 
     #[test]
@@ -144,7 +149,9 @@ mod tests {
         let bridge = LiteralBridge::build(
             &kb1,
             &kb2,
-            &LiteralSimilarity::EditDistance { min_similarity: 0.7 },
+            &LiteralSimilarity::EditDistance {
+                min_similarity: 0.7,
+            },
         );
         let cands = bridge.candidates(lit_id(&kb1, "restaurant"));
         assert_eq!(cands.len(), 1);

@@ -58,8 +58,7 @@ impl ClassAlignment {
     /// Number of distinct source classes with at least one assignment
     /// scoring ≥ `threshold`, KB1 → KB2 (the paper's Figure 2 series).
     pub fn classes_with_assignment_1to2(&self, threshold: f64) -> usize {
-        let mut classes: Vec<EntityId> =
-            self.above_1to2(threshold).map(|s| s.sub).collect();
+        let mut classes: Vec<EntityId> = self.above_1to2(threshold).map(|s| s.sub).collect();
         classes.sort_unstable();
         classes.dedup();
         classes.len()
@@ -110,7 +109,12 @@ fn direction(
         for (&c2, &num) in &expected {
             let prob = num / sampled as f64;
             if prob > 0.0 {
-                out.push(ClassScore { sub: c, sup: c2, prob: prob.min(1.0), sampled_members: sampled });
+                out.push(ClassScore {
+                    sub: c,
+                    sup: c2,
+                    prob: prob.min(1.0),
+                    sampled_members: sampled,
+                });
             }
         }
     }
@@ -158,12 +162,20 @@ mod tests {
         let singer = kb1.entity_by_iri("http://a/Singer").unwrap();
         let musician = kb2.entity_by_iri("http://b/Musician").unwrap();
         // All 4 singers are musicians: Pr(Singer ⊆ Musician) = 1.
-        let s = ca.one_to_two.iter().find(|s| s.sub == singer && s.sup == musician).unwrap();
+        let s = ca
+            .one_to_two
+            .iter()
+            .find(|s| s.sub == singer && s.sup == musician)
+            .unwrap();
         assert_eq!(s.prob, 1.0);
         assert_eq!(s.sampled_members, 4);
         // Person (via closure) also has the 4 singers as members → also 1.
         let person = kb1.entity_by_iri("http://a/Person").unwrap();
-        let p = ca.one_to_two.iter().find(|s| s.sub == person && s.sup == musician).unwrap();
+        let p = ca
+            .one_to_two
+            .iter()
+            .find(|s| s.sub == person && s.sup == musician)
+            .unwrap();
         assert_eq!(p.prob, 1.0);
     }
 
@@ -175,7 +187,11 @@ mod tests {
         let singer = kb1.entity_by_iri("http://a/Singer").unwrap();
         let musician = kb2.entity_by_iri("http://b/Musician").unwrap();
         // Only 4 of 6 musicians are singers: Pr(Musician ⊆ Singer) = 2/3.
-        let s = ca.two_to_one.iter().find(|s| s.sub == musician && s.sup == singer).unwrap();
+        let s = ca
+            .two_to_one
+            .iter()
+            .find(|s| s.sub == musician && s.sup == singer)
+            .unwrap();
         assert!((s.prob - 4.0 / 6.0).abs() < 1e-12);
     }
 
@@ -192,7 +208,11 @@ mod tests {
         let ca = subclass_pass(&kb1, &kb2, &equiv, &ParisConfig::default());
         let singer = kb1.entity_by_iri("http://a/Singer").unwrap();
         let musician = kb2.entity_by_iri("http://b/Musician").unwrap();
-        let s = ca.one_to_two.iter().find(|s| s.sub == singer && s.sup == musician).unwrap();
+        let s = ca
+            .one_to_two
+            .iter()
+            .find(|s| s.sub == singer && s.sup == musician)
+            .unwrap();
         assert!((s.prob - 0.5).abs() < 1e-12);
     }
 
@@ -203,7 +223,11 @@ mod tests {
         let ca = subclass_pass(&kb1, &kb2, &equiv, &ParisConfig::default());
         let singer = kb1.entity_by_iri("http://a/Singer").unwrap();
         let musician = kb2.entity_by_iri("http://b/Musician").unwrap();
-        let s = ca.one_to_two.iter().find(|s| s.sub == singer && s.sup == musician).unwrap();
+        let s = ca
+            .one_to_two
+            .iter()
+            .find(|s| s.sub == singer && s.sup == musician)
+            .unwrap();
         assert!((s.prob - 0.5).abs() < 1e-12, "2 of 4 members matched");
     }
 
@@ -211,7 +235,10 @@ mod tests {
     fn member_cap_is_respected() {
         let (kb1, kb2) = taxonomy_kbs();
         let equiv = perfect_equiv(&kb1, &kb2, 4);
-        let config = ParisConfig { max_pairs: 2, ..ParisConfig::default() };
+        let config = ParisConfig {
+            max_pairs: 2,
+            ..ParisConfig::default()
+        };
         let ca = subclass_pass(&kb1, &kb2, &equiv, &config);
         let singer = kb1.entity_by_iri("http://a/Singer").unwrap();
         let s = ca.one_to_two.iter().find(|s| s.sub == singer).unwrap();

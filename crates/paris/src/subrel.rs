@@ -51,7 +51,11 @@ impl SubrelStore {
         for row in one_to_two.iter_mut().chain(two_to_one.iter_mut()) {
             row.sort_unstable_by_key(|&(r, _)| r);
         }
-        SubrelStore { bootstrap: None, one_to_two, two_to_one }
+        SubrelStore {
+            bootstrap: None,
+            one_to_two,
+            two_to_one,
+        }
     }
 
     /// True while scores are still the θ bootstrap.
@@ -80,22 +84,18 @@ impl SubrelStore {
     /// All computed KB1 → KB2 scores `(r, r′, Pr(r⊆r′))`. Empty while
     /// bootstrapping.
     pub fn alignments_1to2(&self) -> impl Iterator<Item = (RelationId, RelationId, f64)> + '_ {
-        self.one_to_two
-            .iter()
-            .enumerate()
-            .flat_map(|(i, row)| {
-                row.iter().map(move |&(r2, p)| (RelationId::from_directed_index(i), r2, p))
-            })
+        self.one_to_two.iter().enumerate().flat_map(|(i, row)| {
+            row.iter()
+                .map(move |&(r2, p)| (RelationId::from_directed_index(i), r2, p))
+        })
     }
 
     /// All computed KB2 → KB1 scores `(r′, r, Pr(r′⊆r))`.
     pub fn alignments_2to1(&self) -> impl Iterator<Item = (RelationId, RelationId, f64)> + '_ {
-        self.two_to_one
-            .iter()
-            .enumerate()
-            .flat_map(|(i, row)| {
-                row.iter().map(move |&(r1, p)| (RelationId::from_directed_index(i), r1, p))
-            })
+        self.two_to_one.iter().enumerate().flat_map(|(i, row)| {
+            row.iter()
+                .map(move |&(r1, p)| (RelationId::from_directed_index(i), r1, p))
+        })
     }
 
     /// For one KB-1 directed relation, every linked KB-2 relation together
@@ -115,8 +115,10 @@ impl SubrelStore {
         }
         for (i, row) in self.two_to_one.iter().enumerate() {
             if let Ok(pos) = row.binary_search_by_key(&r1, |&(r, _)| r) {
-                merged.entry(RelationId::from_directed_index(i)).or_insert((0.0, 0.0)).1 =
-                    row[pos].1;
+                merged
+                    .entry(RelationId::from_directed_index(i))
+                    .or_insert((0.0, 0.0))
+                    .1 = row[pos].1;
             }
         }
         let mut out: Vec<(RelationId, f64, f64)> =
@@ -260,8 +262,16 @@ mod tests {
         let mut b1 = KbBuilder::new("a");
         let mut b2 = KbBuilder::new("b");
         for i in 0..3 {
-            b1.add_fact(format!("http://a/p{i}"), "http://a/born", format!("http://a/c{i}"));
-            b2.add_fact(format!("http://b/p{i}"), "http://b/birth", format!("http://b/c{i}"));
+            b1.add_fact(
+                format!("http://a/p{i}"),
+                "http://a/born",
+                format!("http://a/c{i}"),
+            );
+            b2.add_fact(
+                format!("http://b/p{i}"),
+                "http://b/birth",
+                format!("http://b/c{i}"),
+            );
         }
         let kb1 = b1.build();
         let kb2 = b2.build();
@@ -293,8 +303,16 @@ mod tests {
         let mut b1 = KbBuilder::new("a");
         let mut b2 = KbBuilder::new("b");
         for i in 0..3 {
-            b1.add_fact(format!("http://a/p{i}"), "http://a/actedIn", format!("http://a/m{i}"));
-            b2.add_fact(format!("http://b/m{i}"), "http://b/starring", format!("http://b/p{i}"));
+            b1.add_fact(
+                format!("http://a/p{i}"),
+                "http://a/actedIn",
+                format!("http://a/m{i}"),
+            );
+            b2.add_fact(
+                format!("http://b/m{i}"),
+                "http://b/starring",
+                format!("http://b/p{i}"),
+            );
         }
         let kb1 = b1.build();
         let kb2 = b2.build();
@@ -322,9 +340,17 @@ mod tests {
         let mut b2 = KbBuilder::new("b");
         // KB1: capitals only. KB2: all contained cities.
         for i in 0..4 {
-            b1.add_fact(format!("http://a/state{i}"), "http://a/hasCapital", format!("http://a/city{i}0"));
+            b1.add_fact(
+                format!("http://a/state{i}"),
+                "http://a/hasCapital",
+                format!("http://a/city{i}0"),
+            );
             for j in 0..3 {
-                b2.add_fact(format!("http://b/state{i}"), "http://b/contains", format!("http://b/city{i}{j}"));
+                b2.add_fact(
+                    format!("http://b/state{i}"),
+                    "http://b/contains",
+                    format!("http://b/city{i}{j}"),
+                );
             }
         }
         let kb1 = b1.build();
@@ -338,10 +364,19 @@ mod tests {
             let c2 = kb2.entity_by_iri(&format!("http://b/city{i}0")).unwrap();
             rows1[c1.index()].push((c2, 1.0));
         }
-        let out1 = subrelation_pass(&kb1, &kb2, &CandidateView::new(rows1), &ParisConfig::default());
+        let out1 = subrelation_pass(
+            &kb1,
+            &kb2,
+            &CandidateView::new(rows1),
+            &ParisConfig::default(),
+        );
         let cap = kb1.relation_by_iri("http://a/hasCapital").unwrap();
         let contains = kb2.relation_by_iri("http://b/contains").unwrap();
-        assert_eq!(out1[cap.directed_index()], vec![(contains, 1.0)], "capital ⊆ contains");
+        assert_eq!(
+            out1[cap.directed_index()],
+            vec![(contains, 1.0)],
+            "capital ⊆ contains"
+        );
 
         // Reverse direction: contains ⊄ hasCapital (only 1/3 of pairs match,
         // and only 1/3 of contains-pairs have counterparts at all — cities
@@ -356,7 +391,12 @@ mod tests {
             let c1 = kb1.entity_by_iri(&format!("http://a/city{i}0")).unwrap();
             rows2[c2.index()].push((c1, 1.0));
         }
-        let out2 = subrelation_pass(&kb2, &kb1, &CandidateView::new(rows2), &ParisConfig::default());
+        let out2 = subrelation_pass(
+            &kb2,
+            &kb1,
+            &CandidateView::new(rows2),
+            &ParisConfig::default(),
+        );
         let row = &out2[contains.directed_index()];
         // Every contains-pair with a counterpart IS a capital pair here, so
         // Pr(contains ⊆ hasCapital) = 1 under Eq. 12's normalization; the
@@ -386,15 +426,27 @@ mod tests {
         let mut b1 = KbBuilder::new("a");
         let mut b2 = KbBuilder::new("b");
         for i in 0..4 {
-            b1.add_fact(format!("http://a/x{i}"), "http://a/r", format!("http://a/y{i}"));
+            b1.add_fact(
+                format!("http://a/x{i}"),
+                "http://a/r",
+                format!("http://a/y{i}"),
+            );
         }
         for i in 0..2 {
-            b2.add_fact(format!("http://b/x{i}"), "http://b/r", format!("http://b/y{i}"));
+            b2.add_fact(
+                format!("http://b/x{i}"),
+                "http://b/r",
+                format!("http://b/y{i}"),
+            );
         }
         // all 4 subjects/objects have perfect candidates: x_i ≡ x_i′ where
         // the missing ones map to unrelated entities.
         for i in 2..4 {
-            b2.add_fact(format!("http://b/x{i}"), "http://b/other", format!("http://b/y{i}"));
+            b2.add_fact(
+                format!("http://b/x{i}"),
+                "http://b/other",
+                format!("http://b/y{i}"),
+            );
         }
         let kb1 = b1.build();
         let kb2 = b2.build();
@@ -406,7 +458,12 @@ mod tests {
                 rows[e1.index()].push((e2, 1.0));
             }
         }
-        let out = subrelation_pass(&kb1, &kb2, &CandidateView::new(rows), &ParisConfig::default());
+        let out = subrelation_pass(
+            &kb1,
+            &kb2,
+            &CandidateView::new(rows),
+            &ParisConfig::default(),
+        );
         let r1 = kb1.relation_by_iri("http://a/r").unwrap();
         let r2 = kb2.relation_by_iri("http://b/r").unwrap();
         let other = kb2.relation_by_iri("http://b/other").unwrap();
@@ -422,8 +479,16 @@ mod tests {
         let mut b1 = KbBuilder::new("a");
         let mut b2 = KbBuilder::new("b");
         for i in 0..50 {
-            b1.add_fact(format!("http://a/x{i}"), "http://a/r", format!("http://a/y{i}"));
-            b2.add_fact(format!("http://b/x{i}"), "http://b/r", format!("http://b/y{i}"));
+            b1.add_fact(
+                format!("http://a/x{i}"),
+                "http://a/r",
+                format!("http://a/y{i}"),
+            );
+            b2.add_fact(
+                format!("http://b/x{i}"),
+                "http://b/r",
+                format!("http://b/y{i}"),
+            );
         }
         let kb1 = b1.build();
         let kb2 = b2.build();
@@ -435,7 +500,10 @@ mod tests {
                 rows[e1.index()].push((e2, 1.0));
             }
         }
-        let config = ParisConfig { max_pairs: 10, ..ParisConfig::default() };
+        let config = ParisConfig {
+            max_pairs: 10,
+            ..ParisConfig::default()
+        };
         let out = subrelation_pass(&kb1, &kb2, &CandidateView::new(rows), &config);
         let r1 = kb1.relation_by_iri("http://a/r").unwrap();
         let r2 = kb2.relation_by_iri("http://b/r").unwrap();

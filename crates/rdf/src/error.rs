@@ -18,7 +18,10 @@ pub enum RdfError {
 
 impl RdfError {
     pub(crate) fn syntax(line: u64, message: impl Into<String>) -> Self {
-        RdfError::Syntax { line, message: message.into() }
+        RdfError::Syntax {
+            line,
+            message: message.into(),
+        }
     }
 }
 
@@ -55,7 +58,10 @@ mod tests {
     #[test]
     fn display_includes_line() {
         let e = RdfError::syntax(7, "expected '.'");
-        assert_eq!(e.to_string(), "N-Triples syntax error on line 7: expected '.'");
+        assert_eq!(
+            e.to_string(),
+            "N-Triples syntax error on line 7: expected '.'"
+        );
     }
 
     #[test]

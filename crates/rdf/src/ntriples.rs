@@ -108,7 +108,11 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn new(text: &'a str, line: u64) -> Self {
-        Cursor { bytes: text.as_bytes(), pos: 0, line }
+        Cursor {
+            bytes: text.as_bytes(),
+            pos: 0,
+            line,
+        }
     }
 
     fn err(&self, message: impl Into<String>) -> RdfError {
@@ -149,7 +153,11 @@ impl<'a> Cursor<'a> {
         }
         self.skip_ws();
         match self.peek() {
-            None | Some(b'#') => Ok(Some(Triple { subject, predicate, object })),
+            None | Some(b'#') => Ok(Some(Triple {
+                subject,
+                predicate,
+                object,
+            })),
             Some(c) => Err(self.err(format!("unexpected trailing character '{}'", c as char))),
         }
     }
@@ -206,7 +214,9 @@ impl<'a> Cursor<'a> {
 
     /// `\u` / `\U` escape inside an IRI (the only escapes IRIs permit).
     fn unicode_escape(&mut self) -> Result<char, RdfError> {
-        let kind = self.bump().ok_or_else(|| self.err("dangling '\\' in IRI"))?;
+        let kind = self
+            .bump()
+            .ok_or_else(|| self.err("dangling '\\' in IRI"))?;
         let len = match kind {
             b'u' => 4,
             b'U' => 8,
@@ -241,8 +251,8 @@ impl<'a> Cursor<'a> {
         if self.pos == start {
             return Err(self.err("empty blank node label"));
         }
-        let label = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("ASCII by construction");
+        let label =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII by construction");
         Ok(Iri::new(format!("bnode://{label}")))
     }
 
@@ -444,7 +454,10 @@ mod tests {
     #[test]
     fn string_escapes() {
         let t = parse_one(r#"<http://s> <http://p> "a\tb\nc\"d\\eéf" ."#);
-        assert_eq!(t.object.as_literal().unwrap().value(), "a\tb\nc\"d\\e\u{e9}f");
+        assert_eq!(
+            t.object.as_literal().unwrap().value(),
+            "a\tb\nc\"d\\e\u{e9}f"
+        );
     }
 
     #[test]

@@ -105,17 +105,26 @@ pub struct Literal {
 impl Literal {
     /// Creates a plain (untyped, untagged) literal.
     pub fn plain(value: impl Into<Arc<str>>) -> Self {
-        Literal { value: value.into(), kind: LiteralKind::Plain }
+        Literal {
+            value: value.into(),
+            kind: LiteralKind::Plain,
+        }
     }
 
     /// Creates a language-tagged literal such as `"London"@en`.
     pub fn lang_tagged(value: impl Into<Arc<str>>, lang: impl Into<Arc<str>>) -> Self {
-        Literal { value: value.into(), kind: LiteralKind::LanguageTagged(lang.into()) }
+        Literal {
+            value: value.into(),
+            kind: LiteralKind::LanguageTagged(lang.into()),
+        }
     }
 
     /// Creates a datatyped literal such as `"42"^^xsd:integer`.
     pub fn typed(value: impl Into<Arc<str>>, datatype: impl Into<Iri>) -> Self {
-        Literal { value: value.into(), kind: LiteralKind::Typed(datatype.into()) }
+        Literal {
+            value: value.into(),
+            kind: LiteralKind::Typed(datatype.into()),
+        }
     }
 
     /// The lexical form.
@@ -264,7 +273,10 @@ mod tests {
     #[test]
     fn literal_kind_distinguishes_equality() {
         assert_ne!(Literal::plain("42"), Literal::typed("42", "http://t"));
-        assert_ne!(Literal::lang_tagged("x", "en"), Literal::lang_tagged("x", "fr"));
+        assert_ne!(
+            Literal::lang_tagged("x", "en"),
+            Literal::lang_tagged("x", "fr")
+        );
         assert_eq!(Literal::plain("x"), Literal::plain("x"));
     }
 

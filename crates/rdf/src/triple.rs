@@ -17,14 +17,28 @@ pub struct Triple {
 
 impl Triple {
     /// Creates a triple from its three components.
-    pub fn new(subject: impl Into<Iri>, predicate: impl Into<Iri>, object: impl Into<Term>) -> Self {
-        Triple { subject: subject.into(), predicate: predicate.into(), object: object.into() }
+    pub fn new(
+        subject: impl Into<Iri>,
+        predicate: impl Into<Iri>,
+        object: impl Into<Term>,
+    ) -> Self {
+        Triple {
+            subject: subject.into(),
+            predicate: predicate.into(),
+            object: object.into(),
+        }
     }
 }
 
 impl fmt::Display for Triple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}({}, {})", self.predicate.local_name(), self.subject.local_name(), self.object)
+        write!(
+            f,
+            "{}({}, {})",
+            self.predicate.local_name(),
+            self.subject.local_name(),
+            self.object
+        )
     }
 }
 
@@ -35,7 +49,11 @@ mod tests {
 
     #[test]
     fn construction_and_display() {
-        let t = Triple::new("http://ex.org/Elvis", "http://ex.org/name", Literal::plain("Elvis"));
+        let t = Triple::new(
+            "http://ex.org/Elvis",
+            "http://ex.org/name",
+            Literal::plain("Elvis"),
+        );
         assert_eq!(t.subject.as_str(), "http://ex.org/Elvis");
         assert_eq!(format!("{t}"), "name(Elvis, Elvis)");
     }

@@ -59,7 +59,10 @@ impl TurtleParser {
     }
 
     fn err(&self, message: impl Into<String>) -> RdfError {
-        RdfError::Syntax { line: self.line, message: message.into() }
+        RdfError::Syntax {
+            line: self.line,
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<char> {
@@ -255,8 +258,14 @@ impl TurtleParser {
             Some(c) if c.is_ascii_digit() || c == '+' || c == '-' => {
                 Ok(Term::Literal(self.numeric_literal()?))
             }
-            Some('t') | Some('f') if self.starts_with_keyword("true") || self.starts_with_keyword("false") => {
-                let value = if self.starts_with_keyword("true") { "true" } else { "false" };
+            Some('t') | Some('f')
+                if self.starts_with_keyword("true") || self.starts_with_keyword("false") =>
+            {
+                let value = if self.starts_with_keyword("true") {
+                    "true"
+                } else {
+                    "false"
+                };
                 self.consume_keyword(value);
                 Ok(Term::Literal(Literal::typed(
                     value,
@@ -305,9 +314,12 @@ impl TurtleParser {
     fn hex_char(&mut self, len: usize) -> Result<char, RdfError> {
         let mut code = 0u32;
         for _ in 0..len {
-            let c = self.bump().ok_or_else(|| self.err("truncated unicode escape"))?;
-            let digit =
-                c.to_digit(16).ok_or_else(|| self.err("invalid hex in unicode escape"))?;
+            let c = self
+                .bump()
+                .ok_or_else(|| self.err("truncated unicode escape"))?;
+            let digit = c
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex in unicode escape"))?;
             code = code * 16 + digit;
         }
         char::from_u32(code).ok_or_else(|| self.err("escape is not a valid code point"))
@@ -567,7 +579,9 @@ ex:elvis a ex:Singer, ex:Actor ;
 "#;
         let ts = parse(doc);
         assert_eq!(ts.len(), 5);
-        assert!(ts.iter().all(|t| t.subject.as_str() == "http://ex.org/elvis"));
+        assert!(ts
+            .iter()
+            .all(|t| t.subject.as_str() == "http://ex.org/elvis"));
     }
 
     #[test]
@@ -603,7 +617,10 @@ ex:x ex:plain "hello" ;
         let doc = "@prefix ex: <http://e/> .\nex:x ex:a 'single' ; ex:b \"\"\"multi\nline \"quoted\" text\"\"\" .";
         let ts = parse(doc);
         assert_eq!(ts[0].object.as_literal().unwrap().value(), "single");
-        assert_eq!(ts[1].object.as_literal().unwrap().value(), "multi\nline \"quoted\" text");
+        assert_eq!(
+            ts[1].object.as_literal().unwrap().value(),
+            "multi\nline \"quoted\" text"
+        );
     }
 
     #[test]
@@ -611,20 +628,32 @@ ex:x ex:plain "hello" ;
         let doc = "@base <http://base.org/> .\n<rel> <p> <other> .";
         let ts = parse(doc);
         assert_eq!(ts[0].subject.as_str(), "http://base.org/rel");
-        assert_eq!(ts[0].object.as_iri().unwrap().as_str(), "http://base.org/other");
+        assert_eq!(
+            ts[0].object.as_iri().unwrap().as_str(),
+            "http://base.org/other"
+        );
         // absolute IRIs are untouched — 'p'? 'p' has no colon → resolved too
         assert_eq!(ts[0].predicate.as_str(), "http://base.org/p");
     }
 
     #[test]
     fn blank_nodes() {
-        let doc = "@prefix ex: <http://e/> .\n_:a ex:p _:b .\nex:x ex:q [] .\nex:y ex:r [ ex:s ex:z ] .";
+        let doc =
+            "@prefix ex: <http://e/> .\n_:a ex:p _:b .\nex:x ex:q [] .\nex:y ex:r [ ex:s ex:z ] .";
         let ts = parse(doc);
         assert_eq!(ts[0].subject.as_str(), "bnode://a");
-        assert!(ts[1].object.as_iri().unwrap().as_str().starts_with("bnode://anon"));
+        assert!(ts[1]
+            .object
+            .as_iri()
+            .unwrap()
+            .as_str()
+            .starts_with("bnode://anon"));
         // the bracketed property list emits its own triple
         assert_eq!(ts.len(), 4);
-        let inner = ts.iter().find(|t| t.predicate.as_str() == "http://e/s").unwrap();
+        let inner = ts
+            .iter()
+            .find(|t| t.predicate.as_str() == "http://e/s")
+            .unwrap();
         assert!(inner.subject.as_str().starts_with("bnode://anon"));
     }
 
@@ -695,7 +724,9 @@ ex:elvis a ex:Singer ; ex:name "Elvis Presley" .
 "#;
         let triples = parse(doc);
         assert_eq!(triples.len(), 3);
-        assert!(triples.iter().any(|t| t.predicate.as_str() == vocab::RDFS_SUBCLASS_OF));
+        assert!(triples
+            .iter()
+            .any(|t| t.predicate.as_str() == vocab::RDFS_SUBCLASS_OF));
     }
 
     #[test]

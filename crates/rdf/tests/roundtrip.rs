@@ -1,44 +1,100 @@
-//! Property tests: serialize → parse is the identity on arbitrary triples.
+//! Randomized round-trip tests: serialize → parse is the identity on
+//! generated triples, and the parser never panics on noise. Cases come
+//! from a seeded in-workspace RNG, so each run replays the same batch.
 
 use paris_rdf::ntriples::{to_string, Parser};
 use paris_rdf::{Iri, Literal, Term, Triple};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
-/// IRI bodies: non-empty, printable, excluding characters the writer escapes
-/// (which are still legal — covered by `escaped_iri_round_trips` below).
-fn arb_iri() -> impl Strategy<Value = Iri> {
-    "[a-zA-Z][a-zA-Z0-9:/._~#-]{0,40}".prop_map(Iri::new)
+const IRI_BODY: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789:/._~#-";
+const IRI_FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+
+fn random_char_from(rng: &mut StdRng, pool: &[u8]) -> char {
+    pool[rng.random_range(0..pool.len())] as char
 }
 
-fn arb_literal() -> impl Strategy<Value = Literal> {
-    prop_oneof![
-        any::<String>().prop_map(Literal::plain),
-        (any::<String>(), "[a-z]{2}(-[A-Z]{2})?")
-            .prop_map(|(v, l)| Literal::lang_tagged(v, l)),
-        (any::<String>(), arb_iri()).prop_map(|(v, d)| Literal::typed(v, d)),
-    ]
+/// IRI bodies: non-empty, printable, excluding characters the writer
+/// escapes (covered separately by `escaped_iri_round_trips`).
+fn random_iri(rng: &mut StdRng) -> Iri {
+    let mut s = String::new();
+    s.push(random_char_from(rng, IRI_FIRST));
+    for _ in 0..rng.random_range(0usize..40) {
+        s.push(random_char_from(rng, IRI_BODY));
+    }
+    Iri::new(s)
 }
 
-fn arb_term() -> impl Strategy<Value = Term> {
-    prop_oneof![arb_iri().prop_map(Term::Iri), arb_literal().prop_map(Term::Literal)]
+/// Arbitrary strings, including control characters, quotes, backslashes,
+/// and multi-byte scalars — everything the escaper must handle.
+fn random_string(rng: &mut StdRng) -> String {
+    (0..rng.random_range(0usize..24))
+        .map(|_| loop {
+            if let Some(c) = char::from_u32(rng.random_range(0u32..0xD7FF)) {
+                return c;
+            }
+        })
+        .collect()
 }
 
-fn arb_triple() -> impl Strategy<Value = Triple> {
-    (arb_iri(), arb_iri(), arb_term())
-        .prop_map(|(s, p, o)| Triple { subject: s, predicate: p, object: o })
+fn random_lang(rng: &mut StdRng) -> String {
+    let mut l = String::new();
+    l.push(random_char_from(rng, b"abcdefghijklmnopqrstuvwxyz"));
+    l.push(random_char_from(rng, b"abcdefghijklmnopqrstuvwxyz"));
+    if rng.random_range(0u32..2) == 0 {
+        l.push('-');
+        l.push(random_char_from(rng, b"ABCDEFGHIJKLMNOPQRSTUVWXYZ"));
+        l.push(random_char_from(rng, b"ABCDEFGHIJKLMNOPQRSTUVWXYZ"));
+    }
+    l
 }
 
-proptest! {
-    #[test]
-    fn round_trip(triples in proptest::collection::vec(arb_triple(), 0..20)) {
+fn random_literal(rng: &mut StdRng) -> Literal {
+    match rng.random_range(0u32..3) {
+        0 => Literal::plain(random_string(rng)),
+        1 => Literal::lang_tagged(random_string(rng), random_lang(rng)),
+        _ => Literal::typed(random_string(rng), random_iri(rng)),
+    }
+}
+
+fn random_term(rng: &mut StdRng) -> Term {
+    if rng.random_range(0u32..2) == 0 {
+        Term::Iri(random_iri(rng))
+    } else {
+        Term::Literal(random_literal(rng))
+    }
+}
+
+fn random_triple(rng: &mut StdRng) -> Triple {
+    Triple {
+        subject: random_iri(rng),
+        predicate: random_iri(rng),
+        object: random_term(rng),
+    }
+}
+
+#[test]
+fn round_trip() {
+    let mut rng = StdRng::seed_from_u64(0x2D6);
+    for case in 0..256 {
+        let triples: Vec<Triple> = (0..rng.random_range(0usize..20))
+            .map(|_| random_triple(&mut rng))
+            .collect();
         let doc = to_string(&triples);
         let reparsed = Parser::parse_all(&doc).unwrap();
-        prop_assert_eq!(triples, reparsed);
+        assert_eq!(triples, reparsed, "case {case}");
     }
+}
 
-    /// IRIs containing characters that must be \u-escaped still round-trip.
-    #[test]
-    fn escaped_iri_round_trips(body in "[ <>\"{}|^`\\\\a-z]{1,20}") {
+/// IRIs containing characters that must be \u-escaped still round-trip.
+#[test]
+fn escaped_iri_round_trips() {
+    let mut rng = StdRng::seed_from_u64(0xE5C);
+    const NASTY: &[u8] = b" <>\"{}|^`\\abcdefghijklmnopqrstuvwxyz";
+    for case in 0..256 {
+        let body: String = (0..rng.random_range(1usize..20))
+            .map(|_| random_char_from(&mut rng, NASTY))
+            .collect();
         let t = Triple::new(
             Iri::new(format!("http://x/{body}")),
             "http://p",
@@ -46,12 +102,22 @@ proptest! {
         );
         let doc = to_string(std::slice::from_ref(&t));
         let reparsed = Parser::parse_all(&doc).unwrap();
-        prop_assert_eq!(vec![t], reparsed);
+        assert_eq!(vec![t], reparsed, "case {case}: body {body:?}");
     }
+}
 
-    /// The parser never panics on arbitrary input.
-    #[test]
-    fn parser_never_panics(input in any::<String>()) {
+/// The parser never panics on arbitrary input.
+#[test]
+fn parser_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0x9A1C);
+    for _ in 0..256 {
+        let input: String = (0..rng.random_range(0usize..120))
+            .map(|_| loop {
+                if let Some(c) = char::from_u32(rng.random_range(0u32..0x300)) {
+                    return c;
+                }
+            })
+            .collect();
         for item in Parser::new(&input) {
             let _ = item;
         }

@@ -1,0 +1,395 @@
+//! A deliberately small HTTP/1.1 implementation over `std::io`.
+//!
+//! The workspace's no-external-dependency rule extends to the serving
+//! layer, so this module hand-rolls exactly the subset the daemon needs:
+//! request-line + header parsing, `Content-Length` bodies, query-string
+//! splitting with percent-decoding, and response framing with keep-alive.
+//! Everything is bounds-limited so a malicious peer cannot balloon
+//! memory: 8 KiB per line, 100 headers, 1 MiB bodies.
+
+use std::io::{BufRead, Write};
+
+/// Upper bound on one request line or header line.
+const MAX_LINE: usize = 8 * 1024;
+/// Upper bound on the number of headers.
+const MAX_HEADERS: usize = 100;
+/// Upper bound on a request body.
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Decoded path, without the query string.
+    pub path: String,
+    /// Percent-decoded query parameters, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Lower-cased header names with raw values.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` was given).
+    pub body: Vec<u8>,
+    /// True for `HTTP/1.0` requests, whose connections default to close.
+    pub http10: bool,
+}
+
+impl Request {
+    /// First query parameter with the given name.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Header value by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should close after this request: an
+    /// explicit `Connection` header wins; otherwise HTTP/1.1 defaults to
+    /// keep-alive and HTTP/1.0 to close.
+    pub fn wants_close(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => true,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => false,
+            _ => self.http10,
+        }
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum ParseError {
+    /// The peer closed the connection before sending a request.
+    ConnectionClosed,
+    /// Transport failure.
+    Io(std::io::Error),
+    /// Malformed request; the message is safe to echo to the client.
+    Malformed(String),
+}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+fn read_line(r: &mut impl BufRead) -> Result<Option<String>, ParseError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte)? {
+            0 => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(ParseError::Malformed("connection closed mid-line".into()));
+            }
+            _ => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map(Some)
+                        .map_err(|_| ParseError::Malformed("non-UTF-8 header line".into()));
+                }
+                if line.len() >= MAX_LINE {
+                    return Err(ParseError::Malformed("header line too long".into()));
+                }
+                line.push(byte[0]);
+            }
+        }
+    }
+}
+
+/// Reads one request from the stream. `Err(ConnectionClosed)` means the
+/// peer hung up cleanly between requests (normal for keep-alive).
+pub fn read_request(r: &mut impl BufRead) -> Result<Request, ParseError> {
+    let request_line = match read_line(r)? {
+        None => return Err(ParseError::ConnectionClosed),
+        Some(l) if l.is_empty() => return Err(ParseError::Malformed("empty request line".into())),
+        Some(l) => l,
+    };
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ParseError::Malformed("missing method".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| ParseError::Malformed("missing path".into()))?;
+    let http10 = match parts.next() {
+        Some("HTTP/1.0") => true,
+        Some(v) if v.starts_with("HTTP/1.") => false,
+        _ => return Err(ParseError::Malformed("expected an HTTP/1.x request".into())),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r)?
+            .ok_or_else(|| ParseError::Malformed("connection closed in headers".into()))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ParseError::Malformed("too many headers".into()));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ParseError::Malformed(format!("malformed header '{line}'")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    // Chunked (or any other) transfer coding is not implemented; silently
+    // treating the body as empty would desynchronize the keep-alive
+    // stream (request smuggling), so refuse and close instead.
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Err(ParseError::Malformed(
+            "transfer-encoding is not supported; send a Content-Length body".into(),
+        ));
+    }
+    // Like Transfer-Encoding above, conflicting duplicate Content-Length
+    // values would let two framing interpretations of the same bytes
+    // coexist (request smuggling); reject them outright.
+    let mut lengths = headers
+        .iter()
+        .filter(|(k, _)| k == "content-length")
+        .map(|(_, v)| v);
+    let content_length: usize = match lengths.next() {
+        Some(v) => {
+            if lengths.any(|other| other != v) {
+                return Err(ParseError::Malformed(
+                    "conflicting duplicate content-length headers".into(),
+                ));
+            }
+            v.parse()
+                .map_err(|_| ParseError::Malformed(format!("bad content-length '{v}'")))?
+        }
+        None => 0,
+    };
+    if content_length > MAX_BODY {
+        return Err(ParseError::Malformed(format!(
+            "body of {content_length} bytes is too large"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)?;
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, parse_query(q)),
+        None => (target, Vec::new()),
+    };
+    Ok(Request {
+        method,
+        path: percent_decode(path),
+        query,
+        headers,
+        body,
+        http10,
+    })
+}
+
+/// Splits and percent-decodes an `application/x-www-form-urlencoded`
+/// string (also the format of a URL query).
+pub fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect()
+}
+
+/// Percent-decoding with `+` treated as space (form encoding).
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// One HTTP response, always `Content-Length`-framed.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code (200, 404, …).
+    pub status: u16,
+    /// Content type header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            403 => "Forbidden",
+            405 => "Method Not Allowed",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+
+    /// Writes the response; `keep_alive` selects the `Connection` header.
+    pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        )?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, ParseError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let req =
+            parse("GET /sameas?iri=http%3A%2F%2Fa%2Fb&threshold=0.5 HTTP/1.1\r\nHost: x\r\n\r\n")
+                .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/sameas");
+        assert_eq!(req.query_param("iri"), Some("http://a/b"));
+        assert_eq!(req.query_param("threshold"), Some("0.5"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_post_body() {
+        let req = parse(
+            "POST /align HTTP/1.1\r\nContent-Length: 11\r\nConnection: close\r\n\r\nleft=a.snap",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"left=a.snap");
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        let req = parse("GET /healthz HTTP/1.0\r\n\r\n").unwrap();
+        assert!(req.http10);
+        assert!(req.wants_close());
+        let keep = parse("GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(!keep.wants_close());
+        let eleven = parse("GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert!(!eleven.wants_close());
+    }
+
+    #[test]
+    fn closed_connection_is_distinguished() {
+        assert!(matches!(parse(""), Err(ParseError::ConnectionClosed)));
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        assert!(matches!(
+            parse("BLARGH\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET /x SPDY/9\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET /x HTTP/1.1\r\nbadheader\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        // Unimplemented transfer codings must be refused, not read as an
+        // empty body (keep-alive desynchronization).
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn percent_decoding_handles_edge_cases() {
+        assert_eq!(percent_decode("a%20b+c"), "a b c");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode("%C3%A9"), "é");
+    }
+
+    #[test]
+    fn response_framing() {
+        let mut out = Vec::new();
+        Response::json(200, "{}").write_to(&mut out, true).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"), "{s}");
+        assert!(s.contains("Content-Length: 2\r\n"));
+        assert!(s.contains("Connection: keep-alive"));
+        assert!(s.ends_with("\r\n\r\n{}"));
+    }
+}

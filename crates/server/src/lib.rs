@@ -1,0 +1,666 @@
+//! # The alignment-serving daemon (`paris serve`)
+//!
+//! The seed reproduced PARIS as a batch CLI: parse two RDF files, align,
+//! print, exit. This crate is the serving half of the system: a
+//! long-lived HTTP/1.1 daemon that loads an aligned-pair snapshot
+//! (computed once by `paris snapshot`) and answers alignment queries from
+//! an [`Arc`]-shared, immutable, fully-indexed in-memory image —
+//! startup in milliseconds, reads without locks.
+//!
+//! Built entirely on `std::net` (the workspace takes no external
+//! dependencies): a fixed pool of worker threads pulls accepted
+//! connections from a channel and speaks the minimal HTTP/1.1 subset in
+//! [`http`].
+//!
+//! ## Endpoints
+//!
+//! | route | method | answer |
+//! |---|---|---|
+//! | `/healthz` | GET | liveness + uptime |
+//! | `/stats` | GET | KB + alignment statistics |
+//! | `/sameas?iri=…[&side=left\|right][&threshold=θ]` | GET | best match of an instance, with score |
+//! | `/neighbors?iri=…[&side=…][&limit=n]` | GET | facts around an entity |
+//! | `/align` | POST | enqueue a batch job over two single-KB snapshots |
+//! | `/jobs/<id>` | GET | job status / outcome |
+
+pub mod http;
+pub mod jobs;
+pub mod json;
+
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+
+use paris_core::AlignedPairSnapshot;
+use paris_kb::{EntityId, Kb, KbStats};
+
+use http::{ParseError, Request, Response};
+use jobs::{JobRequest, JobStore};
+
+pub use jobs::{JobOutcome, JobState};
+
+/// Server tuning knobs.
+///
+/// **Trust model:** the daemon has no authentication. `POST /align`
+/// makes the server read and write server-local snapshot paths named by
+/// the client, so it is only safe for trusted peers — keep the default
+/// loopback bind, or disable the endpoint (`enable_jobs: false` /
+/// `paris serve --no-jobs`) before exposing the read-only query routes
+/// more widely.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7070` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub threads: usize,
+    /// Whether `POST /align` (filesystem-touching batch jobs) is served.
+    pub enable_jobs: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7070".to_owned(),
+            threads: 4,
+            enable_jobs: true,
+        }
+    }
+}
+
+/// Shared immutable serving state: the snapshot plus counters.
+struct ServeState {
+    snapshot: AlignedPairSnapshot,
+    /// Assigned KB-1 instances, computed once at bind time — the snapshot
+    /// is immutable, so `/stats` must not rescan the assignment per hit.
+    aligned_instances: usize,
+    /// Pre-rendered KB statistics (also immutable, also per-hit otherwise).
+    kb1_stats_json: String,
+    kb2_stats_json: String,
+    started: Instant,
+    requests: AtomicU64,
+    jobs: Arc<JobStore>,
+    /// Whether `POST /align` is served (see [`ServerConfig::enable_jobs`]).
+    jobs_enabled: bool,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServeState>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Handle to a server running on a background thread (used by tests and
+/// benches; production callers use [`Server::run`]).
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread. Worker threads
+    /// finish their in-flight connection and exit.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Server {
+    /// Binds the listener and prepares the shared state.
+    pub fn bind(snapshot: AlignedPairSnapshot, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let aligned_instances = snapshot.alignment.instance_pairs(&snapshot.kb1).len();
+        let kb1_stats_json = kb_stats_json(&snapshot.kb1);
+        let kb2_stats_json = kb_stats_json(&snapshot.kb2);
+        Ok(Server {
+            listener,
+            state: Arc::new(ServeState {
+                snapshot,
+                aligned_instances,
+                kb1_stats_json,
+                kb2_stats_json,
+                started: Instant::now(),
+                requests: AtomicU64::new(0),
+                jobs: Arc::new(JobStore::new()),
+                jobs_enabled: config.enable_jobs,
+            }),
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The address actually bound (resolves `:0`).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop on the current thread until shut down.
+    ///
+    /// Connections are handed to a fixed pool of worker threads over a
+    /// channel; each worker serves its connection keep-alive style until
+    /// the client closes.
+    pub fn run(self) -> std::io::Result<()> {
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers: Vec<_> = (0..self.config.threads.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let state = Arc::clone(&self.state);
+                std::thread::Builder::new()
+                    .name(format!("paris-serve-worker-{i}"))
+                    .spawn(move || loop {
+                        let conn = match rx.lock().expect("worker queue lock").recv() {
+                            Ok(c) => c,
+                            Err(_) => return, // acceptor gone: shut down
+                        };
+                        serve_connection(&state, conn);
+                    })
+                    .expect("spawning worker thread")
+            })
+            .collect();
+
+        for conn in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match conn {
+                Ok(stream) => {
+                    // If every worker died the channel is closed; stop.
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                // Transient accept failures (aborted handshakes, fd
+                // exhaustion under a connection burst) must not bring the
+                // daemon down; back off briefly and keep serving.
+                Err(e) if e.kind() == std::io::ErrorKind::ConnectionAborted => continue,
+                Err(_) => {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    continue;
+                }
+            }
+        }
+        drop(tx);
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+
+    /// Starts [`run`](Self::run) on a background thread.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let shutdown = Arc::clone(&self.shutdown);
+        let thread = std::thread::Builder::new()
+            .name("paris-serve-acceptor".to_owned())
+            .spawn(move || {
+                let _ = self.run();
+            })?;
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// How long a worker waits for (the next) request on a connection before
+/// reclaiming itself. Without this, `threads` idle connections would pin
+/// the whole fixed pool forever.
+const IDLE_CONNECTION_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
+
+fn serve_connection(state: &ServeState, stream: TcpStream) {
+    // Responses are written in one buffered flush; disabling Nagle keeps
+    // keep-alive request/response turnarounds from hitting the delayed-ACK
+    // stall (~40 ms per exchange on Linux).
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(IDLE_CONNECTION_TIMEOUT));
+    let peer_writable = stream.try_clone();
+    let Ok(write_half) = peer_writable else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+    loop {
+        match http::read_request(&mut reader) {
+            Ok(request) => {
+                state.requests.fetch_add(1, Ordering::Relaxed);
+                let keep_alive = !request.wants_close();
+                let response = route(state, &request);
+                if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Err(ParseError::ConnectionClosed) => return,
+            Err(ParseError::Io(_)) => return,
+            Err(ParseError::Malformed(msg)) => {
+                let body = json::Object::new().str("error", &msg).build();
+                let _ = Response::json(400, body).write_to(&mut writer, false);
+                return;
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Routing
+// ----------------------------------------------------------------------
+
+fn route(state: &ServeState, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => healthz(state),
+        ("GET", "/stats") => stats(state),
+        ("GET", "/sameas") => sameas(state, req),
+        ("GET", "/neighbors") => neighbors(state, req),
+        ("POST", "/align") => submit_align(state, req),
+        ("GET", path) if path.starts_with("/jobs/") => job_status(state, &path["/jobs/".len()..]),
+        ("GET", _) => error(404, &format!("no such route {}", req.path)),
+        (method, _) => error(405, &format!("method {method} not supported")),
+    }
+}
+
+fn error(status: u16, message: &str) -> Response {
+    Response::json(status, json::Object::new().str("error", message).build())
+}
+
+fn healthz(state: &ServeState) -> Response {
+    Response::json(
+        200,
+        json::Object::new()
+            .str("status", "ok")
+            .num("uptime_seconds", state.started.elapsed().as_secs_f64())
+            .int("requests", state.requests.load(Ordering::Relaxed))
+            .build(),
+    )
+}
+
+fn kb_stats_json(kb: &Kb) -> String {
+    let s = KbStats::of(kb);
+    json::Object::new()
+        .str("name", &s.name)
+        .int("instances", s.instances as u64)
+        .int("classes", s.classes as u64)
+        .int("relations", s.relations as u64)
+        .int("facts", s.facts as u64)
+        .int("literals", s.literals as u64)
+        .build()
+}
+
+fn stats(state: &ServeState) -> Response {
+    let alignment = &state.snapshot.alignment;
+    Response::json(
+        200,
+        json::Object::new()
+            .raw("kb1", state.kb1_stats_json.clone())
+            .raw("kb2", state.kb2_stats_json.clone())
+            .int("aligned_instances", state.aligned_instances as u64)
+            .int(
+                "instance_equivalences",
+                alignment.num_instance_pairs() as u64,
+            )
+            .int("literal_pairs", alignment.literal_pairs as u64)
+            .int("iterations", alignment.iterations.len() as u64)
+            .bool("converged", alignment.converged)
+            .int("jobs_submitted", state.jobs.submitted())
+            .build(),
+    )
+}
+
+/// Which KB an `iri` query refers to.
+enum Side {
+    Left,
+    Right,
+}
+
+fn parse_side(req: &Request) -> Result<Side, Response> {
+    match req.query_param("side") {
+        None | Some("left") => Ok(Side::Left),
+        Some("right") => Ok(Side::Right),
+        Some(other) => Err(error(
+            400,
+            &format!("side must be left or right, not '{other}'"),
+        )),
+    }
+}
+
+fn require_iri(req: &Request) -> Result<&str, Response> {
+    req.query_param("iri")
+        .filter(|s| !s.is_empty())
+        .ok_or_else(|| error(400, "missing required query parameter 'iri'"))
+}
+
+fn sameas(state: &ServeState, req: &Request) -> Response {
+    let iri = match require_iri(req) {
+        Ok(v) => v,
+        Err(e) => return e,
+    };
+    let side = match parse_side(req) {
+        Ok(s) => s,
+        Err(e) => return e,
+    };
+    let threshold: f64 = match req.query_param("threshold").map(str::parse).transpose() {
+        Ok(t) => t.unwrap_or(0.0),
+        Err(_) => return error(400, "threshold must be a number"),
+    };
+
+    let snap = &state.snapshot;
+    let (dst, best): (&Kb, Option<(EntityId, f64)>) = match side {
+        Side::Left => {
+            let Some(x) = snap.kb1.entity_by_iri(iri) else {
+                return error(404, &format!("unknown IRI {iri} in {}", snap.kb1.name()));
+            };
+            (&snap.kb2, snap.alignment.best_match(x))
+        }
+        Side::Right => {
+            let Some(x2) = snap.kb2.entity_by_iri(iri) else {
+                return error(404, &format!("unknown IRI {iri} in {}", snap.kb2.name()));
+            };
+            (&snap.kb1, snap.alignment.best_match_rev(x2))
+        }
+    };
+    match best.filter(|&(_, p)| p >= threshold) {
+        Some((e, p)) => {
+            let matched = dst
+                .iri(e)
+                .map(|i| i.as_str().to_owned())
+                .unwrap_or_default();
+            Response::json(
+                200,
+                json::Object::new()
+                    .str("iri", iri)
+                    .str("sameas", &matched)
+                    .num("score", p)
+                    .build(),
+            )
+        }
+        None => Response::json(
+            200,
+            json::Object::new()
+                .str("iri", iri)
+                .raw("sameas", "null")
+                .num("score", 0.0)
+                .build(),
+        ),
+    }
+}
+
+fn neighbors(state: &ServeState, req: &Request) -> Response {
+    let iri = match require_iri(req) {
+        Ok(v) => v,
+        Err(e) => return e,
+    };
+    let side = match parse_side(req) {
+        Ok(s) => s,
+        Err(e) => return e,
+    };
+    let limit: usize = match req.query_param("limit").map(str::parse).transpose() {
+        Ok(l) => l.unwrap_or(50),
+        Err(_) => return error(400, "limit must be an integer"),
+    };
+    let kb: &Kb = match side {
+        Side::Left => &state.snapshot.kb1,
+        Side::Right => &state.snapshot.kb2,
+    };
+    let Some(e) = kb.entity_by_iri(iri) else {
+        return error(404, &format!("unknown IRI {iri} in {}", kb.name()));
+    };
+    let facts = kb.facts(e);
+    let rendered = facts.iter().take(limit).map(|&(r, y)| {
+        json::Object::new()
+            .str("relation", kb.relation_iri(r).as_str())
+            .bool("inverse", r.is_inverse())
+            .str("value", &kb.term(y).to_string())
+            .num("functionality", kb.functionality(r))
+            .build()
+    });
+    Response::json(
+        200,
+        json::Object::new()
+            .str("iri", iri)
+            .int("total_facts", facts.len() as u64)
+            .raw("facts", json::array(rendered))
+            .build(),
+    )
+}
+
+fn submit_align(state: &ServeState, req: &Request) -> Response {
+    if !state.jobs_enabled {
+        return error(
+            403,
+            "alignment jobs are disabled on this server (--no-jobs)",
+        );
+    }
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(b) => b,
+        Err(_) => return error(400, "body must be UTF-8 form data"),
+    };
+    let params = http::parse_query(body.trim());
+    let get = |name: &str| {
+        params
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.clone())
+            .filter(|v| !v.is_empty())
+    };
+    let (Some(left), Some(right)) = (get("left"), get("right")) else {
+        return error(
+            400,
+            "POST /align needs 'left' and 'right' snapshot paths (form-encoded)",
+        );
+    };
+    let max_iterations = match get("max_iterations")
+        .map(|v| v.parse::<usize>())
+        .transpose()
+    {
+        Ok(v) => v,
+        Err(_) => return error(400, "max_iterations must be an integer"),
+    };
+    let id = state.jobs.submit(JobRequest {
+        left,
+        right,
+        out: get("out"),
+        max_iterations,
+    });
+    Response::json(
+        202,
+        json::Object::new()
+            .int("job", id)
+            .str("poll", &format!("/jobs/{id}"))
+            .build(),
+    )
+}
+
+fn job_status(state: &ServeState, id: &str) -> Response {
+    let Ok(id) = id.parse::<u64>() else {
+        return error(400, "job id must be an integer");
+    };
+    let Some(job) = state.jobs.get(id) else {
+        return error(404, &format!("no job {id}"));
+    };
+    let mut obj = json::Object::new()
+        .int("job", id)
+        .str("status", job.label());
+    match job {
+        JobState::Done(outcome) => {
+            obj = obj
+                .int("aligned_instances", outcome.aligned_instances as u64)
+                .int("iterations", outcome.iterations as u64)
+                .bool("converged", outcome.converged)
+                .num("seconds", outcome.seconds);
+            if let Some(out) = &outcome.out_path {
+                obj = obj.str("out", out);
+            }
+        }
+        JobState::Failed(message) => obj = obj.str("error", &message),
+        JobState::Queued | JobState::Running => {}
+    }
+    Response::json(200, obj.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paris_core::{Aligner, OwnedAlignment, ParisConfig};
+    use paris_kb::KbBuilder;
+    use paris_rdf::Literal;
+
+    fn tiny_snapshot() -> AlignedPairSnapshot {
+        let mut a = KbBuilder::new("left");
+        let mut b = KbBuilder::new("right");
+        for i in 0..3 {
+            a.add_literal_fact(
+                format!("http://a/p{i}"),
+                "http://a/email",
+                Literal::plain(format!("p{i}@x.org")),
+            );
+            b.add_literal_fact(
+                format!("http://b/q{i}"),
+                "http://b/mail",
+                Literal::plain(format!("p{i}@x.org")),
+            );
+        }
+        let (kb1, kb2) = (a.build(), b.build());
+        let owned = {
+            let result = Aligner::new(&kb1, &kb2, ParisConfig::default()).run();
+            OwnedAlignment::from_result(&result)
+        };
+        AlignedPairSnapshot::new(kb1, kb2, owned)
+    }
+
+    fn state() -> ServeState {
+        let snapshot = tiny_snapshot();
+        let aligned_instances = snapshot.alignment.instance_pairs(&snapshot.kb1).len();
+        let kb1_stats_json = kb_stats_json(&snapshot.kb1);
+        let kb2_stats_json = kb_stats_json(&snapshot.kb2);
+        ServeState {
+            snapshot,
+            aligned_instances,
+            kb1_stats_json,
+            kb2_stats_json,
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            jobs: Arc::new(JobStore::new()),
+            jobs_enabled: true,
+        }
+    }
+
+    fn get(path_and_query: &str) -> Request {
+        let (path, q) = match path_and_query.split_once('?') {
+            Some((p, q)) => (p, http::parse_query(q)),
+            None => (path_and_query, Vec::new()),
+        };
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            query: q,
+            headers: Vec::new(),
+            body: Vec::new(),
+            http10: false,
+        }
+    }
+
+    #[test]
+    fn healthz_and_stats_respond() {
+        let s = state();
+        assert_eq!(route(&s, &get("/healthz")).status, 200);
+        let stats = route(&s, &get("/stats"));
+        assert_eq!(stats.status, 200);
+        let body = String::from_utf8(stats.body).unwrap();
+        assert!(body.contains("\"aligned_instances\":3"), "{body}");
+    }
+
+    #[test]
+    fn sameas_finds_the_alignment() {
+        let s = state();
+        let r = route(&s, &get("/sameas?iri=http://a/p1"));
+        assert_eq!(r.status, 200);
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("http://b/q1"), "{body}");
+
+        let rev = route(&s, &get("/sameas?iri=http://b/q2&side=right"));
+        let body = String::from_utf8(rev.body).unwrap();
+        assert!(body.contains("http://a/p2"), "{body}");
+    }
+
+    #[test]
+    fn sameas_threshold_suppresses_match() {
+        let s = state();
+        let r = route(&s, &get("/sameas?iri=http://a/p1&threshold=1.01"));
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("\"sameas\":null"), "{body}");
+    }
+
+    #[test]
+    fn unknown_iri_is_404() {
+        let s = state();
+        assert_eq!(route(&s, &get("/sameas?iri=http://a/nope")).status, 404);
+        assert_eq!(route(&s, &get("/sameas")).status, 400);
+        assert_eq!(
+            route(&s, &get("/sameas?iri=http://a/p0&side=middle")).status,
+            400
+        );
+    }
+
+    #[test]
+    fn neighbors_lists_facts() {
+        let s = state();
+        let r = route(&s, &get("/neighbors?iri=http://a/p0"));
+        assert_eq!(r.status, 200);
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("http://a/email"), "{body}");
+        assert!(body.contains("p0@x.org"), "{body}");
+    }
+
+    #[test]
+    fn unknown_route_and_method() {
+        let s = state();
+        assert_eq!(route(&s, &get("/nope")).status, 404);
+        let mut del = get("/stats");
+        del.method = "DELETE".into();
+        assert_eq!(route(&s, &del).status, 405);
+    }
+
+    #[test]
+    fn align_requires_paths() {
+        let s = state();
+        let mut post = get("/align");
+        post.method = "POST".into();
+        post.body = b"left=".to_vec();
+        assert_eq!(route(&s, &post).status, 400);
+    }
+
+    #[test]
+    fn disabled_jobs_refuse_align() {
+        let mut s = state();
+        s.jobs_enabled = false;
+        let mut post = get("/align");
+        post.method = "POST".into();
+        post.body = b"left=a.snap&right=b.snap".to_vec();
+        let r = route(&s, &post);
+        assert_eq!(r.status, 403);
+        assert_eq!(s.jobs.submitted(), 0);
+        // Read-only routes keep working.
+        assert_eq!(route(&s, &get("/healthz")).status, 200);
+    }
+
+    #[test]
+    fn job_status_validation() {
+        let s = state();
+        assert_eq!(route(&s, &get("/jobs/abc")).status, 400);
+        assert_eq!(route(&s, &get("/jobs/7")).status, 404);
+    }
+}

@@ -8,9 +8,7 @@
 //! Run: `cargo run --release --example benchmark_alignment`
 
 use paris_repro::datagen::persons::{generate, PersonsConfig};
-use paris_repro::eval::{
-    evaluate_classes_1to2, evaluate_instances, evaluate_relations,
-};
+use paris_repro::eval::{evaluate_classes_1to2, evaluate_instances, evaluate_relations};
 use paris_repro::paris::{Aligner, ParisConfig};
 
 fn main() {
@@ -32,10 +30,20 @@ fn main() {
         );
     });
 
-    println!("\ninstances: {}", evaluate_instances(&result, &pair.gold).summary());
-    println!("classes:   {}", evaluate_classes_1to2(&result, &pair.gold, 0.4).summary());
+    println!(
+        "\ninstances: {}",
+        evaluate_instances(&result, &pair.gold).summary()
+    );
+    println!(
+        "classes:   {}",
+        evaluate_classes_1to2(&result, &pair.gold, 0.4).summary()
+    );
     let (rel_12, rel_21) = evaluate_relations(&result, &pair.gold);
-    println!("relations: {} (→) / {} (←)", rel_12.counts.summary(), rel_21.counts.summary());
+    println!(
+        "relations: {} (→) / {} (←)",
+        rel_12.counts.summary(),
+        rel_21.counts.summary()
+    );
 
     println!("\ntop relation alignments:");
     for (sub, sup, p) in result.relation_alignments_1to2(0.5).into_iter().take(8) {

@@ -20,9 +20,17 @@ fn main() {
     let candidates: Vec<(&str, LiteralSimilarity)> = vec![
         ("identity (paper default)", LiteralSimilarity::Identity),
         ("normalized (paper §6.3)", LiteralSimilarity::Normalized),
-        ("edit distance ≥ 0.8", LiteralSimilarity::EditDistance { min_similarity: 0.8 }),
+        (
+            "edit distance ≥ 0.8",
+            LiteralSimilarity::EditDistance {
+                min_similarity: 0.8,
+            },
+        ),
         ("token sort", LiteralSimilarity::TokenSort),
-        ("numeric ±5%", LiteralSimilarity::NumericProportional { tolerance: 0.05 }),
+        (
+            "numeric ±5%",
+            LiteralSimilarity::NumericProportional { tolerance: 0.05 },
+        ),
     ];
 
     println!(

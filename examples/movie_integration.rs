@@ -35,15 +35,16 @@ fn main() {
     let correct = baseline
         .pairs
         .iter()
-        .filter(|&&(e1, e2)| {
-            match (pair.kb1.iri(e1), pair.kb2.iri(e2)) {
-                (Some(a), Some(b)) => gold.contains(&(a.as_str(), b.as_str())),
-                _ => false,
-            }
+        .filter(|&&(e1, e2)| match (pair.kb1.iri(e1), pair.kb2.iri(e2)) {
+            (Some(a), Some(b)) => gold.contains(&(a.as_str(), b.as_str())),
+            _ => false,
         })
         .count();
-    let base_counts =
-        Counts::new(correct, baseline.pairs.len() - correct, gold.len() - correct);
+    let base_counts = Counts::new(
+        correct,
+        baseline.pairs.len() - correct,
+        gold.len() - correct,
+    );
     println!("\nlabel baseline: {}", base_counts.summary());
 
     // ---- PARIS ------------------------------------------------------------

@@ -22,11 +22,27 @@ fn main() {
     ] {
         let p = format!("http://curated.org/{person}");
         a.add_type(p.as_str(), "http://curated.org/Person");
-        a.add_literal_fact(p.as_str(), "http://curated.org/email", Literal::plain(email));
-        a.add_fact(p.as_str(), "http://curated.org/livesIn", format!("http://curated.org/{city}"));
+        a.add_literal_fact(
+            p.as_str(),
+            "http://curated.org/email",
+            Literal::plain(email),
+        );
+        a.add_fact(
+            p.as_str(),
+            "http://curated.org/livesIn",
+            format!("http://curated.org/{city}"),
+        );
     }
-    a.add_literal_fact("http://curated.org/paris", "http://curated.org/name", Literal::plain("Paris"));
-    a.add_literal_fact("http://curated.org/lyon", "http://curated.org/name", Literal::plain("Lyon"));
+    a.add_literal_fact(
+        "http://curated.org/paris",
+        "http://curated.org/name",
+        Literal::plain("Paris"),
+    );
+    a.add_literal_fact(
+        "http://curated.org/lyon",
+        "http://curated.org/name",
+        Literal::plain("Lyon"),
+    );
     a.add_type("http://curated.org/paris", "http://curated.org/City");
     a.add_type("http://curated.org/lyon", "http://curated.org/City");
 
@@ -40,12 +56,28 @@ fn main() {
     ] {
         let p = format!("http://extracted.net/{id}");
         b.add_type(p.as_str(), "http://extracted.net/Agent");
-        b.add_literal_fact(p.as_str(), "http://extracted.net/mbox", Literal::plain(email));
+        b.add_literal_fact(
+            p.as_str(),
+            "http://extracted.net/mbox",
+            Literal::plain(email),
+        );
         // Inverted direction: city → resident.
-        b.add_fact(format!("http://extracted.net/{city}"), "http://extracted.net/resident", p.as_str());
+        b.add_fact(
+            format!("http://extracted.net/{city}"),
+            "http://extracted.net/resident",
+            p.as_str(),
+        );
     }
-    b.add_literal_fact("http://extracted.net/c1", "http://extracted.net/label", Literal::plain("Paris"));
-    b.add_literal_fact("http://extracted.net/c2", "http://extracted.net/label", Literal::plain("Lyon"));
+    b.add_literal_fact(
+        "http://extracted.net/c1",
+        "http://extracted.net/label",
+        Literal::plain("Paris"),
+    );
+    b.add_literal_fact(
+        "http://extracted.net/c2",
+        "http://extracted.net/label",
+        Literal::plain("Lyon"),
+    );
     b.add_type("http://extracted.net/c1", "http://extracted.net/Settlement");
     b.add_type("http://extracted.net/c2", "http://extracted.net/Settlement");
 

@@ -7,6 +7,8 @@
 //! paris align left.nt right.nt --sameas links.nt     # align two RDF files
 //! paris stats dump.nt                                # Table-2-style statistics
 //! paris generate movies --out /tmp/movies            # emit a benchmark pair
+//! paris snapshot left.nt right.nt --out pair.snap    # align once, persist
+//! paris serve pair.snap --addr 127.0.0.1:7070        # serve the alignment
 //! ```
 //!
 //! Arguments are parsed by hand — the tool's surface is small and the
@@ -29,6 +31,9 @@ USAGE:
   paris align <LEFT> <RIGHT> [OPTIONS]
   paris stats <FILE>...
   paris generate <persons|restaurants|encyclopedia|movies> --out <DIR> [--seed N] [--scale N]
+  paris snapshot <LEFT> <RIGHT> --out <FILE.snap> [CONFIG OPTIONS]
+  paris snapshot <FILE> --out <FILE.snap>
+  paris serve <FILE.snap> [--addr HOST:PORT] [--threads N] [--no-jobs]
 
 Input files may be N-Triples (.nt), Turtle (.ttl/.turtle), or tab-separated
 facts (.tsv: subject TAB relation TAB object, quoted objects are literals).
@@ -48,6 +53,34 @@ ALIGN OPTIONS:
   --relations             print relation alignments
   --classes               print class alignments
   --explain <IRI1> <IRI2> print the evidence for one candidate pair
+
+SNAPSHOT:
+  With two inputs: parse both, run the full alignment, and write a
+  versioned binary aligned-pair snapshot (KBs + alignment) to --out.
+  With one input: write a single-KB snapshot (the unit POST /align jobs
+  consume). Snapshots load in milliseconds — no re-parsing, no re-aligning.
+  CONFIG OPTIONS are the algorithm-configuration subset of ALIGN OPTIONS:
+  --literals, --theta, --truncation, --max-iterations, --threads,
+  --negative-evidence, --propagate-all. Output options (--threshold,
+  --sameas, --gold, …) do not apply: the snapshot stores all scores.
+
+SERVE:
+  Load an aligned-pair snapshot and serve it over HTTP/1.1:
+    GET  /healthz                 liveness
+    GET  /stats                   KB + alignment statistics
+    GET  /sameas?iri=I            best match of an instance (&side=right,
+                                  &threshold=T to filter by score)
+    GET  /neighbors?iri=I         facts around an entity (&limit=N)
+    POST /align                   enqueue alignment of two single-KB
+                                  snapshots (form fields left=, right=,
+                                  optional out=, max_iterations=)
+    GET  /jobs/<id>               poll a job
+  --addr <HOST:PORT>      bind address             [default: 127.0.0.1:7070]
+  --threads <N>           request worker threads   [default: 4]
+  --no-jobs               disable POST /align (jobs read and write
+                          server-local snapshot paths named by the client;
+                          there is no authentication — keep the loopback
+                          bind or pass --no-jobs on exposed interfaces)
 ";
 
 fn main() -> ExitCode {
@@ -67,6 +100,8 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("align") => align(&args[1..]),
         Some("stats") => stats(&args[1..]),
         Some("generate") => generate(&args[1..]),
+        Some("snapshot") => snapshot(&args[1..]),
+        Some("serve") => serve(&args[1..]),
         Some("--help") | Some("-h") | None => {
             println!("{USAGE}");
             Ok(())
@@ -95,18 +130,61 @@ fn parse_literals(spec: &str) -> Result<LiteralSimilarity, String> {
         "tokensort" => Ok(LiteralSimilarity::TokenSort),
         other => {
             if let Some(min) = other.strip_prefix("edit:") {
-                let min: f64 =
-                    min.parse().map_err(|_| format!("bad edit threshold '{min}'"))?;
-                Ok(LiteralSimilarity::EditDistance { min_similarity: min })
+                let min: f64 = min
+                    .parse()
+                    .map_err(|_| format!("bad edit threshold '{min}'"))?;
+                Ok(LiteralSimilarity::EditDistance {
+                    min_similarity: min,
+                })
             } else if let Some(tol) = other.strip_prefix("numeric:") {
-                let tol: f64 =
-                    tol.parse().map_err(|_| format!("bad numeric tolerance '{tol}'"))?;
+                let tol: f64 = tol
+                    .parse()
+                    .map_err(|_| format!("bad numeric tolerance '{tol}'"))?;
                 Ok(LiteralSimilarity::NumericProportional { tolerance: tol })
             } else {
                 Err(format!("unknown literal similarity '{other}'"))
             }
         }
     }
+}
+
+/// One flag of the shared `ParisConfig` surface (`--literals`, `--theta`,
+/// `--truncation`, `--max-iterations`, `--threads`, `--negative-evidence`,
+/// `--propagate-all`) — used identically by `paris align` and
+/// `paris snapshot` so the two subcommands cannot drift. Returns
+/// `Ok(false)` when `arg` is not a config flag.
+fn parse_config_flag(
+    arg: &str,
+    config: &mut ParisConfig,
+    mut value_of: impl FnMut(&str) -> Result<String, String>,
+) -> Result<bool, String> {
+    match arg {
+        "--literals" => config.literal_similarity = parse_literals(&value_of("--literals")?)?,
+        "--theta" => {
+            config.theta = value_of("--theta")?
+                .parse()
+                .map_err(|_| "bad --theta value".to_owned())?
+        }
+        "--truncation" => {
+            config.truncation = value_of("--truncation")?
+                .parse()
+                .map_err(|_| "bad --truncation value".to_owned())?
+        }
+        "--max-iterations" => {
+            config.max_iterations = value_of("--max-iterations")?
+                .parse()
+                .map_err(|_| "bad --max-iterations value".to_owned())?
+        }
+        "--threads" => {
+            config.threads = value_of("--threads")?
+                .parse()
+                .map_err(|_| "bad --threads value".to_owned())?
+        }
+        "--negative-evidence" => config.negative_evidence = true,
+        "--propagate-all" => config.propagate_all_equalities = true,
+        _ => return Ok(false),
+    }
+    Ok(true)
 }
 
 fn parse_align(args: &[String]) -> Result<AlignOptions, String> {
@@ -122,32 +200,14 @@ fn parse_align(args: &[String]) -> Result<AlignOptions, String> {
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         let mut value_of = |name: &str| {
-            iter.next().ok_or_else(|| format!("{name} requires a value")).cloned()
+            iter.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+                .cloned()
         };
+        if parse_config_flag(arg, &mut config, &mut value_of)? {
+            continue;
+        }
         match arg.as_str() {
-            "--literals" => config.literal_similarity = parse_literals(&value_of("--literals")?)?,
-            "--theta" => {
-                config.theta = value_of("--theta")?
-                    .parse()
-                    .map_err(|_| "bad --theta value".to_owned())?
-            }
-            "--truncation" => {
-                config.truncation = value_of("--truncation")?
-                    .parse()
-                    .map_err(|_| "bad --truncation value".to_owned())?
-            }
-            "--max-iterations" => {
-                config.max_iterations = value_of("--max-iterations")?
-                    .parse()
-                    .map_err(|_| "bad --max-iterations value".to_owned())?
-            }
-            "--threads" => {
-                config.threads = value_of("--threads")?
-                    .parse()
-                    .map_err(|_| "bad --threads value".to_owned())?
-            }
-            "--negative-evidence" => config.negative_evidence = true,
-            "--propagate-all" => config.propagate_all_equalities = true,
             "--threshold" => {
                 threshold = value_of("--threshold")?
                     .parse()
@@ -159,10 +219,7 @@ fn parse_align(args: &[String]) -> Result<AlignOptions, String> {
             "--classes" => show_classes = true,
             "--explain" => {
                 let a = value_of("--explain")?;
-                let b = iter
-                    .next()
-                    .ok_or("--explain needs two IRIs")?
-                    .clone();
+                let b = iter.next().ok_or("--explain needs two IRIs")?.clone();
                 explain = Some((a, b));
             }
             flag if flag.starts_with("--") => return Err(format!("unknown option '{flag}'")),
@@ -207,7 +264,10 @@ fn align(args: &[String]) -> Result<(), String> {
     println!(
         "aligned {} instances ({} above threshold {})",
         pairs.len(),
-        pairs.iter().filter(|&&(_, _, p)| p >= opts.threshold).count(),
+        pairs
+            .iter()
+            .filter(|&&(_, _, p)| p >= opts.threshold)
+            .count(),
         opts.threshold,
     );
 
@@ -224,8 +284,15 @@ fn align(args: &[String]) -> Result<(), String> {
     if opts.show_classes {
         println!("\nclass alignments (left ⊆ right):");
         for s in result.classes.above_1to2(opts.threshold) {
-            let (Some(sub), Some(sup)) = (kb1.iri(s.sub), kb2.iri(s.sup)) else { continue };
-            println!("  {} ⊆ {}  {:.2}", sub.local_name(), sup.local_name(), s.prob);
+            let (Some(sub), Some(sup)) = (kb1.iri(s.sub), kb2.iri(s.sup)) else {
+                continue;
+            };
+            println!(
+                "  {} ⊆ {}  {:.2}",
+                sub.local_name(),
+                sup.local_name(),
+                s.prob
+            );
         }
     }
 
@@ -233,13 +300,21 @@ fn align(args: &[String]) -> Result<(), String> {
         let links = result.sameas_triples(opts.threshold);
         let doc = paris_repro::rdf::ntriples::to_string(&links);
         std::fs::write(path, doc).map_err(|e| format!("writing {}: {e}", path.display()))?;
-        println!("\nwrote {} owl:sameAs links to {}", links.len(), path.display());
+        println!(
+            "\nwrote {} owl:sameAs links to {}",
+            links.len(),
+            path.display()
+        );
     }
 
     if let Some(path) = &opts.gold {
         let gold = read_gold(path)?;
         let counts = score_against_gold(&result.instance_pairs(), &kb1, &kb2, &gold);
-        println!("\ngold standard ({} pairs): {}", gold.len(), counts.summary());
+        println!(
+            "\ngold standard ({} pairs): {}",
+            gold.len(),
+            counts.summary()
+        );
     }
 
     if let Some((iri1, iri2)) = &opts.explain {
@@ -251,13 +326,50 @@ fn align(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn load(path: &Path) -> Result<Kb, String> {
-    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("kb").to_owned();
-    let is_tsv = path
+/// Input formats `paris align` / `paris stats` / `paris snapshot` accept.
+const SUPPORTED_EXTENSIONS: [&str; 5] = ["nt", "ntriples", "ttl", "turtle", "tsv"];
+
+/// Checks that an input path exists and carries a supported extension,
+/// returning the lower-cased extension. Produces an error naming the file
+/// and the reason, instead of letting a parser fail obscurely later.
+fn check_input(path: &Path) -> Result<String, String> {
+    if !path.exists() {
+        return Err(format!(
+            "cannot read {}: no such file or directory",
+            path.display()
+        ));
+    }
+    if path.is_dir() {
+        return Err(format!(
+            "cannot read {}: is a directory, expected a file",
+            path.display()
+        ));
+    }
+    let ext = path
         .extension()
         .and_then(|e| e.to_str())
-        .is_some_and(|e| e.eq_ignore_ascii_case("tsv"));
-    let result = if is_tsv {
+        .map(str::to_ascii_lowercase);
+    match ext {
+        Some(e) if SUPPORTED_EXTENSIONS.contains(&e.as_str()) => Ok(e),
+        Some(e) => Err(format!(
+            "cannot read {}: unsupported extension '.{e}' (expected one of: .nt, .ntriples, .ttl, .turtle, .tsv)",
+            path.display()
+        )),
+        None => Err(format!(
+            "cannot read {}: missing file extension (expected one of: .nt, .ntriples, .ttl, .turtle, .tsv)",
+            path.display()
+        )),
+    }
+}
+
+fn load(path: &Path) -> Result<Kb, String> {
+    let ext = check_input(path)?;
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("kb")
+        .to_owned();
+    let result = if ext == "tsv" {
         // The paper's IMDb path: ad-hoc tabular facts → triples (§6.4).
         paris_repro::kb::tsv::kb_from_tsv_file(&name, path, &format!("urn:{name}:"))
     } else {
@@ -268,8 +380,8 @@ fn load(path: &Path) -> Result<Kb, String> {
 }
 
 fn read_gold(path: &Path) -> Result<Vec<(String, String)>, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
     let mut out = Vec::new();
     for (number, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -277,7 +389,11 @@ fn read_gold(path: &Path) -> Result<Vec<(String, String)>, String> {
             continue;
         }
         let Some((a, b)) = line.split_once('\t') else {
-            return Err(format!("{}:{}: expected two tab-separated IRIs", path.display(), number + 1));
+            return Err(format!(
+                "{}:{}: expected two tab-separated IRIs",
+                path.display(),
+                number + 1
+            ));
         };
         out.push((a.trim().to_owned(), b.trim().to_owned()));
     }
@@ -419,6 +535,123 @@ fn generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `paris snapshot`: persist one KB, or align a pair and persist the
+/// result, as a versioned binary snapshot.
+fn snapshot(args: &[String]) -> Result<(), String> {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut out: Option<PathBuf> = None;
+    let mut config = ParisConfig::default();
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |name: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+                .cloned()
+        };
+        if parse_config_flag(arg, &mut config, &mut value_of)? {
+            continue;
+        }
+        match arg.as_str() {
+            "--out" => out = Some(PathBuf::from(value_of("--out")?)),
+            flag if flag.starts_with("--") => return Err(format!("unknown option '{flag}'")),
+            _ => positional.push(arg),
+        }
+    }
+    let out = out.ok_or("snapshot needs --out <FILE.snap>")?;
+
+    let t0 = std::time::Instant::now();
+    match positional.as_slice() {
+        [single] => {
+            let kb = load(Path::new(single))?;
+            paris_repro::kb::snapshot::save_kb(&kb, &out)
+                .map_err(|e| format!("writing {}: {e}", out.display()))?;
+            println!(
+                "wrote single-KB snapshot of {} to {} ({} bytes, {:.2}s)",
+                KbStats::of(&kb),
+                out.display(),
+                file_size(&out),
+                t0.elapsed().as_secs_f64(),
+            );
+        }
+        [left, right] => {
+            let kb1 = load(Path::new(left))?;
+            let kb2 = load(Path::new(right))?;
+            eprintln!("loaded {}", KbStats::of(&kb1));
+            eprintln!("loaded {}", KbStats::of(&kb2));
+            let result = Aligner::new(&kb1, &kb2, config).run();
+            let aligned = result.instance_pairs().len();
+            let iterations = result.iterations.len();
+            let owned = result.detach();
+            paris_repro::paris::AlignedPairSnapshot::new(kb1, kb2, owned)
+                .save(&out)
+                .map_err(|e| format!("writing {}: {e}", out.display()))?;
+            println!(
+                "wrote aligned-pair snapshot to {} ({} bytes): {aligned} instances aligned in {iterations} iterations, {:.2}s total",
+                out.display(),
+                file_size(&out),
+                t0.elapsed().as_secs_f64(),
+            );
+        }
+        _ => {
+            return Err("snapshot needs one input file (KB snapshot) or two (aligned pair)".into())
+        }
+    }
+    Ok(())
+}
+
+fn file_size(path: &Path) -> u64 {
+    std::fs::metadata(path).map(|m| m.len()).unwrap_or(0)
+}
+
+/// `paris serve`: load an aligned-pair snapshot and serve it over HTTP.
+fn serve(args: &[String]) -> Result<(), String> {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut config = paris_repro::server::ServerConfig::default();
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |name: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+                .cloned()
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value_of("--addr")?,
+            "--threads" => {
+                config.threads = value_of("--threads")?
+                    .parse()
+                    .map_err(|_| "bad --threads value".to_owned())?
+            }
+            "--no-jobs" => config.enable_jobs = false,
+            flag if flag.starts_with("--") => return Err(format!("unknown option '{flag}'")),
+            _ => positional.push(arg),
+        }
+    }
+    let [snapshot_path] = positional.as_slice() else {
+        return Err("serve needs exactly one snapshot file".to_owned());
+    };
+
+    let t0 = std::time::Instant::now();
+    let snap = paris_repro::paris::AlignedPairSnapshot::load(snapshot_path)
+        .map_err(|e| format!("loading {snapshot_path}: {e}"))?;
+    eprintln!(
+        "loaded snapshot in {:.0} ms: {} / {} — {} aligned instances",
+        t0.elapsed().as_secs_f64() * 1000.0,
+        KbStats::of(&snap.kb1),
+        KbStats::of(&snap.kb2),
+        snap.alignment.instance_pairs(&snap.kb1).len(),
+    );
+
+    let server = paris_repro::server::Server::bind(snap, config)
+        .map_err(|e| format!("binding listener: {e}"))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| format!("resolving bound address: {e}"))?;
+    eprintln!("serving on http://{addr}  (try: curl 'http://{addr}/healthz')");
+    server.run().map_err(|e| format!("server error: {e}"))
+}
+
 fn gold_tsv(instances: &[(Iri, Iri)]) -> String {
     let mut s = String::from("# gold standard: <left IRI> TAB <right IRI>\n");
     for (a, b) in instances {
@@ -465,7 +698,9 @@ mod tests {
         .unwrap();
         assert_eq!(
             opts.config.literal_similarity,
-            LiteralSimilarity::EditDistance { min_similarity: 0.8 }
+            LiteralSimilarity::EditDistance {
+                min_similarity: 0.8
+            }
         );
         assert_eq!(opts.config.theta, 0.05);
         assert!(opts.config.negative_evidence);
@@ -483,15 +718,67 @@ mod tests {
 
     #[test]
     fn parse_literals_variants() {
-        assert_eq!(parse_literals("identity").unwrap(), LiteralSimilarity::Identity);
-        assert_eq!(parse_literals("normalized").unwrap(), LiteralSimilarity::Normalized);
-        assert_eq!(parse_literals("tokensort").unwrap(), LiteralSimilarity::TokenSort);
+        assert_eq!(
+            parse_literals("identity").unwrap(),
+            LiteralSimilarity::Identity
+        );
+        assert_eq!(
+            parse_literals("normalized").unwrap(),
+            LiteralSimilarity::Normalized
+        );
+        assert_eq!(
+            parse_literals("tokensort").unwrap(),
+            LiteralSimilarity::TokenSort
+        );
         assert_eq!(
             parse_literals("numeric:0.02").unwrap(),
             LiteralSimilarity::NumericProportional { tolerance: 0.02 }
         );
         assert!(parse_literals("nope").is_err());
         assert!(parse_literals("edit:abc").is_err());
+    }
+
+    #[test]
+    fn check_input_reports_missing_file_by_name() {
+        let err = check_input(Path::new("/definitely/not/here.nt")).unwrap_err();
+        assert!(err.contains("/definitely/not/here.nt"), "{err}");
+        assert!(err.contains("no such file"), "{err}");
+    }
+
+    #[test]
+    fn check_input_rejects_unsupported_extension() {
+        let path = std::env::temp_dir().join("paris_cli_input_test.docx");
+        std::fs::write(&path, "x").unwrap();
+        let err = check_input(&path).unwrap_err();
+        assert!(err.contains(".docx"), "{err}");
+        assert!(err.contains(".nt"), "lists the supported formats: {err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn check_input_rejects_missing_extension_and_dirs() {
+        let path = std::env::temp_dir().join("paris_cli_input_test_noext");
+        std::fs::write(&path, "x").unwrap();
+        let err = check_input(&path).unwrap_err();
+        assert!(err.contains("missing file extension"), "{err}");
+        std::fs::remove_file(&path).ok();
+
+        let err = check_input(&std::env::temp_dir()).unwrap_err();
+        assert!(err.contains("is a directory"), "{err}");
+    }
+
+    #[test]
+    fn check_input_accepts_supported_extensions() {
+        for ext in SUPPORTED_EXTENSIONS {
+            let path = std::env::temp_dir().join(format!("paris_cli_input_test.{ext}"));
+            std::fs::write(&path, "").unwrap();
+            assert_eq!(check_input(&path).unwrap(), ext);
+            std::fs::remove_file(&path).ok();
+        }
+        let upper = std::env::temp_dir().join("paris_cli_input_test.NT");
+        std::fs::write(&upper, "").unwrap();
+        assert_eq!(check_input(&upper).unwrap(), "nt");
+        std::fs::remove_file(&upper).ok();
     }
 
     #[test]

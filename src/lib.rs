@@ -15,7 +15,8 @@
 //! * [`datagen`] — synthetic dataset generators standing in for OAEI /
 //!   yago / DBpedia / IMDb,
 //! * [`eval`] — precision/recall/F evaluation and threshold curves,
-//! * [`baselines`] — the `rdfs:label` exact-match baseline.
+//! * [`baselines`] — the `rdfs:label` exact-match baseline,
+//! * [`server`] — the snapshot-backed alignment-serving HTTP daemon.
 //!
 //! # Quickstart
 //!
@@ -49,3 +50,4 @@ pub use paris_eval as eval;
 pub use paris_kb as kb;
 pub use paris_literals as literals;
 pub use paris_rdf as rdf;
+pub use paris_server as server;

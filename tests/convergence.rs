@@ -6,7 +6,10 @@ use paris_repro::paris::{Aligner, ParisConfig};
 
 #[test]
 fn max_iterations_is_respected() {
-    let pair = persons::generate(&PersonsConfig { num_persons: 30, ..Default::default() });
+    let pair = persons::generate(&PersonsConfig {
+        num_persons: 30,
+        ..Default::default()
+    });
     for cap in [1, 2, 3] {
         let config = ParisConfig {
             max_iterations: cap,
@@ -36,11 +39,25 @@ fn converged_state_is_a_fixpoint() {
     let long = Aligner::new(
         &pair.kb1,
         &pair.kb2,
-        ParisConfig { max_iterations: 8, convergence_change: 0.0, ..ParisConfig::default() },
+        ParisConfig {
+            max_iterations: 8,
+            convergence_change: 0.0,
+            ..ParisConfig::default()
+        },
     )
     .run();
-    let a: Vec<_> = short.instances.maximal_assignment().iter().map(|x| x.map(|(e, _)| e)).collect();
-    let b: Vec<_> = long.instances.maximal_assignment().iter().map(|x| x.map(|(e, _)| e)).collect();
+    let a: Vec<_> = short
+        .instances
+        .maximal_assignment()
+        .iter()
+        .map(|x| x.map(|(e, _)| e))
+        .collect();
+    let b: Vec<_> = long
+        .instances
+        .maximal_assignment()
+        .iter()
+        .map(|x| x.map(|(e, _)| e))
+        .collect();
     assert_eq!(a, b, "post-convergence iterations changed the assignment");
 }
 
@@ -48,7 +65,11 @@ fn converged_state_is_a_fixpoint() {
 fn change_fraction_decreases_broadly() {
     let pair = restaurants::generate(&RestaurantsConfig::default());
     let result = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
-    let changes: Vec<f64> = result.iterations.iter().map(|s| s.changed_fraction).collect();
+    let changes: Vec<f64> = result
+        .iterations
+        .iter()
+        .map(|s| s.changed_fraction)
+        .collect();
     assert!(changes.len() >= 2);
     assert!(
         changes.last().unwrap() < &0.02,
@@ -58,7 +79,10 @@ fn change_fraction_decreases_broadly() {
 
 #[test]
 fn iteration_stats_are_coherent() {
-    let pair = persons::generate(&PersonsConfig { num_persons: 40, ..Default::default() });
+    let pair = persons::generate(&PersonsConfig {
+        num_persons: 40,
+        ..Default::default()
+    });
     let result = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
     for s in &result.iterations {
         assert!(s.assigned_instances <= pair.kb1.num_instances());
@@ -80,8 +104,12 @@ fn damping_preserves_result_quality() {
     // converged answer on a well-behaved dataset.
     let pair = restaurants::generate(&RestaurantsConfig::default());
     let plain = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
-    let damped =
-        Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default().with_damping(0.5)).run();
+    let damped = Aligner::new(
+        &pair.kb1,
+        &pair.kb2,
+        ParisConfig::default().with_damping(0.5),
+    )
+    .run();
     let assignments = |r: &paris_repro::paris::AlignmentResult<'_>| {
         r.instances
             .maximal_assignment()
@@ -98,9 +126,17 @@ fn damping_preserves_result_quality() {
 
 #[test]
 fn damping_zero_is_identity() {
-    let pair = persons::generate(&PersonsConfig { num_persons: 25, ..Default::default() });
+    let pair = persons::generate(&PersonsConfig {
+        num_persons: 25,
+        ..Default::default()
+    });
     let a = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
-    let b = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default().with_damping(0.0)).run();
+    let b = Aligner::new(
+        &pair.kb1,
+        &pair.kb2,
+        ParisConfig::default().with_damping(0.0),
+    )
+    .run();
     assert_eq!(a.instances.num_pairs(), b.instances.num_pairs());
     assert_eq!(a.iterations.len(), b.iterations.len());
 }

@@ -17,10 +17,7 @@ fn identical_runs_are_bit_identical() {
     let b = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
     assert_eq!(assignments(&a), assignments(&b));
     assert_eq!(a.iterations.len(), b.iterations.len());
-    assert_eq!(
-        a.subrelations.num_entries(),
-        b.subrelations.num_entries()
-    );
+    assert_eq!(a.subrelations.num_entries(), b.subrelations.num_entries());
 }
 
 #[test]
@@ -40,21 +37,36 @@ fn theta_does_not_change_final_assignment() {
     });
     let reference: Vec<Option<EntityId>> = {
         let r = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
-        assignments(&r).into_iter().map(|a| a.map(|(e, _)| e)).collect()
+        assignments(&r)
+            .into_iter()
+            .map(|a| a.map(|(e, _)| e))
+            .collect()
     };
     for theta in [0.001, 0.01, 0.05, 0.2] {
-        let r =
-            Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default().with_theta(theta)).run();
-        let got: Vec<Option<EntityId>> =
-            assignments(&r).into_iter().map(|a| a.map(|(e, _)| e)).collect();
+        let r = Aligner::new(
+            &pair.kb1,
+            &pair.kb2,
+            ParisConfig::default().with_theta(theta),
+        )
+        .run();
+        let got: Vec<Option<EntityId>> = assignments(&r)
+            .into_iter()
+            .map(|a| a.map(|(e, _)| e))
+            .collect();
         assert_eq!(reference, got, "θ = {theta} changed the assignment");
     }
 }
 
 #[test]
 fn different_seeds_produce_different_data_same_quality() {
-    let a = restaurants::generate(&RestaurantsConfig { seed: 1, ..Default::default() });
-    let b = restaurants::generate(&RestaurantsConfig { seed: 2, ..Default::default() });
+    let a = restaurants::generate(&RestaurantsConfig {
+        seed: 1,
+        ..Default::default()
+    });
+    let b = restaurants::generate(&RestaurantsConfig {
+        seed: 2,
+        ..Default::default()
+    });
     // The structural sizes are seed-independent; the literal content is not.
     assert_ne!(
         paris_repro::kb::export::to_ntriples(&a.kb1),

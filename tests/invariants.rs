@@ -1,14 +1,18 @@
-//! Property-based invariants of the full pipeline on randomly generated
-//! knowledge-base pairs.
+//! Randomized invariants of the full pipeline on generated knowledge-base
+//! pairs. Cases are drawn from a seeded in-workspace RNG, so every run
+//! checks the same deterministic batch of random worlds.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
 use paris_repro::kb::{Kb, KbBuilder};
 use paris_repro::paris::{Aligner, ParisConfig};
 use paris_repro::rdf::Literal;
 
-/// A compact random-world model: `n` entities, `r` relations, literal
-/// values drawn from a pool whose size controls ambiguity.
+const CASES: u64 = 48;
+
+/// A compact random-world model: entity ids, relation ids, and literal
+/// values drawn from small pools whose sizes control ambiguity.
 #[derive(Clone, Debug)]
 struct RandomWorld {
     facts: Vec<(u8, u8, u8)>,
@@ -16,13 +20,33 @@ struct RandomWorld {
     types: Vec<(u8, u8)>,
 }
 
-fn arb_world() -> impl Strategy<Value = RandomWorld> {
-    (
-        proptest::collection::vec((any::<u8>(), 0u8..4, any::<u8>()), 0..60),
-        proptest::collection::vec((any::<u8>(), 4u8..8, 0u8..30), 0..60),
-        proptest::collection::vec((any::<u8>(), 0u8..5), 0..20),
-    )
-        .prop_map(|(facts, literal_facts, types)| RandomWorld { facts, literal_facts, types })
+fn random_world(rng: &mut StdRng) -> RandomWorld {
+    let facts = (0..rng.random_range(0usize..60))
+        .map(|_| {
+            (
+                rng.random_range(0u8..=255),
+                rng.random_range(0u8..4),
+                rng.random_range(0u8..=255),
+            )
+        })
+        .collect();
+    let literal_facts = (0..rng.random_range(0usize..60))
+        .map(|_| {
+            (
+                rng.random_range(0u8..=255),
+                rng.random_range(4u8..8),
+                rng.random_range(0u8..30),
+            )
+        })
+        .collect();
+    let types = (0..rng.random_range(0usize..20))
+        .map(|_| (rng.random_range(0u8..=255), rng.random_range(0u8..5)))
+        .collect();
+    RandomWorld {
+        facts,
+        literal_facts,
+        types,
+    }
 }
 
 /// Renders the world into one KB with a namespace — two renders of
@@ -44,76 +68,106 @@ fn render(world: &RandomWorld, ns: &str) -> Kb {
         );
     }
     for &(e, c) in &world.types {
-        b.add_type(format!("http://{ns}/e{}", e % 40), format!("http://{ns}/C{c}"));
+        b.add_type(
+            format!("http://{ns}/e{}", e % 40),
+            format!("http://{ns}/C{c}"),
+        );
     }
     b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every probability the algorithm produces is in [0, 1].
-    #[test]
-    fn all_scores_are_probabilities(wa in arb_world(), wb in arb_world()) {
-        let kb1 = render(&wa, "left");
-        let kb2 = render(&wb, "right");
+/// Every probability the algorithm produces is in [0, 1].
+#[test]
+fn all_scores_are_probabilities() {
+    let mut rng = StdRng::seed_from_u64(0xA11);
+    for case in 0..CASES {
+        let kb1 = render(&random_world(&mut rng), "left");
+        let kb2 = render(&random_world(&mut rng), "right");
         let config = ParisConfig::default().with_max_iterations(3);
         let result = Aligner::new(&kb1, &kb2, config).run();
 
         for x in kb1.entities() {
             for &(_, p) in result.instances.candidates(x) {
-                prop_assert!((0.0..=1.0).contains(&p), "instance prob {p}");
+                assert!((0.0..=1.0).contains(&p), "case {case}: instance prob {p}");
             }
         }
         for (_, _, p) in result.subrelations.alignments_1to2() {
-            prop_assert!((0.0..=1.0 + 1e-9).contains(&p), "subrel prob {p}");
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&p),
+                "case {case}: subrel prob {p}"
+            );
         }
         for (_, _, p) in result.subrelations.alignments_2to1() {
-            prop_assert!((0.0..=1.0 + 1e-9).contains(&p), "subrel prob {p}");
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&p),
+                "case {case}: subrel prob {p}"
+            );
         }
-        for s in result.classes.one_to_two.iter().chain(&result.classes.two_to_one) {
-            prop_assert!((0.0..=1.0).contains(&s.prob), "class prob {}", s.prob);
+        for s in result
+            .classes
+            .one_to_two
+            .iter()
+            .chain(&result.classes.two_to_one)
+        {
+            assert!(
+                (0.0..=1.0).contains(&s.prob),
+                "case {case}: class prob {}",
+                s.prob
+            );
         }
     }
+}
 
-    /// Functionalities are in (0, 1] for every variant.
-    #[test]
-    fn functionalities_in_unit_interval(w in arb_world()) {
-        let kb = render(&w, "x");
+/// Functionalities are in (0, 1] for every variant.
+#[test]
+fn functionalities_in_unit_interval() {
+    let mut rng = StdRng::seed_from_u64(0xF00);
+    for case in 0..CASES {
+        let kb = render(&random_world(&mut rng), "x");
         for variant in paris_repro::kb::FunctionalityVariant::ALL {
             for f in kb.functionalities_with(variant) {
-                prop_assert!(f > 0.0 && f <= 1.0, "{variant:?}: {f}");
+                assert!(f > 0.0 && f <= 1.0, "case {case}: {variant:?}: {f}");
             }
         }
     }
+}
 
-    /// Stored equivalences respect the truncation threshold.
-    #[test]
-    fn truncation_is_enforced(wa in arb_world(), wb in arb_world()) {
-        let kb1 = render(&wa, "left");
-        let kb2 = render(&wb, "right");
-        let config = ParisConfig::default().with_truncation(0.3).with_max_iterations(2);
-        let cutoff = config.effective_cutoff(true).min(config.effective_cutoff(false));
+/// Stored equivalences respect the truncation threshold.
+#[test]
+fn truncation_is_enforced() {
+    let mut rng = StdRng::seed_from_u64(0x7A0);
+    for case in 0..CASES {
+        let kb1 = render(&random_world(&mut rng), "left");
+        let kb2 = render(&random_world(&mut rng), "right");
+        let config = ParisConfig::default()
+            .with_truncation(0.3)
+            .with_max_iterations(2);
+        let cutoff = config
+            .effective_cutoff(true)
+            .min(config.effective_cutoff(false));
         let result = Aligner::new(&kb1, &kb2, config).run();
         for x in kb1.entities() {
             for &(_, p) in result.instances.candidates(x) {
-                prop_assert!(p >= cutoff, "stored {p} below cutoff {cutoff}");
+                assert!(p >= cutoff, "case {case}: stored {p} below cutoff {cutoff}");
             }
         }
     }
+}
 
-    /// The maximal assignment only contains entities of the right KBs and
-    /// is consistent with the stored candidates.
-    #[test]
-    fn maximal_assignment_is_consistent(wa in arb_world(), wb in arb_world()) {
-        let kb1 = render(&wa, "left");
-        let kb2 = render(&wb, "right");
+/// The maximal assignment only contains entities of the right KBs and is
+/// consistent with the stored candidates.
+#[test]
+fn maximal_assignment_is_consistent() {
+    let mut rng = StdRng::seed_from_u64(0x3A3);
+    for case in 0..CASES {
+        let kb1 = render(&random_world(&mut rng), "left");
+        let kb2 = render(&random_world(&mut rng), "right");
         let result = Aligner::new(&kb1, &kb2, ParisConfig::default().with_max_iterations(2)).run();
         let assignment = result.instances.maximal_assignment();
-        prop_assert_eq!(assignment.len(), kb1.num_entities());
+        assert_eq!(assignment.len(), kb1.num_entities());
         for (i, a) in assignment.iter().enumerate() {
             if let Some((e2, p)) = a {
-                prop_assert!(e2.index() < kb2.num_entities());
+                assert!(e2.index() < kb2.num_entities());
                 let x = paris_repro::kb::EntityId::from_index(i);
                 let best = result
                     .instances
@@ -121,16 +175,23 @@ proptest! {
                     .iter()
                     .map(|&(_, q)| q)
                     .fold(0.0f64, f64::max);
-                prop_assert!((best - p).abs() < 1e-12, "max {best} vs assigned {p}");
+                assert!(
+                    (best - p).abs() < 1e-12,
+                    "case {case}: max {best} vs assigned {p}"
+                );
             }
         }
     }
+}
 
-    /// The identity alignment: a world aligned against itself (different
-    /// namespaces) maps shared-literal entities onto themselves — and
-    /// never crosses two entities with disjoint literal sets.
-    #[test]
-    fn self_alignment_is_sane(w in arb_world()) {
+/// The identity alignment: a world aligned against itself (different
+/// namespaces) maps shared-literal entities onto themselves — and never
+/// crosses two entities with disjoint evidence.
+#[test]
+fn self_alignment_is_sane() {
+    let mut rng = StdRng::seed_from_u64(0x5E1F);
+    for case in 0..CASES {
+        let w = random_world(&mut rng);
         let kb1 = render(&w, "left");
         let kb2 = render(&w, "right");
         let result = Aligner::new(&kb1, &kb2, ParisConfig::default().with_max_iterations(3)).run();
@@ -153,13 +214,10 @@ proptest! {
                     .collect::<std::collections::BTreeSet<_>>()
             };
             let shared = lits(&kb1, x).intersection(&lits(&kb2, x2)).count();
-            let has_instance_neighbor = kb1
-                .facts(x)
-                .iter()
-                .any(|&(_, y)| kb1.literal(y).is_none());
-            prop_assert!(
+            let has_instance_neighbor = kb1.facts(x).iter().any(|&(_, y)| kb1.literal(y).is_none());
+            assert!(
                 shared > 0 || has_instance_neighbor,
-                "{id1} ≠ {id2} matched without any shared evidence"
+                "case {case}: {id1} ≠ {id2} matched without any shared evidence"
             );
         }
     }

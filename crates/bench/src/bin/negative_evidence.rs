@@ -5,7 +5,7 @@
 //! This made PARIS give up all matches between restaurants. The reason …
 //! most entities have slightly different attribute values (e.g., a phone
 //! number '213/467-1108' instead of '213-467-1108'). Therefore, we plugged
-//! in a different string equality measure [normalized]. This increased
+//! in a different string equality measure \[normalized]. This increased
 //! precision to 100 %, but decreased recall to 70 %."
 //!
 //! Run: `cargo run --release -p paris-bench --bin negative_evidence`

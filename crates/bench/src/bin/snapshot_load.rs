@@ -70,12 +70,14 @@ fn main() {
     let bytes = std::fs::metadata(&snap_path).map(|m| m.len()).unwrap_or(0);
     println!("snapshot size:                 {bytes} bytes");
 
-    // Snapshot path: what `paris serve` pays at startup.
-    let load = min_time(5, || {
+    // Snapshot path: what `paris serve` pays at startup. Loads are a few
+    // milliseconds, so scheduler noise dominates a small sample — take
+    // the min over more runs than the (much longer) cold path.
+    let load = min_time(10, || {
         let snap = AlignedPairSnapshot::load(&snap_path).expect("load snapshot");
         std::hint::black_box(snap.alignment.num_instance_pairs());
     });
-    println!("snapshot load (min of 5):      {}", fmt_duration(load));
+    println!("snapshot load (min of 10):     {}", fmt_duration(load));
 
     let speedup = cold.as_secs_f64() / load.as_secs_f64();
     println!("speedup:                       {speedup:.1}×");

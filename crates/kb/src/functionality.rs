@@ -83,42 +83,51 @@ fn direction_stats(group_sizes: &FxHashMap<EntityId, u32>) -> DirectionStats {
     }
 }
 
+/// Computes the global functionality of one base relation under `variant`,
+/// returning `(fun(r), fun(r⁻¹))`. A relation with no pairs gets `(1, 1)`
+/// (it contributes no evidence anyway, and `1.0` keeps products
+/// well-defined). Used both for the full up-front computation and to
+/// refresh only touched relations after a
+/// [`KbDelta`](crate::delta::KbDelta) is applied.
+pub fn functionality_of(kb: &Kb, base: usize, variant: FunctionalityVariant) -> (f64, f64) {
+    let fwd = RelationId::forward(base);
+    let n_pairs = kb.num_pairs(fwd);
+    if n_pairs == 0 {
+        return (1.0, 1.0);
+    }
+    let mut by_subject: FxHashMap<EntityId, u32> = FxHashMap::default();
+    let mut by_object: FxHashMap<EntityId, u32> = FxHashMap::default();
+    for (x, y) in kb.pairs(fwd) {
+        *by_subject.entry(x).or_insert(0) += 1;
+        *by_object.entry(y).or_insert(0) += 1;
+    }
+    let s = direction_stats(&by_subject);
+    let o = direction_stats(&by_object);
+    let n = n_pairs as f64;
+    match variant {
+        FunctionalityVariant::HarmonicMean => {
+            (s.distinct_sources as f64 / n, o.distinct_sources as f64 / n)
+        }
+        FunctionalityVariant::PairRatio => (n / s.sum_squared_fanout, n / o.sum_squared_fanout),
+        FunctionalityVariant::ArgRatio => {
+            let r = s.distinct_sources as f64 / o.distinct_sources as f64;
+            (r.min(1.0), (1.0 / r).min(1.0))
+        }
+        FunctionalityVariant::ArithmeticMean => (
+            s.sum_reciprocal_fanout / s.distinct_sources as f64,
+            o.sum_reciprocal_fanout / o.distinct_sources as f64,
+        ),
+    }
+}
+
 /// Computes the global functionality of every directed relation of `kb`.
 ///
-/// The result is indexed by [`RelationId::directed_index`]. Relations with
-/// no pairs get functionality `1.0` (they contribute no evidence anyway,
-/// and `1.0` keeps products well-defined).
+/// The result is indexed by [`RelationId::directed_index`].
 pub fn compute_functionalities(kb: &Kb, variant: FunctionalityVariant) -> Vec<f64> {
     let mut out = vec![1.0; kb.num_directed_relations()];
     for base in 0..kb.num_base_relations() {
         let fwd = RelationId::forward(base);
-        let n_pairs = kb.num_pairs(fwd);
-        if n_pairs == 0 {
-            continue;
-        }
-        let mut by_subject: FxHashMap<EntityId, u32> = FxHashMap::default();
-        let mut by_object: FxHashMap<EntityId, u32> = FxHashMap::default();
-        for (x, y) in kb.pairs(fwd) {
-            *by_subject.entry(x).or_insert(0) += 1;
-            *by_object.entry(y).or_insert(0) += 1;
-        }
-        let s = direction_stats(&by_subject);
-        let o = direction_stats(&by_object);
-        let n = n_pairs as f64;
-        let (f_fwd, f_inv) = match variant {
-            FunctionalityVariant::HarmonicMean => {
-                (s.distinct_sources as f64 / n, o.distinct_sources as f64 / n)
-            }
-            FunctionalityVariant::PairRatio => (n / s.sum_squared_fanout, n / o.sum_squared_fanout),
-            FunctionalityVariant::ArgRatio => {
-                let r = s.distinct_sources as f64 / o.distinct_sources as f64;
-                (r.min(1.0), (1.0 / r).min(1.0))
-            }
-            FunctionalityVariant::ArithmeticMean => (
-                s.sum_reciprocal_fanout / s.distinct_sources as f64,
-                o.sum_reciprocal_fanout / o.distinct_sources as f64,
-            ),
-        };
+        let (f_fwd, f_inv) = functionality_of(kb, base, variant);
         out[fwd.directed_index()] = f_fwd;
         out[fwd.inverse().directed_index()] = f_inv;
     }

@@ -32,6 +32,7 @@
 
 pub mod builder;
 pub mod closure;
+pub mod delta;
 pub mod export;
 pub mod functionality;
 pub mod fxhash;
@@ -42,6 +43,7 @@ pub mod store;
 pub mod tsv;
 
 pub use builder::{kb_from_file, kb_from_ntriples, kb_from_turtle, KbBuilder};
+pub use delta::{AppliedDelta, DeltaError, KbDelta};
 pub use functionality::FunctionalityVariant;
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use ids::{EntityId, EntityKind, RelationId};

@@ -54,6 +54,9 @@ pub enum SnapshotKind {
     Kb,
     /// Two knowledge bases plus their computed alignment.
     AlignedPair,
+    /// A [`KbDelta`](crate::delta::KbDelta): facts to add to / remove from
+    /// one KB.
+    Delta,
 }
 
 impl SnapshotKind {
@@ -61,6 +64,7 @@ impl SnapshotKind {
         match self {
             SnapshotKind::Kb => 1,
             SnapshotKind::AlignedPair => 2,
+            SnapshotKind::Delta => 3,
         }
     }
 
@@ -68,9 +72,19 @@ impl SnapshotKind {
         match b {
             1 => Ok(SnapshotKind::Kb),
             2 => Ok(SnapshotKind::AlignedPair),
+            3 => Ok(SnapshotKind::Delta),
             other => Err(SnapshotError::corrupt(format!(
                 "unknown snapshot kind {other}"
             ))),
+        }
+    }
+
+    /// Human-readable name, used in kind-mismatch errors.
+    pub fn name(self) -> &'static str {
+        match self {
+            SnapshotKind::Kb => "single KB",
+            SnapshotKind::AlignedPair => "aligned pair",
+            SnapshotKind::Delta => "KB delta",
         }
     }
 }
@@ -392,6 +406,54 @@ const TERM_PLAIN: u8 = 1;
 const TERM_LANG: u8 = 2;
 const TERM_TYPED: u8 = 3;
 
+/// Appends one tagged [`Term`] to a payload (shared by the KB body and the
+/// delta body, so the two formats stay bit-compatible).
+#[inline]
+pub fn put_term(w: &mut PayloadWriter, term: &Term) {
+    match term {
+        Term::Iri(iri) => {
+            w.put_u8(TERM_IRI);
+            w.put_str(iri.as_str());
+        }
+        Term::Literal(l) => match l.kind() {
+            paris_rdf::term::LiteralKind::Plain => {
+                w.put_u8(TERM_PLAIN);
+                w.put_str(l.value());
+            }
+            paris_rdf::term::LiteralKind::LanguageTagged(lang) => {
+                w.put_u8(TERM_LANG);
+                w.put_str(l.value());
+                w.put_str(lang);
+            }
+            paris_rdf::term::LiteralKind::Typed(dt) => {
+                w.put_u8(TERM_TYPED);
+                w.put_str(l.value());
+                w.put_str(dt.as_str());
+            }
+        },
+    }
+}
+
+/// Decodes one tagged [`Term`] written by [`put_term`].
+#[inline]
+pub fn get_term(r: &mut PayloadReader<'_>) -> Result<Term, SnapshotError> {
+    Ok(match r.get_u8()? {
+        TERM_IRI => Term::Iri(Iri::new(r.get_str()?)),
+        TERM_PLAIN => Term::Literal(Literal::plain(r.get_str()?)),
+        TERM_LANG => {
+            let value = r.get_str()?;
+            let lang = r.get_str()?;
+            Term::Literal(Literal::lang_tagged(value, lang))
+        }
+        TERM_TYPED => {
+            let value = r.get_str()?;
+            let dt = r.get_str()?;
+            Term::Literal(Literal::typed(value, Iri::new(dt)))
+        }
+        other => return Err(SnapshotError::corrupt(format!("unknown term tag {other}"))),
+    })
+}
+
 /// Appends the full body of one [`Kb`] to a payload.
 pub fn encode_kb(kb: &Kb, w: &mut PayloadWriter) {
     w.put_str(&kb.name);
@@ -399,28 +461,7 @@ pub fn encode_kb(kb: &Kb, w: &mut PayloadWriter) {
     // Entity tables: terms with kind tags.
     w.put_u64(kb.terms.len() as u64);
     for (term, kind) in kb.terms.iter().zip(&kb.kinds) {
-        match term {
-            Term::Iri(iri) => {
-                w.put_u8(TERM_IRI);
-                w.put_str(iri.as_str());
-            }
-            Term::Literal(l) => match l.kind() {
-                paris_rdf::term::LiteralKind::Plain => {
-                    w.put_u8(TERM_PLAIN);
-                    w.put_str(l.value());
-                }
-                paris_rdf::term::LiteralKind::LanguageTagged(lang) => {
-                    w.put_u8(TERM_LANG);
-                    w.put_str(l.value());
-                    w.put_str(lang);
-                }
-                paris_rdf::term::LiteralKind::Typed(dt) => {
-                    w.put_u8(TERM_TYPED);
-                    w.put_str(l.value());
-                    w.put_str(dt.as_str());
-                }
-            },
-        }
+        put_term(w, term);
         w.put_u8(match kind {
             EntityKind::Instance => 0,
             EntityKind::Class => 1,
@@ -465,21 +506,7 @@ pub fn decode_kb(r: &mut PayloadReader<'_>) -> Result<Kb, SnapshotError> {
     let mut terms = Vec::with_capacity(num_entities);
     let mut kinds = Vec::with_capacity(num_entities);
     for _ in 0..num_entities {
-        let term = match r.get_u8()? {
-            TERM_IRI => Term::Iri(Iri::new(r.get_str()?)),
-            TERM_PLAIN => Term::Literal(Literal::plain(r.get_str()?)),
-            TERM_LANG => {
-                let value = r.get_str()?;
-                let lang = r.get_str()?;
-                Term::Literal(Literal::lang_tagged(value, lang))
-            }
-            TERM_TYPED => {
-                let value = r.get_str()?;
-                let dt = r.get_str()?;
-                Term::Literal(Literal::typed(value, Iri::new(dt)))
-            }
-            other => return Err(SnapshotError::corrupt(format!("unknown term tag {other}"))),
-        };
+        let term = get_term(r)?;
         let kind = match r.get_u8()? {
             0 => EntityKind::Instance,
             1 => EntityKind::Class,
@@ -673,9 +700,10 @@ pub fn save_kb(kb: &Kb, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
 pub fn load_kb(path: impl AsRef<Path>) -> Result<Kb, SnapshotError> {
     let (kind, payload) = read_file(path)?;
     if kind != SnapshotKind::Kb {
-        return Err(SnapshotError::corrupt(
-            "expected a single-KB snapshot, found an aligned pair",
-        ));
+        return Err(SnapshotError::corrupt(format!(
+            "expected a single-KB snapshot, found a {}",
+            kind.name()
+        )));
     }
     let mut r = PayloadReader::new(&payload);
     let kb = decode_kb(&mut r)?;

@@ -14,6 +14,12 @@ use crate::fxhash::FxHashMap;
 use crate::ids::{EntityId, EntityKind, RelationId};
 
 /// An immutable, indexed RDFS knowledge base (one "ontology" of the paper).
+///
+/// Cloning duplicates every index — cheap enough for tests and tooling,
+/// but the delta pipeline offers
+/// [`apply_owned`](crate::delta::apply_owned) precisely so the hot path
+/// never has to.
+#[derive(Clone)]
 pub struct Kb {
     pub(crate) name: String,
     // ---- entity tables ----

@@ -2,7 +2,7 @@
 //!
 //! §6.3 of the paper: after plain identity matching failed on restaurant
 //! phone numbers ("213/467-1108" vs "213-467-1108"), the authors plugged in
-//! "a different string equality measure [that] normalizes two strings by
+//! "a different string equality measure \[that] normalizes two strings by
 //! removing all non-alphanumeric characters and lowercasing them".
 
 /// Removes all non-alphanumeric characters and lowercases the rest —

@@ -50,6 +50,58 @@ impl EquivStore {
         EquivStore { forward, backward }
     }
 
+    /// A copy of this store covering `n1 × n2` entities (entities beyond
+    /// the old bounds start with no candidates). This is how the
+    /// incremental re-aligner warm-starts from a snapshot's scores after a
+    /// delta appended entities.
+    pub fn expanded(&self, n1: usize, n2: usize) -> EquivStore {
+        assert!(
+            n1 >= self.forward.len() && n2 >= self.backward.len(),
+            "expanded() cannot shrink a store ({}×{} → {n1}×{n2})",
+            self.forward.len(),
+            self.backward.len(),
+        );
+        let mut forward = self.forward.clone();
+        forward.resize(n1, Vec::new());
+        let mut backward = self.backward.clone();
+        backward.resize(n2, Vec::new());
+        EquivStore { forward, backward }
+    }
+
+    /// A copy of all forward rows (one per KB-1 entity), the format
+    /// [`from_rows`](Self::from_rows) consumes.
+    pub fn to_rows(&self) -> CandidateRows {
+        self.forward.clone()
+    }
+
+    /// Replaces the rows of the given KB-1 entities in place, maintaining
+    /// the backward index — O(changed rows × row length) instead of the
+    /// full-store rebuild of [`from_rows`](Self::from_rows). Rows need
+    /// not be sorted. This is what keeps an incremental re-alignment
+    /// iteration at O(dirty) when only a handful of rows moved.
+    pub fn replace_rows(
+        &mut self,
+        changes: impl IntoIterator<Item = (EntityId, Vec<(EntityId, f64)>)>,
+    ) {
+        for (x, mut row) in changes {
+            row.sort_unstable_by_key(|&(e, _)| e);
+            let old = std::mem::replace(&mut self.forward[x.index()], row);
+            for (z, _) in old {
+                let back = &mut self.backward[z.index()];
+                if let Ok(pos) = back.binary_search_by_key(&x, |&(e, _)| e) {
+                    back.remove(pos);
+                }
+            }
+            for &(z, p) in &self.forward[x.index()] {
+                let back = &mut self.backward[z.index()];
+                match back.binary_search_by_key(&x, |&(e, _)| e) {
+                    Ok(pos) => back[pos].1 = p,
+                    Err(pos) => back.insert(pos, (x, p)),
+                }
+            }
+        }
+    }
+
     /// The number of KB-1 rows.
     pub fn len_kb1(&self) -> usize {
         self.forward.len()
@@ -268,6 +320,35 @@ mod tests {
         let rows = vec![vec![(e(0), 0.9)], vec![(e(0), 0.95)]];
         let s = EquivStore::from_rows(rows, 1);
         assert_eq!(s.maximal_assignment_rev()[0], Some((e(1), 0.95)));
+    }
+
+    #[test]
+    fn replace_rows_matches_full_rebuild() {
+        let rows = vec![vec![(e(1), 0.9), (e(0), 0.3)], vec![], vec![(e(1), 0.5)]];
+        let mut s = EquivStore::from_rows(rows, 3);
+        // Replace one row (dropping a candidate, adding one, rescoring
+        // one), clear another, and fill a previously empty one.
+        let changes = vec![
+            (e(0), vec![(e(2), 0.7), (e(1), 0.4)]),
+            (e(1), vec![(e(0), 0.2)]),
+            (e(2), vec![]),
+        ];
+        s.replace_rows(changes.clone());
+
+        let mut rebuilt_rows = vec![vec![(e(1), 0.9), (e(0), 0.3)], vec![], vec![(e(1), 0.5)]];
+        for (x, row) in changes {
+            rebuilt_rows[x.index()] = row;
+        }
+        let rebuilt = EquivStore::from_rows(rebuilt_rows, 3);
+        for i in 0..3 {
+            assert_eq!(s.candidates(e(i)), rebuilt.candidates(e(i)), "fwd {i}");
+            assert_eq!(
+                s.candidates_rev(e(i)),
+                rebuilt.candidates_rev(e(i)),
+                "bwd {i}"
+            );
+        }
+        assert_eq!(s.num_pairs(), rebuilt.num_pairs());
     }
 
     #[test]

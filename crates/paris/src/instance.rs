@@ -43,22 +43,45 @@ pub fn instance_pass(
     config: &ParisConfig,
 ) -> Vec<Vec<(EntityId, f64)>> {
     let instances: Vec<EntityId> = kb1.instances().collect();
-    let threads = config.effective_threads().min(instances.len().max(1));
-
     let mut rows: Vec<Vec<(EntityId, f64)>> = vec![Vec::new(); kb1.num_entities()];
+    for (x, row) in instance_pass_subset(kb1, kb2, &instances, cand, subrel, config) {
+        rows[x.index()] = row;
+    }
+    rows
+}
+
+/// Like [`instance_pass`], but scores only the given KB-1 instances,
+/// returning one `(instance, row)` pair each. This is the workhorse of
+/// incremental re-alignment: after a small delta, only instances whose
+/// support sets were touched need rescoring, and every other row carries
+/// over from the previous fixed point unchanged.
+pub fn instance_pass_subset(
+    kb1: &Kb,
+    kb2: &Kb,
+    subset: &[EntityId],
+    cand: &CandidateView,
+    subrel: &SubrelStore,
+    config: &ParisConfig,
+) -> Vec<(EntityId, Vec<(EntityId, f64)>)> {
+    // Small subsets (the common incremental case) stay sequential — OS
+    // thread spawns would cost more than the scoring itself. ~64 rows per
+    // thread keeps the full pass sharded exactly as before.
+    let threads = config
+        .effective_threads()
+        .min(subset.len().div_ceil(64).max(1));
     if threads <= 1 {
-        for &x in &instances {
-            rows[x.index()] = score_row(kb1, kb2, x, cand, subrel, config);
-        }
-        return rows;
+        return subset
+            .iter()
+            .map(|&x| (x, score_row(kb1, kb2, x, cand, subrel, config)))
+            .collect();
     }
 
     // Shard instances across worker threads; each entity's row is
     // independent, so results are identical to the sequential run.
     type ShardResult = Vec<(EntityId, Vec<(EntityId, f64)>)>;
-    let chunk = instances.len().div_ceil(threads);
+    let chunk = subset.len().div_ceil(threads);
     let results: Vec<ShardResult> = std::thread::scope(|scope| {
-        let handles: Vec<_> = instances
+        let handles: Vec<_> = subset
             .chunks(chunk)
             .map(|shard| {
                 scope.spawn(move || {
@@ -74,12 +97,7 @@ pub fn instance_pass(
             .map(|h| h.join().expect("worker thread panicked"))
             .collect()
     });
-    for shard in results {
-        for (x, row) in shard {
-            rows[x.index()] = row;
-        }
-    }
-    rows
+    results.into_iter().flatten().collect()
 }
 
 /// Scores all candidates of one KB-1 instance.

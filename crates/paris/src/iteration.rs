@@ -67,7 +67,7 @@ pub struct AlignmentResult<'a> {
     /// Wall-clock seconds of the final class pass.
     pub class_seconds: f64,
     /// The convergence threshold the run was configured with.
-    convergence_change_used: f64,
+    pub(crate) convergence_change_used: f64,
     /// The full configuration of the run (needed to rebuild candidate
     /// views for explanations).
     pub(crate) config: ParisConfig,
@@ -368,7 +368,7 @@ fn blend_rows(
 
 /// KB1 → KB2 candidates: previous instance equalities (maximal assignment
 /// unless `propagate_all_equalities`, §5.2) merged with the literal bridge.
-fn forward_view(
+pub(crate) fn forward_view(
     kb1: &Kb,
     equiv: &EquivStore,
     bridge: &LiteralBridge,
@@ -404,7 +404,7 @@ fn forward_view(
 }
 
 /// KB2 → KB1 candidates (for the reverse sub-relation pass).
-fn reverse_view(
+pub(crate) fn reverse_view(
     kb2: &Kb,
     equiv: &EquivStore,
     bridge: &LiteralBridge,

@@ -24,12 +24,17 @@
 //! | [`subrel`] | §4.2 | Eq. 12 sub-relation pass |
 //! | [`subclass`] | §4.3 | Eq. 17 class pass |
 //! | [`iteration`] | §5.1 | bootstrap, fixed point, convergence |
+//! | [`owned`] | — | borrow-free results, aligned-pair snapshots |
+//! | [`incremental`] | — | warm-started re-alignment on KB deltas |
 //!
-//! See [`Aligner`] for the entry point.
+//! See [`Aligner`] for the entry point of a full run and
+//! [`incremental::update_snapshot`] for re-aligning after a
+//! [`KbDelta`](paris_kb::delta::KbDelta).
 
 pub mod config;
 pub mod equiv;
 pub mod explain;
+pub mod incremental;
 pub mod instance;
 pub mod iteration;
 pub mod literal_bridge;
@@ -40,6 +45,10 @@ pub mod subrel;
 pub use config::ParisConfig;
 pub use equiv::{CandidateView, EquivStore};
 pub use explain::{Evidence, Explanation};
+pub use incremental::{
+    realign_incremental, update_snapshot, DirtySeeds, IncrementalOptions, IncrementalReport,
+    IncrementalRun, UpdateReport,
+};
 pub use iteration::{Aligner, AlignmentResult, IterationStats};
 pub use literal_bridge::LiteralBridge;
 pub use owned::{AlignedPairSnapshot, OwnedAlignment};

@@ -3,7 +3,7 @@
 //! Literal-equivalence probabilities "can be set upfront (clamped)" — they
 //! are inputs to the model. This module joins the literals of the two KBs
 //! through the blocking keys of a
-//! [`LiteralSimilarity`](paris_literals::LiteralSimilarity) and materializes
+//! [`LiteralSimilarity`] and materializes
 //! both directions of the sparse `Pr(ℓ ≡ ℓ′)` table once, before the
 //! iteration starts.
 

@@ -1,6 +1,6 @@
 //! Borrow-free alignment results and aligned-pair snapshots.
 //!
-//! [`AlignmentResult`](crate::AlignmentResult) borrows the two KBs it was
+//! [`AlignmentResult`] borrows the two KBs it was
 //! computed from, which is ideal inside one process but useless for
 //! persistence: a serving daemon wants to load "two KBs plus their
 //! alignment" as one self-contained value. [`OwnedAlignment`] detaches
@@ -367,9 +367,10 @@ impl AlignedPairSnapshot {
     pub fn load(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
         let (kind, payload) = read_file(path)?;
         if kind != SnapshotKind::AlignedPair {
-            return Err(SnapshotError::corrupt(
-                "expected an aligned-pair snapshot, found a single KB",
-            ));
+            return Err(SnapshotError::corrupt(format!(
+                "expected an aligned-pair snapshot, found a {}",
+                kind.name()
+            )));
         }
         let mut r = PayloadReader::new(&payload);
         let kb1 = decode_kb(&mut r)?;

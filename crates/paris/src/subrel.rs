@@ -132,6 +132,52 @@ impl SubrelStore {
         self.one_to_two.iter().map(Vec::len).sum::<usize>()
             + self.two_to_one.iter().map(Vec::len).sum::<usize>()
     }
+
+    /// A copy of this store sized for more directed relations on either
+    /// side (new relations start with no scores). Warm-starts incremental
+    /// re-alignment after a delta introduced relations.
+    pub fn expanded(&self, directed1: usize, directed2: usize) -> SubrelStore {
+        assert!(
+            directed1 >= self.one_to_two.len() && directed2 >= self.two_to_one.len(),
+            "expanded() cannot shrink a store ({}×{} → {directed1}×{directed2})",
+            self.one_to_two.len(),
+            self.two_to_one.len(),
+        );
+        let mut one_to_two = self.one_to_two.clone();
+        one_to_two.resize(directed1, Vec::new());
+        let mut two_to_one = self.two_to_one.clone();
+        two_to_one.resize(directed2, Vec::new());
+        SubrelStore {
+            bootstrap: self.bootstrap,
+            one_to_two,
+            two_to_one,
+        }
+    }
+
+    /// The stored KB1 → KB2 score row of one directed relation (empty
+    /// while bootstrapping).
+    pub fn row_1to2(&self, r1: RelationId) -> &[(RelationId, f64)] {
+        &self.one_to_two[r1.directed_index()]
+    }
+
+    /// The stored KB2 → KB1 score row of one directed relation.
+    pub fn row_2to1(&self, r2: RelationId) -> &[(RelationId, f64)] {
+        &self.two_to_one[r2.directed_index()]
+    }
+
+    /// Replaces the KB1 → KB2 score row of one directed relation (the row
+    /// is sorted by target id). Used by the incremental re-aligner to
+    /// refresh only dirty relations.
+    pub fn set_row_1to2(&mut self, r1: RelationId, mut row: Vec<(RelationId, f64)>) {
+        row.sort_unstable_by_key(|&(r, _)| r);
+        self.one_to_two[r1.directed_index()] = row;
+    }
+
+    /// Replaces the KB2 → KB1 score row of one directed relation.
+    pub fn set_row_2to1(&mut self, r2: RelationId, mut row: Vec<(RelationId, f64)>) {
+        row.sort_unstable_by_key(|&(r, _)| r);
+        self.two_to_one[r2.directed_index()] = row;
+    }
 }
 
 #[inline]
@@ -155,63 +201,100 @@ pub fn subrelation_pass(
     config: &ParisConfig,
 ) -> Vec<Vec<(RelationId, f64)>> {
     let mut rows: Vec<Vec<(RelationId, f64)>> = vec![Vec::new(); src.num_directed_relations()];
-    let mut numerators: FxHashMap<RelationId, f64> = FxHashMap::default();
-    let mut per_pair: FxHashMap<RelationId, f64> = FxHashMap::default();
-    let mut y_probs: FxHashMap<paris_kb::EntityId, f64> = FxHashMap::default();
-
+    let mut scratch = RelationScratch::default();
     for r in src.directed_relations() {
-        numerators.clear();
-        let mut denominator = 0.0;
-        for (x, y) in src.pairs(r).take(config.max_pairs) {
-            let x_cands = cand.candidates(x);
-            if x_cands.is_empty() {
-                continue;
-            }
-            let y_cands = cand.candidates(y);
-            if y_cands.is_empty() {
-                continue;
-            }
-
-            // Denominator term: 1 − ∏_{x′,y′} (1 − P(x≡x′)·P(y≡y′)).
-            let mut dprod = 1.0;
-            for &(_, px) in x_cands {
-                for &(_, py) in y_cands {
-                    dprod *= 1.0 - px * py;
-                }
-            }
-            denominator += 1.0 - dprod;
-
-            // Numerator terms, fact-driven: statements r′(x′, y′) with
-            // x′ ≈ x come from the adjacency of each x-candidate.
-            y_probs.clear();
-            y_probs.extend(y_cands.iter().copied());
-            per_pair.clear();
-            for &(x2, px) in x_cands {
-                for &(r2, z) in dst.facts(x2) {
-                    if let Some(&py) = y_probs.get(&z) {
-                        *per_pair.entry(r2).or_insert(1.0) *= 1.0 - px * py;
-                    }
-                }
-            }
-            for (&r2, &prod) in &per_pair {
-                *numerators.entry(r2).or_insert(0.0) += 1.0 - prod;
-            }
-        }
-        if denominator > 0.0 {
-            let row = &mut rows[r.directed_index()];
-            for (&r2, &num) in &numerators {
-                let p = num / denominator;
-                if p > 0.0 {
-                    // Clamp defensively against float drift; mathematically
-                    // num ≤ denominator (the numerator's factor set is a
-                    // subset of the denominator's).
-                    row.push((r2, p.min(1.0)));
-                }
-            }
-            row.sort_unstable_by_key(|&(q, _)| q);
-        }
+        rows[r.directed_index()] = score_relation_with(src, dst, cand, config, r, &mut scratch);
     }
     rows
+}
+
+/// Reusable accumulators for [`score_relation`], so a pass over many
+/// relations does not reallocate per relation.
+#[derive(Default)]
+struct RelationScratch {
+    numerators: FxHashMap<RelationId, f64>,
+    per_pair: FxHashMap<RelationId, f64>,
+    y_probs: FxHashMap<paris_kb::EntityId, f64>,
+}
+
+/// Scores one directed relation `r` of `src` against every relation of
+/// `dst` — the Eq. 12 row [`subrelation_pass`] computes for each relation.
+/// Exposed separately for the incremental re-aligner, which refreshes only
+/// relations whose support sets were touched.
+pub fn score_relation(
+    src: &Kb,
+    dst: &Kb,
+    cand: &CandidateView,
+    config: &ParisConfig,
+    r: RelationId,
+) -> Vec<(RelationId, f64)> {
+    score_relation_with(src, dst, cand, config, r, &mut RelationScratch::default())
+}
+
+fn score_relation_with(
+    src: &Kb,
+    dst: &Kb,
+    cand: &CandidateView,
+    config: &ParisConfig,
+    r: RelationId,
+    scratch: &mut RelationScratch,
+) -> Vec<(RelationId, f64)> {
+    let RelationScratch {
+        numerators,
+        per_pair,
+        y_probs,
+    } = scratch;
+    numerators.clear();
+    let mut denominator = 0.0;
+    for (x, y) in src.pairs(r).take(config.max_pairs) {
+        let x_cands = cand.candidates(x);
+        if x_cands.is_empty() {
+            continue;
+        }
+        let y_cands = cand.candidates(y);
+        if y_cands.is_empty() {
+            continue;
+        }
+
+        // Denominator term: 1 − ∏_{x′,y′} (1 − P(x≡x′)·P(y≡y′)).
+        let mut dprod = 1.0;
+        for &(_, px) in x_cands {
+            for &(_, py) in y_cands {
+                dprod *= 1.0 - px * py;
+            }
+        }
+        denominator += 1.0 - dprod;
+
+        // Numerator terms, fact-driven: statements r′(x′, y′) with
+        // x′ ≈ x come from the adjacency of each x-candidate.
+        y_probs.clear();
+        y_probs.extend(y_cands.iter().copied());
+        per_pair.clear();
+        for &(x2, px) in x_cands {
+            for &(r2, z) in dst.facts(x2) {
+                if let Some(&py) = y_probs.get(&z) {
+                    *per_pair.entry(r2).or_insert(1.0) *= 1.0 - px * py;
+                }
+            }
+        }
+        for (&r2, &prod) in &*per_pair {
+            *numerators.entry(r2).or_insert(0.0) += 1.0 - prod;
+        }
+    }
+    let mut row = Vec::new();
+    if denominator > 0.0 {
+        for (&r2, &num) in &*numerators {
+            let p = num / denominator;
+            if p > 0.0 {
+                // Clamp defensively against float drift; mathematically
+                // num ≤ denominator (the numerator's factor set is a
+                // subset of the denominator's).
+                row.push((r2, p.min(1.0)));
+            }
+        }
+        row.sort_unstable_by_key(|&(q, _)| q);
+    }
+    row
 }
 
 #[cfg(test)]

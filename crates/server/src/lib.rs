@@ -5,23 +5,38 @@
 //! long-lived HTTP/1.1 daemon that loads an aligned-pair snapshot
 //! (computed once by `paris snapshot`) and answers alignment queries from
 //! an [`Arc`]-shared, immutable, fully-indexed in-memory image —
-//! startup in milliseconds, reads without locks.
+//! startup in milliseconds, reads without write contention.
 //!
 //! Built entirely on `std::net` (the workspace takes no external
 //! dependencies): a fixed pool of worker threads pulls accepted
 //! connections from a channel and speaks the minimal HTTP/1.1 subset in
 //! [`http`].
 //!
+//! ## Hot reload
+//!
+//! The served snapshot is **swappable without downtime**: each request
+//! clones the current `Arc<LoadedSnapshot>` once and answers entirely
+//! from that image, so `POST /reload` (or the `--watch` mtime re-check)
+//! can load a new snapshot off the side and atomically swap the pointer
+//! — in-flight requests finish against the old image, the old image is
+//! freed when its last request drops, and `/stats` reports a bumped
+//! `generation`. Loading happens *before* the swap: a corrupt or missing
+//! file leaves the current snapshot serving.
+//!
 //! ## Endpoints
 //!
 //! | route | method | answer |
 //! |---|---|---|
-//! | `/healthz` | GET | liveness + uptime |
-//! | `/stats` | GET | KB + alignment statistics |
+//! | `/healthz` | GET | liveness + uptime + snapshot generation |
+//! | `/stats` | GET | KB + alignment statistics, generation, reload count |
 //! | `/sameas?iri=…[&side=left\|right][&threshold=θ]` | GET | best match of an instance, with score |
 //! | `/neighbors?iri=…[&side=…][&limit=n]` | GET | facts around an entity |
 //! | `/align` | POST | enqueue a batch job over two single-KB snapshots |
 //! | `/jobs/<id>` | GET | job status / outcome |
+//! | `/reload` | POST | swap in a new snapshot (form field `path=` optional) |
+//!
+//! See `docs/HTTP_API.md` at the repository root for the full
+//! request/response reference with curl examples.
 
 pub mod http;
 pub mod jobs;
@@ -29,9 +44,10 @@ pub mod json;
 
 use std::io::{BufReader, BufWriter};
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
-use std::time::Instant;
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 use paris_core::AlignedPairSnapshot;
 use paris_kb::{EntityId, Kb, KbStats};
@@ -43,20 +59,32 @@ pub use jobs::{JobOutcome, JobState};
 
 /// Server tuning knobs.
 ///
-/// **Trust model:** the daemon has no authentication. `POST /align`
-/// makes the server read and write server-local snapshot paths named by
-/// the client, so it is only safe for trusted peers — keep the default
-/// loopback bind, or disable the endpoint (`enable_jobs: false` /
-/// `paris serve --no-jobs`) before exposing the read-only query routes
-/// more widely.
+/// **Trust model:** the daemon has no authentication. `POST /align` and
+/// `POST /reload` with an explicit `path=` make the server read (and for
+/// jobs, write) server-local snapshot paths named by the client, so they
+/// are only safe for trusted peers — keep the default loopback bind, or
+/// disable them (`enable_jobs: false` / `paris serve --no-jobs`) before
+/// exposing the read-only query routes more widely. With jobs disabled,
+/// `POST /reload` still re-checks the *configured* snapshot path (the
+/// client names no filesystem location), so operators keep zero-downtime
+/// updates.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:7070` (`:0` picks a free port).
     pub addr: String,
     /// Worker threads handling requests.
     pub threads: usize,
-    /// Whether `POST /align` (filesystem-touching batch jobs) is served.
+    /// Whether `POST /align` (filesystem-touching batch jobs) and
+    /// client-named `POST /reload` paths are served.
     pub enable_jobs: bool,
+    /// The snapshot file the daemon was started from: the default source
+    /// for `POST /reload` and the file the `--watch` thread re-checks.
+    /// `None` disables both (e.g. tests that build snapshots in memory).
+    pub snapshot_path: Option<PathBuf>,
+    /// Poll `snapshot_path` for modification-time changes at this
+    /// interval and hot-swap automatically — the daemon equivalent of a
+    /// SIGHUP re-check (`std` offers no portable signal handling).
+    pub watch_interval: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -65,24 +93,86 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:7070".to_owned(),
             threads: 4,
             enable_jobs: true,
+            snapshot_path: None,
+            watch_interval: None,
         }
     }
 }
 
-/// Shared immutable serving state: the snapshot plus counters.
-struct ServeState {
+/// One immutable serving image: a loaded snapshot plus the derived
+/// values `/stats` would otherwise recompute per hit. Swapped wholesale
+/// on reload; requests in flight keep their `Arc` to the old image.
+struct LoadedSnapshot {
     snapshot: AlignedPairSnapshot,
-    /// Assigned KB-1 instances, computed once at bind time — the snapshot
-    /// is immutable, so `/stats` must not rescan the assignment per hit.
+    /// Assigned KB-1 instances, computed once at load time.
     aligned_instances: usize,
-    /// Pre-rendered KB statistics (also immutable, also per-hit otherwise).
+    /// Pre-rendered KB statistics.
     kb1_stats_json: String,
     kb2_stats_json: String,
+    /// Monotonic snapshot generation: 1 for the image the server started
+    /// with, bumped by every successful reload.
+    generation: u64,
+}
+
+impl LoadedSnapshot {
+    fn new(snapshot: AlignedPairSnapshot, generation: u64) -> Self {
+        let aligned_instances = snapshot.alignment.instance_pairs(&snapshot.kb1).len();
+        let kb1_stats_json = kb_stats_json(&snapshot.kb1);
+        let kb2_stats_json = kb_stats_json(&snapshot.kb2);
+        LoadedSnapshot {
+            snapshot,
+            aligned_instances,
+            kb1_stats_json,
+            kb2_stats_json,
+            generation,
+        }
+    }
+}
+
+/// Shared serving state: the swappable snapshot image plus counters.
+struct ServeState {
+    /// The current image. Readers clone the `Arc` under a momentary read
+    /// lock (never held across a request); reload takes the write lock
+    /// only for the pointer swap itself.
+    current: RwLock<Arc<LoadedSnapshot>>,
+    /// Generation of the most recently installed image.
+    generation: AtomicU64,
+    /// Successful reloads since startup.
+    reloads: AtomicU64,
+    /// Default source for `POST /reload` and the watch thread.
+    source: Option<PathBuf>,
     started: Instant,
     requests: AtomicU64,
     jobs: Arc<JobStore>,
     /// Whether `POST /align` is served (see [`ServerConfig::enable_jobs`]).
     jobs_enabled: bool,
+}
+
+impl ServeState {
+    /// The current serving image (cheap: one `Arc` clone).
+    fn current(&self) -> Arc<LoadedSnapshot> {
+        self.current.read().expect("snapshot lock poisoned").clone()
+    }
+
+    /// Atomically swaps in a freshly loaded snapshot, returning its
+    /// generation. The load and the derived-value computation have
+    /// already happened off the lock; in-flight requests keep serving the
+    /// previous image until they finish. The generation is assigned
+    /// *under* the write lock so concurrent installs (a `POST /reload`
+    /// racing the watch thread) cannot swap out of order — generations
+    /// observed through `/stats` are strictly increasing.
+    fn install(&self, snapshot: AlignedPairSnapshot) -> u64 {
+        let staged = LoadedSnapshot::new(snapshot, 0);
+        let mut slot = self.current.write().expect("snapshot lock poisoned");
+        let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        *slot = Arc::new(LoadedSnapshot {
+            generation,
+            ..staged
+        });
+        drop(slot);
+        self.reloads.fetch_add(1, Ordering::Relaxed);
+        generation
+    }
 }
 
 /// A bound, not-yet-running server.
@@ -123,16 +213,13 @@ impl Server {
     /// Binds the listener and prepares the shared state.
     pub fn bind(snapshot: AlignedPairSnapshot, config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
-        let aligned_instances = snapshot.alignment.instance_pairs(&snapshot.kb1).len();
-        let kb1_stats_json = kb_stats_json(&snapshot.kb1);
-        let kb2_stats_json = kb_stats_json(&snapshot.kb2);
         Ok(Server {
             listener,
             state: Arc::new(ServeState {
-                snapshot,
-                aligned_instances,
-                kb1_stats_json,
-                kb2_stats_json,
+                current: RwLock::new(Arc::new(LoadedSnapshot::new(snapshot, 1))),
+                generation: AtomicU64::new(1),
+                reloads: AtomicU64::new(0),
+                source: config.snapshot_path.clone(),
                 started: Instant::now(),
                 requests: AtomicU64::new(0),
                 jobs: Arc::new(JobStore::new()),
@@ -154,6 +241,13 @@ impl Server {
     /// channel; each worker serves its connection keep-alive style until
     /// the client closes.
     pub fn run(self) -> std::io::Result<()> {
+        if let Some(interval) = self.config.watch_interval {
+            spawn_watch_thread(
+                Arc::clone(&self.state),
+                Arc::clone(&self.shutdown),
+                interval,
+            );
+        }
         let (tx, rx) = mpsc::channel::<TcpStream>();
         let rx = Arc::new(Mutex::new(rx));
         let workers: Vec<_> = (0..self.config.threads.max(1))
@@ -218,6 +312,52 @@ impl Server {
     }
 }
 
+/// The SIGHUP-style re-check: poll the source snapshot's modification
+/// time and hot-swap when it changes. Runs as a daemon-adjacent thread
+/// that exits with the accept loop. A vanished file (mid-replace) or a
+/// file that fails to load leaves the current snapshot serving and is
+/// retried next tick.
+fn spawn_watch_thread(state: Arc<ServeState>, shutdown: Arc<AtomicBool>, interval: Duration) {
+    let Some(path) = state.source.clone() else {
+        return;
+    };
+    // Change signature: (mtime, length). Filesystem mtimes can be coarse
+    // (a second on some systems), so two quick rewrites could share one;
+    // the length disambiguates all but same-second same-size rewrites.
+    let signature_of = |p: &std::path::Path| {
+        std::fs::metadata(p)
+            .ok()
+            .and_then(|m| m.modified().ok().map(|t| (t, m.len())))
+    };
+    std::thread::Builder::new()
+        .name("paris-serve-watch".to_owned())
+        .spawn(move || {
+            let mut last_seen = signature_of(&path);
+            while !shutdown.load(Ordering::SeqCst) {
+                std::thread::sleep(interval);
+                let now = signature_of(&path);
+                if now.is_some() && now != last_seen {
+                    match AlignedPairSnapshot::load(&path) {
+                        Ok(snapshot) => {
+                            let generation = state.install(snapshot);
+                            eprintln!(
+                                "watch: reloaded {} (generation {generation})",
+                                path.display()
+                            );
+                            last_seen = now;
+                        }
+                        Err(e) => {
+                            // last_seen stays stale, so a half-written
+                            // file is retried on the next tick.
+                            eprintln!("watch: reload of {} failed: {e}", path.display());
+                        }
+                    }
+                }
+            }
+        })
+        .expect("spawning watch thread");
+}
+
 /// How long a worker waits for (the next) request on a connection before
 /// reclaiming itself. Without this, `threads` idle connections would pin
 /// the whole fixed pool forever.
@@ -264,9 +404,10 @@ fn route(state: &ServeState, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => healthz(state),
         ("GET", "/stats") => stats(state),
-        ("GET", "/sameas") => sameas(state, req),
-        ("GET", "/neighbors") => neighbors(state, req),
+        ("GET", "/sameas") => sameas(&state.current(), req),
+        ("GET", "/neighbors") => neighbors(&state.current(), req),
         ("POST", "/align") => submit_align(state, req),
+        ("POST", "/reload") => reload(state, req),
         ("GET", path) if path.starts_with("/jobs/") => job_status(state, &path["/jobs/".len()..]),
         ("GET", _) => error(404, &format!("no such route {}", req.path)),
         (method, _) => error(405, &format!("method {method} not supported")),
@@ -284,6 +425,7 @@ fn healthz(state: &ServeState) -> Response {
             .str("status", "ok")
             .num("uptime_seconds", state.started.elapsed().as_secs_f64())
             .int("requests", state.requests.load(Ordering::Relaxed))
+            .int("generation", state.generation.load(Ordering::SeqCst))
             .build(),
     )
 }
@@ -301,13 +443,14 @@ fn kb_stats_json(kb: &Kb) -> String {
 }
 
 fn stats(state: &ServeState) -> Response {
-    let alignment = &state.snapshot.alignment;
+    let image = state.current();
+    let alignment = &image.snapshot.alignment;
     Response::json(
         200,
         json::Object::new()
-            .raw("kb1", state.kb1_stats_json.clone())
-            .raw("kb2", state.kb2_stats_json.clone())
-            .int("aligned_instances", state.aligned_instances as u64)
+            .raw("kb1", image.kb1_stats_json.clone())
+            .raw("kb2", image.kb2_stats_json.clone())
+            .int("aligned_instances", image.aligned_instances as u64)
             .int(
                 "instance_equivalences",
                 alignment.num_instance_pairs() as u64,
@@ -315,9 +458,76 @@ fn stats(state: &ServeState) -> Response {
             .int("literal_pairs", alignment.literal_pairs as u64)
             .int("iterations", alignment.iterations.len() as u64)
             .bool("converged", alignment.converged)
+            .int("generation", image.generation)
+            .int("reloads", state.reloads.load(Ordering::Relaxed))
             .int("jobs_submitted", state.jobs.submitted())
             .build(),
     )
+}
+
+/// `POST /reload`: load a snapshot off the request path and atomically
+/// swap it in. With no body (or no `path=` field) the server re-checks
+/// the snapshot file it was started from; an explicit `path=` names a
+/// server-local file and is therefore gated by the same trust switch as
+/// jobs (`--no-jobs` ⇒ 403). A failed load never disturbs the snapshot
+/// currently serving.
+fn reload(state: &ServeState, req: &Request) -> Response {
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(b) => b,
+        Err(_) => return error(400, "body must be UTF-8 form data"),
+    };
+    let params = http::parse_query(body.trim());
+    let explicit = params
+        .iter()
+        .find(|(k, _)| k == "path")
+        .map(|(_, v)| v.clone())
+        .filter(|v| !v.is_empty());
+
+    let (path, explicit) = match explicit {
+        Some(p) => {
+            if !state.jobs_enabled {
+                return error(
+                    403,
+                    "client-named reload paths are disabled on this server (--no-jobs); \
+                     POST /reload with no path re-checks the configured snapshot",
+                );
+            }
+            (PathBuf::from(p), true)
+        }
+        None => match &state.source {
+            Some(p) => (p.clone(), false),
+            None => {
+                return error(
+                    400,
+                    "this server was not started from a snapshot file; \
+                     POST /reload needs a 'path' form field",
+                )
+            }
+        },
+    };
+
+    let t0 = Instant::now();
+    match AlignedPairSnapshot::load(&path) {
+        Ok(snapshot) => {
+            let generation = state.install(snapshot);
+            let image = state.current();
+            Response::json(
+                200,
+                json::Object::new()
+                    .int("generation", generation)
+                    .int("aligned_instances", image.aligned_instances as u64)
+                    .num("load_seconds", t0.elapsed().as_secs_f64())
+                    .build(),
+            )
+        }
+        // The old snapshot keeps serving; a client-named path that fails
+        // is the client's error (400), the configured source failing is
+        // the server's (500).
+        Err(e) => error(
+            if explicit { 400 } else { 500 },
+            &format!("cannot load snapshot {}: {e}", path.display()),
+        ),
+    }
 }
 
 /// Which KB an `iri` query refers to.
@@ -343,7 +553,7 @@ fn require_iri(req: &Request) -> Result<&str, Response> {
         .ok_or_else(|| error(400, "missing required query parameter 'iri'"))
 }
 
-fn sameas(state: &ServeState, req: &Request) -> Response {
+fn sameas(image: &LoadedSnapshot, req: &Request) -> Response {
     let iri = match require_iri(req) {
         Ok(v) => v,
         Err(e) => return e,
@@ -357,7 +567,7 @@ fn sameas(state: &ServeState, req: &Request) -> Response {
         Err(_) => return error(400, "threshold must be a number"),
     };
 
-    let snap = &state.snapshot;
+    let snap = &image.snapshot;
     let (dst, best): (&Kb, Option<(EntityId, f64)>) = match side {
         Side::Left => {
             let Some(x) = snap.kb1.entity_by_iri(iri) else {
@@ -398,7 +608,7 @@ fn sameas(state: &ServeState, req: &Request) -> Response {
     }
 }
 
-fn neighbors(state: &ServeState, req: &Request) -> Response {
+fn neighbors(image: &LoadedSnapshot, req: &Request) -> Response {
     let iri = match require_iri(req) {
         Ok(v) => v,
         Err(e) => return e,
@@ -412,8 +622,8 @@ fn neighbors(state: &ServeState, req: &Request) -> Response {
         Err(_) => return error(400, "limit must be an integer"),
     };
     let kb: &Kb = match side {
-        Side::Left => &state.snapshot.kb1,
-        Side::Right => &state.snapshot.kb2,
+        Side::Left => &image.snapshot.kb1,
+        Side::Right => &image.snapshot.kb2,
     };
     let Some(e) = kb.entity_by_iri(iri) else {
         return error(404, &format!("unknown IRI {iri} in {}", kb.name()));
@@ -542,15 +752,11 @@ mod tests {
     }
 
     fn state() -> ServeState {
-        let snapshot = tiny_snapshot();
-        let aligned_instances = snapshot.alignment.instance_pairs(&snapshot.kb1).len();
-        let kb1_stats_json = kb_stats_json(&snapshot.kb1);
-        let kb2_stats_json = kb_stats_json(&snapshot.kb2);
         ServeState {
-            snapshot,
-            aligned_instances,
-            kb1_stats_json,
-            kb2_stats_json,
+            current: RwLock::new(Arc::new(LoadedSnapshot::new(tiny_snapshot(), 1))),
+            generation: AtomicU64::new(1),
+            reloads: AtomicU64::new(0),
+            source: None,
             started: Instant::now(),
             requests: AtomicU64::new(0),
             jobs: Arc::new(JobStore::new()),
@@ -662,5 +868,90 @@ mod tests {
         let s = state();
         assert_eq!(route(&s, &get("/jobs/abc")).status, 400);
         assert_eq!(route(&s, &get("/jobs/7")).status, 404);
+    }
+
+    fn post_reload(body: &[u8]) -> Request {
+        let mut req = get("/reload");
+        req.method = "POST".into();
+        req.body = body.to_vec();
+        req
+    }
+
+    #[test]
+    fn reload_without_source_needs_a_path() {
+        let s = state();
+        let r = route(&s, &post_reload(b""));
+        assert_eq!(r.status, 400);
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("'path' form field"), "{body}");
+    }
+
+    #[test]
+    fn reload_swaps_snapshot_and_bumps_generation() {
+        let dir = std::env::temp_dir().join("paris_server_reload_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pair.snap");
+        tiny_snapshot().save(&path).unwrap();
+
+        let s = state();
+        let r = route(
+            &s,
+            &post_reload(format!("path={}", path.display()).as_bytes()),
+        );
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8(r.body));
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("\"generation\":2"), "{body}");
+
+        let stats = String::from_utf8(route(&s, &get("/stats")).body).unwrap();
+        assert!(stats.contains("\"generation\":2"), "{stats}");
+        assert!(stats.contains("\"reloads\":1"), "{stats}");
+        let health = String::from_utf8(route(&s, &get("/healthz")).body).unwrap();
+        assert!(health.contains("\"generation\":2"), "{health}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reload_uses_configured_source_without_a_path() {
+        let dir = std::env::temp_dir().join("paris_server_reload_source_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pair.snap");
+        tiny_snapshot().save(&path).unwrap();
+
+        let mut s = state();
+        s.source = Some(path.clone());
+        assert_eq!(route(&s, &post_reload(b"")).status, 200);
+        assert_eq!(s.generation.load(Ordering::SeqCst), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reload_failure_keeps_current_snapshot() {
+        let s = state();
+        let r = route(&s, &post_reload(b"path=/definitely/not/here.snap"));
+        assert_eq!(r.status, 400);
+        assert_eq!(s.generation.load(Ordering::SeqCst), 1);
+        // Queries still answer from the original image.
+        assert_eq!(route(&s, &get("/sameas?iri=http://a/p1")).status, 200);
+    }
+
+    #[test]
+    fn no_jobs_blocks_client_named_reload_paths_only() {
+        let dir = std::env::temp_dir().join("paris_server_reload_nojobs_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pair.snap");
+        tiny_snapshot().save(&path).unwrap();
+
+        let mut s = state();
+        s.jobs_enabled = false;
+        s.source = Some(path.clone());
+        // Explicit path: forbidden.
+        let r = route(
+            &s,
+            &post_reload(format!("path={}", path.display()).as_bytes()),
+        );
+        assert_eq!(r.status, 403);
+        // Re-checking the configured source: still allowed.
+        assert_eq!(route(&s, &post_reload(b"")).status, 200);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -8,6 +8,7 @@
 //! paris stats dump.nt                                # Table-2-style statistics
 //! paris generate movies --out /tmp/movies            # emit a benchmark pair
 //! paris snapshot left.nt right.nt --out pair.snap    # align once, persist
+//! paris delta pair.snap --add-left new.nt --out v2.snap  # incremental update
 //! paris serve pair.snap --addr 127.0.0.1:7070        # serve the alignment
 //! ```
 //!
@@ -33,7 +34,8 @@ USAGE:
   paris generate <persons|restaurants|encyclopedia|movies> --out <DIR> [--seed N] [--scale N]
   paris snapshot <LEFT> <RIGHT> --out <FILE.snap> [CONFIG OPTIONS]
   paris snapshot <FILE> --out <FILE.snap>
-  paris serve <FILE.snap> [--addr HOST:PORT] [--threads N] [--no-jobs]
+  paris delta <PAIR.snap> --out <FILE.snap> [DELTA OPTIONS] [CONFIG OPTIONS]
+  paris serve <FILE.snap> [--addr HOST:PORT] [--threads N] [--no-jobs] [--watch SECS]
 
 Input files may be N-Triples (.nt), Turtle (.ttl/.turtle), or tab-separated
 facts (.tsv: subject TAB relation TAB object, quoted objects are literals).
@@ -64,9 +66,27 @@ SNAPSHOT:
   --negative-evidence, --propagate-all. Output options (--threshold,
   --sameas, --gold, …) do not apply: the snapshot stores all scores.
 
+DELTA:
+  Apply fact additions/removals to an aligned-pair snapshot and re-align
+  *incrementally*: the fixpoint restarts from the stored scores and only
+  entries whose support sets were touched are recomputed. Writes the
+  updated aligned-pair snapshot to --out (hot-reloadable via
+  POST /reload). Deltas carry plain facts only; schema changes need a
+  full rebuild. RDF inputs are .nt/.ttl (no .tsv).
+  --add-left <FILE>           facts to add to the left KB
+  --remove-left <FILE>        facts to remove from the left KB
+  --add-right <FILE>          facts to add to the right KB
+  --remove-right <FILE>       facts to remove from the right KB
+  --delta-left <FILE.delta>   pre-built binary delta for the left KB
+  --delta-right <FILE.delta>  pre-built binary delta for the right KB
+  --save-delta-left <FILE.delta>   also persist the assembled left delta
+  --save-delta-right <FILE.delta>  also persist the assembled right delta
+  --full                      run a full from-scratch re-alignment on the
+                              delta-updated KBs instead (for comparison)
+
 SERVE:
   Load an aligned-pair snapshot and serve it over HTTP/1.1:
-    GET  /healthz                 liveness
+    GET  /healthz                 liveness (+ snapshot generation)
     GET  /stats                   KB + alignment statistics
     GET  /sameas?iri=I            best match of an instance (&side=right,
                                   &threshold=T to filter by score)
@@ -75,12 +95,19 @@ SERVE:
                                   snapshots (form fields left=, right=,
                                   optional out=, max_iterations=)
     GET  /jobs/<id>               poll a job
+    POST /reload                  atomically swap in a new snapshot
+                                  (optional form field path=; without it
+                                  the serve-time snapshot file is re-read)
+  See docs/HTTP_API.md for the full reference.
   --addr <HOST:PORT>      bind address             [default: 127.0.0.1:7070]
   --threads <N>           request worker threads   [default: 4]
-  --no-jobs               disable POST /align (jobs read and write
-                          server-local snapshot paths named by the client;
-                          there is no authentication — keep the loopback
-                          bind or pass --no-jobs on exposed interfaces)
+  --no-jobs               disable POST /align and client-named reload
+                          paths (these make the server read/write
+                          server-local files named by the client; there is
+                          no authentication — keep the loopback bind or
+                          pass --no-jobs on exposed interfaces)
+  --watch <SECS>          poll the snapshot file's mtime every SECS
+                          seconds and hot-reload when it changes
 ";
 
 fn main() -> ExitCode {
@@ -101,6 +128,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("stats") => stats(&args[1..]),
         Some("generate") => generate(&args[1..]),
         Some("snapshot") => snapshot(&args[1..]),
+        Some("delta") => delta(&args[1..]),
         Some("serve") => serve(&args[1..]),
         Some("--help") | Some("-h") | None => {
             println!("{USAGE}");
@@ -604,6 +632,203 @@ fn file_size(path: &Path) -> u64 {
     std::fs::metadata(path).map(|m| m.len()).unwrap_or(0)
 }
 
+/// Parses an RDF file into triples for delta assembly (.nt/.ttl only —
+/// the .tsv importer synthesizes IRIs and is not delta-addressable).
+fn read_delta_triples(path: &Path) -> Result<Vec<paris_repro::rdf::Triple>, String> {
+    let ext = check_input(path)?;
+    let result = match ext.as_str() {
+        "tsv" => {
+            return Err(format!(
+                "cannot read {}: .tsv is not supported for deltas (use .nt or .ttl)",
+                path.display()
+            ))
+        }
+        "ttl" | "turtle" => paris_repro::rdf::turtle::parse_turtle_file(path),
+        _ => paris_repro::rdf::ntriples::parse_file(path),
+    };
+    result.map_err(|e| format!("loading {}: {e}", path.display()))
+}
+
+/// Assembles one side's delta from an optional pre-built binary delta
+/// plus optional add/remove RDF files. Returns `None` when the side is
+/// untouched.
+fn assemble_delta(
+    binary: Option<&PathBuf>,
+    add: Option<&PathBuf>,
+    remove: Option<&PathBuf>,
+) -> Result<Option<paris_repro::kb::KbDelta>, String> {
+    if binary.is_none() && add.is_none() && remove.is_none() {
+        return Ok(None);
+    }
+    let mut delta = match binary {
+        Some(path) => paris_repro::kb::KbDelta::load(path)
+            .map_err(|e| format!("loading {}: {e}", path.display()))?,
+        // Wildcard target: snapshot KB names come from the original file
+        // stems, which the delta author need not know.
+        None => paris_repro::kb::KbDelta::new(""),
+    };
+    for (path, remove_flag) in [(add, false), (remove, true)] {
+        if let Some(path) = path {
+            let triples = read_delta_triples(path)?;
+            delta
+                .add_triples(&triples, remove_flag)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+        }
+    }
+    Ok(Some(delta))
+}
+
+/// `paris delta`: apply deltas to an aligned-pair snapshot and re-align
+/// incrementally (or fully with `--full`), writing the updated snapshot.
+fn delta(args: &[String]) -> Result<(), String> {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut out: Option<PathBuf> = None;
+    let mut config = ParisConfig::default();
+    let mut full = false;
+    let mut paths: [Option<PathBuf>; 8] = Default::default();
+    const ADD_LEFT: usize = 0;
+    const REMOVE_LEFT: usize = 1;
+    const ADD_RIGHT: usize = 2;
+    const REMOVE_RIGHT: usize = 3;
+    const DELTA_LEFT: usize = 4;
+    const DELTA_RIGHT: usize = 5;
+    const SAVE_LEFT: usize = 6;
+    const SAVE_RIGHT: usize = 7;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |name: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+                .cloned()
+        };
+        if parse_config_flag(arg, &mut config, &mut value_of)? {
+            continue;
+        }
+        let slot = match arg.as_str() {
+            "--out" => {
+                out = Some(PathBuf::from(value_of("--out")?));
+                continue;
+            }
+            "--full" => {
+                full = true;
+                continue;
+            }
+            "--add-left" => ADD_LEFT,
+            "--remove-left" => REMOVE_LEFT,
+            "--add-right" => ADD_RIGHT,
+            "--remove-right" => REMOVE_RIGHT,
+            "--delta-left" => DELTA_LEFT,
+            "--delta-right" => DELTA_RIGHT,
+            "--save-delta-left" => SAVE_LEFT,
+            "--save-delta-right" => SAVE_RIGHT,
+            flag if flag.starts_with("--") => return Err(format!("unknown option '{flag}'")),
+            _ => {
+                positional.push(arg);
+                continue;
+            }
+        };
+        paths[slot] = Some(PathBuf::from(value_of(arg)?));
+    }
+    let [pair_path] = positional.as_slice() else {
+        return Err("delta needs exactly one aligned-pair snapshot".to_owned());
+    };
+    let out = out.ok_or("delta needs --out <FILE.snap>")?;
+
+    let delta1 = assemble_delta(
+        paths[DELTA_LEFT].as_ref(),
+        paths[ADD_LEFT].as_ref(),
+        paths[REMOVE_LEFT].as_ref(),
+    )?;
+    let delta2 = assemble_delta(
+        paths[DELTA_RIGHT].as_ref(),
+        paths[ADD_RIGHT].as_ref(),
+        paths[REMOVE_RIGHT].as_ref(),
+    )?;
+    if delta1.is_none() && delta2.is_none() {
+        return Err("delta needs at least one of --add/--remove/--delta-left/-right".to_owned());
+    }
+    for (assembled, save_slot) in [(&delta1, SAVE_LEFT), (&delta2, SAVE_RIGHT)] {
+        if let (Some(d), Some(path)) = (assembled, &paths[save_slot]) {
+            d.save(path)
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            println!(
+                "wrote binary delta ({} changes) to {}",
+                d.len(),
+                path.display()
+            );
+        }
+    }
+
+    let t0 = std::time::Instant::now();
+    let snap = paris_repro::paris::AlignedPairSnapshot::load(pair_path)
+        .map_err(|e| format!("loading {pair_path}: {e}"))?;
+    let load_seconds = t0.elapsed().as_secs_f64();
+
+    let t1 = std::time::Instant::now();
+    if full {
+        // Comparison mode: apply the deltas, then a from-scratch run.
+        let mut kb1 = snap.kb1;
+        let mut kb2 = snap.kb2;
+        let mut counts = (0usize, 0usize);
+        for (delta, kb) in [(&delta1, &mut kb1), (&delta2, &mut kb2)] {
+            if let Some(d) = delta {
+                let applied = paris_repro::kb::delta::apply(kb, d).map_err(|e| e.to_string())?;
+                counts.0 += applied.added;
+                counts.1 += applied.removed;
+                *kb = applied.kb;
+            }
+        }
+        let result = Aligner::new(&kb1, &kb2, config).run();
+        let aligned = result.instance_pairs().len();
+        let iterations = result.iterations.len();
+        let owned = result.detach();
+        paris_repro::paris::AlignedPairSnapshot::new(kb1, kb2, owned)
+            .save(&out)
+            .map_err(|e| format!("writing {}: {e}", out.display()))?;
+        println!(
+            "full re-alignment after delta (+{} −{} facts): {aligned} instances \
+             aligned in {iterations} iterations, {:.2}s (+ {load_seconds:.2}s load), \
+             wrote {} ({} bytes)",
+            counts.0,
+            counts.1,
+            t1.elapsed().as_secs_f64(),
+            out.display(),
+            file_size(&out),
+        );
+        return Ok(());
+    }
+
+    let (updated, report) = paris_repro::paris::update_snapshot(
+        snap,
+        delta1.as_ref(),
+        delta2.as_ref(),
+        &config,
+        &paris_repro::paris::IncrementalOptions::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    updated
+        .save(&out)
+        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!(
+        "incremental re-alignment (+{} −{} facts left, +{} −{} right): rescored \
+         {}/{} instance rows and {} relation rows over {} iterations, {:.2}s \
+         (+ {load_seconds:.2}s load), wrote {} ({} bytes)",
+        report.added1,
+        report.removed1,
+        report.added2,
+        report.removed2,
+        report.incremental.rescored_rows,
+        report.incremental.total_instances,
+        report.incremental.rescored_relation_rows,
+        report.iterations,
+        t1.elapsed().as_secs_f64(),
+        out.display(),
+        file_size(&out),
+    );
+    Ok(())
+}
+
 /// `paris serve`: load an aligned-pair snapshot and serve it over HTTP.
 fn serve(args: &[String]) -> Result<(), String> {
     let mut positional: Vec<&String> = Vec::new();
@@ -624,6 +849,15 @@ fn serve(args: &[String]) -> Result<(), String> {
                     .map_err(|_| "bad --threads value".to_owned())?
             }
             "--no-jobs" => config.enable_jobs = false,
+            "--watch" => {
+                let seconds: f64 = value_of("--watch")?
+                    .parse()
+                    .map_err(|_| "bad --watch value".to_owned())?;
+                if !seconds.is_finite() || seconds <= 0.0 {
+                    return Err("--watch needs a positive number of seconds".to_owned());
+                }
+                config.watch_interval = Some(std::time::Duration::from_secs_f64(seconds));
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown option '{flag}'")),
             _ => positional.push(arg),
         }
@@ -631,6 +865,9 @@ fn serve(args: &[String]) -> Result<(), String> {
     let [snapshot_path] = positional.as_slice() else {
         return Err("serve needs exactly one snapshot file".to_owned());
     };
+    // The serve-time file is the default source for POST /reload and the
+    // --watch re-check.
+    config.snapshot_path = Some(PathBuf::from(snapshot_path.as_str()));
 
     let t0 = std::time::Instant::now();
     let snap = paris_repro::paris::AlignedPairSnapshot::load(snapshot_path)

@@ -1,0 +1,178 @@
+//! Zero-copy snapshot benchmark: the acceptance check for the v2 mmap
+//! arena (CI gate `snapshot_mmap`).
+//!
+//! On a generated `movies` pair (default scale 1600), measures:
+//!   1. **v1 full decode** — what `paris serve` pays to load a v1
+//!      snapshot: checksum + per-record decode + interning + adjacency
+//!      rebuild;
+//!   2. **v2 open** — validate the section table and checksums, map the
+//!      file, decode nothing;
+//!   3. **query latency** on both representations, over the same
+//!      request mix (`sameas` lookup + neighbor rendering).
+//!
+//! Fails (exit 1) unless the v2 open is at least 25× faster than the v1
+//! decode, the view queries stay within noise of the decoded ones
+//! (≤ 3× — hash-map lookups vs. binary search over mapped bytes), and
+//! every answer is bit-identical between the two paths.
+
+use std::time::{Duration, Instant};
+
+use paris_bench::timing::fmt_duration;
+use paris_core::{
+    AlignedPairSnapshot, Aligner, MappedPairSnapshot, OwnedAlignment, PairImage, PairSide,
+    ParisConfig,
+};
+use paris_datagen::movies::{generate, MoviesConfig};
+
+fn min_time(runs: usize, mut f: impl FnMut()) -> Duration {
+    (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .min()
+        .expect("at least one run")
+}
+
+fn main() {
+    let scale: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1600);
+    let dir = std::env::temp_dir().join("paris_snapshot_mmap_bench");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let v1_path = dir.join("pair_v1.snap");
+    let v2_path = dir.join("pair_v2.snap");
+
+    println!("dataset: movies, scale {scale}");
+    let pair = generate(&MoviesConfig {
+        num_movies: scale,
+        ..Default::default()
+    });
+    let snap = {
+        let result = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
+        let owned = OwnedAlignment::from_result(&result);
+        drop(result);
+        AlignedPairSnapshot::new(pair.kb1.clone(), pair.kb2.clone(), owned)
+    };
+    snap.save(&v1_path).expect("write v1");
+    MappedPairSnapshot::save_v2(&snap, &v2_path).expect("write v2");
+    let size = |p: &std::path::Path| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
+    println!("v1 size: {:>12} bytes", size(&v1_path));
+    println!(
+        "v2 size: {:>12} bytes (stores the adjacency v1 rebuilds per load)",
+        size(&v2_path)
+    );
+
+    // 1. v1 full decode. Loads are milliseconds-to-tens-of-ms, so take
+    //    the min over several runs to shed scheduler noise.
+    let decode = min_time(5, || {
+        let s = AlignedPairSnapshot::load(&v1_path).expect("load v1");
+        std::hint::black_box(s.alignment.num_instance_pairs());
+    });
+    println!("v1 full decode (min of 5):     {}", fmt_duration(decode));
+
+    // 2. v2 open: O(validation scan), no decoding, no per-record allocation.
+    let open = min_time(20, || {
+        let m = MappedPairSnapshot::open(&v2_path).expect("open v2");
+        std::hint::black_box(m.alignment().num_instance_pairs());
+    });
+    println!("v2 open (min of 20):           {}", fmt_duration(open));
+    let speedup = decode.as_secs_f64() / open.as_secs_f64();
+    println!("open speedup:                  {speedup:.1}×");
+
+    // 3. Queries: identical answers, comparable latency. The sample is
+    //    every aligned instance (sameas both ways) plus its neighbor
+    //    rendering — the daemon's two hot read paths.
+    let decoded = PairImage::load(&v1_path).expect("load v1 image");
+    let mapped = PairImage::load(&v2_path).expect("open v2 image");
+    assert!(
+        mapped.is_mapped() || cfg!(not(unix)),
+        "v2 must serve mmapped on unix"
+    );
+
+    let sample: Vec<String> = match &decoded {
+        PairImage::Decoded(s) => s
+            .alignment
+            .instance_pairs(&s.kb1)
+            .into_iter()
+            .filter_map(|(x, _, _)| s.kb1.iri(x).map(|i| i.as_str().to_owned()))
+            .collect(),
+        PairImage::Mapped(_) => unreachable!("v1 loads decoded"),
+    };
+    println!("query sample:                  {} instances", sample.len());
+
+    let run_queries = |img: &PairImage| -> u64 {
+        let mut fingerprint = 0u64;
+        for iri in &sample {
+            let e = img
+                .entity_by_iri(PairSide::Kb1, iri)
+                .expect("sampled IRI resolves");
+            if let Some((m, p)) = img.best_match_from(PairSide::Kb1, e) {
+                let matched = img.entity_iri(PairSide::Kb2, m).unwrap_or_default();
+                fingerprint = fingerprint
+                    .wrapping_mul(31)
+                    .wrapping_add(matched.len() as u64)
+                    .wrapping_add(p.to_bits());
+            }
+            for fact in img.facts_page(PairSide::Kb1, e, 8) {
+                fingerprint = fingerprint
+                    .wrapping_mul(31)
+                    .wrapping_add(fact.value.len() as u64)
+                    .wrapping_add(fact.functionality.to_bits());
+            }
+        }
+        fingerprint
+    };
+
+    // Bit-identical answers first (also warms both paths).
+    let fp_decoded = run_queries(&decoded);
+    let fp_mapped = run_queries(&mapped);
+    assert_eq!(
+        fp_decoded, fp_mapped,
+        "v2 views must answer bit-identically to the v1 decode path"
+    );
+    for iri in sample.iter().take(200) {
+        let e1 = decoded.entity_by_iri(PairSide::Kb1, iri).unwrap();
+        let e2 = mapped.entity_by_iri(PairSide::Kb1, iri).unwrap();
+        assert_eq!(e1, e2, "{iri}");
+        assert_eq!(
+            decoded.best_match_from(PairSide::Kb1, e1),
+            mapped.best_match_from(PairSide::Kb1, e2),
+            "{iri}"
+        );
+        assert_eq!(
+            decoded.facts_page(PairSide::Kb1, e1, 50),
+            mapped.facts_page(PairSide::Kb1, e2, 50),
+            "{iri}"
+        );
+    }
+    println!("answers:                       bit-identical across formats");
+
+    let q_decoded = min_time(5, || {
+        std::hint::black_box(run_queries(&decoded));
+    });
+    let q_mapped = min_time(5, || {
+        std::hint::black_box(run_queries(&mapped));
+    });
+    let ratio = q_mapped.as_secs_f64() / q_decoded.as_secs_f64();
+    println!("queries, decoded (min of 5):   {}", fmt_duration(q_decoded));
+    println!("queries, mapped  (min of 5):   {}", fmt_duration(q_mapped));
+    println!("query ratio (mapped/decoded):  {ratio:.2}×");
+
+    std::fs::remove_dir_all(&dir).ok();
+    let mut failed = false;
+    if speedup < 25.0 {
+        eprintln!("FAIL: v2 open must be ≥ 25× faster than v1 full decode (got {speedup:.1}×)");
+        failed = true;
+    }
+    if ratio > 3.0 {
+        eprintln!("FAIL: mapped queries must stay within noise of decoded (≤ 3×, got {ratio:.2}×)");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("PASS: open ≥ 25× faster, queries within noise, answers identical");
+}

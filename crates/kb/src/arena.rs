@@ -1,0 +1,232 @@
+//! Byte arenas backing zero-copy snapshots.
+//!
+//! A v2 snapshot (see [`crate::snapshot_v2`]) is read *in place*: the
+//! accessor views borrow byte ranges out of one immutable buffer instead
+//! of decoding records into owned structures. [`Arena`] is that buffer.
+//! On Unix it memory-maps the file (`mmap`, declared here directly — the
+//! workspace builds without external crates, so there is no `libc` to
+//! lean on), which makes opening a snapshot O(1) in the file size and
+//! lets the OS page cache own the cold data: unread sections never enter
+//! this process's resident set, and the kernel can reclaim clean pages
+//! under memory pressure. On other platforms, or when `mmap` fails
+//! (exotic filesystems, resource limits), it falls back to reading the
+//! whole file into a `Vec<u8>` — same API, eager cost.
+//!
+//! Safety note: a mapped file must not be truncated in place while the
+//! arena is alive (the kernel would deliver `SIGBUS` on access). The
+//! snapshot writer only ever replaces files atomically via
+//! rename — the old inode stays intact until the last mapping drops — so
+//! the serving pipeline never hits this; operators editing snapshot
+//! files in place must follow the same rule.
+
+use std::fmt;
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+use std::path::Path;
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// An immutable byte buffer holding one snapshot file: either a private
+/// read-only memory mapping or an owned heap copy.
+pub enum Arena {
+    /// A `mmap`ed region (Unix only). Unmapped on drop.
+    #[cfg(unix)]
+    Mapped {
+        /// Start of the mapping. Never null; valid for `len` bytes for
+        /// the lifetime of the arena.
+        ptr: *const u8,
+        /// Length of the mapping in bytes (> 0).
+        len: usize,
+    },
+    /// An owned in-memory copy (fallback path and `from_vec`).
+    Heap(Vec<u8>),
+}
+
+// SAFETY: the mapping is PROT_READ + MAP_PRIVATE and never mutated or
+// remapped after construction; sharing immutable bytes across threads is
+// sound. The Heap variant is a plain Vec.
+#[cfg(unix)]
+unsafe impl Send for Arena {}
+#[cfg(unix)]
+unsafe impl Sync for Arena {}
+
+impl Arena {
+    /// Opens a file as an arena, preferring `mmap` on Unix.
+    ///
+    /// Falls back to an eager read when the platform has no mmap, the
+    /// file is empty (zero-length mappings are invalid), or the `mmap`
+    /// call itself fails.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Arena> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "file too large for this address space",
+            ));
+        }
+        Arena::map_file(&file, len as usize)
+    }
+
+    /// Wraps an in-memory buffer (used by tests and the non-file paths).
+    pub fn from_vec(bytes: Vec<u8>) -> Arena {
+        Arena::Heap(bytes)
+    }
+
+    #[cfg(unix)]
+    fn map_file(file: &File, len: usize) -> io::Result<Arena> {
+        use std::os::unix::io::AsRawFd;
+        if len == 0 {
+            return Ok(Arena::Heap(Vec::new()));
+        }
+        // SAFETY: we pass a null addr hint, a positive length, read-only
+        // protection, and a file descriptor that lives across the call
+        // (mappings outlive their fd by design). The result is checked
+        // against MAP_FAILED before use.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 || ptr.is_null() {
+            return Arena::read_file(file, len);
+        }
+        Ok(Arena::Mapped {
+            ptr: ptr as *const u8,
+            len,
+        })
+    }
+
+    #[cfg(not(unix))]
+    fn map_file(file: &File, len: usize) -> io::Result<Arena> {
+        Arena::read_file(file, len)
+    }
+
+    fn read_file(mut file: &File, len: usize) -> io::Result<Arena> {
+        use std::io::Read;
+        let mut buf = Vec::with_capacity(len);
+        file.read_to_end(&mut buf)?;
+        Ok(Arena::Heap(buf))
+    }
+
+    /// The buffer contents.
+    pub fn bytes(&self) -> &[u8] {
+        match self {
+            // SAFETY: ptr/len come from a successful mmap and the region
+            // stays mapped until drop.
+            #[cfg(unix)]
+            Arena::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Arena::Heap(v) => v,
+        }
+    }
+
+    /// True when this arena is a memory mapping (its pages belong to the
+    /// OS page cache, not this process's allocator).
+    pub fn is_mapped(&self) -> bool {
+        match self {
+            #[cfg(unix)]
+            Arena::Mapped { .. } => true,
+            Arena::Heap(_) => false,
+        }
+    }
+}
+
+impl Deref for Arena {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.bytes()
+    }
+}
+
+impl fmt::Debug for Arena {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Arena")
+            .field("len", &self.bytes().len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+impl Drop for Arena {
+    fn drop(&mut self) {
+        match self {
+            #[cfg(unix)]
+            Arena::Mapped { ptr, len } => {
+                // SAFETY: exactly the region returned by mmap, unmapped
+                // exactly once.
+                unsafe {
+                    sys::munmap(*ptr as *mut std::os::raw::c_void, *len);
+                }
+            }
+            Arena::Heap(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_maps_file_contents() {
+        let path = std::env::temp_dir().join("paris_arena_unit_test.bin");
+        std::fs::write(&path, b"hello arena").unwrap();
+        let arena = Arena::open(&path).unwrap();
+        assert_eq!(&arena[..], b"hello arena");
+        #[cfg(unix)]
+        assert!(arena.is_mapped());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_is_an_empty_heap_arena() {
+        let path = std::env::temp_dir().join("paris_arena_unit_test_empty.bin");
+        std::fs::write(&path, b"").unwrap();
+        let arena = Arena::open(&path).unwrap();
+        assert!(arena.is_empty());
+        assert!(!arena.is_mapped());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn from_vec_round_trips() {
+        let arena = Arena::from_vec(vec![1, 2, 3]);
+        assert_eq!(&arena[..], &[1, 2, 3]);
+        assert!(!arena.is_mapped());
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        assert!(Arena::open("/definitely/not/here.bin").is_err());
+    }
+
+    #[test]
+    fn arenas_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Arena>();
+    }
+}

@@ -30,6 +30,7 @@
 //! assert_eq!(kb.functionality(born_in.inverse()), 0.5);  // one city, two people
 //! ```
 
+pub mod arena;
 pub mod builder;
 pub mod closure;
 pub mod delta;
@@ -38,14 +39,17 @@ pub mod functionality;
 pub mod fxhash;
 pub mod ids;
 pub mod snapshot;
+pub mod snapshot_v2;
 pub mod stats;
 pub mod store;
 pub mod tsv;
 
+pub use arena::Arena;
 pub use builder::{kb_from_file, kb_from_ntriples, kb_from_turtle, KbBuilder};
 pub use delta::{AppliedDelta, DeltaError, KbDelta};
 pub use functionality::FunctionalityVariant;
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use ids::{EntityId, EntityKind, RelationId};
+pub use snapshot_v2::{KbLayout, KbView, MappedKbSnapshot, SnapshotArena};
 pub use stats::KbStats;
 pub use store::Kb;

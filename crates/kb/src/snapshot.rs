@@ -44,8 +44,16 @@ use crate::store::Kb;
 /// The 8-byte file magic.
 pub const MAGIC: [u8; 8] = *b"PARISNAP";
 
-/// Current snapshot format version.
+/// Format version of the decode-on-load snapshot framing in this module.
 pub const FORMAT_VERSION: u32 = 1;
+
+/// Every snapshot format version this build can read: v1 via the
+/// decoders here, v2 via the zero-copy arena in [`crate::snapshot_v2`].
+pub const SUPPORTED_SNAPSHOT_VERSIONS: [u32; 2] = [1, crate::snapshot_v2::FORMAT_VERSION_V2];
+
+/// Format version of the binary delta framing (deltas share this
+/// module's v1 framing with their own kind byte).
+pub const DELTA_FORMAT_VERSION: u32 = FORMAT_VERSION;
 
 /// What a snapshot file contains.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -60,7 +68,7 @@ pub enum SnapshotKind {
 }
 
 impl SnapshotKind {
-    fn to_byte(self) -> u8 {
+    pub(crate) fn to_byte(self) -> u8 {
         match self {
             SnapshotKind::Kb => 1,
             SnapshotKind::AlignedPair => 2,
@@ -68,7 +76,7 @@ impl SnapshotKind {
         }
     }
 
-    fn from_byte(b: u8) -> Result<Self, SnapshotError> {
+    pub(crate) fn from_byte(b: u8) -> Result<Self, SnapshotError> {
         match b {
             1 => Ok(SnapshotKind::Kb),
             2 => Ok(SnapshotKind::AlignedPair),
@@ -126,7 +134,8 @@ impl fmt::Display for SnapshotError {
             SnapshotError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported snapshot version {v} (this build reads {FORMAT_VERSION})"
+                    "unsupported snapshot version {v} for this reader \
+                     (v1 is decoded on load, v2 is opened zero-copy via the arena)"
                 )
             }
             SnapshotError::ChecksumMismatch { expected, actual } => write!(
@@ -300,12 +309,9 @@ impl<'a> PayloadReader<'a> {
 
 const HEADER_LEN: usize = 8 + 4 + 1 + 3 + 8 + 8;
 
-/// Frames a payload with the snapshot header and writes it to `w`.
-pub fn write_payload(
-    w: &mut impl Write,
-    kind: SnapshotKind,
-    payload: &[u8],
-) -> Result<(), SnapshotError> {
+/// Builds the 32-byte v1 frame header for a payload (the single source
+/// of the layout, shared by the streaming and atomic-file writers).
+fn frame_header(kind: SnapshotKind, payload: &[u8]) -> Vec<u8> {
     let mut header = Vec::with_capacity(HEADER_LEN);
     header.extend_from_slice(&MAGIC);
     header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
@@ -313,7 +319,16 @@ pub fn write_payload(
     header.extend_from_slice(&[0u8; 3]);
     header.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     header.extend_from_slice(&checksum(payload).to_le_bytes());
-    w.write_all(&header)?;
+    header
+}
+
+/// Frames a payload with the snapshot header and writes it to `w`.
+pub fn write_payload(
+    w: &mut impl Write,
+    kind: SnapshotKind,
+    payload: &[u8],
+) -> Result<(), SnapshotError> {
+    w.write_all(&frame_header(kind, payload))?;
     w.write_all(payload)?;
     Ok(())
 }
@@ -336,6 +351,12 @@ pub fn read_payload(r: &mut impl Read) -> Result<(SnapshotKind, Vec<u8>), Snapsh
         return Err(SnapshotError::UnsupportedVersion(version));
     }
     let kind = SnapshotKind::from_byte(header[12])?;
+    // The reserved bytes are always written as zero; validating them
+    // means *every* header byte is covered by some check, so any
+    // single-byte corruption of a v1 file fails the load.
+    if header[13..16] != [0, 0, 0] {
+        return Err(SnapshotError::corrupt("nonzero reserved header bytes"));
+    }
     let length = u64::from_le_bytes(header[16..24].try_into().unwrap());
     let expected = u64::from_le_bytes(header[24..32].try_into().unwrap());
 
@@ -363,12 +384,12 @@ pub fn read_payload(r: &mut impl Read) -> Result<(SnapshotKind, Vec<u8>), Snapsh
     Ok((kind, payload))
 }
 
-/// Writes a framed snapshot file (atomically: unique temp file + rename).
-pub fn write_file(
-    path: impl AsRef<Path>,
-    kind: SnapshotKind,
-    payload: &[u8],
-) -> Result<(), SnapshotError> {
+/// Writes a file atomically (unique temp file + rename), from one or
+/// more byte chunks. Shared by the v1 framing below and the v2 section
+/// writer — both formats promise that readers never observe a
+/// half-written snapshot, and that an mmap of the old file stays valid
+/// (the rename replaces the directory entry, not the old inode).
+pub fn write_bytes_atomic(path: impl AsRef<Path>, chunks: &[&[u8]]) -> Result<(), SnapshotError> {
     use std::sync::atomic::{AtomicU64, Ordering};
     // Unique per process *and* per call, so concurrent writers targeting
     // the same directory (or even the same path) never share a temp file.
@@ -381,7 +402,9 @@ pub fn write_file(
 
     let write = || -> Result<(), SnapshotError> {
         let mut f = std::fs::File::create(&tmp)?;
-        write_payload(&mut f, kind, payload)?;
+        for chunk in chunks {
+            f.write_all(chunk)?;
+        }
         f.sync_all()?;
         std::fs::rename(&tmp, path)?;
         Ok(())
@@ -389,6 +412,33 @@ pub fn write_file(
     write().inspect_err(|_| {
         std::fs::remove_file(&tmp).ok();
     })
+}
+
+/// Writes a framed v1 snapshot file (atomically).
+pub fn write_file(
+    path: impl AsRef<Path>,
+    kind: SnapshotKind,
+    payload: &[u8],
+) -> Result<(), SnapshotError> {
+    write_bytes_atomic(path, &[&frame_header(kind, payload), payload])
+}
+
+/// Reads the magic and format version of a snapshot file without loading
+/// it — how callers dispatch between the v1 decoder and the v2 arena.
+pub fn peek_version(path: impl AsRef<Path>) -> Result<u32, SnapshotError> {
+    let mut f = std::fs::File::open(path)?;
+    let mut head = [0u8; 12];
+    f.read_exact(&mut head).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            SnapshotError::corrupt("file shorter than the snapshot magic")
+        } else {
+            SnapshotError::Io(e)
+        }
+    })?;
+    if head[..8] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    Ok(u32::from_le_bytes(head[8..12].try_into().unwrap()))
 }
 
 /// Reads and validates a framed snapshot file.

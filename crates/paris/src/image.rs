@@ -1,0 +1,317 @@
+//! One serving image of an aligned pair, whatever its on-disk format.
+//!
+//! [`PairImage`] unifies the two load paths behind one query surface:
+//! a v1 snapshot decodes into an owned [`AlignedPairSnapshot`]; a v2
+//! snapshot opens as a zero-copy [`MappedPairSnapshot`] whose views read
+//! the arena in place. The daemon (and anything else answering `sameas`
+//! / `neighbors` / stats queries) programs against this enum and gets
+//! bit-identical answers from either representation — the v2 encoder
+//! stores rows in exactly the order the v1 decoder would rebuild them,
+//! and the view accessors replicate the owned accessors' folds.
+
+use std::path::Path;
+
+use paris_kb::snapshot::{peek_version, SnapshotError, FORMAT_VERSION};
+use paris_kb::snapshot_v2::FORMAT_VERSION_V2;
+use paris_kb::{EntityId, KbStats};
+
+use crate::owned::AlignedPairSnapshot;
+use crate::view::MappedPairSnapshot;
+
+/// Which KB of a pair a query addresses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PairSide {
+    /// The first (left) ontology.
+    Kb1,
+    /// The second (right) ontology.
+    Kb2,
+}
+
+/// One rendered statement around an entity, as `/neighbors` reports it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FactRow {
+    /// IRI of the base relation.
+    pub relation: String,
+    /// True when the statement is held in the inverse direction.
+    pub inverse: bool,
+    /// The neighbour term, rendered (IRI string or literal value).
+    pub value: String,
+    /// Global functionality of the directed relation.
+    pub functionality: f64,
+}
+
+/// A loaded aligned-pair serving image: decoded (v1) or mapped (v2).
+#[derive(Debug)]
+pub enum PairImage {
+    /// A fully decoded v1 snapshot (owned, heap-resident; boxed — the
+    /// owned snapshot is an order of magnitude bigger than the mapped
+    /// layouts, and images live behind an `Arc` anyway).
+    Decoded(Box<AlignedPairSnapshot>),
+    /// A zero-copy v2 snapshot (arena-backed, reads in place; boxed so
+    /// the enum stays pointer-sized either way).
+    Mapped(Box<MappedPairSnapshot>),
+}
+
+impl PairImage {
+    /// Loads a snapshot file, dispatching on its format version: v1 is
+    /// decoded, v2 is opened in place.
+    pub fn load(path: impl AsRef<Path>) -> Result<PairImage, SnapshotError> {
+        let path = path.as_ref();
+        match peek_version(path)? {
+            FORMAT_VERSION => Ok(PairImage::Decoded(Box::new(AlignedPairSnapshot::load(
+                path,
+            )?))),
+            FORMAT_VERSION_V2 => Ok(PairImage::Mapped(Box::new(MappedPairSnapshot::open(path)?))),
+            other => Err(SnapshotError::UnsupportedVersion(other)),
+        }
+    }
+
+    /// The snapshot format version this image was loaded from.
+    pub fn format_version(&self) -> u32 {
+        match self {
+            PairImage::Decoded(_) => FORMAT_VERSION,
+            PairImage::Mapped(_) => FORMAT_VERSION_V2,
+        }
+    }
+
+    /// True when the image reads from an OS memory mapping (evicting it
+    /// saves nothing — the page cache owns the bytes).
+    pub fn is_mapped(&self) -> bool {
+        match self {
+            PairImage::Decoded(_) => false,
+            PairImage::Mapped(m) => m.is_mapped(),
+        }
+    }
+
+    /// Converts into an owned snapshot, hydrating a mapped image.
+    pub fn into_decoded(self) -> AlignedPairSnapshot {
+        match self {
+            PairImage::Decoded(s) => *s,
+            PairImage::Mapped(m) => m.hydrate(),
+        }
+    }
+
+    /// The display name of one side's KB.
+    pub fn kb_name(&self, side: PairSide) -> &str {
+        match (self, side) {
+            (PairImage::Decoded(s), PairSide::Kb1) => s.kb1.name(),
+            (PairImage::Decoded(s), PairSide::Kb2) => s.kb2.name(),
+            (PairImage::Mapped(m), PairSide::Kb1) => m.kb1().name(),
+            (PairImage::Mapped(m), PairSide::Kb2) => m.kb2().name(),
+        }
+    }
+
+    /// Table-2-style statistics of one side's KB.
+    pub fn kb_stats(&self, side: PairSide) -> KbStats {
+        match (self, side) {
+            (PairImage::Decoded(s), PairSide::Kb1) => KbStats::of(&s.kb1),
+            (PairImage::Decoded(s), PairSide::Kb2) => KbStats::of(&s.kb2),
+            (PairImage::Mapped(m), PairSide::Kb1) => m.kb1().stats(),
+            (PairImage::Mapped(m), PairSide::Kb2) => m.kb2().stats(),
+        }
+    }
+
+    /// Looks up an entity by IRI on one side.
+    pub fn entity_by_iri(&self, side: PairSide, iri: &str) -> Option<EntityId> {
+        match (self, side) {
+            (PairImage::Decoded(s), PairSide::Kb1) => s.kb1.entity_by_iri(iri),
+            (PairImage::Decoded(s), PairSide::Kb2) => s.kb2.entity_by_iri(iri),
+            (PairImage::Mapped(m), PairSide::Kb1) => m.kb1().entity_by_iri(iri),
+            (PairImage::Mapped(m), PairSide::Kb2) => m.kb2().entity_by_iri(iri),
+        }
+    }
+
+    /// The IRI string of an entity on one side (`None` for literals).
+    pub fn entity_iri(&self, side: PairSide, e: EntityId) -> Option<String> {
+        match (self, side) {
+            (PairImage::Decoded(s), PairSide::Kb1) => s.kb1.iri(e).map(|i| i.as_str().to_owned()),
+            (PairImage::Decoded(s), PairSide::Kb2) => s.kb2.iri(e).map(|i| i.as_str().to_owned()),
+            (PairImage::Mapped(m), PairSide::Kb1) => m.kb1().iri_str(e).map(str::to_owned),
+            (PairImage::Mapped(m), PairSide::Kb2) => m.kb2().iri_str(e).map(str::to_owned),
+        }
+    }
+
+    /// The best match of an entity on `side`, in the *other* KB.
+    pub fn best_match_from(&self, side: PairSide, e: EntityId) -> Option<(EntityId, f64)> {
+        match (self, side) {
+            (PairImage::Decoded(s), PairSide::Kb1) => s.alignment.best_match(e),
+            (PairImage::Decoded(s), PairSide::Kb2) => s.alignment.best_match_rev(e),
+            (PairImage::Mapped(m), PairSide::Kb1) => m.alignment().best_match(e),
+            (PairImage::Mapped(m), PairSide::Kb2) => m.alignment().best_match_rev(e),
+        }
+    }
+
+    /// Number of statements around an entity (both directions).
+    pub fn facts_len(&self, side: PairSide, e: EntityId) -> usize {
+        match (self, side) {
+            (PairImage::Decoded(s), PairSide::Kb1) => s.kb1.facts(e).len(),
+            (PairImage::Decoded(s), PairSide::Kb2) => s.kb2.facts(e).len(),
+            (PairImage::Mapped(m), PairSide::Kb1) => m.kb1().facts_len(e),
+            (PairImage::Mapped(m), PairSide::Kb2) => m.kb2().facts_len(e),
+        }
+    }
+
+    /// The first `limit` statements around an entity, rendered.
+    pub fn facts_page(&self, side: PairSide, e: EntityId, limit: usize) -> Vec<FactRow> {
+        match (self, side) {
+            (PairImage::Decoded(s), PairSide::Kb1) => decoded_facts(&s.kb1, e, limit),
+            (PairImage::Decoded(s), PairSide::Kb2) => decoded_facts(&s.kb2, e, limit),
+            (PairImage::Mapped(m), PairSide::Kb1) => mapped_facts(m.kb1(), e, limit),
+            (PairImage::Mapped(m), PairSide::Kb2) => mapped_facts(m.kb2(), e, limit),
+        }
+    }
+
+    /// Number of assigned KB-1 instances.
+    pub fn aligned_instances(&self) -> usize {
+        match self {
+            PairImage::Decoded(s) => s.alignment.instance_pairs(&s.kb1).len(),
+            PairImage::Mapped(m) => m.alignment().aligned_instances(m.kb1()),
+        }
+    }
+
+    /// Total number of stored (non-zero) instance equivalences.
+    pub fn num_instance_pairs(&self) -> usize {
+        match self {
+            PairImage::Decoded(s) => s.alignment.num_instance_pairs(),
+            PairImage::Mapped(m) => m.alignment().num_instance_pairs(),
+        }
+    }
+
+    /// Number of clamped literal-equivalence pairs.
+    pub fn literal_pairs(&self) -> usize {
+        match self {
+            PairImage::Decoded(s) => s.alignment.literal_pairs,
+            PairImage::Mapped(m) => m.alignment().literal_pairs(),
+        }
+    }
+
+    /// Iteration count of the producing run.
+    pub fn iterations_len(&self) -> usize {
+        match self {
+            PairImage::Decoded(s) => s.alignment.iterations.len(),
+            PairImage::Mapped(m) => m.alignment().iterations().len(),
+        }
+    }
+
+    /// Whether the producing run converged.
+    pub fn converged(&self) -> bool {
+        match self {
+            PairImage::Decoded(s) => s.alignment.converged,
+            PairImage::Mapped(m) => m.alignment().converged(),
+        }
+    }
+}
+
+fn decoded_facts(kb: &paris_kb::Kb, e: EntityId, limit: usize) -> Vec<FactRow> {
+    kb.facts(e)
+        .iter()
+        .take(limit)
+        .map(|&(r, y)| FactRow {
+            relation: kb.relation_iri(r).as_str().to_owned(),
+            inverse: r.is_inverse(),
+            value: kb.term(y).to_string(),
+            functionality: kb.functionality(r),
+        })
+        .collect()
+}
+
+fn mapped_facts(kb: paris_kb::KbView<'_>, e: EntityId, limit: usize) -> Vec<FactRow> {
+    kb.facts(e)
+        .take(limit)
+        .map(|(r, y)| FactRow {
+            relation: kb.relation_iri_str(r).to_owned(),
+            inverse: r.is_inverse(),
+            value: kb.term(y).to_string(),
+            functionality: kb.functionality(r),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ParisConfig;
+    use crate::iteration::Aligner;
+    use crate::owned::OwnedAlignment;
+    use paris_kb::KbBuilder;
+    use paris_rdf::Literal;
+
+    fn tiny_snapshot() -> AlignedPairSnapshot {
+        let mut a = KbBuilder::new("left");
+        let mut b = KbBuilder::new("right");
+        for i in 0..4 {
+            a.add_literal_fact(
+                format!("http://a/p{i}"),
+                "http://a/email",
+                Literal::plain(format!("p{i}@x.org")),
+            );
+            b.add_literal_fact(
+                format!("http://b/q{i}"),
+                "http://b/mail",
+                Literal::plain(format!("p{i}@x.org")),
+            );
+        }
+        let (kb1, kb2) = (a.build(), b.build());
+        let owned = {
+            let result = Aligner::new(&kb1, &kb2, ParisConfig::default()).run();
+            OwnedAlignment::from_result(&result)
+        };
+        AlignedPairSnapshot::new(kb1, kb2, owned)
+    }
+
+    #[test]
+    fn load_dispatches_on_format_version() {
+        let dir = std::env::temp_dir().join("paris_image_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = tiny_snapshot();
+        let v1 = dir.join("pair_v1.snap");
+        let v2 = dir.join("pair_v2.snap");
+        snap.save(&v1).unwrap();
+        MappedPairSnapshot::save_v2(&snap, &v2).unwrap();
+
+        let d = PairImage::load(&v1).unwrap();
+        let m = PairImage::load(&v2).unwrap();
+        assert_eq!(d.format_version(), 1);
+        assert_eq!(m.format_version(), 2);
+        assert!(matches!(d, PairImage::Decoded(_)));
+        assert!(matches!(m, PairImage::Mapped(_)));
+
+        // Identical answers through the unified surface.
+        for img in [&d, &m] {
+            assert_eq!(img.kb_name(PairSide::Kb1), "left");
+            assert_eq!(img.aligned_instances(), 4);
+            let e = img.entity_by_iri(PairSide::Kb1, "http://a/p1").unwrap();
+            let (matched, p) = img.best_match_from(PairSide::Kb1, e).unwrap();
+            assert_eq!(
+                img.entity_iri(PairSide::Kb2, matched).as_deref(),
+                Some("http://b/q1")
+            );
+            assert!(p > 0.0);
+            assert_eq!(
+                img.facts_page(PairSide::Kb1, e, 10),
+                d.facts_page(PairSide::Kb1, e, 10)
+            );
+            assert_eq!(img.kb_stats(PairSide::Kb2), KbStats::of(&snap.kb2));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_versions_are_rejected() {
+        let dir = std::env::temp_dir().join("paris_image_unit_badver");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.snap");
+        let mut bytes = {
+            let snap = tiny_snapshot();
+            snap.save(&path).unwrap();
+            std::fs::read(&path).unwrap()
+        };
+        bytes[8..12].copy_from_slice(&9u32.to_le_bytes());
+        std::fs::write(&path, bytes).unwrap();
+        assert!(matches!(
+            PairImage::load(&path),
+            Err(SnapshotError::UnsupportedVersion(9))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -24,7 +24,9 @@
 //! | [`subrel`] | §4.2 | Eq. 12 sub-relation pass |
 //! | [`subclass`] | §4.3 | Eq. 17 class pass |
 //! | [`iteration`] | §5.1 | bootstrap, fixed point, convergence |
-//! | [`owned`] | — | borrow-free results, aligned-pair snapshots |
+//! | [`owned`] | — | borrow-free results, aligned-pair snapshots (v1) |
+//! | [`view`] | — | zero-copy v2 snapshots: arena layouts and views |
+//! | [`image`] | — | one serving image, decoded (v1) or mapped (v2) |
 //! | [`incremental`] | — | warm-started re-alignment on KB deltas |
 //!
 //! See [`Aligner`] for the entry point of a full run and
@@ -34,6 +36,7 @@
 pub mod config;
 pub mod equiv;
 pub mod explain;
+pub mod image;
 pub mod incremental;
 pub mod instance;
 pub mod iteration;
@@ -41,10 +44,12 @@ pub mod literal_bridge;
 pub mod owned;
 pub mod subclass;
 pub mod subrel;
+pub mod view;
 
 pub use config::ParisConfig;
 pub use equiv::{CandidateView, EquivStore};
 pub use explain::{Evidence, Explanation};
+pub use image::{FactRow, PairImage, PairSide};
 pub use incremental::{
     realign_incremental, update_snapshot, DirtySeeds, IncrementalOptions, IncrementalReport,
     IncrementalRun, UpdateReport,
@@ -54,3 +59,4 @@ pub use literal_bridge::LiteralBridge;
 pub use owned::{AlignedPairSnapshot, OwnedAlignment};
 pub use subclass::{ClassAlignment, ClassScore};
 pub use subrel::SubrelStore;
+pub use view::{AlignmentLayout, AlignmentView, MappedPairSnapshot};

@@ -363,16 +363,26 @@ impl AlignedPairSnapshot {
         write_file(path, SnapshotKind::AlignedPair, payload.bytes())
     }
 
+    /// Decodes and validates an in-memory v1 aligned-pair image.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let (kind, payload) = paris_kb::snapshot::read_payload(&mut &bytes[..])?;
+        Self::decode_pair(kind, &payload)
+    }
+
     /// Loads and validates an aligned-pair snapshot file.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
         let (kind, payload) = read_file(path)?;
+        Self::decode_pair(kind, &payload)
+    }
+
+    fn decode_pair(kind: SnapshotKind, payload: &[u8]) -> Result<Self, SnapshotError> {
         if kind != SnapshotKind::AlignedPair {
             return Err(SnapshotError::corrupt(format!(
                 "expected an aligned-pair snapshot, found a {}",
                 kind.name()
             )));
         }
-        let mut r = PayloadReader::new(&payload);
+        let mut r = PayloadReader::new(payload);
         let kb1 = decode_kb(&mut r)?;
         let kb2 = decode_kb(&mut r)?;
         // decode() cross-validates every table size and id against the KBs.

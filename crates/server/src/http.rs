@@ -249,6 +249,8 @@ pub struct Response {
     pub content_type: &'static str,
     /// Response body.
     pub body: Vec<u8>,
+    /// Value of an `Allow` header (RFC 9110 requires one on every 405).
+    pub allow: Option<&'static str>,
 }
 
 impl Response {
@@ -258,6 +260,7 @@ impl Response {
             status,
             content_type: "application/json",
             body: body.into().into_bytes(),
+            allow: None,
         }
     }
 
@@ -267,7 +270,14 @@ impl Response {
             status,
             content_type: "text/plain; charset=utf-8",
             body: body.into().into_bytes(),
+            allow: None,
         }
+    }
+
+    /// Attaches an `Allow` header (comma-separated method list).
+    pub fn with_allow(mut self, methods: &'static str) -> Self {
+        self.allow = Some(methods);
+        self
     }
 
     fn reason(&self) -> &'static str {
@@ -287,13 +297,17 @@ impl Response {
     pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
         write!(
             w,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             self.reason(),
             self.content_type,
             self.body.len(),
             if keep_alive { "keep-alive" } else { "close" },
         )?;
+        if let Some(allow) = self.allow {
+            write!(w, "Allow: {allow}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
         w.write_all(&self.body)?;
         w.flush()
     }
@@ -391,5 +405,19 @@ mod tests {
         assert!(s.contains("Content-Length: 2\r\n"));
         assert!(s.contains("Connection: keep-alive"));
         assert!(s.ends_with("\r\n\r\n{}"));
+        assert!(!s.contains("Allow:"));
+    }
+
+    #[test]
+    fn method_not_allowed_carries_allow_header() {
+        let mut out = Vec::new();
+        Response::json(405, "{\"error\":\"nope\"}")
+            .with_allow("GET, POST")
+            .write_to(&mut out, false)
+            .unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"), "{s}");
+        assert!(s.contains("\r\nAllow: GET, POST\r\n"), "{s}");
+        assert!(s.contains("Content-Type: application/json"), "{s}");
     }
 }

@@ -2,38 +2,55 @@
 //!
 //! The seed reproduced PARIS as a batch CLI: parse two RDF files, align,
 //! print, exit. This crate is the serving half of the system: a
-//! long-lived HTTP/1.1 daemon that loads an aligned-pair snapshot
-//! (computed once by `paris snapshot`) and answers alignment queries from
-//! an [`Arc`]-shared, immutable, fully-indexed in-memory image —
-//! startup in milliseconds, reads without write contention.
+//! long-lived HTTP/1.1 daemon answering alignment queries from immutable
+//! in-memory images, built entirely on `std::net` (the workspace takes
+//! no external dependencies): a fixed pool of worker threads pulls
+//! accepted connections from a channel and speaks the minimal HTTP/1.1
+//! subset in [`http`].
 //!
-//! Built entirely on `std::net` (the workspace takes no external
-//! dependencies): a fixed pool of worker threads pulls accepted
-//! connections from a channel and speaks the minimal HTTP/1.1 subset in
-//! [`http`].
+//! ## The catalog
 //!
-//! ## Hot reload
+//! One daemon serves **many alignment pairs**. The catalog maps pair
+//! names to snapshot files (`paris serve --catalog DIR` scans a
+//! directory; `paris serve FILE.snap` is a one-pair catalog) and routes
+//! `/pairs/<name>/{sameas,neighbors,stats,reload,healthz}`; the bare
+//! legacy routes alias the *default* pair (the one named `default`, or
+//! the alphabetically first). Pairs load **lazily** on first hit:
 //!
-//! The served snapshot is **swappable without downtime**: each request
-//! clones the current `Arc<LoadedSnapshot>` once and answers entirely
-//! from that image, so `POST /reload` (or the `--watch` mtime re-check)
-//! can load a new snapshot off the side and atomically swap the pointer
-//! — in-flight requests finish against the old image, the old image is
-//! freed when its last request drops, and `/stats` reports a bumped
-//! `generation`. Loading happens *before* the swap: a corrupt or missing
-//! file leaves the current snapshot serving.
+//! * **v1 snapshots** decode into owned images. Their heap weight is
+//!   accounted against the `--max-resident` budget, and the
+//!   least-recently-used decoded image is evicted (and transparently
+//!   re-loaded on the next hit) when the budget overflows.
+//! * **v2 snapshots** open as mmap-backed arenas ([`PairImage::Mapped`])
+//!   read in place — the OS page cache owns the bytes, so they cost the
+//!   budget nothing, are never evicted, and cold sections never enter
+//!   this process's resident set at all.
+//!
+//! ## Hot reload, per pair
+//!
+//! Every pair carries its own monotonic **generation** (bumped by each
+//! image install: first load, explicit reload, watch reload, re-load
+//! after eviction). Each request clones one `Arc` to its pair's current
+//! image and answers entirely from it, so `POST /pairs/<name>/reload`
+//! (or the `--watch` mtime re-check, which also discovers added and
+//! removed catalog files) swaps the pointer atomically — in-flight
+//! requests finish on the old image, and a failed load leaves the old
+//! image serving.
 //!
 //! ## Endpoints
 //!
 //! | route | method | answer |
 //! |---|---|---|
-//! | `/healthz` | GET | liveness + uptime + snapshot generation |
-//! | `/stats` | GET | KB + alignment statistics, generation, reload count |
-//! | `/sameas?iri=…[&side=left\|right][&threshold=θ]` | GET | best match of an instance, with score |
-//! | `/neighbors?iri=…[&side=…][&limit=n]` | GET | facts around an entity |
+//! | `/healthz` | GET | liveness + version + default-pair generation |
+//! | `/pairs` | GET | the catalog: every pair, its state and generation |
+//! | `/pairs/<name>/sameas?iri=…` | GET | best match of an instance |
+//! | `/pairs/<name>/neighbors?iri=…` | GET | facts around an entity |
+//! | `/pairs/<name>/stats` | GET | KB + alignment statistics of one pair |
+//! | `/pairs/<name>/healthz` | GET | per-pair liveness + generation |
+//! | `/pairs/<name>/reload` | POST | swap in that pair's snapshot file |
+//! | `/sameas`, `/neighbors`, `/stats`, `/reload` | | aliases of the default pair |
 //! | `/align` | POST | enqueue a batch job over two single-KB snapshots |
 //! | `/jobs/<id>` | GET | job status / outcome |
-//! | `/reload` | POST | swap in a new snapshot (form field `path=` optional) |
 //!
 //! See `docs/HTTP_API.md` at the repository root for the full
 //! request/response reference with curl examples.
@@ -42,20 +59,24 @@ pub mod http;
 pub mod jobs;
 pub mod json;
 
+use std::collections::BTreeMap;
 use std::io::{BufReader, BufWriter};
 use std::net::{TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
-use paris_core::AlignedPairSnapshot;
-use paris_kb::{EntityId, Kb, KbStats};
+use paris_core::{AlignedPairSnapshot, PairImage, PairSide};
+use paris_kb::{snapshot, KbStats};
 
 use http::{ParseError, Request, Response};
 use jobs::{JobRequest, JobStore};
 
 pub use jobs::{JobOutcome, JobState};
+
+/// The crate version reported by `/healthz` and `paris version`.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
 
 /// Server tuning knobs.
 ///
@@ -64,10 +85,11 @@ pub use jobs::{JobOutcome, JobState};
 /// jobs, write) server-local snapshot paths named by the client, so they
 /// are only safe for trusted peers — keep the default loopback bind, or
 /// disable them (`enable_jobs: false` / `paris serve --no-jobs`) before
-/// exposing the read-only query routes more widely. With jobs disabled,
-/// `POST /reload` still re-checks the *configured* snapshot path (the
-/// client names no filesystem location), so operators keep zero-downtime
-/// updates.
+/// exposing the read-only query routes more widely. In catalog mode the
+/// catalog *directory* is the trust boundary: every pair reloads only
+/// from its own scanned file, client-named paths are rejected outright,
+/// and dropping a file into the directory is what publishes it (the
+/// `--watch` rescan picks it up).
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:7070` (`:0` picks a free port).
@@ -77,13 +99,22 @@ pub struct ServerConfig {
     /// Whether `POST /align` (filesystem-touching batch jobs) and
     /// client-named `POST /reload` paths are served.
     pub enable_jobs: bool,
-    /// The snapshot file the daemon was started from: the default source
-    /// for `POST /reload` and the file the `--watch` thread re-checks.
+    /// Single-pair mode: the snapshot file the daemon was started from —
+    /// the default source for `POST /reload` and the `--watch` re-check.
     /// `None` disables both (e.g. tests that build snapshots in memory).
     pub snapshot_path: Option<PathBuf>,
-    /// Poll `snapshot_path` for modification-time changes at this
+    /// Catalog mode: serve every `*.snap` in this directory as a named
+    /// pair (mutually exclusive with `snapshot_path`).
+    pub catalog_dir: Option<PathBuf>,
+    /// Budget (bytes) for *decoded* v1 images, LRU-evicted when
+    /// exceeded. Mapped v2 arenas cost nothing against it. `None` means
+    /// unbounded.
+    pub max_resident_bytes: Option<u64>,
+    /// Poll snapshot files for modification-time changes at this
     /// interval and hot-swap automatically — the daemon equivalent of a
-    /// SIGHUP re-check (`std` offers no portable signal handling).
+    /// SIGHUP re-check (`std` offers no portable signal handling). In
+    /// catalog mode the tick also rescans the directory for added and
+    /// removed pairs.
     pub watch_interval: Option<Duration>,
 }
 
@@ -94,85 +125,254 @@ impl Default for ServerConfig {
             threads: 4,
             enable_jobs: true,
             snapshot_path: None,
+            catalog_dir: None,
+            max_resident_bytes: None,
             watch_interval: None,
         }
     }
 }
 
-/// One immutable serving image: a loaded snapshot plus the derived
-/// values `/stats` would otherwise recompute per hit. Swapped wholesale
-/// on reload; requests in flight keep their `Arc` to the old image.
-struct LoadedSnapshot {
-    snapshot: AlignedPairSnapshot,
+/// One immutable serving image of one pair: the loaded snapshot plus the
+/// derived values `/stats` would otherwise recompute per hit. Swapped
+/// wholesale on reload; requests in flight keep their `Arc`.
+struct LoadedImage {
+    image: PairImage,
     /// Assigned KB-1 instances, computed once at load time.
     aligned_instances: usize,
     /// Pre-rendered KB statistics.
     kb1_stats_json: String,
     kb2_stats_json: String,
-    /// Monotonic snapshot generation: 1 for the image the server started
-    /// with, bumped by every successful reload.
+    /// The pair's generation this image was installed as.
     generation: u64,
+    /// Heap weight charged against `--max-resident`: the file size for a
+    /// decoded v1 image (a close proxy for its decoded heap), zero for a
+    /// mapped v2 arena (the page cache owns those bytes).
+    resident_bytes: u64,
 }
 
-impl LoadedSnapshot {
-    fn new(snapshot: AlignedPairSnapshot, generation: u64) -> Self {
-        let aligned_instances = snapshot.alignment.instance_pairs(&snapshot.kb1).len();
-        let kb1_stats_json = kb_stats_json(&snapshot.kb1);
-        let kb2_stats_json = kb_stats_json(&snapshot.kb2);
-        LoadedSnapshot {
-            snapshot,
+impl LoadedImage {
+    fn new(image: PairImage, generation: u64, file_bytes: u64) -> Self {
+        let aligned_instances = image.aligned_instances();
+        let kb1_stats_json = kb_stats_json(&image.kb_stats(PairSide::Kb1));
+        let kb2_stats_json = kb_stats_json(&image.kb_stats(PairSide::Kb2));
+        let resident_bytes = if image.is_mapped() { 0 } else { file_bytes };
+        LoadedImage {
+            image,
             aligned_instances,
             kb1_stats_json,
             kb2_stats_json,
             generation,
+            resident_bytes,
         }
     }
 }
 
-/// Shared serving state: the swappable snapshot image plus counters.
-struct ServeState {
-    /// The current image. Readers clone the `Arc` under a momentary read
-    /// lock (never held across a request); reload takes the write lock
-    /// only for the pointer swap itself.
-    current: RwLock<Arc<LoadedSnapshot>>,
-    /// Generation of the most recently installed image.
+/// Filesystem change signature: (mtime, length). Mtimes can be coarse
+/// (a second on some systems); the length disambiguates all but
+/// same-second same-size rewrites.
+fn signature_of(path: &Path) -> Option<(SystemTime, u64)> {
+    std::fs::metadata(path)
+        .ok()
+        .and_then(|m| m.modified().ok().map(|t| (t, m.len())))
+}
+
+/// One catalog entry: a named snapshot file and its swappable image.
+struct PairState {
+    name: String,
+    /// Backing snapshot file. `None` only for images handed to
+    /// [`Server::bind`] directly (tests/benches); such pairs cannot
+    /// reload and are never evicted.
+    path: Option<PathBuf>,
+    /// The current image; `None` before the first hit or after eviction.
+    slot: RwLock<Option<Arc<LoadedImage>>>,
+    /// Serializes loads/reloads of this pair (readers never wait on it).
+    load_lock: Mutex<()>,
+    /// Monotonic per-pair generation: the number of images ever
+    /// installed (first lazy load = 1).
     generation: AtomicU64,
-    /// Successful reloads since startup.
+    /// Successful explicit + watch reloads.
     reloads: AtomicU64,
-    /// Default source for `POST /reload` and the watch thread.
-    source: Option<PathBuf>,
+    /// LRU tick of the last request that touched this pair.
+    last_used: AtomicU64,
+    /// Signature of `path` as of the last load from it.
+    last_signature: Mutex<Option<(SystemTime, u64)>>,
+}
+
+impl PairState {
+    fn unloaded(name: String, path: PathBuf) -> PairState {
+        PairState {
+            name,
+            path: Some(path),
+            slot: RwLock::new(None),
+            load_lock: Mutex::new(()),
+            generation: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
+            last_used: AtomicU64::new(0),
+            last_signature: Mutex::new(None),
+        }
+    }
+
+    fn current(&self) -> Option<Arc<LoadedImage>> {
+        self.slot.read().expect("pair slot poisoned").clone()
+    }
+}
+
+/// The pair catalog: names → states, plus the eviction machinery.
+struct Catalog {
+    pairs: RwLock<BTreeMap<String, Arc<PairState>>>,
+    /// Name the bare legacy routes alias.
+    default_name: RwLock<String>,
+    /// Catalog directory (rescanned by `--watch`), `None` in single mode.
+    dir: Option<PathBuf>,
+    max_resident: Option<u64>,
+    /// LRU clock.
+    clock: AtomicU64,
+}
+
+impl Catalog {
+    fn pair(&self, name: &str) -> Option<Arc<PairState>> {
+        self.pairs
+            .read()
+            .expect("catalog lock poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    fn default_pair(&self) -> Option<Arc<PairState>> {
+        let name = self
+            .default_name
+            .read()
+            .expect("catalog lock poisoned")
+            .clone();
+        self.pair(&name)
+    }
+
+    fn touch(&self, pair: &PairState) {
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        pair.last_used.store(tick, Ordering::Relaxed);
+    }
+
+    /// The pair's current image, loading it on first hit (or after an
+    /// eviction). Returns the human-readable load error on failure.
+    fn image_of(&self, pair: &Arc<PairState>) -> Result<Arc<LoadedImage>, String> {
+        self.touch(pair);
+        if let Some(img) = pair.current() {
+            return Ok(img);
+        }
+        let _serialized = pair.load_lock.lock().expect("pair load lock poisoned");
+        if let Some(img) = pair.current() {
+            return Ok(img); // another thread won the race
+        }
+        let Some(path) = pair.path.clone() else {
+            return Err(format!("pair '{}' has no backing snapshot file", pair.name));
+        };
+        // Sample the signature *before* loading: if the file is replaced
+        // mid-load we serve the old bytes but record the pre-replacement
+        // signature, so the next --watch tick sees the change and
+        // reloads (an extra reload beats serving stale data forever).
+        let signature = signature_of(&path);
+        let loaded = self.load_from(pair, &path)?;
+        *pair.last_signature.lock().expect("signature lock poisoned") = signature;
+        drop(_serialized);
+        self.enforce_budget(&pair.name);
+        Ok(loaded)
+    }
+
+    /// Loads `path` and installs it as the pair's next generation.
+    /// Callers must hold the pair's `load_lock`.
+    fn load_from(&self, pair: &PairState, path: &Path) -> Result<Arc<LoadedImage>, String> {
+        let file_bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        let image = PairImage::load(path)
+            .map_err(|e| format!("cannot load snapshot {}: {e}", path.display()))?;
+        let generation = pair.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        let loaded = Arc::new(LoadedImage::new(image, generation, file_bytes));
+        *pair.slot.write().expect("pair slot poisoned") = Some(Arc::clone(&loaded));
+        Ok(loaded)
+    }
+
+    /// Reloads one pair from its backing file (or an explicit override
+    /// in legacy single-pair mode), bumping generation and reload count.
+    fn reload_pair(
+        &self,
+        pair: &Arc<PairState>,
+        override_path: Option<&Path>,
+    ) -> Result<Arc<LoadedImage>, String> {
+        let _serialized = pair.load_lock.lock().expect("pair load lock poisoned");
+        let loaded = match override_path {
+            Some(p) => self.load_from(pair, p)?,
+            None => {
+                let Some(path) = pair.path.clone() else {
+                    return Err(format!("pair '{}' has no backing snapshot file", pair.name));
+                };
+                // Pre-load signature, same reasoning as in image_of.
+                let signature = signature_of(&path);
+                let loaded = self.load_from(pair, &path)?;
+                *pair.last_signature.lock().expect("signature lock poisoned") = signature;
+                loaded
+            }
+        };
+        pair.reloads.fetch_add(1, Ordering::Relaxed);
+        drop(_serialized);
+        self.touch(pair);
+        self.enforce_budget(&pair.name);
+        Ok(loaded)
+    }
+
+    /// Evicts least-recently-used *decoded* images until the resident
+    /// total fits the budget. The pair named `keep` (the one just
+    /// loaded) and all mapped/pathless images are exempt.
+    fn enforce_budget(&self, keep: &str) {
+        let Some(budget) = self.max_resident else {
+            return;
+        };
+        loop {
+            let mut total = 0u64;
+            let mut lru: Option<(u64, Arc<PairState>)> = None;
+            {
+                let pairs = self.pairs.read().expect("catalog lock poisoned");
+                for pair in pairs.values() {
+                    let Some(img) = pair.current() else { continue };
+                    if img.resident_bytes == 0 {
+                        continue; // mapped: the page cache owns it
+                    }
+                    total += img.resident_bytes;
+                    if pair.name != keep && pair.path.is_some() {
+                        let used = pair.last_used.load(Ordering::Relaxed);
+                        if lru.as_ref().is_none_or(|&(u, _)| used < u) {
+                            lru = Some((used, Arc::clone(pair)));
+                        }
+                    }
+                }
+            }
+            if total <= budget {
+                return;
+            }
+            let Some((_, victim)) = lru else {
+                return; // nothing evictable left
+            };
+            let evicted = victim
+                .slot
+                .write()
+                .expect("pair slot poisoned")
+                .take()
+                .map(|img| img.resident_bytes)
+                .unwrap_or(0);
+            eprintln!(
+                "catalog: evicted decoded pair '{}' ({evicted} resident bytes) under --max-resident",
+                victim.name
+            );
+        }
+    }
+}
+
+/// Shared serving state: the catalog plus global counters.
+struct ServeState {
+    catalog: Catalog,
     started: Instant,
     requests: AtomicU64,
     jobs: Arc<JobStore>,
     /// Whether `POST /align` is served (see [`ServerConfig::enable_jobs`]).
     jobs_enabled: bool,
-}
-
-impl ServeState {
-    /// The current serving image (cheap: one `Arc` clone).
-    fn current(&self) -> Arc<LoadedSnapshot> {
-        self.current.read().expect("snapshot lock poisoned").clone()
-    }
-
-    /// Atomically swaps in a freshly loaded snapshot, returning its
-    /// generation. The load and the derived-value computation have
-    /// already happened off the lock; in-flight requests keep serving the
-    /// previous image until they finish. The generation is assigned
-    /// *under* the write lock so concurrent installs (a `POST /reload`
-    /// racing the watch thread) cannot swap out of order — generations
-    /// observed through `/stats` are strictly increasing.
-    fn install(&self, snapshot: AlignedPairSnapshot) -> u64 {
-        let staged = LoadedSnapshot::new(snapshot, 0);
-        let mut slot = self.current.write().expect("snapshot lock poisoned");
-        let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
-        *slot = Arc::new(LoadedSnapshot {
-            generation,
-            ..staged
-        });
-        drop(slot);
-        self.reloads.fetch_add(1, Ordering::Relaxed);
-        generation
-    }
 }
 
 /// A bound, not-yet-running server.
@@ -209,17 +409,44 @@ impl ServerHandle {
     }
 }
 
+/// Lists the `*.snap` files of a catalog directory as `(name, path)`.
+fn scan_catalog_dir(dir: &Path) -> std::io::Result<Vec<(String, PathBuf)>> {
+    let mut found = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let is_snap = path
+            .extension()
+            .and_then(|e| e.to_str())
+            .is_some_and(|e| e.eq_ignore_ascii_case("snap"));
+        if !path.is_file() || !is_snap {
+            continue;
+        }
+        let Some(name) = path.file_stem().and_then(|s| s.to_str()) else {
+            continue;
+        };
+        found.push((name.to_owned(), path.clone()));
+    }
+    found.sort();
+    Ok(found)
+}
+
+/// The default pair of a catalog: `default` if present, else the
+/// alphabetically first name.
+fn pick_default(names: &BTreeMap<String, Arc<PairState>>) -> String {
+    if names.contains_key("default") {
+        "default".to_owned()
+    } else {
+        names.keys().next().cloned().unwrap_or_default()
+    }
+}
+
 impl Server {
-    /// Binds the listener and prepares the shared state.
-    pub fn bind(snapshot: AlignedPairSnapshot, config: ServerConfig) -> std::io::Result<Server> {
+    fn bind_with_catalog(catalog: Catalog, config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         Ok(Server {
             listener,
             state: Arc::new(ServeState {
-                current: RwLock::new(Arc::new(LoadedSnapshot::new(snapshot, 1))),
-                generation: AtomicU64::new(1),
-                reloads: AtomicU64::new(0),
-                source: config.snapshot_path.clone(),
+                catalog,
                 started: Instant::now(),
                 requests: AtomicU64::new(0),
                 jobs: Arc::new(JobStore::new()),
@@ -230,9 +457,94 @@ impl Server {
         })
     }
 
+    /// Binds a single-pair server around an already-decoded snapshot
+    /// (the pre-catalog API, kept for tests, benches, and embedding).
+    pub fn bind(snapshot: AlignedPairSnapshot, config: ServerConfig) -> std::io::Result<Server> {
+        Server::bind_image(PairImage::Decoded(Box::new(snapshot)), config)
+    }
+
+    /// Binds a single-pair server around a loaded [`PairImage`] (decoded
+    /// v1 or mapped v2). The pair is named after the snapshot file, or
+    /// `default` when none is configured.
+    pub fn bind_image(image: PairImage, config: ServerConfig) -> std::io::Result<Server> {
+        let path = config.snapshot_path.clone();
+        let name = path
+            .as_deref()
+            .and_then(|p| p.file_stem())
+            .and_then(|s| s.to_str())
+            .unwrap_or("default")
+            .to_owned();
+        let file_bytes = path
+            .as_deref()
+            .and_then(|p| std::fs::metadata(p).ok())
+            .map(|m| m.len())
+            .unwrap_or(0);
+        let pair = PairState {
+            name: name.clone(),
+            slot: RwLock::new(Some(Arc::new(LoadedImage::new(image, 1, file_bytes)))),
+            load_lock: Mutex::new(()),
+            generation: AtomicU64::new(1),
+            reloads: AtomicU64::new(0),
+            last_used: AtomicU64::new(0),
+            last_signature: Mutex::new(path.as_deref().and_then(signature_of)),
+            path,
+        };
+        let mut pairs = BTreeMap::new();
+        pairs.insert(name.clone(), Arc::new(pair));
+        let catalog = Catalog {
+            pairs: RwLock::new(pairs),
+            default_name: RwLock::new(name),
+            dir: None,
+            max_resident: config.max_resident_bytes,
+            clock: AtomicU64::new(0),
+        };
+        Server::bind_with_catalog(catalog, config)
+    }
+
+    /// Binds a multi-pair server over `config.catalog_dir`: every
+    /// `NAME.snap` in the directory becomes the pair `NAME`, opened
+    /// lazily on its first request.
+    pub fn bind_catalog(config: ServerConfig) -> std::io::Result<Server> {
+        let dir = config.catalog_dir.clone().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "no catalog directory set")
+        })?;
+        let found = scan_catalog_dir(&dir)?;
+        if found.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("no *.snap files in catalog directory {}", dir.display()),
+            ));
+        }
+        let mut pairs = BTreeMap::new();
+        for (name, path) in found {
+            pairs.insert(name.clone(), Arc::new(PairState::unloaded(name, path)));
+        }
+        let default_name = pick_default(&pairs);
+        let catalog = Catalog {
+            pairs: RwLock::new(pairs),
+            default_name: RwLock::new(default_name),
+            dir: Some(dir),
+            max_resident: config.max_resident_bytes,
+            clock: AtomicU64::new(0),
+        };
+        Server::bind_with_catalog(catalog, config)
+    }
+
     /// The address actually bound (resolves `:0`).
     pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// Names of the pairs currently in the catalog (sorted).
+    pub fn pair_names(&self) -> Vec<String> {
+        self.state
+            .catalog
+            .pairs
+            .read()
+            .expect("catalog lock poisoned")
+            .keys()
+            .cloned()
+            .collect()
     }
 
     /// Runs the accept loop on the current thread until shut down.
@@ -312,50 +624,92 @@ impl Server {
     }
 }
 
-/// The SIGHUP-style re-check: poll the source snapshot's modification
-/// time and hot-swap when it changes. Runs as a daemon-adjacent thread
-/// that exits with the accept loop. A vanished file (mid-replace) or a
-/// file that fails to load leaves the current snapshot serving and is
-/// retried next tick.
+/// The SIGHUP-style re-check, per pair: poll every loaded pair's file
+/// signature and hot-swap the ones that changed; in catalog mode, also
+/// rescan the directory for added and removed snapshot files. A vanished
+/// or unloadable file leaves the current image serving and is retried
+/// next tick.
 fn spawn_watch_thread(state: Arc<ServeState>, shutdown: Arc<AtomicBool>, interval: Duration) {
-    let Some(path) = state.source.clone() else {
-        return;
-    };
-    // Change signature: (mtime, length). Filesystem mtimes can be coarse
-    // (a second on some systems), so two quick rewrites could share one;
-    // the length disambiguates all but same-second same-size rewrites.
-    let signature_of = |p: &std::path::Path| {
-        std::fs::metadata(p)
-            .ok()
-            .and_then(|m| m.modified().ok().map(|t| (t, m.len())))
-    };
     std::thread::Builder::new()
         .name("paris-serve-watch".to_owned())
         .spawn(move || {
-            let mut last_seen = signature_of(&path);
             while !shutdown.load(Ordering::SeqCst) {
                 std::thread::sleep(interval);
-                let now = signature_of(&path);
-                if now.is_some() && now != last_seen {
-                    match AlignedPairSnapshot::load(&path) {
-                        Ok(snapshot) => {
-                            let generation = state.install(snapshot);
-                            eprintln!(
-                                "watch: reloaded {} (generation {generation})",
-                                path.display()
-                            );
-                            last_seen = now;
-                        }
+                let catalog = &state.catalog;
+                if let Some(dir) = catalog.dir.clone() {
+                    rescan_catalog(catalog, &dir);
+                }
+                let pairs: Vec<Arc<PairState>> = catalog
+                    .pairs
+                    .read()
+                    .expect("catalog lock poisoned")
+                    .values()
+                    .cloned()
+                    .collect();
+                for pair in pairs {
+                    // Only refresh pairs that are actually resident; an
+                    // unloaded pair reads the fresh file on its next hit.
+                    if pair.current().is_none() {
+                        continue;
+                    }
+                    let Some(path) = pair.path.clone() else {
+                        continue;
+                    };
+                    let now = signature_of(&path);
+                    let last = *pair.last_signature.lock().expect("signature lock poisoned");
+                    if now.is_none() || now == last {
+                        continue;
+                    }
+                    match catalog.reload_pair(&pair, None) {
+                        Ok(img) => eprintln!(
+                            "watch: reloaded pair '{}' from {} (generation {})",
+                            pair.name,
+                            path.display(),
+                            img.generation
+                        ),
                         Err(e) => {
-                            // last_seen stays stale, so a half-written
-                            // file is retried on the next tick.
-                            eprintln!("watch: reload of {} failed: {e}", path.display());
+                            // last_signature stays stale, so a
+                            // half-written file is retried next tick.
+                            eprintln!("watch: reload of pair '{}' failed: {e}", pair.name)
                         }
                     }
                 }
             }
         })
         .expect("spawning watch thread");
+}
+
+/// One `--watch` tick of catalog-directory maintenance: new `*.snap`
+/// files become unloaded pairs, vanished files drop their pairs, and the
+/// default pair is re-picked if its file went away.
+fn rescan_catalog(catalog: &Catalog, dir: &Path) {
+    let Ok(found) = scan_catalog_dir(dir) else {
+        return; // transient directory error: keep serving what we have
+    };
+    let names: std::collections::BTreeSet<&str> = found.iter().map(|(n, _)| n.as_str()).collect();
+    let mut pairs = catalog.pairs.write().expect("catalog lock poisoned");
+    for (name, path) in &found {
+        if !pairs.contains_key(name) {
+            eprintln!("watch: discovered pair '{name}' ({})", path.display());
+            pairs.insert(
+                name.clone(),
+                Arc::new(PairState::unloaded(name.clone(), path.clone())),
+            );
+        }
+    }
+    let removed: Vec<String> = pairs
+        .keys()
+        .filter(|k| !names.contains(k.as_str()))
+        .cloned()
+        .collect();
+    for name in removed {
+        eprintln!("watch: pair '{name}' removed (snapshot file vanished)");
+        pairs.remove(&name);
+    }
+    let mut default_name = catalog.default_name.write().expect("catalog lock poisoned");
+    if !pairs.contains_key(&*default_name) {
+        *default_name = pick_default(&pairs);
+    }
 }
 
 /// How long a worker waits for (the next) request on a connection before
@@ -400,38 +754,155 @@ fn serve_connection(state: &ServeState, stream: TcpStream) {
 // Routing
 // ----------------------------------------------------------------------
 
+/// Routes on the *path first*: a known path with the wrong method gets a
+/// `405` with an `Allow` header, an unknown path gets a JSON `404`
+/// whatever the method.
 fn route(state: &ServeState, req: &Request) -> Response {
-    match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => healthz(state),
-        ("GET", "/stats") => stats(state),
-        ("GET", "/sameas") => sameas(&state.current(), req),
-        ("GET", "/neighbors") => neighbors(&state.current(), req),
-        ("POST", "/align") => submit_align(state, req),
-        ("POST", "/reload") => reload(state, req),
-        ("GET", path) if path.starts_with("/jobs/") => job_status(state, &path["/jobs/".len()..]),
-        ("GET", _) => error(404, &format!("no such route {}", req.path)),
-        (method, _) => error(405, &format!("method {method} not supported")),
+    let path = req.path.as_str();
+    if let Some(rest) = path.strip_prefix("/pairs/") {
+        if let Some((name, op)) = rest.split_once('/') {
+            return route_pair_op(state, req, name, op);
+        }
+        return error(
+            404,
+            &format!("no such route {path} (did you mean /pairs/{rest}/stats?)"),
+        );
     }
+    match path {
+        "/pairs" => allow(req, "GET", |r| list_pairs(state, r)),
+        "/healthz" => allow(req, "GET", |r| healthz(state, r)),
+        "/stats" => allow(req, "GET", |r| with_default_pair(state, r, pair_stats)),
+        "/sameas" => allow(req, "GET", |r| with_default_pair(state, r, sameas)),
+        "/neighbors" => allow(req, "GET", |r| with_default_pair(state, r, neighbors)),
+        "/reload" => allow(req, "POST", |r| reload_default(state, r)),
+        "/align" => allow(req, "POST", |r| submit_align(state, r)),
+        p if p.starts_with("/jobs/") => {
+            allow(req, "GET", |r| job_status(state, &r.path["/jobs/".len()..]))
+        }
+        _ => error(404, &format!("no such route {path}")),
+    }
+}
+
+fn route_pair_op(state: &ServeState, req: &Request, name: &str, op: &str) -> Response {
+    let method = match op {
+        "sameas" | "neighbors" | "stats" | "healthz" => "GET",
+        "reload" => "POST",
+        _ => {
+            return error(
+                404,
+                &format!(
+                    "no such pair operation '{op}' (sameas, neighbors, stats, healthz, reload)"
+                ),
+            )
+        }
+    };
+    allow(req, method, |r| {
+        let Some(pair) = state.catalog.pair(name) else {
+            return error(404, &format!("no such pair '{name}'"));
+        };
+        match op {
+            "sameas" => sameas(state, r, &pair),
+            "neighbors" => neighbors(state, r, &pair),
+            "stats" => pair_stats(state, r, &pair),
+            "healthz" => pair_healthz(&pair),
+            "reload" => reload(state, r, &pair, false),
+            _ => unreachable!("filtered above"),
+        }
+    })
+}
+
+/// Runs `f` when the method matches, else a `405` with `Allow`.
+fn allow(req: &Request, method: &'static str, f: impl FnOnce(&Request) -> Response) -> Response {
+    if req.method == method {
+        f(req)
+    } else {
+        error(
+            405,
+            &format!("method {} not allowed for {}", req.method, req.path),
+        )
+        .with_allow(method)
+    }
+}
+
+fn with_default_pair(
+    state: &ServeState,
+    req: &Request,
+    f: impl FnOnce(&ServeState, &Request, &Arc<PairState>) -> Response,
+) -> Response {
+    let Some(pair) = state.catalog.default_pair() else {
+        return error(500, "the catalog has no default pair");
+    };
+    f(state, req, &pair)
 }
 
 fn error(status: u16, message: &str) -> Response {
     Response::json(status, json::Object::new().str("error", message).build())
 }
 
-fn healthz(state: &ServeState) -> Response {
+/// Resolves a pair's image or renders the load failure as a 500.
+fn image_or_error(state: &ServeState, pair: &Arc<PairState>) -> Result<Arc<LoadedImage>, Response> {
+    state.catalog.image_of(pair).map_err(|e| error(500, &e))
+}
+
+fn healthz(state: &ServeState, _req: &Request) -> Response {
+    let (pairs, loaded) = {
+        let pairs = state.catalog.pairs.read().expect("catalog lock poisoned");
+        let loaded = pairs.values().filter(|p| p.current().is_some()).count();
+        (pairs.len(), loaded)
+    };
+    let default_generation = state
+        .catalog
+        .default_pair()
+        .map(|p| p.generation.load(Ordering::SeqCst))
+        .unwrap_or(0);
     Response::json(
         200,
         json::Object::new()
             .str("status", "ok")
+            .str("version", VERSION)
+            .str(
+                "snapshot_formats",
+                &snapshot::SUPPORTED_SNAPSHOT_VERSIONS
+                    .map(|v| format!("v{v}"))
+                    .join(","),
+            )
+            .str(
+                "delta_formats",
+                &format!("v{}", snapshot::DELTA_FORMAT_VERSION),
+            )
             .num("uptime_seconds", state.started.elapsed().as_secs_f64())
             .int("requests", state.requests.load(Ordering::Relaxed))
-            .int("generation", state.generation.load(Ordering::SeqCst))
+            .int("generation", default_generation)
+            .int("pairs", pairs as u64)
+            .int("pairs_loaded", loaded as u64)
             .build(),
     )
 }
 
-fn kb_stats_json(kb: &Kb) -> String {
-    let s = KbStats::of(kb);
+fn pair_healthz(pair: &Arc<PairState>) -> Response {
+    let image = pair.current();
+    let mut obj = json::Object::new()
+        .str("status", "ok")
+        .str("pair", &pair.name)
+        .bool("loaded", image.is_some())
+        .int("generation", pair.generation.load(Ordering::SeqCst))
+        .int("reloads", pair.reloads.load(Ordering::Relaxed));
+    if let Some(img) = image {
+        obj = obj
+            .str(
+                "format",
+                if img.image.format_version() == 2 {
+                    "v2"
+                } else {
+                    "v1"
+                },
+            )
+            .bool("mapped", img.image.is_mapped());
+    }
+    Response::json(200, obj.build())
+}
+
+fn kb_stats_json(s: &KbStats) -> String {
     json::Object::new()
         .str("name", &s.name)
         .int("instances", s.instances as u64)
@@ -442,36 +913,106 @@ fn kb_stats_json(kb: &Kb) -> String {
         .build()
 }
 
-fn stats(state: &ServeState) -> Response {
-    let image = state.current();
-    let alignment = &image.snapshot.alignment;
+fn pair_stats(state: &ServeState, _req: &Request, pair: &Arc<PairState>) -> Response {
+    let image = match image_or_error(state, pair) {
+        Ok(i) => i,
+        Err(e) => return e,
+    };
     Response::json(
         200,
         json::Object::new()
+            .str("pair", &pair.name)
             .raw("kb1", image.kb1_stats_json.clone())
             .raw("kb2", image.kb2_stats_json.clone())
             .int("aligned_instances", image.aligned_instances as u64)
             .int(
                 "instance_equivalences",
-                alignment.num_instance_pairs() as u64,
+                image.image.num_instance_pairs() as u64,
             )
-            .int("literal_pairs", alignment.literal_pairs as u64)
-            .int("iterations", alignment.iterations.len() as u64)
-            .bool("converged", alignment.converged)
+            .int("literal_pairs", image.image.literal_pairs() as u64)
+            .int("iterations", image.image.iterations_len() as u64)
+            .bool("converged", image.image.converged())
+            .str(
+                "format",
+                if image.image.format_version() == 2 {
+                    "v2"
+                } else {
+                    "v1"
+                },
+            )
+            .bool("mapped", image.image.is_mapped())
+            .int("resident_bytes", image.resident_bytes)
             .int("generation", image.generation)
-            .int("reloads", state.reloads.load(Ordering::Relaxed))
+            .int("reloads", pair.reloads.load(Ordering::Relaxed))
             .int("jobs_submitted", state.jobs.submitted())
             .build(),
     )
 }
 
-/// `POST /reload`: load a snapshot off the request path and atomically
-/// swap it in. With no body (or no `path=` field) the server re-checks
-/// the snapshot file it was started from; an explicit `path=` names a
-/// server-local file and is therefore gated by the same trust switch as
-/// jobs (`--no-jobs` ⇒ 403). A failed load never disturbs the snapshot
-/// currently serving.
-fn reload(state: &ServeState, req: &Request) -> Response {
+fn list_pairs(state: &ServeState, _req: &Request) -> Response {
+    let default_name = state
+        .catalog
+        .default_name
+        .read()
+        .expect("catalog lock poisoned")
+        .clone();
+    let pairs: Vec<Arc<PairState>> = state
+        .catalog
+        .pairs
+        .read()
+        .expect("catalog lock poisoned")
+        .values()
+        .cloned()
+        .collect();
+    let rendered = pairs.iter().map(|pair| {
+        let image = pair.current();
+        let mut obj = json::Object::new()
+            .str("name", &pair.name)
+            .bool("loaded", image.is_some())
+            .int("generation", pair.generation.load(Ordering::SeqCst))
+            .int("reloads", pair.reloads.load(Ordering::Relaxed));
+        if let Some(img) = &image {
+            obj = obj
+                .str(
+                    "format",
+                    if img.image.format_version() == 2 {
+                        "v2"
+                    } else {
+                        "v1"
+                    },
+                )
+                .bool("mapped", img.image.is_mapped())
+                .int("resident_bytes", img.resident_bytes)
+                .int("aligned_instances", img.aligned_instances as u64);
+        }
+        obj.build()
+    });
+    Response::json(
+        200,
+        json::Object::new()
+            .str("default", &default_name)
+            .raw("pairs", json::array(rendered))
+            .build(),
+    )
+}
+
+/// `POST /reload` (bare legacy route): reload the default pair. With no
+/// `path=` field the pair's own snapshot file is re-read; an explicit
+/// `path=` names a server-local file and is therefore gated by the same
+/// trust switch as jobs (`--no-jobs` ⇒ 403) and rejected outright in
+/// catalog mode (the directory is the trust boundary).
+fn reload_default(state: &ServeState, req: &Request) -> Response {
+    with_default_pair(state, req, |state, req, pair| {
+        reload(state, req, pair, true)
+    })
+}
+
+fn reload(
+    state: &ServeState,
+    req: &Request,
+    pair: &Arc<PairState>,
+    allow_path_field: bool,
+) -> Response {
     let body = match std::str::from_utf8(&req.body) {
         Ok(b) => b,
         Err(_) => return error(400, "body must be UTF-8 form data"),
@@ -483,8 +1024,15 @@ fn reload(state: &ServeState, req: &Request) -> Response {
         .map(|(_, v)| v.clone())
         .filter(|v| !v.is_empty());
 
-    let (path, explicit) = match explicit {
+    let override_path = match explicit {
         Some(p) => {
+            if !allow_path_field || state.catalog.dir.is_some() {
+                return error(
+                    400,
+                    "client-named reload paths are not served in catalog mode; \
+                     each pair reloads from its own catalog file",
+                );
+            }
             if !state.jobs_enabled {
                 return error(
                     403,
@@ -492,54 +1040,42 @@ fn reload(state: &ServeState, req: &Request) -> Response {
                      POST /reload with no path re-checks the configured snapshot",
                 );
             }
-            (PathBuf::from(p), true)
+            Some(PathBuf::from(p))
         }
-        None => match &state.source {
-            Some(p) => (p.clone(), false),
-            None => {
+        None => {
+            if pair.path.is_none() {
                 return error(
                     400,
                     "this server was not started from a snapshot file; \
                      POST /reload needs a 'path' form field",
-                )
+                );
             }
-        },
+            None
+        }
     };
 
     let t0 = Instant::now();
-    match AlignedPairSnapshot::load(&path) {
-        Ok(snapshot) => {
-            let generation = state.install(snapshot);
-            let image = state.current();
-            Response::json(
-                200,
-                json::Object::new()
-                    .int("generation", generation)
-                    .int("aligned_instances", image.aligned_instances as u64)
-                    .num("load_seconds", t0.elapsed().as_secs_f64())
-                    .build(),
-            )
-        }
-        // The old snapshot keeps serving; a client-named path that fails
-        // is the client's error (400), the configured source failing is
-        // the server's (500).
-        Err(e) => error(
-            if explicit { 400 } else { 500 },
-            &format!("cannot load snapshot {}: {e}", path.display()),
+    // A failed load never disturbs the image currently serving.
+    match state.catalog.reload_pair(pair, override_path.as_deref()) {
+        Ok(image) => Response::json(
+            200,
+            json::Object::new()
+                .str("pair", &pair.name)
+                .int("generation", image.generation)
+                .int("aligned_instances", image.aligned_instances as u64)
+                .num("load_seconds", t0.elapsed().as_secs_f64())
+                .build(),
         ),
+        // A client-named path that fails is the client's error (400);
+        // the pair's own file failing is the server's (500).
+        Err(e) => error(if override_path.is_some() { 400 } else { 500 }, &e),
     }
 }
 
-/// Which KB an `iri` query refers to.
-enum Side {
-    Left,
-    Right,
-}
-
-fn parse_side(req: &Request) -> Result<Side, Response> {
+fn parse_side(req: &Request) -> Result<PairSide, Response> {
     match req.query_param("side") {
-        None | Some("left") => Ok(Side::Left),
-        Some("right") => Ok(Side::Right),
+        None | Some("left") => Ok(PairSide::Kb1),
+        Some("right") => Ok(PairSide::Kb2),
         Some(other) => Err(error(
             400,
             &format!("side must be left or right, not '{other}'"),
@@ -553,7 +1089,7 @@ fn require_iri(req: &Request) -> Result<&str, Response> {
         .ok_or_else(|| error(400, "missing required query parameter 'iri'"))
 }
 
-fn sameas(image: &LoadedSnapshot, req: &Request) -> Response {
+fn sameas(state: &ServeState, req: &Request, pair: &Arc<PairState>) -> Response {
     let iri = match require_iri(req) {
         Ok(v) => v,
         Err(e) => return e,
@@ -566,28 +1102,25 @@ fn sameas(image: &LoadedSnapshot, req: &Request) -> Response {
         Ok(t) => t.unwrap_or(0.0),
         Err(_) => return error(400, "threshold must be a number"),
     };
-
-    let snap = &image.snapshot;
-    let (dst, best): (&Kb, Option<(EntityId, f64)>) = match side {
-        Side::Left => {
-            let Some(x) = snap.kb1.entity_by_iri(iri) else {
-                return error(404, &format!("unknown IRI {iri} in {}", snap.kb1.name()));
-            };
-            (&snap.kb2, snap.alignment.best_match(x))
-        }
-        Side::Right => {
-            let Some(x2) = snap.kb2.entity_by_iri(iri) else {
-                return error(404, &format!("unknown IRI {iri} in {}", snap.kb2.name()));
-            };
-            (&snap.kb1, snap.alignment.best_match_rev(x2))
-        }
+    let image = match image_or_error(state, pair) {
+        Ok(i) => i,
+        Err(e) => return e,
     };
-    match best.filter(|&(_, p)| p >= threshold) {
+
+    let img = &image.image;
+    let Some(x) = img.entity_by_iri(side, iri) else {
+        return error(404, &format!("unknown IRI {iri} in {}", img.kb_name(side)));
+    };
+    let dst = match side {
+        PairSide::Kb1 => PairSide::Kb2,
+        PairSide::Kb2 => PairSide::Kb1,
+    };
+    match img
+        .best_match_from(side, x)
+        .filter(|&(_, p)| p >= threshold)
+    {
         Some((e, p)) => {
-            let matched = dst
-                .iri(e)
-                .map(|i| i.as_str().to_owned())
-                .unwrap_or_default();
+            let matched = img.entity_iri(dst, e).unwrap_or_default();
             Response::json(
                 200,
                 json::Object::new()
@@ -608,7 +1141,7 @@ fn sameas(image: &LoadedSnapshot, req: &Request) -> Response {
     }
 }
 
-fn neighbors(image: &LoadedSnapshot, req: &Request) -> Response {
+fn neighbors(state: &ServeState, req: &Request, pair: &Arc<PairState>) -> Response {
     let iri = match require_iri(req) {
         Ok(v) => v,
         Err(e) => return e,
@@ -621,27 +1154,28 @@ fn neighbors(image: &LoadedSnapshot, req: &Request) -> Response {
         Ok(l) => l.unwrap_or(50),
         Err(_) => return error(400, "limit must be an integer"),
     };
-    let kb: &Kb = match side {
-        Side::Left => &image.snapshot.kb1,
-        Side::Right => &image.snapshot.kb2,
+    let image = match image_or_error(state, pair) {
+        Ok(i) => i,
+        Err(e) => return e,
     };
-    let Some(e) = kb.entity_by_iri(iri) else {
-        return error(404, &format!("unknown IRI {iri} in {}", kb.name()));
+    let img = &image.image;
+    let Some(e) = img.entity_by_iri(side, iri) else {
+        return error(404, &format!("unknown IRI {iri} in {}", img.kb_name(side)));
     };
-    let facts = kb.facts(e);
-    let rendered = facts.iter().take(limit).map(|&(r, y)| {
+    let total = img.facts_len(side, e);
+    let rendered = img.facts_page(side, e, limit).into_iter().map(|f| {
         json::Object::new()
-            .str("relation", kb.relation_iri(r).as_str())
-            .bool("inverse", r.is_inverse())
-            .str("value", &kb.term(y).to_string())
-            .num("functionality", kb.functionality(r))
+            .str("relation", &f.relation)
+            .bool("inverse", f.inverse)
+            .str("value", &f.value)
+            .num("functionality", f.functionality)
             .build()
     });
     Response::json(
         200,
         json::Object::new()
             .str("iri", iri)
-            .int("total_facts", facts.len() as u64)
+            .int("total_facts", total as u64)
             .raw("facts", json::array(rendered))
             .build(),
     )
@@ -724,14 +1258,14 @@ fn job_status(state: &ServeState, id: &str) -> Response {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use paris_core::{Aligner, OwnedAlignment, ParisConfig};
+    use paris_core::{Aligner, MappedPairSnapshot, OwnedAlignment, ParisConfig};
     use paris_kb::KbBuilder;
     use paris_rdf::Literal;
 
-    fn tiny_snapshot() -> AlignedPairSnapshot {
+    fn snapshot_of(n: usize) -> AlignedPairSnapshot {
         let mut a = KbBuilder::new("left");
         let mut b = KbBuilder::new("right");
-        for i in 0..3 {
+        for i in 0..n {
             a.add_literal_fact(
                 format!("http://a/p{i}"),
                 "http://a/email",
@@ -751,12 +1285,66 @@ mod tests {
         AlignedPairSnapshot::new(kb1, kb2, owned)
     }
 
+    fn tiny_snapshot() -> AlignedPairSnapshot {
+        snapshot_of(3)
+    }
+
+    /// A single preloaded pair (no backing file), like the old tests.
     fn state() -> ServeState {
-        ServeState {
-            current: RwLock::new(Arc::new(LoadedSnapshot::new(tiny_snapshot(), 1))),
+        state_with_pair(tiny_snapshot(), None)
+    }
+
+    fn state_with_pair(snapshot: AlignedPairSnapshot, path: Option<PathBuf>) -> ServeState {
+        let name = "default".to_owned();
+        let pair = PairState {
+            name: name.clone(),
+            slot: RwLock::new(Some(Arc::new(LoadedImage::new(
+                PairImage::Decoded(Box::new(snapshot)),
+                1,
+                0,
+            )))),
+            load_lock: Mutex::new(()),
             generation: AtomicU64::new(1),
             reloads: AtomicU64::new(0),
-            source: None,
+            last_used: AtomicU64::new(0),
+            last_signature: Mutex::new(None),
+            path,
+        };
+        let mut pairs = BTreeMap::new();
+        pairs.insert(name.clone(), Arc::new(pair));
+        ServeState {
+            catalog: Catalog {
+                pairs: RwLock::new(pairs),
+                default_name: RwLock::new(name),
+                dir: None,
+                max_resident: None,
+                clock: AtomicU64::new(0),
+            },
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            jobs: Arc::new(JobStore::new()),
+            jobs_enabled: true,
+        }
+    }
+
+    /// A lazily-loaded catalog over on-disk snapshot files.
+    fn catalog_state(entries: &[(&str, &Path)], max_resident: Option<u64>) -> ServeState {
+        let mut pairs = BTreeMap::new();
+        for (name, path) in entries {
+            pairs.insert(
+                name.to_string(),
+                Arc::new(PairState::unloaded(name.to_string(), path.to_path_buf())),
+            );
+        }
+        let default_name = pick_default(&pairs);
+        ServeState {
+            catalog: Catalog {
+                pairs: RwLock::new(pairs),
+                default_name: RwLock::new(default_name),
+                dir: None,
+                max_resident,
+                clock: AtomicU64::new(0),
+            },
             started: Instant::now(),
             requests: AtomicU64::new(0),
             jobs: Arc::new(JobStore::new()),
@@ -782,11 +1370,19 @@ mod tests {
     #[test]
     fn healthz_and_stats_respond() {
         let s = state();
-        assert_eq!(route(&s, &get("/healthz")).status, 200);
+        let health = route(&s, &get("/healthz"));
+        assert_eq!(health.status, 200);
+        let body = String::from_utf8(health.body).unwrap();
+        assert!(
+            body.contains(&format!("\"version\":\"{VERSION}\"")),
+            "{body}"
+        );
+        assert!(body.contains("\"snapshot_formats\":\"v1,v2\""), "{body}");
         let stats = route(&s, &get("/stats"));
         assert_eq!(stats.status, 200);
         let body = String::from_utf8(stats.body).unwrap();
         assert!(body.contains("\"aligned_instances\":3"), "{body}");
+        assert!(body.contains("\"pair\":\"default\""), "{body}");
     }
 
     #[test]
@@ -800,6 +1396,13 @@ mod tests {
         let rev = route(&s, &get("/sameas?iri=http://b/q2&side=right"));
         let body = String::from_utf8(rev.body).unwrap();
         assert!(body.contains("http://a/p2"), "{body}");
+
+        // The /pairs/<name>/ route answers identically.
+        let named = route(&s, &get("/pairs/default/sameas?iri=http://a/p1"));
+        assert_eq!(named.status, 200);
+        assert!(String::from_utf8(named.body)
+            .unwrap()
+            .contains("http://b/q1"));
     }
 
     #[test]
@@ -832,12 +1435,44 @@ mod tests {
     }
 
     #[test]
-    fn unknown_route_and_method() {
+    fn unknown_route_is_404_with_json_body_for_any_method() {
         let s = state();
-        assert_eq!(route(&s, &get("/nope")).status, 404);
-        let mut del = get("/stats");
-        del.method = "DELETE".into();
-        assert_eq!(route(&s, &del).status, 405);
+        for method in ["GET", "POST", "DELETE", "PUT"] {
+            let mut req = get("/nope");
+            req.method = method.into();
+            let r = route(&s, &req);
+            assert_eq!(r.status, 404, "{method}");
+            assert_eq!(r.content_type, "application/json");
+            assert!(String::from_utf8(r.body).unwrap().contains("\"error\""));
+        }
+        assert_eq!(route(&s, &get("/pairs/default/bogus")).status, 404);
+        assert_eq!(route(&s, &get("/pairs/default")).status, 404);
+    }
+
+    #[test]
+    fn wrong_method_is_405_with_allow_header() {
+        let s = state();
+        for (path, allowed) in [
+            ("/stats", "GET"),
+            ("/healthz", "GET"),
+            ("/sameas", "GET"),
+            ("/pairs", "GET"),
+            ("/pairs/default/stats", "GET"),
+        ] {
+            let mut req = get(path);
+            req.method = "DELETE".into();
+            let r = route(&s, &req);
+            assert_eq!(r.status, 405, "{path}");
+            assert_eq!(r.allow, Some(allowed), "{path}");
+            assert_eq!(r.content_type, "application/json");
+        }
+        // POST-only routes advertise POST.
+        let r = route(&s, &get("/reload"));
+        assert_eq!(r.status, 405);
+        assert_eq!(r.allow, Some("POST"));
+        let r = route(&s, &get("/pairs/default/reload"));
+        assert_eq!(r.status, 405);
+        assert_eq!(r.allow, Some("POST"));
     }
 
     #[test]
@@ -870,8 +1505,8 @@ mod tests {
         assert_eq!(route(&s, &get("/jobs/7")).status, 404);
     }
 
-    fn post_reload(body: &[u8]) -> Request {
-        let mut req = get("/reload");
+    fn post_reload(path: &str, body: &[u8]) -> Request {
+        let mut req = get(path);
         req.method = "POST".into();
         req.body = body.to_vec();
         req
@@ -880,7 +1515,7 @@ mod tests {
     #[test]
     fn reload_without_source_needs_a_path() {
         let s = state();
-        let r = route(&s, &post_reload(b""));
+        let r = route(&s, &post_reload("/reload", b""));
         assert_eq!(r.status, 400);
         let body = String::from_utf8(r.body).unwrap();
         assert!(body.contains("'path' form field"), "{body}");
@@ -896,7 +1531,7 @@ mod tests {
         let s = state();
         let r = route(
             &s,
-            &post_reload(format!("path={}", path.display()).as_bytes()),
+            &post_reload("/reload", format!("path={}", path.display()).as_bytes()),
         );
         assert_eq!(r.status, 200, "{:?}", String::from_utf8(r.body));
         let body = String::from_utf8(r.body).unwrap();
@@ -917,19 +1552,23 @@ mod tests {
         let path = dir.join("pair.snap");
         tiny_snapshot().save(&path).unwrap();
 
-        let mut s = state();
-        s.source = Some(path.clone());
-        assert_eq!(route(&s, &post_reload(b"")).status, 200);
-        assert_eq!(s.generation.load(Ordering::SeqCst), 2);
+        let s = state_with_pair(tiny_snapshot(), Some(path.clone()));
+        assert_eq!(route(&s, &post_reload("/reload", b"")).status, 200);
+        let pair = s.catalog.default_pair().unwrap();
+        assert_eq!(pair.generation.load(Ordering::SeqCst), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn reload_failure_keeps_current_snapshot() {
         let s = state();
-        let r = route(&s, &post_reload(b"path=/definitely/not/here.snap"));
+        let r = route(
+            &s,
+            &post_reload("/reload", b"path=/definitely/not/here.snap"),
+        );
         assert_eq!(r.status, 400);
-        assert_eq!(s.generation.load(Ordering::SeqCst), 1);
+        let pair = s.catalog.default_pair().unwrap();
+        assert_eq!(pair.generation.load(Ordering::SeqCst), 1);
         // Queries still answer from the original image.
         assert_eq!(route(&s, &get("/sameas?iri=http://a/p1")).status, 200);
     }
@@ -941,17 +1580,153 @@ mod tests {
         let path = dir.join("pair.snap");
         tiny_snapshot().save(&path).unwrap();
 
-        let mut s = state();
+        let mut s = state_with_pair(tiny_snapshot(), Some(path.clone()));
         s.jobs_enabled = false;
-        s.source = Some(path.clone());
         // Explicit path: forbidden.
         let r = route(
             &s,
-            &post_reload(format!("path={}", path.display()).as_bytes()),
+            &post_reload("/reload", format!("path={}", path.display()).as_bytes()),
         );
         assert_eq!(r.status, 403);
         // Re-checking the configured source: still allowed.
-        assert_eq!(route(&s, &post_reload(b"")).status, 200);
+        assert_eq!(route(&s, &post_reload("/reload", b"")).status, 200);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn catalog_serves_pairs_lazily_with_independent_generations() {
+        let dir = std::env::temp_dir().join("paris_server_catalog_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("alpha.snap");
+        let b = dir.join("beta.snap");
+        snapshot_of(2).save(&a).unwrap();
+        MappedPairSnapshot::save_v2(&snapshot_of(4), &b).unwrap();
+
+        let s = catalog_state(&[("alpha", &a), ("beta", &b)], None);
+        // Nothing loaded yet.
+        let listing = String::from_utf8(route(&s, &get("/pairs")).body).unwrap();
+        assert!(listing.contains("\"default\":\"alpha\""), "{listing}");
+        assert!(listing.contains("\"loaded\":false"), "{listing}");
+
+        // First hits load lazily; v2 serves mapped.
+        let r = route(&s, &get("/pairs/alpha/sameas?iri=http://a/p1"));
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8(r.body));
+        let r = route(&s, &get("/pairs/beta/sameas?iri=http://a/p3"));
+        assert_eq!(r.status, 200);
+        let beta_stats = String::from_utf8(route(&s, &get("/pairs/beta/stats")).body).unwrap();
+        assert!(beta_stats.contains("\"format\":\"v2\""), "{beta_stats}");
+        assert!(
+            beta_stats.contains("\"aligned_instances\":4"),
+            "{beta_stats}"
+        );
+
+        // Bare routes alias the default (alpha).
+        let bare = String::from_utf8(route(&s, &get("/stats")).body).unwrap();
+        assert!(bare.contains("\"pair\":\"alpha\""), "{bare}");
+
+        // Per-pair reloads bump only their own generation.
+        assert_eq!(
+            route(&s, &post_reload("/pairs/beta/reload", b"")).status,
+            200
+        );
+        assert_eq!(
+            route(&s, &post_reload("/pairs/beta/reload", b"")).status,
+            200
+        );
+        let alpha = s.catalog.pair("alpha").unwrap();
+        let beta = s.catalog.pair("beta").unwrap();
+        assert_eq!(alpha.generation.load(Ordering::SeqCst), 1);
+        assert_eq!(beta.generation.load(Ordering::SeqCst), 3);
+        assert_eq!(beta.reloads.load(Ordering::Relaxed), 2);
+
+        // Unknown pair.
+        assert_eq!(route(&s, &get("/pairs/nope/stats")).status, 404);
+        // Catalog pairs reject client-named reload paths.
+        let r = route(&s, &post_reload("/pairs/alpha/reload", b"path=/tmp/x.snap"));
+        assert_eq!(r.status, 400);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn max_resident_evicts_lru_decoded_images_but_not_mapped() {
+        let dir = std::env::temp_dir().join("paris_server_evict_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.snap");
+        let b = dir.join("b.snap");
+        let c = dir.join("c.snap");
+        snapshot_of(2).save(&a).unwrap();
+        snapshot_of(2).save(&b).unwrap();
+        MappedPairSnapshot::save_v2(&snapshot_of(2), &c).unwrap();
+
+        // Budget fits one decoded image at a time.
+        let budget = std::fs::metadata(&a).unwrap().len() + 16;
+        let s = catalog_state(&[("a", &a), ("b", &b), ("c", &c)], Some(budget));
+
+        assert_eq!(
+            route(&s, &get("/pairs/a/sameas?iri=http://a/p1")).status,
+            200
+        );
+        assert!(s.catalog.pair("a").unwrap().current().is_some());
+
+        // Loading b pushes the total over budget; a is the LRU victim.
+        assert_eq!(
+            route(&s, &get("/pairs/b/sameas?iri=http://a/p1")).status,
+            200
+        );
+        assert!(
+            s.catalog.pair("a").unwrap().current().is_none(),
+            "a evicted"
+        );
+        assert!(s.catalog.pair("b").unwrap().current().is_some());
+
+        // The mapped pair loads without evicting anything.
+        assert_eq!(
+            route(&s, &get("/pairs/c/sameas?iri=http://a/p1")).status,
+            200
+        );
+        assert!(
+            s.catalog.pair("b").unwrap().current().is_some(),
+            "mapped load evicts nothing"
+        );
+        assert!(s.catalog.pair("c").unwrap().current().is_some());
+
+        // An evicted pair transparently reloads on the next hit, with a
+        // bumped generation (a fresh image was installed).
+        assert_eq!(
+            route(&s, &get("/pairs/a/sameas?iri=http://a/p1")).status,
+            200
+        );
+        assert_eq!(
+            s.catalog
+                .pair("a")
+                .unwrap()
+                .generation
+                .load(Ordering::SeqCst),
+            2
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn catalog_rescan_adds_and_removes_pairs() {
+        let dir = std::env::temp_dir().join("paris_server_rescan_unit");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.snap");
+        snapshot_of(2).save(&a).unwrap();
+
+        let s = catalog_state(&[("a", &a)], None);
+        // Pretend the state is catalog-backed for the rescan.
+        let b = dir.join("b.snap");
+        snapshot_of(2).save(&b).unwrap();
+        rescan_catalog(&s.catalog, &dir);
+        assert!(s.catalog.pair("b").is_some(), "new file discovered");
+
+        std::fs::remove_file(&a).unwrap();
+        rescan_catalog(&s.catalog, &dir);
+        assert!(s.catalog.pair("a").is_none(), "vanished file dropped");
+        // The default moved off the removed pair.
+        assert_eq!(*s.catalog.default_name.read().unwrap(), "b".to_owned());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

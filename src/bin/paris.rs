@@ -9,7 +9,9 @@
 //! paris generate movies --out /tmp/movies            # emit a benchmark pair
 //! paris snapshot left.nt right.nt --out pair.snap    # align once, persist
 //! paris delta pair.snap --add-left new.nt --out v2.snap  # incremental update
-//! paris serve pair.snap --addr 127.0.0.1:7070        # serve the alignment
+//! paris convert pair.snap --out pair2.snap           # migrate v1 → v2 (mmap)
+//! paris serve pair.snap --addr 127.0.0.1:7070        # serve one alignment
+//! paris serve --catalog snaps/                       # serve a directory of pairs
 //! ```
 //!
 //! Arguments are parsed by hand — the tool's surface is small and the
@@ -32,10 +34,13 @@ USAGE:
   paris align <LEFT> <RIGHT> [OPTIONS]
   paris stats <FILE>...
   paris generate <persons|restaurants|encyclopedia|movies> --out <DIR> [--seed N] [--scale N]
-  paris snapshot <LEFT> <RIGHT> --out <FILE.snap> [CONFIG OPTIONS]
+  paris snapshot <LEFT> <RIGHT> --out <FILE.snap> [--format v1|v2] [CONFIG OPTIONS]
   paris snapshot <FILE> --out <FILE.snap>
+  paris convert <PAIR.snap> --out <FILE.snap> [--format v1|v2]
   paris delta <PAIR.snap> --out <FILE.snap> [DELTA OPTIONS] [CONFIG OPTIONS]
-  paris serve <FILE.snap> [--addr HOST:PORT] [--threads N] [--no-jobs] [--watch SECS]
+  paris serve <FILE.snap> [SERVE OPTIONS]
+  paris serve --catalog <DIR> [SERVE OPTIONS]
+  paris version
 
 Input files may be N-Triples (.nt), Turtle (.ttl/.turtle), or tab-separated
 facts (.tsv: subject TAB relation TAB object, quoted objects are literals).
@@ -61,10 +66,20 @@ SNAPSHOT:
   versioned binary aligned-pair snapshot (KBs + alignment) to --out.
   With one input: write a single-KB snapshot (the unit POST /align jobs
   consume). Snapshots load in milliseconds — no re-parsing, no re-aligning.
-  CONFIG OPTIONS are the algorithm-configuration subset of ALIGN OPTIONS:
-  --literals, --theta, --truncation, --max-iterations, --threads,
-  --negative-evidence, --propagate-all. Output options (--threshold,
-  --sameas, --gold, …) do not apply: the snapshot stores all scores.
+  --format v1 (default) writes the decode-on-load stream format;
+  --format v2 (aligned pairs only) writes the zero-copy section-table
+  format that `paris serve` opens via mmap without decoding the body —
+  O(validation) startup, page-cache-resident data, built for very large
+  KBs. CONFIG OPTIONS are the algorithm-configuration subset of ALIGN
+  OPTIONS: --literals, --theta, --truncation, --max-iterations,
+  --threads, --negative-evidence, --propagate-all. Output options
+  (--threshold, --sameas, --gold, …) do not apply: the snapshot stores
+  all scores.
+
+CONVERT:
+  Re-encode an existing aligned-pair snapshot between format versions
+  (the input version is auto-detected; --format defaults to v2). Answers
+  are bit-identical across formats.
 
 DELTA:
   Apply fact additions/removals to an aligned-pair snapshot and re-align
@@ -85,29 +100,45 @@ DELTA:
                               delta-updated KBs instead (for comparison)
 
 SERVE:
-  Load an aligned-pair snapshot and serve it over HTTP/1.1:
-    GET  /healthz                 liveness (+ snapshot generation)
-    GET  /stats                   KB + alignment statistics
-    GET  /sameas?iri=I            best match of an instance (&side=right,
+  Serve one aligned-pair snapshot (positional FILE.snap) or a whole
+  directory of them (--catalog DIR: every NAME.snap becomes the pair
+  NAME, opened lazily on first hit — v1 files decode, v2 files mmap)
+  over HTTP/1.1:
+    GET  /pairs                   the catalog: names, generations, state
+    GET  /pairs/<p>/sameas?iri=I  best match of an instance (&side=right,
                                   &threshold=T to filter by score)
-    GET  /neighbors?iri=I         facts around an entity (&limit=N)
+    GET  /pairs/<p>/neighbors?iri=I  facts around an entity (&limit=N)
+    GET  /pairs/<p>/stats         KB + alignment statistics of one pair
+    GET  /pairs/<p>/healthz       per-pair liveness + generation
+    POST /pairs/<p>/reload        atomically swap that pair's snapshot
+    GET  /healthz                 liveness, version, pair count
+    GET  /sameas, /neighbors, /stats, POST /reload
+                                  aliases of the default pair ('default'
+                                  if present, else alphabetically first)
     POST /align                   enqueue alignment of two single-KB
                                   snapshots (form fields left=, right=,
                                   optional out=, max_iterations=)
     GET  /jobs/<id>               poll a job
-    POST /reload                  atomically swap in a new snapshot
-                                  (optional form field path=; without it
-                                  the serve-time snapshot file is re-read)
   See docs/HTTP_API.md for the full reference.
+  --catalog <DIR>         serve every *.snap in DIR as a named pair
   --addr <HOST:PORT>      bind address             [default: 127.0.0.1:7070]
   --threads <N>           request worker threads   [default: 4]
+  --max-resident <BYTES>  budget for decoded v1 images (suffixes K/M/G);
+                          least-recently-used pairs are evicted and
+                          transparently re-loaded on the next hit.
+                          Mapped v2 arenas cost nothing against it.
   --no-jobs               disable POST /align and client-named reload
                           paths (these make the server read/write
                           server-local files named by the client; there is
                           no authentication — keep the loopback bind or
                           pass --no-jobs on exposed interfaces)
-  --watch <SECS>          poll the snapshot file's mtime every SECS
-                          seconds and hot-reload when it changes
+  --watch <SECS>          poll snapshot mtimes every SECS seconds and
+                          hot-reload changed pairs; with --catalog, also
+                          pick up added and removed snapshot files
+
+VERSION:
+  `paris version` (or --version/-V) prints the crate version and the
+  snapshot/delta format versions this build reads and writes.
 ";
 
 fn main() -> ExitCode {
@@ -128,14 +159,36 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("stats") => stats(&args[1..]),
         Some("generate") => generate(&args[1..]),
         Some("snapshot") => snapshot(&args[1..]),
+        Some("convert") => convert(&args[1..]),
         Some("delta") => delta(&args[1..]),
         Some("serve") => serve(&args[1..]),
+        Some("version") | Some("--version") | Some("-V") => {
+            println!("{}", version_string());
+            Ok(())
+        }
         Some("--help") | Some("-h") | None => {
             println!("{USAGE}");
             Ok(())
         }
         Some(other) => Err(format!("unknown command '{other}'")),
     }
+}
+
+/// What `paris version` prints (and `/healthz` reports in parts): the
+/// crate version plus every snapshot/delta format version this build
+/// understands.
+fn version_string() -> String {
+    use paris_repro::kb::snapshot::{DELTA_FORMAT_VERSION, SUPPORTED_SNAPSHOT_VERSIONS};
+    let formats = SUPPORTED_SNAPSHOT_VERSIONS
+        .iter()
+        .map(|v| format!("v{v}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "paris {}\nsnapshot formats: {formats} (v1 decode-on-load, v2 zero-copy mmap arena)\n\
+         delta format: v{DELTA_FORMAT_VERSION}",
+        env!("CARGO_PKG_VERSION"),
+    )
 }
 
 /// Options accepted by `paris align`, parsed from the raw arguments.
@@ -563,12 +616,43 @@ fn generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// A snapshot format selector (`--format v1|v2`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SnapFormat {
+    V1,
+    V2,
+}
+
+fn parse_format(spec: &str) -> Result<SnapFormat, String> {
+    match spec {
+        "v1" | "1" => Ok(SnapFormat::V1),
+        "v2" | "2" => Ok(SnapFormat::V2),
+        other => Err(format!(
+            "unknown snapshot format '{other}' (expected v1 or v2)"
+        )),
+    }
+}
+
+/// Writes an aligned pair in the requested format.
+fn save_pair(
+    snap: &paris_repro::paris::AlignedPairSnapshot,
+    format: SnapFormat,
+    out: &Path,
+) -> Result<(), String> {
+    match format {
+        SnapFormat::V1 => snap.save(out),
+        SnapFormat::V2 => paris_repro::paris::MappedPairSnapshot::save_v2(snap, out),
+    }
+    .map_err(|e| format!("writing {}: {e}", out.display()))
+}
+
 /// `paris snapshot`: persist one KB, or align a pair and persist the
 /// result, as a versioned binary snapshot.
 fn snapshot(args: &[String]) -> Result<(), String> {
     let mut positional: Vec<&String> = Vec::new();
     let mut out: Option<PathBuf> = None;
     let mut config = ParisConfig::default();
+    let mut format = SnapFormat::V1;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -582,6 +666,7 @@ fn snapshot(args: &[String]) -> Result<(), String> {
         }
         match arg.as_str() {
             "--out" => out = Some(PathBuf::from(value_of("--out")?)),
+            "--format" => format = parse_format(&value_of("--format")?)?,
             flag if flag.starts_with("--") => return Err(format!("unknown option '{flag}'")),
             _ => positional.push(arg),
         }
@@ -591,6 +676,13 @@ fn snapshot(args: &[String]) -> Result<(), String> {
     let t0 = std::time::Instant::now();
     match positional.as_slice() {
         [single] => {
+            if format == SnapFormat::V2 {
+                return Err(
+                    "--format v2 applies to aligned pairs only (single-KB snapshots feed \
+                     POST /align jobs, which decode anyway)"
+                        .into(),
+                );
+            }
             let kb = load(Path::new(single))?;
             paris_repro::kb::snapshot::save_kb(&kb, &out)
                 .map_err(|e| format!("writing {}: {e}", out.display()))?;
@@ -611,11 +703,11 @@ fn snapshot(args: &[String]) -> Result<(), String> {
             let aligned = result.instance_pairs().len();
             let iterations = result.iterations.len();
             let owned = result.detach();
-            paris_repro::paris::AlignedPairSnapshot::new(kb1, kb2, owned)
-                .save(&out)
-                .map_err(|e| format!("writing {}: {e}", out.display()))?;
+            let snap = paris_repro::paris::AlignedPairSnapshot::new(kb1, kb2, owned);
+            save_pair(&snap, format, &out)?;
             println!(
-                "wrote aligned-pair snapshot to {} ({} bytes): {aligned} instances aligned in {iterations} iterations, {:.2}s total",
+                "wrote {} aligned-pair snapshot to {} ({} bytes): {aligned} instances aligned in {iterations} iterations, {:.2}s total",
+                if format == SnapFormat::V2 { "v2" } else { "v1" },
                 out.display(),
                 file_size(&out),
                 t0.elapsed().as_secs_f64(),
@@ -625,6 +717,49 @@ fn snapshot(args: &[String]) -> Result<(), String> {
             return Err("snapshot needs one input file (KB snapshot) or two (aligned pair)".into())
         }
     }
+    Ok(())
+}
+
+/// `paris convert`: re-encode an aligned-pair snapshot between format
+/// versions (v1 ↔ v2). The input version is auto-detected.
+fn convert(args: &[String]) -> Result<(), String> {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut out: Option<PathBuf> = None;
+    let mut format = SnapFormat::V2;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |name: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+                .cloned()
+        };
+        match arg.as_str() {
+            "--out" => out = Some(PathBuf::from(value_of("--out")?)),
+            "--format" => format = parse_format(&value_of("--format")?)?,
+            flag if flag.starts_with("--") => return Err(format!("unknown option '{flag}'")),
+            _ => positional.push(arg),
+        }
+    }
+    let [input] = positional.as_slice() else {
+        return Err("convert needs exactly one aligned-pair snapshot".to_owned());
+    };
+    let out = out.ok_or("convert needs --out <FILE.snap>")?;
+
+    let t0 = std::time::Instant::now();
+    let image = paris_repro::paris::PairImage::load(input.as_str())
+        .map_err(|e| format!("loading {input}: {e}"))?;
+    let from = image.format_version();
+    // Hydration is the expensive half of a v2 → v1 conversion; v1 → v2
+    // just re-encodes the decoded image.
+    let snap = image.into_decoded();
+    save_pair(&snap, format, &out)?;
+    println!(
+        "converted {input} (v{from}) to {} ({}, {} bytes, {:.2}s)",
+        out.display(),
+        if format == SnapFormat::V2 { "v2" } else { "v1" },
+        file_size(&out),
+        t0.elapsed().as_secs_f64(),
+    );
     Ok(())
 }
 
@@ -761,8 +896,11 @@ fn delta(args: &[String]) -> Result<(), String> {
     }
 
     let t0 = std::time::Instant::now();
-    let snap = paris_repro::paris::AlignedPairSnapshot::load(pair_path)
-        .map_err(|e| format!("loading {pair_path}: {e}"))?;
+    // Deltas rewrite the KBs, so a v2 input is hydrated into the owned
+    // representation first (v1 inputs decode directly).
+    let snap = paris_repro::paris::PairImage::load(pair_path.as_str())
+        .map_err(|e| format!("loading {pair_path}: {e}"))?
+        .into_decoded();
     let load_seconds = t0.elapsed().as_secs_f64();
 
     let t1 = std::time::Instant::now();
@@ -829,7 +967,24 @@ fn delta(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `paris serve`: load an aligned-pair snapshot and serve it over HTTP.
+/// Parses a byte count with an optional K/M/G suffix (binary units).
+fn parse_byte_size(spec: &str) -> Result<u64, String> {
+    let spec = spec.trim();
+    let (digits, multiplier) = match spec.chars().last() {
+        Some('k') | Some('K') => (&spec[..spec.len() - 1], 1u64 << 10),
+        Some('m') | Some('M') => (&spec[..spec.len() - 1], 1u64 << 20),
+        Some('g') | Some('G') => (&spec[..spec.len() - 1], 1u64 << 30),
+        _ => (spec, 1),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("bad byte size '{spec}' (expected e.g. 1048576, 512M, 2G)"))?;
+    n.checked_mul(multiplier)
+        .ok_or_else(|| format!("byte size '{spec}' overflows"))
+}
+
+/// `paris serve`: serve one snapshot, or a catalog directory of them,
+/// over HTTP.
 fn serve(args: &[String]) -> Result<(), String> {
     let mut positional: Vec<&String> = Vec::new();
     let mut config = paris_repro::server::ServerConfig::default();
@@ -849,6 +1004,10 @@ fn serve(args: &[String]) -> Result<(), String> {
                     .map_err(|_| "bad --threads value".to_owned())?
             }
             "--no-jobs" => config.enable_jobs = false,
+            "--catalog" => config.catalog_dir = Some(PathBuf::from(value_of("--catalog")?)),
+            "--max-resident" => {
+                config.max_resident_bytes = Some(parse_byte_size(&value_of("--max-resident")?)?)
+            }
             "--watch" => {
                 let seconds: f64 = value_of("--watch")?
                     .parse()
@@ -862,26 +1021,49 @@ fn serve(args: &[String]) -> Result<(), String> {
             _ => positional.push(arg),
         }
     }
-    let [snapshot_path] = positional.as_slice() else {
-        return Err("serve needs exactly one snapshot file".to_owned());
+
+    let server = match (config.catalog_dir.clone(), positional.as_slice()) {
+        (Some(dir), []) => {
+            let server = paris_repro::server::Server::bind_catalog(config)
+                .map_err(|e| format!("opening catalog {}: {e}", dir.display()))?;
+            eprintln!(
+                "catalog {}: serving {} pair(s): {}",
+                dir.display(),
+                server.pair_names().len(),
+                server.pair_names().join(", "),
+            );
+            server
+        }
+        (Some(_), _) => {
+            return Err("serve takes either --catalog DIR or one snapshot file, not both".into())
+        }
+        (None, [snapshot_path]) => {
+            // The serve-time file is the default source for POST /reload
+            // and the --watch re-check.
+            config.snapshot_path = Some(PathBuf::from(snapshot_path.as_str()));
+            let t0 = std::time::Instant::now();
+            let image = paris_repro::paris::PairImage::load(snapshot_path.as_str())
+                .map_err(|e| format!("loading {snapshot_path}: {e}"))?;
+            eprintln!(
+                "loaded v{} snapshot in {:.1} ms ({}): {} / {} — {} aligned instances",
+                image.format_version(),
+                t0.elapsed().as_secs_f64() * 1000.0,
+                if image.is_mapped() {
+                    "mmap, zero-copy"
+                } else {
+                    "decoded"
+                },
+                image.kb_stats(paris_repro::paris::PairSide::Kb1),
+                image.kb_stats(paris_repro::paris::PairSide::Kb2),
+                image.aligned_instances(),
+            );
+            paris_repro::server::Server::bind_image(image, config)
+                .map_err(|e| format!("binding listener: {e}"))?
+        }
+        (None, _) => {
+            return Err("serve needs exactly one snapshot file (or --catalog DIR)".to_owned())
+        }
     };
-    // The serve-time file is the default source for POST /reload and the
-    // --watch re-check.
-    config.snapshot_path = Some(PathBuf::from(snapshot_path.as_str()));
-
-    let t0 = std::time::Instant::now();
-    let snap = paris_repro::paris::AlignedPairSnapshot::load(snapshot_path)
-        .map_err(|e| format!("loading {snapshot_path}: {e}"))?;
-    eprintln!(
-        "loaded snapshot in {:.0} ms: {} / {} — {} aligned instances",
-        t0.elapsed().as_secs_f64() * 1000.0,
-        KbStats::of(&snap.kb1),
-        KbStats::of(&snap.kb2),
-        snap.alignment.instance_pairs(&snap.kb1).len(),
-    );
-
-    let server = paris_repro::server::Server::bind(snap, config)
-        .map_err(|e| format!("binding listener: {e}"))?;
     let addr = server
         .local_addr()
         .map_err(|e| format!("resolving bound address: {e}"))?;
@@ -1016,6 +1198,32 @@ mod tests {
         std::fs::write(&upper, "").unwrap();
         assert_eq!(check_input(&upper).unwrap(), "nt");
         std::fs::remove_file(&upper).ok();
+    }
+
+    #[test]
+    fn parse_byte_size_accepts_suffixes() {
+        assert_eq!(parse_byte_size("1048576").unwrap(), 1 << 20);
+        assert_eq!(parse_byte_size("4K").unwrap(), 4096);
+        assert_eq!(parse_byte_size("512m").unwrap(), 512 << 20);
+        assert_eq!(parse_byte_size("2G").unwrap(), 2 << 30);
+        assert!(parse_byte_size("abc").is_err());
+        assert!(parse_byte_size("999999999999G").is_err());
+    }
+
+    #[test]
+    fn parse_format_variants() {
+        assert_eq!(parse_format("v1").unwrap(), SnapFormat::V1);
+        assert_eq!(parse_format("v2").unwrap(), SnapFormat::V2);
+        assert_eq!(parse_format("2").unwrap(), SnapFormat::V2);
+        assert!(parse_format("v3").is_err());
+    }
+
+    #[test]
+    fn version_string_names_all_formats() {
+        let v = version_string();
+        assert!(v.contains(env!("CARGO_PKG_VERSION")), "{v}");
+        assert!(v.contains("v1") && v.contains("v2"), "{v}");
+        assert!(v.contains("delta format: v1"), "{v}");
     }
 
     #[test]

@@ -198,3 +198,77 @@ fn kind_confusion_is_rejected() {
     std::fs::remove_file(&kb_path).ok();
     std::fs::remove_file(&pair_path).ok();
 }
+
+/// Property test (satellite of the v2 arena work): flipping a *random*
+/// byte anywhere in a snapshot image — v1 and v2 alike — must make the
+/// load fail cleanly with a checksum/structure error. Never a panic,
+/// never a silently wrong image. Every byte of both formats is covered
+/// by either a validated header field or a (section) checksum, so there
+/// is no flippable byte that legitimately loads.
+#[test]
+fn random_byte_flips_fail_cleanly_in_both_formats() {
+    use paris_repro::paris::MappedPairSnapshot;
+    use rand::{RngExt, SeedableRng};
+
+    let pair = movies::generate(&MoviesConfig {
+        num_movies: 40,
+        ..Default::default()
+    });
+    let result = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
+    let owned = OwnedAlignment::from_result(&result);
+    drop(result);
+    let snap = AlignedPairSnapshot::new(pair.kb1, pair.kb2, owned);
+
+    let v1 = snap.to_bytes();
+    let v2 = MappedPairSnapshot::encode(&snap);
+    assert!(
+        AlignedPairSnapshot::from_bytes(&v1).is_ok(),
+        "pristine v1 loads"
+    );
+    assert!(
+        MappedPairSnapshot::from_bytes(v2.clone()).is_ok(),
+        "pristine v2 opens"
+    );
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5EC7_10F1);
+    for trial in 0..256 {
+        // v1: decode path.
+        let offset = rng.random_range(0..v1.len());
+        let bit = 1u8 << rng.random_range(0..8u32);
+        let mut corrupted = v1.clone();
+        corrupted[offset] ^= bit;
+        let err = AlignedPairSnapshot::from_bytes(&corrupted)
+            .err()
+            .unwrap_or_else(|| {
+                panic!("v1 trial {trial}: flip of bit {bit:#x} at byte {offset} loaded silently")
+            });
+        // The error renders (no panic) and is one of the clean kinds.
+        assert!(!err.to_string().is_empty());
+
+        // v2: zero-copy open path.
+        let offset = rng.random_range(0..v2.len());
+        let bit = 1u8 << rng.random_range(0..8u32);
+        let mut corrupted = v2.clone();
+        corrupted[offset] ^= bit;
+        let err = MappedPairSnapshot::from_bytes(corrupted)
+            .err()
+            .unwrap_or_else(|| {
+                panic!("v2 trial {trial}: flip of bit {bit:#x} at byte {offset} opened silently")
+            });
+        assert!(!err.to_string().is_empty());
+    }
+
+    // Random truncations fail cleanly too.
+    for _ in 0..64 {
+        let cut = rng.random_range(0..v1.len());
+        assert!(
+            AlignedPairSnapshot::from_bytes(&v1[..cut]).is_err(),
+            "v1 cut {cut}"
+        );
+        let cut = rng.random_range(0..v2.len());
+        assert!(
+            MappedPairSnapshot::from_bytes(v2[..cut].to_vec()).is_err(),
+            "v2 cut {cut}"
+        );
+    }
+}

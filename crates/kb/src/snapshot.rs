@@ -435,6 +435,18 @@ pub fn peek_version(path: impl AsRef<Path>) -> Result<u32, SnapshotError> {
             SnapshotError::Io(e)
         }
     })?;
+    peek_version_bytes(&head)
+}
+
+/// [`peek_version`] over bytes already in memory (the first 12 suffice) —
+/// how the replication layer dispatches validation of a transferred image
+/// without touching the filesystem.
+pub fn peek_version_bytes(bytes: &[u8]) -> Result<u32, SnapshotError> {
+    let Some(head) = bytes.get(..12) else {
+        return Err(SnapshotError::corrupt(
+            "file shorter than the snapshot magic",
+        ));
+    };
     if head[..8] != MAGIC {
         return Err(SnapshotError::BadMagic);
     }

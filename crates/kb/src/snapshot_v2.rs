@@ -165,6 +165,67 @@ pub fn checksum_v2(bytes: &[u8]) -> u64 {
     out
 }
 
+/// [`checksum_v2`] of exactly `len` bytes pulled from a reader in
+/// 32 KiB chunks — bit-identical to the in-memory variant, computed
+/// without ever buffering the input whole. This is how the serving
+/// layer checksums snapshot files for the replication manifest: through
+/// the same open handle it later streams, with no heap copy of a
+/// possibly multi-GiB file. Errors if the reader cannot yield `len`
+/// bytes (e.g. the file changed size mid-read).
+pub fn checksum_v2_stream(r: &mut impl std::io::Read, len: u64) -> std::io::Result<u64> {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    const SEEDS: [u64; 4] = [
+        0xCBF2_9CE4_8422_2325,
+        0x9E37_79B9_7F4A_7C15,
+        0xC2B2_AE3D_27D4_EB4F,
+        0x1656_67B1_9E37_79F9,
+    ];
+    let len_mix = len.wrapping_mul(PRIME);
+    let mut lanes = SEEDS.map(|s| s ^ len_mix);
+    // The buffer length is a multiple of 32, so a 32-byte block never
+    // straddles two reads: only the final read can leave a remainder,
+    // which is exactly the remainder checksum_v2 sees.
+    let mut buf = [0u8; 32 * 1024];
+    let mut remaining = len;
+    while remaining > 0 {
+        let want = buf
+            .len()
+            .min(usize::try_from(remaining).unwrap_or(buf.len()));
+        r.read_exact(&mut buf[..want])?;
+        remaining -= want as u64;
+        let mut blocks = buf[..want].chunks_exact(32);
+        for block in &mut blocks {
+            for (i, lane) in lanes.iter_mut().enumerate() {
+                let w =
+                    u64::from_le_bytes(block[8 * i..8 * i + 8].try_into().expect("8-byte word"));
+                *lane = (*lane ^ w).wrapping_mul(PRIME);
+            }
+        }
+        let rest = blocks.remainder();
+        if !rest.is_empty() {
+            debug_assert_eq!(remaining, 0, "only the final read may be partial");
+            let mut words = rest.chunks_exact(8);
+            let mut i = 0usize;
+            for word in &mut words {
+                let w = u64::from_le_bytes(word.try_into().expect("8-byte word"));
+                lanes[i & 3] = (lanes[i & 3] ^ w).wrapping_mul(PRIME);
+                i += 1;
+            }
+            let tail = words.remainder();
+            if !tail.is_empty() {
+                let mut last = [0u8; 8];
+                last[..tail.len()].copy_from_slice(tail);
+                lanes[i & 3] = (lanes[i & 3] ^ u64::from_le_bytes(last)).wrapping_mul(PRIME);
+            }
+        }
+    }
+    let mut out = lanes[0];
+    for &lane in &lanes[1..] {
+        out = (out ^ lane).wrapping_mul(PRIME).rotate_left(23);
+    }
+    Ok(out)
+}
+
 // ----------------------------------------------------------------------
 // Little-endian array helpers (shared with paris-core's alignment views)
 // ----------------------------------------------------------------------
@@ -1411,6 +1472,39 @@ impl MappedKbSnapshot {
 mod tests {
     use super::*;
     use crate::builder::KbBuilder;
+
+    #[test]
+    fn streamed_checksum_matches_in_memory() {
+        // Every alignment class around the 8/32-byte boundaries, plus
+        // sizes spanning multiple read chunks (buffer is 32 KiB).
+        for len in [
+            0usize,
+            1,
+            7,
+            8,
+            9,
+            31,
+            32,
+            33,
+            63,
+            64,
+            100,
+            1000,
+            32 * 1024 - 1,
+            32 * 1024,
+            32 * 1024 + 1,
+            100_000,
+        ] {
+            let bytes: Vec<u8> = (0..len).map(|i| (i * 31 + 7) as u8).collect();
+            assert_eq!(
+                checksum_v2_stream(&mut &bytes[..], len as u64).unwrap(),
+                checksum_v2(&bytes),
+                "len {len}"
+            );
+        }
+        // A reader that cannot yield the promised length errors.
+        assert!(checksum_v2_stream(&mut &[0u8; 3][..], 4).is_err());
+    }
 
     fn sample_kb() -> Kb {
         let mut b = KbBuilder::new("sample");

@@ -1,0 +1,354 @@
+//! A deliberately small HTTP/1.1 *client* over `std::net` — the mirror
+//! image of `paris-server`'s hand-rolled server, built for the sync
+//! engine's two requests (`GET /pairs/manifest`, `GET /pairs/<n>/snapshot`).
+//!
+//! Connections are kept alive between requests and transparently
+//! re-established when the pool peer closed them (a poll loop sleeping
+//! longer than the server's idle timeout would otherwise fail every
+//! other cycle). Responses must be `Content-Length`-framed — which is
+//! the only framing `paris-server` emits — and body reads are bounded
+//! by a caller-supplied cap so a rogue upstream cannot balloon memory.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Upper bound on one status or header line.
+const MAX_LINE: usize = 8 * 1024;
+/// Upper bound on the number of response headers.
+const MAX_HEADERS: usize = 100;
+
+/// A parsed `http://host:port` upstream base.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Upstream {
+    /// Host to connect to (name or address literal).
+    pub host: String,
+    /// TCP port (default 80).
+    pub port: u16,
+    /// The original URL, for display.
+    pub display: String,
+}
+
+impl Upstream {
+    /// Parses `http://host[:port][/]`. Only plain HTTP is supported —
+    /// the workspace has no TLS implementation (see the trust model in
+    /// the crate docs).
+    pub fn parse(url: &str) -> Result<Upstream, String> {
+        let display = url.trim_end_matches('/').to_owned();
+        let rest = url
+            .strip_prefix("http://")
+            .ok_or_else(|| format!("upstream URL '{url}' must start with http://"))?;
+        let authority = rest.split('/').next().unwrap_or_default();
+        if rest.len() > authority.len() && !rest[authority.len()..].trim_matches('/').is_empty() {
+            return Err(format!(
+                "upstream URL '{url}' must not carry a path (the sync protocol owns the routes)"
+            ));
+        }
+        // Bracketed IPv6 literals carry colons inside the brackets.
+        let (host, port) = if let Some(v6) = authority.strip_prefix('[') {
+            let (host, after) = v6
+                .split_once(']')
+                .ok_or_else(|| format!("unclosed '[' in upstream URL '{url}'"))?;
+            let port = match after.strip_prefix(':') {
+                Some(p) => p.parse().map_err(|_| format!("bad port in '{url}'"))?,
+                None if after.is_empty() => 80,
+                None => return Err(format!("malformed authority in '{url}'")),
+            };
+            (format!("[{host}]"), port)
+        } else {
+            match authority.rsplit_once(':') {
+                Some((h, p)) => (
+                    h.to_owned(),
+                    p.parse().map_err(|_| format!("bad port in '{url}'"))?,
+                ),
+                None => (authority.to_owned(), 80),
+            }
+        };
+        if host.is_empty() {
+            return Err(format!("upstream URL '{url}' has no host"));
+        }
+        Ok(Upstream {
+            host,
+            port,
+            display,
+        })
+    }
+
+    fn connect_target(&self) -> String {
+        format!("{}:{}", self.host, self.port)
+    }
+}
+
+/// One parsed HTTP response.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Lower-cased header names with trimmed values.
+    pub headers: Vec<(String, String)>,
+    /// The `Content-Length`-framed body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// Header value by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The `ETag` value with surrounding quotes stripped.
+    pub fn etag(&self) -> Option<&str> {
+        self.header("etag")
+            .map(|v| v.trim().trim_matches('"'))
+            .filter(|v| !v.is_empty())
+    }
+}
+
+/// A keep-alive HTTP/1.1 client pinned to one upstream.
+pub struct HttpClient {
+    upstream: Upstream,
+    conn: Option<BufReader<TcpStream>>,
+    timeout: Duration,
+}
+
+impl HttpClient {
+    /// A client for `upstream` with a per-I/O timeout of `timeout`.
+    pub fn new(upstream: Upstream, timeout: Duration) -> HttpClient {
+        HttpClient {
+            upstream,
+            conn: None,
+            timeout,
+        }
+    }
+
+    /// The upstream this client talks to.
+    pub fn upstream(&self) -> &Upstream {
+        &self.upstream
+    }
+
+    fn connect(&self) -> Result<BufReader<TcpStream>, String> {
+        let target = self.upstream.connect_target();
+        let stream = target
+            .parse::<std::net::SocketAddr>()
+            .map_or_else(
+                |_| TcpStream::connect(&target),
+                |addr| TcpStream::connect_timeout(&addr, self.timeout),
+            )
+            .map_err(|e| format!("connecting to {target}: {e}"))?;
+        stream.set_nodelay(true).ok();
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .and_then(|()| stream.set_write_timeout(Some(self.timeout)))
+            .map_err(|e| format!("configuring socket: {e}"))?;
+        Ok(BufReader::new(stream))
+    }
+
+    /// One `GET`, with an optional `If-None-Match` validator. The body is
+    /// rejected (without being buffered) when it would exceed `max_body`.
+    ///
+    /// A send/parse failure on a kept-alive connection is retried once on
+    /// a fresh connection — the idle peer may simply have timed us out.
+    pub fn get(
+        &mut self,
+        path: &str,
+        if_none_match: Option<&str>,
+        max_body: u64,
+    ) -> Result<HttpResponse, String> {
+        let reused = self.conn.is_some();
+        match self.try_get(path, if_none_match, max_body) {
+            Ok(r) => Ok(r),
+            Err(e) if reused => {
+                self.conn = None;
+                self.try_get(path, if_none_match, max_body)
+                    .map_err(|e2| format!("{e2} (after stale-connection retry: {e})"))
+            }
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn try_get(
+        &mut self,
+        path: &str,
+        if_none_match: Option<&str>,
+        max_body: u64,
+    ) -> Result<HttpResponse, String> {
+        let mut conn = match self.conn.take() {
+            Some(c) => c,
+            None => self.connect()?,
+        };
+        let validator = match if_none_match {
+            Some(v) => format!("If-None-Match: \"{v}\"\r\n"),
+            None => String::new(),
+        };
+        let request = format!(
+            "GET {path} HTTP/1.1\r\nHost: {}\r\nConnection: keep-alive\r\n{validator}\r\n",
+            self.upstream.host,
+        );
+        conn.get_mut()
+            .write_all(request.as_bytes())
+            .map_err(|e| format!("sending GET {path}: {e}"))?;
+        let response =
+            read_response(&mut conn, max_body).map_err(|e| format!("GET {path}: {e}"))?;
+        let closing = response
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+        if !closing {
+            self.conn = Some(conn);
+        }
+        Ok(response)
+    }
+}
+
+fn read_line(r: &mut impl BufRead) -> Result<String, String> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte).map_err(|e| format!("read: {e}"))? {
+            0 => return Err("connection closed mid-response".into()),
+            _ => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line).map_err(|_| "non-UTF-8 header line".into());
+                }
+                if line.len() >= MAX_LINE {
+                    return Err("response header line too long".into());
+                }
+                line.push(byte[0]);
+            }
+        }
+    }
+}
+
+/// Reads one `Content-Length`-framed response.
+fn read_response(r: &mut impl BufRead, max_body: u64) -> Result<HttpResponse, String> {
+    let status_line = read_line(r)?;
+    let mut parts = status_line.split_whitespace();
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(format!("not an HTTP/1.x response: '{status_line}'")),
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line '{status_line}'"))?;
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err("too many response headers".into());
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| format!("malformed header '{line}'"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Err("transfer-encoding responses are not supported".into());
+    }
+    let content_length: u64 = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v.parse().map_err(|_| format!("bad content-length '{v}'"))?,
+        // 304 and friends may legitimately omit the header entirely.
+        None => 0,
+    };
+    if content_length > max_body {
+        return Err(format!(
+            "response body of {content_length} bytes exceeds the {max_body}-byte cap"
+        ));
+    }
+    let mut body = vec![0u8; content_length as usize];
+    r.read_exact(&mut body)
+        .map_err(|e| format!("reading {content_length}-byte body: {e}"))?;
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_upstream_urls() {
+        let u = Upstream::parse("http://127.0.0.1:7070").unwrap();
+        assert_eq!((u.host.as_str(), u.port), ("127.0.0.1", 7070));
+        let u = Upstream::parse("http://primary.internal/").unwrap();
+        assert_eq!((u.host.as_str(), u.port), ("primary.internal", 80));
+        let u = Upstream::parse("http://[::1]:8080").unwrap();
+        assert_eq!((u.host.as_str(), u.port), ("[::1]", 8080));
+        assert!(Upstream::parse("https://x").is_err());
+        assert!(Upstream::parse("http://").is_err());
+        assert!(Upstream::parse("http://x:notaport").is_err());
+        assert!(Upstream::parse("http://x/some/path").is_err());
+    }
+
+    #[test]
+    fn parses_responses() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nETag: \"00ff\"\r\nContent-Length: 2\r\n\r\n{}";
+        let r = read_response(&mut &raw[..], 1024).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, b"{}");
+        assert_eq!(r.etag(), Some("00ff"));
+
+        let raw = b"HTTP/1.1 304 Not Modified\r\nETag: \"00ff\"\r\nContent-Length: 0\r\n\r\n";
+        let r = read_response(&mut &raw[..], 1024).unwrap();
+        assert_eq!(r.status, 304);
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_oversized_and_malformed_responses() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 1000\r\n\r\n";
+        assert!(read_response(&mut &raw[..], 10).is_err());
+        let raw = b"SPDY/3 200\r\n\r\n";
+        assert!(read_response(&mut &raw[..], 10).is_err());
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n";
+        assert!(read_response(&mut &raw[..], 10).is_err());
+    }
+
+    /// A live round-trip against a throwaway single-request server.
+    #[test]
+    fn keep_alive_get_round_trips() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(conn.try_clone().unwrap());
+            for _ in 0..2 {
+                // Swallow one request (terminated by the blank line).
+                let mut line = String::new();
+                loop {
+                    line.clear();
+                    reader.read_line(&mut line).unwrap();
+                    if line == "\r\n" || line.is_empty() {
+                        break;
+                    }
+                }
+                conn.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhello")
+                    .unwrap();
+            }
+        });
+        let mut client = HttpClient::new(
+            Upstream::parse(&format!("http://{addr}")).unwrap(),
+            Duration::from_secs(5),
+        );
+        for _ in 0..2 {
+            let r = client.get("/x", None, 1024).unwrap();
+            assert_eq!((r.status, r.body.as_slice()), (200, &b"hello"[..]));
+        }
+        server.join().unwrap();
+    }
+}

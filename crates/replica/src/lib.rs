@@ -1,0 +1,103 @@
+//! # Read-replica catalog sync (`paris serve --replica-of`, `paris sync`)
+//!
+//! The catalog daemon (PR 3) made one machine serve many alignment
+//! pairs; this crate makes *many machines* serve the same catalog.
+//! PARIS alignments are computed once and read many times, so the
+//! replication model is deliberately simple — **immutable snapshot
+//! images, pulled**:
+//!
+//! * the **primary** is any `paris serve` daemon: it exposes its catalog
+//!   as a manifest (`GET /pairs/manifest`: every pair's name, format
+//!   version, generation, byte length, and content checksum) and streams
+//!   raw snapshot bytes (`GET /pairs/<name>/snapshot`, with a
+//!   checksum-based `ETag` so an unchanged pair is a `304` and zero
+//!   body bytes);
+//! * a **replica** polls the manifest, diffs it against its local mirror
+//!   directory, downloads only changed pairs to temp files, validates
+//!   the v1/v2 snapshot framing and checksums *before* install,
+//!   atomic-renames into the catalog directory, and hot-reloads the
+//!   affected pairs. Deletions propagate; a pair that fails to transfer
+//!   backs off exponentially without blocking its siblings.
+//!
+//! Everything is built on `std::net` — the workspace takes no external
+//! dependencies, so [`http_client`] hand-rolls the HTTP/1.1 client
+//! subset the sync engine needs (the mirror image of `paris-server`'s
+//! hand-rolled server), and [`json`] parses the manifest with a small
+//! recursive-descent reader.
+//!
+//! The decision loop lives in [`sync::SyncEngine`]; `paris-server`
+//! embeds it behind `--replica-of URL`, and the CLI's one-shot
+//! `paris sync URL DIR` runs a single cycle for cron-style mirroring.
+//!
+//! ## Trust model
+//!
+//! A replica trusts its upstream for *content* but not for *paths*: pair
+//! names from the manifest are validated by [`valid_pair_name`] before
+//! any filesystem path is built from them, so a malicious or corrupted
+//! primary cannot traverse outside the mirror directory. Transfers are
+//! rejected unless the bytes match the advertised checksum *and* parse
+//! as a well-formed v1/v2 aligned-pair snapshot; a rejected transfer
+//! leaves the previously installed image serving. There is no transport
+//! authentication (matching the server's trust model) — replicate over
+//! loopback, a private network, or a trusted tunnel.
+
+pub mod http_client;
+pub mod json;
+pub mod sync;
+
+pub use http_client::{HttpClient, HttpResponse, Upstream};
+pub use sync::{PairReplicationStatus, ReplicationStatus, SyncEngine, SyncOutcome};
+
+/// Longest accepted pair name.
+pub const MAX_PAIR_NAME: usize = 128;
+
+/// Whether a pair name is safe to appear in URLs, JSON, and filesystem
+/// paths *without escaping*: ASCII alphanumerics plus `-`, `_`, `.`,
+/// not starting with a dot (no hidden/temp files, no `.`/`..`), at most
+/// [`MAX_PAIR_NAME`] bytes, and not the reserved route name `manifest`.
+///
+/// The serving catalog skips files whose stem fails this check (so
+/// `/pairs` and manifest output are injection-safe by construction), and
+/// the sync engine rejects manifest entries that fail it (so an
+/// untrusted upstream cannot traverse out of the mirror directory).
+pub fn valid_pair_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= MAX_PAIR_NAME
+        && !name.starts_with('.')
+        && name != "manifest"
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_name_validation() {
+        for good in ["alpha", "yago-dbpedia", "v2_pair", "a.b", "A9", "x"] {
+            assert!(valid_pair_name(good), "{good}");
+        }
+        for bad in [
+            "",
+            ".",
+            "..",
+            ".hidden",
+            "a/b",
+            "../escape",
+            "a b",
+            "a\"b",
+            "a\\b",
+            "a\nb",
+            "a?b",
+            "a%b",
+            "ümlaut",
+            "manifest",
+        ] {
+            assert!(!valid_pair_name(bad), "{bad:?}");
+        }
+        assert!(valid_pair_name(&"n".repeat(MAX_PAIR_NAME)));
+        assert!(!valid_pair_name(&"n".repeat(MAX_PAIR_NAME + 1)));
+    }
+}

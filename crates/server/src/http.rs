@@ -60,6 +60,19 @@ impl Request {
             _ => self.http10,
         }
     }
+
+    /// Whether the request's `If-None-Match` validator matches `etag`
+    /// (either exactly, ignoring quotes, or via `*`) — if so, a cacheable
+    /// `200` should be served as a body-less `304`.
+    pub fn if_none_match_matches(&self, etag: &str) -> bool {
+        self.header("if-none-match").is_some_and(|header| {
+            header.split(',').map(str::trim).any(|candidate| {
+                candidate == "*"
+                    || candidate == etag
+                    || candidate.trim_matches('"') == etag.trim_matches('"')
+            })
+        })
+    }
 }
 
 /// Why a request could not be parsed.
@@ -240,38 +253,65 @@ pub fn percent_decode(s: &str) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
-/// One HTTP response, always `Content-Length`-framed.
+/// One HTTP response, always `Content-Length`-framed. The body is
+/// either in-memory bytes or — for snapshot transfers — streamed
+/// straight from an open file, never buffered whole.
 #[derive(Debug)]
 pub struct Response {
     /// Status code (200, 404, …).
     pub status: u16,
     /// Content type header value.
     pub content_type: &'static str,
-    /// Response body.
+    /// Response body (ignored while `stream` is set).
     pub body: Vec<u8>,
     /// Value of an `Allow` header (RFC 9110 requires one on every 405).
     pub allow: Option<&'static str>,
+    /// Value of an `ETag` header (quoted, per RFC 9110).
+    pub etag: Option<String>,
+    /// When set, exactly this many bytes are streamed from the file (in
+    /// 64 KiB chunks) instead of writing `body`. A short file aborts the
+    /// write with an error, which closes the connection — the peer sees
+    /// a truncated transfer, never silently reframed bytes.
+    pub stream: Option<(std::fs::File, u64)>,
 }
 
 impl Response {
-    /// A JSON response.
-    pub fn json(status: u16, body: impl Into<String>) -> Self {
+    fn new(status: u16, content_type: &'static str, body: Vec<u8>) -> Self {
         Response {
             status,
-            content_type: "application/json",
-            body: body.into().into_bytes(),
+            content_type,
+            body,
             allow: None,
+            etag: None,
+            stream: None,
         }
+    }
+
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response::new(status, "application/json", body.into().into_bytes())
     }
 
     /// A plain-text response.
     pub fn text(status: u16, body: impl Into<String>) -> Self {
-        Response {
+        Response::new(
             status,
-            content_type: "text/plain; charset=utf-8",
-            body: body.into().into_bytes(),
-            allow: None,
-        }
+            "text/plain; charset=utf-8",
+            body.into().into_bytes(),
+        )
+    }
+
+    /// A binary response streamed from an open file (`len` bytes from
+    /// the file's current position).
+    pub fn file_stream(file: std::fs::File, len: u64) -> Self {
+        let mut r = Response::new(200, "application/octet-stream", Vec::new());
+        r.stream = Some((file, len));
+        r
+    }
+
+    /// An empty `304 Not Modified` carrying the entity's `ETag`.
+    pub fn not_modified(etag: impl Into<String>) -> Self {
+        Response::new(304, "application/json", Vec::new()).with_etag(etag)
     }
 
     /// Attaches an `Allow` header (comma-separated method list).
@@ -280,10 +320,17 @@ impl Response {
         self
     }
 
+    /// Attaches an `ETag` header (the value must already be quoted).
+    pub fn with_etag(mut self, etag: impl Into<String>) -> Self {
+        self.etag = Some(etag.into());
+        self
+    }
+
     fn reason(&self) -> &'static str {
         match self.status {
             200 => "OK",
             202 => "Accepted",
+            304 => "Not Modified",
             400 => "Bad Request",
             404 => "Not Found",
             403 => "Forbidden",
@@ -295,22 +342,54 @@ impl Response {
 
     /// Writes the response; `keep_alive` selects the `Connection` header.
     pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        let length = match &self.stream {
+            Some((_, len)) => *len,
+            None => self.body.len() as u64,
+        };
         write!(
             w,
             "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             self.reason(),
             self.content_type,
-            self.body.len(),
+            length,
             if keep_alive { "keep-alive" } else { "close" },
         )?;
         if let Some(allow) = self.allow {
             write!(w, "Allow: {allow}\r\n")?;
         }
+        if let Some(etag) = &self.etag {
+            write!(w, "ETag: {etag}\r\n")?;
+        }
         w.write_all(b"\r\n")?;
-        w.write_all(&self.body)?;
+        match &self.stream {
+            Some((file, len)) => copy_exactly(file, w, *len)?,
+            None => w.write_all(&self.body)?,
+        }
         w.flush()
     }
+}
+
+/// Streams exactly `len` bytes from `file` to `w` in 64 KiB chunks.
+/// Running out of file bytes early is an error (the `Content-Length`
+/// promise is already on the wire).
+fn copy_exactly(mut file: &std::fs::File, w: &mut impl Write, len: u64) -> std::io::Result<()> {
+    use std::io::Read;
+    let mut buf = [0u8; 64 * 1024];
+    let mut remaining = len;
+    while remaining > 0 {
+        let want = buf.len().min(remaining as usize);
+        let got = file.read(&mut buf[..want])?;
+        if got == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "snapshot file shorter than its advertised length",
+            ));
+        }
+        w.write_all(&buf[..got])?;
+        remaining -= got as u64;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -406,6 +485,76 @@ mod tests {
         assert!(s.contains("Connection: keep-alive"));
         assert!(s.ends_with("\r\n\r\n{}"));
         assert!(!s.contains("Allow:"));
+    }
+
+    #[test]
+    fn if_none_match_matching() {
+        let parse_with = |value: &str| {
+            parse(&format!(
+                "GET /stats HTTP/1.1\r\nIf-None-Match: {value}\r\n\r\n"
+            ))
+            .unwrap()
+        };
+        assert!(parse_with("\"abc\"").if_none_match_matches("\"abc\""));
+        assert!(parse_with("abc").if_none_match_matches("\"abc\""));
+        assert!(parse_with("\"x\", \"abc\"").if_none_match_matches("\"abc\""));
+        assert!(parse_with("*").if_none_match_matches("\"whatever\""));
+        assert!(!parse_with("\"abc\"").if_none_match_matches("\"def\""));
+        let bare = parse("GET /stats HTTP/1.1\r\n\r\n").unwrap();
+        assert!(!bare.if_none_match_matches("\"abc\""));
+    }
+
+    #[test]
+    fn etag_and_not_modified_framing() {
+        let mut out = Vec::new();
+        Response::json(200, "{}")
+            .with_etag("\"00ff\"")
+            .write_to(&mut out, true)
+            .unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("\r\nETag: \"00ff\"\r\n"), "{s}");
+
+        let mut out = Vec::new();
+        Response::not_modified("\"00ff\"")
+            .write_to(&mut out, true)
+            .unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 304 Not Modified\r\n"), "{s}");
+        assert!(s.contains("Content-Length: 0\r\n"), "{s}");
+        assert!(s.contains("ETag: \"00ff\""), "{s}");
+        assert!(s.ends_with("\r\n\r\n"), "no body: {s}");
+    }
+
+    #[test]
+    fn file_streaming_frames_and_copies() {
+        let path = std::env::temp_dir().join("paris_http_stream_unit.bin");
+        let payload: Vec<u8> = (0..200_000u32).map(|i| i as u8).collect();
+        std::fs::write(&path, &payload).unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        let mut out = Vec::new();
+        Response::file_stream(file, payload.len() as u64)
+            .with_etag("\"aa\"")
+            .write_to(&mut out, false)
+            .unwrap();
+        let header_end = out.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+        let head = String::from_utf8_lossy(&out[..header_end]);
+        assert!(
+            head.contains("Content-Type: application/octet-stream"),
+            "{head}"
+        );
+        assert!(
+            head.contains(&format!("Content-Length: {}", payload.len())),
+            "{head}"
+        );
+        assert_eq!(&out[header_end..], &payload[..], "body streamed intact");
+
+        // A file shorter than the advertised length aborts the write.
+        let file = std::fs::File::open(&path).unwrap();
+        let err = Response::file_stream(file, payload.len() as u64 + 1)
+            .write_to(&mut Vec::new(), false)
+            .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -37,20 +37,40 @@
 //! requests finish on the old image, and a failed load leaves the old
 //! image serving.
 //!
+//! ## Replication
+//!
+//! Any daemon is implicitly a **primary**: `GET /pairs/manifest` lists
+//! every pair's name, format version, generation, byte length, and
+//! content checksum, and `GET /pairs/<name>/snapshot` streams the raw
+//! snapshot file (with a checksum `ETag`, so `If-None-Match` makes an
+//! unchanged pair cost zero body bytes). A daemon started with
+//! `--replica-of URL` is additionally a **replica**: a sync thread
+//! polls the upstream manifest, mirrors changed pairs into the catalog
+//! directory via `paris-replica`'s validated-transfer engine, and
+//! drives the per-pair hot-reload path; `/healthz` then reports the
+//! role, upstream, last-sync time, and per-pair generation lag. See
+//! `docs/REPLICATION.md`.
+//!
 //! ## Endpoints
 //!
 //! | route | method | answer |
 //! |---|---|---|
-//! | `/healthz` | GET | liveness + version + default-pair generation |
+//! | `/healthz` | GET | liveness + version + role + default-pair generation |
 //! | `/pairs` | GET | the catalog: every pair, its state and generation |
+//! | `/pairs/manifest` | GET | replication manifest (checksums, generations) |
 //! | `/pairs/<name>/sameas?iri=…` | GET | best match of an instance |
 //! | `/pairs/<name>/neighbors?iri=…` | GET | facts around an entity |
 //! | `/pairs/<name>/stats` | GET | KB + alignment statistics of one pair |
 //! | `/pairs/<name>/healthz` | GET | per-pair liveness + generation |
+//! | `/pairs/<name>/snapshot` | GET | the raw snapshot bytes (ETag/304) |
 //! | `/pairs/<name>/reload` | POST | swap in that pair's snapshot file |
 //! | `/sameas`, `/neighbors`, `/stats`, `/reload` | | aliases of the default pair |
 //! | `/align` | POST | enqueue a batch job over two single-KB snapshots |
 //! | `/jobs/<id>` | GET | job status / outcome |
+//!
+//! `GET /pairs/<name>/stats`, `/sameas`, and `/neighbors` also carry a
+//! body-checksum `ETag` and honour `If-None-Match` — a polling client
+//! pays headers only while the answer is unchanged.
 //!
 //! See `docs/HTTP_API.md` at the repository root for the full
 //! request/response reference with curl examples.
@@ -68,7 +88,9 @@ use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::{Duration, Instant, SystemTime};
 
 use paris_core::{AlignedPairSnapshot, PairImage, PairSide};
+use paris_kb::snapshot_v2::checksum_v2;
 use paris_kb::{snapshot, KbStats};
+use paris_replica::{valid_pair_name, ReplicationStatus, SyncEngine};
 
 use http::{ParseError, Request, Response};
 use jobs::{JobRequest, JobStore};
@@ -116,6 +138,12 @@ pub struct ServerConfig {
     /// catalog mode the tick also rescans the directory for added and
     /// removed pairs.
     pub watch_interval: Option<Duration>,
+    /// Replica mode: continuously mirror this upstream daemon's catalog
+    /// (`http://host:port`) into `catalog_dir` and hot-reload changed
+    /// pairs. Requires catalog mode; the directory may start empty.
+    pub replica_of: Option<String>,
+    /// How often a replica polls the upstream manifest.
+    pub sync_interval: Duration,
 }
 
 impl Default for ServerConfig {
@@ -128,6 +156,8 @@ impl Default for ServerConfig {
             catalog_dir: None,
             max_resident_bytes: None,
             watch_interval: None,
+            replica_of: None,
+            sync_interval: Duration::from_secs(1),
         }
     }
 }
@@ -176,6 +206,21 @@ fn signature_of(path: &Path) -> Option<(SystemTime, u64)> {
         .and_then(|m| m.modified().ok().map(|t| (t, m.len())))
 }
 
+/// What the replication manifest advertises about one pair's backing
+/// file, cached per file signature so repeated manifest polls do not
+/// re-read unchanged snapshots.
+#[derive(Clone, Copy, Debug)]
+struct ContentInfo {
+    /// File signature the cache entry is valid for.
+    signature: (SystemTime, u64),
+    /// `checksum_v2` of the whole file — the transfer `ETag`.
+    checksum: u64,
+    /// Snapshot format version (0 when the file is not a snapshot).
+    version: u32,
+    /// File length in bytes.
+    bytes: u64,
+}
+
 /// One catalog entry: a named snapshot file and its swappable image.
 struct PairState {
     name: String,
@@ -196,6 +241,8 @@ struct PairState {
     last_used: AtomicU64,
     /// Signature of `path` as of the last load from it.
     last_signature: Mutex<Option<(SystemTime, u64)>>,
+    /// Manifest cache: checksum/version/length of the backing file.
+    content_cache: Mutex<Option<ContentInfo>>,
 }
 
 impl PairState {
@@ -209,11 +256,61 @@ impl PairState {
             reloads: AtomicU64::new(0),
             last_used: AtomicU64::new(0),
             last_signature: Mutex::new(None),
+            content_cache: Mutex::new(None),
         }
     }
 
     fn current(&self) -> Option<Arc<LoadedImage>> {
         self.slot.read().expect("pair slot poisoned").clone()
+    }
+
+    /// Opens the backing snapshot file and returns it together with its
+    /// [`ContentInfo`]. The checksum is computed at most once per file
+    /// signature; on a cache miss the file is read *through the returned
+    /// handle* — in chunks, never buffered whole — and rewound, so the
+    /// checksum, the advertised length, and the bytes a caller then
+    /// streams all come from the same inode even if the path is
+    /// atomically replaced mid-request.
+    fn open_content(&self) -> Result<(std::fs::File, ContentInfo), String> {
+        use std::io::{Read, Seek};
+        let Some(path) = self.path.as_ref() else {
+            return Err(format!("pair '{}' has no backing snapshot file", self.name));
+        };
+        let mut file = std::fs::File::open(path)
+            .map_err(|e| format!("cannot open snapshot {}: {e}", path.display()))?;
+        let meta = file
+            .metadata()
+            .map_err(|e| format!("cannot stat snapshot {}: {e}", path.display()))?;
+        let signature = meta.modified().ok().map(|t| (t, meta.len()));
+        // Holding the lock across the read also collapses concurrent
+        // cache misses into one checksum pass.
+        let mut cache = self.content_cache.lock().expect("content cache poisoned");
+        if let (Some(info), Some(sig)) = (*cache, signature) {
+            if info.signature == sig {
+                return Ok((file, info));
+            }
+        }
+        let mut head = [0u8; 12];
+        let version = match file.read_exact(&mut head) {
+            Ok(()) => snapshot::peek_version_bytes(&head).unwrap_or(0),
+            Err(_) => 0, // shorter than the magic: not a snapshot
+        };
+        file.rewind()
+            .map_err(|e| format!("cannot rewind snapshot {}: {e}", path.display()))?;
+        let checksum = paris_kb::snapshot_v2::checksum_v2_stream(&mut file, meta.len())
+            .map_err(|e| format!("cannot read snapshot {}: {e}", path.display()))?;
+        file.rewind()
+            .map_err(|e| format!("cannot rewind snapshot {}: {e}", path.display()))?;
+        let info = ContentInfo {
+            signature: signature.unwrap_or((SystemTime::UNIX_EPOCH, meta.len())),
+            checksum,
+            version,
+            bytes: meta.len(),
+        };
+        if signature.is_some() {
+            *cache = Some(info);
+        }
+        Ok((file, info))
     }
 }
 
@@ -365,6 +462,13 @@ impl Catalog {
     }
 }
 
+/// Replica-role state: the upstream plus the sync engine's latest
+/// health report (written by the sync thread, rendered by `/healthz`).
+struct ReplicaState {
+    upstream: String,
+    status: Mutex<Option<ReplicationStatus>>,
+}
+
 /// Shared serving state: the catalog plus global counters.
 struct ServeState {
     catalog: Catalog,
@@ -373,6 +477,8 @@ struct ServeState {
     jobs: Arc<JobStore>,
     /// Whether `POST /align` is served (see [`ServerConfig::enable_jobs`]).
     jobs_enabled: bool,
+    /// `Some` when this daemon replicates an upstream catalog.
+    replica: Option<ReplicaState>,
 }
 
 /// A bound, not-yet-running server.
@@ -410,6 +516,10 @@ impl ServerHandle {
 }
 
 /// Lists the `*.snap` files of a catalog directory as `(name, path)`.
+/// Files whose stem is not a [`valid_pair_name`] are skipped with a
+/// warning — every name the catalog admits is thereby safe to embed in
+/// URLs, JSON, and manifest output without escaping, and safe for a
+/// replica to turn back into a filesystem path.
 fn scan_catalog_dir(dir: &Path) -> std::io::Result<Vec<(String, PathBuf)>> {
     let mut found = Vec::new();
     for entry in std::fs::read_dir(dir)? {
@@ -424,6 +534,14 @@ fn scan_catalog_dir(dir: &Path) -> std::io::Result<Vec<(String, PathBuf)>> {
         let Some(name) = path.file_stem().and_then(|s| s.to_str()) else {
             continue;
         };
+        if !valid_pair_name(name) {
+            eprintln!(
+                "catalog: ignoring {} — pair names may use ASCII letters, digits, \
+                 '-', '_', '.' (no leading dot, not 'manifest')",
+                path.display()
+            );
+            continue;
+        }
         found.push((name.to_owned(), path.clone()));
     }
     found.sort();
@@ -442,6 +560,25 @@ fn pick_default(names: &BTreeMap<String, Arc<PairState>>) -> String {
 
 impl Server {
     fn bind_with_catalog(catalog: Catalog, config: ServerConfig) -> std::io::Result<Server> {
+        let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, msg);
+        let replica = match &config.replica_of {
+            Some(upstream) => {
+                // Fail fast on an unusable upstream URL, and insist on
+                // catalog mode — the sync engine installs into (and the
+                // rescan publishes from) the catalog directory.
+                paris_replica::Upstream::parse(upstream).map_err(invalid)?;
+                if catalog.dir.is_none() {
+                    return Err(invalid(
+                        "--replica-of requires catalog mode (--catalog DIR)".to_owned(),
+                    ));
+                }
+                Some(ReplicaState {
+                    upstream: upstream.clone(),
+                    status: Mutex::new(None),
+                })
+            }
+            None => None,
+        };
         let listener = TcpListener::bind(&config.addr)?;
         Ok(Server {
             listener,
@@ -451,6 +588,7 @@ impl Server {
                 requests: AtomicU64::new(0),
                 jobs: Arc::new(JobStore::new()),
                 jobs_enabled: config.enable_jobs,
+                replica,
             }),
             config,
             shutdown: Arc::new(AtomicBool::new(false)),
@@ -472,6 +610,7 @@ impl Server {
             .as_deref()
             .and_then(|p| p.file_stem())
             .and_then(|s| s.to_str())
+            .filter(|n| valid_pair_name(n))
             .unwrap_or("default")
             .to_owned();
         let file_bytes = path
@@ -487,6 +626,7 @@ impl Server {
             reloads: AtomicU64::new(0),
             last_used: AtomicU64::new(0),
             last_signature: Mutex::new(path.as_deref().and_then(signature_of)),
+            content_cache: Mutex::new(None),
             path,
         };
         let mut pairs = BTreeMap::new();
@@ -508,8 +648,13 @@ impl Server {
         let dir = config.catalog_dir.clone().ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::InvalidInput, "no catalog directory set")
         })?;
+        if config.replica_of.is_some() {
+            // A replica's mirror directory may not exist yet and may
+            // legitimately start empty — the first sync populates it.
+            std::fs::create_dir_all(&dir)?;
+        }
         let found = scan_catalog_dir(&dir)?;
-        if found.is_empty() {
+        if found.is_empty() && config.replica_of.is_none() {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
                 format!("no *.snap files in catalog directory {}", dir.display()),
@@ -558,6 +703,18 @@ impl Server {
                 Arc::clone(&self.state),
                 Arc::clone(&self.shutdown),
                 interval,
+            );
+        }
+        if let (Some(upstream), Some(dir)) = (
+            self.config.replica_of.clone(),
+            self.state.catalog.dir.clone(),
+        ) {
+            spawn_sync_thread(
+                Arc::clone(&self.state),
+                Arc::clone(&self.shutdown),
+                upstream,
+                dir,
+                self.config.sync_interval,
             );
         }
         let (tx, rx) = mpsc::channel::<TcpStream>();
@@ -679,6 +836,82 @@ fn spawn_watch_thread(state: Arc<ServeState>, shutdown: Arc<AtomicBool>, interva
         .expect("spawning watch thread");
 }
 
+/// The replica poll loop: one `paris-replica` sync cycle per interval.
+/// A cycle that changed the mirror directory is published the same way
+/// `--watch` publishes operator changes — a catalog rescan (pairs
+/// appear/vanish, the default is re-picked) — and every *loaded*
+/// updated pair is hot-reloaded immediately, so convergence does not
+/// wait for a separate watch tick. Unloaded pairs just read the fresh
+/// file on their next hit. After every cycle the engine's health report
+/// is published for `/healthz`.
+fn spawn_sync_thread(
+    state: Arc<ServeState>,
+    shutdown: Arc<AtomicBool>,
+    upstream: String,
+    dir: PathBuf,
+    interval: Duration,
+) {
+    std::thread::Builder::new()
+        .name("paris-serve-sync".to_owned())
+        .spawn(move || {
+            let mut engine = match SyncEngine::new(&upstream, &dir) {
+                Ok(engine) => engine,
+                Err(e) => {
+                    // bind_with_catalog validated the URL; this is an
+                    // unusable mirror directory. The daemon keeps
+                    // serving whatever it scanned.
+                    eprintln!("replica: cannot start sync engine: {e}");
+                    return;
+                }
+            };
+            while !shutdown.load(Ordering::SeqCst) {
+                match engine.sync_once() {
+                    Ok(outcome) => {
+                        if !outcome.updated.is_empty() || !outcome.removed.is_empty() {
+                            rescan_catalog(&state.catalog, &dir);
+                        }
+                        for name in &outcome.removed {
+                            eprintln!("replica: pair '{name}' removed (gone upstream)");
+                        }
+                        for name in &outcome.updated {
+                            let Some(pair) = state.catalog.pair(name) else {
+                                continue;
+                            };
+                            if pair.current().is_none() {
+                                eprintln!("replica: synced new pair '{name}'");
+                                continue;
+                            }
+                            match state.catalog.reload_pair(&pair, None) {
+                                Ok(img) => eprintln!(
+                                    "replica: synced and reloaded pair '{name}' \
+                                     (generation {})",
+                                    img.generation
+                                ),
+                                Err(e) => {
+                                    eprintln!("replica: reload of synced pair '{name}' failed: {e}")
+                                }
+                            }
+                        }
+                    }
+                    Err(e) => eprintln!("replica: sync against {upstream} failed: {e}"),
+                }
+                if let Some(replica) = &state.replica {
+                    *replica.status.lock().expect("replica status poisoned") =
+                        Some(engine.status());
+                }
+                // Sleep in slices so shutdown stays prompt under long
+                // poll intervals.
+                let mut slept = Duration::ZERO;
+                while slept < interval && !shutdown.load(Ordering::SeqCst) {
+                    let slice = (interval - slept).min(Duration::from_millis(50));
+                    std::thread::sleep(slice);
+                    slept += slice;
+                }
+            }
+        })
+        .expect("spawning sync thread");
+}
+
 /// One `--watch` tick of catalog-directory maintenance: new `*.snap`
 /// files become unloaded pairs, vanished files drop their pairs, and the
 /// default pair is re-picked if its file went away.
@@ -760,6 +993,11 @@ fn serve_connection(state: &ServeState, stream: TcpStream) {
 fn route(state: &ServeState, req: &Request) -> Response {
     let path = req.path.as_str();
     if let Some(rest) = path.strip_prefix("/pairs/") {
+        // `manifest` is a reserved name (valid_pair_name refuses it for
+        // pairs), so this route never shadows a catalog entry.
+        if rest == "manifest" {
+            return allow(req, "GET", |r| cacheable(r, manifest(state)));
+        }
         if let Some((name, op)) = rest.split_once('/') {
             return route_pair_op(state, req, name, op);
         }
@@ -771,9 +1009,15 @@ fn route(state: &ServeState, req: &Request) -> Response {
     match path {
         "/pairs" => allow(req, "GET", |r| list_pairs(state, r)),
         "/healthz" => allow(req, "GET", |r| healthz(state, r)),
-        "/stats" => allow(req, "GET", |r| with_default_pair(state, r, pair_stats)),
-        "/sameas" => allow(req, "GET", |r| with_default_pair(state, r, sameas)),
-        "/neighbors" => allow(req, "GET", |r| with_default_pair(state, r, neighbors)),
+        "/stats" => allow(req, "GET", |r| {
+            cacheable(r, with_default_pair(state, r, pair_stats))
+        }),
+        "/sameas" => allow(req, "GET", |r| {
+            cacheable(r, with_default_pair(state, r, sameas))
+        }),
+        "/neighbors" => allow(req, "GET", |r| {
+            cacheable(r, with_default_pair(state, r, neighbors))
+        }),
         "/reload" => allow(req, "POST", |r| reload_default(state, r)),
         "/align" => allow(req, "POST", |r| submit_align(state, r)),
         p if p.starts_with("/jobs/") => {
@@ -785,13 +1029,14 @@ fn route(state: &ServeState, req: &Request) -> Response {
 
 fn route_pair_op(state: &ServeState, req: &Request, name: &str, op: &str) -> Response {
     let method = match op {
-        "sameas" | "neighbors" | "stats" | "healthz" => "GET",
+        "sameas" | "neighbors" | "stats" | "healthz" | "snapshot" => "GET",
         "reload" => "POST",
         _ => {
             return error(
                 404,
                 &format!(
-                    "no such pair operation '{op}' (sameas, neighbors, stats, healthz, reload)"
+                    "no such pair operation '{op}' \
+                     (sameas, neighbors, stats, healthz, snapshot, reload)"
                 ),
             )
         }
@@ -801,14 +1046,32 @@ fn route_pair_op(state: &ServeState, req: &Request, name: &str, op: &str) -> Res
             return error(404, &format!("no such pair '{name}'"));
         };
         match op {
-            "sameas" => sameas(state, r, &pair),
-            "neighbors" => neighbors(state, r, &pair),
-            "stats" => pair_stats(state, r, &pair),
+            "sameas" => cacheable(r, sameas(state, r, &pair)),
+            "neighbors" => cacheable(r, neighbors(state, r, &pair)),
+            "stats" => cacheable(r, pair_stats(state, r, &pair)),
             "healthz" => pair_healthz(&pair),
+            "snapshot" => pair_snapshot(r, &pair),
             "reload" => reload(state, r, &pair, false),
             _ => unreachable!("filtered above"),
         }
     })
+}
+
+/// Finishes a cacheable `GET`: a `200` grows a body-checksum `ETag`,
+/// and an `If-None-Match` hit collapses it to a body-less `304`. The
+/// checksum is over the rendered body, so any change a client could
+/// observe — new generation, new alignment, different query answer —
+/// changes the validator.
+fn cacheable(req: &Request, response: Response) -> Response {
+    if response.status != 200 || response.stream.is_some() {
+        return response;
+    }
+    let etag = format!("\"{:016x}\"", checksum_v2(&response.body));
+    if req.if_none_match_matches(&etag) {
+        Response::not_modified(etag)
+    } else {
+        response.with_etag(etag)
+    }
 }
 
 /// Runs `f` when the method matches, else a `405` with `Allow`.
@@ -855,28 +1118,143 @@ fn healthz(state: &ServeState, _req: &Request) -> Response {
         .default_pair()
         .map(|p| p.generation.load(Ordering::SeqCst))
         .unwrap_or(0);
+    let mut obj = json::Object::new()
+        .str("status", "ok")
+        .str("version", VERSION)
+        .str(
+            "role",
+            if state.replica.is_some() {
+                "replica"
+            } else {
+                "primary"
+            },
+        )
+        .str(
+            "snapshot_formats",
+            &snapshot::SUPPORTED_SNAPSHOT_VERSIONS
+                .map(|v| format!("v{v}"))
+                .join(","),
+        )
+        .str(
+            "delta_formats",
+            &format!("v{}", snapshot::DELTA_FORMAT_VERSION),
+        )
+        .num("uptime_seconds", state.started.elapsed().as_secs_f64())
+        .int("requests", state.requests.load(Ordering::Relaxed))
+        .int("generation", default_generation)
+        .int("pairs", pairs as u64)
+        .int("pairs_loaded", loaded as u64);
+    if let Some(replica) = &state.replica {
+        obj = obj.raw("replication", replication_json(replica));
+    }
+    Response::json(200, obj.build())
+}
+
+/// The `"replication"` object of a replica's `/healthz`: upstream,
+/// last-sync times, and per-pair generation lag against the primary.
+fn replication_json(replica: &ReplicaState) -> String {
+    let status = replica
+        .status
+        .lock()
+        .expect("replica status poisoned")
+        .clone();
+    let mut obj = json::Object::new().str("upstream", &replica.upstream);
+    let Some(status) = status else {
+        // The sync thread has not completed a cycle yet.
+        return obj.bool("synced", false).build();
+    };
+    let now = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    obj = obj
+        .bool("synced", status.last_success_unix.is_some())
+        .int("syncs", status.syncs);
+    if let Some(t) = status.last_attempt_unix {
+        obj = obj.int("last_attempt_unix", t);
+    }
+    if let Some(t) = status.last_success_unix {
+        obj = obj
+            .int("last_sync_unix", t)
+            .int("last_sync_seconds_ago", now.saturating_sub(t));
+    }
+    if let Some(e) = &status.last_error {
+        obj = obj.str("last_error", e);
+    }
+    let pairs = status.pairs.iter().map(|p| {
+        let mut entry = json::Object::new()
+            .str("name", &p.name)
+            .int("remote_generation", p.remote_generation)
+            .int("synced_generation", p.synced_generation)
+            .int("lag", p.lag);
+        if let Some(e) = &p.last_error {
+            entry = entry.str("last_error", e);
+        }
+        entry.build()
+    });
+    obj.raw("pairs", json::array(pairs)).build()
+}
+
+/// `GET /pairs/manifest`: the replication manifest — every file-backed
+/// pair's name, snapshot format version, generation, byte length, and
+/// content checksum. A pair whose file cannot be read right now is
+/// listed *without* a checksum (replicas keep their current copy) —
+/// only a pair absent from the manifest propagates as a deletion.
+fn manifest(state: &ServeState) -> Response {
+    let default_name = state
+        .catalog
+        .default_name
+        .read()
+        .expect("catalog lock poisoned")
+        .clone();
+    let pairs: Vec<Arc<PairState>> = state
+        .catalog
+        .pairs
+        .read()
+        .expect("catalog lock poisoned")
+        .values()
+        .cloned()
+        .collect();
+    let rendered = pairs.iter().filter(|p| p.path.is_some()).map(|pair| {
+        let obj = json::Object::new()
+            .str("name", &pair.name)
+            .int("generation", pair.generation.load(Ordering::SeqCst));
+        match pair.open_content() {
+            Ok((_, info)) => obj
+                .int("format", info.version as u64)
+                .int("bytes", info.bytes)
+                .str("checksum", &format!("{:016x}", info.checksum)),
+            Err(e) => obj.int("format", 0).int("bytes", 0).str("error", &e),
+        }
+        .build()
+    });
     Response::json(
         200,
         json::Object::new()
-            .str("status", "ok")
-            .str("version", VERSION)
-            .str(
-                "snapshot_formats",
-                &snapshot::SUPPORTED_SNAPSHOT_VERSIONS
-                    .map(|v| format!("v{v}"))
-                    .join(","),
-            )
-            .str(
-                "delta_formats",
-                &format!("v{}", snapshot::DELTA_FORMAT_VERSION),
-            )
-            .num("uptime_seconds", state.started.elapsed().as_secs_f64())
-            .int("requests", state.requests.load(Ordering::Relaxed))
-            .int("generation", default_generation)
-            .int("pairs", pairs as u64)
-            .int("pairs_loaded", loaded as u64)
+            .str("server_version", VERSION)
+            .str("default", &default_name)
+            .raw("pairs", json::array(rendered))
             .build(),
     )
+}
+
+/// `GET /pairs/<name>/snapshot`: streams the pair's raw snapshot file
+/// with its content checksum as a strong `ETag` — `If-None-Match` turns
+/// an unchanged pair into a body-less `304`, which is what lets replica
+/// polls cost zero snapshot bytes. The bytes, length, and checksum all
+/// come from one open handle, so an atomic snapshot replacement
+/// mid-request still yields a self-consistent (old) transfer.
+fn pair_snapshot(req: &Request, pair: &Arc<PairState>) -> Response {
+    match pair.open_content() {
+        Ok((file, info)) => {
+            let etag = format!("\"{:016x}\"", info.checksum);
+            if req.if_none_match_matches(&etag) {
+                return Response::not_modified(etag);
+            }
+            Response::file_stream(file, info.bytes).with_etag(etag)
+        }
+        Err(e) => error(404, &e),
+    }
 }
 
 fn pair_healthz(pair: &Arc<PairState>) -> Response {
@@ -1308,6 +1686,7 @@ mod tests {
             reloads: AtomicU64::new(0),
             last_used: AtomicU64::new(0),
             last_signature: Mutex::new(None),
+            content_cache: Mutex::new(None),
             path,
         };
         let mut pairs = BTreeMap::new();
@@ -1324,6 +1703,7 @@ mod tests {
             requests: AtomicU64::new(0),
             jobs: Arc::new(JobStore::new()),
             jobs_enabled: true,
+            replica: None,
         }
     }
 
@@ -1349,6 +1729,7 @@ mod tests {
             requests: AtomicU64::new(0),
             jobs: Arc::new(JobStore::new()),
             jobs_enabled: true,
+            replica: None,
         }
     }
 
@@ -1704,6 +2085,315 @@ mod tests {
                 .load(Ordering::SeqCst),
             2
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn get_with_inm(path: &str, etag: &str) -> Request {
+        let mut req = get(path);
+        req.headers
+            .push(("if-none-match".to_owned(), etag.to_owned()));
+        req
+    }
+
+    /// Extracts the quoted ETag value of a response.
+    fn etag_of(r: &Response) -> String {
+        r.etag.clone().expect("response should carry an ETag")
+    }
+
+    #[test]
+    fn read_endpoints_carry_etags_and_honour_if_none_match() {
+        let s = state();
+        for path in [
+            "/stats",
+            "/sameas?iri=http://a/p1",
+            "/neighbors?iri=http://a/p0",
+            "/pairs/default/stats",
+        ] {
+            let first = route(&s, &get(path));
+            assert_eq!(first.status, 200, "{path}");
+            let etag = etag_of(&first);
+            let second = route(&s, &get_with_inm(path, &etag));
+            assert_eq!(second.status, 304, "{path}");
+            assert!(second.body.is_empty(), "{path}: 304 must be body-less");
+            assert_eq!(etag_of(&second), etag, "{path}");
+            // A non-matching validator still gets the full body.
+            let third = route(&s, &get_with_inm(path, "\"0000000000000000\""));
+            assert_eq!(third.status, 200, "{path}");
+            assert_eq!(third.body, first.body, "{path}");
+        }
+        // Errors are never cacheable.
+        assert!(route(&s, &get("/sameas")).etag.is_none());
+    }
+
+    #[test]
+    fn etag_changes_when_the_answer_changes() {
+        let dir = std::env::temp_dir().join("paris_server_etag_swap_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pair.snap");
+        snapshot_of(3).save(&path).unwrap();
+        let s = state_with_pair(tiny_snapshot(), Some(path.clone()));
+        let before = etag_of(&route(&s, &get("/stats")));
+        snapshot_of(5).save(&path).unwrap();
+        assert_eq!(route(&s, &post_reload("/reload", b"")).status, 200);
+        let after = route(&s, &get_with_inm("/stats", &before));
+        assert_eq!(after.status, 200, "stale validator must miss");
+        assert_ne!(etag_of(&after), before);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_lists_file_backed_pairs_with_checksums() {
+        let dir = std::env::temp_dir().join("paris_server_manifest_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("alpha.snap");
+        let b = dir.join("beta.snap");
+        snapshot_of(2).save(&a).unwrap();
+        MappedPairSnapshot::save_v2(&snapshot_of(3), &b).unwrap();
+        let s = catalog_state(&[("alpha", &a), ("beta", &b)], None);
+
+        let r = route(&s, &get("/pairs/manifest"));
+        assert_eq!(r.status, 200);
+        let body = String::from_utf8(r.body.clone()).unwrap();
+        let sum_a = checksum_v2(&std::fs::read(&a).unwrap());
+        let sum_b = checksum_v2(&std::fs::read(&b).unwrap());
+        assert!(body.contains("\"name\":\"alpha\""), "{body}");
+        assert!(
+            body.contains(&format!("\"checksum\":\"{sum_a:016x}\"")),
+            "{body}"
+        );
+        assert!(
+            body.contains(&format!("\"checksum\":\"{sum_b:016x}\"")),
+            "{body}"
+        );
+        assert!(body.contains("\"format\":1"), "{body}");
+        assert!(body.contains("\"format\":2"), "{body}");
+        // Not loaded yet: generation 0.
+        assert!(body.contains("\"generation\":0"), "{body}");
+
+        // The manifest itself is conditional.
+        let etag = etag_of(&r);
+        assert_eq!(
+            route(&s, &get_with_inm("/pairs/manifest", &etag)).status,
+            304
+        );
+
+        // A reload bumps the advertised generation (and the ETag).
+        assert_eq!(
+            route(&s, &post_reload("/pairs/alpha/reload", b"")).status,
+            200
+        );
+        let r2 = route(&s, &get_with_inm("/pairs/manifest", &etag));
+        assert_eq!(r2.status, 200, "generation bump must invalidate");
+        assert!(String::from_utf8(r2.body)
+            .unwrap()
+            .contains("\"generation\":1"));
+
+        // The replica-side parser accepts what the primary emits.
+        let (entries, rejected) =
+            paris_replica::sync::parse_manifest(&body).expect("manifest parses");
+        assert!(rejected.is_empty(), "{rejected:?}");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].name, "alpha");
+        assert_eq!(entries[0].checksum, Some(sum_a));
+        assert_eq!(entries[1].format, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_route_streams_file_bytes_with_etag() {
+        let dir = std::env::temp_dir().join("paris_server_snapstream_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("alpha.snap");
+        snapshot_of(2).save(&a).unwrap();
+        let file_bytes = std::fs::read(&a).unwrap();
+        let s = catalog_state(&[("alpha", &a)], None);
+
+        let r = route(&s, &get("/pairs/alpha/snapshot"));
+        assert_eq!(r.status, 200);
+        assert_eq!(r.content_type, "application/octet-stream");
+        let expected_etag = format!("\"{:016x}\"", checksum_v2(&file_bytes));
+        assert_eq!(etag_of(&r), expected_etag);
+        let (_, len) = r.stream.as_ref().expect("streams from the file");
+        assert_eq!(*len, file_bytes.len() as u64);
+        // The streamed wire bytes really are the file.
+        let mut wire = Vec::new();
+        r.write_to(&mut wire, false).unwrap();
+        assert!(wire.ends_with(&file_bytes), "body is the raw snapshot");
+
+        // Conditional fetch: unchanged pair costs zero body bytes.
+        let r = route(&s, &get_with_inm("/pairs/alpha/snapshot", &expected_etag));
+        assert_eq!(r.status, 304);
+        assert!(r.stream.is_none() && r.body.is_empty());
+
+        // Wrong method and unknown pair behave like the other pair ops.
+        let mut del = get("/pairs/alpha/snapshot");
+        del.method = "DELETE".into();
+        assert_eq!(route(&s, &del).status, 405);
+        assert_eq!(route(&s, &get("/pairs/nope/snapshot")).status, 404);
+        // A pair with no backing file cannot be transferred.
+        assert_eq!(route(&state(), &get("/pairs/default/snapshot")).status, 404);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_skips_unsafe_pair_names() {
+        let dir = std::env::temp_dir().join("paris_server_scan_names_unit");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in [
+            "ok.snap",
+            "also-ok.v2.snap",
+            "bad name.snap",
+            "manifest.snap",
+        ] {
+            std::fs::write(dir.join(name), b"x").unwrap();
+        }
+        // A leading-dot file (hidden / temp-style).
+        std::fs::write(dir.join(".partial.snap"), b"x").unwrap();
+        let names: Vec<String> = scan_catalog_dir(&dir)
+            .unwrap()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(names, ["also-ok.v2", "ok"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn max_resident_exact_limit_is_not_an_eviction() {
+        let dir = std::env::temp_dir().join("paris_server_evict_exact_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.snap");
+        let b = dir.join("b.snap");
+        snapshot_of(2).save(&a).unwrap();
+        snapshot_of(2).save(&b).unwrap();
+        let (size_a, size_b) = (
+            std::fs::metadata(&a).unwrap().len(),
+            std::fs::metadata(&b).unwrap().len(),
+        );
+
+        // Budget exactly equal to both images: the total *fits*, nothing
+        // may be evicted (the budget check is >, not >=).
+        let s = catalog_state(&[("a", &a), ("b", &b)], Some(size_a + size_b));
+        assert_eq!(
+            route(&s, &get("/pairs/a/sameas?iri=http://a/p1")).status,
+            200
+        );
+        assert_eq!(
+            route(&s, &get("/pairs/b/sameas?iri=http://a/p1")).status,
+            200
+        );
+        assert!(s.catalog.pair("a").unwrap().current().is_some());
+        assert!(s.catalog.pair("b").unwrap().current().is_some());
+
+        // One byte less, and the LRU pair goes.
+        let s = catalog_state(&[("a", &a), ("b", &b)], Some(size_a + size_b - 1));
+        assert_eq!(
+            route(&s, &get("/pairs/a/sameas?iri=http://a/p1")).status,
+            200
+        );
+        assert_eq!(
+            route(&s, &get("/pairs/b/sameas?iri=http://a/p1")).status,
+            200
+        );
+        assert!(
+            s.catalog.pair("a").unwrap().current().is_none(),
+            "a evicted"
+        );
+        assert!(s.catalog.pair("b").unwrap().current().is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn max_resident_never_evicts_the_pair_just_served() {
+        let dir = std::env::temp_dir().join("paris_server_evict_tiny_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.snap");
+        snapshot_of(2).save(&a).unwrap();
+        // A budget smaller than any single image: the pair answering the
+        // current request is exempt, so requests still succeed.
+        let s = catalog_state(&[("a", &a)], Some(1));
+        for _ in 0..3 {
+            assert_eq!(
+                route(&s, &get("/pairs/a/sameas?iri=http://a/p1")).status,
+                200
+            );
+        }
+        assert!(s.catalog.pair("a").unwrap().current().is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn refault_after_evict_cycles_lru_correctly() {
+        let dir = std::env::temp_dir().join("paris_server_evict_cycle_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.snap");
+        let b = dir.join("b.snap");
+        snapshot_of(2).save(&a).unwrap();
+        snapshot_of(2).save(&b).unwrap();
+        let budget = std::fs::metadata(&a).unwrap().len() + 16;
+        let s = catalog_state(&[("a", &a), ("b", &b)], Some(budget));
+
+        // a in, b in (a evicted), a refaults (b evicted), b refaults…
+        // Each refault installs a fresh image and bumps the generation.
+        for (hit, evicted) in [("a", ""), ("b", "a"), ("a", "b"), ("b", "a")] {
+            assert_eq!(
+                route(&s, &get(&format!("/pairs/{hit}/sameas?iri=http://a/p1"))).status,
+                200
+            );
+            assert!(s.catalog.pair(hit).unwrap().current().is_some(), "{hit}");
+            if !evicted.is_empty() {
+                assert!(
+                    s.catalog.pair(evicted).unwrap().current().is_none(),
+                    "{evicted} should be the LRU victim after hitting {hit}"
+                );
+            }
+        }
+        assert_eq!(
+            s.catalog
+                .pair("a")
+                .unwrap()
+                .generation
+                .load(Ordering::SeqCst),
+            2
+        );
+        assert_eq!(
+            s.catalog
+                .pair("b")
+                .unwrap()
+                .generation
+                .load(Ordering::SeqCst),
+            2
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rescan_removing_the_loaded_default_pair_moves_the_default() {
+        let dir = std::env::temp_dir().join("paris_server_rescan_default_unit");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("alpha.snap");
+        let b = dir.join("beta.snap");
+        snapshot_of(2).save(&a).unwrap();
+        snapshot_of(4).save(&b).unwrap();
+        let s = catalog_state(&[("alpha", &a), ("beta", &b)], None);
+
+        // alpha is the default and is *loaded* when its file vanishes.
+        assert_eq!(route(&s, &get("/stats")).status, 200);
+        assert!(s.catalog.pair("alpha").unwrap().current().is_some());
+        std::fs::remove_file(&a).unwrap();
+        rescan_catalog(&s.catalog, &dir);
+
+        assert!(s.catalog.pair("alpha").is_none());
+        assert_eq!(*s.catalog.default_name.read().unwrap(), "beta");
+        // The removed pair 404s; bare routes now answer from beta.
+        assert_eq!(route(&s, &get("/pairs/alpha/stats")).status, 404);
+        let bare = route(&s, &get("/stats"));
+        assert_eq!(bare.status, 200);
+        assert!(String::from_utf8(bare.body)
+            .unwrap()
+            .contains("\"pair\":\"beta\""));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -12,6 +12,9 @@
 //! paris convert pair.snap --out pair2.snap           # migrate v1 → v2 (mmap)
 //! paris serve pair.snap --addr 127.0.0.1:7070        # serve one alignment
 //! paris serve --catalog snaps/                       # serve a directory of pairs
+//! paris serve --catalog mirror/ --replica-of http://primary:7070
+//!                                                    # serve as a read replica
+//! paris sync http://primary:7070 mirror/             # one-shot catalog mirror
 //! ```
 //!
 //! Arguments are parsed by hand — the tool's surface is small and the
@@ -40,6 +43,7 @@ USAGE:
   paris delta <PAIR.snap> --out <FILE.snap> [DELTA OPTIONS] [CONFIG OPTIONS]
   paris serve <FILE.snap> [SERVE OPTIONS]
   paris serve --catalog <DIR> [SERVE OPTIONS]
+  paris sync <URL> <DIR>
   paris version
 
 Input files may be N-Triples (.nt), Turtle (.ttl/.turtle), or tab-separated
@@ -110,8 +114,14 @@ SERVE:
     GET  /pairs/<p>/neighbors?iri=I  facts around an entity (&limit=N)
     GET  /pairs/<p>/stats         KB + alignment statistics of one pair
     GET  /pairs/<p>/healthz       per-pair liveness + generation
+    GET  /pairs/<p>/snapshot      raw snapshot bytes (checksum ETag; a
+                                  matching If-None-Match costs 0 bytes)
+    GET  /pairs/manifest          replication manifest: every pair's
+                                  format, generation, length, checksum
     POST /pairs/<p>/reload        atomically swap that pair's snapshot
-    GET  /healthz                 liveness, version, pair count
+    GET  /healthz                 liveness, version, role, pair count
+                                  (on a replica: upstream, last sync,
+                                  per-pair generation lag)
     GET  /sameas, /neighbors, /stats, POST /reload
                                   aliases of the default pair ('default'
                                   if present, else alphabetically first)
@@ -135,6 +145,22 @@ SERVE:
   --watch <SECS>          poll snapshot mtimes every SECS seconds and
                           hot-reload changed pairs; with --catalog, also
                           pick up added and removed snapshot files
+  --replica-of <URL>      serve as a read replica of the daemon at URL
+                          (http://host:port): continuously mirror its
+                          catalog into the --catalog directory (required;
+                          created if missing, may start empty), validate
+                          and atomically install changed snapshots, and
+                          hot-reload them. Composes with --watch and
+                          --max-resident. See docs/REPLICATION.md.
+  --sync-interval <SECS>  replica manifest poll cadence  [default: 1]
+
+SYNC:
+  `paris sync <URL> <DIR>` runs exactly one replication cycle against
+  the daemon at URL, mirroring its catalog into DIR (cron-style
+  mirroring without a serving daemon): fetch the manifest, download
+  only changed pairs, validate framing + checksums, atomic-rename into
+  DIR, delete pairs the primary no longer serves. Exits non-zero if any
+  pair failed to transfer.
 
 VERSION:
   `paris version` (or --version/-V) prints the crate version and the
@@ -162,6 +188,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("convert") => convert(&args[1..]),
         Some("delta") => delta(&args[1..]),
         Some("serve") => serve(&args[1..]),
+        Some("sync") => sync(&args[1..]),
         Some("version") | Some("--version") | Some("-V") => {
             println!("{}", version_string());
             Ok(())
@@ -1017,21 +1044,45 @@ fn serve(args: &[String]) -> Result<(), String> {
                 }
                 config.watch_interval = Some(std::time::Duration::from_secs_f64(seconds));
             }
+            "--replica-of" => config.replica_of = Some(value_of("--replica-of")?),
+            "--sync-interval" => {
+                let seconds: f64 = value_of("--sync-interval")?
+                    .parse()
+                    .map_err(|_| "bad --sync-interval value".to_owned())?;
+                if !seconds.is_finite() || seconds <= 0.0 {
+                    return Err("--sync-interval needs a positive number of seconds".to_owned());
+                }
+                config.sync_interval = std::time::Duration::from_secs_f64(seconds);
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown option '{flag}'")),
             _ => positional.push(arg),
         }
     }
+    if config.replica_of.is_some() && config.catalog_dir.is_none() {
+        return Err(
+            "--replica-of needs --catalog DIR (the local mirror directory, created if missing)"
+                .into(),
+        );
+    }
 
     let server = match (config.catalog_dir.clone(), positional.as_slice()) {
         (Some(dir), []) => {
+            let replica_of = config.replica_of.clone();
             let server = paris_repro::server::Server::bind_catalog(config)
                 .map_err(|e| format!("opening catalog {}: {e}", dir.display()))?;
-            eprintln!(
-                "catalog {}: serving {} pair(s): {}",
-                dir.display(),
-                server.pair_names().len(),
-                server.pair_names().join(", "),
-            );
+            match replica_of {
+                Some(upstream) => eprintln!(
+                    "replica of {upstream}: mirroring into {} ({} pair(s) already local)",
+                    dir.display(),
+                    server.pair_names().len(),
+                ),
+                None => eprintln!(
+                    "catalog {}: serving {} pair(s): {}",
+                    dir.display(),
+                    server.pair_names().len(),
+                    server.pair_names().join(", "),
+                ),
+            }
             server
         }
         (Some(_), _) => {
@@ -1069,6 +1120,50 @@ fn serve(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("resolving bound address: {e}"))?;
     eprintln!("serving on http://{addr}  (try: curl 'http://{addr}/healthz')");
     server.run().map_err(|e| format!("server error: {e}"))
+}
+
+/// `paris sync`: one replication cycle — mirror a primary's catalog
+/// into a local directory (the cron-style counterpart of
+/// `paris serve --replica-of`).
+fn sync(args: &[String]) -> Result<(), String> {
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if let Some(flag) = args.iter().find(|a| a.starts_with("--")) {
+        return Err(format!("unknown option '{flag}'"));
+    }
+    let [url, dir] = positional.as_slice() else {
+        return Err("sync needs exactly an upstream URL and a mirror directory".to_owned());
+    };
+
+    let t0 = std::time::Instant::now();
+    let mut engine = paris_repro::replica::SyncEngine::new(url, dir.as_str())?;
+    let outcome = engine
+        .sync_once()
+        .map_err(|e| format!("sync against {url}: {e}"))?;
+    println!(
+        "synced {url} -> {dir}: {} updated, {} unchanged, {} removed \
+         ({} snapshot bytes transferred, {:.2}s)",
+        outcome.updated.len(),
+        outcome.unchanged,
+        outcome.removed.len(),
+        outcome.snapshot_bytes,
+        t0.elapsed().as_secs_f64(),
+    );
+    for name in &outcome.updated {
+        println!("  updated  {name}");
+    }
+    for name in &outcome.removed {
+        println!("  removed  {name}");
+    }
+    if !outcome.failed.is_empty() {
+        for (name, why) in &outcome.failed {
+            eprintln!("  FAILED   {name}: {why}");
+        }
+        return Err(format!(
+            "{} pair(s) failed to transfer (the mirror keeps its previous copies)",
+            outcome.failed.len()
+        ));
+    }
+    Ok(())
 }
 
 fn gold_tsv(instances: &[(Iri, Iri)]) -> String {

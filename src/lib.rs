@@ -16,7 +16,10 @@
 //!   yago / DBpedia / IMDb,
 //! * [`eval`] — precision/recall/F evaluation and threshold curves,
 //! * [`baselines`] — the `rdfs:label` exact-match baseline,
-//! * [`server`] — the snapshot-backed alignment-serving HTTP daemon.
+//! * [`server`] — the snapshot-backed alignment-serving HTTP daemon,
+//! * [`replica`] — read-replica catalog sync (manifest diffing, validated
+//!   streamed snapshot transfer) behind `paris serve --replica-of` and
+//!   `paris sync`.
 //!
 //! # Quickstart
 //!
@@ -50,4 +53,5 @@ pub use paris_eval as eval;
 pub use paris_kb as kb;
 pub use paris_literals as literals;
 pub use paris_rdf as rdf;
+pub use paris_replica as replica;
 pub use paris_server as server;

@@ -1,0 +1,133 @@
+//! Acceptance bench for the `/v1` batch endpoint: a batch of 64 mixed
+//! lookups in **one** round-trip must beat 64 sequential keep-alive
+//! requests by ≥5× wall-clock.
+//!
+//! Both sides go through the typed `paris-client` crate against a live
+//! daemon on loopback, so the comparison includes everything a real
+//! client pays: request formatting, syscalls, HTTP framing, JSON
+//! parsing. The batch answers from a single image acquisition
+//! server-side; the sequential baseline pays routing + envelope + HTTP
+//! turnaround per lookup (on one warm keep-alive connection — the
+//! *cheapest* sequential shape, so the gate is conservative).
+//!
+//! Usage: `query_batch [scale] [batch-size] [rounds]`
+
+use std::time::{Duration, Instant};
+
+use paris_client::{BatchAnswer, ParisClient, Query, Side};
+use paris_core::{AlignedPairSnapshot, Aligner, OwnedAlignment, ParisConfig};
+use paris_datagen::movies::{generate, MoviesConfig};
+use paris_server::{Server, ServerConfig};
+
+/// Required speedup of one batch over the equivalent sequential run.
+const REQUIRED_SPEEDUP: f64 = 5.0;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(300);
+    let batch_size: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(64);
+    let rounds: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(30);
+
+    println!("dataset: movies, scale {scale}; batches of {batch_size}, best of {rounds} rounds");
+    let pair = generate(&MoviesConfig {
+        num_movies: scale,
+        ..Default::default()
+    });
+    let result = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
+    let iris: Vec<String> = result
+        .instance_pairs()
+        .iter()
+        .filter_map(|&(x, _, _)| pair.kb1.iri(x).map(|i| i.as_str().to_owned()))
+        .take(batch_size)
+        .collect();
+    assert_eq!(iris.len(), batch_size, "need {batch_size} aligned IRIs");
+    let owned = OwnedAlignment::from_result(&result);
+    drop(result);
+
+    let server = Server::bind(
+        AlignedPairSnapshot::new(pair.kb1, pair.kb2, owned),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let handle = server.spawn().expect("spawn server");
+    let url = format!("http://{}", handle.addr());
+
+    let queries: Vec<Query> = iris.iter().map(Query::sameas).collect();
+
+    // One warm-up pass of each shape (connection setup, lazy loads),
+    // then best-of-N to shed scheduler noise.
+    let mut client = ParisClient::new(&url).expect("client");
+    let expect_match = |i: usize, answer: &BatchAnswer| match answer {
+        BatchAnswer::Sameas(a) => {
+            assert!(a.sameas.is_some(), "{}: unmatched", iris[i]);
+        }
+        other => panic!("{}: {other:?}", iris[i]),
+    };
+
+    let mut sequential_answers = Vec::new();
+    let mut best_sequential = Duration::MAX;
+    let mut best_batch = Duration::MAX;
+    for round in 0..rounds + 1 {
+        // Sequential: one lookup per round-trip on a warm connection.
+        let t0 = Instant::now();
+        let mut answers = Vec::with_capacity(batch_size);
+        for iri in &iris {
+            answers.push(
+                client
+                    .sameas(None, iri, Side::Left, None)
+                    .expect("sequential sameas"),
+            );
+        }
+        let sequential = t0.elapsed();
+
+        // Batch: the same lookups in one round-trip.
+        let t1 = Instant::now();
+        let batch = client.batch(None, &queries).expect("batch");
+        let batch_elapsed = t1.elapsed();
+
+        assert_eq!(batch.len(), batch_size);
+        for (i, answer) in batch.iter().enumerate() {
+            let answer = answer.as_ref().expect("batch answer");
+            expect_match(i, answer);
+            // The batch must answer exactly what the sequential route
+            // answered.
+            if let BatchAnswer::Sameas(a) = answer {
+                assert_eq!(a, &answers[i], "{}", iris[i]);
+            }
+        }
+        if round == 0 {
+            sequential_answers = answers; // warm-up: keep for the record
+            continue;
+        }
+        best_sequential = best_sequential.min(sequential);
+        best_batch = best_batch.min(batch_elapsed);
+    }
+    assert_eq!(sequential_answers.len(), batch_size);
+    // The ETag cache must not have short-circuited the sequential
+    // baseline server-side work measurement note: 304s still pay a full
+    // round-trip each, which is exactly what the batch amortizes.
+
+    let speedup = best_sequential.as_secs_f64() / best_batch.as_secs_f64();
+    println!(
+        "sequential {batch_size} lookups: {:>9.1?}   ({:.1} µs/lookup)",
+        best_sequential,
+        best_sequential.as_secs_f64() * 1e6 / batch_size as f64,
+    );
+    println!(
+        "one batch of {batch_size} lookups: {:>9.1?}   ({:.1} µs/lookup)",
+        best_batch,
+        best_batch.as_secs_f64() * 1e6 / batch_size as f64,
+    );
+    println!("speedup: {speedup:.1}× (required ≥{REQUIRED_SPEEDUP}×)");
+
+    handle.shutdown();
+    assert!(
+        speedup >= REQUIRED_SPEEDUP,
+        "batch speedup {speedup:.2}× below the required {REQUIRED_SPEEDUP}×"
+    );
+    println!("PASS");
+}

@@ -116,7 +116,7 @@ fn main() {
                     .wrapping_add(matched.len() as u64)
                     .wrapping_add(p.to_bits());
             }
-            for fact in img.facts_page(PairSide::Kb1, e, 8) {
+            for fact in img.facts_page(PairSide::Kb1, e, 0, 8) {
                 fingerprint = fingerprint
                     .wrapping_mul(31)
                     .wrapping_add(fact.value.len() as u64)
@@ -143,8 +143,8 @@ fn main() {
             "{iri}"
         );
         assert_eq!(
-            decoded.facts_page(PairSide::Kb1, e1, 50),
-            mapped.facts_page(PairSide::Kb1, e2, 50),
+            decoded.facts_page(PairSide::Kb1, e1, 0, 50),
+            mapped.facts_page(PairSide::Kb1, e2, 0, 50),
             "{iri}"
         );
     }

@@ -1,6 +1,7 @@
 //! A deliberately small HTTP/1.1 *client* over `std::net` — the mirror
-//! image of `paris-server`'s hand-rolled server, built for the sync
-//! engine's two requests (`GET /pairs/manifest`, `GET /pairs/<n>/snapshot`).
+//! image of `paris-server`'s hand-rolled server. [`HttpClient`] speaks
+//! exactly the subset the daemon emits: `GET` (optionally conditional
+//! via `If-None-Match`) and `POST` with a `Content-Length` body.
 //!
 //! Connections are kept alive between requests and transparently
 //! re-established when the pool peer closed them (a poll loop sleeping
@@ -157,12 +158,39 @@ impl HttpClient {
         if_none_match: Option<&str>,
         max_body: u64,
     ) -> Result<HttpResponse, String> {
+        self.request("GET", path, if_none_match, None, max_body)
+    }
+
+    /// One `POST` with a `Content-Length`-framed body of the given
+    /// content type.
+    pub fn post(
+        &mut self,
+        path: &str,
+        content_type: &str,
+        body: &[u8],
+        max_body: u64,
+    ) -> Result<HttpResponse, String> {
+        self.request("POST", path, None, Some((content_type, body)), max_body)
+    }
+
+    /// One request, retried once on a fresh connection when a kept-alive
+    /// peer turned out to be stale. Both `GET` and `POST` against the
+    /// daemon are idempotent enough to retry: the failure modes retried
+    /// here are connection-level (the request never reached a handler).
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        if_none_match: Option<&str>,
+        body: Option<(&str, &[u8])>,
+        max_body: u64,
+    ) -> Result<HttpResponse, String> {
         let reused = self.conn.is_some();
-        match self.try_get(path, if_none_match, max_body) {
+        match self.try_request(method, path, if_none_match, body, max_body) {
             Ok(r) => Ok(r),
             Err(e) if reused => {
                 self.conn = None;
-                self.try_get(path, if_none_match, max_body)
+                self.try_request(method, path, if_none_match, body, max_body)
                     .map_err(|e2| format!("{e2} (after stale-connection retry: {e})"))
             }
             Err(e) => {
@@ -172,29 +200,38 @@ impl HttpClient {
         }
     }
 
-    fn try_get(
+    fn try_request(
         &mut self,
+        method: &str,
         path: &str,
         if_none_match: Option<&str>,
+        body: Option<(&str, &[u8])>,
         max_body: u64,
     ) -> Result<HttpResponse, String> {
         let mut conn = match self.conn.take() {
             Some(c) => c,
             None => self.connect()?,
         };
-        let validator = match if_none_match {
-            Some(v) => format!("If-None-Match: \"{v}\"\r\n"),
-            None => String::new(),
-        };
-        let request = format!(
-            "GET {path} HTTP/1.1\r\nHost: {}\r\nConnection: keep-alive\r\n{validator}\r\n",
+        let mut request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nConnection: keep-alive\r\n",
             self.upstream.host,
         );
+        if let Some(v) = if_none_match {
+            request.push_str(&format!("If-None-Match: \"{v}\"\r\n"));
+        }
+        if let Some((content_type, bytes)) = body {
+            request.push_str(&format!(
+                "Content-Type: {content_type}\r\nContent-Length: {}\r\n",
+                bytes.len()
+            ));
+        }
+        request.push_str("\r\n");
         conn.get_mut()
             .write_all(request.as_bytes())
-            .map_err(|e| format!("sending GET {path}: {e}"))?;
+            .and_then(|()| conn.get_mut().write_all(body.map_or(&[][..], |(_, b)| b)))
+            .map_err(|e| format!("sending {method} {path}: {e}"))?;
         let response =
-            read_response(&mut conn, max_body).map_err(|e| format!("GET {path}: {e}"))?;
+            read_response(&mut conn, max_body).map_err(|e| format!("{method} {path}: {e}"))?;
         let closing = response
             .header("connection")
             .is_some_and(|v| v.eq_ignore_ascii_case("close"));

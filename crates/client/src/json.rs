@@ -1,8 +1,11 @@
-//! Minimal JSON *parsing* — the mirror of `paris-server`'s emit-only
-//! `json` module. The sync engine consumes exactly one document shape
-//! (the pair manifest), so this is a small recursive-descent reader:
-//! full value grammar, UTF-8 strings with the standard escapes,
-//! `f64` numbers, and a depth limit in place of arbitrary recursion.
+//! Minimal JSON, both directions — the one JSON implementation of the
+//! serving stack. *Parsing* is a small recursive-descent reader (full
+//! value grammar, UTF-8 strings with the standard escapes, `f64`
+//! numbers, and a depth limit in place of arbitrary recursion) used by
+//! the typed client, the replica sync engine, and the daemon's batch
+//! endpoint. *Emission* is the order-preserving [`Object`] builder the
+//! daemon renders every response with (clients use it to build batch
+//! request bodies).
 
 /// Maximum nesting depth (the manifest uses 3).
 const MAX_DEPTH: usize = 32;
@@ -52,6 +55,22 @@ impl Json {
         }
     }
 
+    /// The value as a float.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as an array slice.
     pub fn as_array(&self) -> Option<&[Json]> {
         match self {
@@ -60,6 +79,111 @@ impl Json {
         }
     }
 }
+
+// ----------------------------------------------------------------------
+// Emission
+// ----------------------------------------------------------------------
+
+/// Escapes a string for inclusion in a JSON document, with quotes.
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON number (JSON has no NaN/∞; clamp to null).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Builder for a JSON object, keeping insertion order.
+#[derive(Default)]
+pub struct Object {
+    fields: Vec<(String, String)>,
+}
+
+impl Object {
+    /// An empty object.
+    pub fn new() -> Self {
+        Object::default()
+    }
+
+    /// Adds a pre-rendered JSON value.
+    pub fn raw(mut self, key: &str, value: impl Into<String>) -> Self {
+        self.fields.push((key.to_owned(), value.into()));
+        self
+    }
+
+    /// Adds a string field.
+    pub fn str(self, key: &str, value: &str) -> Self {
+        let rendered = string(value);
+        self.raw(key, rendered)
+    }
+
+    /// Adds a float field.
+    pub fn num(self, key: &str, value: f64) -> Self {
+        let rendered = number(value);
+        self.raw(key, rendered)
+    }
+
+    /// Adds an integer field.
+    pub fn int(self, key: &str, value: u64) -> Self {
+        self.raw(key, value.to_string())
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(self, key: &str, value: bool) -> Self {
+        self.raw(key, if value { "true" } else { "false" })
+    }
+
+    /// Renders the object.
+    pub fn build(self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&string(k));
+            out.push(':');
+            out.push_str(v);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Renders a JSON array from pre-rendered values.
+pub fn array(values: impl IntoIterator<Item = String>) -> String {
+    let mut out = String::from("[");
+    for (i, v) in values.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v);
+    }
+    out.push(']');
+    out
+}
+
+// ----------------------------------------------------------------------
+// Parsing
+// ----------------------------------------------------------------------
 
 /// Parses one JSON document (and nothing after it).
 pub fn parse(text: &str) -> Result<Json, String> {
@@ -206,17 +330,35 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Advance one full UTF-8 scalar (input is &str, so the
-                    // bytes are valid UTF-8 by construction).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| "non-UTF-8 string".to_owned())?;
-                    let c = rest.chars().next().unwrap();
-                    if (c as u32) < 0x20 {
+                Some(b) if b < 0x80 => {
+                    // ASCII fast path — the overwhelmingly common case.
+                    if b < 0x20 {
                         return Err(format!("unescaped control byte at offset {}", self.pos));
                     }
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // One multi-byte UTF-8 scalar: decode exactly its
+                    // bytes (the lead byte encodes the length; input is
+                    // `&str`, so the sequence is valid by construction —
+                    // validating only it keeps parsing O(n)).
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .ok_or_else(|| format!("truncated UTF-8 at offset {}", self.pos))?;
+                    let c = std::str::from_utf8(chunk)
+                        .map_err(|_| format!("non-UTF-8 string at offset {}", self.pos))?
+                        .chars()
+                        .next()
+                        .expect("non-empty valid chunk");
                     out.push(c);
-                    self.pos += c.len_utf8();
+                    self.pos += len;
                 }
             }
         }
@@ -321,6 +463,47 @@ mod tests {
         }
         let deep = "[".repeat(100) + &"]".repeat(100);
         assert!(parse(&deep).is_err(), "depth limit");
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(string("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(string("\u{1}"), r#""\u0001""#);
+        assert_eq!(string("héllo"), "\"héllo\"");
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(number(0.5), "0.5");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn object_rendering() {
+        let o = Object::new()
+            .str("name", "x")
+            .int("n", 3)
+            .bool("ok", true)
+            .num("p", 0.25);
+        assert_eq!(o.build(), r#"{"name":"x","n":3,"ok":true,"p":0.25}"#);
+    }
+
+    #[test]
+    fn array_rendering() {
+        assert_eq!(array(vec!["1".into(), "2".into()]), "[1,2]");
+        assert_eq!(array(Vec::<String>::new()), "[]");
+    }
+
+    /// Every f64 the emitter renders parses back to the identical bits —
+    /// what lets clients recompute explain evidence bit-exactly.
+    #[test]
+    fn emitted_floats_round_trip_bit_exactly() {
+        for v in [0.5, 1.0 / 3.0, 0.9999112190443354, 1e-300, 123456.789] {
+            let text = number(v);
+            let back = parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{text}");
+        }
     }
 
     #[test]

@@ -9,9 +9,11 @@
 //! address shows up as one dominant factor with `fun⁻¹ = 1`.
 
 use paris_kb::{EntityId, EntityKind, Kb, RelationId};
+use paris_literals::LiteralSimilarity;
 
 use crate::config::ParisConfig;
 use crate::equiv::CandidateView;
+use crate::image::{PairImage, PairSide};
 use crate::subrel::SubrelStore;
 
 /// One piece of positive evidence for `x ≡ x′` (a factor of Eq. 13).
@@ -149,13 +151,177 @@ pub fn explain_pair(
     }
 }
 
+// ----------------------------------------------------------------------
+// Stored-evidence explanations (the serving path)
+// ----------------------------------------------------------------------
+
+/// One piece of evidence for `x ≡ x′` read from a **stored** serving
+/// image — the serving counterpart of [`Evidence`], fully rendered
+/// (relation IRIs, neighbour terms) so the daemon can emit it without
+/// touching the image again.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoredEvidence {
+    /// Base IRI of the KB-1 statement's relation (`r` in `r(x, y)`).
+    pub relation_1: String,
+    /// Whether the KB-1 statement is held in the inverse direction.
+    pub inverse_1: bool,
+    /// Base IRI of the KB-2 statement's relation (`r′` in `r′(x′, y′)`).
+    pub relation_2: String,
+    /// Whether the KB-2 statement is held in the inverse direction.
+    pub inverse_2: bool,
+    /// The shared neighbour on the KB-1 side (`y`), rendered.
+    pub neighbor_1: String,
+    /// The equivalent neighbour on the KB-2 side (`y′`), rendered.
+    pub neighbor_2: String,
+    /// `Pr(y ≡ y′)`: the clamped literal probability for literal
+    /// neighbours, the stored maximal-assignment probability for
+    /// instance neighbours.
+    pub neighbor_prob: f64,
+    /// `fun⁻¹(r)` on the KB-1 side (stored functionality).
+    pub inv_functionality_1: f64,
+    /// `fun⁻¹(r′)` on the KB-2 side.
+    pub inv_functionality_2: f64,
+    /// Stored `Pr(r′ ⊆ r)`.
+    pub subrel_2in1: f64,
+    /// Stored `Pr(r ⊆ r′)`.
+    pub subrel_1in2: f64,
+    /// The Eq. 13 factor `(1 − Pr(r′⊆r)·fun⁻¹(r)·Pr(y≡y′)) ×
+    /// (1 − Pr(r⊆r′)·fun⁻¹(r′)·Pr(y≡y′))`. Smaller = stronger evidence.
+    pub factor: f64,
+}
+
+impl StoredEvidence {
+    /// The contribution of this factor alone: the score the pair would
+    /// get if this were the only evidence.
+    pub fn solo_score(&self) -> f64 {
+        1.0 - self.factor
+    }
+}
+
+/// A full stored-evidence explanation of one candidate pair.
+#[derive(Clone, Debug)]
+pub struct StoredExplanation {
+    /// The Eq. 13 score the stored model assigns the pair today:
+    /// `1 − ∏ factorᵢ`, multiplied in [`evidence`](Self::evidence)
+    /// order — recomputing the product over the listed factors
+    /// reproduces this value **bit-exactly**
+    /// ([`recompute_score`](Self::recompute_score)).
+    pub score: f64,
+    /// The stored equivalence probability `Pr(x ≡ x′)` — what the
+    /// producing run wrote into the snapshot, and exactly what `sameas`
+    /// serves when `x′` is the maximal assignment of `x`.
+    pub stored_prob: f64,
+    /// All positive-evidence factors, strongest (smallest factor) first.
+    pub evidence: Vec<StoredEvidence>,
+}
+
+impl StoredExplanation {
+    /// Re-multiplies the evidence factors in listed order — bit-equal to
+    /// [`score`](Self::score) by construction. Clients asserting
+    /// explain-vs-score consistency use exactly this fold.
+    pub fn recompute_score(&self) -> f64 {
+        1.0 - self.evidence.iter().fold(1.0, |p, e| p * e.factor)
+    }
+}
+
+/// Recomputes the Eq. 13 evidence for one candidate pair from a
+/// **stored serving image** — the zero-setup counterpart of
+/// [`explain_pair`], consuming only what the snapshot persists: fact
+/// adjacency, functionalities, sub-relation scores, and the final
+/// equivalence table. `x` must be a KB-1 instance and `x2` a KB-2
+/// instance.
+///
+/// `Pr(y ≡ y′)` is what a next instance pass over the stored image
+/// would see (§5.2): literal pairs are clamped by the identity
+/// similarity (the paper's default — the snapshot does not record the
+/// similarity function the producing run used); entity pairs propagate
+/// only the stored *maximal assignment* of `y`.
+///
+/// Answers are **byte-identical across formats**: a decoded v1 image
+/// and a mapped v2 image of the same snapshot walk the same rows in the
+/// same order and read the same bits, so the rendered evidence (and the
+/// folded score) cannot differ.
+///
+/// Work is O(facts(x) × facts(x2)) statement pairs (per-neighbour
+/// lookups are hoisted out of the inner loop); callers serving untrusted
+/// input should bound that product — the daemon refuses pairs beyond
+/// its documented cap.
+pub fn explain_stored(image: &PairImage, x: EntityId, x2: EntityId) -> StoredExplanation {
+    let mut evidence = Vec::new();
+    // The right-hand statements are the same for every left-hand fact;
+    // enumerate them once, with each neighbour's literal value (None =
+    // not a literal) resolved once instead of per statement pair.
+    let facts2: Vec<(RelationId, EntityId, Option<paris_rdf::Literal>)> = image
+        .facts_ids(PairSide::Kb2, x2)
+        .into_iter()
+        .map(|(r2, y2)| (r2, y2, image.literal_of(PairSide::Kb2, y2)))
+        .collect();
+    for (r, y) in image.facts_ids(PairSide::Kb1, x) {
+        let fun_inv_r = image.functionality(PairSide::Kb1, r.inverse());
+        // Classify the left neighbour once: its literal value, or — for
+        // entities — its stored maximal assignment.
+        let y_literal = image.literal_of(PairSide::Kb1, y);
+        let y_best = if y_literal.is_none() {
+            image.best_match_from(PairSide::Kb1, y)
+        } else {
+            None
+        };
+        for (r2, y2, y2_literal) in &facts2 {
+            let (r2, y2) = (*r2, *y2);
+            let p_yy = match (&y_literal, y2_literal) {
+                (Some(a), Some(b)) => LiteralSimilarity::Identity.probability(a, b),
+                (None, None) => y_best.filter(|&(e, _)| e == y2).map_or(0.0, |(_, p)| p),
+                _ => 0.0,
+            };
+            if p_yy == 0.0 {
+                continue;
+            }
+            let p_r2_in_r = image.subrel_2in1(r2, r);
+            let p_r_in_r2 = image.subrel_1in2(r, r2);
+            if p_r2_in_r == 0.0 && p_r_in_r2 == 0.0 {
+                continue;
+            }
+            let fun_inv_r2 = image.functionality(PairSide::Kb2, r2.inverse());
+            let factor =
+                (1.0 - p_r2_in_r * fun_inv_r * p_yy) * (1.0 - p_r_in_r2 * fun_inv_r2 * p_yy);
+            if factor < 1.0 {
+                evidence.push(StoredEvidence {
+                    relation_1: image.relation_iri_of(PairSide::Kb1, r),
+                    inverse_1: r.is_inverse(),
+                    relation_2: image.relation_iri_of(PairSide::Kb2, r2),
+                    inverse_2: r2.is_inverse(),
+                    neighbor_1: image.term_string(PairSide::Kb1, y),
+                    neighbor_2: image.term_string(PairSide::Kb2, y2),
+                    neighbor_prob: p_yy,
+                    inv_functionality_1: fun_inv_r,
+                    inv_functionality_2: fun_inv_r2,
+                    subrel_2in1: p_r2_in_r,
+                    subrel_1in2: p_r_in_r2,
+                    factor,
+                });
+            }
+        }
+    }
+    // Strongest evidence first; the sort is stable, so equal factors
+    // keep their (deterministic) discovery order. The product is folded
+    // *after* sorting, in listed order — that is the order clients see,
+    // so re-multiplying the served factors reproduces the served score
+    // bit for bit.
+    evidence.sort_by(|a, b| a.factor.total_cmp(&b.factor));
+    let score = 1.0 - evidence.iter().fold(1.0, |p, e| p * e.factor);
+    StoredExplanation {
+        score,
+        stored_prob: image.equiv_prob(x, x2),
+        evidence,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::instance::instance_pass;
     use crate::literal_bridge::LiteralBridge;
     use paris_kb::KbBuilder;
-    use paris_literals::LiteralSimilarity;
     use paris_rdf::Literal;
 
     fn kbs() -> (Kb, Kb) {
@@ -280,6 +446,100 @@ mod tests {
         );
         assert_eq!(ex.evidence.len(), 1);
         assert!(ex.score < 0.1);
+    }
+
+    fn aligned_image_pair() -> (PairImage, PairImage) {
+        use crate::iteration::Aligner;
+        use crate::owned::{AlignedPairSnapshot, OwnedAlignment};
+        use crate::view::MappedPairSnapshot;
+        let mut a = KbBuilder::new("left");
+        let mut b = KbBuilder::new("right");
+        for i in 0..6 {
+            a.add_literal_fact(
+                format!("http://a/p{i}"),
+                "http://a/email",
+                Literal::plain(format!("p{i}@x.org")),
+            );
+            a.add_fact(
+                format!("http://a/p{i}"),
+                "http://a/livesIn",
+                format!("http://a/c{}", i % 2),
+            );
+            b.add_literal_fact(
+                format!("http://b/q{i}"),
+                "http://b/mail",
+                Literal::plain(format!("p{i}@x.org")),
+            );
+            b.add_fact(
+                format!("http://b/q{i}"),
+                "http://b/city",
+                format!("http://b/d{}", i % 2),
+            );
+        }
+        let (kb1, kb2) = (a.build(), b.build());
+        let owned = {
+            let result = Aligner::new(&kb1, &kb2, ParisConfig::default()).run();
+            OwnedAlignment::from_result(&result)
+        };
+        let snap = AlignedPairSnapshot::new(kb1, kb2, owned);
+        let mapped = MappedPairSnapshot::from_bytes(MappedPairSnapshot::encode(&snap)).unwrap();
+        (
+            PairImage::Decoded(Box::new(snap)),
+            PairImage::Mapped(Box::new(mapped)),
+        )
+    }
+
+    #[test]
+    fn stored_explanation_is_identical_across_formats_and_recomputes() {
+        let (v1, v2) = aligned_image_pair();
+        for i in 0..6 {
+            let x = v1
+                .entity_by_iri(PairSide::Kb1, &format!("http://a/p{i}"))
+                .unwrap();
+            for j in 0..6 {
+                let x2 = v1
+                    .entity_by_iri(PairSide::Kb2, &format!("http://b/q{j}"))
+                    .unwrap();
+                let a = explain_stored(&v1, x, x2);
+                let b = explain_stored(&v2, x, x2);
+                assert_eq!(a.evidence, b.evidence, "p{i}/q{j}");
+                assert_eq!(a.score.to_bits(), b.score.to_bits(), "p{i}/q{j}");
+                assert_eq!(
+                    a.stored_prob.to_bits(),
+                    b.stored_prob.to_bits(),
+                    "p{i}/q{j}"
+                );
+                // The served score is exactly the fold of the served factors.
+                assert_eq!(a.score.to_bits(), a.recompute_score().to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn stored_explanation_finds_the_email_evidence() {
+        let (v1, _) = aligned_image_pair();
+        let x = v1.entity_by_iri(PairSide::Kb1, "http://a/p1").unwrap();
+        let x2 = v1.entity_by_iri(PairSide::Kb2, "http://b/q1").unwrap();
+        let ex = explain_stored(&v1, x, x2);
+        assert!(!ex.evidence.is_empty());
+        // The e-mail literal is the strongest evidence (fun⁻¹ = 1 on a
+        // unique value), and the stored assignment agrees.
+        let strongest = &ex.evidence[0];
+        assert_eq!(strongest.relation_1, "http://a/email");
+        assert_eq!(strongest.neighbor_1, "p1@x.org");
+        assert_eq!(strongest.inv_functionality_1, 1.0);
+        assert!(ex.score > 0.5, "{ex:?}");
+        assert!(ex.stored_prob > 0.5, "{ex:?}");
+        assert_eq!(
+            v1.best_match_from(PairSide::Kb1, x).map(|(e, _)| e),
+            Some(x2)
+        );
+
+        // A wrong candidate gets weaker (city-only) or no evidence.
+        let wrong = v1.entity_by_iri(PairSide::Kb2, "http://b/q2").unwrap();
+        let weak = explain_stored(&v1, x, wrong);
+        assert!(weak.score < ex.score, "{weak:?}");
+        assert_eq!(weak.stored_prob, 0.0);
     }
 
     #[test]

@@ -13,7 +13,8 @@ use std::path::Path;
 
 use paris_kb::snapshot::{peek_version, SnapshotError, FORMAT_VERSION};
 use paris_kb::snapshot_v2::FORMAT_VERSION_V2;
-use paris_kb::{EntityId, KbStats};
+use paris_kb::{EntityId, EntityKind, KbStats, RelationId};
+use paris_rdf::Literal;
 
 use crate::owned::AlignedPairSnapshot;
 use crate::view::MappedPairSnapshot;
@@ -151,13 +152,20 @@ impl PairImage {
         }
     }
 
-    /// The first `limit` statements around an entity, rendered.
-    pub fn facts_page(&self, side: PairSide, e: EntityId, limit: usize) -> Vec<FactRow> {
+    /// One page of statements around an entity, rendered: `limit` rows
+    /// starting at `offset` (in stored order, both directions).
+    pub fn facts_page(
+        &self,
+        side: PairSide,
+        e: EntityId,
+        offset: usize,
+        limit: usize,
+    ) -> Vec<FactRow> {
         match (self, side) {
-            (PairImage::Decoded(s), PairSide::Kb1) => decoded_facts(&s.kb1, e, limit),
-            (PairImage::Decoded(s), PairSide::Kb2) => decoded_facts(&s.kb2, e, limit),
-            (PairImage::Mapped(m), PairSide::Kb1) => mapped_facts(m.kb1(), e, limit),
-            (PairImage::Mapped(m), PairSide::Kb2) => mapped_facts(m.kb2(), e, limit),
+            (PairImage::Decoded(s), PairSide::Kb1) => decoded_facts(&s.kb1, e, offset, limit),
+            (PairImage::Decoded(s), PairSide::Kb2) => decoded_facts(&s.kb2, e, offset, limit),
+            (PairImage::Mapped(m), PairSide::Kb1) => mapped_facts(m.kb1(), e, offset, limit),
+            (PairImage::Mapped(m), PairSide::Kb2) => mapped_facts(m.kb2(), e, offset, limit),
         }
     }
 
@@ -200,11 +208,107 @@ impl PairImage {
             PairImage::Mapped(m) => m.alignment().converged(),
         }
     }
+
+    // ------------------------------------------------------------------
+    // Raw id-level accessors (the stored-evidence explain path). Both
+    // representations answer in identical order with identical bits:
+    // the v2 encoder stores rows exactly as the v1 decoder rebuilds
+    // them, which is what makes a rendered explanation byte-identical
+    // across formats.
+    // ------------------------------------------------------------------
+
+    /// The kind of an entity on one side.
+    pub fn entity_kind(&self, side: PairSide, e: EntityId) -> EntityKind {
+        match (self, side) {
+            (PairImage::Decoded(s), PairSide::Kb1) => s.kb1.kind(e),
+            (PairImage::Decoded(s), PairSide::Kb2) => s.kb2.kind(e),
+            (PairImage::Mapped(m), PairSide::Kb1) => m.kb1().kind(e),
+            (PairImage::Mapped(m), PairSide::Kb2) => m.kb2().kind(e),
+        }
+    }
+
+    /// All statements around an entity (both directions), as raw ids in
+    /// stored order.
+    pub fn facts_ids(&self, side: PairSide, e: EntityId) -> Vec<(RelationId, EntityId)> {
+        match (self, side) {
+            (PairImage::Decoded(s), PairSide::Kb1) => s.kb1.facts(e).to_vec(),
+            (PairImage::Decoded(s), PairSide::Kb2) => s.kb2.facts(e).to_vec(),
+            (PairImage::Mapped(m), PairSide::Kb1) => m.kb1().facts(e).collect(),
+            (PairImage::Mapped(m), PairSide::Kb2) => m.kb2().facts(e).collect(),
+        }
+    }
+
+    /// Global functionality of a directed relation on one side.
+    pub fn functionality(&self, side: PairSide, r: RelationId) -> f64 {
+        match (self, side) {
+            (PairImage::Decoded(s), PairSide::Kb1) => s.kb1.functionality(r),
+            (PairImage::Decoded(s), PairSide::Kb2) => s.kb2.functionality(r),
+            (PairImage::Mapped(m), PairSide::Kb1) => m.kb1().functionality(r),
+            (PairImage::Mapped(m), PairSide::Kb2) => m.kb2().functionality(r),
+        }
+    }
+
+    /// The IRI of a directed relation on one side (base IRI; pair with
+    /// [`RelationId::is_inverse`] for direction).
+    pub fn relation_iri_of(&self, side: PairSide, r: RelationId) -> String {
+        match (self, side) {
+            (PairImage::Decoded(s), PairSide::Kb1) => s.kb1.relation_iri(r).as_str().to_owned(),
+            (PairImage::Decoded(s), PairSide::Kb2) => s.kb2.relation_iri(r).as_str().to_owned(),
+            (PairImage::Mapped(m), PairSide::Kb1) => m.kb1().relation_iri_str(r).to_owned(),
+            (PairImage::Mapped(m), PairSide::Kb2) => m.kb2().relation_iri_str(r).to_owned(),
+        }
+    }
+
+    /// The rendered term of an entity (IRI string or literal value).
+    pub fn term_string(&self, side: PairSide, e: EntityId) -> String {
+        match (self, side) {
+            (PairImage::Decoded(s), PairSide::Kb1) => s.kb1.term(e).to_string(),
+            (PairImage::Decoded(s), PairSide::Kb2) => s.kb2.term(e).to_string(),
+            (PairImage::Mapped(m), PairSide::Kb1) => m.kb1().term(e).to_string(),
+            (PairImage::Mapped(m), PairSide::Kb2) => m.kb2().term(e).to_string(),
+        }
+    }
+
+    /// The literal value of an entity, if it is one.
+    pub fn literal_of(&self, side: PairSide, e: EntityId) -> Option<Literal> {
+        match (self, side) {
+            (PairImage::Decoded(s), PairSide::Kb1) => s.kb1.literal(e).cloned(),
+            (PairImage::Decoded(s), PairSide::Kb2) => s.kb2.literal(e).cloned(),
+            (PairImage::Mapped(m), PairSide::Kb1) => m.kb1().term(e).as_literal().cloned(),
+            (PairImage::Mapped(m), PairSide::Kb2) => m.kb2().term(e).as_literal().cloned(),
+        }
+    }
+
+    /// Stored `Pr(x ≡ x′)` for a KB-1 / KB-2 entity pair (zero when the
+    /// pair is not in the stored alignment).
+    pub fn equiv_prob(&self, x: EntityId, x2: EntityId) -> f64 {
+        match self {
+            PairImage::Decoded(s) => s.alignment.instances.prob(x, x2),
+            PairImage::Mapped(m) => m.alignment().prob(x, x2),
+        }
+    }
+
+    /// Stored `Pr(r ⊆ r′)` for `r` in KB 1, `r′` in KB 2.
+    pub fn subrel_1in2(&self, r1: RelationId, r2: RelationId) -> f64 {
+        match self {
+            PairImage::Decoded(s) => s.alignment.subrelations.prob_1in2(r1, r2),
+            PairImage::Mapped(m) => m.alignment().subrel_prob_1in2(r1, r2),
+        }
+    }
+
+    /// Stored `Pr(r′ ⊆ r)` for `r′` in KB 2, `r` in KB 1.
+    pub fn subrel_2in1(&self, r2: RelationId, r1: RelationId) -> f64 {
+        match self {
+            PairImage::Decoded(s) => s.alignment.subrelations.prob_2in1(r2, r1),
+            PairImage::Mapped(m) => m.alignment().subrel_prob_2in1(r2, r1),
+        }
+    }
 }
 
-fn decoded_facts(kb: &paris_kb::Kb, e: EntityId, limit: usize) -> Vec<FactRow> {
+fn decoded_facts(kb: &paris_kb::Kb, e: EntityId, offset: usize, limit: usize) -> Vec<FactRow> {
     kb.facts(e)
         .iter()
+        .skip(offset)
         .take(limit)
         .map(|&(r, y)| FactRow {
             relation: kb.relation_iri(r).as_str().to_owned(),
@@ -215,8 +319,14 @@ fn decoded_facts(kb: &paris_kb::Kb, e: EntityId, limit: usize) -> Vec<FactRow> {
         .collect()
 }
 
-fn mapped_facts(kb: paris_kb::KbView<'_>, e: EntityId, limit: usize) -> Vec<FactRow> {
+fn mapped_facts(
+    kb: paris_kb::KbView<'_>,
+    e: EntityId,
+    offset: usize,
+    limit: usize,
+) -> Vec<FactRow> {
     kb.facts(e)
+        .skip(offset)
         .take(limit)
         .map(|(r, y)| FactRow {
             relation: kb.relation_iri_str(r).to_owned(),
@@ -288,8 +398,8 @@ mod tests {
             );
             assert!(p > 0.0);
             assert_eq!(
-                img.facts_page(PairSide::Kb1, e, 10),
-                d.facts_page(PairSide::Kb1, e, 10)
+                img.facts_page(PairSide::Kb1, e, 0, 10),
+                d.facts_page(PairSide::Kb1, e, 0, 10)
             );
             assert_eq!(img.kb_stats(PairSide::Kb2), KbStats::of(&snap.kb2));
         }

@@ -48,7 +48,7 @@ pub mod view;
 
 pub use config::ParisConfig;
 pub use equiv::{CandidateView, EquivStore};
-pub use explain::{Evidence, Explanation};
+pub use explain::{explain_stored, Evidence, Explanation, StoredEvidence, StoredExplanation};
 pub use image::{FactRow, PairImage, PairSide};
 pub use incremental::{
     realign_incremental, update_snapshot, DirtySeeds, IncrementalOptions, IncrementalReport,

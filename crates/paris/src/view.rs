@@ -475,6 +475,36 @@ impl<'a> AlignmentView<'a> {
         end > start
     }
 
+    /// Stored `Pr(x ≡ x′)`, zero if the pair is not stored.
+    pub fn prob(&self, x: EntityId, x2: EntityId) -> f64 {
+        let (start, end) = self.layout.eq.row_bounds(self.buf, x.index());
+        let targets = &self.buf[self.layout.eq.targets.clone()];
+        let probs = &self.buf[self.layout.eq.probs.clone()];
+        (start..end)
+            .find(|&j| le_u32(targets, j) == x2.0)
+            .map_or(0.0, |j| le_f64(probs, j))
+    }
+
+    fn subrel_lookup(&self, rows: &RowsLayout, src: RelationId, dst: RelationId) -> f64 {
+        let (start, end) = rows.row_bounds(self.buf, src.directed_index());
+        let targets = &self.buf[rows.targets.clone()];
+        let probs = &self.buf[rows.probs.clone()];
+        (start..end)
+            .find(|&j| le_u32(targets, j) == dst.0)
+            .map_or(0.0, |j| le_f64(probs, j))
+    }
+
+    /// Stored `Pr(r ⊆ r′)` for `r` in KB 1, `r′` in KB 2 — the view
+    /// equivalent of [`crate::subrel::SubrelStore::prob_1in2`].
+    pub fn subrel_prob_1in2(&self, r1: RelationId, r2: RelationId) -> f64 {
+        self.subrel_lookup(&self.layout.sub12, r1, r2)
+    }
+
+    /// Stored `Pr(r′ ⊆ r)` for `r′` in KB 2, `r` in KB 1.
+    pub fn subrel_prob_2in1(&self, r2: RelationId, r1: RelationId) -> f64 {
+        self.subrel_lookup(&self.layout.sub21, r2, r1)
+    }
+
     /// Total number of stored (non-zero) instance equivalences.
     pub fn num_instance_pairs(&self) -> usize {
         self.layout.eq.targets.len() / 4

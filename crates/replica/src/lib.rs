@@ -7,9 +7,9 @@
 //! images, pulled**:
 //!
 //! * the **primary** is any `paris serve` daemon: it exposes its catalog
-//!   as a manifest (`GET /pairs/manifest`: every pair's name, format
+//!   as a manifest (`GET /v1/pairs/manifest`: every pair's name, format
 //!   version, generation, byte length, and content checksum) and streams
-//!   raw snapshot bytes (`GET /pairs/<name>/snapshot`, with a
+//!   raw snapshot bytes (`GET /v1/pairs/<name>/snapshot`, with a
 //!   checksum-based `ETag` so an unchanged pair is a `304` and zero
 //!   body bytes);
 //! * a **replica** polls the manifest, diffs it against its local mirror
@@ -19,15 +19,13 @@
 //!   affected pairs. Deletions propagate; a pair that fails to transfer
 //!   backs off exponentially without blocking its siblings.
 //!
-//! Everything is built on `std::net` — the workspace takes no external
-//! dependencies, so [`http_client`] hand-rolls the HTTP/1.1 client
-//! subset the sync engine needs (the mirror image of `paris-server`'s
-//! hand-rolled server), and [`json`] parses the manifest with a small
-//! recursive-descent reader.
-//!
-//! The decision loop lives in [`sync::SyncEngine`]; `paris-server`
-//! embeds it behind `--replica-of URL`, and the CLI's one-shot
-//! `paris sync URL DIR` runs a single cycle for cron-style mirroring.
+//! The transport pieces — the hand-rolled HTTP/1.1 client and the JSON
+//! parser the manifest goes through — live in [`paris_client`], the
+//! bottom of the serving dependency stack; this crate re-exports them so
+//! existing callers keep compiling. What remains here is the decision
+//! loop itself: [`sync::SyncEngine`]. `paris-server` embeds it behind
+//! `--replica-of URL`, and the CLI's one-shot `paris sync URL DIR` runs
+//! a single cycle for cron-style mirroring.
 //!
 //! ## Trust model
 //!
@@ -41,63 +39,9 @@
 //! authentication (matching the server's trust model) — replicate over
 //! loopback, a private network, or a trusted tunnel.
 
-pub mod http_client;
-pub mod json;
 pub mod sync;
 
-pub use http_client::{HttpClient, HttpResponse, Upstream};
+pub use paris_client::{
+    http_client, json, valid_pair_name, HttpClient, HttpResponse, Upstream, MAX_PAIR_NAME,
+};
 pub use sync::{PairReplicationStatus, ReplicationStatus, SyncEngine, SyncOutcome};
-
-/// Longest accepted pair name.
-pub const MAX_PAIR_NAME: usize = 128;
-
-/// Whether a pair name is safe to appear in URLs, JSON, and filesystem
-/// paths *without escaping*: ASCII alphanumerics plus `-`, `_`, `.`,
-/// not starting with a dot (no hidden/temp files, no `.`/`..`), at most
-/// [`MAX_PAIR_NAME`] bytes, and not the reserved route name `manifest`.
-///
-/// The serving catalog skips files whose stem fails this check (so
-/// `/pairs` and manifest output are injection-safe by construction), and
-/// the sync engine rejects manifest entries that fail it (so an
-/// untrusted upstream cannot traverse out of the mirror directory).
-pub fn valid_pair_name(name: &str) -> bool {
-    !name.is_empty()
-        && name.len() <= MAX_PAIR_NAME
-        && !name.starts_with('.')
-        && name != "manifest"
-        && name
-            .bytes()
-            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.')
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn pair_name_validation() {
-        for good in ["alpha", "yago-dbpedia", "v2_pair", "a.b", "A9", "x"] {
-            assert!(valid_pair_name(good), "{good}");
-        }
-        for bad in [
-            "",
-            ".",
-            "..",
-            ".hidden",
-            "a/b",
-            "../escape",
-            "a b",
-            "a\"b",
-            "a\\b",
-            "a\nb",
-            "a?b",
-            "a%b",
-            "ümlaut",
-            "manifest",
-        ] {
-            assert!(!valid_pair_name(bad), "{bad:?}");
-        }
-        assert!(valid_pair_name(&"n".repeat(MAX_PAIR_NAME)));
-        assert!(!valid_pair_name(&"n".repeat(MAX_PAIR_NAME + 1)));
-    }
-}

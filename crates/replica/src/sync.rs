@@ -30,9 +30,9 @@ use paris_kb::snapshot::{self, SnapshotError, SnapshotKind};
 use paris_kb::snapshot_v2::{checksum_v2, checksum_v2_stream, FORMAT_VERSION_V2};
 use paris_kb::SnapshotArena;
 
-use crate::http_client::{HttpClient, Upstream};
-use crate::json::{self, Json};
-use crate::valid_pair_name;
+use paris_client::http_client::{HttpClient, Upstream};
+use paris_client::json::{self, Json};
+use paris_client::valid_pair_name;
 
 /// Cap on the manifest document.
 const MAX_MANIFEST_BYTES: u64 = 16 << 20;
@@ -61,12 +61,15 @@ pub struct ManifestEntry {
     pub checksum: Option<u64>,
 }
 
-/// Parses the manifest JSON document. Entries with names that would
-/// need URL/JSON/path escaping are rejected into the error list rather
-/// than silently dropped — a name like `../../etc` is an attack, and
-/// the operator should see it.
+/// Parses the manifest JSON document — either the `/v1` envelope
+/// (`{"data":{…,"pairs":[…]}}`) or the bare pre-v1 shape
+/// (`{…,"pairs":[…]}`), so a replica can mirror daemons of either
+/// generation. Entries with names that would need URL/JSON/path escaping
+/// are rejected into the error list rather than silently dropped — a
+/// name like `../../etc` is an attack, and the operator should see it.
 pub fn parse_manifest(text: &str) -> Result<(Vec<ManifestEntry>, Vec<String>), String> {
     let doc = json::parse(text).map_err(|e| format!("manifest is not valid JSON: {e}"))?;
+    let doc = doc.get("data").unwrap_or(&doc);
     let pairs = doc
         .get("pairs")
         .and_then(Json::as_array)
@@ -255,6 +258,11 @@ pub struct SyncEngine {
     client: HttpClient,
     dest: PathBuf,
     pairs: BTreeMap<String, PairSync>,
+    /// True once the upstream 404'd the `/v1` manifest route — a
+    /// pre-`/v1` primary; the engine then speaks the legacy route
+    /// spellings (rolling upgrades: replicas first or primaries first
+    /// both keep syncing).
+    legacy_routes: bool,
     /// Validator for the conditional manifest poll.
     manifest_etag: Option<String>,
     /// Last successfully parsed manifest (reused on a `304`).
@@ -314,6 +322,7 @@ impl SyncEngine {
             client: HttpClient::new(upstream, Duration::from_secs(30)),
             dest,
             pairs,
+            legacy_routes: false,
             manifest_etag: None,
             manifest: Vec::new(),
             max_snapshot_bytes: DEFAULT_MAX_SNAPSHOT_BYTES,
@@ -512,13 +521,27 @@ impl SyncEngine {
         Ok(outcome)
     }
 
-    /// Fetches and parses `/pairs/manifest`, honouring the cached ETag.
+    /// Fetches and parses the manifest, honouring the cached ETag.
+    /// A pre-`/v1` primary 404s the versioned route; the engine falls
+    /// back to the legacy spelling once and sticks with it (the parser
+    /// accepts both body shapes either way).
     fn fetch_manifest(&mut self, outcome: &mut SyncOutcome) -> Result<(), String> {
-        let response = self.client.get(
-            "/pairs/manifest",
-            self.manifest_etag.as_deref(),
-            MAX_MANIFEST_BYTES,
-        )?;
+        let path = if self.legacy_routes {
+            "/pairs/manifest"
+        } else {
+            "/v1/pairs/manifest"
+        };
+        let mut response =
+            self.client
+                .get(path, self.manifest_etag.as_deref(), MAX_MANIFEST_BYTES)?;
+        if response.status == 404 && !self.legacy_routes {
+            self.legacy_routes = true;
+            response = self.client.get(
+                "/pairs/manifest",
+                self.manifest_etag.as_deref(),
+                MAX_MANIFEST_BYTES,
+            )?;
+        }
         match response.status {
             304 => Ok(()), // catalog unchanged: reuse the parsed manifest
             200 => {
@@ -554,11 +577,14 @@ impl SyncEngine {
             .get(&entry.name)
             .and_then(|p| p.local)
             .map(|(_, sum)| format!("{sum:016x}"));
-        let response = self.client.get(
-            &format!("/pairs/{}/snapshot", entry.name),
-            local_etag.as_deref(),
-            self.max_snapshot_bytes,
-        )?;
+        let path = if self.legacy_routes {
+            format!("/pairs/{}/snapshot", entry.name)
+        } else {
+            format!("/v1/pairs/{}/snapshot", entry.name)
+        };
+        let response = self
+            .client
+            .get(&path, local_etag.as_deref(), self.max_snapshot_bytes)?;
         match response.status {
             304 => return Ok(None),
             200 => {}
@@ -654,6 +680,20 @@ mod tests {
         assert!(parse_manifest("not json").is_err());
     }
 
+    /// The `/v1` manifest arrives wrapped in the `{"data":…}` envelope;
+    /// both that and the bare pre-v1 shape must parse identically.
+    #[test]
+    fn parses_enveloped_manifests() {
+        let bare =
+            r#"{"pairs":[{"name":"p","format":2,"generation":1,"bytes":9,"checksum":"aa"}]}"#;
+        let enveloped = format!("{{\"data\":{bare}}}");
+        let (a, _) = parse_manifest(bare).unwrap();
+        let (b, _) = parse_manifest(&enveloped).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].checksum, Some(0xaa));
+    }
+
     #[test]
     fn validation_rejects_garbage_and_wrong_kinds() {
         let dir = std::env::temp_dir().join("paris_replica_validate_unit");
@@ -684,6 +724,73 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    /// A pre-`/v1` primary 404s the versioned manifest route; the
+    /// engine must fall back to the legacy spellings (manifest *and*
+    /// snapshot) and keep mirroring.
+    #[test]
+    fn falls_back_to_legacy_routes_on_a_pre_v1_primary() {
+        // Garbage bytes under a correct checksum: reaching the transfer
+        // stage (and its framing rejection) through the legacy route is
+        // what proves the fallback fetched the snapshot body.
+        let snapshot_body = b"not a real snapshot".to_vec();
+        let checksum = checksum_v2(&snapshot_body);
+        let manifest = format!(
+            r#"{{"pairs":[{{"name":"p","format":1,"generation":1,"bytes":{},"checksum":"{checksum:016x}"}}]}}"#,
+            snapshot_body.len()
+        );
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let primary = std::thread::spawn(move || {
+            let mut seen = Vec::new();
+            // v1 manifest (404), legacy manifest, legacy snapshot.
+            for _ in 0..3 {
+                let (mut conn, _) = listener.accept().unwrap();
+                let mut reader = BufReader::new(conn.try_clone().unwrap());
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                seen.push(line.trim_end().to_owned());
+                loop {
+                    let mut h = String::new();
+                    reader.read_line(&mut h).unwrap();
+                    if h == "\r\n" || h.is_empty() {
+                        break;
+                    }
+                }
+                let (status, body): (&str, &[u8]) = if line.starts_with("GET /v1/") {
+                    ("404 Not Found", b"{\"error\":\"no such route\"}")
+                } else if line.starts_with("GET /pairs/manifest") {
+                    ("200 OK", manifest.as_bytes())
+                } else {
+                    ("200 OK", &snapshot_body)
+                };
+                conn.write_all(
+                    format!(
+                        "HTTP/1.1 {status}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+                        body.len()
+                    )
+                    .as_bytes(),
+                )
+                .unwrap();
+                conn.write_all(body).unwrap();
+            }
+            seen
+        });
+
+        let dir = std::env::temp_dir().join("paris_replica_legacy_fallback_unit");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut engine = SyncEngine::new(&format!("http://{addr}"), &dir).unwrap();
+        let outcome = engine.sync_once().unwrap();
+        let seen = primary.join().unwrap();
+        assert!(seen[0].starts_with("GET /v1/pairs/manifest"), "{seen:?}");
+        assert!(seen[1].starts_with("GET /pairs/manifest"), "{seen:?}");
+        assert!(seen[2].starts_with("GET /pairs/p/snapshot"), "{seen:?}");
+        // The transfer reached validation (and was rightly rejected —
+        // the body is not a snapshot); the routes are what's under test.
+        assert_eq!(outcome.failed.len(), 1, "{outcome:?}");
+        assert!(outcome.failed[0].1.contains("framing"), "{outcome:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     /// A rogue primary advertising a checksum its body does not match:
     /// the transfer must be rejected, nothing installed, no temp litter.
     #[test]
@@ -698,7 +805,7 @@ mod tests {
                 let mut reader = BufReader::new(conn.try_clone().unwrap());
                 let mut line = String::new();
                 reader.read_line(&mut line).unwrap();
-                let body: &[u8] = if line.starts_with("GET /pairs/manifest") {
+                let body: &[u8] = if line.starts_with("GET /v1/pairs/manifest") {
                     manifest.as_bytes()
                 } else {
                     b"garbage"

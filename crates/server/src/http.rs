@@ -268,6 +268,9 @@ pub struct Response {
     pub allow: Option<&'static str>,
     /// Value of an `ETag` header (quoted, per RFC 9110).
     pub etag: Option<String>,
+    /// Additional headers (e.g. the deprecation `Warning` on legacy
+    /// routes). Names are static; values must not contain CR/LF.
+    pub extra_headers: Vec<(&'static str, String)>,
     /// When set, exactly this many bytes are streamed from the file (in
     /// 64 KiB chunks) instead of writing `body`. A short file aborts the
     /// write with an error, which closes the connection — the peer sees
@@ -283,6 +286,7 @@ impl Response {
             body,
             allow: None,
             etag: None,
+            extra_headers: Vec::new(),
             stream: None,
         }
     }
@@ -326,6 +330,12 @@ impl Response {
         self
     }
 
+    /// Attaches an arbitrary additional header.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.extra_headers.push((name, value.into()));
+        self
+    }
+
     fn reason(&self) -> &'static str {
         match self.status {
             200 => "OK",
@@ -360,6 +370,9 @@ impl Response {
         }
         if let Some(etag) = &self.etag {
             write!(w, "ETag: {etag}\r\n")?;
+        }
+        for (name, value) in &self.extra_headers {
+            write!(w, "{name}: {value}\r\n")?;
         }
         w.write_all(b"\r\n")?;
         match &self.stream {
@@ -555,6 +568,17 @@ mod tests {
             .unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn extra_headers_are_written() {
+        let mut out = Vec::new();
+        Response::json(200, "{}")
+            .with_header("Warning", "299 - \"deprecated\"")
+            .write_to(&mut out, true)
+            .unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("\r\nWarning: 299 - \"deprecated\"\r\n"), "{s}");
     }
 
     #[test]

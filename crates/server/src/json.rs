@@ -1,134 +1,6 @@
-//! Minimal JSON *emission* (the daemon never parses JSON — request inputs
-//! arrive as query strings or form bodies, responses go out as JSON).
+//! JSON for the daemon — a re-export of [`paris_client::json`], the
+//! serving stack's one JSON implementation. The daemon renders every
+//! response with the order-preserving [`Object`] builder and parses
+//! exactly one input shape (the batch query body) with [`parse`].
 
-/// Escapes a string for inclusion in a JSON document, with quotes.
-pub fn string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// Formats an `f64` as a JSON number (JSON has no NaN/∞; clamp to null).
-pub fn number(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_owned()
-    }
-}
-
-/// Builder for a JSON object, keeping insertion order.
-#[derive(Default)]
-pub struct Object {
-    fields: Vec<(String, String)>,
-}
-
-impl Object {
-    /// An empty object.
-    pub fn new() -> Self {
-        Object::default()
-    }
-
-    /// Adds a pre-rendered JSON value.
-    pub fn raw(mut self, key: &str, value: impl Into<String>) -> Self {
-        self.fields.push((key.to_owned(), value.into()));
-        self
-    }
-
-    /// Adds a string field.
-    pub fn str(self, key: &str, value: &str) -> Self {
-        let rendered = string(value);
-        self.raw(key, rendered)
-    }
-
-    /// Adds a float field.
-    pub fn num(self, key: &str, value: f64) -> Self {
-        let rendered = number(value);
-        self.raw(key, rendered)
-    }
-
-    /// Adds an integer field.
-    pub fn int(self, key: &str, value: u64) -> Self {
-        self.raw(key, value.to_string())
-    }
-
-    /// Adds a boolean field.
-    pub fn bool(self, key: &str, value: bool) -> Self {
-        self.raw(key, if value { "true" } else { "false" })
-    }
-
-    /// Renders the object.
-    pub fn build(self) -> String {
-        let mut out = String::from("{");
-        for (i, (k, v)) in self.fields.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&string(k));
-            out.push(':');
-            out.push_str(v);
-        }
-        out.push('}');
-        out
-    }
-}
-
-/// Renders a JSON array from pre-rendered values.
-pub fn array(values: impl IntoIterator<Item = String>) -> String {
-    let mut out = String::from("[");
-    for (i, v) in values.into_iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&v);
-    }
-    out.push(']');
-    out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn escaping() {
-        assert_eq!(string("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
-        assert_eq!(string("\u{1}"), r#""\u0001""#);
-        assert_eq!(string("héllo"), "\"héllo\"");
-    }
-
-    #[test]
-    fn numbers() {
-        assert_eq!(number(0.5), "0.5");
-        assert_eq!(number(f64::NAN), "null");
-        assert_eq!(number(f64::INFINITY), "null");
-    }
-
-    #[test]
-    fn object_rendering() {
-        let o = Object::new()
-            .str("name", "x")
-            .int("n", 3)
-            .bool("ok", true)
-            .num("p", 0.25);
-        assert_eq!(o.build(), r#"{"name":"x","n":3,"ok":true,"p":0.25}"#);
-    }
-
-    #[test]
-    fn array_rendering() {
-        assert_eq!(array(vec!["1".into(), "2".into()]), "[1,2]");
-        assert_eq!(array(Vec::<String>::new()), "[]");
-    }
-}
+pub use paris_client::json::*;

@@ -51,29 +51,46 @@
 //! role, upstream, last-sync time, and per-pair generation lag. See
 //! `docs/REPLICATION.md`.
 //!
-//! ## Endpoints
+//! ## The `/v1` contract
+//!
+//! Every JSON answer wears one envelope: `{"data":…}` on success,
+//! `{"error":{"code":…,"message":…}}` on failure (`code` is
+//! machine-readable: `bad_request`, `forbidden`, `not_found`,
+//! `method_not_allowed`, `internal`). The canonical routes live under
+//! `/v1`:
 //!
 //! | route | method | answer |
 //! |---|---|---|
-//! | `/healthz` | GET | liveness + version + role + default-pair generation |
-//! | `/pairs` | GET | the catalog: every pair, its state and generation |
-//! | `/pairs/manifest` | GET | replication manifest (checksums, generations) |
-//! | `/pairs/<name>/sameas?iri=…` | GET | best match of an instance |
-//! | `/pairs/<name>/neighbors?iri=…` | GET | facts around an entity |
-//! | `/pairs/<name>/stats` | GET | KB + alignment statistics of one pair |
-//! | `/pairs/<name>/healthz` | GET | per-pair liveness + generation |
-//! | `/pairs/<name>/snapshot` | GET | the raw snapshot bytes (ETag/304) |
-//! | `/pairs/<name>/reload` | POST | swap in that pair's snapshot file |
-//! | `/sameas`, `/neighbors`, `/stats`, `/reload` | | aliases of the default pair |
-//! | `/align` | POST | enqueue a batch job over two single-KB snapshots |
-//! | `/jobs/<id>` | GET | job status / outcome |
+//! | `/v1/healthz` | GET | liveness + version + role + default-pair generation |
+//! | `/v1/pairs` | GET | the catalog: every pair, its state and generation |
+//! | `/v1/pairs/manifest` | GET | replication manifest (checksums, generations) |
+//! | `/v1/pairs/<name>/sameas?iri=…` | GET | best match of an instance |
+//! | `/v1/pairs/<name>/neighbors?iri=…&limit=…&offset=…` | GET | facts around an entity, paginated |
+//! | `/v1/pairs/<name>/explain?left=…&right=…` | GET | the stored Eq. 13 evidence for one candidate pair |
+//! | `/v1/pairs/<name>/query` | POST | batch: up to [`MAX_BATCH_QUERIES`] mixed lookups, one image acquisition |
+//! | `/v1/pairs/<name>/stats` | GET | KB + alignment statistics of one pair |
+//! | `/v1/pairs/<name>/healthz` | GET | per-pair liveness + generation |
+//! | `/v1/pairs/<name>/snapshot` | GET | the raw snapshot bytes (ETag/304, no envelope) |
+//! | `/v1/pairs/<name>/reload` | POST | swap in that pair's snapshot file |
+//! | `/v1/align` | POST | enqueue a batch job over two single-KB snapshots |
+//! | `/v1/jobs/<id>` | GET | job status / outcome |
 //!
-//! `GET /pairs/<name>/stats`, `/sameas`, and `/neighbors` also carry a
-//! body-checksum `ETag` and honour `If-None-Match` — a polling client
-//! pays headers only while the answer is unchanged.
+//! Every pre-v1 route (`/sameas`, `/pairs/<name>/stats`, …) keeps
+//! working as a **thin alias**: it delegates to the very same v1
+//! handler (identical envelope, identical bytes) and additionally
+//! carries one deprecation `Warning` header; the bare `/sameas`,
+//! `/neighbors`, `/stats`, `/reload` aliases resolve the *default*
+//! pair.
+//!
+//! Cacheable `GET`s (`stats`, `sameas`, `neighbors`, `explain`, the
+//! manifest, snapshot transfer) carry a body-checksum `ETag` and honour
+//! `If-None-Match` — a polling client pays headers only while the
+//! answer is unchanged.
 //!
 //! See `docs/HTTP_API.md` at the repository root for the full
-//! request/response reference with curl examples.
+//! request/response reference with curl examples, and the
+//! `paris-client` crate for the typed client (`ParisClient`) the
+//! `paris query` CLI speaks.
 
 pub mod http;
 pub mod jobs;
@@ -87,9 +104,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::{Duration, Instant, SystemTime};
 
-use paris_core::{AlignedPairSnapshot, PairImage, PairSide};
+use paris_core::{explain_stored, AlignedPairSnapshot, PairImage, PairSide};
 use paris_kb::snapshot_v2::checksum_v2;
-use paris_kb::{snapshot, KbStats};
+use paris_kb::{snapshot, EntityKind, KbStats};
 use paris_replica::{valid_pair_name, ReplicationStatus, SyncEngine};
 
 use http::{ParseError, Request, Response};
@@ -975,8 +992,7 @@ fn serve_connection(state: &ServeState, stream: TcpStream) {
             Err(ParseError::ConnectionClosed) => return,
             Err(ParseError::Io(_)) => return,
             Err(ParseError::Malformed(msg)) => {
-                let body = json::Object::new().str("error", &msg).build();
-                let _ = Response::json(400, body).write_to(&mut writer, false);
+                let _ = error(400, &msg).write_to(&mut writer, false);
                 return;
             }
         }
@@ -987,11 +1003,40 @@ fn serve_connection(state: &ServeState, stream: TcpStream) {
 // Routing
 // ----------------------------------------------------------------------
 
+/// Cap on a `neighbors` page (`limit` is clamped to this) — huge
+/// entities cannot blow up a response.
+pub const NEIGHBORS_MAX_LIMIT: usize = 1000;
+/// Default `neighbors` page size.
+const NEIGHBORS_DEFAULT_LIMIT: usize = 50;
+/// Cap on the lookups of one `POST /v1/pairs/<name>/query` batch.
+pub const MAX_BATCH_QUERIES: usize = 256;
+/// Cap on the statement pairs one `explain` may examine
+/// (`facts(left) × facts(right)`) — two hub entities cannot pin a
+/// worker thread or render an unbounded evidence array.
+pub const EXPLAIN_MAX_STATEMENT_PAIRS: usize = 1 << 22;
+/// The deprecation warning every pre-`/v1` route carries.
+const DEPRECATION_WARNING: &str =
+    "299 - \"deprecated API: use the versioned /v1 routes (see docs/HTTP_API.md)\"";
+
 /// Routes on the *path first*: a known path with the wrong method gets a
 /// `405` with an `Allow` header, an unknown path gets a JSON `404`
 /// whatever the method.
+///
+/// The canonical namespace is `/v1/…` ([`route_v1`]); every pre-v1
+/// route is a thin alias that delegates to the same handlers (identical
+/// envelope, identical bodies) plus one deprecation `Warning` header.
 fn route(state: &ServeState, req: &Request) -> Response {
-    let path = req.path.as_str();
+    match req.path.strip_prefix("/v1") {
+        Some(rest) if rest.is_empty() || rest.starts_with('/') => {
+            let rest = if rest.is_empty() { "/" } else { rest };
+            route_v1(state, req, rest)
+        }
+        _ => route_legacy(state, req).with_header("Warning", DEPRECATION_WARNING),
+    }
+}
+
+/// The canonical `/v1` router, over the path with the prefix stripped.
+fn route_v1(state: &ServeState, req: &Request, path: &str) -> Response {
     if let Some(rest) = path.strip_prefix("/pairs/") {
         // `manifest` is a reserved name (valid_pair_name refuses it for
         // pairs), so this route never shadows a catalog entry.
@@ -1003,12 +1048,29 @@ fn route(state: &ServeState, req: &Request) -> Response {
         }
         return error(
             404,
-            &format!("no such route {path} (did you mean /pairs/{rest}/stats?)"),
+            &format!(
+                "no such route {} (did you mean /v1/pairs/{rest}/stats?)",
+                req.path
+            ),
         );
     }
     match path {
         "/pairs" => allow(req, "GET", |r| list_pairs(state, r)),
         "/healthz" => allow(req, "GET", |r| healthz(state, r)),
+        "/align" => allow(req, "POST", |r| submit_align(state, r)),
+        p if p.starts_with("/jobs/") => {
+            let id = p["/jobs/".len()..].to_owned();
+            allow(req, "GET", move |_| job_status(state, &id))
+        }
+        _ => error(404, &format!("no such route {}", req.path)),
+    }
+}
+
+/// The pre-v1 alias layer: the bare default-pair conveniences plus every
+/// path shape that predates the `/v1` prefix, all delegating to the v1
+/// handlers. [`route`] adds the deprecation warning on the way out.
+fn route_legacy(state: &ServeState, req: &Request) -> Response {
+    match req.path.as_str() {
         "/stats" => allow(req, "GET", |r| {
             cacheable(r, with_default_pair(state, r, pair_stats))
         }),
@@ -1018,25 +1080,24 @@ fn route(state: &ServeState, req: &Request) -> Response {
         "/neighbors" => allow(req, "GET", |r| {
             cacheable(r, with_default_pair(state, r, neighbors))
         }),
+        // The legacy reload keeps its single-pair `path=` override
+        // (gated by the jobs trust switch); the v1 routes do not take
+        // client-named paths at all.
         "/reload" => allow(req, "POST", |r| reload_default(state, r)),
-        "/align" => allow(req, "POST", |r| submit_align(state, r)),
-        p if p.starts_with("/jobs/") => {
-            allow(req, "GET", |r| job_status(state, &r.path["/jobs/".len()..]))
-        }
-        _ => error(404, &format!("no such route {path}")),
+        path => route_v1(state, req, path),
     }
 }
 
 fn route_pair_op(state: &ServeState, req: &Request, name: &str, op: &str) -> Response {
     let method = match op {
-        "sameas" | "neighbors" | "stats" | "healthz" | "snapshot" => "GET",
-        "reload" => "POST",
+        "sameas" | "neighbors" | "explain" | "stats" | "healthz" | "snapshot" => "GET",
+        "reload" | "query" => "POST",
         _ => {
             return error(
                 404,
                 &format!(
                     "no such pair operation '{op}' \
-                     (sameas, neighbors, stats, healthz, snapshot, reload)"
+                     (sameas, neighbors, explain, query, stats, healthz, snapshot, reload)"
                 ),
             )
         }
@@ -1048,6 +1109,8 @@ fn route_pair_op(state: &ServeState, req: &Request, name: &str, op: &str) -> Res
         match op {
             "sameas" => cacheable(r, sameas(state, r, &pair)),
             "neighbors" => cacheable(r, neighbors(state, r, &pair)),
+            "explain" => cacheable(r, explain(state, r, &pair)),
+            "query" => batch_query(state, r, &pair),
             "stats" => cacheable(r, pair_stats(state, r, &pair)),
             "healthz" => pair_healthz(&pair),
             "snapshot" => pair_snapshot(r, &pair),
@@ -1098,11 +1161,53 @@ fn with_default_pair(
     f(state, req, &pair)
 }
 
+// ----------------------------------------------------------------------
+// The uniform response envelope
+// ----------------------------------------------------------------------
+
+/// Wraps rendered data in the success envelope: `{"data":…}`.
+fn ok(data: String) -> Response {
+    ok_status(200, data)
+}
+
+/// [`ok`] with a non-200 success status (`202` for accepted jobs).
+fn ok_status(status: u16, data: String) -> Response {
+    Response::json(status, format!("{{\"data\":{data}}}"))
+}
+
+/// The envelope's machine-readable code of an error status.
+fn error_code(status: u16) -> &'static str {
+    match status {
+        400 => "bad_request",
+        403 => "forbidden",
+        404 => "not_found",
+        405 => "method_not_allowed",
+        500 => "internal",
+        _ => "error",
+    }
+}
+
+/// A rendered `{"code":…,"message":…}` object — the `error` member of
+/// the envelope, and the in-place error shape of one failed batch query.
+fn error_object(status: u16, message: &str) -> String {
+    json::Object::new()
+        .str("code", error_code(status))
+        .str("message", message)
+        .build()
+}
+
+/// A structured JSON error in the uniform envelope:
+/// `{"error":{"code":…,"message":…}}` — served identically on `/v1` and
+/// legacy routes.
 fn error(status: u16, message: &str) -> Response {
-    Response::json(status, json::Object::new().str("error", message).build())
+    Response::json(
+        status,
+        format!("{{\"error\":{}}}", error_object(status, message)),
+    )
 }
 
 /// Resolves a pair's image or renders the load failure as a 500.
+#[allow(clippy::result_large_err)] // the Err *is* the response
 fn image_or_error(state: &ServeState, pair: &Arc<PairState>) -> Result<Arc<LoadedImage>, Response> {
     state.catalog.image_of(pair).map_err(|e| error(500, &e))
 }
@@ -1147,7 +1252,7 @@ fn healthz(state: &ServeState, _req: &Request) -> Response {
     if let Some(replica) = &state.replica {
         obj = obj.raw("replication", replication_json(replica));
     }
-    Response::json(200, obj.build())
+    ok(obj.build())
 }
 
 /// The `"replication"` object of a replica's `/healthz`: upstream,
@@ -1228,14 +1333,11 @@ fn manifest(state: &ServeState) -> Response {
         }
         .build()
     });
-    Response::json(
-        200,
-        json::Object::new()
-            .str("server_version", VERSION)
-            .str("default", &default_name)
-            .raw("pairs", json::array(rendered))
-            .build(),
-    )
+    ok(json::Object::new()
+        .str("server_version", VERSION)
+        .str("default", &default_name)
+        .raw("pairs", json::array(rendered))
+        .build())
 }
 
 /// `GET /pairs/<name>/snapshot`: streams the pair's raw snapshot file
@@ -1277,7 +1379,7 @@ fn pair_healthz(pair: &Arc<PairState>) -> Response {
             )
             .bool("mapped", img.image.is_mapped());
     }
-    Response::json(200, obj.build())
+    ok(obj.build())
 }
 
 fn kb_stats_json(s: &KbStats) -> String {
@@ -1296,35 +1398,32 @@ fn pair_stats(state: &ServeState, _req: &Request, pair: &Arc<PairState>) -> Resp
         Ok(i) => i,
         Err(e) => return e,
     };
-    Response::json(
-        200,
-        json::Object::new()
-            .str("pair", &pair.name)
-            .raw("kb1", image.kb1_stats_json.clone())
-            .raw("kb2", image.kb2_stats_json.clone())
-            .int("aligned_instances", image.aligned_instances as u64)
-            .int(
-                "instance_equivalences",
-                image.image.num_instance_pairs() as u64,
-            )
-            .int("literal_pairs", image.image.literal_pairs() as u64)
-            .int("iterations", image.image.iterations_len() as u64)
-            .bool("converged", image.image.converged())
-            .str(
-                "format",
-                if image.image.format_version() == 2 {
-                    "v2"
-                } else {
-                    "v1"
-                },
-            )
-            .bool("mapped", image.image.is_mapped())
-            .int("resident_bytes", image.resident_bytes)
-            .int("generation", image.generation)
-            .int("reloads", pair.reloads.load(Ordering::Relaxed))
-            .int("jobs_submitted", state.jobs.submitted())
-            .build(),
-    )
+    ok(json::Object::new()
+        .str("pair", &pair.name)
+        .raw("kb1", image.kb1_stats_json.clone())
+        .raw("kb2", image.kb2_stats_json.clone())
+        .int("aligned_instances", image.aligned_instances as u64)
+        .int(
+            "instance_equivalences",
+            image.image.num_instance_pairs() as u64,
+        )
+        .int("literal_pairs", image.image.literal_pairs() as u64)
+        .int("iterations", image.image.iterations_len() as u64)
+        .bool("converged", image.image.converged())
+        .str(
+            "format",
+            if image.image.format_version() == 2 {
+                "v2"
+            } else {
+                "v1"
+            },
+        )
+        .bool("mapped", image.image.is_mapped())
+        .int("resident_bytes", image.resident_bytes)
+        .int("generation", image.generation)
+        .int("reloads", pair.reloads.load(Ordering::Relaxed))
+        .int("jobs_submitted", state.jobs.submitted())
+        .build())
 }
 
 fn list_pairs(state: &ServeState, _req: &Request) -> Response {
@@ -1365,13 +1464,10 @@ fn list_pairs(state: &ServeState, _req: &Request) -> Response {
         }
         obj.build()
     });
-    Response::json(
-        200,
-        json::Object::new()
-            .str("default", &default_name)
-            .raw("pairs", json::array(rendered))
-            .build(),
-    )
+    ok(json::Object::new()
+        .str("default", &default_name)
+        .raw("pairs", json::array(rendered))
+        .build())
 }
 
 /// `POST /reload` (bare legacy route): reload the default pair. With no
@@ -1435,21 +1531,19 @@ fn reload(
     let t0 = Instant::now();
     // A failed load never disturbs the image currently serving.
     match state.catalog.reload_pair(pair, override_path.as_deref()) {
-        Ok(image) => Response::json(
-            200,
-            json::Object::new()
-                .str("pair", &pair.name)
-                .int("generation", image.generation)
-                .int("aligned_instances", image.aligned_instances as u64)
-                .num("load_seconds", t0.elapsed().as_secs_f64())
-                .build(),
-        ),
+        Ok(image) => ok(json::Object::new()
+            .str("pair", &pair.name)
+            .int("generation", image.generation)
+            .int("aligned_instances", image.aligned_instances as u64)
+            .num("load_seconds", t0.elapsed().as_secs_f64())
+            .build()),
         // A client-named path that fails is the client's error (400);
         // the pair's own file failing is the server's (500).
         Err(e) => error(if override_path.is_some() { 400 } else { 500 }, &e),
     }
 }
 
+#[allow(clippy::result_large_err)] // the Err *is* the response
 fn parse_side(req: &Request) -> Result<PairSide, Response> {
     match req.query_param("side") {
         None | Some("left") => Ok(PairSide::Kb1),
@@ -1461,10 +1555,84 @@ fn parse_side(req: &Request) -> Result<PairSide, Response> {
     }
 }
 
+#[allow(clippy::result_large_err)] // the Err *is* the response
 fn require_iri(req: &Request) -> Result<&str, Response> {
     req.query_param("iri")
         .filter(|s| !s.is_empty())
         .ok_or_else(|| error(400, "missing required query parameter 'iri'"))
+}
+
+/// Renders the `sameas` data object of one lookup — shared by the GET
+/// route and the batch endpoint — or `(status, message)` on failure.
+fn sameas_data(
+    img: &PairImage,
+    pair_name: &str,
+    iri: &str,
+    side: PairSide,
+    threshold: f64,
+) -> Result<String, (u16, String)> {
+    let Some(x) = img.entity_by_iri(side, iri) else {
+        return Err((404, format!("unknown IRI {iri} in {}", img.kb_name(side))));
+    };
+    let dst = match side {
+        PairSide::Kb1 => PairSide::Kb2,
+        PairSide::Kb2 => PairSide::Kb1,
+    };
+    let obj = json::Object::new().str("pair", pair_name).str("iri", iri);
+    Ok(
+        match img
+            .best_match_from(side, x)
+            .filter(|&(_, p)| p >= threshold)
+        {
+            Some((e, p)) => {
+                let matched = img.entity_iri(dst, e).unwrap_or_default();
+                obj.str("sameas", &matched).num("score", p).build()
+            }
+            None => obj.raw("sameas", "null").num("score", 0.0).build(),
+        },
+    )
+}
+
+/// Renders one `neighbors` page — shared by the GET route and the batch
+/// endpoint. `limit` is clamped to [`NEIGHBORS_MAX_LIMIT`]; `offset`
+/// pages through entities with more facts than one response should
+/// carry.
+fn neighbors_data(
+    img: &PairImage,
+    pair_name: &str,
+    iri: &str,
+    side: PairSide,
+    offset: usize,
+    limit: usize,
+) -> Result<String, (u16, String)> {
+    let limit = limit.min(NEIGHBORS_MAX_LIMIT);
+    let Some(e) = img.entity_by_iri(side, iri) else {
+        return Err((404, format!("unknown IRI {iri} in {}", img.kb_name(side))));
+    };
+    let total = img.facts_len(side, e);
+    let rendered = img.facts_page(side, e, offset, limit).into_iter().map(|f| {
+        json::Object::new()
+            .str("relation", &f.relation)
+            .bool("inverse", f.inverse)
+            .str("value", &f.value)
+            .num("functionality", f.functionality)
+            .build()
+    });
+    Ok(json::Object::new()
+        .str("pair", pair_name)
+        .str("iri", iri)
+        .int("total_facts", total as u64)
+        .int("offset", offset as u64)
+        .int("limit", limit as u64)
+        .raw("facts", json::array(rendered))
+        .build())
+}
+
+fn data_or_error(result: Result<String, (u16, String)>) -> Response {
+    match result {
+        Ok(data) => ok(data),
+        Err((status, message)) => error(status, &message),
+    }
 }
 
 fn sameas(state: &ServeState, req: &Request, pair: &Arc<PairState>) -> Response {
@@ -1484,39 +1652,7 @@ fn sameas(state: &ServeState, req: &Request, pair: &Arc<PairState>) -> Response 
         Ok(i) => i,
         Err(e) => return e,
     };
-
-    let img = &image.image;
-    let Some(x) = img.entity_by_iri(side, iri) else {
-        return error(404, &format!("unknown IRI {iri} in {}", img.kb_name(side)));
-    };
-    let dst = match side {
-        PairSide::Kb1 => PairSide::Kb2,
-        PairSide::Kb2 => PairSide::Kb1,
-    };
-    match img
-        .best_match_from(side, x)
-        .filter(|&(_, p)| p >= threshold)
-    {
-        Some((e, p)) => {
-            let matched = img.entity_iri(dst, e).unwrap_or_default();
-            Response::json(
-                200,
-                json::Object::new()
-                    .str("iri", iri)
-                    .str("sameas", &matched)
-                    .num("score", p)
-                    .build(),
-            )
-        }
-        None => Response::json(
-            200,
-            json::Object::new()
-                .str("iri", iri)
-                .raw("sameas", "null")
-                .num("score", 0.0)
-                .build(),
-        ),
-    }
+    data_or_error(sameas_data(&image.image, &pair.name, iri, side, threshold))
 }
 
 fn neighbors(state: &ServeState, req: &Request, pair: &Arc<PairState>) -> Response {
@@ -1529,34 +1665,201 @@ fn neighbors(state: &ServeState, req: &Request, pair: &Arc<PairState>) -> Respon
         Err(e) => return e,
     };
     let limit: usize = match req.query_param("limit").map(str::parse).transpose() {
-        Ok(l) => l.unwrap_or(50),
+        Ok(l) => l.unwrap_or(NEIGHBORS_DEFAULT_LIMIT),
         Err(_) => return error(400, "limit must be an integer"),
+    };
+    let offset: usize = match req.query_param("offset").map(str::parse).transpose() {
+        Ok(o) => o.unwrap_or(0),
+        Err(_) => return error(400, "offset must be an integer"),
+    };
+    let image = match image_or_error(state, pair) {
+        Ok(i) => i,
+        Err(e) => return e,
+    };
+    data_or_error(neighbors_data(
+        &image.image,
+        &pair.name,
+        iri,
+        side,
+        offset,
+        limit,
+    ))
+}
+
+/// `GET /v1/pairs/<name>/explain?left=…&right=…`: *why* does the stored
+/// model believe (or not believe) `left ≡ right`? Answers with the
+/// Eq. 13 evidence read from the serving image — decoded v1 and mapped
+/// v2 images produce byte-identical bodies — plus the assignment
+/// decision exactly as `sameas` would serve it. The `score` is
+/// `1 − ∏ factorᵢ` over the listed evidence, multiplied in listed
+/// order, so a client re-folding the served factors reproduces it bit
+/// for bit.
+fn explain(state: &ServeState, req: &Request, pair: &Arc<PairState>) -> Response {
+    let param = |name: &str| req.query_param(name).filter(|s| !s.is_empty());
+    let (Some(left), Some(right)) = (param("left"), param("right")) else {
+        return error(
+            400,
+            "explain needs 'left' (a KB-1 IRI) and 'right' (a KB-2 IRI)",
+        );
     };
     let image = match image_or_error(state, pair) {
         Ok(i) => i,
         Err(e) => return e,
     };
     let img = &image.image;
-    let Some(e) = img.entity_by_iri(side, iri) else {
-        return error(404, &format!("unknown IRI {iri} in {}", img.kb_name(side)));
+    let Some(x) = img.entity_by_iri(PairSide::Kb1, left) else {
+        return error(
+            404,
+            &format!("unknown IRI {left} in {}", img.kb_name(PairSide::Kb1)),
+        );
     };
-    let total = img.facts_len(side, e);
-    let rendered = img.facts_page(side, e, limit).into_iter().map(|f| {
+    let Some(x2) = img.entity_by_iri(PairSide::Kb2, right) else {
+        return error(
+            404,
+            &format!("unknown IRI {right} in {}", img.kb_name(PairSide::Kb2)),
+        );
+    };
+    for (iri, side, e) in [(left, PairSide::Kb1, x), (right, PairSide::Kb2, x2)] {
+        if img.entity_kind(side, e) != EntityKind::Instance {
+            return error(
+                400,
+                &format!("{iri} is not an instance (Eq. 13 explains instance pairs)"),
+            );
+        }
+    }
+    // Bound the Eq. 13 enumeration before starting it — two hub
+    // entities must not pin a worker thread for minutes.
+    let pairs = img.facts_len(PairSide::Kb1, x) * img.facts_len(PairSide::Kb2, x2);
+    if pairs > EXPLAIN_MAX_STATEMENT_PAIRS {
+        return error(
+            400,
+            &format!(
+                "explaining this pair would examine {pairs} statement pairs \
+                 (cap {EXPLAIN_MAX_STATEMENT_PAIRS}); these entities are too \
+                 connected to explain synchronously"
+            ),
+        );
+    }
+    let ex = explain_stored(img, x, x2);
+    let assigned = img
+        .best_match_from(PairSide::Kb1, x)
+        .is_some_and(|(e, _)| e == x2);
+    // The assignment member is rendered by the same function as the
+    // sameas route, so the two answers are bit-identical by construction.
+    let assignment = sameas_data(img, &pair.name, left, PairSide::Kb1, 0.0)
+        .expect("entity existence was checked above");
+    let evidence = ex.evidence.iter().map(|ev| {
         json::Object::new()
-            .str("relation", &f.relation)
-            .bool("inverse", f.inverse)
-            .str("value", &f.value)
-            .num("functionality", f.functionality)
+            .str("relation_left", &ev.relation_1)
+            .bool("inverse_left", ev.inverse_1)
+            .str("relation_right", &ev.relation_2)
+            .bool("inverse_right", ev.inverse_2)
+            .str("neighbor_left", &ev.neighbor_1)
+            .str("neighbor_right", &ev.neighbor_2)
+            .num("neighbor_prob", ev.neighbor_prob)
+            .num("inv_functionality_left", ev.inv_functionality_1)
+            .num("inv_functionality_right", ev.inv_functionality_2)
+            .num("subrel_right_in_left", ev.subrel_2in1)
+            .num("subrel_left_in_right", ev.subrel_1in2)
+            .num("factor", ev.factor)
+            .num("contribution", ev.solo_score())
             .build()
     });
-    Response::json(
-        200,
-        json::Object::new()
-            .str("iri", iri)
-            .int("total_facts", total as u64)
-            .raw("facts", json::array(rendered))
-            .build(),
-    )
+    ok(json::Object::new()
+        .str("pair", &pair.name)
+        .str("left", left)
+        .str("right", right)
+        .num("score", ex.score)
+        .num("stored_score", ex.stored_prob)
+        .bool("assigned", assigned)
+        .raw("assignment", assignment)
+        .int("evidence_count", ex.evidence.len() as u64)
+        .raw("evidence", json::array(evidence))
+        .build())
+}
+
+/// `POST /v1/pairs/<name>/query`: up to [`MAX_BATCH_QUERIES`] mixed
+/// `sameas` / `neighbors` lookups in one round-trip, all answered from a
+/// **single** `Arc` acquisition of the pair's image — no per-lookup
+/// routing, locking, or HTTP overhead. Per-query failures come back in
+/// place (`{"error":{code,message}}`), so one bad IRI does not fail its
+/// siblings; the batch itself only errors on a malformed body.
+fn batch_query(state: &ServeState, req: &Request, pair: &Arc<PairState>) -> Response {
+    let Ok(body) = std::str::from_utf8(&req.body) else {
+        return error(400, "body must be UTF-8 JSON");
+    };
+    let doc = match json::parse(body) {
+        Ok(d) => d,
+        Err(e) => return error(400, &format!("body is not valid JSON: {e}")),
+    };
+    let Some(queries) = doc.get("queries").and_then(json::Json::as_array) else {
+        return error(400, "body must be {\"queries\":[{\"op\":…},…]}");
+    };
+    if queries.len() > MAX_BATCH_QUERIES {
+        return error(
+            400,
+            &format!(
+                "batch of {} lookups exceeds the cap of {MAX_BATCH_QUERIES}",
+                queries.len()
+            ),
+        );
+    }
+    let image = match image_or_error(state, pair) {
+        Ok(i) => i,
+        Err(e) => return e,
+    };
+    let results = queries
+        .iter()
+        .map(|q| match batch_one(&image.image, &pair.name, q) {
+            Ok(data) => data,
+            Err((status, message)) => format!("{{\"error\":{}}}", error_object(status, &message)),
+        });
+    ok(json::Object::new()
+        .str("pair", &pair.name)
+        .int("generation", image.generation)
+        .int("count", queries.len() as u64)
+        .raw("results", json::array(results))
+        .build())
+}
+
+/// One lookup of a batch body:
+/// `{"op":"sameas"|"neighbors","iri":…[,"side"][,"threshold"][,"limit"][,"offset"]}`.
+fn batch_one(img: &PairImage, pair_name: &str, q: &json::Json) -> Result<String, (u16, String)> {
+    use json::Json;
+    let str_field = |key: &str| q.get(key).and_then(Json::as_str);
+    let iri = str_field("iri")
+        .filter(|s| !s.is_empty())
+        .ok_or_else(|| (400, "query needs an 'iri'".to_owned()))?;
+    let side = match str_field("side") {
+        None | Some("left") => PairSide::Kb1,
+        Some("right") => PairSide::Kb2,
+        Some(other) => return Err((400, format!("side must be left or right, not '{other}'"))),
+    };
+    match str_field("op") {
+        Some("sameas") => {
+            let threshold = match q.get("threshold") {
+                None => 0.0,
+                Some(t) => t
+                    .as_f64()
+                    .ok_or_else(|| (400, "threshold must be a number".to_owned()))?,
+            };
+            sameas_data(img, pair_name, iri, side, threshold)
+        }
+        Some("neighbors") => {
+            let int_field = |key: &str, default: usize| match q.get(key) {
+                None => Ok(default),
+                Some(v) => v
+                    .as_u64()
+                    .map(|n| n as usize)
+                    .ok_or_else(|| (400, format!("{key} must be a non-negative integer"))),
+            };
+            let limit = int_field("limit", NEIGHBORS_DEFAULT_LIMIT)?;
+            let offset = int_field("offset", 0)?;
+            neighbors_data(img, pair_name, iri, side, offset, limit)
+        }
+        Some(other) => Err((400, format!("unknown op '{other}' (sameas, neighbors)"))),
+        None => Err((400, "query needs an 'op' (sameas or neighbors)".to_owned())),
+    }
 }
 
 fn submit_align(state: &ServeState, req: &Request) -> Response {
@@ -1597,11 +1900,11 @@ fn submit_align(state: &ServeState, req: &Request) -> Response {
         out: get("out"),
         max_iterations,
     });
-    Response::json(
+    ok_status(
         202,
         json::Object::new()
             .int("job", id)
-            .str("poll", &format!("/jobs/{id}"))
+            .str("poll", &format!("/v1/jobs/{id}"))
             .build(),
     )
 }
@@ -1630,7 +1933,7 @@ fn job_status(state: &ServeState, id: &str) -> Response {
         JobState::Failed(message) => obj = obj.str("error", &message),
         JobState::Queued | JobState::Running => {}
     }
-    Response::json(200, obj.build())
+    ok(obj.build())
 }
 
 #[cfg(test)]
@@ -2395,6 +2698,227 @@ mod tests {
             .unwrap()
             .contains("\"pair\":\"beta\""));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // ------------------------------------------------------------------
+    // The /v1 contract: envelope, aliases, batch, explain, pagination
+    // ------------------------------------------------------------------
+
+    fn post_json(path: &str, body: &str) -> Request {
+        let mut req = get(path);
+        req.method = "POST".into();
+        req.body = body.as_bytes().to_vec();
+        req
+    }
+
+    #[test]
+    fn v1_and_legacy_routes_answer_identically_with_one_warning_header() {
+        let s = state();
+        for (legacy, v1) in [
+            ("/healthz", "/v1/healthz"),
+            ("/pairs", "/v1/pairs"),
+            ("/stats", "/v1/pairs/default/stats"),
+            (
+                "/sameas?iri=http://a/p1",
+                "/v1/pairs/default/sameas?iri=http://a/p1",
+            ),
+            (
+                "/neighbors?iri=http://a/p0",
+                "/v1/pairs/default/neighbors?iri=http://a/p0",
+            ),
+            ("/pairs/default/stats", "/v1/pairs/default/stats"),
+        ] {
+            let old = route(&s, &get(legacy));
+            let new = route(&s, &get(v1));
+            assert_eq!(old.status, 200, "{legacy}");
+            assert_eq!(new.status, 200, "{v1}");
+            // healthz bodies differ only in uptime; compare the rest.
+            if !legacy.contains("healthz") {
+                assert_eq!(old.body, new.body, "{legacy} vs {v1}");
+            }
+            // Exactly one deprecation warning, on the legacy spelling only.
+            assert_eq!(
+                old.extra_headers
+                    .iter()
+                    .filter(|(n, _)| *n == "Warning")
+                    .count(),
+                1,
+                "{legacy}"
+            );
+            assert!(new.extra_headers.is_empty(), "{v1}");
+        }
+    }
+
+    #[test]
+    fn envelope_wraps_data_and_errors_on_both_namespaces() {
+        let s = state();
+        let ok = route(&s, &get("/v1/pairs/default/sameas?iri=http://a/p1"));
+        let body = String::from_utf8(ok.body).unwrap();
+        assert!(body.starts_with("{\"data\":{"), "{body}");
+
+        for (req, status, code) in [
+            (get("/v1/pairs/default/sameas"), 400, "bad_request"),
+            (get("/v1/pairs/nope/stats"), 404, "not_found"),
+            (get("/v1/nope"), 404, "not_found"),
+            (get("/sameas"), 400, "bad_request"),
+            (get("/nope"), 404, "not_found"),
+            (
+                post_reload("/v1/pairs/default/stats", b""),
+                405,
+                "method_not_allowed",
+            ),
+            (post_reload("/stats", b""), 405, "method_not_allowed"),
+        ] {
+            let r = route(&s, &req);
+            assert_eq!(r.status, status, "{}", req.path);
+            let body = String::from_utf8(r.body).unwrap();
+            assert!(
+                body.starts_with(&format!("{{\"error\":{{\"code\":\"{code}\"")),
+                "{}: {body}",
+                req.path
+            );
+        }
+    }
+
+    #[test]
+    fn neighbors_paginates_with_a_hard_cap() {
+        let s = state_with_pair(snapshot_of(1), None);
+        // p0 has exactly one fact (the email literal).
+        let one = |path: &str| {
+            let r = route(&s, &get(path));
+            assert_eq!(r.status, 200, "{path}");
+            String::from_utf8(r.body).unwrap()
+        };
+        let full = one("/v1/pairs/default/neighbors?iri=http://a/p0");
+        assert!(full.contains("\"total_facts\":1"), "{full}");
+        assert!(full.contains("\"offset\":0"), "{full}");
+        assert!(full.contains("p0@x.org"), "{full}");
+
+        // An offset past the end yields an empty page, same totals.
+        let past = one("/v1/pairs/default/neighbors?iri=http://a/p0&offset=5");
+        assert!(past.contains("\"total_facts\":1"), "{past}");
+        assert!(past.contains("\"facts\":[]"), "{past}");
+
+        // The limit is clamped to the documented cap.
+        let clamped = one("/v1/pairs/default/neighbors?iri=http://a/p0&limit=999999");
+        assert!(
+            clamped.contains(&format!("\"limit\":{NEIGHBORS_MAX_LIMIT}")),
+            "{clamped}"
+        );
+        assert_eq!(
+            route(
+                &s,
+                &get("/v1/pairs/default/neighbors?iri=http://a/p0&offset=x")
+            )
+            .status,
+            400
+        );
+    }
+
+    #[test]
+    fn batch_answers_mixed_queries_from_one_image() {
+        let s = state();
+        let body = r#"{"queries":[
+            {"op":"sameas","iri":"http://a/p1"},
+            {"op":"neighbors","iri":"http://a/p0","limit":1},
+            {"op":"sameas","iri":"http://a/nope"},
+            {"op":"sameas","iri":"http://b/q2","side":"right"},
+            {"op":"flarp","iri":"http://a/p1"}]}"#;
+        let r = route(&s, &post_json("/v1/pairs/default/query", body));
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8(r.body));
+        let text = String::from_utf8(r.body).unwrap();
+        assert!(text.contains("\"count\":5"), "{text}");
+        // Successful lookups answer in place…
+        assert!(text.contains("http://b/q1"), "{text}");
+        assert!(text.contains("http://a/p2"), "{text}");
+        assert!(text.contains("\"total_facts\":1"), "{text}");
+        // …and failures come back per-query without failing the batch.
+        assert!(text.contains("\"code\":\"not_found\""), "{text}");
+        assert!(text.contains("\"code\":\"bad_request\""), "{text}");
+
+        // The batch answer equals the sequential answers, element-wise.
+        let single = route(&s, &get("/v1/pairs/default/sameas?iri=http://a/p1"));
+        let single = String::from_utf8(single.body).unwrap();
+        let inner = single
+            .strip_prefix("{\"data\":")
+            .and_then(|s| s.strip_suffix('}'))
+            .unwrap();
+        assert!(text.contains(inner), "{text} should embed {inner}");
+    }
+
+    #[test]
+    fn batch_rejects_malformed_bodies_and_oversized_batches() {
+        let s = state();
+        for body in ["", "not json", "{}", "{\"queries\":3}"] {
+            let r = route(&s, &post_json("/v1/pairs/default/query", body));
+            assert_eq!(r.status, 400, "{body:?}");
+        }
+        let many: Vec<String> = (0..MAX_BATCH_QUERIES + 1)
+            .map(|_| "{\"op\":\"sameas\",\"iri\":\"http://a/p1\"}".to_owned())
+            .collect();
+        let r = route(
+            &s,
+            &post_json(
+                "/v1/pairs/default/query",
+                &format!("{{\"queries\":{}}}", json::array(many)),
+            ),
+        );
+        assert_eq!(r.status, 400);
+        assert!(
+            String::from_utf8(r.body).unwrap().contains("cap"),
+            "cap named"
+        );
+        // Wrong method gets a 405 with Allow.
+        let r = route(&s, &get("/v1/pairs/default/query"));
+        assert_eq!(r.status, 405);
+        assert_eq!(r.allow, Some("POST"));
+    }
+
+    #[test]
+    fn explain_reports_evidence_score_and_assignment() {
+        let s = state();
+        let r = route(
+            &s,
+            &get("/v1/pairs/default/explain?left=http://a/p1&right=http://b/q1"),
+        );
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8(r.body));
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("\"assigned\":true"), "{body}");
+        assert!(
+            body.contains("\"relation_left\":\"http://a/email\""),
+            "{body}"
+        );
+        assert!(body.contains("\"neighbor_left\":\"p1@x.org\""), "{body}");
+        assert!(body.contains("\"evidence_count\":1"), "{body}");
+        // The assignment member is byte-identical to the sameas answer.
+        let sameas = route(&s, &get("/v1/pairs/default/sameas?iri=http://a/p1"));
+        let sameas = String::from_utf8(sameas.body).unwrap();
+        let inner = sameas
+            .strip_prefix("{\"data\":")
+            .and_then(|s| s.strip_suffix('}'))
+            .unwrap();
+        assert!(body.contains(inner), "{body} should embed {inner}");
+
+        // A non-assigned candidate still explains (with weaker evidence).
+        let weak = route(
+            &s,
+            &get("/v1/pairs/default/explain?left=http://a/p1&right=http://b/q2"),
+        );
+        assert_eq!(weak.status, 200);
+        let weak = String::from_utf8(weak.body).unwrap();
+        assert!(weak.contains("\"assigned\":false"), "{weak}");
+        assert!(weak.contains("\"stored_score\":0"), "{weak}");
+
+        // Parameter and lookup failures are structured.
+        assert_eq!(route(&s, &get("/v1/pairs/default/explain")).status, 400);
+        assert_eq!(
+            route(
+                &s,
+                &get("/v1/pairs/default/explain?left=http://a/p1&right=x")
+            )
+            .status,
+            404
+        );
     }
 
     #[test]

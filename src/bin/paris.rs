@@ -15,6 +15,7 @@
 //! paris serve --catalog mirror/ --replica-of http://primary:7070
 //!                                                    # serve as a read replica
 //! paris sync http://primary:7070 mirror/             # one-shot catalog mirror
+//! paris query http://host:7070 sameas http://a/p6    # typed /v1 client
 //! ```
 //!
 //! Arguments are parsed by hand — the tool's surface is small and the
@@ -44,6 +45,7 @@ USAGE:
   paris serve <FILE.snap> [SERVE OPTIONS]
   paris serve --catalog <DIR> [SERVE OPTIONS]
   paris sync <URL> <DIR>
+  paris query <URL[,URL…]> <health|pairs|stats|sameas|neighbors|explain|batch> [ARGS]
   paris version
 
 Input files may be N-Triples (.nt), Turtle (.ttl/.turtle), or tab-separated
@@ -107,29 +109,35 @@ SERVE:
   Serve one aligned-pair snapshot (positional FILE.snap) or a whole
   directory of them (--catalog DIR: every NAME.snap becomes the pair
   NAME, opened lazily on first hit — v1 files decode, v2 files mmap)
-  over HTTP/1.1:
-    GET  /pairs                   the catalog: names, generations, state
-    GET  /pairs/<p>/sameas?iri=I  best match of an instance (&side=right,
-                                  &threshold=T to filter by score)
-    GET  /pairs/<p>/neighbors?iri=I  facts around an entity (&limit=N)
-    GET  /pairs/<p>/stats         KB + alignment statistics of one pair
-    GET  /pairs/<p>/healthz       per-pair liveness + generation
-    GET  /pairs/<p>/snapshot      raw snapshot bytes (checksum ETag; a
+  over HTTP/1.1. The API is the versioned /v1 namespace; every JSON
+  answer is enveloped ({\"data\":...} / {\"error\":{code,message}}):
+    GET  /v1/pairs                the catalog: names, generations, state
+    GET  /v1/pairs/<p>/sameas?iri=I   best match of an instance
+                                  (&side=right, &threshold=T to filter)
+    GET  /v1/pairs/<p>/neighbors?iri=I   facts around an entity,
+                                  paginated (&limit=N cap 1000, &offset=K)
+    GET  /v1/pairs/<p>/explain?left=L&right=R   the stored Eq. 13
+                                  evidence for one candidate pair
+    POST /v1/pairs/<p>/query      batch: up to 256 mixed lookups in one
+                                  round-trip (JSON body {\"queries\":[...]})
+    GET  /v1/pairs/<p>/stats      KB + alignment statistics of one pair
+    GET  /v1/pairs/<p>/healthz    per-pair liveness + generation
+    GET  /v1/pairs/<p>/snapshot   raw snapshot bytes (checksum ETag; a
                                   matching If-None-Match costs 0 bytes)
-    GET  /pairs/manifest          replication manifest: every pair's
+    GET  /v1/pairs/manifest       replication manifest: every pair's
                                   format, generation, length, checksum
-    POST /pairs/<p>/reload        atomically swap that pair's snapshot
-    GET  /healthz                 liveness, version, role, pair count
+    POST /v1/pairs/<p>/reload     atomically swap that pair's snapshot
+    GET  /v1/healthz              liveness, version, role, pair count
                                   (on a replica: upstream, last sync,
                                   per-pair generation lag)
-    GET  /sameas, /neighbors, /stats, POST /reload
-                                  aliases of the default pair ('default'
-                                  if present, else alphabetically first)
-    POST /align                   enqueue alignment of two single-KB
+    POST /v1/align                enqueue alignment of two single-KB
                                   snapshots (form fields left=, right=,
                                   optional out=, max_iterations=)
-    GET  /jobs/<id>               poll a job
-  See docs/HTTP_API.md for the full reference.
+    GET  /v1/jobs/<id>            poll a job
+  Every pre-v1 route keeps working as a deprecated alias (same bytes,
+  one Warning header); the bare /sameas, /neighbors, /stats, /reload
+  aliases answer for the default pair ('default' if present, else
+  alphabetically first). See docs/HTTP_API.md for the full reference.
   --catalog <DIR>         serve every *.snap in DIR as a named pair
   --addr <HOST:PORT>      bind address             [default: 127.0.0.1:7070]
   --threads <N>           request worker threads   [default: 4]
@@ -153,6 +161,27 @@ SERVE:
                           hot-reload them. Composes with --watch and
                           --max-resident. See docs/REPLICATION.md.
   --sync-interval <SECS>  replica manifest poll cadence  [default: 1]
+
+QUERY:
+  `paris query` speaks the daemon's versioned /v1 API through the typed
+  `paris-client` crate — ETag-cached conditional GETs, and transparent
+  failover across a comma-separated upstream list (reads go to whichever
+  answers; probe roles with `health`).
+    paris query URL health                          role, version, pair count
+    paris query URL pairs                           the catalog
+    paris query URL stats [--pair NAME]             one pair's statistics
+    paris query URL sameas <IRI> [--pair NAME] [--side left|right]
+                                [--threshold F]     best match of an instance
+    paris query URL neighbors <IRI> [--pair NAME] [--side left|right]
+                                [--limit N] [--offset N]   facts, paginated
+    paris query URL explain <LEFT_IRI> <RIGHT_IRI> [--pair NAME]
+                                the stored Eq. 13 evidence: every factor's
+                                relations, functionalities, neighbor pair
+                                probability, and the assignment decision
+    paris query URL batch <FILE.json|-> [--pair NAME]
+                                up to 256 mixed lookups in ONE round-trip
+                                (FILE holds the /v1 batch body or the bare
+                                queries array; '-' reads stdin)
 
 SYNC:
   `paris sync <URL> <DIR>` runs exactly one replication cycle against
@@ -189,6 +218,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("delta") => delta(&args[1..]),
         Some("serve") => serve(&args[1..]),
         Some("sync") => sync(&args[1..]),
+        Some("query") => query(&args[1..]),
         Some("version") | Some("--version") | Some("-V") => {
             println!("{}", version_string());
             Ok(())
@@ -1118,7 +1148,7 @@ fn serve(args: &[String]) -> Result<(), String> {
     let addr = server
         .local_addr()
         .map_err(|e| format!("resolving bound address: {e}"))?;
-    eprintln!("serving on http://{addr}  (try: curl 'http://{addr}/healthz')");
+    eprintln!("serving on http://{addr}  (try: curl 'http://{addr}/v1/healthz')");
     server.run().map_err(|e| format!("server error: {e}"))
 }
 
@@ -1164,6 +1194,239 @@ fn sync(args: &[String]) -> Result<(), String> {
         ));
     }
     Ok(())
+}
+
+/// `paris query`: the typed `/v1` client — sameas/neighbors/explain/
+/// batch/stats against one daemon or a failover list.
+fn query(args: &[String]) -> Result<(), String> {
+    use paris_repro::client::{ParisClient, Query, Side};
+
+    let (positional, flags) = split_query_args(args)?;
+    let [urls, command, rest @ ..] = positional.as_slice() else {
+        return Err("query needs an upstream URL (or comma-separated list) and a command".into());
+    };
+    let upstreams: Vec<&str> = urls.split(',').filter(|u| !u.is_empty()).collect();
+    let mut client =
+        ParisClient::with_upstreams(&upstreams).map_err(|e| format!("bad upstream: {e}"))?;
+
+    let flag = |name: &str| {
+        flags
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    let pair = flag("--pair");
+    let side = match flag("--side") {
+        None | Some("left") => Side::Left,
+        Some("right") => Side::Right,
+        Some(other) => return Err(format!("--side must be left or right, not '{other}'")),
+    };
+    let parse_num = |name: &str| -> Result<Option<u64>, String> {
+        flag(name)
+            .map(|v| v.parse().map_err(|_| format!("bad {name} value '{v}'")))
+            .transpose()
+    };
+    let err = |e: paris_repro::client::ClientError| e.to_string();
+
+    match (command.as_str(), rest) {
+        ("health", []) => {
+            let h = client.healthz().map_err(err)?;
+            println!(
+                "{} paris {} ({}): {} pair(s), default generation {}",
+                h.status, h.version, h.role, h.pairs, h.generation
+            );
+        }
+        ("pairs", []) => {
+            let (default, pairs) = client.pairs().map_err(err)?;
+            for p in pairs {
+                println!(
+                    "{:<24} {:<9} generation {}{}",
+                    p.name,
+                    if p.loaded { "loaded" } else { "unloaded" },
+                    p.generation,
+                    if p.name == default { "  (default)" } else { "" },
+                );
+            }
+        }
+        ("stats", []) => {
+            let s = client.stats(pair).map_err(err)?;
+            println!(
+                "pair {} ({}): {} aligned instances, {} equivalences, generation {}, converged {}",
+                s.pair,
+                s.format,
+                s.aligned_instances,
+                s.instance_equivalences,
+                s.generation,
+                s.converged,
+            );
+        }
+        ("sameas", [iri]) => {
+            let threshold = flag("--threshold")
+                .map(|v| v.parse::<f64>().map_err(|_| "bad --threshold value"))
+                .transpose()?;
+            let a = client.sameas(pair, iri, side, threshold).map_err(err)?;
+            match a.sameas {
+                Some(m) => println!("{} ≡ {}  Pr={}", a.iri, m, a.score),
+                None => println!("{}: no match", a.iri),
+            }
+        }
+        ("neighbors", [iri]) => {
+            let limit = parse_num("--limit")?;
+            let offset = parse_num("--offset")?.unwrap_or(0);
+            let n = client
+                .neighbors(pair, iri, side, limit, offset)
+                .map_err(err)?;
+            println!(
+                "{}: {} fact(s), showing {} from offset {}",
+                n.iri,
+                n.total_facts,
+                n.facts.len(),
+                n.offset
+            );
+            for f in n.facts {
+                println!(
+                    "  {}{:<1} {}  (fun {:.2})",
+                    f.relation,
+                    if f.inverse { "⁻" } else { "" },
+                    f.value,
+                    f.functionality
+                );
+            }
+        }
+        ("explain", [left, right]) => {
+            let ex = client.explain(pair, left, right).map_err(err)?;
+            println!(
+                "Pr({} ≡ {}) = {:.4} from {} piece(s) of evidence (stored {:.4}, assigned: {})",
+                ex.left,
+                ex.right,
+                ex.score,
+                ex.evidence.len(),
+                ex.stored_score,
+                ex.assigned,
+            );
+            for e in &ex.evidence {
+                println!(
+                    "  {}({}) ~ {}({})  Pr(y≡y′)={:.2} fun⁻¹={:.2}/{:.2} → +{:.3}",
+                    e.relation_left,
+                    e.neighbor_left,
+                    e.relation_right,
+                    e.neighbor_right,
+                    e.neighbor_prob,
+                    e.inv_functionality_left,
+                    e.inv_functionality_right,
+                    1.0 - e.factor,
+                );
+            }
+            match &ex.assignment.sameas {
+                Some(m) => println!(
+                    "assignment: {} ≡ {}  Pr={}",
+                    ex.left, m, ex.assignment.score
+                ),
+                None => println!("assignment: {} is unassigned", ex.left),
+            }
+        }
+        ("batch", [file]) => {
+            let text = if file.as_str() == "-" {
+                use std::io::Read;
+                let mut buf = String::new();
+                std::io::stdin()
+                    .read_to_string(&mut buf)
+                    .map_err(|e| format!("reading stdin: {e}"))?;
+                buf
+            } else {
+                std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?
+            };
+            let queries = parse_batch_file(&text)?;
+            let results = client.batch(pair, &queries).map_err(err)?;
+            for (query, result) in queries.iter().zip(results) {
+                let iri = match query {
+                    Query::Sameas { iri, .. } | Query::Neighbors { iri, .. } => iri,
+                };
+                match result {
+                    Ok(paris_repro::client::BatchAnswer::Sameas(a)) => match a.sameas {
+                        Some(m) => println!("{iri} ≡ {m}  Pr={}", a.score),
+                        None => println!("{iri}: no match"),
+                    },
+                    Ok(paris_repro::client::BatchAnswer::Neighbors(n)) => {
+                        println!("{iri}: {} fact(s)", n.total_facts)
+                    }
+                    Err(e) => println!("{iri}: ERROR {e}"),
+                }
+            }
+        }
+        _ => {
+            return Err(format!(
+                "unknown query command '{command}' (or wrong arguments); \
+                 expected health, pairs, stats, sameas IRI, neighbors IRI, \
+                 explain LEFT RIGHT, or batch FILE"
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// Positional arguments plus `--flag value` pairs of `paris query`.
+type SplitQueryArgs = (Vec<String>, Vec<(String, String)>);
+
+/// Splits `paris query` arguments into positionals and `--flag value`
+/// pairs (every query flag takes a value).
+fn split_query_args(args: &[String]) -> Result<SplitQueryArgs, String> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg.starts_with("--") {
+            let value = iter
+                .next()
+                .ok_or_else(|| format!("{arg} requires a value"))?;
+            flags.push((arg.clone(), value.clone()));
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    Ok((positional, flags))
+}
+
+/// Parses a batch file: either the full `/v1` body
+/// (`{"queries":[…]}`) or the bare queries array.
+fn parse_batch_file(text: &str) -> Result<Vec<paris_repro::client::Query>, String> {
+    use paris_repro::client::json::{self, Json};
+    use paris_repro::client::{Query, Side};
+    let doc = json::parse(text).map_err(|e| format!("batch file is not valid JSON: {e}"))?;
+    let items = doc
+        .get("queries")
+        .unwrap_or(&doc)
+        .as_array()
+        .ok_or("batch file must hold {\"queries\":[…]} or a bare array")?;
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let s = |key: &str| q.get(key).and_then(Json::as_str);
+            let iri = s("iri")
+                .ok_or_else(|| format!("query #{i} has no 'iri'"))?
+                .to_owned();
+            let side = match s("side") {
+                None | Some("left") => Side::Left,
+                Some("right") => Side::Right,
+                Some(other) => return Err(format!("query #{i}: bad side '{other}'")),
+            };
+            match s("op") {
+                Some("sameas") => Ok(Query::Sameas {
+                    iri,
+                    side,
+                    threshold: q.get("threshold").and_then(Json::as_f64),
+                }),
+                Some("neighbors") => Ok(Query::Neighbors {
+                    iri,
+                    side,
+                    limit: q.get("limit").and_then(Json::as_u64),
+                    offset: q.get("offset").and_then(Json::as_u64).unwrap_or(0),
+                }),
+                other => Err(format!("query #{i}: bad op {other:?}")),
+            }
+        })
+        .collect()
 }
 
 fn gold_tsv(instances: &[(Iri, Iri)]) -> String {
@@ -1319,6 +1582,49 @@ mod tests {
         assert!(v.contains(env!("CARGO_PKG_VERSION")), "{v}");
         assert!(v.contains("v1") && v.contains("v2"), "{v}");
         assert!(v.contains("delta format: v1"), "{v}");
+    }
+
+    #[test]
+    fn split_query_args_separates_flags() {
+        let (pos, flags) = split_query_args(&strings(&[
+            "http://x:1",
+            "sameas",
+            "http://a/p1",
+            "--pair",
+            "movies",
+            "--side",
+            "right",
+        ]))
+        .unwrap();
+        assert_eq!(pos, strings(&["http://x:1", "sameas", "http://a/p1"]));
+        assert_eq!(flags.len(), 2);
+        assert_eq!(flags[0], ("--pair".to_owned(), "movies".to_owned()));
+        assert!(split_query_args(&strings(&["--pair"])).is_err());
+    }
+
+    #[test]
+    fn parse_batch_file_accepts_both_shapes() {
+        use paris_repro::client::Query;
+        let wrapped = r#"{"queries":[{"op":"sameas","iri":"http://a/x"},
+            {"op":"neighbors","iri":"http://a/y","side":"right","limit":5,"offset":2}]}"#;
+        let bare = r#"[{"op":"sameas","iri":"http://a/x"},
+            {"op":"neighbors","iri":"http://a/y","side":"right","limit":5,"offset":2}]"#;
+        for text in [wrapped, bare] {
+            let queries = parse_batch_file(text).unwrap();
+            assert_eq!(queries.len(), 2, "{text}");
+            assert!(matches!(&queries[0], Query::Sameas { iri, .. } if iri == "http://a/x"));
+            assert!(matches!(
+                &queries[1],
+                Query::Neighbors {
+                    limit: Some(5),
+                    offset: 2,
+                    ..
+                }
+            ));
+        }
+        assert!(parse_batch_file("3").is_err());
+        assert!(parse_batch_file(r#"[{"op":"nope","iri":"x"}]"#).is_err());
+        assert!(parse_batch_file(r#"[{"op":"sameas"}]"#).is_err());
     }
 
     #[test]

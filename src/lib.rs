@@ -16,10 +16,15 @@
 //!   yago / DBpedia / IMDb,
 //! * [`eval`] — precision/recall/F evaluation and threshold curves,
 //! * [`baselines`] — the `rdfs:label` exact-match baseline,
-//! * [`server`] — the snapshot-backed alignment-serving HTTP daemon,
+//! * [`server`] — the snapshot-backed alignment-serving HTTP daemon
+//!   (versioned `/v1` query API: sameas, neighbors, batch, explain),
 //! * [`replica`] — read-replica catalog sync (manifest diffing, validated
 //!   streamed snapshot transfer) behind `paris serve --replica-of` and
-//!   `paris sync`.
+//!   `paris sync`,
+//! * [`client`] — the typed `/v1` client (`ParisClient`: ETag caching,
+//!   multi-upstream failover) behind `paris query`, plus the shared
+//!   HTTP/1.1 client and JSON implementation the rest of the serving
+//!   stack builds on.
 //!
 //! # Quickstart
 //!
@@ -47,6 +52,7 @@
 //! ```
 
 pub use paris_baselines as baselines;
+pub use paris_client as client;
 pub use paris_core as paris;
 pub use paris_datagen as datagen;
 pub use paris_eval as eval;

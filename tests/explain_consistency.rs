@@ -1,0 +1,179 @@
+//! Property test: the stored-evidence explanations served by
+//! `/v1/pairs/<name>/explain` are **consistent with the served sameas
+//! scores and identical across snapshot formats**, on randomized
+//! worlds. Cases are drawn from a seeded in-workspace RNG, so every run
+//! checks the same deterministic batch.
+//!
+//! For every aligned pair of every random world, loaded both as a
+//! decoded v1 image and as a zero-copy v2 image:
+//!
+//! 1. re-multiplying the explanation's evidence factors (in listed
+//!    order) reproduces its `score` **bit-exactly** — the served
+//!    evidence fully accounts for the served score;
+//! 2. the explanation's `stored_prob` of the assigned pair is
+//!    **bit-equal** to the probability `sameas` serves for it;
+//! 3. the v1-decoded and v2-mapped images produce identical evidence
+//!    (every rendered string and every float bit) and identical scores.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use paris_repro::kb::{Kb, KbBuilder};
+use paris_repro::paris::{
+    explain_stored, AlignedPairSnapshot, Aligner, MappedPairSnapshot, OwnedAlignment, PairImage,
+    PairSide, ParisConfig,
+};
+use paris_repro::rdf::Literal;
+
+const CASES: u64 = 10;
+
+/// A compact random world: persons with e-mail-like unique literals,
+/// shared low-functionality literals (cities), and entity-valued
+/// relations, rendered into two namespaces with overlap — the same
+/// generation style as `tests/invariants.rs`, tuned so alignments (and
+/// therefore explanations) are non-trivial.
+fn random_pair(rng: &mut StdRng) -> (Kb, Kb) {
+    let num_people = rng.random_range(4usize..14);
+    let num_cities = rng.random_range(1usize..4);
+    let mut a = KbBuilder::new("left");
+    let mut b = KbBuilder::new("right");
+    for i in 0..num_people {
+        let email = format!("p{i}@x.org");
+        a.add_literal_fact(
+            format!("http://a/p{i}"),
+            "http://a/email",
+            Literal::plain(email.clone()),
+        );
+        // The right KB drops some e-mails, so some pairs rest on weak
+        // evidence only.
+        if rng.random_range(0.0..1.0) < 0.8 {
+            b.add_literal_fact(
+                format!("http://b/q{i}"),
+                "http://b/mail",
+                Literal::plain(email),
+            );
+        }
+        let city = rng.random_range(0usize..num_cities.max(1));
+        a.add_literal_fact(
+            format!("http://a/p{i}"),
+            "http://a/city",
+            Literal::plain(format!("City{city}")),
+        );
+        b.add_literal_fact(
+            format!("http://b/q{i}"),
+            "http://b/town",
+            Literal::plain(format!("City{city}")),
+        );
+        // Entity-valued evidence: friendship edges to a random person.
+        if num_people > 1 && rng.random_range(0.0..1.0) < 0.5 {
+            let j = rng.random_range(0usize..num_people);
+            a.add_fact(
+                format!("http://a/p{i}"),
+                "http://a/knows",
+                format!("http://a/p{j}"),
+            );
+            b.add_fact(
+                format!("http://b/q{i}"),
+                "http://b/friendOf",
+                format!("http://b/q{j}"),
+            );
+        }
+    }
+    (a.build(), b.build())
+}
+
+#[test]
+fn explain_recomputes_to_the_served_score_on_both_image_formats() {
+    let dir = std::env::temp_dir().join(format!("paris_explain_prop_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut rng = StdRng::seed_from_u64(0x9e3779b97f4a7c15);
+    let mut explained = 0usize;
+
+    for case in 0..CASES {
+        let (kb1, kb2) = random_pair(&mut rng);
+        let owned = {
+            let result = Aligner::new(&kb1, &kb2, ParisConfig::default()).run();
+            OwnedAlignment::from_result(&result)
+        };
+        let snap = AlignedPairSnapshot::new(kb1, kb2, owned);
+        let v1_path = dir.join(format!("case{case}_v1.snap"));
+        let v2_path = dir.join(format!("case{case}_v2.snap"));
+        snap.save(&v1_path).unwrap();
+        MappedPairSnapshot::save_v2(&snap, &v2_path).unwrap();
+        let v1 = PairImage::load(&v1_path).unwrap();
+        let v2 = PairImage::load(&v2_path).unwrap();
+        assert!(matches!(v1, PairImage::Decoded(_)));
+        assert!(matches!(v2, PairImage::Mapped(_)));
+
+        // Every KB-1 instance, against its assigned match and one fixed
+        // wrong candidate.
+        let instances: Vec<_> = snap.kb1.instances().collect();
+        let some_kb2_instance = snap.kb2.instances().next();
+        for &x in &instances {
+            let assigned = snap.alignment.best_match(x);
+            let mut candidates: Vec<_> = assigned.map(|(e, _)| e).into_iter().collect();
+            if let Some(other) =
+                some_kb2_instance.filter(|&e| Some(e) != candidates.first().copied())
+            {
+                candidates.push(other);
+            }
+            for x2 in candidates {
+                let a = explain_stored(&v1, x, x2);
+                let b = explain_stored(&v2, x, x2);
+
+                // (3) identical across formats: every string, every bit.
+                assert_eq!(a.evidence, b.evidence, "case {case}: {x:?}/{x2:?}");
+                assert_eq!(
+                    a.score.to_bits(),
+                    b.score.to_bits(),
+                    "case {case}: {x:?}/{x2:?}"
+                );
+                assert_eq!(
+                    a.stored_prob.to_bits(),
+                    b.stored_prob.to_bits(),
+                    "case {case}: {x:?}/{x2:?}"
+                );
+
+                // (1) the served evidence folds back to the served score,
+                // bit for bit, on both images.
+                for ex in [&a, &b] {
+                    assert_eq!(
+                        ex.score.to_bits(),
+                        ex.recompute_score().to_bits(),
+                        "case {case}: {x:?}/{x2:?}"
+                    );
+                }
+
+                // (2) for the assigned pair, the explanation's stored
+                // probability is exactly the sameas-served score — on
+                // both images.
+                if Some(x2) == assigned.map(|(e, _)| e) {
+                    let (_, served) = assigned.unwrap();
+                    for (img, ex) in [(&v1, &a), (&v2, &b)] {
+                        let from_image = img
+                            .best_match_from(PairSide::Kb1, x)
+                            .expect("assigned pair has a match");
+                        assert_eq!(from_image.0, x2, "case {case}");
+                        assert_eq!(from_image.1.to_bits(), served.to_bits(), "case {case}");
+                        assert_eq!(
+                            ex.stored_prob.to_bits(),
+                            served.to_bits(),
+                            "case {case}: explain stored_prob vs sameas score"
+                        );
+                    }
+                    // An assigned pair backed by any shared evidence must
+                    // not explain to zero.
+                    if !a.evidence.is_empty() {
+                        assert!(a.score > 0.0, "case {case}: {x:?}");
+                    }
+                    explained += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        explained >= 20,
+        "the random batch must exercise a meaningful number of assigned pairs, got {explained}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,185 @@
+//! Telemetry-overhead gate for the serving daemon.
+//!
+//! The observability layer (per-route counters, latency histograms,
+//! request ids) sits on every request's hot path, so it must be cheap
+//! enough to leave on in production. This bench serves the same aligned
+//! `movies` snapshot from three daemons — telemetry disabled, telemetry
+//! enabled (request log off, the production default), and telemetry
+//! enabled with JSON request logging to a sink — and hammers each with
+//! identical keep-alive `GET /sameas` rounds, interleaved so ambient
+//! machine noise hits every variant equally. The gate compares the
+//! per-variant *median* req/s: telemetry-on must stay within
+//! `MAX_OVERHEAD_PCT` (default 3%) of telemetry-off, or the process
+//! exits non-zero. The JSON-logging number is reported but not gated
+//! (log volume is an operator choice).
+//!
+//! Usage: `metrics_overhead [scale] [clients] [requests-per-client] [rounds]`
+//! Env:   `METRICS_OVERHEAD_MAX_PCT` overrides the gate threshold.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use paris_core::{AlignedPairSnapshot, Aligner, OwnedAlignment, ParisConfig};
+use paris_datagen::movies::{generate, MoviesConfig};
+use paris_server::{LogFormat, Server, ServerConfig, ServerHandle};
+
+/// Reads one HTTP response off the stream, returning the status code.
+fn read_response(reader: &mut BufReader<TcpStream>) -> u16 {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().expect("content-length");
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    std::io::Read::read_exact(reader, &mut body).expect("body");
+    status
+}
+
+/// One keep-alive round against `addr`: every client drives its own
+/// connection through `per_client` sequential requests. Returns req/s.
+fn round(addr: std::net::SocketAddr, iris: &[String], clients: usize, per_client: usize) -> f64 {
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            scope.spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).expect("nodelay");
+                let mut writer = stream.try_clone().expect("clone stream");
+                let mut reader = BufReader::new(stream);
+                for i in 0..per_client {
+                    let iri = &iris[(c * per_client + i * 31) % iris.len()];
+                    let request = format!("GET /sameas?iri={iri} HTTP/1.1\r\nHost: b\r\n\r\n");
+                    writer.write_all(request.as_bytes()).expect("send");
+                    assert_eq!(read_response(&mut reader), 200);
+                }
+            });
+        }
+    });
+    (clients * per_client) as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite req/s"));
+    samples[samples.len() / 2]
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let scale: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(200);
+    let clients: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let per_client: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2000);
+    let rounds: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(5);
+    let max_overhead_pct: f64 = std::env::var("METRICS_OVERHEAD_MAX_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
+
+    println!(
+        "dataset: movies, scale {scale}; {clients} clients × {per_client} requests × \
+         {rounds} rounds per variant; gate {max_overhead_pct}%"
+    );
+    let pair = generate(&MoviesConfig {
+        num_movies: scale,
+        ..Default::default()
+    });
+    let result = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
+    let iris: Vec<String> = result
+        .instance_pairs()
+        .iter()
+        .filter_map(|&(x, _, _)| pair.kb1.iri(x).map(|i| i.as_str().to_owned()))
+        .collect();
+    let owned = OwnedAlignment::from_result(&result);
+    drop(result);
+    assert!(!iris.is_empty());
+
+    let bind = |telemetry: bool, log_format: LogFormat| -> ServerHandle {
+        let server = Server::bind(
+            AlignedPairSnapshot::new(pair.kb1.clone(), pair.kb2.clone(), owned.clone()),
+            ServerConfig {
+                addr: "127.0.0.1:0".to_owned(),
+                threads: clients,
+                telemetry,
+                log_format,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        if log_format != LogFormat::Off {
+            // The gate measures instrumentation cost, not the terminal's
+            // write speed — drain log lines into the void.
+            server.set_log_output(Box::new(std::io::sink()));
+        }
+        server.spawn().expect("spawn server")
+    };
+    let off = bind(false, LogFormat::Off);
+    let on = bind(true, LogFormat::Off);
+    let logged = bind(true, LogFormat::Json);
+
+    // Warm each daemon (first-touch page faults, allocator warm-up)
+    // before any measured round.
+    for handle in [&off, &on, &logged] {
+        round(handle.addr(), &iris, clients, per_client.min(200));
+    }
+
+    let mut off_rps = Vec::new();
+    let mut on_rps = Vec::new();
+    let mut logged_rps = Vec::new();
+    for r in 0..rounds {
+        // Interleave variants inside every round: drift (thermal,
+        // scheduler) then biases all three equally.
+        off_rps.push(round(off.addr(), &iris, clients, per_client));
+        on_rps.push(round(on.addr(), &iris, clients, per_client));
+        logged_rps.push(round(logged.addr(), &iris, clients, per_client));
+        println!(
+            "round {r}: off {:>9.0} req/s, on {:>9.0} req/s, on+jsonlog {:>9.0} req/s",
+            off_rps[r], on_rps[r], logged_rps[r],
+        );
+    }
+    off.shutdown();
+    on.shutdown();
+    logged.shutdown();
+
+    let off_median = median(&mut off_rps);
+    let on_median = median(&mut on_rps);
+    let logged_median = median(&mut logged_rps);
+    let overhead_pct = (off_median - on_median) / off_median * 100.0;
+    let logged_pct = (off_median - logged_median) / off_median * 100.0;
+    println!(
+        "median: telemetry off {off_median:.0} req/s, on {on_median:.0} req/s \
+         ({overhead_pct:+.2}%), on+jsonlog {logged_median:.0} req/s ({logged_pct:+.2}%)"
+    );
+    println!(
+        "{{\"bench\":\"metrics_overhead\",\"scale\":{scale},\"clients\":{clients},\
+         \"per_client\":{per_client},\"rounds\":{rounds},\
+         \"off_req_per_s\":{off_median:.0},\"on_req_per_s\":{on_median:.0},\
+         \"jsonlog_req_per_s\":{logged_median:.0},\
+         \"overhead_pct\":{overhead_pct:.2},\"jsonlog_overhead_pct\":{logged_pct:.2},\
+         \"max_overhead_pct\":{max_overhead_pct}}}"
+    );
+
+    if overhead_pct > max_overhead_pct {
+        eprintln!(
+            "FAIL: telemetry costs {overhead_pct:.2}% of req/s \
+             (gate: {max_overhead_pct}%)"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("PASS: telemetry overhead {overhead_pct:.2}% ≤ {max_overhead_pct}%");
+    ExitCode::SUCCESS
+}

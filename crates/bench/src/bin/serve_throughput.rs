@@ -4,7 +4,14 @@
 //! ephemeral port, and hammers `GET /sameas` from several client threads
 //! over keep-alive connections, then over one-shot connections — the two
 //! traffic shapes a production deployment sees (pooled upstreams vs.
-//! cold clients).
+//! cold clients). Each client records per-request latency into its own
+//! `paris_obs::Histogram`; the per-client histograms are merged for the
+//! p50/p90/p99 report, so the measurement path is the same mergeable
+//! fixed-bucket structure the daemon itself exports on `/v1/metrics`.
+//!
+//! The last line of output is a single machine-readable JSON object
+//! (req/s and latency quantiles for both phases) for tracking runs over
+//! time.
 //!
 //! Usage: `serve_throughput [scale] [clients] [requests-per-client]`
 
@@ -14,6 +21,7 @@ use std::time::Instant;
 
 use paris_core::{AlignedPairSnapshot, Aligner, OwnedAlignment, ParisConfig};
 use paris_datagen::movies::{generate, MoviesConfig};
+use paris_obs::{Histogram, HistogramSnapshot};
 use paris_server::{Server, ServerConfig};
 
 /// Reads one HTTP response off the stream, returning the status code.
@@ -40,6 +48,26 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> u16 {
     let mut body = vec![0u8; content_length];
     std::io::Read::read_exact(reader, &mut body).expect("body");
     status
+}
+
+/// Merges per-client histograms into one snapshot.
+fn merged(histograms: &[Histogram]) -> HistogramSnapshot {
+    let mut combined = histograms[0].snapshot();
+    for h in &histograms[1..] {
+        combined.merge(&h.snapshot());
+    }
+    combined
+}
+
+fn print_latency(label: &str, snap: &HistogramSnapshot) {
+    println!(
+        "{label} latency: p50 {} µs, p90 {} µs, p99 {} µs, max {} µs (mean {:.0} µs)",
+        snap.quantile(0.50),
+        snap.quantile(0.90),
+        snap.quantile(0.99),
+        snap.max,
+        snap.mean(),
+    );
 }
 
 fn main() {
@@ -76,9 +104,10 @@ fn main() {
     let addr = handle.addr();
 
     // --- keep-alive: one connection per client, pipelined sequentially.
+    let keep_alive_hists: Vec<Histogram> = (0..clients).map(|_| Histogram::new()).collect();
     let t0 = Instant::now();
     std::thread::scope(|scope| {
-        for c in 0..clients {
+        for (c, hist) in keep_alive_hists.iter().enumerate() {
             let iris = &iris;
             scope.spawn(move || {
                 let stream = TcpStream::connect(addr).expect("connect");
@@ -88,29 +117,36 @@ fn main() {
                 for i in 0..per_client {
                     let iri = &iris[(c * per_client + i * 31) % iris.len()];
                     let request = format!("GET /sameas?iri={iri} HTTP/1.1\r\nHost: b\r\n\r\n");
+                    let t = Instant::now();
                     writer.write_all(request.as_bytes()).expect("send");
                     assert_eq!(read_response(&mut reader), 200);
+                    hist.record(t.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
                 }
             });
         }
     });
     let keep_alive = t0.elapsed();
-    let total = (clients * per_client) as f64;
+    let keep_alive_total = (clients * per_client) as f64;
+    let keep_alive_rps = keep_alive_total / keep_alive.as_secs_f64();
     println!(
-        "keep-alive:  {total:>8} requests in {:.2}s → {:>9.0} req/s",
+        "keep-alive:  {keep_alive_total:>8} requests in {:.2}s → {keep_alive_rps:>9.0} req/s",
         keep_alive.as_secs_f64(),
-        total / keep_alive.as_secs_f64()
     );
+    let keep_alive_snap = merged(&keep_alive_hists);
+    assert_eq!(keep_alive_snap.count, clients as u64 * per_client as u64);
+    print_latency("keep-alive", &keep_alive_snap);
 
     // --- one-shot: a fresh connection per request (cold clients).
     let oneshot_per_client = per_client / 10;
+    let oneshot_hists: Vec<Histogram> = (0..clients).map(|_| Histogram::new()).collect();
     let t1 = Instant::now();
     std::thread::scope(|scope| {
-        for c in 0..clients {
+        for (c, hist) in oneshot_hists.iter().enumerate() {
             let iris = &iris;
             scope.spawn(move || {
                 for i in 0..oneshot_per_client {
                     let iri = &iris[(c + i * 17) % iris.len()];
+                    let t = Instant::now();
                     let stream = TcpStream::connect(addr).expect("connect");
                     stream.set_nodelay(true).expect("nodelay");
                     let mut writer = stream.try_clone().expect("clone stream");
@@ -120,17 +156,39 @@ fn main() {
                     );
                     writer.write_all(request.as_bytes()).expect("send");
                     assert_eq!(read_response(&mut reader), 200);
+                    hist.record(t.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
                 }
             });
         }
     });
     let oneshot = t1.elapsed();
-    let total = (clients * oneshot_per_client) as f64;
+    let oneshot_total = (clients * oneshot_per_client) as f64;
+    let oneshot_rps = oneshot_total / oneshot.as_secs_f64();
     println!(
-        "one-shot:    {total:>8} requests in {:.2}s → {:>9.0} req/s",
+        "one-shot:    {oneshot_total:>8} requests in {:.2}s → {oneshot_rps:>9.0} req/s",
         oneshot.as_secs_f64(),
-        total / oneshot.as_secs_f64()
     );
+    let oneshot_snap = merged(&oneshot_hists);
+    print_latency("one-shot", &oneshot_snap);
 
     handle.shutdown();
+
+    println!(
+        "{{\"bench\":\"serve_throughput\",\"scale\":{scale},\"clients\":{clients},\
+         \"per_client\":{per_client},\
+         \"keep_alive_req_per_s\":{keep_alive_rps:.0},\
+         \"keep_alive_p50_us\":{},\"keep_alive_p90_us\":{},\
+         \"keep_alive_p99_us\":{},\"keep_alive_max_us\":{},\
+         \"one_shot_req_per_s\":{oneshot_rps:.0},\
+         \"one_shot_p50_us\":{},\"one_shot_p90_us\":{},\
+         \"one_shot_p99_us\":{},\"one_shot_max_us\":{}}}",
+        keep_alive_snap.quantile(0.50),
+        keep_alive_snap.quantile(0.90),
+        keep_alive_snap.quantile(0.99),
+        keep_alive_snap.max,
+        oneshot_snap.quantile(0.50),
+        oneshot_snap.quantile(0.90),
+        oneshot_snap.quantile(0.99),
+        oneshot_snap.max,
+    );
 }

@@ -59,10 +59,12 @@ pub mod http_client;
 pub mod json;
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 pub use http_client::{HttpClient, HttpResponse, Upstream};
 use json::Json;
+use paris_obs as obs;
 
 /// Longest accepted pair name.
 pub const MAX_PAIR_NAME: usize = 128;
@@ -411,6 +413,90 @@ struct UpstreamState {
     cache: HashMap<String, (String, Vec<u8>)>,
     /// Role from the last `/v1/healthz` probe (`None` = never probed).
     role: Option<String>,
+    /// Requests attempted against this upstream (including probes and
+    /// attempts that failed at the transport).
+    requests: Arc<obs::Counter>,
+    /// Transport failures here that rotated the request onward.
+    failovers: Arc<obs::Counter>,
+}
+
+/// Client-side request accounting: per-upstream request and failover
+/// counts plus ETag-cache hits, kept in an [`obs::Registry`] so they can
+/// be rendered alongside server metrics. Obtained from
+/// [`ParisClient::metrics`]; counts survive for the client's lifetime.
+pub struct ClientMetrics {
+    registry: obs::Registry,
+    cache_hits: Arc<obs::Counter>,
+    urls: Vec<String>,
+}
+
+impl ClientMetrics {
+    fn new(urls: Vec<String>) -> ClientMetrics {
+        let registry = obs::Registry::new();
+        let cache_hits = registry.counter(
+            "paris_client_cache_hits_total",
+            "Conditional GETs answered from the client's ETag cache.",
+            &[],
+        );
+        ClientMetrics {
+            registry,
+            cache_hits,
+            urls,
+        }
+    }
+
+    fn upstream_counters(&self, url: &str) -> (Arc<obs::Counter>, Arc<obs::Counter>) {
+        let requests = self.registry.counter(
+            "paris_client_requests_total",
+            "Requests attempted, by upstream (failed attempts included).",
+            &[("upstream", url)],
+        );
+        let failovers = self.registry.counter(
+            "paris_client_failovers_total",
+            "Transport failures that rotated the request to another upstream.",
+            &[("upstream", url)],
+        );
+        (requests, failovers)
+    }
+
+    /// The underlying registry (renderable as Prometheus text or JSON).
+    pub fn registry(&self) -> &obs::Registry {
+        &self.registry
+    }
+
+    /// ETag-cache hits across all upstreams.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.get()
+    }
+
+    /// `(url, requests, failovers)` per upstream, in configured order.
+    pub fn per_upstream(&self) -> Vec<(String, u64, u64)> {
+        self.urls
+            .iter()
+            .map(|url| {
+                let get = |name| {
+                    self.registry
+                        .counter_value(name, &[("upstream", url)])
+                        .unwrap_or(0)
+                };
+                (
+                    url.clone(),
+                    get("paris_client_requests_total"),
+                    get("paris_client_failovers_total"),
+                )
+            })
+            .collect()
+    }
+
+    /// Total requests attempted across all upstreams.
+    pub fn requests(&self) -> u64 {
+        self.per_upstream().iter().map(|&(_, r, _)| r).sum()
+    }
+
+    /// Total failovers across all upstreams.
+    pub fn failovers(&self) -> u64 {
+        self.per_upstream().iter().map(|&(_, _, f)| f).sum()
+    }
 }
 
 /// A typed, failover-capable client of one or more `paris serve`
@@ -420,7 +506,7 @@ pub struct ParisClient {
     /// Index of the upstream requests currently go to.
     active: usize,
     max_body: u64,
-    cache_hits: u64,
+    metrics: ClientMetrics,
 }
 
 impl ParisClient {
@@ -451,13 +537,26 @@ impl ParisClient {
                 client: HttpClient::new(upstream, timeout),
                 cache: HashMap::new(),
                 role: None,
+                requests: Arc::new(obs::Counter::new()),
+                failovers: Arc::new(obs::Counter::new()),
             });
+        }
+        let metrics = ClientMetrics::new(
+            upstreams
+                .iter()
+                .map(|u| u.client.upstream().display.clone())
+                .collect(),
+        );
+        for up in &mut upstreams {
+            let (requests, failovers) = metrics.upstream_counters(&up.client.upstream().display);
+            up.requests = requests;
+            up.failovers = failovers;
         }
         Ok(ParisClient {
             upstreams,
             active: 0,
             max_body: DEFAULT_MAX_BODY,
-            cache_hits: 0,
+            metrics,
         })
     }
 
@@ -471,7 +570,13 @@ impl ParisClient {
 
     /// How many conditional `GET`s were answered from the ETag cache.
     pub fn cache_hits(&self) -> u64 {
-        self.cache_hits
+        self.metrics.cache_hits()
+    }
+
+    /// Request accounting: per-upstream requests, failovers, and
+    /// ETag-cache hits, in an [`obs::Registry`].
+    pub fn metrics(&self) -> &ClientMetrics {
+        &self.metrics
     }
 
     /// One request with failover: upstreams are tried starting at the
@@ -495,6 +600,7 @@ impl ParisClient {
                 None
             };
             let validator = cached.as_ref().map(|(etag, _)| etag.as_str());
+            up.requests.inc();
             match up
                 .client
                 .request(method, path, validator, body, self.max_body)
@@ -503,7 +609,7 @@ impl ParisClient {
                     self.active = i;
                     if response.status == 304 {
                         if let Some((_, cached_body)) = cached {
-                            self.cache_hits += 1;
+                            self.metrics.cache_hits.inc();
                             return Ok(HttpResponse {
                                 status: 200,
                                 headers: response.headers,
@@ -526,7 +632,9 @@ impl ParisClient {
                     return Ok(response);
                 }
                 Err(e) => {
-                    let url = &self.upstreams[i].client.upstream().display;
+                    let up = &self.upstreams[i];
+                    up.failovers.inc();
+                    let url = &up.client.upstream().display;
                     failures.push(format!("{url}: {e}"));
                 }
             }
@@ -629,6 +737,7 @@ impl ParisClient {
             // A failed probe clears the stale role.
             self.upstreams[i].role = None;
             let up = &mut self.upstreams[i];
+            up.requests.inc();
             let Ok(response) = up
                 .client
                 .request("GET", "/v1/healthz", None, None, self.max_body)
@@ -913,6 +1022,7 @@ impl ParisClient {
         // stale keep-alive connection; reload is idempotent — a repeat
         // costs one extra generation bump, never serves wrong data.)
         let up = &mut self.upstreams[self.active];
+        up.requests.inc();
         let response = up
             .client
             .request(
@@ -947,6 +1057,30 @@ impl ParisClient {
             .and_then(|d| d.get("generation"))
             .and_then(Json::as_u64)
             .ok_or_else(|| protocol("reload: no generation"))
+    }
+
+    /// `GET /v1/metrics`: the daemon's telemetry, as the raw body text.
+    /// `format` is forwarded as the `?format=` query parameter — `None`
+    /// yields the Prometheus text exposition (the one `/v1` body served
+    /// raw, since scrapers expect the bare format, so it bypasses the
+    /// envelope unwrapping), `Some("json")` the enveloped JSON document.
+    pub fn server_metrics(&mut self, format: Option<&str>) -> Result<String, ClientError> {
+        let path = match format {
+            Some(f) => format!("/v1/metrics?format={}", percent_encode(f)),
+            None => "/v1/metrics".to_owned(),
+        };
+        let response = self.request("GET", &path, None)?;
+        if response.status != 200 {
+            return Err(protocol(format!("/v1/metrics: HTTP {}", response.status)));
+        }
+        String::from_utf8(response.body)
+            .map_err(|_| protocol("/v1/metrics: non-UTF-8 response body"))
+    }
+
+    /// `GET /v1/metrics?format=json`, typed: the `data` member of the
+    /// envelope, with its `counters` / `gauges` / `histograms` arrays.
+    pub fn server_metrics_json(&mut self) -> Result<Json, ClientError> {
+        self.call("GET", "/v1/metrics?format=json", None)
     }
 }
 
@@ -1149,6 +1283,8 @@ mod tests {
         let second = client.call("GET", path, None).unwrap();
         assert_eq!(first, second);
         assert_eq!(client.cache_hits(), 1);
+        assert_eq!(client.metrics().cache_hits(), 1);
+        assert_eq!(client.metrics().requests(), 2);
         let seen = server.join().unwrap();
         assert_eq!(seen.len(), 2);
         server_sent_validator(&seen[1]);
@@ -1181,6 +1317,13 @@ mod tests {
         assert_eq!(health.role, "replica");
         // The live upstream is now the active one.
         assert_eq!(client.active, 1);
+        // The failover was charged to the dead upstream, the request to
+        // both (an attempt each).
+        let per = client.metrics().per_upstream();
+        assert_eq!(per[0].0, dead);
+        assert_eq!((per[0].1, per[0].2), (1, 1), "{per:?}");
+        assert_eq!((per[1].1, per[1].2), (1, 0), "{per:?}");
+        assert_eq!(client.metrics().failovers(), 1);
         server.join().unwrap();
     }
 

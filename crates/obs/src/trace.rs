@@ -1,0 +1,192 @@
+//! Trace sinks for the aligner's fixpoint loop.
+//!
+//! PARIS's runtime behavior *is* its iteration trace — the paper's
+//! Tables 3 and 5 are per-iteration rows (assignment changes, running
+//! time). A [`TraceSink`] receives one [`AlignEvent`] per fixpoint
+//! iteration from both the full aligner and the incremental re-aligner,
+//! so a server-side `POST /align` job or a CLI run can stream its
+//! convergence progress instead of computing in silence.
+//!
+//! Sinks must be cheap relative to an iteration (which rescores at least
+//! the dirty set) and are called from the aligning thread.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+use crate::json_string;
+
+/// One fixpoint iteration, as reported to a sink.
+#[derive(Clone, Copy, Debug)]
+pub struct AlignEvent {
+    /// `"align"` for the full fixpoint, `"incremental"` for a warm
+    /// re-alignment.
+    pub phase: &'static str,
+    /// 1-based iteration number.
+    pub iteration: usize,
+    /// Rows rescored this iteration: the dirty-set size for an
+    /// incremental run, every KB-1 entity for a full pass.
+    pub dirty: usize,
+    /// Instances whose maximal assignment changed (assignment churn).
+    pub churn: usize,
+    /// Largest score movement observed: the maximal per-row delta of an
+    /// incremental iteration, or the relative change of the total
+    /// assignment score for a full pass.
+    pub max_delta: f64,
+    /// Wall-clock seconds of the iteration.
+    pub elapsed_secs: f64,
+}
+
+/// Receives per-iteration events. Implementations must be `Send + Sync`:
+/// alignment may run on a job-runner thread while the sink is shared.
+pub trait TraceSink: Send + Sync {
+    /// Called once per completed fixpoint iteration.
+    fn event(&self, event: &AlignEvent);
+}
+
+/// Discards every event (the default when tracing is off).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn event(&self, _event: &AlignEvent) {}
+}
+
+/// Buffers events in memory — for tests and for callers that render a
+/// table after the run.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<AlignEvent>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// The events recorded so far, in order.
+    pub fn events(&self) -> Vec<AlignEvent> {
+        self.events.lock().expect("trace sink poisoned").clone()
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn event(&self, event: &AlignEvent) {
+        self.events
+            .lock()
+            .expect("trace sink poisoned")
+            .push(*event);
+    }
+}
+
+/// Writes one JSON line per event — the structured-log form of the
+/// paper's iteration tables. Write errors are ignored: tracing must
+/// never fail an alignment.
+pub struct JsonLineSink<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonLineSink<W> {
+    /// A sink writing to `out`.
+    pub fn new(out: W) -> JsonLineSink<W> {
+        JsonLineSink {
+            out: Mutex::new(out),
+        }
+    }
+}
+
+/// A finite JSON number (non-finite values have no JSON spelling; zero
+/// is the least-surprising substitute for a trace line).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonLineSink<W> {
+    fn event(&self, event: &AlignEvent) {
+        let line = format!(
+            "{{\"event\":\"align_iteration\",\"phase\":{},\"iteration\":{},\
+             \"dirty\":{},\"churn\":{},\"max_delta\":{},\"elapsed_secs\":{}}}\n",
+            json_string(event.phase),
+            event.iteration,
+            event.dirty,
+            event.churn,
+            json_f64(event.max_delta),
+            json_f64(event.elapsed_secs),
+        );
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.write_all(line.as_bytes());
+            let _ = out.flush();
+        }
+    }
+}
+
+/// A [`JsonLineSink`] on standard error — the conventional destination
+/// for the daemon's structured logs.
+pub fn stderr_json() -> JsonLineSink<std::io::Stderr> {
+    JsonLineSink::new(std::io::stderr())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_lines_are_valid_and_ordered() {
+        let sink = JsonLineSink::new(Vec::new());
+        for i in 1..=3usize {
+            sink.event(&AlignEvent {
+                phase: "align",
+                iteration: i,
+                dirty: 10 * i,
+                churn: i,
+                max_delta: 0.25,
+                elapsed_secs: 0.001,
+            });
+        }
+        let out = sink.out.into_inner().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"iteration\":1"), "{}", lines[0]);
+        assert!(lines[2].contains("\"dirty\":30"), "{}", lines[2]);
+        assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
+    }
+
+    #[test]
+    fn memory_sink_collects() {
+        let sink = MemorySink::new();
+        sink.event(&AlignEvent {
+            phase: "incremental",
+            iteration: 1,
+            dirty: 5,
+            churn: 2,
+            max_delta: 0.5,
+            elapsed_secs: 0.0,
+        });
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].phase, "incremental");
+        assert_eq!(events[0].dirty, 5);
+    }
+
+    #[test]
+    fn non_finite_deltas_stay_json() {
+        let sink = JsonLineSink::new(Vec::new());
+        sink.event(&AlignEvent {
+            phase: "align",
+            iteration: 1,
+            dirty: 0,
+            churn: 0,
+            max_delta: f64::INFINITY,
+            elapsed_secs: f64::NAN,
+        });
+        let out = sink.out.into_inner().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\"max_delta\":0"), "{text}");
+        assert!(!text.contains("inf") && !text.contains("NaN"), "{text}");
+    }
+}

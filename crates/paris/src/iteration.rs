@@ -14,6 +14,7 @@
 use std::time::Instant;
 
 use paris_kb::{EntityId, Kb};
+use paris_obs::trace::{AlignEvent, NullSink, TraceSink};
 use paris_rdf::Iri;
 
 use crate::config::ParisConfig;
@@ -227,9 +228,22 @@ impl<'a> Aligner<'a> {
 
     /// Like [`run`](Self::run), invoking `progress` after every iteration —
     /// used by the benches to print per-iteration table rows.
-    pub fn run_with_progress(
+    pub fn run_with_progress(&self, progress: impl FnMut(&IterationStats)) -> AlignmentResult<'a> {
+        self.run_inner(progress, &NullSink)
+    }
+
+    /// Like [`run`](Self::run), emitting one [`AlignEvent`] per fixpoint
+    /// iteration to `sink` — the observability form of the paper's
+    /// per-iteration tables (dirty rows, assignment churn, score
+    /// movement, elapsed time).
+    pub fn run_traced(&self, sink: &dyn TraceSink) -> AlignmentResult<'a> {
+        self.run_inner(|_| {}, sink)
+    }
+
+    fn run_inner(
         &self,
         mut progress: impl FnMut(&IterationStats),
+        sink: &dyn TraceSink,
     ) -> AlignmentResult<'a> {
         let (kb1, kb2, config) = (self.kb1, self.kb2, &self.config);
         let bridge = LiteralBridge::build(kb1, kb2, &config.literal_similarity);
@@ -296,11 +310,23 @@ impl<'a> Aligner<'a> {
             let scores_stable = prev_score_sum > 0.0
                 && (score_sum - prev_score_sum).abs() / prev_score_sum
                     < config.convergence_change.max(1e-6);
+            // A full pass has no per-row dirty deltas; the relative
+            // movement of the total assignment score is its score-delta
+            // signal (the same quantity convergence watches).
+            let score_delta = (score_sum - prev_score_sum).abs() / prev_score_sum.max(1.0);
             prev_score_sum = score_sum;
             let done = iteration > 1
                 && stats.changed_fraction < config.convergence_change
                 && scores_stable;
             progress(&stats);
+            sink.event(&AlignEvent {
+                phase: "align",
+                iteration,
+                dirty: kb1.num_entities(),
+                churn: changed,
+                max_delta: score_delta,
+                elapsed_secs: stats.instance_seconds + stats.subrelation_seconds,
+            });
             iterations.push(stats);
             if done {
                 break;

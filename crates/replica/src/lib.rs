@@ -44,4 +44,4 @@ pub mod sync;
 pub use paris_client::{
     http_client, json, valid_pair_name, HttpClient, HttpResponse, Upstream, MAX_PAIR_NAME,
 };
-pub use sync::{PairReplicationStatus, ReplicationStatus, SyncEngine, SyncOutcome};
+pub use sync::{PairReplicationStatus, ReplicationStatus, SyncEngine, SyncMetrics, SyncOutcome};

@@ -24,6 +24,7 @@
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant, SystemTime};
 
 use paris_kb::snapshot::{self, SnapshotError, SnapshotKind};
@@ -229,8 +230,33 @@ pub struct PairReplicationStatus {
     pub synced_generation: u64,
     /// `remote_generation - synced_generation` (0 = caught up).
     pub lag: u64,
+    /// Consecutive transfer failures (0 = healthy).
+    pub failures: u64,
+    /// Whether the pair's retry backoff window is still open.
+    pub backing_off: bool,
     /// Why the last transfer of this pair failed, if it did.
     pub last_error: Option<String>,
+}
+
+/// Lock-free transfer accounting a [`SyncEngine`] maintains. The `Arc`d
+/// instruments can be registered into an [`obs::Registry`]
+/// (`paris_obs::Registry`) to export them — the serving daemon does
+/// exactly that for `/v1/metrics`.
+///
+/// [`obs::Registry`]: paris_obs::Registry
+#[derive(Clone, Debug, Default)]
+pub struct SyncMetrics {
+    /// Sync cycles attempted (successful or not).
+    pub attempts: Arc<paris_obs::Counter>,
+    /// Failures: cycle-level manifest failures plus per-pair transfer
+    /// failures.
+    pub failures: Arc<paris_obs::Counter>,
+    /// Snapshot body bytes actually transferred.
+    pub snapshot_bytes: Arc<paris_obs::Counter>,
+    /// Manifest body bytes actually transferred (0 for `304` polls).
+    pub manifest_bytes: Arc<paris_obs::Counter>,
+    /// Pairs currently inside their retry-backoff window.
+    pub pairs_backing_off: Arc<paris_obs::Gauge>,
 }
 
 /// Per-pair local bookkeeping.
@@ -272,6 +298,7 @@ pub struct SyncEngine {
     last_attempt_unix: Option<u64>,
     last_success_unix: Option<u64>,
     last_error: Option<String>,
+    metrics: SyncMetrics,
 }
 
 fn unix_now() -> u64 {
@@ -330,6 +357,7 @@ impl SyncEngine {
             last_attempt_unix: None,
             last_success_unix: None,
             last_error: None,
+            metrics: SyncMetrics::default(),
         })
     }
 
@@ -386,12 +414,14 @@ impl SyncEngine {
     /// failures are isolated into [`SyncOutcome::failed`].
     pub fn sync_once(&mut self) -> Result<SyncOutcome, String> {
         self.syncs += 1;
+        self.metrics.attempts.inc();
         self.last_attempt_unix = Some(unix_now());
         let mut outcome = SyncOutcome::default();
 
         match self.fetch_manifest(&mut outcome) {
             Ok(()) => {}
             Err(e) => {
+                self.metrics.failures.inc();
                 self.last_error = Some(e.clone());
                 return Err(e);
             }
@@ -459,6 +489,7 @@ impl SyncEngine {
                     }
                 }
                 Err(why) => {
+                    self.metrics.failures.inc();
                     let state = self.pairs.entry(entry.name.clone()).or_default();
                     state.failures += 1;
                     let delay = BACKOFF_BASE
@@ -518,6 +549,12 @@ impl SyncEngine {
         if outcome.failed.is_empty() {
             self.last_success_unix = Some(unix_now());
         }
+        self.metrics.pairs_backing_off.set(
+            self.pairs
+                .values()
+                .filter(|p| p.next_attempt.is_some())
+                .count() as u64,
+        );
         Ok(outcome)
     }
 
@@ -546,6 +583,7 @@ impl SyncEngine {
             304 => Ok(()), // catalog unchanged: reuse the parsed manifest
             200 => {
                 outcome.manifest_bytes += response.body.len() as u64;
+                self.metrics.manifest_bytes.add(response.body.len() as u64);
                 let text = std::str::from_utf8(&response.body)
                     .map_err(|_| "manifest is not UTF-8".to_owned())?;
                 let (entries, rejected) = parse_manifest(text)?;
@@ -596,6 +634,7 @@ impl SyncEngine {
             }
         }
         outcome.snapshot_bytes += response.body.len() as u64;
+        self.metrics.snapshot_bytes.add(response.body.len() as u64);
         // The transfer's own ETag is authoritative when present — the
         // file may legitimately have changed on the primary between the
         // manifest poll and this fetch.
@@ -645,10 +684,19 @@ impl SyncEngine {
                     remote_generation: p.remote_generation,
                     synced_generation: p.synced_generation,
                     lag: p.remote_generation.saturating_sub(p.synced_generation),
+                    failures: u64::from(p.failures),
+                    backing_off: p.next_attempt.is_some(),
                     last_error: p.last_error.clone(),
                 })
                 .collect(),
         }
+    }
+
+    /// The engine's transfer counters. Clone the `Arc`s out of the
+    /// returned struct to register them in a metrics registry; they stay
+    /// live for the engine's whole lifetime.
+    pub fn metrics(&self) -> &SyncMetrics {
+        &self.metrics
     }
 }
 

@@ -208,7 +208,10 @@ fn run_job(request: &JobRequest) -> Result<JobOutcome, String> {
     if let Some(cap) = request.max_iterations {
         config.max_iterations = cap.max(1);
     }
-    let result = Aligner::new(&kb1, &kb2, config).run();
+    // Trace every fixpoint iteration to the daemon's stderr as JSON
+    // lines — a long batch job's progress (dirty set, churn, score
+    // movement) is otherwise invisible until it finishes.
+    let result = Aligner::new(&kb1, &kb2, config).run_traced(&paris_obs::trace::stderr_json());
     let owned = OwnedAlignment::from_result(&result);
     let outcome = JobOutcome {
         aligned_instances: result.instance_pairs().len(),

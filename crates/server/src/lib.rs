@@ -95,6 +95,9 @@
 pub mod http;
 pub mod jobs;
 pub mod json;
+mod metrics;
+
+pub use metrics::LogFormat;
 
 use std::collections::BTreeMap;
 use std::io::{BufReader, BufWriter};
@@ -107,10 +110,12 @@ use std::time::{Duration, Instant, SystemTime};
 use paris_core::{explain_stored, AlignedPairSnapshot, PairImage, PairSide};
 use paris_kb::snapshot_v2::checksum_v2;
 use paris_kb::{snapshot, EntityKind, KbStats};
+use paris_obs as obs;
 use paris_replica::{valid_pair_name, ReplicationStatus, SyncEngine};
 
 use http::{ParseError, Request, Response};
 use jobs::{JobRequest, JobStore};
+use metrics::{RequestLog, ServerMetrics};
 
 pub use jobs::{JobOutcome, JobState};
 
@@ -161,6 +166,15 @@ pub struct ServerConfig {
     pub replica_of: Option<String>,
     /// How often a replica polls the upstream manifest.
     pub sync_interval: Duration,
+    /// Structured per-request logging (one line per finished request,
+    /// to stderr unless redirected via [`Server::set_log_output`]).
+    /// `Off` by default — the CLI daemon turns it on.
+    pub log_format: LogFormat,
+    /// Master switch for the request-path telemetry (latency timing,
+    /// counters, request ids, logging). On by default; turning it off
+    /// exists for the `metrics_overhead` bench, which compares the two
+    /// settings to bound the instrumentation cost.
+    pub telemetry: bool,
 }
 
 impl Default for ServerConfig {
@@ -175,6 +189,8 @@ impl Default for ServerConfig {
             watch_interval: None,
             replica_of: None,
             sync_interval: Duration::from_secs(1),
+            log_format: LogFormat::Off,
+            telemetry: true,
         }
     }
 }
@@ -341,9 +357,34 @@ struct Catalog {
     max_resident: Option<u64>,
     /// LRU clock.
     clock: AtomicU64,
+    /// Telemetry: image requests answered from the resident slot.
+    image_hits: Arc<obs::Counter>,
+    /// Telemetry: images loaded from disk (first hit, reload, or re-load
+    /// after eviction) — the cache-miss side of `image_hits`.
+    image_loads: Arc<obs::Counter>,
+    /// Telemetry: decoded images evicted under `--max-resident`.
+    evictions: Arc<obs::Counter>,
 }
 
 impl Catalog {
+    fn new(
+        pairs: BTreeMap<String, Arc<PairState>>,
+        default_name: String,
+        dir: Option<PathBuf>,
+        max_resident: Option<u64>,
+    ) -> Catalog {
+        Catalog {
+            pairs: RwLock::new(pairs),
+            default_name: RwLock::new(default_name),
+            dir,
+            max_resident,
+            clock: AtomicU64::new(0),
+            image_hits: Arc::default(),
+            image_loads: Arc::default(),
+            evictions: Arc::default(),
+        }
+    }
+
     fn pair(&self, name: &str) -> Option<Arc<PairState>> {
         self.pairs
             .read()
@@ -371,10 +412,12 @@ impl Catalog {
     fn image_of(&self, pair: &Arc<PairState>) -> Result<Arc<LoadedImage>, String> {
         self.touch(pair);
         if let Some(img) = pair.current() {
+            self.image_hits.inc();
             return Ok(img);
         }
         let _serialized = pair.load_lock.lock().expect("pair load lock poisoned");
         if let Some(img) = pair.current() {
+            self.image_hits.inc();
             return Ok(img); // another thread won the race
         }
         let Some(path) = pair.path.clone() else {
@@ -401,6 +444,7 @@ impl Catalog {
         let generation = pair.generation.fetch_add(1, Ordering::SeqCst) + 1;
         let loaded = Arc::new(LoadedImage::new(image, generation, file_bytes));
         *pair.slot.write().expect("pair slot poisoned") = Some(Arc::clone(&loaded));
+        self.image_loads.inc();
         Ok(loaded)
     }
 
@@ -471,6 +515,7 @@ impl Catalog {
                 .take()
                 .map(|img| img.resident_bytes)
                 .unwrap_or(0);
+            self.evictions.inc();
             eprintln!(
                 "catalog: evicted decoded pair '{}' ({evicted} resident bytes) under --max-resident",
                 victim.name
@@ -490,12 +535,187 @@ struct ReplicaState {
 struct ServeState {
     catalog: Catalog,
     started: Instant,
-    requests: AtomicU64,
+    requests: Arc<obs::Counter>,
     jobs: Arc<JobStore>,
     /// Whether `POST /align` is served (see [`ServerConfig::enable_jobs`]).
     jobs_enabled: bool,
     /// `Some` when this daemon replicates an upstream catalog.
     replica: Option<ReplicaState>,
+    /// The request-path instrument set behind `GET /v1/metrics`.
+    metrics: ServerMetrics,
+    /// The structured request log, `None` when logging is off.
+    log: Option<RequestLog>,
+    /// See [`ServerConfig::telemetry`].
+    telemetry: bool,
+}
+
+impl ServeState {
+    fn new(
+        catalog: Catalog,
+        jobs_enabled: bool,
+        replica: Option<ReplicaState>,
+        log_format: LogFormat,
+        telemetry: bool,
+    ) -> ServeState {
+        let metrics = ServerMetrics::new();
+        let requests = metrics.registry.counter(
+            "paris_requests_total",
+            "HTTP requests received (all routes, counted before routing).",
+            &[],
+        );
+        metrics.registry.register_counter(
+            "paris_catalog_image_hits_total",
+            "Pair image requests answered from the resident slot.",
+            &[],
+            &catalog.image_hits,
+        );
+        metrics.registry.register_counter(
+            "paris_catalog_image_loads_total",
+            "Pair images loaded from disk (first hit, reload, or re-load after eviction).",
+            &[],
+            &catalog.image_loads,
+        );
+        metrics.registry.register_counter(
+            "paris_catalog_evictions_total",
+            "Decoded pair images evicted under --max-resident.",
+            &[],
+            &catalog.evictions,
+        );
+        ServeState {
+            catalog,
+            started: Instant::now(),
+            requests,
+            jobs: Arc::new(JobStore::new()),
+            jobs_enabled,
+            replica,
+            metrics,
+            log: RequestLog::new(log_format),
+            telemetry,
+        }
+    }
+
+    /// Refreshes every sampled gauge from live state — called once per
+    /// `/v1/metrics` scrape instead of being maintained per mutation.
+    fn refresh_gauges(&self) {
+        let reg = &self.metrics.registry;
+        reg.gauge(
+            "paris_uptime_seconds",
+            "Seconds since the daemon started.",
+            &[],
+        )
+        .set(self.started.elapsed().as_secs());
+        reg.gauge(
+            "paris_jobs_submitted",
+            "Alignment jobs accepted since startup.",
+            &[],
+        )
+        .set(self.jobs.submitted());
+        let pairs: Vec<Arc<PairState>> = self
+            .catalog
+            .pairs
+            .read()
+            .expect("catalog lock poisoned")
+            .values()
+            .cloned()
+            .collect();
+        let mut loaded = 0u64;
+        for pair in &pairs {
+            let image = pair.current();
+            if image.is_some() {
+                loaded += 1;
+            }
+            let labels = &[("pair", pair.name.as_str())];
+            reg.gauge(
+                "paris_pair_generation",
+                "Monotonic image generation of a pair.",
+                labels,
+            )
+            .set(pair.generation.load(Ordering::SeqCst));
+            reg.gauge(
+                "paris_pair_reloads",
+                "Successful explicit and watch reloads of a pair.",
+                labels,
+            )
+            .set(pair.reloads.load(Ordering::Relaxed));
+            reg.gauge(
+                "paris_pair_loaded",
+                "1 while the pair's image is resident, else 0.",
+                labels,
+            )
+            .set(u64::from(image.is_some()));
+            reg.gauge(
+                "paris_pair_resident_bytes",
+                "Heap bytes the pair's decoded image charges against --max-resident.",
+                labels,
+            )
+            .set(image.map(|i| i.resident_bytes).unwrap_or(0));
+        }
+        reg.gauge("paris_pairs", "Pairs in the catalog.", &[])
+            .set(pairs.len() as u64);
+        reg.gauge("paris_pairs_loaded", "Pairs with a resident image.", &[])
+            .set(loaded);
+        if let Some(replica) = &self.replica {
+            let status = replica
+                .status
+                .lock()
+                .expect("replica status poisoned")
+                .clone();
+            if let Some(status) = status {
+                for p in &status.pairs {
+                    let labels = &[("pair", p.name.as_str())];
+                    reg.gauge(
+                        "paris_replication_lag",
+                        "Generations this replica trails the primary by, per pair.",
+                        labels,
+                    )
+                    .set(p.lag);
+                    reg.gauge(
+                        "paris_replication_failures",
+                        "Consecutive transfer failures of a replicated pair.",
+                        labels,
+                    )
+                    .set(p.failures);
+                    reg.gauge(
+                        "paris_replication_backing_off",
+                        "1 while a replicated pair is inside its retry backoff window.",
+                        labels,
+                    )
+                    .set(u64::from(p.backing_off));
+                }
+            }
+        }
+    }
+
+    /// Records one finished request: counters, latency histogram,
+    /// per-pair series, ETag-cache outcome, and the request-log line.
+    fn observe(&self, req: &Request, response: &Response, id: &str, latency_us: u64) {
+        let class = metrics::route_class(&req.path);
+        self.metrics.record(class, response.status, latency_us);
+        if response.status == 304 {
+            self.metrics.etag_hits.inc();
+        } else if response.etag.is_some() {
+            self.metrics.etag_misses.inc();
+        }
+        let pair = metrics::pair_of(&req.path).filter(|name| self.catalog.pair(name).is_some());
+        if let Some(name) = pair {
+            self.metrics.pair_counter(name).inc();
+        }
+        if let Some(log) = &self.log {
+            let bytes = match &response.stream {
+                Some((_, len)) => *len,
+                None => response.body.len() as u64,
+            };
+            log.write(
+                id,
+                &req.method,
+                &req.path,
+                pair,
+                response.status,
+                bytes,
+                latency_us,
+            );
+        }
+    }
 }
 
 /// A bound, not-yet-running server.
@@ -599,17 +819,25 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         Ok(Server {
             listener,
-            state: Arc::new(ServeState {
+            state: Arc::new(ServeState::new(
                 catalog,
-                started: Instant::now(),
-                requests: AtomicU64::new(0),
-                jobs: Arc::new(JobStore::new()),
-                jobs_enabled: config.enable_jobs,
+                config.enable_jobs,
                 replica,
-            }),
+                config.log_format,
+                config.telemetry,
+            )),
             config,
             shutdown: Arc::new(AtomicBool::new(false)),
         })
+    }
+
+    /// Redirects the structured request log (stderr by default) — e.g.
+    /// to a file, or to `std::io::sink()` in benches. A no-op while
+    /// [`ServerConfig::log_format`] is `Off`.
+    pub fn set_log_output(&self, w: Box<dyn std::io::Write + Send>) {
+        if let Some(log) = &self.state.log {
+            log.set_output(w);
+        }
     }
 
     /// Binds a single-pair server around an already-decoded snapshot
@@ -648,13 +876,7 @@ impl Server {
         };
         let mut pairs = BTreeMap::new();
         pairs.insert(name.clone(), Arc::new(pair));
-        let catalog = Catalog {
-            pairs: RwLock::new(pairs),
-            default_name: RwLock::new(name),
-            dir: None,
-            max_resident: config.max_resident_bytes,
-            clock: AtomicU64::new(0),
-        };
+        let catalog = Catalog::new(pairs, name, None, config.max_resident_bytes);
         Server::bind_with_catalog(catalog, config)
     }
 
@@ -682,13 +904,7 @@ impl Server {
             pairs.insert(name.clone(), Arc::new(PairState::unloaded(name, path)));
         }
         let default_name = pick_default(&pairs);
-        let catalog = Catalog {
-            pairs: RwLock::new(pairs),
-            default_name: RwLock::new(default_name),
-            dir: Some(dir),
-            max_resident: config.max_resident_bytes,
-            clock: AtomicU64::new(0),
-        };
+        let catalog = Catalog::new(pairs, default_name, Some(dir), config.max_resident_bytes);
         Server::bind_with_catalog(catalog, config)
     }
 
@@ -881,6 +1097,40 @@ fn spawn_sync_thread(
                     return;
                 }
             };
+            // Export the engine's transfer accounting through
+            // `/v1/metrics`; the Arcs stay live with the engine.
+            let sync_metrics = engine.metrics().clone();
+            let reg = &state.metrics.registry;
+            reg.register_counter(
+                "paris_sync_attempts_total",
+                "Replication sync cycles attempted.",
+                &[],
+                &sync_metrics.attempts,
+            );
+            reg.register_counter(
+                "paris_sync_failures_total",
+                "Replication failures (manifest fetches and per-pair transfers).",
+                &[],
+                &sync_metrics.failures,
+            );
+            reg.register_counter(
+                "paris_sync_snapshot_bytes_total",
+                "Snapshot bytes transferred from the primary.",
+                &[],
+                &sync_metrics.snapshot_bytes,
+            );
+            reg.register_counter(
+                "paris_sync_manifest_bytes_total",
+                "Manifest bytes transferred from the primary (304 polls cost zero).",
+                &[],
+                &sync_metrics.manifest_bytes,
+            );
+            reg.register_gauge(
+                "paris_sync_pairs_backing_off",
+                "Replicated pairs currently inside their retry backoff window.",
+                &[],
+                &sync_metrics.pairs_backing_off,
+            );
             while !shutdown.load(Ordering::SeqCst) {
                 match engine.sync_once() {
                     Ok(outcome) => {
@@ -982,9 +1232,21 @@ fn serve_connection(state: &ServeState, stream: TcpStream) {
     loop {
         match http::read_request(&mut reader) {
             Ok(request) => {
-                state.requests.fetch_add(1, Ordering::Relaxed);
+                state.requests.inc();
                 let keep_alive = !request.wants_close();
-                let response = route(state, &request);
+                let response = if state.telemetry {
+                    // Time routing + handling only; the observation
+                    // itself happens after the response is rendered, so
+                    // a `/v1/metrics` body never counts its own request.
+                    let t0 = Instant::now();
+                    let response = route(state, &request);
+                    let latency_us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                    let id = state.metrics.request_id(&request);
+                    state.observe(&request, &response, &id, latency_us);
+                    response.with_header("X-Request-Id", id)
+                } else {
+                    route(state, &request)
+                };
                 if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
                     return;
                 }
@@ -1057,6 +1319,7 @@ fn route_v1(state: &ServeState, req: &Request, path: &str) -> Response {
     match path {
         "/pairs" => allow(req, "GET", |r| list_pairs(state, r)),
         "/healthz" => allow(req, "GET", |r| healthz(state, r)),
+        "/metrics" => allow(req, "GET", |r| serve_metrics(state, r)),
         "/align" => allow(req, "POST", |r| submit_align(state, r)),
         p if p.starts_with("/jobs/") => {
             let id = p["/jobs/".len()..].to_owned();
@@ -1245,7 +1508,7 @@ fn healthz(state: &ServeState, _req: &Request) -> Response {
             &format!("v{}", snapshot::DELTA_FORMAT_VERSION),
         )
         .num("uptime_seconds", state.started.elapsed().as_secs_f64())
-        .int("requests", state.requests.load(Ordering::Relaxed))
+        .int("requests", state.requests.get())
         .int("generation", default_generation)
         .int("pairs", pairs as u64)
         .int("pairs_loaded", loaded as u64);
@@ -1253,6 +1516,29 @@ fn healthz(state: &ServeState, _req: &Request) -> Response {
         obj = obj.raw("replication", replication_json(replica));
     }
     ok(obj.build())
+}
+
+/// `GET /v1/metrics`: the whole instrument set — request counts and
+/// latency histograms per route class, status classes, per-pair request
+/// counts, ETag-cache and catalog-LRU outcomes, replication transfer
+/// totals, and the sampled gauges (pair generations, resident bytes,
+/// replication lag), refreshed at scrape time. Prometheus text
+/// exposition by default; `?format=json` renders the same registry as
+/// one JSON document inside the uniform envelope.
+fn serve_metrics(state: &ServeState, req: &Request) -> Response {
+    state.refresh_gauges();
+    match req.query_param("format") {
+        Some("json") => ok(state.metrics.registry.render_json()),
+        None | Some("prometheus") | Some("text") => {
+            let mut response = Response::json(200, state.metrics.registry.render_prometheus());
+            response.content_type = "text/plain; version=0.0.4";
+            response
+        }
+        Some(other) => error(
+            400,
+            &format!("unknown metrics format '{other}' (prometheus, json)"),
+        ),
+    }
 }
 
 /// The `"replication"` object of a replica's `/healthz`: upstream,
@@ -1291,7 +1577,9 @@ fn replication_json(replica: &ReplicaState) -> String {
             .str("name", &p.name)
             .int("remote_generation", p.remote_generation)
             .int("synced_generation", p.synced_generation)
-            .int("lag", p.lag);
+            .int("lag", p.lag)
+            .int("failures", p.failures)
+            .bool("backing_off", p.backing_off);
         if let Some(e) = &p.last_error {
             entry = entry.str("last_error", e);
         }
@@ -1994,20 +2282,13 @@ mod tests {
         };
         let mut pairs = BTreeMap::new();
         pairs.insert(name.clone(), Arc::new(pair));
-        ServeState {
-            catalog: Catalog {
-                pairs: RwLock::new(pairs),
-                default_name: RwLock::new(name),
-                dir: None,
-                max_resident: None,
-                clock: AtomicU64::new(0),
-            },
-            started: Instant::now(),
-            requests: AtomicU64::new(0),
-            jobs: Arc::new(JobStore::new()),
-            jobs_enabled: true,
-            replica: None,
-        }
+        ServeState::new(
+            Catalog::new(pairs, name, None, None),
+            true,
+            None,
+            LogFormat::Off,
+            true,
+        )
     }
 
     /// A lazily-loaded catalog over on-disk snapshot files.
@@ -2020,20 +2301,13 @@ mod tests {
             );
         }
         let default_name = pick_default(&pairs);
-        ServeState {
-            catalog: Catalog {
-                pairs: RwLock::new(pairs),
-                default_name: RwLock::new(default_name),
-                dir: None,
-                max_resident,
-                clock: AtomicU64::new(0),
-            },
-            started: Instant::now(),
-            requests: AtomicU64::new(0),
-            jobs: Arc::new(JobStore::new()),
-            jobs_enabled: true,
-            replica: None,
-        }
+        ServeState::new(
+            Catalog::new(pairs, default_name, None, max_resident),
+            true,
+            None,
+            LogFormat::Off,
+            true,
+        )
     }
 
     fn get(path_and_query: &str) -> Request {
@@ -2049,6 +2323,82 @@ mod tests {
             body: Vec::new(),
             http10: false,
         }
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_both_formats() {
+        let s = state();
+        let text = route(&s, &get("/v1/metrics"));
+        assert_eq!(text.status, 200);
+        assert!(
+            text.content_type.starts_with("text/plain"),
+            "{}",
+            text.content_type
+        );
+        let body = String::from_utf8(text.body).unwrap();
+        assert!(
+            body.contains("# TYPE paris_requests_total counter"),
+            "{body}"
+        );
+        assert!(
+            body.contains("# TYPE paris_route_latency_microseconds histogram"),
+            "{body}"
+        );
+        assert!(
+            body.contains("paris_pair_generation{pair=\"default\"} 1"),
+            "{body}"
+        );
+        assert!(body.contains("paris_pairs 1"), "{body}");
+
+        let json_body = route(&s, &get("/v1/metrics?format=json"));
+        assert_eq!(json_body.status, 200);
+        assert_eq!(json_body.content_type, "application/json");
+        let body = String::from_utf8(json_body.body).unwrap();
+        assert!(body.starts_with("{\"data\":{"), "{body}");
+        assert!(body.contains("\"name\":\"paris_requests_total\""), "{body}");
+
+        assert_eq!(route(&s, &get("/v1/metrics?format=xml")).status, 400);
+        let mut post = get("/v1/metrics");
+        post.method = "POST".into();
+        assert_eq!(route(&s, &post).status, 405);
+    }
+
+    #[test]
+    fn observe_records_route_pair_and_etag_series() {
+        let s = state();
+        let req = get("/v1/pairs/default/sameas?iri=http://a/p1");
+        let response = cacheable(&req, route(&s, &req));
+        assert!(response.etag.is_some());
+        s.observe(&req, &response, "test-id", 123);
+        let reg = &s.metrics.registry;
+        assert_eq!(
+            reg.counter_value("paris_route_requests_total", &[("route", "sameas")]),
+            Some(1)
+        );
+        assert_eq!(
+            reg.counter_value("paris_pair_requests_total", &[("pair", "default")]),
+            Some(1)
+        );
+        assert_eq!(reg.counter_value("paris_etag_misses_total", &[]), Some(1));
+
+        // Replaying with the served validator is an ETag hit (a 304).
+        let mut conditional = get("/v1/pairs/default/sameas?iri=http://a/p1");
+        conditional
+            .headers
+            .push(("if-none-match".to_owned(), response.etag.clone().unwrap()));
+        let not_modified = cacheable(&conditional, route(&s, &conditional));
+        assert_eq!(not_modified.status, 304);
+        s.observe(&conditional, &not_modified, "test-id-2", 45);
+        assert_eq!(reg.counter_value("paris_etag_hits_total", &[]), Some(1));
+
+        // A request naming no pair records no pair series.
+        let health = get("/v1/healthz");
+        let response = route(&s, &health);
+        s.observe(&health, &response, "test-id-3", 10);
+        assert_eq!(
+            reg.counter_value("paris_pair_requests_total", &[("pair", "default")]),
+            Some(2) // the conditional replay counted; healthz did not
+        );
     }
 
     #[test]

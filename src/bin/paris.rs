@@ -45,7 +45,7 @@ USAGE:
   paris serve <FILE.snap> [SERVE OPTIONS]
   paris serve --catalog <DIR> [SERVE OPTIONS]
   paris sync <URL> <DIR>
-  paris query <URL[,URL…]> <health|pairs|stats|sameas|neighbors|explain|batch> [ARGS]
+  paris query <URL[,URL…]> <health|pairs|stats|metrics|sameas|neighbors|explain|batch> [ARGS]
   paris version
 
 Input files may be N-Triples (.nt), Turtle (.ttl/.turtle), or tab-separated
@@ -130,6 +130,11 @@ SERVE:
     GET  /v1/healthz              liveness, version, role, pair count
                                   (on a replica: upstream, last sync,
                                   per-pair generation lag)
+    GET  /v1/metrics              telemetry: request/route/status counts,
+                                  latency histograms (p50/p90/p99), cache
+                                  + eviction counters, per-pair generation
+                                  and replication lag — Prometheus text by
+                                  default, ?format=json for the envelope
     POST /v1/align                enqueue alignment of two single-KB
                                   snapshots (form fields left=, right=,
                                   optional out=, max_iterations=)
@@ -161,6 +166,10 @@ SERVE:
                           hot-reload them. Composes with --watch and
                           --max-resident. See docs/REPLICATION.md.
   --sync-interval <SECS>  replica manifest poll cadence  [default: 1]
+  --log-format <text|json|off>  per-request log lines on stderr (request
+                          id, route, pair, status, bytes, latency µs);
+                          json emits one machine-ingestable object per
+                          line                           [default: text]
 
 QUERY:
   `paris query` speaks the daemon's versioned /v1 API through the typed
@@ -170,6 +179,8 @@ QUERY:
     paris query URL health                          role, version, pair count
     paris query URL pairs                           the catalog
     paris query URL stats [--pair NAME]             one pair's statistics
+    paris query URL metrics [--format prometheus|json]
+                                the daemon's /v1/metrics telemetry
     paris query URL sameas <IRI> [--pair NAME] [--side left|right]
                                 [--threshold F]     best match of an instance
     paris query URL neighbors <IRI> [--pair NAME] [--side left|right]
@@ -1044,7 +1055,12 @@ fn parse_byte_size(spec: &str) -> Result<u64, String> {
 /// over HTTP.
 fn serve(args: &[String]) -> Result<(), String> {
     let mut positional: Vec<&String> = Vec::new();
-    let mut config = paris_repro::server::ServerConfig::default();
+    let mut config = paris_repro::server::ServerConfig {
+        // A daemon run from a terminal should say what it is doing; the
+        // library default stays Off so embedding a Server is silent.
+        log_format: paris_repro::server::LogFormat::Text,
+        ..Default::default()
+    };
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -1073,6 +1089,13 @@ fn serve(args: &[String]) -> Result<(), String> {
                     return Err("--watch needs a positive number of seconds".to_owned());
                 }
                 config.watch_interval = Some(std::time::Duration::from_secs_f64(seconds));
+            }
+            "--log-format" => {
+                let value = value_of("--log-format")?;
+                config.log_format =
+                    paris_repro::server::LogFormat::parse(&value).ok_or_else(|| {
+                        format!("--log-format must be text, json, or off, not '{value}'")
+                    })?
             }
             "--replica-of" => config.replica_of = Some(value_of("--replica-of")?),
             "--sync-interval" => {
@@ -1354,11 +1377,28 @@ fn query(args: &[String]) -> Result<(), String> {
                 }
             }
         }
+        ("metrics", []) => {
+            let body = match flag("--format") {
+                None | Some("prometheus") | Some("text") => {
+                    client.server_metrics(None).map_err(err)?
+                }
+                Some("json") => client.server_metrics(Some("json")).map_err(err)?,
+                Some(other) => {
+                    return Err(format!(
+                        "--format must be prometheus or json, not '{other}'"
+                    ))
+                }
+            };
+            print!("{body}");
+            if !body.ends_with('\n') {
+                println!();
+            }
+        }
         _ => {
             return Err(format!(
                 "unknown query command '{command}' (or wrong arguments); \
-                 expected health, pairs, stats, sameas IRI, neighbors IRI, \
-                 explain LEFT RIGHT, or batch FILE"
+                 expected health, pairs, stats, metrics, sameas IRI, \
+                 neighbors IRI, explain LEFT RIGHT, or batch FILE"
             ))
         }
     }

@@ -24,7 +24,10 @@
 //! * [`client`] — the typed `/v1` client (`ParisClient`: ETag caching,
 //!   multi-upstream failover) behind `paris query`, plus the shared
 //!   HTTP/1.1 client and JSON implementation the rest of the serving
-//!   stack builds on.
+//!   stack builds on,
+//! * [`obs`] — the std-only telemetry kernel (lock-free counters,
+//!   gauges, mergeable fixed-bucket latency histograms, Prometheus/JSON
+//!   rendering, aligner trace sinks) behind `GET /v1/metrics`.
 //!
 //! # Quickstart
 //!
@@ -58,6 +61,7 @@ pub use paris_datagen as datagen;
 pub use paris_eval as eval;
 pub use paris_kb as kb;
 pub use paris_literals as literals;
+pub use paris_obs as obs;
 pub use paris_rdf as rdf;
 pub use paris_replica as replica;
 pub use paris_server as server;

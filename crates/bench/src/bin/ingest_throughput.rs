@@ -1,0 +1,151 @@
+//! Ingest throughput benchmark: the acceptance check for the streaming
+//! out-of-core loader (CI gate `ingest_throughput`).
+//!
+//! On the N-Triples export of a generated `movies` world (default scale
+//! 6400), measures:
+//!   1. **line-parallel parse** — `parse_chunked` at 1 thread vs. all
+//!      cores, same chunking;
+//!   2. **end-to-end ingest** — RDF bytes → v2 snapshot under a small
+//!      memory budget (spill-heavy), vs. the heap build path;
+//!   3. **byte-identity** between the two snapshots, at scale.
+//!
+//! Fails (exit 1) unless the parallel parse beats single-threaded by ≥2×
+//! (≥4 cores; a relaxed ≥1.3× gate applies on 2–3 cores since perfect
+//! 2-core scaling would be exactly the 2× bar), or the outputs diverge.
+//! On a single-core machine the speedup gate is skipped — there is
+//! nothing to parallelize against — but identity is still enforced.
+
+use std::time::{Duration, Instant};
+
+use paris_bench::timing::fmt_duration;
+use paris_datagen::movies::{generate, MoviesConfig};
+use paris_kb::export::to_ntriples;
+use paris_kb::ingest::{ingest_reader, IngestOptions};
+use paris_kb::snapshot_v2::kb_to_bytes_v2;
+use paris_kb::KbBuilder;
+use paris_rdf::ntriples::{parse_chunked, ChunkOptions, Parser};
+
+fn min_time(runs: usize, mut f: impl FnMut()) -> Duration {
+    (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .min()
+        .expect("at least one run")
+}
+
+fn parse_rate(doc: &[u8], threads: usize) -> (Duration, u64) {
+    let opts = ChunkOptions {
+        threads,
+        chunk_bytes: 4 << 20,
+        quads: false,
+    };
+    let mut triples = 0u64;
+    let elapsed = min_time(3, || {
+        let mut n = 0u64;
+        parse_chunked(doc, &opts, |batch| {
+            n += batch.len() as u64;
+            Ok(())
+        })
+        .expect("bench input parses");
+        triples = n;
+    });
+    (elapsed, triples)
+}
+
+fn main() {
+    let scale: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(6400);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    println!("dataset: movies, scale {scale}; {cores} cores");
+    let pair = generate(&MoviesConfig {
+        num_movies: scale,
+        ..Default::default()
+    });
+    let doc = to_ntriples(&pair.kb2); // the bigger (IMDb) side
+    drop(pair);
+    let mib = doc.len() as f64 / (1 << 20) as f64;
+    println!("input: {:.1} MiB of N-Triples", mib);
+
+    // 1. Line-parallel parse vs. single-threaded.
+    let (seq, triples) = parse_rate(doc.as_bytes(), 1);
+    println!(
+        "parse, 1 thread  (min of 3):  {}  ({:.1} MiB/s, {triples} triples)",
+        fmt_duration(seq),
+        mib / seq.as_secs_f64()
+    );
+    let mut speedup = None;
+    if cores >= 2 {
+        let (par, par_triples) = parse_rate(doc.as_bytes(), cores);
+        assert_eq!(par_triples, triples, "thread count changed the parse");
+        let ratio = seq.as_secs_f64() / par.as_secs_f64();
+        println!(
+            "parse, {cores} threads (min of 3):  {}  ({:.1} MiB/s) → {ratio:.2}× single-thread",
+            fmt_duration(par),
+            mib / par.as_secs_f64()
+        );
+        speedup = Some(ratio);
+    } else {
+        println!("parse, parallel:              skipped (single-core machine)");
+    }
+
+    // 2. End-to-end: spill-heavy streaming ingest vs. the heap build.
+    let dir = std::env::temp_dir().join("paris_ingest_throughput_bench");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let out = dir.join("ingest.snap");
+    let opts = IngestOptions {
+        name: "bench".to_owned(),
+        mem_budget: 8 << 20,
+        threads: cores,
+        ..IngestOptions::default()
+    };
+    let t = Instant::now();
+    let report = ingest_reader(doc.as_bytes(), &out, &opts).expect("ingest succeeds");
+    let ingest_time = t.elapsed();
+    println!(
+        "streaming ingest (8M budget): {}  ({:.1} MiB/s, {} spill runs, {} spill bytes)",
+        fmt_duration(ingest_time),
+        mib / ingest_time.as_secs_f64(),
+        report.spill_runs,
+        report.spill_bytes
+    );
+
+    let t = Instant::now();
+    let heap_bytes = {
+        let triples = Parser::parse_all(&doc).expect("parses");
+        let mut b = KbBuilder::new("bench");
+        b.add_triples(&triples);
+        kb_to_bytes_v2(&b.build())
+    };
+    let heap_time = t.elapsed();
+    println!(
+        "heap build (unbounded mem):   {}  ({:.1} MiB/s)",
+        fmt_duration(heap_time),
+        mib / heap_time.as_secs_f64()
+    );
+
+    // 3. Identity at scale.
+    let ingested = std::fs::read(&out).expect("read ingested snapshot");
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(
+        ingested, heap_bytes,
+        "FAIL: ingested snapshot diverges from the heap-built one"
+    );
+    println!("identity: ingested snapshot is bit-identical to the heap path ✓");
+
+    if let Some(ratio) = speedup {
+        let bar = if cores >= 4 { 2.0 } else { 1.3 };
+        assert!(
+            ratio >= bar,
+            "FAIL: parallel parse speedup {ratio:.2}× is below the {bar}× acceptance bar"
+        );
+        println!("acceptance: parallel parse ≥{bar}× single-thread ✓");
+    } else {
+        println!("acceptance: speedup gate skipped on 1 core (identity still enforced)");
+    }
+}

@@ -38,6 +38,7 @@ pub mod export;
 pub mod functionality;
 pub mod fxhash;
 pub mod ids;
+pub mod ingest;
 pub mod snapshot;
 pub mod snapshot_v2;
 pub mod stats;
@@ -50,6 +51,7 @@ pub use delta::{AppliedDelta, DeltaError, KbDelta};
 pub use functionality::FunctionalityVariant;
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use ids::{EntityId, EntityKind, RelationId};
+pub use ingest::{ingest_file, ingest_reader, IngestError, IngestOptions, IngestReport};
 pub use snapshot_v2::{KbLayout, KbView, MappedKbSnapshot, SnapshotArena};
 pub use stats::KbStats;
 pub use store::Kb;

@@ -758,8 +758,24 @@ pub fn save_kb(kb: &Kb, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
     write_file(path, SnapshotKind::Kb, payload.bytes())
 }
 
-/// Loads a single-KB snapshot file.
+/// Loads a single-KB snapshot file, auto-detecting the format version:
+/// v1 decodes the framed stream, v2 (as written by `save_kb_v2` or
+/// `paris ingest`) validates the section image and materializes it.
 pub fn load_kb(path: impl AsRef<Path>) -> Result<Kb, SnapshotError> {
+    let path = path.as_ref();
+    {
+        use std::io::Read;
+        let mut header = [0u8; 12];
+        let mut f = std::fs::File::open(path)?;
+        if f.read_exact(&mut header).is_ok()
+            && header[..8] == MAGIC
+            && u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"))
+                == crate::snapshot_v2::FORMAT_VERSION_V2
+        {
+            let snap = crate::snapshot_v2::MappedKbSnapshot::open(path)?;
+            return Ok(snap.kb().to_kb());
+        }
+    }
     let (kind, payload) = read_file(path)?;
     if kind != SnapshotKind::Kb {
         return Err(SnapshotError::corrupt(format!(

@@ -85,8 +85,8 @@ use crate::store::Kb;
 /// The v2 format version number stored in the header.
 pub const FORMAT_VERSION_V2: u32 = 2;
 
-const HEADER_LEN: usize = 24;
-const SECTION_ENTRY_LEN: usize = 32;
+pub(crate) const HEADER_LEN: usize = 24;
+pub(crate) const SECTION_ENTRY_LEN: usize = 32;
 /// Hard cap on the section count (a 40-section file is the current
 /// maximum; this guards the table allocation against corrupt headers).
 const MAX_SECTIONS: usize = 4096;
@@ -98,22 +98,22 @@ pub const KB2_BASE: u32 = 0x200;
 /// Section-id base for the alignment tables of an aligned-pair file.
 pub const ALIGN_BASE: u32 = 0x300;
 
-const KB_META: u32 = 0;
-const KB_TERM_BLOB: u32 = 1;
-const KB_TERM_OFFSETS: u32 = 2;
-const KB_TERM_KINDS: u32 = 3;
-const KB_TERM_SORTED: u32 = 4;
-const KB_REL_BLOB: u32 = 5;
-const KB_REL_OFFSETS: u32 = 6;
-const KB_PAIR_OFFSETS: u32 = 7;
-const KB_PAIRS: u32 = 8;
-const KB_ADJ_OFFSETS: u32 = 9;
-const KB_ADJ: u32 = 10;
-const KB_CLASSES: u32 = 11;
-const KB_MEMBERS: u32 = 12; // +0 keys, +1 offsets, +2 values
-const KB_TYPES: u32 = 15;
-const KB_SUPER: u32 = 18;
-const KB_FUN: u32 = 21;
+pub(crate) const KB_META: u32 = 0;
+pub(crate) const KB_TERM_BLOB: u32 = 1;
+pub(crate) const KB_TERM_OFFSETS: u32 = 2;
+pub(crate) const KB_TERM_KINDS: u32 = 3;
+pub(crate) const KB_TERM_SORTED: u32 = 4;
+pub(crate) const KB_REL_BLOB: u32 = 5;
+pub(crate) const KB_REL_OFFSETS: u32 = 6;
+pub(crate) const KB_PAIR_OFFSETS: u32 = 7;
+pub(crate) const KB_PAIRS: u32 = 8;
+pub(crate) const KB_ADJ_OFFSETS: u32 = 9;
+pub(crate) const KB_ADJ: u32 = 10;
+pub(crate) const KB_CLASSES: u32 = 11;
+pub(crate) const KB_MEMBERS: u32 = 12; // +0 keys, +1 offsets, +2 values
+pub(crate) const KB_TYPES: u32 = 15;
+pub(crate) const KB_SUPER: u32 = 18;
+pub(crate) const KB_FUN: u32 = 21;
 
 /// 64-bit section checksum: four independent FNV-style multiply lanes
 /// over 32-byte blocks, folded together at the end.
@@ -675,10 +675,10 @@ impl std::fmt::Debug for SnapshotArena {
 // Term record codec
 // ----------------------------------------------------------------------
 
-const TAG_IRI: u8 = 0;
-const TAG_PLAIN: u8 = 1;
-const TAG_LANG: u8 = 2;
-const TAG_TYPED: u8 = 3;
+pub(crate) const TAG_IRI: u8 = 0;
+pub(crate) const TAG_PLAIN: u8 = 1;
+pub(crate) const TAG_LANG: u8 = 2;
+pub(crate) const TAG_TYPED: u8 = 3;
 
 /// Appends one term record (tag byte + payload) to `out`. Records are
 /// delimited externally by the TERM_OFFSETS array; the encoding is

@@ -1,10 +1,16 @@
-//! N-Triples parsing and serialization.
+//! N-Triples / N-Quads parsing and serialization.
 //!
 //! [N-Triples](https://www.w3.org/TR/n-triples/) is the line-oriented RDF
 //! syntax the paper's datasets ship in (yago and DBpedia dumps). The
 //! [`Parser`] is an iterator over statements; the [`Writer`] serializes
 //! triples back out with correct escaping, so parse → write → parse is the
 //! identity (property-tested in this crate).
+//!
+//! Because every statement lives on its own line, parsing is embarrassingly
+//! parallel: [`parse_chunked`] reads the input in bounded byte chunks, carves
+//! each chunk at line boundaries, and fans the sub-ranges out to scoped
+//! threads, while still delivering triples to the caller in input order.
+//! This is the front end of `paris ingest`'s out-of-core pipeline.
 //!
 //! Deviations from the spec, both documented and deliberate:
 //!
@@ -13,6 +19,8 @@
 //!   they are just resources without global identity — and skolemization
 //!   preserves that semantics within a single document.
 //! * `\u`/`\U` escapes are decoded in both IRIs and literals.
+//! * In N-Quads mode the optional graph label is parsed and discarded: PARIS
+//!   aligns the union graph of a dump, so provenance is irrelevant here.
 
 use std::fs::File;
 use std::io::{BufRead, BufReader, Read, Write as IoWrite};
@@ -99,11 +107,243 @@ pub fn parse_reader(reader: impl Read) -> Result<Vec<Triple>, RdfError> {
     }
 }
 
+/// Parses one line as a statement. `quads` additionally accepts an optional
+/// graph label (IRI or blank node) before the terminating `.`, which is
+/// discarded. Returns `Ok(None)` for blank and comment-only lines. `line` is
+/// the 1-based line number used in error messages.
+pub fn parse_line(text: &str, line: u64, quads: bool) -> Result<Option<Triple>, RdfError> {
+    let text = text.strip_suffix('\r').unwrap_or(text);
+    let mut cursor = Cursor::new(text, line);
+    cursor.quads = quads;
+    cursor.statement()
+}
+
+/// Tuning knobs for [`parse_chunked`].
+#[derive(Debug, Clone)]
+pub struct ChunkOptions {
+    /// Worker threads per chunk (clamped to ≥ 1). 1 parses inline.
+    pub threads: usize,
+    /// Target chunk size in bytes; chunks always end on a line boundary, so a
+    /// single line longer than this still parses (the chunk grows to fit it).
+    pub chunk_bytes: usize,
+    /// Accept N-Quads: an optional graph label before the final `.`,
+    /// discarded after validation.
+    pub quads: bool,
+}
+
+impl Default for ChunkOptions {
+    fn default() -> Self {
+        ChunkOptions {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            chunk_bytes: 4 << 20,
+            quads: false,
+        }
+    }
+}
+
+/// Counters reported by [`parse_chunked`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParseStats {
+    /// Statements delivered to the sink.
+    pub triples: u64,
+    /// Input lines consumed (including blank/comment lines).
+    pub lines: u64,
+    /// Input bytes consumed.
+    pub bytes: u64,
+    /// Chunks processed.
+    pub chunks: u64,
+}
+
+/// Streaming, line-parallel parser over any reader.
+///
+/// Reads the input in chunks of roughly `opts.chunk_bytes`, cut at line
+/// boundaries. Each chunk is split into up to `opts.threads` sub-ranges
+/// (again snapped to line boundaries) that parse concurrently on scoped
+/// threads; the resulting triple batches are handed to `sink` sequentially,
+/// **in input order**, on the calling thread. Memory use is bounded by the
+/// chunk size (plus one over-long line), never by the document size.
+///
+/// Syntax errors carry the absolute 1-based line number, exactly as the
+/// sequential [`Parser`] would report it.
+pub fn parse_chunked<R: Read>(
+    reader: R,
+    opts: &ChunkOptions,
+    mut sink: impl FnMut(Vec<Triple>) -> std::io::Result<()>,
+) -> Result<ParseStats, RdfError> {
+    let threads = opts.threads.max(1);
+    let chunk_bytes = opts.chunk_bytes.max(4096);
+    let mut reader = BufReader::new(reader);
+    let mut carry: Vec<u8> = Vec::new();
+    let mut next_line = 1u64; // 1-based line number of the chunk's first line
+    let mut stats = ParseStats::default();
+    let mut eof = false;
+    while !eof {
+        // Assemble one chunk: the carry from last time plus fresh bytes, then
+        // trim back to the last newline so no line spans two chunks.
+        let mut chunk = std::mem::take(&mut carry);
+        while chunk.len() < chunk_bytes {
+            let old = chunk.len();
+            chunk.resize(chunk_bytes, 0);
+            let n = reader.read(&mut chunk[old..])?;
+            chunk.truncate(old + n);
+            if n == 0 {
+                eof = true;
+                break;
+            }
+        }
+        if !eof {
+            loop {
+                if let Some(i) = chunk.iter().rposition(|&b| b == b'\n') {
+                    carry = chunk.split_off(i + 1);
+                    break;
+                }
+                // A single line longer than the chunk target: grow until its
+                // newline (or EOF) shows up.
+                let old = chunk.len();
+                chunk.resize(old + (64 << 10), 0);
+                let n = reader.read(&mut chunk[old..])?;
+                chunk.truncate(old + n);
+                if n == 0 {
+                    eof = true;
+                    break;
+                }
+            }
+        }
+        if chunk.is_empty() {
+            continue;
+        }
+        let text = match std::str::from_utf8(&chunk) {
+            Ok(t) => t,
+            Err(e) => {
+                let line = next_line
+                    + chunk[..e.valid_up_to()]
+                        .iter()
+                        .filter(|&&b| b == b'\n')
+                        .count() as u64;
+                return Err(RdfError::syntax(line, "invalid UTF-8 in input"));
+            }
+        };
+        let consumed = parse_chunk(text, next_line, threads, opts.quads, &mut stats, &mut sink)?;
+        next_line += consumed;
+        stats.bytes += chunk.len() as u64;
+        stats.chunks += 1;
+    }
+    Ok(stats)
+}
+
+/// Parses one chunk (a whole number of lines), fanning sub-ranges out to
+/// scoped threads; returns the number of lines consumed.
+fn parse_chunk(
+    text: &str,
+    first_line: u64,
+    threads: usize,
+    quads: bool,
+    stats: &mut ParseStats,
+    sink: &mut impl FnMut(Vec<Triple>) -> std::io::Result<()>,
+) -> Result<u64, RdfError> {
+    // Sub-range boundaries: even byte splits snapped forward to the next
+    // line start, deduplicated (tiny chunks collapse to fewer ranges).
+    let mut bounds = vec![0usize];
+    for i in 1..threads {
+        let target = text.len() * i / threads;
+        let cut = match text.as_bytes()[target..].iter().position(|&b| b == b'\n') {
+            Some(off) => target + off + 1,
+            None => text.len(),
+        };
+        if cut > *bounds.last().expect("non-empty") && cut < text.len() {
+            bounds.push(cut);
+        }
+    }
+    bounds.push(text.len());
+
+    let results: Vec<RegionResult> = if bounds.len() == 2 {
+        vec![parse_region(text, quads)]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = bounds
+                .windows(2)
+                .map(|w| {
+                    let region = &text[w[0]..w[1]];
+                    scope.spawn(move || parse_region(region, quads))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parser worker panicked"))
+                .collect()
+        })
+    };
+
+    // Deliver in input order; rebase each region's relative line numbers onto
+    // the running absolute count so errors name the true 1-based line.
+    let mut consumed = 0u64;
+    for result in results {
+        match result {
+            Ok((triples, lines)) => {
+                consumed += lines;
+                stats.triples += triples.len() as u64;
+                if !triples.is_empty() {
+                    sink(triples)?;
+                }
+            }
+            Err((rel_line, message)) => {
+                return Err(RdfError::syntax(
+                    first_line - 1 + consumed + rel_line,
+                    message,
+                ));
+            }
+        }
+    }
+    stats.lines += consumed;
+    Ok(consumed)
+}
+
+/// One region's parse: the triples and line count, or a region-relative
+/// (1-based) error line plus message.
+type RegionResult = Result<(Vec<Triple>, u64), (u64, String)>;
+
+/// Parses a whole-line region sequentially. Errors carry the line number
+/// relative to the region start (1-based); the caller rebases them.
+fn parse_region(text: &str, quads: bool) -> RegionResult {
+    let mut out = Vec::new();
+    let mut rest = text;
+    let mut line = 0u64;
+    while !rest.is_empty() {
+        let (raw, tail) = match rest.find('\n') {
+            Some(i) => (&rest[..i], &rest[i + 1..]),
+            None => (rest, ""),
+        };
+        rest = tail;
+        line += 1;
+        match parse_line(raw, line, quads) {
+            Ok(Some(t)) => out.push(t),
+            Ok(None) => {}
+            Err(RdfError::Syntax { line, message }) => return Err((line, message)),
+            Err(e) => return Err((line, e.to_string())),
+        }
+    }
+    Ok((out, line))
+}
+
+/// Convenience wrapper over [`parse_chunked`] collecting into a vector.
+pub fn parse_chunked_collect<R: Read>(
+    reader: R,
+    opts: &ChunkOptions,
+) -> Result<Vec<Triple>, RdfError> {
+    let mut out = Vec::new();
+    parse_chunked(reader, opts, |batch| {
+        out.extend(batch);
+        Ok(())
+    })?;
+    Ok(out)
+}
+
 /// Single-statement scanner over one line.
 struct Cursor<'a> {
     bytes: &'a [u8],
     pos: usize,
     line: u64,
+    quads: bool,
 }
 
 impl<'a> Cursor<'a> {
@@ -112,6 +352,7 @@ impl<'a> Cursor<'a> {
             bytes: text.as_bytes(),
             pos: 0,
             line,
+            quads: false,
         }
     }
 
@@ -148,6 +389,14 @@ impl<'a> Cursor<'a> {
         self.skip_ws();
         let object = self.object()?;
         self.skip_ws();
+        if self.quads && matches!(self.peek(), Some(b'<') | Some(b'_')) {
+            // N-Quads graph label: parsed for validity, then discarded.
+            match self.peek() {
+                Some(b'<') => drop(self.iri_ref()?),
+                _ => drop(self.blank_node()?),
+            }
+            self.skip_ws();
+        }
         if self.bump() != Some(b'.') {
             return Err(self.err("expected '.' terminating the statement"));
         }

@@ -1,0 +1,251 @@
+//! N-Triples / N-Quads conformance suite.
+//!
+//! Positive cases exercise the escape, literal, and whitespace corners of the
+//! grammar; negative cases assert both rejection AND that the reported line
+//! number is the true 1-based line of the offending statement — the chunked
+//! parallel parser must agree with the sequential one on every input.
+
+use paris_rdf::ntriples::{parse_chunked_collect, parse_line, ChunkOptions, Parser};
+use paris_rdf::{RdfError, Triple};
+
+fn parse_one(s: &str) -> Triple {
+    let mut p = Parser::new(s);
+    let t = p.next().expect("one statement").expect("valid");
+    assert!(p.next().is_none(), "exactly one statement expected");
+    t
+}
+
+/// Asserts the document fails with a syntax error naming `expect_line`.
+fn assert_syntax_error_at(doc: &str, expect_line: u64) {
+    match Parser::parse_all(doc) {
+        Err(RdfError::Syntax { line, .. }) => assert_eq!(
+            line, expect_line,
+            "sequential parser reported wrong line for {doc:?}"
+        ),
+        other => panic!("expected syntax error on line {expect_line}, got {other:?}"),
+    }
+    // The chunked parser must agree, at every thread count.
+    for threads in [1, 4] {
+        let opts = ChunkOptions {
+            threads,
+            chunk_bytes: 4096,
+            quads: false,
+        };
+        match parse_chunked_collect(doc.as_bytes(), &opts) {
+            Err(RdfError::Syntax { line, .. }) => assert_eq!(
+                line, expect_line,
+                "chunked parser (threads={threads}) reported wrong line"
+            ),
+            other => panic!("chunked parser should fail on line {expect_line}, got {other:?}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- positive
+
+#[test]
+fn short_unicode_escapes_in_literal() {
+    let t = parse_one(r#"<http://s> <http://p> "caf\u00E9 \u0041" ."#);
+    assert_eq!(t.object.as_literal().unwrap().value(), "café A");
+}
+
+#[test]
+fn long_unicode_escape_supplementary_plane() {
+    let t = parse_one(r#"<http://s> <http://p> "\U0001F600\U0001D11E" ."#);
+    assert_eq!(t.object.as_literal().unwrap().value(), "😀𝄞");
+}
+
+#[test]
+fn unicode_escapes_in_iri() {
+    let t = parse_one(r#"<http://s/\u00E9\U0001F600> <http://p> <http://o> ."#);
+    assert_eq!(t.subject.as_str(), "http://s/é😀");
+}
+
+#[test]
+fn all_echar_escapes() {
+    let t = parse_one(r#"<http://s> <http://p> "t\tb\bn\nr\rf\fq\"a\'s\\" ."#);
+    assert_eq!(
+        t.object.as_literal().unwrap().value(),
+        "t\tb\u{8}n\nr\rf\u{c}q\"a's\\"
+    );
+}
+
+#[test]
+fn tabs_as_statement_whitespace() {
+    let t = parse_one("\t<http://s>\t<http://p>\t\"x\"\t.\t");
+    assert_eq!(t.subject.as_str(), "http://s");
+}
+
+#[test]
+fn comments_blank_and_crlf_lines() {
+    let doc = "# header\r\n\r\n   \t\r\n<http://s> <http://p> <http://o> . # inline\r\n#tail";
+    let ts = Parser::parse_all(doc).unwrap();
+    assert_eq!(ts.len(), 1);
+    // Chunked parser sees the same document identically.
+    let opts = ChunkOptions {
+        threads: 4,
+        chunk_bytes: 4096,
+        quads: false,
+    };
+    assert_eq!(parse_chunked_collect(doc.as_bytes(), &opts).unwrap(), ts);
+}
+
+#[test]
+fn long_literal_crosses_chunk_boundaries() {
+    // One literal far larger than the chunk target: the chunk must grow to
+    // cover the whole line rather than split mid-literal.
+    let big = "x".repeat(64 * 1024);
+    let doc = format!(
+        "<http://a> <http://p> <http://b> .\n<http://s> <http://p> \"{big}\" .\n<http://c> <http://p> <http://d> .\n"
+    );
+    let seq = Parser::parse_all(&doc).unwrap();
+    assert_eq!(seq.len(), 3);
+    assert_eq!(seq[1].object.as_literal().unwrap().value().len(), big.len());
+    let opts = ChunkOptions {
+        threads: 4,
+        chunk_bytes: 4096,
+        quads: false,
+    };
+    assert_eq!(parse_chunked_collect(doc.as_bytes(), &opts).unwrap(), seq);
+}
+
+#[test]
+fn datatype_and_lang_tags() {
+    let t =
+        parse_one(r#"<http://s> <http://p> "3.14"^^<http://www.w3.org/2001/XMLSchema#decimal> ."#);
+    assert_eq!(
+        t.object.as_literal().unwrap().datatype().unwrap().as_str(),
+        "http://www.w3.org/2001/XMLSchema#decimal"
+    );
+    let t = parse_one(r#"<http://s> <http://p> "ville"@fr-CA ."#);
+    assert_eq!(t.object.as_literal().unwrap().language(), Some("fr-CA"));
+}
+
+#[test]
+fn nquads_graph_label_is_discarded() {
+    let doc = "<http://s> <http://p> <http://o> <http://graph/g1> .\n\
+               <http://s> <http://p> \"lit\"@en _:g .\n\
+               <http://s2> <http://p> <http://o2> .\n";
+    let opts = ChunkOptions {
+        threads: 2,
+        chunk_bytes: 4096,
+        quads: true,
+    };
+    let ts = parse_chunked_collect(doc.as_bytes(), &opts).unwrap();
+    assert_eq!(ts.len(), 3);
+    assert_eq!(ts[0].object.as_iri().unwrap().as_str(), "http://o");
+    assert_eq!(ts[1].object.as_literal().unwrap().language(), Some("en"));
+    // Triples mode keeps rejecting the 4th term.
+    assert!(matches!(
+        parse_line("<http://s> <http://p> <http://o> <http://g> .", 1, false),
+        Err(RdfError::Syntax { line: 1, .. })
+    ));
+}
+
+#[test]
+fn chunked_matches_sequential_on_mixed_document() {
+    let mut doc = String::from("# generated\n");
+    for i in 0..500 {
+        doc.push_str(&format!("<http://e/{i}> <http://p/{}> ", i % 7));
+        match i % 4 {
+            0 => doc.push_str(&format!("<http://e/{}> .\n", i + 1)),
+            1 => doc.push_str(&format!("\"value {i}\" .\n")),
+            2 => doc.push_str(&format!("\"v{i}\"@en .\n")),
+            _ => doc.push_str(&format!(
+                "\"{i}\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n"
+            )),
+        }
+        if i % 50 == 0 {
+            doc.push_str("# checkpoint\n\n");
+        }
+    }
+    let seq = Parser::parse_all(&doc).unwrap();
+    for threads in [1, 2, 4] {
+        for chunk_bytes in [4096, 1 << 20] {
+            let opts = ChunkOptions {
+                threads,
+                chunk_bytes,
+                quads: false,
+            };
+            let par = parse_chunked_collect(doc.as_bytes(), &opts).unwrap();
+            assert_eq!(par, seq, "threads={threads} chunk_bytes={chunk_bytes}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------- negative
+
+#[test]
+fn malformed_line_numbers_are_one_based_and_absolute() {
+    assert_syntax_error_at("garbage\n", 1);
+    assert_syntax_error_at("<http://s> <http://p> <http://o> .\ngarbage\n", 2);
+    assert_syntax_error_at(
+        "<http://s> <http://p> <http://o> .\n# comment\n\n<http://s> <http://p> nope .\n",
+        4,
+    );
+}
+
+#[test]
+fn error_line_survives_chunk_boundaries() {
+    // Put the bad line deep enough that it lands in a later chunk/sub-range.
+    let mut doc = String::new();
+    for i in 0..300 {
+        doc.push_str(&format!("<http://e/{i}> <http://p> <http://o/{i}> .\n"));
+    }
+    doc.push_str("<http://bad> <http://p> .\n"); // missing object → line 301
+    for i in 0..50 {
+        doc.push_str(&format!("<http://f/{i}> <http://p> <http://o> .\n"));
+    }
+    assert_syntax_error_at(&doc, 301);
+}
+
+#[test]
+fn truncated_unicode_escape() {
+    assert_syntax_error_at("<http://s> <http://p> \"\\u00\" .\n", 1);
+    assert_syntax_error_at("<http://s> <http://p> \"\\U0001F6\" .\n", 1);
+}
+
+#[test]
+fn surrogate_escape_is_rejected() {
+    assert_syntax_error_at("<http://s> <http://p> \"\\uD800\" .\n", 1);
+}
+
+#[test]
+fn illegal_escapes() {
+    assert_syntax_error_at("<http://s> <http://p> \"\\x41\" .\n", 1);
+    assert_syntax_error_at("<http://s/\\n> <http://p> <http://o> .\n", 1);
+}
+
+#[test]
+fn structural_errors() {
+    // Missing terminator.
+    assert_syntax_error_at("<http://s> <http://p> <http://o>\n", 1);
+    // Unterminated IRI and literal.
+    assert_syntax_error_at("<http://s <http://p> <http://o> .\n", 1);
+    assert_syntax_error_at("<http://s> <http://p> \"open .\n", 1);
+    // Literal in subject position.
+    assert_syntax_error_at("\"lit\" <http://p> <http://o> .\n", 1);
+    // Literal predicate.
+    assert_syntax_error_at("<http://s> \"p\" <http://o> .\n", 1);
+    // Empty IRI, empty blank node label, empty language tag.
+    assert_syntax_error_at("<> <http://p> <http://o> .\n", 1);
+    assert_syntax_error_at("_: <http://p> <http://o> .\n", 1);
+    assert_syntax_error_at("<http://s> <http://p> \"x\"@ .\n", 1);
+    // Trailing garbage after the dot.
+    assert_syntax_error_at("<http://s> <http://p> <http://o> . junk\n", 1);
+    // Graph label outside quads mode.
+    assert_syntax_error_at("<http://s> <http://p> <http://o> <http://g> .\n", 1);
+}
+
+#[test]
+fn raw_control_char_in_iri_is_rejected() {
+    assert_syntax_error_at("<http://s\u{1}> <http://p> <http://o> .\n", 1);
+}
+
+#[test]
+fn parse_line_reports_caller_line_number() {
+    match parse_line("nonsense", 42, false) {
+        Err(RdfError::Syntax { line, .. }) => assert_eq!(line, 42),
+        other => panic!("expected syntax error, got {other:?}"),
+    }
+}

@@ -39,7 +39,8 @@ USAGE:
   paris stats <FILE>...
   paris generate <persons|restaurants|encyclopedia|movies> --out <DIR> [--seed N] [--scale N]
   paris snapshot <LEFT> <RIGHT> --out <FILE.snap> [--format v1|v2] [CONFIG OPTIONS]
-  paris snapshot <FILE> --out <FILE.snap>
+  paris snapshot <FILE> --out <FILE.snap> [--format v1|v2]
+  paris ingest <IN.nt> <OUT.snap> [--mem-budget <BYTES>] [--threads N] [--name S] [--tmp <DIR>]
   paris convert <PAIR.snap> --out <FILE.snap> [--format v1|v2]
   paris delta <PAIR.snap> --out <FILE.snap> [DELTA OPTIONS] [CONFIG OPTIONS]
   paris serve <FILE.snap> [SERVE OPTIONS]
@@ -48,8 +49,10 @@ USAGE:
   paris query <URL[,URL…]> <health|pairs|stats|metrics|sameas|neighbors|explain|batch> [ARGS]
   paris version
 
-Input files may be N-Triples (.nt), Turtle (.ttl/.turtle), or tab-separated
-facts (.tsv: subject TAB relation TAB object, quoted objects are literals).
+Input files may be N-Triples (.nt), Turtle (.ttl/.turtle), tab-separated
+facts (.tsv: subject TAB relation TAB object, quoted objects are literals),
+or single-KB snapshots (.snap, as written by `paris snapshot <FILE>` or
+`paris ingest`).
 
 ALIGN OPTIONS:
   --literals <identity|normalized|tokensort|edit:<min>|numeric:<tol>>
@@ -73,14 +76,32 @@ SNAPSHOT:
   With one input: write a single-KB snapshot (the unit POST /align jobs
   consume). Snapshots load in milliseconds — no re-parsing, no re-aligning.
   --format v1 (default) writes the decode-on-load stream format;
-  --format v2 (aligned pairs only) writes the zero-copy section-table
-  format that `paris serve` opens via mmap without decoding the body —
-  O(validation) startup, page-cache-resident data, built for very large
-  KBs. CONFIG OPTIONS are the algorithm-configuration subset of ALIGN
+  --format v2 writes the zero-copy section-table format — for aligned
+  pairs the one `paris serve` opens via mmap without decoding the body
+  (O(validation) startup, page-cache-resident data, built for very
+  large KBs), for a single input the same image `paris ingest` streams
+  out (useful as the heap-path reference to diff an ingest against). CONFIG OPTIONS are the algorithm-configuration subset of ALIGN
   OPTIONS: --literals, --theta, --truncation, --max-iterations,
   --threads, --negative-evidence, --propagate-all. Output options
   (--threshold, --sameas, --gold, …) do not apply: the snapshot stores
   all scores.
+
+INGEST:
+  Stream an N-Triples/N-Quads file straight into a single-KB v2 snapshot
+  in bounded memory — the heap `Kb` is never materialized, so the input
+  can be far larger than RAM. Parsing is line-parallel (chunks split at
+  line boundaries); sorting spills runs to temp files under --mem-budget
+  and k-way merges them back. The output is byte-identical to the heap
+  path (`paris snapshot IN --format v2 --out OUT`), so everything that
+  reads single-KB snapshots (POST /v1/align, `paris align`/`snapshot`
+  with .snap inputs) works on ingested images unchanged. `.nq`/`.nquads`
+  inputs parse as N-Quads (graph labels validated, then discarded).
+  --mem-budget <BYTES>    sort-buffer budget, suffixes K/M/G
+                          (floor 64K)             [default: 256M]
+  --threads <N>           parser threads (0 = auto)  [default: 0]
+  --name <S>              KB name stored in the snapshot
+                          [default: input file stem]
+  --tmp <DIR>             spill directory [default: the output's]
 
 CONVERT:
   Re-encode an existing aligned-pair snapshot between format versions
@@ -225,6 +246,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("stats") => stats(&args[1..]),
         Some("generate") => generate(&args[1..]),
         Some("snapshot") => snapshot(&args[1..]),
+        Some("ingest") => ingest(&args[1..]),
         Some("convert") => convert(&args[1..]),
         Some("delta") => delta(&args[1..]),
         Some("serve") => serve(&args[1..]),
@@ -476,7 +498,7 @@ fn align(args: &[String]) -> Result<(), String> {
 }
 
 /// Input formats `paris align` / `paris stats` / `paris snapshot` accept.
-const SUPPORTED_EXTENSIONS: [&str; 5] = ["nt", "ntriples", "ttl", "turtle", "tsv"];
+const SUPPORTED_EXTENSIONS: [&str; 6] = ["nt", "ntriples", "ttl", "turtle", "tsv", "snap"];
 
 /// Checks that an input path exists and carries a supported extension,
 /// returning the lower-cased extension. Produces an error naming the file
@@ -501,11 +523,11 @@ fn check_input(path: &Path) -> Result<String, String> {
     match ext {
         Some(e) if SUPPORTED_EXTENSIONS.contains(&e.as_str()) => Ok(e),
         Some(e) => Err(format!(
-            "cannot read {}: unsupported extension '.{e}' (expected one of: .nt, .ntriples, .ttl, .turtle, .tsv)",
+            "cannot read {}: unsupported extension '.{e}' (expected one of: .nt, .ntriples, .ttl, .turtle, .tsv, .snap)",
             path.display()
         )),
         None => Err(format!(
-            "cannot read {}: missing file extension (expected one of: .nt, .ntriples, .ttl, .turtle, .tsv)",
+            "cannot read {}: missing file extension (expected one of: .nt, .ntriples, .ttl, .turtle, .tsv, .snap)",
             path.display()
         )),
     }
@@ -518,7 +540,12 @@ fn load(path: &Path) -> Result<Kb, String> {
         .and_then(|s| s.to_str())
         .unwrap_or("kb")
         .to_owned();
-    let result = if ext == "tsv" {
+    let result = if ext == "snap" {
+        // A pre-built single-KB snapshot (v1 stream or v2 section image,
+        // e.g. from `paris ingest`) — load it instead of parsing RDF.
+        return paris_repro::kb::snapshot::load_kb(path)
+            .map_err(|e| format!("loading {}: {e}", path.display()));
+    } else if ext == "tsv" {
         // The paper's IMDb path: ad-hoc tabular facts → triples (§6.4).
         paris_repro::kb::tsv::kb_from_tsv_file(&name, path, &format!("urn:{name}:"))
     } else {
@@ -744,18 +771,15 @@ fn snapshot(args: &[String]) -> Result<(), String> {
     let t0 = std::time::Instant::now();
     match positional.as_slice() {
         [single] => {
-            if format == SnapFormat::V2 {
-                return Err(
-                    "--format v2 applies to aligned pairs only (single-KB snapshots feed \
-                     POST /align jobs, which decode anyway)"
-                        .into(),
-                );
-            }
             let kb = load(Path::new(single))?;
-            paris_repro::kb::snapshot::save_kb(&kb, &out)
-                .map_err(|e| format!("writing {}: {e}", out.display()))?;
+            match format {
+                SnapFormat::V1 => paris_repro::kb::snapshot::save_kb(&kb, &out),
+                SnapFormat::V2 => paris_repro::kb::snapshot_v2::save_kb_v2(&kb, &out),
+            }
+            .map_err(|e| format!("writing {}: {e}", out.display()))?;
             println!(
-                "wrote single-KB snapshot of {} to {} ({} bytes, {:.2}s)",
+                "wrote {} single-KB snapshot of {} to {} ({} bytes, {:.2}s)",
+                if format == SnapFormat::V2 { "v2" } else { "v1" },
                 KbStats::of(&kb),
                 out.display(),
                 file_size(&out),
@@ -785,6 +809,104 @@ fn snapshot(args: &[String]) -> Result<(), String> {
             return Err("snapshot needs one input file (KB snapshot) or two (aligned pair)".into())
         }
     }
+    Ok(())
+}
+
+/// `paris ingest`: stream an N-Triples/N-Quads file into a single-KB v2
+/// snapshot in bounded memory, never materializing a heap `Kb`.
+fn ingest(args: &[String]) -> Result<(), String> {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut opts = paris_repro::kb::ingest::IngestOptions {
+        threads: 0,
+        ..Default::default()
+    };
+    let mut name: Option<String> = None;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+                .cloned()
+        };
+        match arg.as_str() {
+            "--mem-budget" => {
+                let bytes = parse_byte_size(&value_of("--mem-budget")?)?;
+                opts.mem_budget = usize::try_from(bytes)
+                    .map_err(|_| format!("--mem-budget {bytes} does not fit this platform"))?;
+            }
+            "--threads" => {
+                opts.threads = value_of("--threads")?
+                    .parse()
+                    .map_err(|_| "bad --threads value".to_owned())?
+            }
+            "--name" => name = Some(value_of("--name")?),
+            "--quads" => opts.quads = true,
+            "--tmp" => opts.tmp_dir = Some(PathBuf::from(value_of("--tmp")?)),
+            flag if flag.starts_with("--") => return Err(format!("unknown option '{flag}'")),
+            _ => positional.push(arg),
+        }
+    }
+    let [input, output] = positional.as_slice() else {
+        return Err("ingest needs exactly two arguments: <IN.nt> <OUT.snap>".to_owned());
+    };
+    let input = Path::new(input);
+    let output = Path::new(output);
+    if !input.exists() {
+        return Err(format!(
+            "cannot read {}: no such file or directory",
+            input.display()
+        ));
+    }
+    let ext = input
+        .extension()
+        .and_then(|e| e.to_str())
+        .map(str::to_ascii_lowercase)
+        .unwrap_or_default();
+    match ext.as_str() {
+        "nt" | "ntriples" => {}
+        "nq" | "nquads" => opts.quads = true,
+        other => {
+            return Err(format!(
+                "cannot ingest {}: unsupported extension '.{other}' (expected .nt, .ntriples, \
+                 .nq, or .nquads — Turtle and TSV need the heap path, `paris snapshot`)",
+                input.display()
+            ))
+        }
+    }
+    if opts.threads == 0 {
+        opts.threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    }
+    opts.name = name.unwrap_or_else(|| {
+        input
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("kb")
+            .to_owned()
+    });
+
+    let t0 = std::time::Instant::now();
+    let report = paris_repro::kb::ingest::ingest_file(input, output, &opts)
+        .map_err(|e| format!("ingesting {}: {e}", input.display()))?;
+    println!(
+        "ingested {} ({} triples, {} lines, {} bytes) into {}: \
+         {} terms, {} relations, {} classes, {} pairs → {} bytes; \
+         {} spill runs ({} bytes) under a {} byte budget; {:.2}s",
+        input.display(),
+        report.triples,
+        report.lines,
+        report.bytes_in,
+        output.display(),
+        report.entities,
+        report.relations,
+        report.classes,
+        report.pairs,
+        report.output_bytes,
+        report.spill_runs,
+        report.spill_bytes,
+        opts.mem_budget,
+        t0.elapsed().as_secs_f64(),
+    );
     Ok(())
 }
 

@@ -1,0 +1,184 @@
+//! Byte-identity property test for `paris ingest`.
+//!
+//! The external-sort ingest pipeline promises output **bit-identical** to
+//! the heap path (`parse → KbBuilder → Kb → kb_to_bytes_v2`) — that is the
+//! contract that lets the whole serving/replication/explain stack consume
+//! ingested images unchanged. This test drives both paths over ~10 seeded
+//! random KBs plus the movies fixtures, under budgets small enough to force
+//! multi-run spilling and at 1 vs 4 parser threads.
+
+use paris_repro::datagen::{movies, MoviesConfig};
+use paris_repro::kb::export::to_ntriples;
+use paris_repro::kb::ingest::{ingest_reader, IngestOptions};
+use paris_repro::kb::snapshot_v2::kb_to_bytes_v2;
+use paris_repro::kb::KbBuilder;
+use paris_repro::rdf::ntriples::Parser;
+
+/// A tiny deterministic LCG — the test owns its randomness so a failing
+/// seed reproduces exactly.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.0 >> 11
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Generates a random N-Triples document exercising every statement shape
+/// the ingest pipeline distinguishes: plain facts (IRI and literal objects,
+/// with duplicates), `rdf:type`, `rdfs:subClassOf` (including cycles and
+/// self-loops), `rdfs:subPropertyOf`, and vocab statements with literal
+/// objects (which the heap path drops whole).
+fn random_doc(seed: u64, statements: usize) -> String {
+    let mut rng = Lcg(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+    let entities = 40 + rng.below(80);
+    let relations = 3 + rng.below(8);
+    let classes = 4 + rng.below(10);
+    let mut doc = String::new();
+    for _ in 0..statements {
+        let s = rng.below(entities);
+        match rng.below(100) {
+            0..=59 => {
+                // A fact; ~1/3 literal objects, ~1/5 of the rest repeated.
+                let r = rng.below(relations);
+                match rng.below(3) {
+                    0 => {
+                        let v = rng.below(500);
+                        match rng.below(3) {
+                            0 => doc.push_str(&format!(
+                                "<http://t/e{s}> <http://t/r{r}> \"v{v}\" .\n"
+                            )),
+                            1 => doc.push_str(&format!(
+                                "<http://t/e{s}> <http://t/r{r}> \"v{v}\"@en .\n"
+                            )),
+                            _ => doc.push_str(&format!(
+                                "<http://t/e{s}> <http://t/r{r}> \"{v}\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n"
+                            )),
+                        }
+                    }
+                    _ => {
+                        let o = rng.below(entities);
+                        let line = format!("<http://t/e{s}> <http://t/r{r}> <http://t/e{o}> .\n");
+                        let repeats = if rng.below(5) == 0 { 2 } else { 1 };
+                        for _ in 0..repeats {
+                            doc.push_str(&line);
+                        }
+                    }
+                }
+            }
+            60..=79 => {
+                let c = rng.below(classes);
+                doc.push_str(&format!(
+                    "<http://t/e{s}> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://t/C{c}> .\n"
+                ));
+            }
+            80..=92 => {
+                // Subclass edges; self-loops and cycles must be tolerated.
+                let a = rng.below(classes);
+                let b = if rng.below(10) == 0 {
+                    a
+                } else {
+                    rng.below(classes)
+                };
+                doc.push_str(&format!(
+                    "<http://t/C{a}> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <http://t/C{b}> .\n"
+                ));
+            }
+            93..=97 => {
+                let a = rng.below(relations);
+                let b = rng.below(relations);
+                doc.push_str(&format!(
+                    "<http://t/r{a}> <http://www.w3.org/2000/01/rdf-schema#subPropertyOf> <http://t/r{b}> .\n"
+                ));
+            }
+            _ => {
+                // Vocab statements with literal objects: dropped whole.
+                doc.push_str(&format!(
+                    "<http://t/e{s}> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> \"not a class\" .\n"
+                ));
+            }
+        }
+    }
+    doc
+}
+
+/// The heap path: parse everything, intern into a `KbBuilder`, serialize.
+fn heap_bytes(name: &str, doc: &str) -> Vec<u8> {
+    let triples = Parser::parse_all(doc).expect("generated doc must parse");
+    let mut b = KbBuilder::new(name);
+    b.add_triples(&triples);
+    kb_to_bytes_v2(&b.build())
+}
+
+/// Ingests `doc` under the given budget/threads and returns the snapshot
+/// bytes plus the number of spill runs taken.
+fn ingest_bytes(name: &str, doc: &str, mem_budget: usize, threads: usize) -> (Vec<u8>, u64) {
+    let dir = std::env::temp_dir().join(format!(
+        "paris-ingest-identity-{}-{name}-{mem_budget}-{threads}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("out.snap");
+    let opts = IngestOptions {
+        name: name.to_owned(),
+        mem_budget,
+        threads,
+        ..IngestOptions::default()
+    };
+    let report = ingest_reader(doc.as_bytes(), &out, &opts).expect("ingest succeeds");
+    let bytes = std::fs::read(&out).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    (bytes, report.spill_runs)
+}
+
+#[test]
+fn seeded_random_kbs_are_byte_identical_under_spilling() {
+    for seed in 0..10u64 {
+        let doc = random_doc(seed, 1500);
+        let expected = heap_bytes("t", &doc);
+        // Floor budget (64 KiB) forces multi-run spilling on this input;
+        // the default budget keeps everything in memory. Both must agree
+        // with the heap path at 1 and 4 threads.
+        let mut spill_seen = false;
+        for (budget, threads) in [(1, 1), (1, 4), (256 << 20, 1), (256 << 20, 4)] {
+            let (bytes, spills) = ingest_bytes("t", &doc, budget, threads);
+            assert_eq!(
+                bytes, expected,
+                "seed {seed}: budget {budget}, threads {threads} diverged from heap path"
+            );
+            spill_seen |= spills > 1;
+        }
+        assert!(
+            spill_seen,
+            "seed {seed}: the tiny budget was expected to force multi-run spills"
+        );
+    }
+}
+
+#[test]
+fn movies_fixtures_are_byte_identical_under_spilling() {
+    let pair = movies::generate(&MoviesConfig {
+        num_movies: 60,
+        ..MoviesConfig::default()
+    });
+    for (name, kb) in [("left", &pair.kb1), ("right", &pair.kb2)] {
+        let doc = to_ntriples(kb);
+        let expected = heap_bytes(name, &doc);
+        for threads in [1, 4] {
+            let (bytes, spills) = ingest_bytes(name, &doc, 1, threads);
+            assert_eq!(
+                bytes, expected,
+                "movies {name} (threads {threads}) diverged from heap path"
+            );
+            assert!(spills > 1, "movies {name}: expected multi-run spilling");
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Tracing-overhead gate for the serving daemon.
+//!
+//! Span recording sits on every request's hot path when tracing is on
+//! (`--trace-buffer N`): a span allocation, a handful of attribute
+//! pushes, and one short mutex section in [`SpanStore::finish`] — plus
+//! the tail-sampling decision whenever the span is a trace root, which
+//! on the request path is *every* span (each untraced request roots its
+//! own trace). This bench serves the same aligned `movies` snapshot from
+//! two daemons — tracing disabled (`trace_buffer: 0`) and tracing at the
+//! default buffer size, telemetry on for both — and hammers each with
+//! identical keep-alive `GET /sameas` rounds, interleaved so ambient
+//! machine noise hits both variants equally. The gate compares the
+//! per-variant *median* req/s: tracing-on must stay within
+//! `MAX_OVERHEAD_PCT` (default 3%) of tracing-off, or the process exits
+//! non-zero.
+//!
+//! Usage: `trace_overhead [scale] [clients] [requests-per-client] [rounds]`
+//! Env:   `TRACE_OVERHEAD_MAX_PCT` overrides the gate threshold.
+//!
+//! [`SpanStore::finish`]: paris_obs::span::SpanStore::finish
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use paris_core::{AlignedPairSnapshot, Aligner, OwnedAlignment, ParisConfig};
+use paris_datagen::movies::{generate, MoviesConfig};
+use paris_server::{LogFormat, Server, ServerConfig, ServerHandle, DEFAULT_TRACE_BUFFER};
+
+/// Reads one HTTP response off the stream, returning the status code.
+fn read_response(reader: &mut BufReader<TcpStream>) -> u16 {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().expect("content-length");
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    std::io::Read::read_exact(reader, &mut body).expect("body");
+    status
+}
+
+/// One keep-alive round against `addr`: every client drives its own
+/// connection through `per_client` sequential requests. Returns req/s.
+fn round(addr: std::net::SocketAddr, iris: &[String], clients: usize, per_client: usize) -> f64 {
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            scope.spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).expect("nodelay");
+                let mut writer = stream.try_clone().expect("clone stream");
+                let mut reader = BufReader::new(stream);
+                for i in 0..per_client {
+                    let iri = &iris[(c * per_client + i * 31) % iris.len()];
+                    let request = format!("GET /sameas?iri={iri} HTTP/1.1\r\nHost: b\r\n\r\n");
+                    writer.write_all(request.as_bytes()).expect("send");
+                    assert_eq!(read_response(&mut reader), 200);
+                }
+            });
+        }
+    });
+    (clients * per_client) as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite req/s"));
+    samples[samples.len() / 2]
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let scale: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(200);
+    let clients: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let per_client: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4000);
+    let rounds: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(9);
+    let max_overhead_pct: f64 = std::env::var("TRACE_OVERHEAD_MAX_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
+
+    println!(
+        "dataset: movies, scale {scale}; {clients} clients × {per_client} requests × \
+         {rounds} rounds per variant; gate {max_overhead_pct}%"
+    );
+    let pair = generate(&MoviesConfig {
+        num_movies: scale,
+        ..Default::default()
+    });
+    let result = Aligner::new(&pair.kb1, &pair.kb2, ParisConfig::default()).run();
+    let iris: Vec<String> = result
+        .instance_pairs()
+        .iter()
+        .filter_map(|&(x, _, _)| pair.kb1.iri(x).map(|i| i.as_str().to_owned()))
+        .collect();
+    let owned = OwnedAlignment::from_result(&result);
+    drop(result);
+    assert!(!iris.is_empty());
+
+    let bind = |trace_buffer: usize| -> ServerHandle {
+        let server = Server::bind(
+            AlignedPairSnapshot::new(pair.kb1.clone(), pair.kb2.clone(), owned.clone()),
+            ServerConfig {
+                addr: "127.0.0.1:0".to_owned(),
+                threads: clients,
+                log_format: LogFormat::Off,
+                trace_buffer,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        server.spawn().expect("spawn server")
+    };
+    let off = bind(0);
+    let on = bind(DEFAULT_TRACE_BUFFER);
+
+    // Warm each daemon (first-touch page faults, allocator warm-up)
+    // before any measured round.
+    for handle in [&off, &on] {
+        round(handle.addr(), &iris, clients, per_client.min(200));
+    }
+
+    let mut off_rps = Vec::new();
+    let mut on_rps = Vec::new();
+    for r in 0..rounds {
+        // Interleave variants inside every round, alternating which one
+        // goes first: drift (thermal, scheduler, noisy neighbors) then
+        // biases both variants and both slots equally.
+        if r % 2 == 0 {
+            off_rps.push(round(off.addr(), &iris, clients, per_client));
+            on_rps.push(round(on.addr(), &iris, clients, per_client));
+        } else {
+            on_rps.push(round(on.addr(), &iris, clients, per_client));
+            off_rps.push(round(off.addr(), &iris, clients, per_client));
+        }
+        println!(
+            "round {r}: tracing off {:>9.0} req/s, on {:>9.0} req/s",
+            off_rps[r], on_rps[r],
+        );
+    }
+    off.shutdown();
+    on.shutdown();
+
+    let off_median = median(&mut off_rps);
+    let on_median = median(&mut on_rps);
+    let overhead_pct = (off_median - on_median) / off_median * 100.0;
+    println!(
+        "median: tracing off {off_median:.0} req/s, on {on_median:.0} req/s \
+         ({overhead_pct:+.2}%)"
+    );
+    println!(
+        "{{\"bench\":\"trace_overhead\",\"scale\":{scale},\"clients\":{clients},\
+         \"per_client\":{per_client},\"rounds\":{rounds},\
+         \"off_req_per_s\":{off_median:.0},\"on_req_per_s\":{on_median:.0},\
+         \"overhead_pct\":{overhead_pct:.2},\"max_overhead_pct\":{max_overhead_pct}}}"
+    );
+
+    if overhead_pct > max_overhead_pct {
+        eprintln!(
+            "FAIL: tracing costs {overhead_pct:.2}% of req/s \
+             (gate: {max_overhead_pct}%)"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("PASS: tracing overhead {overhead_pct:.2}% ≤ {max_overhead_pct}%");
+    ExitCode::SUCCESS
+}

@@ -113,6 +113,7 @@ pub struct HttpClient {
     upstream: Upstream,
     conn: Option<BufReader<TcpStream>>,
     timeout: Duration,
+    extra_headers: Vec<(String, String)>,
 }
 
 impl HttpClient {
@@ -122,12 +123,31 @@ impl HttpClient {
             upstream,
             conn: None,
             timeout,
+            extra_headers: Vec::new(),
         }
     }
 
     /// The upstream this client talks to.
     pub fn upstream(&self) -> &Upstream {
         &self.upstream
+    }
+
+    /// Sets (or, with `None`, clears) an extra header sent with every
+    /// subsequent request — the trace-propagation hook: callers set
+    /// `traceparent` here before a fetch so the upstream daemon
+    /// continues the same trace. Names and values must be header-safe
+    /// (no CR/LF); values containing control bytes are rejected.
+    pub fn set_header(&mut self, name: &str, value: Option<&str>) {
+        self.extra_headers
+            .retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        if let Some(value) = value {
+            if name.bytes().any(|b| b.is_ascii_control())
+                || value.bytes().any(|b| b.is_ascii_control())
+            {
+                return;
+            }
+            self.extra_headers.push((name.to_owned(), value.to_owned()));
+        }
     }
 
     fn connect(&self) -> Result<BufReader<TcpStream>, String> {
@@ -218,6 +238,9 @@ impl HttpClient {
         );
         if let Some(v) = if_none_match {
             request.push_str(&format!("If-None-Match: \"{v}\"\r\n"));
+        }
+        for (name, value) in &self.extra_headers {
+            request.push_str(&format!("{name}: {value}\r\n"));
         }
         if let Some((content_type, bytes)) = body {
             request.push_str(&format!(
@@ -354,6 +377,50 @@ mod tests {
         assert!(read_response(&mut &raw[..], 10).is_err());
         let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n";
         assert!(read_response(&mut &raw[..], 10).is_err());
+    }
+
+    /// Extra headers (the traceparent hook) are rendered on the wire,
+    /// replaced case-insensitively, and cleared with `None`.
+    #[test]
+    fn extra_headers_reach_the_wire() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(conn.try_clone().unwrap());
+            let mut seen = Vec::new();
+            for _ in 0..2 {
+                let mut tp = String::new();
+                let mut line = String::new();
+                loop {
+                    line.clear();
+                    reader.read_line(&mut line).unwrap();
+                    if line == "\r\n" || line.is_empty() {
+                        break;
+                    }
+                    if let Some(v) = line.strip_prefix("traceparent: ") {
+                        tp = v.trim().to_owned();
+                    }
+                }
+                seen.push(tp);
+                conn.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n")
+                    .unwrap();
+            }
+            seen
+        });
+        let mut client = HttpClient::new(
+            Upstream::parse(&format!("http://{addr}")).unwrap(),
+            Duration::from_secs(5),
+        );
+        client.set_header("Traceparent", Some("00-aa-bb-01"));
+        client.set_header("traceparent", Some("00-11-22-01"));
+        client.get("/x", None, 1024).unwrap();
+        client.set_header("traceparent", None);
+        // Control bytes never reach the wire (header injection guard).
+        client.set_header("x-bad", Some("evil\r\nInjected: yes"));
+        client.get("/x", None, 1024).unwrap();
+        let seen = server.join().unwrap();
+        assert_eq!(seen, vec!["00-11-22-01".to_owned(), String::new()]);
     }
 
     /// A live round-trip against a throwaway single-request server.

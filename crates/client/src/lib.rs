@@ -507,6 +507,8 @@ pub struct ParisClient {
     active: usize,
     max_body: u64,
     metrics: ClientMetrics,
+    /// The trace context injected with the most recent request.
+    last_trace: Option<obs::span::SpanContext>,
 }
 
 impl ParisClient {
@@ -557,6 +559,7 @@ impl ParisClient {
             active: 0,
             max_body: DEFAULT_MAX_BODY,
             metrics,
+            last_trace: None,
         })
     }
 
@@ -579,6 +582,27 @@ impl ParisClient {
         &self.metrics
     }
 
+    /// The trace id (32 hex digits) injected with the most recent
+    /// request. Every request carries a fresh W3C `traceparent` header,
+    /// so a slow answer can be looked up server-side under exactly this
+    /// id via `GET /v1/debug/traces/<id>`.
+    pub fn last_trace_id(&self) -> Option<String> {
+        self.last_trace.map(|ctx| ctx.trace.to_hex())
+    }
+
+    /// Starts a fresh client-side trace context and arms every
+    /// upstream's `traceparent` header with it (failover attempts of one
+    /// logical request share the trace).
+    fn begin_trace(&mut self) -> obs::span::SpanContext {
+        let ctx = obs::span::SpanContext::new_root();
+        self.last_trace = Some(ctx);
+        let header = ctx.traceparent();
+        for up in &mut self.upstreams {
+            up.client.set_header("traceparent", Some(&header));
+        }
+        ctx
+    }
+
     /// One request with failover: upstreams are tried starting at the
     /// active one, rotating on *transport* failures only (an HTTP error
     /// status is an answer, not a reason to ask a different daemon the
@@ -591,6 +615,7 @@ impl ParisClient {
     ) -> Result<HttpResponse, ClientError> {
         let n = self.upstreams.len();
         let mut failures: Vec<String> = Vec::new();
+        self.begin_trace();
         for attempt in 0..n {
             let i = (self.active + attempt) % n;
             let up = &mut self.upstreams[i];
@@ -1021,6 +1046,7 @@ impl ParisClient {
         // inside [`HttpClient::request`] can still re-send after a
         // stale keep-alive connection; reload is idempotent — a repeat
         // costs one extra generation bump, never serves wrong data.)
+        self.begin_trace();
         let up = &mut self.upstreams[self.active];
         up.requests.inc();
         let response = up
@@ -1081,6 +1107,22 @@ impl ParisClient {
     /// envelope, with its `counters` / `gauges` / `histograms` arrays.
     pub fn server_metrics_json(&mut self) -> Result<Json, ClientError> {
         self.call("GET", "/v1/metrics?format=json", None)
+    }
+
+    /// `GET /v1/debug/traces`: the daemon's recent spans and pinned
+    /// slowest traces, as the `data` member of the envelope.
+    pub fn debug_traces(&mut self) -> Result<Json, ClientError> {
+        self.call("GET", "/v1/debug/traces", None)
+    }
+
+    /// `GET /v1/debug/traces/<trace-id>`: one trace's rendered span
+    /// tree. `trace_id` must be the 32-hex-digit spelling (as reported
+    /// by [`last_trace_id`](Self::last_trace_id) or the trace listing).
+    pub fn debug_trace(&mut self, trace_id: &str) -> Result<Json, ClientError> {
+        if trace_id.len() != 32 || !trace_id.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(protocol(format!("invalid trace id {trace_id:?}")));
+        }
+        self.call("GET", &format!("/v1/debug/traces/{trace_id}"), None)
     }
 }
 

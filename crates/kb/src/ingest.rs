@@ -83,6 +83,10 @@ pub struct IngestOptions {
     pub quads: bool,
     /// Directory for spill files; defaults to the output's directory.
     pub tmp_dir: Option<PathBuf>,
+    /// When set, every ingest pass (A–K plus assembly) records a span
+    /// with rows/bytes/spill counts into this collector — the live
+    /// progress window for long bulk loads.
+    pub spans: Option<std::sync::Arc<paris_obs::span::SpanCollector>>,
 }
 
 impl Default for IngestOptions {
@@ -93,6 +97,7 @@ impl Default for IngestOptions {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             quads: false,
             tmp_dir: None,
+            spans: None,
         }
     }
 }
@@ -645,6 +650,43 @@ fn intern_rel(iri: &Iri, rels: &mut Vec<Iri>, index: &mut FxHashMap<Iri, u32>) -
     Ok(b)
 }
 
+/// Records one span per ingest pass into the configured collector: the
+/// span carries a `rows` count, the pass's spill-run/spill-byte deltas
+/// (sampled from the shared [`MemBudget`] around the pass), and any
+/// extra attributes the pass adds. A disabled collector costs one
+/// `Option` check per pass.
+struct PassTracer<'a> {
+    collector: Option<&'a paris_obs::span::SpanCollector>,
+    budget: Rc<MemBudget>,
+}
+
+/// An open pass span plus the spill counters at pass start.
+struct OpenPass(paris_obs::span::Span, u64, u64);
+
+impl PassTracer<'_> {
+    fn begin(&self, name: &'static str) -> Option<OpenPass> {
+        self.collector.map(|c| {
+            OpenPass(
+                c.begin(name),
+                self.budget.spill_runs.get(),
+                self.budget.spill_bytes.get(),
+            )
+        })
+    }
+
+    fn finish(&self, open: Option<OpenPass>, rows: u64, extra: &[(&'static str, u64)]) {
+        if let (Some(c), Some(OpenPass(mut span, runs0, bytes0))) = (self.collector, open) {
+            span.attr_int("rows", rows);
+            span.attr_int("spill_runs", self.budget.spill_runs.get() - runs0);
+            span.attr_int("spill_bytes", self.budget.spill_bytes.get() - bytes0);
+            for &(key, value) in extra {
+                span.attr_int(key, value);
+            }
+            c.finish(span);
+        }
+    }
+}
+
 /// Ingests an N-Triples/N-Quads file into a single-KB v2 snapshot at
 /// `output`, in memory bounded by `opts.mem_budget`.
 pub fn ingest_file(
@@ -670,6 +712,10 @@ pub fn ingest_reader(
     let tmp = TempDir::create(tmp_base)?;
     let budget = Rc::new(MemBudget::new(opts.mem_budget));
     let mut report = IngestReport::default();
+    let tracer = PassTracer {
+        collector: opts.spans.as_deref(),
+        budget: Rc::clone(&budget),
+    };
 
     // ---- Pass A: parse; number every term mention; stream occurrences.
     //
@@ -682,6 +728,7 @@ pub fn ingest_reader(
         chunk_bytes: (budget.limit / 4).clamp(64 << 10, 8 << 20),
         quads: opts.quads,
     };
+    let pass = tracer.begin("pass_a_parse");
     let mut s_occ = ExternalSorter::new("occ", &tmp, Rc::clone(&budget));
     let mut rels: Vec<Iri> = Vec::new();
     let mut rel_index: FxHashMap<Iri, u32> = FxHashMap::default();
@@ -746,10 +793,13 @@ pub fn ingest_reader(
         report.bytes_in = stats.bytes;
     }
     let nrel = rels.len();
+    tracer.finish(pass, report.triples, &[("bytes", report.bytes_in)]);
 
     // ---- Pass B: term directory. Records arrive grouped by term-record
     // bytes (= TERM_SORTED order), each group's payloads sorted by occ#, so
     // the head of a group carries the term's first occurrence.
+    let pass = tracer.begin("pass_b_directory");
+    let mut mentions = 0u64;
     let mut s_dir = ExternalSorter::new("dir", &tmp, Rc::clone(&budget));
     let mut s_occ2 = ExternalSorter::new("occ2", &tmp, Rc::clone(&budget));
     {
@@ -772,6 +822,7 @@ pub fn ingest_reader(
             s_dir.push(first_occ, &payload)
         };
         s_occ.drain(false, |key, payload| {
+            mentions += 1;
             if !have_group || key != prev_rec.as_slice() {
                 if have_group {
                     emit_dir(s_dir, &first_occ, next_u - 1, flags, &prev_rec)?;
@@ -804,10 +855,12 @@ pub fn ingest_reader(
             emit_dir(s_dir, &first_occ, next_u - 1, flags, &prev_rec)?;
         }
     }
+    tracer.finish(pass, mentions, &[]);
 
     // ---- Pass C: id assignment. Merging the directory by first occurrence
     // reproduces first-occurrence interning: the i-th term out IS id i.
     // TERM_BLOB / TERM_OFFSETS / TERM_KINDS / CLASSES stream out here.
+    let pass = tracer.begin("pass_c_ids");
     let mut f_blob = SectionFile::create(&tmp, KB1_BASE + KB_TERM_BLOB)?;
     let mut f_toff = SectionFile::create(&tmp, KB1_BASE + KB_TERM_OFFSETS)?;
     let mut f_kinds = SectionFile::create(&tmp, KB1_BASE + KB_TERM_KINDS)?;
@@ -846,12 +899,19 @@ pub fn ingest_reader(
     report.entities = n_terms;
     report.relations = nrel as u64;
     report.classes = classes.len() as u64;
+    tracer.finish(
+        pass,
+        n_terms,
+        &[("relations", nrel as u64), ("classes", report.classes)],
+    );
 
     // ---- Pass D: TERM_SORTED = dense id per byte rank. The section file
     // doubles as the rank → id table pass E reads back.
+    let pass = tracer.begin("pass_d_term_sorted");
     let mut f_sorted = SectionFile::create(&tmp, KB1_BASE + KB_TERM_SORTED)?;
     s_uid.drain(false, |_, payload| f_sorted.write(payload))?;
     let sec_sorted = f_sorted.finish()?;
+    tracer.finish(pass, n_terms, &[]);
     let sorted_path = match &sec_sorted {
         SectionSrc::File(p, _) => p.clone(),
         SectionSrc::Mem(_) => unreachable!("TERM_SORTED is file-backed"),
@@ -859,6 +919,7 @@ pub fn ingest_reader(
 
     // ---- Pass E: resolve every mention. Mentions arrive sorted by byte
     // rank; the rank → id table is read sequentially in lockstep.
+    let pass = tracer.begin("pass_e_mentions");
     let mut s_slots = ExternalSorter::new("slot", &tmp, Rc::clone(&budget));
     {
         let mut id_reader = BufReader::new(File::open(&sorted_path)?);
@@ -881,10 +942,12 @@ pub fn ingest_reader(
             s_slots.push(&k, &p)
         })?;
     }
+    tracer.finish(pass, mentions, &[]);
 
     // ---- Pass F: regroup by statement. Each (kind, index) group holds the
     // subject then the object id; facts expand through the subPropertyOf
     // closure exactly like KbBuilder's closed_facts.
+    let pass = tracer.begin("pass_f_regroup");
     let prop_closure = close_taxonomy(
         nrel,
         subprop_edges.iter().map(|&(a, b)| (a as usize, b as usize)),
@@ -930,8 +993,10 @@ pub fn ingest_reader(
             Ok(())
         })?;
     }
+    tracer.finish(pass, mentions / 2, &[]);
 
     // ---- Class taxonomy (schema-scale, in memory): CLASSES + SUPER.
+    let pass = tracer.begin("pass_g_taxonomy");
     let class_pos: FxHashMap<u32, usize> =
         classes.iter().enumerate().map(|(i, &c)| (c, i)).collect();
     let tax_closure = close_taxonomy(
@@ -966,10 +1031,13 @@ pub fn ingest_reader(
         }
         w.into_bytes()
     };
+    tracer.finish(pass, classes.len() as u64, &[]);
 
     // ---- Pass H: rdf:type closure. Type edges arrive sorted/deduped by
     // (instance, class); each instance's row closes over the taxonomy, then
     // sorts — matching KbBuilder's types_of. Members fan back out per class.
+    let pass = tracer.begin("pass_h_type_closure");
+    let closed_types;
     let mut f_tkeys = SectionFile::create(&tmp, KB1_BASE + KB_TYPES)?;
     let mut f_toffs = SectionFile::create(&tmp, KB1_BASE + KB_TYPES + 1)?;
     let mut f_tvals = SectionFile::create(&tmp, KB1_BASE + KB_TYPES + 2)?;
@@ -1040,9 +1108,12 @@ pub fn ingest_reader(
                 s_members,
             )?;
         }
+        closed_types = types_total;
     }
+    tracer.finish(pass, closed_types, &[]);
 
     // ---- Pass I: MEMBERS (class → sorted member instances).
+    let pass = tracer.begin("pass_i_members");
     let mut f_mkeys = SectionFile::create(&tmp, KB1_BASE + KB_MEMBERS)?;
     let mut f_moffs = SectionFile::create(&tmp, KB1_BASE + KB_MEMBERS + 1)?;
     let mut f_mvals = SectionFile::create(&tmp, KB1_BASE + KB_MEMBERS + 2)?;
@@ -1068,10 +1139,12 @@ pub fn ingest_reader(
             f_moffs.put_u64(total)?;
         }
     }
+    tracer.finish(pass, closed_types, &[]);
 
     // ---- Pass J: pair lists. Keys (relation, subject, object) arrive
     // sorted and dedup to exactly KbBuilder's sorted per-relation lists.
     // Adjacency records for both directions fan out here.
+    let pass = tracer.begin("pass_j_pairs");
     let mut f_poffs = SectionFile::create(&tmp, KB1_BASE + KB_PAIR_OFFSETS)?;
     let mut f_pairs = SectionFile::create(&tmp, KB1_BASE + KB_PAIRS)?;
     f_poffs.put_u64(0)?;
@@ -1109,10 +1182,12 @@ pub fn ingest_reader(
         }
         report.pairs = total;
     }
+    tracer.finish(pass, report.pairs, &[]);
 
     // ---- Pass K: adjacency + functionalities. Rows arrive sorted by
     // (entity, directed relation, neighbor) — KbBuilder's adj order — and
     // the harmonic-mean counters (Eq. 2) fall out of the same scan.
+    let pass = tracer.begin("pass_k_adjacency");
     let mut f_aoffs = SectionFile::create(&tmp, KB1_BASE + KB_ADJ_OFFSETS)?;
     let mut f_adj = SectionFile::create(&tmp, KB1_BASE + KB_ADJ)?;
     f_aoffs.put_u64(0)?;
@@ -1160,6 +1235,8 @@ pub fn ingest_reader(
         }
         w.into_bytes()
     };
+    // Each pair fans out one forward and one reverse adjacency row.
+    tracer.finish(pass, report.pairs * 2, &[]);
 
     // ---- Remaining schema-scale sections.
     let sec_meta = {
@@ -1182,6 +1259,7 @@ pub fn ingest_reader(
     };
 
     // ---- Assembly, in exactly encode_kb_sections' add order.
+    let pass = tracer.begin("assemble_snapshot");
     let base = KB1_BASE;
     let sections = vec![
         (base + KB_META, SectionSrc::Mem(sec_meta)),
@@ -1210,6 +1288,11 @@ pub fn ingest_reader(
     report.output_bytes = assemble_snapshot(output, &sections)?;
     report.spill_runs = budget.spill_runs.get();
     report.spill_bytes = budget.spill_bytes.get();
+    tracer.finish(
+        pass,
+        sections.len() as u64,
+        &[("bytes", report.output_bytes)],
+    );
     Ok(report)
 }
 
@@ -1378,6 +1461,80 @@ mod tests {
             heap_bytes("sample", SAMPLE),
             "ingest must be bit-identical"
         );
+        assert_no_litter(&dir);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// With a collector configured, every pass A–K plus assembly records
+    /// one span, with `rows` and per-pass spill deltas as attributes.
+    #[test]
+    fn ingest_records_one_span_per_pass() {
+        use paris_obs::span::{AttrValue, SpanCollector, SpanContext};
+
+        let dir = test_dir("spans");
+        let out = dir.join("sample.snap");
+        let collector = std::sync::Arc::new(SpanCollector::new(SpanContext::new_root()));
+        let opts = IngestOptions {
+            name: "sample".to_owned(),
+            mem_budget: 1, // 64 KiB floor → spill-heavy even on this input
+            threads: 1,
+            spans: Some(std::sync::Arc::clone(&collector)),
+            ..IngestOptions::default()
+        };
+        let report = ingest_reader(SAMPLE.as_bytes(), &out, &opts).unwrap();
+        let spans = collector.snapshot();
+        let names: Vec<&str> = spans.iter().map(|s| s.name).collect();
+        for expected in [
+            "pass_a_parse",
+            "pass_b_directory",
+            "pass_c_ids",
+            "pass_d_term_sorted",
+            "pass_e_mentions",
+            "pass_f_regroup",
+            "pass_g_taxonomy",
+            "pass_h_type_closure",
+            "pass_i_members",
+            "pass_j_pairs",
+            "pass_k_adjacency",
+            "assemble_snapshot",
+        ] {
+            assert_eq!(
+                names.iter().filter(|n| **n == expected).count(),
+                1,
+                "{expected} in {names:?}"
+            );
+        }
+        let attr = |name: &str, key: &str| {
+            let span = spans.iter().find(|s| s.name == name).unwrap();
+            span.attrs
+                .iter()
+                .find_map(|(k, v)| match v {
+                    AttrValue::Int(n) if *k == key => Some(*n),
+                    _ => None,
+                })
+                .unwrap_or_else(|| panic!("{name} has no int attr {key}"))
+        };
+        assert_eq!(attr("pass_a_parse", "rows"), report.triples);
+        assert_eq!(attr("pass_c_ids", "rows"), report.entities);
+        assert_eq!(attr("pass_j_pairs", "rows"), report.pairs);
+        assert_eq!(attr("assemble_snapshot", "bytes"), report.output_bytes);
+        // The 64 KiB floor forces spills; they must show up in the spans.
+        let spilled: u64 = spans
+            .iter()
+            .flat_map(|s| s.attrs.iter())
+            .filter_map(|(k, v)| match v {
+                AttrValue::Int(n) if *k == "spill_runs" => Some(*n),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(spilled, report.spill_runs, "per-pass deltas sum to total");
+        // All spans closed, parented on the collector root, same trace.
+        let root = collector.root();
+        for s in &spans {
+            assert!(s.end_ns >= s.start_ns, "{}", s.name);
+            assert_eq!(s.parent, Some(root.span), "{}", s.name);
+            assert_eq!(s.trace, root.trace, "{}", s.name);
+        }
         assert_no_litter(&dir);
         fs::remove_dir_all(&dir).ok();
     }

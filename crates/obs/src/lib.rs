@@ -17,7 +17,14 @@
 //! the aligner's per-iteration events (dirty-set size, assignment churn,
 //! score movement), which the paper reports in its tables but a long
 //! `POST /align` job would otherwise compute invisibly.
+//!
+//! [`span`] is the third: structural timing. Where metrics aggregate and
+//! trace sinks stream flat iteration rows, spans form parent-linked
+//! trees per request/job/sync-cycle, propagate across daemons via
+//! `traceparent` headers, and are retained with tail-sampling so the
+//! slowest traces are always inspectable.
 
+pub mod span;
 pub mod trace;
 
 use std::collections::BTreeMap;

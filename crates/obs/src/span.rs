@@ -1,0 +1,721 @@
+//! Span-based tracing: structural timing for individual operations.
+//!
+//! The metrics side of this crate answers "how is the daemon doing on
+//! average"; spans answer "why was *this* request slow" and "which pass
+//! is iteration 7 stuck in". A [`Span`] is one timed operation —
+//! monotonic-nanosecond start/end, a parent link, and a bounded set of
+//! key–value attributes — and every span belongs to a trace identified
+//! by a [`TraceId`]. Traces cross process boundaries through
+//! W3C-`traceparent`-style headers ([`SpanContext::traceparent`] /
+//! [`SpanContext::parse_traceparent`]), which is how one replica sync
+//! cycle becomes a single trace spanning two daemons.
+//!
+//! Finished spans land in a [`SpanStore`]: a bounded ring buffer (the
+//! recent window) plus a **tail-sampled** slow-trace set — when a root
+//! span finishes, the store decides *then* (at the tail, with the
+//! duration known) whether its trace is among the slowest seen and, if
+//! so, pins the trace's spans past ring eviction. The slowest traces are
+//! therefore always inspectable, no matter how much traffic has flowed
+//! since. Recording is lock-cheap: one short mutex section per finished
+//! span, O(1) except when a new slowest trace is pinned, and a poisoned
+//! lock degrades to dropping the span rather than panicking the worker.
+//!
+//! [`SpanCollector`] is the scoped variant for long jobs (alignment
+//! fixpoints, bulk ingest): it buffers one operation's spans so they can
+//! be rendered live mid-run and drained into a [`SpanStore`] at the end.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::Counter;
+
+/// Cap on attributes per span; later attributes are dropped.
+pub const MAX_SPAN_ATTRS: usize = 16;
+/// Cap on one string attribute value; longer values are truncated.
+pub const MAX_ATTR_STR: usize = 128;
+/// How many slowest traces the tail sampler pins past ring eviction.
+pub const SLOW_TRACES: usize = 8;
+/// Cap on spans pinned per slow trace.
+pub const MAX_TRACE_SPANS: usize = 512;
+
+/// Nanoseconds since the process-wide trace epoch (the first call).
+/// Monotonic — wall-clock steps cannot reorder spans.
+pub fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    Instant::now().duration_since(epoch).as_nanos() as u64
+}
+
+/// A process-unique-enough random value: the std SipHash keys (randomly
+/// seeded per `RandomState`) mixed with a global counter and the
+/// monotonic clock. Not cryptographic — trace ids need to be *distinct*,
+/// not unguessable.
+fn rand_u64() -> u64 {
+    use std::collections::hash_map::RandomState;
+    use std::hash::{BuildHasher, Hasher};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let mut h = RandomState::new().build_hasher();
+    h.write_u64(COUNTER.fetch_add(1, Ordering::Relaxed));
+    h.write_u64(now_ns());
+    h.finish()
+}
+
+/// Identifies one trace: every span of one logical operation (a request,
+/// a sync cycle, an alignment job) shares it, across daemons.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TraceId(pub u128);
+
+impl TraceId {
+    /// A fresh non-zero random id.
+    pub fn random() -> TraceId {
+        let hi = u128::from(rand_u64());
+        let lo = u128::from(rand_u64());
+        let id = (hi << 64) | lo;
+        TraceId(if id == 0 { 1 } else { id })
+    }
+
+    /// The 32-hex-digit `traceparent` spelling.
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses exactly 32 lower/upper hex digits; zero is rejected (the
+    /// spec's "invalid trace" value).
+    pub fn from_hex(s: &str) -> Option<TraceId> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let id = u128::from_str_radix(s, 16).ok()?;
+        (id != 0).then_some(TraceId(id))
+    }
+}
+
+/// Identifies one span within its trace.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// A fresh non-zero random id.
+    pub fn random() -> SpanId {
+        let id = rand_u64();
+        SpanId(if id == 0 { 1 } else { id })
+    }
+
+    /// The 16-hex-digit `traceparent` spelling.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Parses exactly 16 hex digits; zero is rejected.
+    pub fn from_hex(s: &str) -> Option<SpanId> {
+        if s.len() != 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let id = u64::from_str_radix(s, 16).ok()?;
+        (id != 0).then_some(SpanId(id))
+    }
+}
+
+/// What propagates across a process boundary: the trace plus the caller
+/// span a continued span should hang under.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SpanContext {
+    /// The trace every downstream span joins.
+    pub trace: TraceId,
+    /// The span that is the parent of whatever the callee starts.
+    pub span: SpanId,
+}
+
+impl SpanContext {
+    /// A fresh root context (new trace, new span id).
+    pub fn new_root() -> SpanContext {
+        SpanContext {
+            trace: TraceId::random(),
+            span: SpanId::random(),
+        }
+    }
+
+    /// Renders the W3C `traceparent` header value:
+    /// `00-<32 hex trace-id>-<16 hex parent-id>-01` (sampled flag set —
+    /// this workspace records every propagated trace).
+    pub fn traceparent(&self) -> String {
+        format!("00-{}-{}-01", self.trace.to_hex(), self.span.to_hex())
+    }
+
+    /// Parses a `traceparent` header value. Accepts any known-layout
+    /// version except the reserved `ff`; rejects malformed lengths,
+    /// non-hex digits, and the all-zero trace/span ids.
+    pub fn parse_traceparent(header: &str) -> Option<SpanContext> {
+        let header = header.trim();
+        let mut parts = header.splitn(4, '-');
+        let version = parts.next()?;
+        if version.len() != 2
+            || !version.bytes().all(|b| b.is_ascii_hexdigit())
+            || version.eq_ignore_ascii_case("ff")
+        {
+            return None;
+        }
+        let trace = TraceId::from_hex(parts.next()?)?;
+        let span = SpanId::from_hex(parts.next()?)?;
+        let flags = parts.next()?;
+        // Version 00 fixes the flags field at exactly 2 hex digits;
+        // future versions may append `-extra` fields after it.
+        let flags = flags.split('-').next()?;
+        if flags.len() != 2 || !flags.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        Some(SpanContext { trace, span })
+    }
+}
+
+/// One attribute value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttrValue {
+    /// An integer count (rows, bytes, entities, …).
+    Int(u64),
+    /// A floating-point measurement.
+    Float(f64),
+    /// A short string (truncated to [`MAX_ATTR_STR`]).
+    Str(String),
+}
+
+/// One timed operation inside a trace.
+#[derive(Clone, Debug)]
+pub struct Span {
+    /// The trace this span belongs to.
+    pub trace: TraceId,
+    /// This span's id.
+    pub id: SpanId,
+    /// The parent span, `None` for a locally-rooted span. A span
+    /// continued from a remote `traceparent` carries the remote caller's
+    /// span id here, which is what stitches the cross-daemon tree.
+    pub parent: Option<SpanId>,
+    /// Operation name (static — span names are a bounded vocabulary).
+    pub name: &'static str,
+    /// Start, nanoseconds on the [`now_ns`] clock.
+    pub start_ns: u64,
+    /// End, nanoseconds on the [`now_ns`] clock; 0 while still open.
+    pub end_ns: u64,
+    /// Bounded key–value attributes.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+impl Span {
+    /// Starts a span now.
+    pub fn begin(name: &'static str, trace: TraceId, parent: Option<SpanId>) -> Span {
+        Span {
+            trace,
+            id: SpanId::random(),
+            parent,
+            name,
+            start_ns: now_ns(),
+            end_ns: 0,
+            attrs: Vec::new(),
+        }
+    }
+
+    /// The context a child (local or remote) should hang under.
+    pub fn context(&self) -> SpanContext {
+        SpanContext {
+            trace: self.trace,
+            span: self.id,
+        }
+    }
+
+    /// Attaches an integer attribute (dropped beyond [`MAX_SPAN_ATTRS`]).
+    pub fn attr_int(&mut self, key: &'static str, value: u64) {
+        if self.attrs.len() < MAX_SPAN_ATTRS {
+            self.attrs.push((key, AttrValue::Int(value)));
+        }
+    }
+
+    /// Attaches a float attribute (dropped beyond [`MAX_SPAN_ATTRS`]).
+    pub fn attr_f64(&mut self, key: &'static str, value: f64) {
+        if self.attrs.len() < MAX_SPAN_ATTRS {
+            self.attrs.push((key, AttrValue::Float(value)));
+        }
+    }
+
+    /// Attaches a string attribute, truncated to [`MAX_ATTR_STR`] bytes
+    /// (on a char boundary); dropped beyond [`MAX_SPAN_ATTRS`].
+    pub fn attr_str(&mut self, key: &'static str, value: &str) {
+        if self.attrs.len() >= MAX_SPAN_ATTRS {
+            return;
+        }
+        let mut end = value.len().min(MAX_ATTR_STR);
+        while end > 0 && !value.is_char_boundary(end) {
+            end -= 1;
+        }
+        self.attrs
+            .push((key, AttrValue::Str(value[..end].to_owned())));
+    }
+
+    /// Closes the span (idempotent).
+    pub fn end(&mut self) {
+        if self.end_ns == 0 {
+            self.end_ns = now_ns().max(self.start_ns);
+        }
+    }
+
+    /// Duration in nanoseconds (0 while open).
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// One pinned slow trace.
+struct SlowTrace {
+    trace: TraceId,
+    root_name: &'static str,
+    root_duration_ns: u64,
+    spans: Vec<Span>,
+}
+
+/// Summary of one retained slow trace, as [`SpanStore::slowest`] reports.
+#[derive(Clone, Debug)]
+pub struct SlowTraceSummary {
+    /// The trace id.
+    pub trace: TraceId,
+    /// Name of the root span that qualified the trace.
+    pub root_name: &'static str,
+    /// The root span's duration in nanoseconds.
+    pub root_duration_ns: u64,
+    /// Spans pinned for the trace.
+    pub spans: usize,
+}
+
+struct StoreInner {
+    recent: std::collections::VecDeque<Span>,
+    slow: Vec<SlowTrace>,
+}
+
+/// Bounded retention for finished spans: a ring buffer of the most
+/// recent `capacity` spans, plus up to [`SLOW_TRACES`] tail-sampled
+/// slowest traces pinned past eviction. Capacity 0 disables recording
+/// entirely ([`SpanStore::finish`] becomes a cheap early return).
+pub struct SpanStore {
+    capacity: usize,
+    inner: Mutex<StoreInner>,
+    recorded: Arc<Counter>,
+    dropped: Arc<Counter>,
+}
+
+impl SpanStore {
+    /// A store retaining at most `capacity` recent spans.
+    pub fn new(capacity: usize) -> SpanStore {
+        SpanStore {
+            capacity,
+            inner: Mutex::new(StoreInner {
+                recent: std::collections::VecDeque::new(),
+                slow: Vec::new(),
+            }),
+            recorded: Arc::new(Counter::new()),
+            dropped: Arc::new(Counter::new()),
+        }
+    }
+
+    /// Whether spans are recorded at all.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// The configured ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Spans ever finished into the store.
+    pub fn recorded(&self) -> u64 {
+        self.recorded.get()
+    }
+
+    /// Spans evicted from the recent ring (pinned copies persist).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    /// The recorded-spans counter, for registration in a [`Registry`](crate::Registry).
+    pub fn recorded_counter(&self) -> &Arc<Counter> {
+        &self.recorded
+    }
+
+    /// The evicted-spans counter, for registration in a [`Registry`](crate::Registry).
+    pub fn dropped_counter(&self) -> &Arc<Counter> {
+        &self.dropped
+    }
+
+    /// Starts a span: continuing `parent`'s trace when given one (the
+    /// parsed `traceparent` of an incoming request), else rooting a
+    /// fresh trace.
+    pub fn begin(&self, name: &'static str, parent: Option<SpanContext>) -> Span {
+        match parent {
+            Some(ctx) => Span::begin(name, ctx.trace, Some(ctx.span)),
+            None => Span::begin(name, TraceId::random(), None),
+        }
+    }
+
+    /// Closes `span` and retains it. A root span finishing is the tail
+    /// sampling point: if its duration ranks among the [`SLOW_TRACES`]
+    /// slowest roots seen, the whole trace (its spans currently in the
+    /// ring plus the root) is pinned, evicting the fastest pinned trace.
+    /// A poisoned lock drops the span instead of panicking.
+    pub fn finish(&self, mut span: Span) {
+        span.end();
+        if self.capacity == 0 {
+            return;
+        }
+        let Ok(mut inner) = self.inner.lock() else {
+            return;
+        };
+        // A continued span (remote parent) is a local root for sampling
+        // purposes only if nothing in this store parents it; keep it
+        // simple and sample on parent-less spans only — the replica's
+        // sync root is the cross-daemon sampling point.
+        if span.parent.is_none() {
+            Self::maybe_pin(&mut inner, &span);
+        } else if let Some(slow) = inner.slow.iter_mut().find(|s| s.trace == span.trace) {
+            // Late child of an already-pinned trace: keep it with its tree.
+            if slow.spans.len() < MAX_TRACE_SPANS {
+                slow.spans.push(span.clone());
+            }
+        }
+        inner.recent.push_back(span);
+        while inner.recent.len() > self.capacity {
+            inner.recent.pop_front();
+            self.dropped.inc();
+        }
+        self.recorded.inc();
+    }
+
+    fn maybe_pin(inner: &mut StoreInner, root: &Span) {
+        let duration = root.duration_ns();
+        if inner.slow.len() >= SLOW_TRACES {
+            let (fastest, fastest_duration) = inner
+                .slow
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i, s.root_duration_ns))
+                .min_by_key(|&(_, d)| d)
+                .expect("non-empty slow set");
+            if duration <= fastest_duration {
+                return;
+            }
+            inner.slow.swap_remove(fastest);
+        }
+        let mut spans: Vec<Span> = inner
+            .recent
+            .iter()
+            .filter(|s| s.trace == root.trace)
+            .take(MAX_TRACE_SPANS - 1)
+            .cloned()
+            .collect();
+        spans.push(root.clone());
+        inner.slow.push(SlowTrace {
+            trace: root.trace,
+            root_name: root.name,
+            root_duration_ns: duration,
+            spans,
+        });
+    }
+
+    /// The most recent finished spans, newest first, capped at `limit`.
+    pub fn recent(&self, limit: usize) -> Vec<Span> {
+        let Ok(inner) = self.inner.lock() else {
+            return Vec::new();
+        };
+        inner.recent.iter().rev().take(limit).cloned().collect()
+    }
+
+    /// The pinned slowest traces, slowest first.
+    pub fn slowest(&self) -> Vec<SlowTraceSummary> {
+        let Ok(inner) = self.inner.lock() else {
+            return Vec::new();
+        };
+        let mut out: Vec<SlowTraceSummary> = inner
+            .slow
+            .iter()
+            .map(|s| SlowTraceSummary {
+                trace: s.trace,
+                root_name: s.root_name,
+                root_duration_ns: s.root_duration_ns,
+                spans: s.spans.len(),
+            })
+            .collect();
+        out.sort_by_key(|s| std::cmp::Reverse(s.root_duration_ns));
+        out
+    }
+
+    /// Every retained span of one trace (recent ring + pinned copies,
+    /// deduplicated by span id), in start order.
+    pub fn trace(&self, trace: TraceId) -> Vec<Span> {
+        let Ok(inner) = self.inner.lock() else {
+            return Vec::new();
+        };
+        let mut out: Vec<Span> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let pinned = inner
+            .slow
+            .iter()
+            .filter(|s| s.trace == trace)
+            .flat_map(|s| s.spans.iter());
+        for span in pinned.chain(inner.recent.iter().filter(|s| s.trace == trace)) {
+            if seen.insert(span.id) {
+                out.push(span.clone());
+            }
+        }
+        out.sort_by_key(|s| s.start_ns);
+        out
+    }
+
+    /// Drains a collector's spans into the store (e.g. when a job whose
+    /// progress was collected live completes).
+    pub fn absorb(&self, collector: &SpanCollector) {
+        for span in collector.drain() {
+            self.finish(span);
+        }
+    }
+}
+
+/// Buffers the spans of one long operation (an alignment job, an ingest
+/// run) so they can be inspected live mid-run and drained into a
+/// [`SpanStore`] at the end. Thread-safe; a poisoned lock degrades to
+/// dropping spans.
+pub struct SpanCollector {
+    root: SpanContext,
+    spans: Mutex<Vec<Span>>,
+    cap: usize,
+}
+
+impl std::fmt::Debug for SpanCollector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanCollector")
+            .field("trace", &self.root.trace)
+            .field("spans", &self.spans.lock().map(|s| s.len()).unwrap_or(0))
+            .finish()
+    }
+}
+
+impl SpanCollector {
+    /// A collector whose spans parent under `root`.
+    pub fn new(root: SpanContext) -> SpanCollector {
+        SpanCollector {
+            root,
+            spans: Mutex::new(Vec::new()),
+            cap: 4096,
+        }
+    }
+
+    /// The root context child spans attach to.
+    pub fn root(&self) -> SpanContext {
+        self.root
+    }
+
+    /// Starts a span parented on the collector root.
+    pub fn begin(&self, name: &'static str) -> Span {
+        Span::begin(name, self.root.trace, Some(self.root.span))
+    }
+
+    /// Starts a span parented on an explicit span (for pass-level
+    /// children of an iteration span).
+    pub fn begin_child(&self, name: &'static str, parent: SpanId) -> Span {
+        Span::begin(name, self.root.trace, Some(parent))
+    }
+
+    /// Closes `span` and buffers it (dropped when full or poisoned).
+    pub fn finish(&self, mut span: Span) {
+        span.end();
+        if let Ok(mut spans) = self.spans.lock() {
+            if spans.len() < self.cap {
+                spans.push(span);
+            }
+        }
+    }
+
+    /// A copy of the spans buffered so far (live progress rendering).
+    pub fn snapshot(&self) -> Vec<Span> {
+        self.spans.lock().map(|s| s.clone()).unwrap_or_default()
+    }
+
+    /// Takes every buffered span out of the collector.
+    pub fn drain(&self) -> Vec<Span> {
+        self.spans
+            .lock()
+            .map(|mut s| std::mem::take(&mut *s))
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct_and_nonzero() {
+        let a = TraceId::random();
+        let b = TraceId::random();
+        assert_ne!(a, b);
+        assert_ne!(a.0, 0);
+        let a = SpanId::random();
+        let b = SpanId::random();
+        assert_ne!(a, b);
+        assert_ne!(a.0, 0);
+    }
+
+    #[test]
+    fn traceparent_round_trips() {
+        let ctx = SpanContext::new_root();
+        let header = ctx.traceparent();
+        assert_eq!(header.len(), 55, "{header}");
+        let parsed = SpanContext::parse_traceparent(&header).expect("round trip");
+        assert_eq!(parsed, ctx);
+        // A fixed vector, for the exact spelling.
+        let ctx = SpanContext {
+            trace: TraceId(0x0af7651916cd43dd8448eb211c80319c),
+            span: SpanId(0xb7ad6b7169203331),
+        };
+        assert_eq!(
+            ctx.traceparent(),
+            "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+        );
+        assert_eq!(
+            SpanContext::parse_traceparent(
+                "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+            ),
+            Some(ctx)
+        );
+        // Future versions with trailing fields still parse.
+        assert_eq!(
+            SpanContext::parse_traceparent(
+                "01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra"
+            ),
+            Some(ctx)
+        );
+    }
+
+    #[test]
+    fn malformed_traceparents_are_rejected() {
+        for bad in [
+            "",
+            "garbage",
+            "00-short-b7ad6b7169203331-01",
+            "00-0af7651916cd43dd8448eb211c80319c-short-01",
+            // all-zero trace / span ids are the spec's invalid values
+            "00-00000000000000000000000000000000-b7ad6b7169203331-01",
+            "00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",
+            // reserved version
+            "ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+            // non-hex digits
+            "00-0af7651916cd43dd8448eb211c8031zz-b7ad6b7169203331-01",
+            "00-0af7651916cd43dd8448eb211c80319c-b7ad6b71692033zz-01",
+            "zz-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+            "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-zz",
+            "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-0",
+            "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331",
+        ] {
+            assert_eq!(SpanContext::parse_traceparent(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn spans_nest_and_bound_their_attrs() {
+        let mut root = Span::begin("request", TraceId::random(), None);
+        let mut child = Span::begin("pass", root.trace, Some(root.id));
+        assert_eq!(child.parent, Some(root.id));
+        for i in 0..(MAX_SPAN_ATTRS as u64 + 10) {
+            child.attr_int("k", i);
+        }
+        assert_eq!(child.attrs.len(), MAX_SPAN_ATTRS);
+        let long = "x".repeat(MAX_ATTR_STR * 2);
+        root.attr_str("s", &long);
+        match &root.attrs[0].1 {
+            AttrValue::Str(s) => assert_eq!(s.len(), MAX_ATTR_STR),
+            other => panic!("unexpected {other:?}"),
+        }
+        child.end();
+        let end = child.end_ns;
+        assert!(end >= child.start_ns);
+        child.end();
+        assert_eq!(child.end_ns, end, "end is idempotent");
+    }
+
+    #[test]
+    fn store_rings_recent_spans_and_keeps_the_slowest() {
+        let store = SpanStore::new(4);
+        assert!(store.enabled());
+        // A slow root: artificially long via an explicit end timestamp
+        // (end() is a no-op on an already-closed span).
+        let mut slow = store.begin("slow", None);
+        slow.end_ns = slow.start_ns + 5_000_000_000;
+        let slow_trace = slow.trace;
+        let mut child = Span::begin("child", slow_trace, Some(slow.id));
+        child.end();
+        store.finish(child);
+        store.finish(slow);
+        // Flood the ring with fast spans.
+        for _ in 0..50 {
+            let span = store.begin("fast", None);
+            store.finish(span);
+        }
+        assert!(store.recent(100).len() <= 4);
+        assert!(store.dropped() > 0);
+        // The slow trace survived eviction with its child span.
+        let slowest = store.slowest();
+        assert_eq!(slowest[0].trace, slow_trace);
+        assert_eq!(slowest[0].root_name, "slow");
+        let spans = store.trace(slow_trace);
+        assert_eq!(spans.len(), 2, "root + child pinned");
+        assert!(spans.iter().any(|s| s.name == "child"));
+    }
+
+    #[test]
+    fn slow_set_is_bounded_and_keeps_the_worst() {
+        let store = SpanStore::new(2);
+        for i in 0..(SLOW_TRACES as u64 + 6) {
+            let mut span = store.begin("op", None);
+            span.end_ns = span.start_ns + (i + 1) * 1_000_000;
+            store.finish(span);
+        }
+        let slowest = store.slowest();
+        assert_eq!(slowest.len(), SLOW_TRACES);
+        // Sorted slowest-first, and the fastest ones were evicted.
+        for pair in slowest.windows(2) {
+            assert!(pair[0].root_duration_ns >= pair[1].root_duration_ns);
+        }
+        assert!(slowest.last().expect("non-empty").root_duration_ns >= 6_000_000);
+    }
+
+    #[test]
+    fn disabled_store_records_nothing() {
+        let store = SpanStore::new(0);
+        assert!(!store.enabled());
+        let span = store.begin("op", None);
+        store.finish(span);
+        assert_eq!(store.recorded(), 0);
+        assert!(store.recent(10).is_empty());
+        assert!(store.slowest().is_empty());
+    }
+
+    #[test]
+    fn collector_buffers_live_and_drains_into_a_store() {
+        let collector = SpanCollector::new(SpanContext::new_root());
+        let iter = collector.begin("iteration");
+        let mut pass = collector.begin_child("instance_pass", iter.id);
+        pass.attr_int("entities", 42);
+        collector.finish(pass);
+        assert_eq!(collector.snapshot().len(), 1, "live mid-operation view");
+        collector.finish(iter);
+        let store = SpanStore::new(16);
+        store.absorb(&collector);
+        assert!(collector.snapshot().is_empty(), "drained");
+        let spans = store.trace(collector.root().trace);
+        assert_eq!(spans.len(), 2);
+        let iter_span = spans.iter().find(|s| s.name == "iteration").expect("iter");
+        let pass_span = spans
+            .iter()
+            .find(|s| s.name == "instance_pass")
+            .expect("pass");
+        assert_eq!(pass_span.parent, Some(iter_span.id));
+        assert_eq!(iter_span.parent, Some(collector.root().span));
+    }
+}

@@ -64,18 +64,20 @@ impl MemorySink {
         MemorySink::default()
     }
 
-    /// The events recorded so far, in order.
+    /// The events recorded so far, in order. A poisoned lock (a recorder
+    /// thread panicked mid-push) degrades to an empty view rather than
+    /// propagating the panic to every later observer.
     pub fn events(&self) -> Vec<AlignEvent> {
-        self.events.lock().expect("trace sink poisoned").clone()
+        self.events.lock().map(|e| e.clone()).unwrap_or_default()
     }
 }
 
 impl TraceSink for MemorySink {
     fn event(&self, event: &AlignEvent) {
-        self.events
-            .lock()
-            .expect("trace sink poisoned")
-            .push(*event);
+        // Degrade on poison: tracing must never fail an alignment.
+        if let Ok(mut events) = self.events.lock() {
+            events.push(*event);
+        }
     }
 }
 

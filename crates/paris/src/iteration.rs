@@ -229,7 +229,7 @@ impl<'a> Aligner<'a> {
     /// Like [`run`](Self::run), invoking `progress` after every iteration —
     /// used by the benches to print per-iteration table rows.
     pub fn run_with_progress(&self, progress: impl FnMut(&IterationStats)) -> AlignmentResult<'a> {
-        self.run_inner(progress, &NullSink)
+        self.run_inner(progress, &NullSink, None, None)
     }
 
     /// Like [`run`](Self::run), emitting one [`AlignEvent`] per fixpoint
@@ -237,15 +237,37 @@ impl<'a> Aligner<'a> {
     /// per-iteration tables (dirty rows, assignment churn, score
     /// movement, elapsed time).
     pub fn run_traced(&self, sink: &dyn TraceSink) -> AlignmentResult<'a> {
-        self.run_inner(|_| {}, sink)
+        self.run_inner(|_| {}, sink, None, None)
+    }
+
+    /// Like [`run_traced`](Self::run_traced), additionally recording a
+    /// span tree into `collector`: one `iteration` span per fixpoint
+    /// round (hung under `parent`) with `instance_pass` /
+    /// `subrelation_pass` children carrying entity counts and dirty-set
+    /// sizes, plus a final `class_pass` span. The collector can be
+    /// snapshotted live mid-run, which is how `GET /v1/jobs/<id>`
+    /// surfaces alignment progress.
+    pub fn run_spanned(
+        &self,
+        sink: &dyn TraceSink,
+        collector: &paris_obs::span::SpanCollector,
+        parent: paris_obs::span::SpanId,
+    ) -> AlignmentResult<'a> {
+        self.run_inner(|_| {}, sink, Some(collector), Some(parent))
     }
 
     fn run_inner(
         &self,
         mut progress: impl FnMut(&IterationStats),
         sink: &dyn TraceSink,
+        collector: Option<&paris_obs::span::SpanCollector>,
+        span_parent: Option<paris_obs::span::SpanId>,
     ) -> AlignmentResult<'a> {
         let (kb1, kb2, config) = (self.kb1, self.kb2, &self.config);
+        // Every iteration span hangs under `span_parent` (the caller's
+        // enclosing span) or, absent one, directly under the collector
+        // root.
+        let spanner = collector.map(|c| (c, span_parent.unwrap_or(c.root().span)));
         let bridge = LiteralBridge::build(kb1, kb2, &config.literal_similarity);
         let literal_pairs = bridge.num_pairs();
 
@@ -262,7 +284,17 @@ impl<'a> Aligner<'a> {
         let mut equiv_informed = false;
 
         for iteration in 1..=config.max_iterations {
+            let mut iter_span = spanner.map(|(c, parent)| {
+                let mut s = c.begin_child("iteration", parent);
+                s.attr_int("iteration", iteration as u64);
+                s
+            });
+
             // ---- instance pass (uses the previous iteration's equalities)
+            let mut pass_span = match (spanner, &iter_span) {
+                (Some((c, _)), Some(i)) => Some(c.begin_child("instance_pass", i.id)),
+                _ => None,
+            };
             let t0 = Instant::now();
             let cand = forward_view(kb1, &equiv, &bridge, config, equiv_informed);
             let mut rows = instance_pass(kb1, kb2, &cand, &subrel, config);
@@ -279,8 +311,21 @@ impl<'a> Aligner<'a> {
             let score_sum: f64 = assignment.iter().flatten().map(|&(_, p)| p).sum();
             equiv = new_equiv;
             equiv_informed = !subrel.is_bootstrap();
+            if let (Some((c, _)), Some(mut s)) = (spanner, pass_span.take()) {
+                // A full pass rescores every KB-1 entity: that *is* the
+                // dirty set.
+                s.attr_int("dirty", kb1.num_entities() as u64);
+                s.attr_int("changed", changed as u64);
+                s.attr_int("assigned", assigned as u64);
+                s.attr_int("equivalences", equiv.num_pairs() as u64);
+                c.finish(s);
+            }
 
             // ---- sub-relation passes (use the fresh equalities)
+            let mut pass_span = match (spanner, &iter_span) {
+                (Some((c, _)), Some(i)) => Some(c.begin_child("subrelation_pass", i.id)),
+                _ => None,
+            };
             let t1 = Instant::now();
             let cand_fwd = forward_view(kb1, &equiv, &bridge, config, equiv_informed);
             let one = subrelation_pass(kb1, kb2, &cand_fwd, config);
@@ -288,6 +333,10 @@ impl<'a> Aligner<'a> {
             let two = subrelation_pass(kb2, kb1, &cand_rev, config);
             subrel = SubrelStore::from_rows(one, two);
             let subrelation_seconds = t1.elapsed().as_secs_f64();
+            if let (Some((c, _)), Some(mut s)) = (spanner, pass_span.take()) {
+                s.attr_int("entries", subrel.num_entries() as u64);
+                c.finish(s);
+            }
 
             let stats = IterationStats {
                 iteration,
@@ -328,15 +377,26 @@ impl<'a> Aligner<'a> {
                 elapsed_secs: stats.instance_seconds + stats.subrelation_seconds,
             });
             iterations.push(stats);
+            if let (Some((c, _)), Some(mut s)) = (spanner, iter_span.take()) {
+                s.attr_int("churn", changed as u64);
+                s.attr_f64("score_delta", score_delta);
+                c.finish(s);
+            }
             if done {
                 break;
             }
         }
 
         // ---- final class pass (§5.1: "in a last step")
+        let mut class_span = spanner.map(|(c, parent)| c.begin_child("class_pass", parent));
         let t2 = Instant::now();
         let classes = subclass_pass(kb1, kb2, &equiv, config);
         let class_seconds = t2.elapsed().as_secs_f64();
+        if let (Some((c, _)), Some(mut s)) = (spanner, class_span.take()) {
+            s.attr_int("classes_kb1", kb1.num_classes() as u64);
+            s.attr_int("classes_kb2", kb2.num_classes() as u64);
+            c.finish(s);
+        }
 
         AlignmentResult {
             kb1,
@@ -471,6 +531,68 @@ mod blend_tests {
 
     fn e(i: usize) -> EntityId {
         EntityId::from_index(i)
+    }
+
+    /// `run_spanned` yields the same alignment as `run` and records one
+    /// parent-linked span tree per iteration plus a final class pass.
+    #[test]
+    fn run_spanned_records_iteration_trees() {
+        use paris_obs::span::{SpanCollector, SpanContext};
+        use paris_rdf::Literal;
+
+        let mut a = paris_kb::KbBuilder::new("left");
+        a.add_literal_fact(
+            "http://a/alice",
+            "http://a/email",
+            Literal::plain("alice@x.org"),
+        );
+        let mut b = paris_kb::KbBuilder::new("right");
+        b.add_literal_fact(
+            "http://b/asmith",
+            "http://b/mail",
+            Literal::plain("alice@x.org"),
+        );
+        let (kb1, kb2) = (a.build(), b.build());
+        let aligner = Aligner::new(&kb1, &kb2, ParisConfig::default());
+
+        let collector = SpanCollector::new(SpanContext::new_root());
+        let root = collector.root();
+        let result = aligner.run_spanned(&NullSink, &collector, root.span);
+        assert_eq!(
+            result
+                .instance_alignment_by_iri("http://a/alice")
+                .unwrap()
+                .as_str(),
+            "http://b/asmith"
+        );
+
+        let spans = collector.snapshot();
+        let iters: Vec<_> = spans.iter().filter(|s| s.name == "iteration").collect();
+        assert_eq!(iters.len(), result.iterations.len());
+        for iter in &iters {
+            assert_eq!(iter.parent, Some(root.span));
+            assert!(iter.end_ns >= iter.start_ns);
+            let passes: Vec<_> = spans.iter().filter(|s| s.parent == Some(iter.id)).collect();
+            assert!(
+                passes.iter().any(|s| s.name == "instance_pass"),
+                "{passes:?}"
+            );
+            assert!(
+                passes.iter().any(|s| s.name == "subrelation_pass"),
+                "{passes:?}"
+            );
+            // The instance pass reports its dirty set (all KB-1 entities).
+            let instance = passes.iter().find(|s| s.name == "instance_pass").unwrap();
+            assert!(instance.attrs.iter().any(|(k, v)| *k == "dirty"
+                && *v == paris_obs::span::AttrValue::Int(kb1.num_entities() as u64)));
+        }
+        let class = spans
+            .iter()
+            .find(|s| s.name == "class_pass")
+            .expect("class pass span");
+        assert_eq!(class.parent, Some(root.span));
+        // Every span shares the collector's trace.
+        assert!(spans.iter().all(|s| s.trace == root.trace));
     }
 
     #[test]

@@ -34,6 +34,7 @@ use paris_kb::SnapshotArena;
 use paris_client::http_client::{HttpClient, Upstream};
 use paris_client::json::{self, Json};
 use paris_client::valid_pair_name;
+use paris_obs::span::SpanStore;
 
 /// Cap on the manifest document.
 const MAX_MANIFEST_BYTES: u64 = 16 << 20;
@@ -299,6 +300,10 @@ pub struct SyncEngine {
     last_success_unix: Option<u64>,
     last_error: Option<String>,
     metrics: SyncMetrics,
+    /// When set (and enabled), every cycle records a `sync_cycle` span
+    /// tree here and rides the spans' contexts on `traceparent` headers,
+    /// so the primary continues the same trace.
+    spans: Option<Arc<SpanStore>>,
 }
 
 fn unix_now() -> u64 {
@@ -358,6 +363,7 @@ impl SyncEngine {
             last_success_unix: None,
             last_error: None,
             metrics: SyncMetrics::default(),
+            spans: None,
         })
     }
 
@@ -365,6 +371,13 @@ impl SyncEngine {
     pub fn with_max_snapshot_bytes(mut self, cap: u64) -> SyncEngine {
         self.max_snapshot_bytes = cap;
         self
+    }
+
+    /// Records every cycle's span tree into `store` and propagates the
+    /// trace to the primary via `traceparent` headers. A disabled store
+    /// (capacity 0) leaves the engine untraced.
+    pub fn set_span_store(&mut self, store: Arc<SpanStore>) {
+        self.spans = Some(store);
     }
 
     /// The upstream URL, for display.
@@ -418,9 +431,34 @@ impl SyncEngine {
         self.last_attempt_unix = Some(unix_now());
         let mut outcome = SyncOutcome::default();
 
-        match self.fetch_manifest(&mut outcome) {
+        // One cycle = one trace. Each upstream GET carries the current
+        // span's context as a `traceparent` header, so the primary's
+        // request spans join this trace — `/v1/debug/traces/<id>` on
+        // either daemon shows the same trace id.
+        let tracer = self.spans.clone().filter(|s| s.enabled());
+        let root = tracer.as_ref().map(|s| s.begin("sync_cycle", None));
+
+        let manifest_span = tracer.as_ref().zip(root.as_ref()).map(|(store, root)| {
+            let span = store.begin("fetch_manifest", Some(root.context()));
+            self.client
+                .set_header("traceparent", Some(&span.context().traceparent()));
+            span
+        });
+        let fetched = self.fetch_manifest(&mut outcome);
+        if let (Some(store), Some(mut span)) = (tracer.as_ref(), manifest_span) {
+            span.attr_int("manifest_bytes", outcome.manifest_bytes);
+            if let Err(e) = &fetched {
+                span.attr_str("error", e);
+            }
+            store.finish(span);
+        }
+        match fetched {
             Ok(()) => {}
             Err(e) => {
+                if let (Some(store), Some(mut root)) = (tracer.as_ref(), root) {
+                    root.attr_str("error", &e);
+                    store.finish(root);
+                }
                 self.metrics.failures.inc();
                 self.last_error = Some(e.clone());
                 return Err(e);
@@ -460,7 +498,23 @@ impl SyncEngine {
                 outcome.unchanged += 1;
                 continue;
             }
-            match self.transfer_pair(entry, &mut outcome) {
+            let pair_span = tracer.as_ref().zip(root.as_ref()).map(|(store, root)| {
+                let mut span = store.begin("transfer_pair", Some(root.context()));
+                span.attr_str("pair", &entry.name);
+                self.client
+                    .set_header("traceparent", Some(&span.context().traceparent()));
+                span
+            });
+            let bytes_before = outcome.snapshot_bytes;
+            let transfer = self.transfer_pair(entry, &mut outcome);
+            if let (Some(store), Some(mut span)) = (tracer.as_ref(), pair_span) {
+                span.attr_int("bytes", outcome.snapshot_bytes.saturating_sub(bytes_before));
+                if let Err(why) = &transfer {
+                    span.attr_str("error", why);
+                }
+                store.finish(span);
+            }
+            match transfer {
                 Ok(installed) => {
                     // Record the signature + checksum of the bytes
                     // actually installed (the transfer's ETag), which may
@@ -555,6 +609,13 @@ impl SyncEngine {
                 .filter(|p| p.next_attempt.is_some())
                 .count() as u64,
         );
+        if let (Some(store), Some(mut root)) = (tracer.as_ref(), root) {
+            root.attr_int("updated", outcome.updated.len() as u64);
+            root.attr_int("unchanged", outcome.unchanged as u64);
+            root.attr_int("failed", outcome.failed.len() as u64);
+            root.attr_int("removed", outcome.removed.len() as u64);
+            store.finish(root);
+        }
         Ok(outcome)
     }
 

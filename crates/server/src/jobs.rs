@@ -15,6 +15,7 @@ use std::time::Instant;
 
 use paris_core::{AlignedPairSnapshot, Aligner, OwnedAlignment, ParisConfig};
 use paris_kb::snapshot::load_kb;
+use paris_obs::span::{Span, SpanCollector, SpanStore, TraceId};
 
 /// Final statistics of a completed job.
 #[derive(Clone, Debug)]
@@ -85,6 +86,14 @@ pub struct JobStore {
     queue: Mutex<std::collections::VecDeque<(u64, JobRequest)>>,
     available: std::sync::Condvar,
     runners: AtomicU64,
+    /// Where finished jobs drain their span trees (`None` in bare-store
+    /// tests; the server hands in its `/v1/debug/traces` store).
+    spans: Option<Arc<SpanStore>>,
+    /// Live span collectors of *running* jobs, keyed by job id — what
+    /// `GET /v1/jobs/<id>` renders as in-flight fixpoint progress.
+    live: Mutex<HashMap<u64, Arc<SpanCollector>>>,
+    /// Trace id of every job that has started, evicted with the job.
+    trace_ids: Mutex<HashMap<u64, TraceId>>,
 }
 
 /// Upper bound on alignments running at once.
@@ -102,6 +111,9 @@ impl Default for JobStore {
             queue: Mutex::new(std::collections::VecDeque::new()),
             available: std::sync::Condvar::new(),
             runners: AtomicU64::new(0),
+            spans: None,
+            live: Mutex::new(HashMap::new()),
+            trace_ids: Mutex::new(HashMap::new()),
         }
     }
 }
@@ -110,6 +122,15 @@ impl JobStore {
     /// An empty store.
     pub fn new() -> Self {
         JobStore::default()
+    }
+
+    /// An empty store that drains finished jobs' span trees into
+    /// `spans` (a disabled store makes the drain a no-op).
+    pub fn with_spans(spans: Arc<SpanStore>) -> Self {
+        JobStore {
+            spans: Some(spans),
+            ..JobStore::default()
+        }
     }
 
     /// Enqueues a job; it runs as soon as a runner thread is free.
@@ -153,6 +174,22 @@ impl JobStore {
         self.next_id.load(Ordering::Relaxed)
     }
 
+    /// Trace id of a job that has started running (survives completion
+    /// until the job itself is evicted).
+    pub fn trace_of(&self, id: u64) -> Option<TraceId> {
+        self.trace_ids
+            .lock()
+            .map(|t| t.get(&id).copied())
+            .unwrap_or_default()
+    }
+
+    /// Snapshot of a *running* job's spans (start-ordered), `None` once
+    /// the job finished (its trace then lives in the span store).
+    pub fn live_spans(&self, id: u64) -> Option<Vec<Span>> {
+        let collector = self.live.lock().ok()?.get(&id).cloned()?;
+        Some(collector.snapshot())
+    }
+
     fn set(&self, id: u64, state: JobState) {
         let terminal = matches!(state, JobState::Done(_) | JobState::Failed(_));
         let mut states = self.states.lock().expect("job lock");
@@ -163,6 +200,9 @@ impl JobStore {
             while order.len() > MAX_RETAINED_JOBS {
                 if let Some(evicted) = order.pop_front() {
                     states.remove(&evicted);
+                    if let Ok(mut traces) = self.trace_ids.lock() {
+                        traces.remove(&evicted);
+                    }
                 }
             }
         }
@@ -191,18 +231,43 @@ fn runner_loop(store: std::sync::Weak<JobStore>) {
         };
         let Some((id, request)) = next else { continue };
         store.set(id, JobState::Running);
-        let state = match run_job(&request) {
+        // Every job is one trace: a root `align_job` span with
+        // load/align/save children, buffered live (`GET /v1/jobs/<id>`
+        // renders in-flight fixpoint progress from the collector) and
+        // drained into the daemon's span store when the job finishes.
+        let mut root = Span::begin("align_job", TraceId::random(), None);
+        root.attr_int("job", id);
+        let collector = Arc::new(SpanCollector::new(root.context()));
+        if let Ok(mut traces) = store.trace_ids.lock() {
+            traces.insert(id, root.trace);
+        }
+        if let Ok(mut live) = store.live.lock() {
+            live.insert(id, Arc::clone(&collector));
+        }
+        let state = match run_job(&request, &collector) {
             Ok(outcome) => JobState::Done(outcome),
             Err(message) => JobState::Failed(message),
         };
+        root.attr_str("status", state.label());
+        collector.finish(root);
+        if let Ok(mut live) = store.live.lock() {
+            live.remove(&id);
+        }
+        if let Some(spans) = &store.spans {
+            spans.absorb(&collector);
+        }
         store.set(id, state);
     }
 }
 
-fn run_job(request: &JobRequest) -> Result<JobOutcome, String> {
+fn run_job(request: &JobRequest, collector: &SpanCollector) -> Result<JobOutcome, String> {
     let t0 = Instant::now();
+    let mut load = collector.begin("load_snapshots");
     let kb1 = load_kb(&request.left).map_err(|e| format!("loading {}: {e}", request.left))?;
     let kb2 = load_kb(&request.right).map_err(|e| format!("loading {}: {e}", request.right))?;
+    load.attr_int("entities_kb1", kb1.num_entities() as u64);
+    load.attr_int("entities_kb2", kb2.num_entities() as u64);
+    collector.finish(load);
 
     let mut config = ParisConfig::default();
     if let Some(cap) = request.max_iterations {
@@ -210,8 +275,14 @@ fn run_job(request: &JobRequest) -> Result<JobOutcome, String> {
     }
     // Trace every fixpoint iteration to the daemon's stderr as JSON
     // lines — a long batch job's progress (dirty set, churn, score
-    // movement) is otherwise invisible until it finishes.
-    let result = Aligner::new(&kb1, &kb2, config).run_traced(&paris_obs::trace::stderr_json());
+    // movement) is otherwise invisible until it finishes — and record
+    // each iteration's pass spans under the `align` span.
+    let mut align = collector.begin("align");
+    let result = Aligner::new(&kb1, &kb2, config).run_spanned(
+        &paris_obs::trace::stderr_json(),
+        collector,
+        align.id,
+    );
     let owned = OwnedAlignment::from_result(&result);
     let outcome = JobOutcome {
         aligned_instances: result.instance_pairs().len(),
@@ -221,11 +292,17 @@ fn run_job(request: &JobRequest) -> Result<JobOutcome, String> {
         out_path: request.out.clone(),
     };
     drop(result);
+    align.attr_int("iterations", outcome.iterations as u64);
+    align.attr_int("aligned_instances", outcome.aligned_instances as u64);
+    collector.finish(align);
 
     if let Some(out) = &request.out {
-        AlignedPairSnapshot::new(kb1, kb2, owned)
+        let save = collector.begin("save_snapshot");
+        let saved = AlignedPairSnapshot::new(kb1, kb2, owned)
             .save(out)
-            .map_err(|e| format!("writing {out}: {e}"))?;
+            .map_err(|e| format!("writing {out}: {e}"));
+        collector.finish(save);
+        saved?;
     }
     Ok(outcome)
 }

@@ -175,6 +175,15 @@ pub struct ServerConfig {
     /// exists for the `metrics_overhead` bench, which compares the two
     /// settings to bound the instrumentation cost.
     pub telemetry: bool,
+    /// Capacity of the in-memory span ring buffer behind
+    /// `GET /v1/debug/traces` (`paris serve --trace-buffer N`).
+    /// `0` disables tracing entirely — span recording becomes a cheap
+    /// early return and the debug routes answer `404`.
+    pub trace_buffer: usize,
+    /// Threshold (milliseconds) above which a finished request also
+    /// emits one `slow_request` log line through the request logger
+    /// (`paris serve --slow-ms MS`). `None` disables the slow log.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -191,9 +200,16 @@ impl Default for ServerConfig {
             sync_interval: Duration::from_secs(1),
             log_format: LogFormat::Off,
             telemetry: true,
+            trace_buffer: DEFAULT_TRACE_BUFFER,
+            slow_ms: None,
         }
     }
 }
+
+/// Default capacity of the span ring buffer (spans, not traces). At
+/// ~200 bytes a span this bounds steady-state trace memory to ~100 KiB
+/// plus the pinned slow traces.
+pub const DEFAULT_TRACE_BUFFER: usize = 512;
 
 /// One immutable serving image of one pair: the loaded snapshot plus the
 /// derived values `/stats` would otherwise recompute per hit. Swapped
@@ -547,6 +563,11 @@ struct ServeState {
     log: Option<RequestLog>,
     /// See [`ServerConfig::telemetry`].
     telemetry: bool,
+    /// The span ring buffer behind `GET /v1/debug/traces` (capacity 0
+    /// when tracing is disabled).
+    spans: Arc<obs::span::SpanStore>,
+    /// See [`ServerConfig::slow_ms`].
+    slow_ms: Option<u64>,
 }
 
 impl ServeState {
@@ -556,6 +577,8 @@ impl ServeState {
         replica: Option<ReplicaState>,
         log_format: LogFormat,
         telemetry: bool,
+        trace_buffer: usize,
+        slow_ms: Option<u64>,
     ) -> ServeState {
         let metrics = ServerMetrics::new();
         let requests = metrics.registry.counter(
@@ -581,16 +604,53 @@ impl ServeState {
             &[],
             &catalog.evictions,
         );
+        // The build-info gauge: constant 1, with the interesting facts in
+        // the labels (the Prometheus `*_build_info` convention).
+        metrics
+            .registry
+            .gauge(
+                "paris_build_info",
+                "Constant 1; version and supported snapshot/delta formats as labels.",
+                &[
+                    ("version", VERSION),
+                    (
+                        "snapshot_formats",
+                        &snapshot::SUPPORTED_SNAPSHOT_VERSIONS
+                            .map(|v| format!("v{v}"))
+                            .join(","),
+                    ),
+                    (
+                        "delta_format",
+                        &format!("v{}", snapshot::DELTA_FORMAT_VERSION),
+                    ),
+                ],
+            )
+            .set(1);
+        let spans = Arc::new(obs::span::SpanStore::new(trace_buffer));
+        metrics.registry.register_counter(
+            "paris_trace_spans_recorded_total",
+            "Spans recorded into the trace ring buffer.",
+            &[],
+            spans.recorded_counter(),
+        );
+        metrics.registry.register_counter(
+            "paris_trace_spans_dropped_total",
+            "Spans evicted from the trace ring (pinned slow-trace copies persist).",
+            &[],
+            spans.dropped_counter(),
+        );
         ServeState {
             catalog,
             started: Instant::now(),
             requests,
-            jobs: Arc::new(JobStore::new()),
+            jobs: Arc::new(JobStore::with_spans(Arc::clone(&spans))),
             jobs_enabled,
             replica,
             metrics,
             log: RequestLog::new(log_format),
             telemetry,
+            spans,
+            slow_ms,
         }
     }
 
@@ -716,6 +776,20 @@ impl ServeState {
             );
         }
     }
+
+    /// Emits one `--slow-ms` slow-request line — through the structured
+    /// request logger when one is configured, else to stderr so the flag
+    /// is useful without `--log-format`.
+    fn log_slow(&self, id: &str, method: &str, path: &str, latency_us: u64, trace: Option<&str>) {
+        match &self.log {
+            Some(log) => log.write_slow(id, method, path, latency_us, trace),
+            None => eprintln!(
+                "slow_request id={id} method={method} path={path} \
+                 latency_us={latency_us} trace={}",
+                trace.unwrap_or("-")
+            ),
+        }
+    }
 }
 
 /// A bound, not-yet-running server.
@@ -825,6 +899,8 @@ impl Server {
                 replica,
                 config.log_format,
                 config.telemetry,
+                config.trace_buffer,
+                config.slow_ms,
             )),
             config,
             shutdown: Arc::new(AtomicBool::new(false)),
@@ -1097,6 +1173,11 @@ fn spawn_sync_thread(
                     return;
                 }
             };
+            // Record each sync cycle as a span tree in this daemon's
+            // store and propagate the trace to the primary.
+            if state.spans.enabled() {
+                engine.set_span_store(Arc::clone(&state.spans));
+            }
             // Export the engine's transfer accounting through
             // `/v1/metrics`; the Arcs stay live with the engine.
             let sync_metrics = engine.metrics().clone();
@@ -1235,6 +1316,17 @@ fn serve_connection(state: &ServeState, stream: TcpStream) {
                 state.requests.inc();
                 let keep_alive = !request.wants_close();
                 let response = if state.telemetry {
+                    // A `traceparent` header continues the caller's trace
+                    // (the replica's sync cycle, a traced client); its
+                    // absence roots a fresh one.
+                    let span = state.spans.enabled().then(|| {
+                        let parent = request
+                            .header("traceparent")
+                            .and_then(obs::span::SpanContext::parse_traceparent);
+                        state
+                            .spans
+                            .begin(metrics::route_class(&request.path), parent)
+                    });
                     // Time routing + handling only; the observation
                     // itself happens after the response is rendered, so
                     // a `/v1/metrics` body never counts its own request.
@@ -1242,7 +1334,32 @@ fn serve_connection(state: &ServeState, stream: TcpStream) {
                     let response = route(state, &request);
                     let latency_us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
                     let id = state.metrics.request_id(&request);
+                    let response = with_request_id(response, &id);
                     state.observe(&request, &response, &id, latency_us);
+                    let is_slow = state
+                        .slow_ms
+                        .is_some_and(|ms| latency_us >= ms.saturating_mul(1000));
+                    let trace_hex = if is_slow {
+                        span.as_ref().map(|s| s.trace.to_hex())
+                    } else {
+                        None
+                    };
+                    if let Some(mut span) = span {
+                        span.attr_str("method", &request.method);
+                        span.attr_str("path", &request.path);
+                        span.attr_int("status", u64::from(response.status));
+                        span.attr_int("latency_us", latency_us);
+                        state.spans.finish(span);
+                    }
+                    if is_slow {
+                        state.log_slow(
+                            &id,
+                            &request.method,
+                            &request.path,
+                            latency_us,
+                            trace_hex.as_deref(),
+                        );
+                    }
                     response.with_header("X-Request-Id", id)
                 } else {
                     route(state, &request)
@@ -1324,6 +1441,11 @@ fn route_v1(state: &ServeState, req: &Request, path: &str) -> Response {
         p if p.starts_with("/jobs/") => {
             let id = p["/jobs/".len()..].to_owned();
             allow(req, "GET", move |_| job_status(state, &id))
+        }
+        "/debug/traces" => allow(req, "GET", |_| debug_traces(state)),
+        p if p.starts_with("/debug/traces/") => {
+            let id = p["/debug/traces/".len()..].to_owned();
+            allow(req, "GET", move |_| debug_trace(state, &id))
         }
         _ => error(404, &format!("no such route {}", req.path)),
     }
@@ -1467,6 +1589,25 @@ fn error(status: u16, message: &str) -> Response {
         status,
         format!("{{\"error\":{}}}", error_object(status, message)),
     )
+}
+
+/// Echoes the request id *inside* a JSON error envelope —
+/// `{"error":{…,"request_id":"…"}}` — so a client that only captured the
+/// body can still quote the id from the `X-Request-Id` header. The
+/// splice fires only on the exact envelope shape [`error`] renders;
+/// success bodies, streams, and in-place batch-query error members
+/// (inside a 200) are untouched.
+fn with_request_id(mut response: Response, id: &str) -> Response {
+    if response.status < 400 || response.stream.is_some() {
+        return response;
+    }
+    if response.body.starts_with(b"{\"error\":{") && response.body.ends_with(b"}}") {
+        response.body.truncate(response.body.len() - 2);
+        response
+            .body
+            .extend_from_slice(format!(",\"request_id\":{}}}}}", json::string(id)).as_bytes());
+    }
+    response
 }
 
 /// Resolves a pair's image or renders the load failure as a 500.
@@ -2207,6 +2348,9 @@ fn job_status(state: &ServeState, id: &str) -> Response {
     let mut obj = json::Object::new()
         .int("job", id)
         .str("status", job.label());
+    if let Some(trace) = state.jobs.trace_of(id) {
+        obj = obj.str("trace", &trace.to_hex());
+    }
     match job {
         JobState::Done(outcome) => {
             obj = obj
@@ -2219,9 +2363,153 @@ fn job_status(state: &ServeState, id: &str) -> Response {
             }
         }
         JobState::Failed(message) => obj = obj.str("error", &message),
-        JobState::Queued | JobState::Running => {}
+        JobState::Running => {
+            // Live fixpoint progress, straight from the job's span
+            // collector: completed iterations and the most recently
+            // finished pass (with its entity counts and dirty-set size).
+            if let Some(spans) = state.jobs.live_spans(id) {
+                let iterations = spans
+                    .iter()
+                    .filter(|s| s.name == "iteration" && s.end_ns > 0)
+                    .count() as u64;
+                let mut progress = json::Object::new()
+                    .int("iterations_completed", iterations)
+                    .int("spans", spans.len() as u64);
+                if let Some(last) = spans.iter().rev().find(|s| s.end_ns > 0) {
+                    progress = progress.raw("last_span", span_json(last));
+                }
+                obj = obj.raw("progress", progress.build());
+            }
+        }
+        JobState::Queued => {}
     }
     ok(obj.build())
+}
+
+// ----------------------------------------------------------------------
+// Trace debug routes
+// ----------------------------------------------------------------------
+
+/// Cap on the `recent` window of one `GET /v1/debug/traces` response.
+const DEBUG_RECENT_SPANS: usize = 100;
+
+/// Depth cap of the rendered span tree — bounds recursion no matter what
+/// parent links a trace carries.
+const SPAN_TREE_MAX_DEPTH: usize = 64;
+
+/// One span as a flat JSON object (ids in hex, duration pre-computed).
+fn span_json(span: &obs::span::Span) -> String {
+    let mut obj = json::Object::new()
+        .str("trace", &span.trace.to_hex())
+        .str("span", &span.id.to_hex());
+    if let Some(parent) = span.parent {
+        obj = obj.str("parent", &parent.to_hex());
+    }
+    obj = obj
+        .str("name", span.name)
+        .int("start_ns", span.start_ns)
+        .int("duration_ns", span.duration_ns());
+    let mut attrs = json::Object::new();
+    for (key, value) in &span.attrs {
+        attrs = match value {
+            obs::span::AttrValue::Int(v) => attrs.int(key, *v),
+            obs::span::AttrValue::Float(v) => attrs.num(key, *v),
+            obs::span::AttrValue::Str(v) => attrs.str(key, v),
+        };
+    }
+    obj.raw("attrs", attrs.build()).build()
+}
+
+/// Renders one trace's spans (start-ordered) as a forest: spans whose
+/// parent is absent from the set — locally parent-less, or continued
+/// from a remote caller's `traceparent` — are roots; the rest nest under
+/// their parent recursively.
+fn span_tree_json(spans: &[obs::span::Span]) -> String {
+    use std::collections::{HashMap, HashSet};
+    let present: HashSet<u64> = spans.iter().map(|s| s.id.0).collect();
+    let mut children: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut roots = Vec::new();
+    for (i, span) in spans.iter().enumerate() {
+        match span.parent {
+            Some(p) if present.contains(&p.0) && p != span.id => {
+                children.entry(p.0).or_default().push(i)
+            }
+            _ => roots.push(i),
+        }
+    }
+    fn node(
+        spans: &[obs::span::Span],
+        children: &HashMap<u64, Vec<usize>>,
+        i: usize,
+        depth: usize,
+    ) -> String {
+        let span = &spans[i];
+        let kids: &[usize] = children.get(&span.id.0).map(Vec::as_slice).unwrap_or(&[]);
+        let rendered = if depth >= SPAN_TREE_MAX_DEPTH {
+            json::array(std::iter::empty())
+        } else {
+            json::array(kids.iter().map(|&j| node(spans, children, j, depth + 1)))
+        };
+        // Splice the children array into the flat span object.
+        let mut obj = span_json(span);
+        obj.truncate(obj.len() - 1);
+        obj.push_str(",\"children\":");
+        obj.push_str(&rendered);
+        obj.push('}');
+        obj
+    }
+    json::array(roots.iter().map(|&i| node(spans, &children, i, 0)))
+}
+
+/// `GET /v1/debug/traces`: the recent span window (newest first) plus
+/// the tail-sampled slowest traces.
+fn debug_traces(state: &ServeState) -> Response {
+    let spans = &state.spans;
+    if !spans.enabled() {
+        return error(404, "tracing is disabled (--trace-buffer 0)");
+    }
+    let slowest = json::array(spans.slowest().iter().map(|s| {
+        json::Object::new()
+            .str("trace", &s.trace.to_hex())
+            .str("root", s.root_name)
+            .int("duration_ns", s.root_duration_ns)
+            .int("spans", s.spans as u64)
+            .build()
+    }));
+    let recent = json::array(
+        spans
+            .recent(DEBUG_RECENT_SPANS)
+            .iter()
+            .map(span_json)
+            .collect::<Vec<_>>(),
+    );
+    ok(json::Object::new()
+        .int("capacity", spans.capacity() as u64)
+        .int("recorded", spans.recorded())
+        .int("dropped", spans.dropped())
+        .raw("slowest", slowest)
+        .raw("recent", recent)
+        .build())
+}
+
+/// `GET /v1/debug/traces/<id>`: every retained span of one trace,
+/// rendered as a parent-linked tree.
+fn debug_trace(state: &ServeState, id: &str) -> Response {
+    if !state.spans.enabled() {
+        return error(404, "tracing is disabled (--trace-buffer 0)");
+    }
+    let Some(trace) = obs::span::TraceId::from_hex(id) else {
+        return error(400, "trace id must be 32 hex digits");
+    };
+    let spans = state.spans.trace(trace);
+    if spans.is_empty() {
+        return error(404, &format!("no retained spans for trace {id}"));
+    }
+    ok(json::Object::new()
+        .str("trace", &trace.to_hex())
+        .int("spans", spans.len() as u64)
+        .raw("roots", span_tree_json(&spans))
+        .build())
 }
 
 #[cfg(test)]
@@ -2288,6 +2576,8 @@ mod tests {
             None,
             LogFormat::Off,
             true,
+            DEFAULT_TRACE_BUFFER,
+            None,
         )
     }
 
@@ -2307,6 +2597,8 @@ mod tests {
             None,
             LogFormat::Off,
             true,
+            DEFAULT_TRACE_BUFFER,
+            None,
         )
     }
 

@@ -24,7 +24,7 @@ use crate::json;
 /// classified by *path shape* (independent of the `/v1` prefix, so a
 /// legacy alias and its v1 spelling share one series) and fall back to
 /// `other` — the label set is bounded no matter what peers request.
-pub(crate) const ROUTE_CLASSES: [&str; 15] = [
+pub(crate) const ROUTE_CLASSES: [&str; 16] = [
     "healthz",
     "pairs",
     "manifest",
@@ -38,6 +38,7 @@ pub(crate) const ROUTE_CLASSES: [&str; 15] = [
     "reload",
     "align",
     "jobs",
+    "debug",
     "metrics",
     "other",
 ];
@@ -75,6 +76,7 @@ pub(crate) fn route_class(path: &str) -> &'static str {
         "/neighbors" => "neighbors",
         "/reload" => "reload",
         _ if p.starts_with("/jobs/") => "jobs",
+        _ if p == "/debug/traces" || p.starts_with("/debug/traces/") => "debug",
         _ => "other",
     }
 }
@@ -91,7 +93,7 @@ pub(crate) fn pair_of(path: &str) -> Option<&str> {
 pub(crate) struct ServerMetrics {
     pub(crate) registry: obs::Registry,
     /// `(class, request counter, latency histogram)` — one row per
-    /// [`ROUTE_CLASSES`] entry, scanned linearly (15 entries).
+    /// [`ROUTE_CLASSES`] entry, scanned linearly (16 entries).
     routes: Vec<(&'static str, Arc<obs::Counter>, Arc<obs::Histogram>)>,
     /// Status classes `2xx`..`5xx` (everything else lands in `other`).
     status: Vec<(&'static str, Arc<obs::Counter>)>,
@@ -331,6 +333,46 @@ impl RequestLog {
         let _ = out.write_all(line.as_bytes());
         let _ = out.flush();
     }
+
+    /// Writes one `--slow-ms` slow-request line, carrying the trace id
+    /// (when tracing is on) so the operator can jump straight to
+    /// `GET /v1/debug/traces/<trace>` for the span tree.
+    pub(crate) fn write_slow(
+        &self,
+        id: &str,
+        method: &str,
+        path: &str,
+        latency_us: u64,
+        trace: Option<&str>,
+    ) {
+        let line = match self.format {
+            LogFormat::Off => return,
+            LogFormat::Text => {
+                let trace = trace.unwrap_or("-");
+                format!(
+                    "slow_request id={id} method={method} path={path} \
+                     latency_us={latency_us} trace={trace}\n"
+                )
+            }
+            LogFormat::Json => {
+                let mut obj = json::Object::new()
+                    .str("event", "slow_request")
+                    .str("id", id)
+                    .str("method", method)
+                    .str("path", path)
+                    .int("latency_us", latency_us);
+                if let Some(trace) = trace {
+                    obj = obj.str("trace", trace);
+                }
+                let mut line = obj.build();
+                line.push('\n');
+                line
+            }
+        };
+        let mut out = self.out.lock().expect("request log poisoned");
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.flush();
+    }
 }
 
 #[cfg(test)]
@@ -355,6 +397,8 @@ mod tests {
             ("/stats", "stats"),
             ("/reload", "reload"),
             ("/v1/jobs/3", "jobs"),
+            ("/v1/debug/traces", "debug"),
+            ("/v1/debug/traces/0af7651916cd43dd8448eb211c80319c", "debug"),
             ("/v1/pairs/movies", "other"),
             ("/nope", "other"),
         ] {

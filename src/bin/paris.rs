@@ -46,7 +46,7 @@ USAGE:
   paris serve <FILE.snap> [SERVE OPTIONS]
   paris serve --catalog <DIR> [SERVE OPTIONS]
   paris sync <URL> <DIR>
-  paris query <URL[,URL…]> <health|pairs|stats|metrics|sameas|neighbors|explain|batch> [ARGS]
+  paris query <URL[,URL…]> <health|pairs|stats|metrics|traces|sameas|neighbors|explain|batch> [ARGS]
   paris version
 
 Input files may be N-Triples (.nt), Turtle (.ttl/.turtle), tab-separated
@@ -159,7 +159,11 @@ SERVE:
     POST /v1/align                enqueue alignment of two single-KB
                                   snapshots (form fields left=, right=,
                                   optional out=, max_iterations=)
-    GET  /v1/jobs/<id>            poll a job
+    GET  /v1/jobs/<id>            poll a job (running jobs report live
+                                  fixpoint progress from the span tree)
+    GET  /v1/debug/traces         recent spans + tail-sampled slowest
+                                  traces (see --trace-buffer)
+    GET  /v1/debug/traces/<id>    one trace rendered as a span tree
   Every pre-v1 route keeps working as a deprecated alias (same bytes,
   one Warning header); the bare /sameas, /neighbors, /stats, /reload
   aliases answer for the default pair ('default' if present, else
@@ -191,6 +195,13 @@ SERVE:
                           id, route, pair, status, bytes, latency µs);
                           json emits one machine-ingestable object per
                           line                           [default: text]
+  --trace-buffer <N>      span ring-buffer capacity behind the
+                          /v1/debug/traces routes; the slowest traces
+                          are tail-sampled and kept past eviction;
+                          0 disables tracing          [default: 512]
+  --slow-ms <MS>          also log one slow_request line (with the
+                          trace id) for every request at or above MS
+                          milliseconds                [default: off]
 
 QUERY:
   `paris query` speaks the daemon's versioned /v1 API through the typed
@@ -202,6 +213,9 @@ QUERY:
     paris query URL stats [--pair NAME]             one pair's statistics
     paris query URL metrics [--format prometheus|json]
                                 the daemon's /v1/metrics telemetry
+    paris query URL traces      recent spans + slowest traces
+    paris query URL traces <TRACE-ID>
+                                one trace's span tree, indented
     paris query URL sameas <IRI> [--pair NAME] [--side left|right]
                                 [--threshold F]     best match of an instance
     paris query URL neighbors <IRI> [--pair NAME] [--side left|right]
@@ -1220,6 +1234,18 @@ fn serve(args: &[String]) -> Result<(), String> {
                     })?
             }
             "--replica-of" => config.replica_of = Some(value_of("--replica-of")?),
+            "--trace-buffer" => {
+                config.trace_buffer = value_of("--trace-buffer")?
+                    .parse()
+                    .map_err(|_| "bad --trace-buffer value (spans, 0 disables)".to_owned())?
+            }
+            "--slow-ms" => {
+                config.slow_ms = Some(
+                    value_of("--slow-ms")?
+                        .parse()
+                        .map_err(|_| "bad --slow-ms value (milliseconds)".to_owned())?,
+                )
+            }
             "--sync-interval" => {
                 let seconds: f64 = value_of("--sync-interval")?
                     .parse()
@@ -1499,6 +1525,54 @@ fn query(args: &[String]) -> Result<(), String> {
                 }
             }
         }
+        ("traces", []) => {
+            use paris_repro::client::json::Json;
+            let d = client.debug_traces().map_err(err)?;
+            let int = |k: &str| d.get(k).and_then(Json::as_u64).unwrap_or(0);
+            println!(
+                "trace buffer: {} span(s) recorded, {} evicted (capacity {})",
+                int("recorded"),
+                int("dropped"),
+                int("capacity"),
+            );
+            let slowest = d.get("slowest").and_then(Json::as_array).unwrap_or(&[]);
+            if !slowest.is_empty() {
+                println!("slowest traces:");
+                for s in slowest {
+                    println!(
+                        "  {}  {:>10.3} ms  {:>4} span(s)  {}",
+                        s.get("trace").and_then(Json::as_str).unwrap_or("?"),
+                        s.get("duration_ns").and_then(Json::as_u64).unwrap_or(0) as f64 / 1e6,
+                        s.get("spans").and_then(Json::as_u64).unwrap_or(0),
+                        s.get("root").and_then(Json::as_str).unwrap_or("?"),
+                    );
+                }
+            }
+            let recent = d.get("recent").and_then(Json::as_array).unwrap_or(&[]);
+            if !recent.is_empty() {
+                println!("recent spans (newest first):");
+                for s in recent.iter().take(20) {
+                    println!(
+                        "  {}  {:>10.3} ms  {}",
+                        s.get("trace").and_then(Json::as_str).unwrap_or("?"),
+                        s.get("duration_ns").and_then(Json::as_u64).unwrap_or(0) as f64 / 1e6,
+                        s.get("name").and_then(Json::as_str).unwrap_or("?"),
+                    );
+                }
+            }
+        }
+        ("traces", [id]) => {
+            use paris_repro::client::json::Json;
+            let d = client.debug_trace(id).map_err(err)?;
+            println!(
+                "trace {} ({} span(s)):",
+                d.get("trace").and_then(Json::as_str).unwrap_or(id),
+                d.get("spans").and_then(Json::as_u64).unwrap_or(0),
+            );
+            for root in d.get("roots").and_then(Json::as_array).unwrap_or(&[]) {
+                print_span_tree(root, 0);
+            }
+        }
         ("metrics", []) => {
             let body = match flag("--format") {
                 None | Some("prometheus") | Some("text") => {
@@ -1519,12 +1593,45 @@ fn query(args: &[String]) -> Result<(), String> {
         _ => {
             return Err(format!(
                 "unknown query command '{command}' (or wrong arguments); \
-                 expected health, pairs, stats, metrics, sameas IRI, \
-                 neighbors IRI, explain LEFT RIGHT, or batch FILE"
+                 expected health, pairs, stats, metrics, traces [TRACE-ID], \
+                 sameas IRI, neighbors IRI, explain LEFT RIGHT, or batch FILE"
             ))
         }
     }
     Ok(())
+}
+
+/// Prints one node of a `/v1/debug/traces/<id>` span tree, indented by
+/// depth, with its attributes inline.
+fn print_span_tree(node: &paris_repro::client::json::Json, depth: usize) {
+    use paris_repro::client::json::Json;
+    let name = node.get("name").and_then(Json::as_str).unwrap_or("?");
+    let ms = node.get("duration_ns").and_then(Json::as_u64).unwrap_or(0) as f64 / 1e6;
+    let mut attrs = String::new();
+    if let Some(Json::Obj(members)) = node.get("attrs") {
+        for (key, value) in members {
+            let rendered = match value {
+                Json::Str(s) => s.clone(),
+                Json::Num(n) => {
+                    if n.fract() == 0.0 {
+                        format!("{}", *n as i64)
+                    } else {
+                        format!("{n:.3}")
+                    }
+                }
+                other => format!("{other:?}"),
+            };
+            attrs.push_str(&format!(" {key}={rendered}"));
+        }
+    }
+    println!(
+        "{:indent$}{name}  {ms:.3} ms {attrs}",
+        "",
+        indent = depth * 2
+    );
+    for child in node.get("children").and_then(Json::as_array).unwrap_or(&[]) {
+        print_span_tree(child, depth + 1);
+    }
 }
 
 /// Positional arguments plus `--flag value` pairs of `paris query`.

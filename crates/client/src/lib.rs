@@ -1124,6 +1124,72 @@ impl ParisClient {
         }
         self.call("GET", &format!("/v1/debug/traces/{trace_id}"), None)
     }
+
+    /// `GET`s a `/v1` path and returns the raw envelope body verbatim —
+    /// what the CLI's `--format json` prints. Error statuses still
+    /// surface as [`ClientError::Api`].
+    pub fn get_raw(&mut self, path: &str) -> Result<String, ClientError> {
+        let response = self.request("GET", path, None)?;
+        let text = String::from_utf8(response.body)
+            .map_err(|_| protocol(format!("{path}: non-UTF-8 response body")))?;
+        if (200..300).contains(&response.status) {
+            return Ok(text);
+        }
+        match json::parse(&text)
+            .ok()
+            .and_then(|doc| doc.get("error").cloned())
+        {
+            Some(err) => Err(ClientError::Api {
+                status: response.status,
+                code: err
+                    .get("code")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_owned(),
+                message: err
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_owned(),
+            }),
+            None => Err(protocol(format!(
+                "{path}: HTTP {} without an error envelope",
+                response.status
+            ))),
+        }
+    }
+
+    /// The `/v1/pairs/<name>/diagnostics` path for a pair (the default
+    /// pair when `None`) — for [`get_raw`](Self::get_raw).
+    pub fn diagnostics_path(&mut self, pair: Option<&str>) -> Result<String, ClientError> {
+        Ok(format!("{}/diagnostics", self.pair_prefix(pair)?))
+    }
+
+    /// `GET /v1/pairs/<name>/diagnostics`: the gold-standard-free
+    /// quality summary of a pair's served image, as the `data` member.
+    pub fn diagnostics(&mut self, pair: Option<&str>) -> Result<Json, ClientError> {
+        let path = self.diagnostics_path(pair)?;
+        self.call("GET", &path, None)
+    }
+
+    /// The `/v1/debug/profile` path, with the optional `?root=` filter.
+    pub fn profile_path(root: Option<&str>) -> String {
+        match root {
+            Some(name) => format!("/v1/debug/profile?root={}", percent_encode(name)),
+            None => "/v1/debug/profile".to_owned(),
+        }
+    }
+
+    /// `GET /v1/debug/profile`: the daemon's span ring folded into a
+    /// flame tree, optionally re-rooted on spans named `root`.
+    pub fn debug_profile(&mut self, root: Option<&str>) -> Result<Json, ClientError> {
+        self.call("GET", &Self::profile_path(root), None)
+    }
+
+    /// `GET /v1/debug/runs`: the persisted align-run history.
+    pub fn debug_runs(&mut self) -> Result<Json, ClientError> {
+        self.call("GET", "/v1/debug/runs", None)
+    }
 }
 
 fn parse_sameas(data: &Json) -> Result<SameasAnswer, ClientError> {

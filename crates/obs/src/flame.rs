@@ -1,0 +1,248 @@
+//! Wall-time flame profiles folded from recorded spans.
+//!
+//! A [`SpanStore`](crate::span::SpanStore) retains individual spans; this
+//! module aggregates them into the classic flame-graph shape: spans are
+//! grouped by their **name path** (root name → child name → …), and each
+//! path reports call count, total (inclusive) time, **self time** (total
+//! minus the time spent in recorded children), and p50/p99 of the
+//! individual span durations on that path.
+//!
+//! The fold is conservative by construction: every span is consumed by
+//! exactly one path, a span whose parent is absent from the input (ring
+//! eviction, cross-process parents) roots its own tree, and self time is
+//! `total − Σ direct-children total`. For a well-nested forest (children
+//! contained in their parents, as every span collector in this workspace
+//! produces) the self times across the whole tree therefore sum to
+//! exactly the root spans' wall time — the invariant
+//! `/v1/debug/profile` is gated on.
+
+use std::collections::HashMap;
+
+use crate::span::{Span, SpanId};
+use crate::Histogram;
+
+/// One name path in the flame tree.
+#[derive(Clone, Debug)]
+pub struct FlameNode {
+    /// Span name at this path element.
+    pub name: &'static str,
+    /// Spans folded into this path.
+    pub count: u64,
+    /// Total inclusive time of those spans, nanoseconds.
+    pub total_ns: u64,
+    /// Inclusive minus recorded children's inclusive, nanoseconds.
+    pub self_ns: u64,
+    /// Median single-span duration on this path, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile single-span duration on this path, microseconds.
+    pub p99_us: u64,
+    /// Child paths, largest total first.
+    pub children: Vec<FlameNode>,
+}
+
+/// Folds a span forest into flame trees, one per root name, largest
+/// total first.
+///
+/// Roots are the spans with no parent *in the input* — an explicit
+/// `parent: None`, or a parent id the slice does not contain. With
+/// `root: Some(name)`, spans of that name become the roots instead and
+/// everything outside their subtrees is ignored (the `?root=` filter of
+/// `/v1/debug/profile`). Duplicate span ids (a ring span also pinned in
+/// a slow trace) are deduplicated; open spans (no end timestamp) are
+/// skipped — a flame profile is about completed work.
+pub fn aggregate(spans: &[Span], root: Option<&str>) -> Vec<FlameNode> {
+    let mut seen = std::collections::HashSet::new();
+    let spans: Vec<&Span> = spans
+        .iter()
+        .filter(|s| s.end_ns != 0 && seen.insert(s.id))
+        .collect();
+    let present: std::collections::HashSet<SpanId> = spans.iter().map(|s| s.id).collect();
+    let mut children: HashMap<SpanId, Vec<usize>> = HashMap::new();
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, span) in spans.iter().enumerate() {
+        match root {
+            Some(name) => {
+                if span.name == name {
+                    roots.push(i);
+                }
+                if let Some(parent) = span.parent {
+                    children.entry(parent).or_default().push(i);
+                }
+            }
+            None => match span.parent {
+                Some(parent) if present.contains(&parent) => {
+                    children.entry(parent).or_default().push(i)
+                }
+                _ => roots.push(i),
+            },
+        }
+    }
+    // Each span is consumed by at most one path — this is what makes the
+    // fold conservative even on degenerate inputs (parent cycles, a
+    // filter name that appears on both a span and its descendant).
+    let mut consumed = vec![false; spans.len()];
+    fold_group(&spans, &children, &roots, &mut consumed)
+}
+
+fn fold_group(
+    spans: &[&Span],
+    children: &HashMap<SpanId, Vec<usize>>,
+    members: &[usize],
+    consumed: &mut [bool],
+) -> Vec<FlameNode> {
+    let mut by_name: HashMap<&'static str, Vec<usize>> = HashMap::new();
+    let mut order: Vec<&'static str> = Vec::new();
+    for &i in members {
+        if consumed[i] {
+            continue;
+        }
+        consumed[i] = true;
+        let group = by_name.entry(spans[i].name).or_default();
+        if group.is_empty() {
+            order.push(spans[i].name);
+        }
+        group.push(i);
+    }
+    let mut nodes: Vec<FlameNode> = order
+        .into_iter()
+        .map(|name| {
+            let group = &by_name[name];
+            let durations = Histogram::new();
+            let mut total_ns = 0u64;
+            let mut child_members: Vec<usize> = Vec::new();
+            for &i in group {
+                let d = spans[i].duration_ns();
+                total_ns += d;
+                durations.record(d / 1_000);
+                if let Some(kids) = children.get(&spans[i].id) {
+                    child_members.extend_from_slice(kids);
+                }
+            }
+            let child_nodes = fold_group(spans, children, &child_members, consumed);
+            let child_total: u64 = child_nodes.iter().map(|c| c.total_ns).sum();
+            let snap = durations.snapshot();
+            FlameNode {
+                name,
+                count: group.len() as u64,
+                total_ns,
+                self_ns: total_ns.saturating_sub(child_total),
+                p50_us: snap.quantile(0.50),
+                p99_us: snap.quantile(0.99),
+                children: child_nodes,
+            }
+        })
+        .collect();
+    nodes.sort_by_key(|n| std::cmp::Reverse(n.total_ns));
+    nodes
+}
+
+/// Sum of inclusive root times across a forest, nanoseconds.
+pub fn total_root_ns(nodes: &[FlameNode]) -> u64 {
+    nodes.iter().map(|n| n.total_ns).sum()
+}
+
+/// Sum of self times across every path of a forest, nanoseconds. For a
+/// well-nested forest this equals [`total_root_ns`].
+pub fn total_self_ns(nodes: &[FlameNode]) -> u64 {
+    nodes
+        .iter()
+        .map(|n| n.self_ns + total_self_ns(&n.children))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Span, TraceId};
+
+    fn span(
+        name: &'static str,
+        trace: TraceId,
+        parent: Option<SpanId>,
+        start_ns: u64,
+        end_ns: u64,
+    ) -> Span {
+        let mut s = Span::begin(name, trace, parent);
+        s.start_ns = start_ns;
+        s.end_ns = end_ns;
+        s
+    }
+
+    #[test]
+    fn folds_siblings_by_name_and_conserves_self_time() {
+        let trace = TraceId::random();
+        let root = span("request", trace, None, 0, 1_000_000);
+        let a1 = span("lookup", trace, Some(root.id), 0, 200_000);
+        let a2 = span("lookup", trace, Some(root.id), 200_000, 500_000);
+        let b = span("render", trace, Some(root.id), 500_000, 900_000);
+        let leaf = span("decode", trace, Some(b.id), 500_000, 600_000);
+        let forest = vec![root, a1, a2, b, leaf];
+        let nodes = aggregate(&forest, None);
+
+        assert_eq!(nodes.len(), 1);
+        let request = &nodes[0];
+        assert_eq!(request.name, "request");
+        assert_eq!(request.count, 1);
+        assert_eq!(request.total_ns, 1_000_000);
+        // 1_000_000 − (500_000 lookup + 400_000 render)
+        assert_eq!(request.self_ns, 100_000);
+        let lookup = request
+            .children
+            .iter()
+            .find(|c| c.name == "lookup")
+            .expect("lookup path");
+        assert_eq!(lookup.count, 2);
+        assert_eq!(lookup.total_ns, 500_000);
+        assert_eq!(lookup.self_ns, 500_000);
+        let render = request
+            .children
+            .iter()
+            .find(|c| c.name == "render")
+            .expect("render path");
+        assert_eq!(render.self_ns, 300_000);
+        assert_eq!(render.children[0].name, "decode");
+        assert_eq!(total_self_ns(&nodes), total_root_ns(&nodes));
+    }
+
+    #[test]
+    fn orphans_root_their_own_trees_and_open_spans_are_skipped() {
+        let trace = TraceId::random();
+        let evicted_parent = SpanId::random();
+        let orphan = span("pass", trace, Some(evicted_parent), 0, 500);
+        let mut open = Span::begin("pending", trace, None);
+        open.end_ns = 0;
+        let nodes = aggregate(&[orphan, open], None);
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(nodes[0].name, "pass");
+        assert_eq!(nodes[0].total_ns, 500);
+    }
+
+    #[test]
+    fn root_filter_reroots_the_profile() {
+        let trace = TraceId::random();
+        let job = span("align_job", trace, None, 0, 10_000);
+        let iter1 = span("iteration", trace, Some(job.id), 0, 4_000);
+        let iter2 = span("iteration", trace, Some(job.id), 4_000, 9_000);
+        let pass = span("instance_pass", trace, Some(iter1.id), 0, 3_000);
+        let forest = vec![job, iter1, iter2, pass];
+
+        let nodes = aggregate(&forest, Some("iteration"));
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(nodes[0].name, "iteration");
+        assert_eq!(nodes[0].count, 2);
+        assert_eq!(nodes[0].total_ns, 9_000);
+        assert_eq!(nodes[0].children[0].name, "instance_pass");
+        assert_eq!(total_self_ns(&nodes), 9_000);
+
+        assert!(aggregate(&forest, Some("no_such_span")).is_empty());
+    }
+
+    #[test]
+    fn duplicate_span_ids_count_once() {
+        let trace = TraceId::random();
+        let s = span("op", trace, None, 0, 700);
+        let nodes = aggregate(&[s.clone(), s], None);
+        assert_eq!(nodes[0].count, 1);
+        assert_eq!(nodes[0].total_ns, 700);
+    }
+}

@@ -23,7 +23,14 @@
 //! trees per request/job/sync-cycle, propagate across daemons via
 //! `traceparent` headers, and are retained with tail-sampling so the
 //! slowest traces are always inspectable.
+//!
+//! [`series`] and [`flame`] are the analysis layer on top: bounded
+//! per-iteration convergence series for long alignment runs, and
+//! flame-profile aggregation that folds recorded spans into name-path
+//! trees with self-time and per-path quantiles.
 
+pub mod flame;
+pub mod series;
 pub mod span;
 pub mod trace;
 

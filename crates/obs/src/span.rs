@@ -34,7 +34,8 @@ use crate::Counter;
 pub const MAX_SPAN_ATTRS: usize = 16;
 /// Cap on one string attribute value; longer values are truncated.
 pub const MAX_ATTR_STR: usize = 128;
-/// How many slowest traces the tail sampler pins past ring eviction.
+/// Default number of slowest traces the tail sampler pins past ring
+/// eviction ([`SpanStore::with_pinned`] overrides per store).
 pub const SLOW_TRACES: usize = 8;
 /// Cap on spans pinned per slow trace.
 pub const MAX_TRACE_SPANS: usize = 512;
@@ -291,21 +292,31 @@ struct StoreInner {
 }
 
 /// Bounded retention for finished spans: a ring buffer of the most
-/// recent `capacity` spans, plus up to [`SLOW_TRACES`] tail-sampled
-/// slowest traces pinned past eviction. Capacity 0 disables recording
-/// entirely ([`SpanStore::finish`] becomes a cheap early return).
+/// recent `capacity` spans, plus up to `pinned` (default
+/// [`SLOW_TRACES`]) tail-sampled slowest traces pinned past eviction.
+/// Capacity 0 disables recording entirely ([`SpanStore::finish`]
+/// becomes a cheap early return); pinned 0 disables tail sampling.
 pub struct SpanStore {
     capacity: usize,
+    pinned: usize,
     inner: Mutex<StoreInner>,
     recorded: Arc<Counter>,
     dropped: Arc<Counter>,
 }
 
 impl SpanStore {
-    /// A store retaining at most `capacity` recent spans.
+    /// A store retaining at most `capacity` recent spans and pinning the
+    /// [`SLOW_TRACES`] slowest traces.
     pub fn new(capacity: usize) -> SpanStore {
+        SpanStore::with_pinned(capacity, SLOW_TRACES)
+    }
+
+    /// A store retaining at most `capacity` recent spans and pinning the
+    /// `pinned` slowest traces past eviction.
+    pub fn with_pinned(capacity: usize, pinned: usize) -> SpanStore {
         SpanStore {
             capacity,
+            pinned,
             inner: Mutex::new(StoreInner {
                 recent: std::collections::VecDeque::new(),
                 slow: Vec::new(),
@@ -323,6 +334,11 @@ impl SpanStore {
     /// The configured ring capacity.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The configured slow-trace pin count.
+    pub fn pinned(&self) -> usize {
+        self.pinned
     }
 
     /// Spans ever finished into the store.
@@ -356,10 +372,10 @@ impl SpanStore {
     }
 
     /// Closes `span` and retains it. A root span finishing is the tail
-    /// sampling point: if its duration ranks among the [`SLOW_TRACES`]
-    /// slowest roots seen, the whole trace (its spans currently in the
-    /// ring plus the root) is pinned, evicting the fastest pinned trace.
-    /// A poisoned lock drops the span instead of panicking.
+    /// sampling point: if its duration ranks among the `pinned` slowest
+    /// roots seen, the whole trace (its spans currently in the ring plus
+    /// the root) is pinned, evicting the fastest pinned trace. A
+    /// poisoned lock drops the span instead of panicking.
     pub fn finish(&self, mut span: Span) {
         span.end();
         if self.capacity == 0 {
@@ -373,7 +389,7 @@ impl SpanStore {
         // simple and sample on parent-less spans only — the replica's
         // sync root is the cross-daemon sampling point.
         if span.parent.is_none() {
-            Self::maybe_pin(&mut inner, &span);
+            self.maybe_pin(&mut inner, &span);
         } else if let Some(slow) = inner.slow.iter_mut().find(|s| s.trace == span.trace) {
             // Late child of an already-pinned trace: keep it with its tree.
             if slow.spans.len() < MAX_TRACE_SPANS {
@@ -388,9 +404,12 @@ impl SpanStore {
         self.recorded.inc();
     }
 
-    fn maybe_pin(inner: &mut StoreInner, root: &Span) {
+    fn maybe_pin(&self, inner: &mut StoreInner, root: &Span) {
+        if self.pinned == 0 {
+            return;
+        }
         let duration = root.duration_ns();
-        if inner.slow.len() >= SLOW_TRACES {
+        if inner.slow.len() >= self.pinned {
             let (fastest, fastest_duration) = inner
                 .slow
                 .iter()
@@ -683,6 +702,28 @@ mod tests {
             assert!(pair[0].root_duration_ns >= pair[1].root_duration_ns);
         }
         assert!(slowest.last().expect("non-empty").root_duration_ns >= 6_000_000);
+    }
+
+    #[test]
+    fn pin_count_is_configurable() {
+        let store = SpanStore::with_pinned(2, 3);
+        assert_eq!(store.pinned(), 3);
+        for i in 0..10u64 {
+            let mut span = store.begin("op", None);
+            span.end_ns = span.start_ns + (i + 1) * 1_000_000;
+            store.finish(span);
+        }
+        assert_eq!(store.slowest().len(), 3);
+
+        // Pinning disabled entirely: spans still ring, nothing pins.
+        let store = SpanStore::with_pinned(2, 0);
+        for i in 0..4u64 {
+            let mut span = store.begin("op", None);
+            span.end_ns = span.start_ns + (i + 1) * 1_000_000;
+            store.finish(span);
+        }
+        assert!(store.slowest().is_empty());
+        assert_eq!(store.recent(10).len(), 2);
     }
 
     #[test]

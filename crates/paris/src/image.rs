@@ -112,6 +112,27 @@ impl PairImage {
         }
     }
 
+    /// Number of entities (instances, classes, and literals) on one
+    /// side — the id space quality scans iterate.
+    pub fn num_entities(&self, side: PairSide) -> usize {
+        match (self, side) {
+            (PairImage::Decoded(s), PairSide::Kb1) => s.kb1.num_entities(),
+            (PairImage::Decoded(s), PairSide::Kb2) => s.kb2.num_entities(),
+            (PairImage::Mapped(m), PairSide::Kb1) => m.kb1().num_entities(),
+            (PairImage::Mapped(m), PairSide::Kb2) => m.kb2().num_entities(),
+        }
+    }
+
+    /// Number of directed relations on one side.
+    pub fn num_directed_relations(&self, side: PairSide) -> usize {
+        match (self, side) {
+            (PairImage::Decoded(s), PairSide::Kb1) => s.kb1.num_directed_relations(),
+            (PairImage::Decoded(s), PairSide::Kb2) => s.kb2.num_directed_relations(),
+            (PairImage::Mapped(m), PairSide::Kb1) => m.kb1().num_directed_relations(),
+            (PairImage::Mapped(m), PairSide::Kb2) => m.kb2().num_directed_relations(),
+        }
+    }
+
     /// Looks up an entity by IRI on one side.
     pub fn entity_by_iri(&self, side: PairSide, iri: &str) -> Option<EntityId> {
         match (self, side) {

@@ -229,7 +229,7 @@ impl<'a> Aligner<'a> {
     /// Like [`run`](Self::run), invoking `progress` after every iteration —
     /// used by the benches to print per-iteration table rows.
     pub fn run_with_progress(&self, progress: impl FnMut(&IterationStats)) -> AlignmentResult<'a> {
-        self.run_inner(progress, &NullSink, None, None)
+        self.run_inner(progress, &NullSink, None, None, None)
     }
 
     /// Like [`run`](Self::run), emitting one [`AlignEvent`] per fixpoint
@@ -237,7 +237,7 @@ impl<'a> Aligner<'a> {
     /// per-iteration tables (dirty rows, assignment churn, score
     /// movement, elapsed time).
     pub fn run_traced(&self, sink: &dyn TraceSink) -> AlignmentResult<'a> {
-        self.run_inner(|_| {}, sink, None, None)
+        self.run_inner(|_| {}, sink, None, None, None)
     }
 
     /// Like [`run_traced`](Self::run_traced), additionally recording a
@@ -253,7 +253,24 @@ impl<'a> Aligner<'a> {
         collector: &paris_obs::span::SpanCollector,
         parent: paris_obs::span::SpanId,
     ) -> AlignmentResult<'a> {
-        self.run_inner(|_| {}, sink, Some(collector), Some(parent))
+        self.run_inner(|_| {}, sink, Some(collector), Some(parent), None)
+    }
+
+    /// Like [`run_spanned`](Self::run_spanned), additionally pushing one
+    /// [`paris_obs::series::IterationStats`] point per fixpoint round
+    /// into `series`: dirty count, assignment churn, pair turnover
+    /// (new/dropped assignments), the per-mille distribution of
+    /// assignment probabilities, and per-pass durations. The series can
+    /// be snapshotted concurrently — it is the live convergence curve
+    /// `GET /v1/jobs/<id>` renders while the job runs.
+    pub fn run_observed(
+        &self,
+        sink: &dyn TraceSink,
+        collector: &paris_obs::span::SpanCollector,
+        parent: paris_obs::span::SpanId,
+        series: &paris_obs::series::RunSeries,
+    ) -> AlignmentResult<'a> {
+        self.run_inner(|_| {}, sink, Some(collector), Some(parent), Some(series))
     }
 
     fn run_inner(
@@ -262,6 +279,7 @@ impl<'a> Aligner<'a> {
         sink: &dyn TraceSink,
         collector: Option<&paris_obs::span::SpanCollector>,
         span_parent: Option<paris_obs::span::SpanId>,
+        series: Option<&paris_obs::series::RunSeries>,
     ) -> AlignmentResult<'a> {
         let (kb1, kb2, config) = (self.kb1, self.kb2, &self.config);
         // Every iteration span hangs under `span_parent` (the caller's
@@ -306,6 +324,9 @@ impl<'a> Aligner<'a> {
             let instance_seconds = t0.elapsed().as_secs_f64();
 
             let changed = equiv.assignment_changes(&new_equiv);
+            // The previous assignment is only materialized when someone
+            // is watching the series — `run()`'s cost is unchanged.
+            let prev_assignment = series.map(|_| equiv.maximal_assignment());
             let assignment = new_equiv.maximal_assignment();
             let assigned = assignment.iter().filter(|a| a.is_some()).count();
             let score_sum: f64 = assignment.iter().flatten().map(|&(_, p)| p).sum();
@@ -348,6 +369,31 @@ impl<'a> Aligner<'a> {
                 instance_seconds,
                 subrelation_seconds,
             };
+            if let Some(series) = series {
+                let (mut new_pairs, mut dropped_pairs) = (0u64, 0u64);
+                if let Some(prev) = &prev_assignment {
+                    for (p, n) in prev.iter().zip(assignment.iter()) {
+                        match (p.is_some(), n.is_some()) {
+                            (false, true) => new_pairs += 1,
+                            (true, false) => dropped_pairs += 1,
+                            _ => {}
+                        }
+                    }
+                }
+                series.push(paris_obs::series::IterationStats {
+                    iteration,
+                    dirty: kb1.num_entities() as u64,
+                    changed: changed as u64,
+                    new_pairs,
+                    dropped_pairs,
+                    assigned: assigned as u64,
+                    scores: paris_obs::series::score_histogram(
+                        assignment.iter().flatten().map(|&(_, p)| p),
+                    ),
+                    instance_us: (instance_seconds * 1e6) as u64,
+                    subrelation_us: (subrelation_seconds * 1e6) as u64,
+                });
+            }
             // Convergence is the paper's criterion — the maximal
             // assignment stopped changing — strengthened by requiring the
             // assignment *scores* to have stabilized as well: after
@@ -593,6 +639,58 @@ mod blend_tests {
         assert_eq!(class.parent, Some(root.span));
         // Every span shares the collector's trace.
         assert!(spans.iter().all(|s| s.trace == root.trace));
+    }
+
+    /// `run_observed` fills the convergence series: one point per
+    /// iteration, scores per-mille, pair turnover consistent with the
+    /// paper-table stats.
+    #[test]
+    fn run_observed_fills_the_series() {
+        use paris_obs::series::RunSeries;
+        use paris_obs::span::{SpanCollector, SpanContext};
+        use paris_rdf::Literal;
+
+        let mut a = paris_kb::KbBuilder::new("left");
+        let mut b = paris_kb::KbBuilder::new("right");
+        for i in 0..5 {
+            a.add_literal_fact(
+                format!("http://a/p{i}"),
+                "http://a/email",
+                Literal::plain(format!("p{i}@x.org")),
+            );
+            b.add_literal_fact(
+                format!("http://b/q{i}"),
+                "http://b/mail",
+                Literal::plain(format!("p{i}@x.org")),
+            );
+        }
+        let (kb1, kb2) = (a.build(), b.build());
+        let aligner = Aligner::new(&kb1, &kb2, ParisConfig::default());
+        let collector = SpanCollector::new(SpanContext::new_root());
+        let series = RunSeries::new();
+        let result = aligner.run_observed(&NullSink, &collector, collector.root().span, &series);
+
+        let points = series.snapshot();
+        assert_eq!(points.len(), result.iterations.len());
+        for (point, stats) in points.iter().zip(&result.iterations) {
+            assert_eq!(point.iteration, stats.iteration);
+            assert_eq!(point.changed, stats.changed as u64);
+            assert_eq!(point.assigned, stats.assigned_instances as u64);
+            assert_eq!(point.dirty, kb1.num_entities() as u64);
+            assert_eq!(point.scores.count, stats.assigned_instances as u64);
+            assert!(point.scores.max <= 1000);
+        }
+        // Iteration 1 assigns everything fresh: all pairs are new.
+        assert_eq!(points[0].new_pairs, points[0].assigned);
+        assert_eq!(points[0].dropped_pairs, 0);
+        // The run matches the unobserved one.
+        assert_eq!(
+            result
+                .instance_alignment_by_iri("http://a/p3")
+                .unwrap()
+                .as_str(),
+            "http://b/q3"
+        );
     }
 
     #[test]

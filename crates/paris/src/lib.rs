@@ -28,6 +28,7 @@
 //! | [`view`] | — | zero-copy v2 snapshots: arena layouts and views |
 //! | [`image`] | — | one serving image, decoded (v1) or mapped (v2) |
 //! | [`incremental`] | — | warm-started re-alignment on KB deltas |
+//! | [`quality`] | — | gold-standard-free quality summaries, drift sketches |
 //!
 //! See [`Aligner`] for the entry point of a full run and
 //! [`incremental::update_snapshot`] for re-aligning after a
@@ -42,6 +43,7 @@ pub mod instance;
 pub mod iteration;
 pub mod literal_bridge;
 pub mod owned;
+pub mod quality;
 pub mod subclass;
 pub mod subrel;
 pub mod view;
@@ -58,6 +60,7 @@ pub use iteration::{Aligner, AlignmentResult, IterationStats};
 pub use literal_bridge::LiteralBridge;
 pub use owned::{AlignedPairSnapshot, OwnedAlignment};
 pub use paris_obs as obs;
+pub use quality::{AssignmentSketch, QualitySummary};
 pub use subclass::{ClassAlignment, ClassScore};
 pub use subrel::SubrelStore;
 pub use view::{AlignmentLayout, AlignmentView, MappedPairSnapshot};

@@ -9,13 +9,17 @@
 //! ready for a future `paris serve`.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use paris_core::{AlignedPairSnapshot, Aligner, OwnedAlignment, ParisConfig};
+use paris_core::{AlignedPairSnapshot, Aligner, AssignmentSketch, OwnedAlignment, ParisConfig};
 use paris_kb::snapshot::load_kb;
+use paris_obs::series::RunSeries;
 use paris_obs::span::{Span, SpanCollector, SpanStore, TraceId};
+
+use crate::runs::{RunHistory, RunOutcome};
 
 /// Final statistics of a completed job.
 #[derive(Clone, Debug)]
@@ -92,8 +96,15 @@ pub struct JobStore {
     /// Live span collectors of *running* jobs, keyed by job id — what
     /// `GET /v1/jobs/<id>` renders as in-flight fixpoint progress.
     live: Mutex<HashMap<u64, Arc<SpanCollector>>>,
+    /// Live per-iteration convergence series of *running* jobs, keyed
+    /// by job id — the numeric companion to `live` (dirty counts,
+    /// churn, score histograms per fixpoint iteration).
+    live_series: Mutex<HashMap<u64, Arc<RunSeries>>>,
     /// Trace id of every job that has started, evicted with the job.
     trace_ids: Mutex<HashMap<u64, TraceId>>,
+    /// Where finished jobs append their run record (`None` when the
+    /// daemon runs without `--run-history`).
+    runs: Option<Arc<RunHistory>>,
 }
 
 /// Upper bound on alignments running at once.
@@ -113,7 +124,9 @@ impl Default for JobStore {
             runners: AtomicU64::new(0),
             spans: None,
             live: Mutex::new(HashMap::new()),
+            live_series: Mutex::new(HashMap::new()),
             trace_ids: Mutex::new(HashMap::new()),
+            runs: None,
         }
     }
 }
@@ -127,8 +140,15 @@ impl JobStore {
     /// An empty store that drains finished jobs' span trees into
     /// `spans` (a disabled store makes the drain a no-op).
     pub fn with_spans(spans: Arc<SpanStore>) -> Self {
+        JobStore::with_observatory(spans, None)
+    }
+
+    /// [`with_spans`](Self::with_spans) plus an optional run history
+    /// that finished jobs append their record to.
+    pub fn with_observatory(spans: Arc<SpanStore>, runs: Option<Arc<RunHistory>>) -> Self {
         JobStore {
             spans: Some(spans),
+            runs,
             ..JobStore::default()
         }
     }
@@ -190,6 +210,13 @@ impl JobStore {
         Some(collector.snapshot())
     }
 
+    /// The per-iteration convergence series of a *running* job, `None`
+    /// once the job finished (its summary then lives in the run
+    /// history).
+    pub fn live_series(&self, id: u64) -> Option<Arc<RunSeries>> {
+        self.live_series.lock().ok()?.get(&id).cloned()
+    }
+
     fn set(&self, id: u64, state: JobState) {
         let terminal = matches!(state, JobState::Done(_) | JobState::Failed(_));
         let mut states = self.states.lock().expect("job lock");
@@ -244,13 +271,33 @@ fn runner_loop(store: std::sync::Weak<JobStore>) {
         if let Ok(mut live) = store.live.lock() {
             live.insert(id, Arc::clone(&collector));
         }
-        let state = match run_job(&request, &collector) {
-            Ok(outcome) => JobState::Done(outcome),
+        let series = Arc::new(RunSeries::new());
+        if let Ok(mut live) = store.live_series.lock() {
+            live.insert(id, Arc::clone(&series));
+        }
+        let state = match run_job(&request, &collector, &series) {
+            Ok((outcome, sketch)) => {
+                if let Some(runs) = &store.runs {
+                    runs.record(RunOutcome {
+                        job: id,
+                        pair: pair_name(&request.left, &request.right),
+                        iterations: outcome.iterations as u64,
+                        converged: outcome.converged,
+                        aligned_instances: outcome.aligned_instances as u64,
+                        seconds: outcome.seconds,
+                        sketch,
+                    });
+                }
+                JobState::Done(outcome)
+            }
             Err(message) => JobState::Failed(message),
         };
         root.attr_str("status", state.label());
         collector.finish(root);
         if let Ok(mut live) = store.live.lock() {
+            live.remove(&id);
+        }
+        if let Ok(mut live) = store.live_series.lock() {
             live.remove(&id);
         }
         if let Some(spans) = &store.spans {
@@ -260,7 +307,24 @@ fn runner_loop(store: std::sync::Weak<JobStore>) {
     }
 }
 
-fn run_job(request: &JobRequest, collector: &SpanCollector) -> Result<JobOutcome, String> {
+/// The pair name a job records its run under: the two snapshot file
+/// stems joined with `+` — stable across daemon restarts and job ids,
+/// which is what generation counting and drift comparison key on.
+fn pair_name(left: &str, right: &str) -> String {
+    let stem = |p: &str| {
+        Path::new(p)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| p.to_owned())
+    };
+    format!("{}+{}", stem(left), stem(right))
+}
+
+fn run_job(
+    request: &JobRequest,
+    collector: &SpanCollector,
+    series: &RunSeries,
+) -> Result<(JobOutcome, AssignmentSketch), String> {
     let t0 = Instant::now();
     let mut load = collector.begin("load_snapshots");
     let kb1 = load_kb(&request.left).map_err(|e| format!("loading {}: {e}", request.left))?;
@@ -275,15 +339,18 @@ fn run_job(request: &JobRequest, collector: &SpanCollector) -> Result<JobOutcome
     }
     // Trace every fixpoint iteration to the daemon's stderr as JSON
     // lines — a long batch job's progress (dirty set, churn, score
-    // movement) is otherwise invisible until it finishes — and record
-    // each iteration's pass spans under the `align` span.
+    // movement) is otherwise invisible until it finishes — record each
+    // iteration's pass spans under the `align` span, and fill the live
+    // per-iteration series `GET /v1/jobs/<id>` serves while we run.
     let mut align = collector.begin("align");
-    let result = Aligner::new(&kb1, &kb2, config).run_spanned(
+    let result = Aligner::new(&kb1, &kb2, config).run_observed(
         &paris_obs::trace::stderr_json(),
         collector,
         align.id,
+        series,
     );
     let owned = OwnedAlignment::from_result(&result);
+    let sketch = AssignmentSketch::of_result(&result);
     let outcome = JobOutcome {
         aligned_instances: result.instance_pairs().len(),
         iterations: result.iterations.len(),
@@ -304,7 +371,7 @@ fn run_job(request: &JobRequest, collector: &SpanCollector) -> Result<JobOutcome
         collector.finish(save);
         saved?;
     }
-    Ok(outcome)
+    Ok((outcome, sketch))
 }
 
 #[cfg(test)]

@@ -96,8 +96,10 @@ pub mod http;
 pub mod jobs;
 pub mod json;
 mod metrics;
+pub mod runs;
 
 pub use metrics::LogFormat;
+pub use runs::{RunHistory, RunRecord};
 
 use std::collections::BTreeMap;
 use std::io::{BufReader, BufWriter};
@@ -107,7 +109,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::{Duration, Instant, SystemTime};
 
-use paris_core::{explain_stored, AlignedPairSnapshot, PairImage, PairSide};
+use paris_core::{explain_stored, AlignedPairSnapshot, PairImage, PairSide, QualitySummary};
 use paris_kb::snapshot_v2::checksum_v2;
 use paris_kb::{snapshot, EntityKind, KbStats};
 use paris_obs as obs;
@@ -184,6 +186,16 @@ pub struct ServerConfig {
     /// emits one `slow_request` log line through the request logger
     /// (`paris serve --slow-ms MS`). `None` disables the slow log.
     pub slow_ms: Option<u64>,
+    /// Append-only JSONL file recording every completed align job
+    /// (`paris serve --run-history FILE`). Existing records are loaded
+    /// at startup so `GET /v1/debug/runs` survives restarts, and each
+    /// new run's assignment sketch is compared against the previous
+    /// generation of the same pair to flag drift. `None` disables the
+    /// run history (the route answers `404`).
+    pub run_history: Option<PathBuf>,
+    /// How many slowest root spans the tail sampler pins outside the
+    /// ring (`paris serve --trace-pinned N`). `0` disables pinning.
+    pub trace_pinned: usize,
 }
 
 impl Default for ServerConfig {
@@ -202,6 +214,8 @@ impl Default for ServerConfig {
             telemetry: true,
             trace_buffer: DEFAULT_TRACE_BUFFER,
             slow_ms: None,
+            run_history: None,
+            trace_pinned: obs::span::SLOW_TRACES,
         }
     }
 }
@@ -568,9 +582,13 @@ struct ServeState {
     spans: Arc<obs::span::SpanStore>,
     /// See [`ServerConfig::slow_ms`].
     slow_ms: Option<u64>,
+    /// The persisted run history behind `GET /v1/debug/runs`, `None`
+    /// without `--run-history`.
+    runs: Option<Arc<RunHistory>>,
 }
 
 impl ServeState {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         catalog: Catalog,
         jobs_enabled: bool,
@@ -578,7 +596,9 @@ impl ServeState {
         log_format: LogFormat,
         telemetry: bool,
         trace_buffer: usize,
+        trace_pinned: usize,
         slow_ms: Option<u64>,
+        runs: Option<Arc<RunHistory>>,
     ) -> ServeState {
         let metrics = ServerMetrics::new();
         let requests = metrics.registry.counter(
@@ -626,7 +646,10 @@ impl ServeState {
                 ],
             )
             .set(1);
-        let spans = Arc::new(obs::span::SpanStore::new(trace_buffer));
+        let spans = Arc::new(obs::span::SpanStore::with_pinned(
+            trace_buffer,
+            trace_pinned,
+        ));
         metrics.registry.register_counter(
             "paris_trace_spans_recorded_total",
             "Spans recorded into the trace ring buffer.",
@@ -643,7 +666,7 @@ impl ServeState {
             catalog,
             started: Instant::now(),
             requests,
-            jobs: Arc::new(JobStore::with_spans(Arc::clone(&spans))),
+            jobs: Arc::new(JobStore::with_observatory(Arc::clone(&spans), runs.clone())),
             jobs_enabled,
             replica,
             metrics,
@@ -651,6 +674,7 @@ impl ServeState {
             telemetry,
             spans,
             slow_ms,
+            runs,
         }
     }
 
@@ -780,12 +804,21 @@ impl ServeState {
     /// Emits one `--slow-ms` slow-request line — through the structured
     /// request logger when one is configured, else to stderr so the flag
     /// is useful without `--log-format`.
-    fn log_slow(&self, id: &str, method: &str, path: &str, latency_us: u64, trace: Option<&str>) {
+    fn log_slow(
+        &self,
+        id: &str,
+        method: &str,
+        path: &str,
+        pair: Option<&str>,
+        latency_us: u64,
+        trace: Option<&str>,
+    ) {
         match &self.log {
-            Some(log) => log.write_slow(id, method, path, latency_us, trace),
+            Some(log) => log.write_slow(id, method, path, pair, latency_us, trace),
             None => eprintln!(
-                "slow_request id={id} method={method} path={path} \
+                "slow_request id={id} method={method} path={path} pair={} \
                  latency_us={latency_us} trace={}",
+                pair.unwrap_or("-"),
                 trace.unwrap_or("-")
             ),
         }
@@ -890,6 +923,10 @@ impl Server {
             }
             None => None,
         };
+        let runs = match &config.run_history {
+            Some(path) => Some(Arc::new(RunHistory::open(path)?)),
+            None => None,
+        };
         let listener = TcpListener::bind(&config.addr)?;
         Ok(Server {
             listener,
@@ -900,7 +937,9 @@ impl Server {
                 config.log_format,
                 config.telemetry,
                 config.trace_buffer,
+                config.trace_pinned,
                 config.slow_ms,
+                runs,
             )),
             config,
             shutdown: Arc::new(AtomicBool::new(false)),
@@ -1356,10 +1395,22 @@ fn serve_connection(state: &ServeState, stream: TcpStream) {
                             &id,
                             &request.method,
                             &request.path,
+                            metrics::pair_of(&request.path),
                             latency_us,
                             trace_hex.as_deref(),
                         );
                     }
+                    // `Server-Timing` lets browsers and HTTP tooling
+                    // surface the handler latency without parsing our
+                    // envelope; scoped to the canonical namespace.
+                    let response = if request.path.starts_with("/v1") {
+                        response.with_header(
+                            "Server-Timing",
+                            format!("app;dur={:.3}", latency_us as f64 / 1000.0),
+                        )
+                    } else {
+                        response
+                    };
                     response.with_header("X-Request-Id", id)
                 } else {
                     route(state, &request)
@@ -1447,6 +1498,8 @@ fn route_v1(state: &ServeState, req: &Request, path: &str) -> Response {
             let id = p["/debug/traces/".len()..].to_owned();
             allow(req, "GET", move |_| debug_trace(state, &id))
         }
+        "/debug/profile" => allow(req, "GET", |r| debug_profile(state, r)),
+        "/debug/runs" => allow(req, "GET", |_| debug_runs(state)),
         _ => error(404, &format!("no such route {}", req.path)),
     }
 }
@@ -1475,14 +1528,17 @@ fn route_legacy(state: &ServeState, req: &Request) -> Response {
 
 fn route_pair_op(state: &ServeState, req: &Request, name: &str, op: &str) -> Response {
     let method = match op {
-        "sameas" | "neighbors" | "explain" | "stats" | "healthz" | "snapshot" => "GET",
+        "sameas" | "neighbors" | "explain" | "stats" | "diagnostics" | "healthz" | "snapshot" => {
+            "GET"
+        }
         "reload" | "query" => "POST",
         _ => {
             return error(
                 404,
                 &format!(
                     "no such pair operation '{op}' \
-                     (sameas, neighbors, explain, query, stats, healthz, snapshot, reload)"
+                     (sameas, neighbors, explain, query, stats, diagnostics, healthz, \
+                     snapshot, reload)"
                 ),
             )
         }
@@ -1497,6 +1553,7 @@ fn route_pair_op(state: &ServeState, req: &Request, name: &str, op: &str) -> Res
             "explain" => cacheable(r, explain(state, r, &pair)),
             "query" => batch_query(state, r, &pair),
             "stats" => cacheable(r, pair_stats(state, r, &pair)),
+            "diagnostics" => cacheable(r, diagnostics(state, r, &pair)),
             "healthz" => pair_healthz(&pair),
             "snapshot" => pair_snapshot(r, &pair),
             "reload" => reload(state, r, &pair, false),
@@ -2380,6 +2437,23 @@ fn job_status(state: &ServeState, id: &str) -> Response {
                 }
                 obj = obj.raw("progress", progress.build());
             }
+            // The numeric convergence series alongside the spans: one
+            // point per completed iteration — churn, pair turnover, and
+            // the sharpening score distribution.
+            if let Some(series) = state.jobs.live_series(id) {
+                let points = series.snapshot();
+                obj = obj.raw(
+                    "series",
+                    json::Object::new()
+                        .int("points", points.len() as u64)
+                        .int("truncated", series.truncated())
+                        .raw(
+                            "iterations",
+                            json::array(points.iter().map(iteration_point_json)),
+                        )
+                        .build(),
+                );
+            }
         }
         JobState::Queued => {}
     }
@@ -2512,6 +2586,139 @@ fn debug_trace(state: &ServeState, id: &str) -> Response {
         .build())
 }
 
+// ----------------------------------------------------------------------
+// Observatory routes
+// ----------------------------------------------------------------------
+
+/// A probability-score histogram, rendered back from per-mille samples
+/// to probabilities.
+fn score_histogram_json(snap: &obs::HistogramSnapshot) -> String {
+    let scale = obs::series::SCORE_SCALE as f64;
+    json::Object::new()
+        .int("count", snap.count)
+        .num("mean", snap.mean() / scale)
+        .num("p50", snap.quantile(0.50) as f64 / scale)
+        .num("p90", snap.quantile(0.90) as f64 / scale)
+        .num("p99", snap.quantile(0.99) as f64 / scale)
+        .num("max", snap.max as f64 / scale)
+        .build()
+}
+
+/// One point of a live convergence series.
+fn iteration_point_json(p: &obs::series::IterationStats) -> String {
+    json::Object::new()
+        .int("iteration", p.iteration as u64)
+        .int("dirty", p.dirty)
+        .int("changed", p.changed)
+        .int("new_pairs", p.new_pairs)
+        .int("dropped_pairs", p.dropped_pairs)
+        .int("assigned", p.assigned)
+        .raw("scores", score_histogram_json(&p.scores))
+        .int("instance_us", p.instance_us)
+        .int("subrelation_us", p.subrelation_us)
+        .build()
+}
+
+/// `GET /v1/pairs/<name>/diagnostics`: the gold-standard-free quality
+/// summary of the served image — coverage, score shape, relation and
+/// class alignment counts.
+fn diagnostics(state: &ServeState, _req: &Request, pair: &Arc<PairState>) -> Response {
+    let image = match image_or_error(state, pair) {
+        Ok(i) => i,
+        Err(e) => return e,
+    };
+    let q = QualitySummary::of_image(&image.image);
+    ok(json::Object::new()
+        .str("pair", &pair.name)
+        .int("generation", image.generation)
+        .raw(
+            "instances",
+            json::Object::new()
+                .int("kb1", q.instances_kb1 as u64)
+                .int("kb2", q.instances_kb2 as u64)
+                .int("assigned", q.assigned_instances as u64)
+                .num("coverage", q.instance_coverage)
+                .build(),
+        )
+        .raw("scores", score_histogram_json(&q.scores))
+        .raw(
+            "relations",
+            json::Object::new()
+                .int("kb1", q.relations_kb1 as u64)
+                .int("kb2", q.relations_kb2 as u64)
+                .int("aligned_1to2", q.aligned_relations_1to2 as u64)
+                .int("aligned_2to1", q.aligned_relations_2to1 as u64)
+                .num("threshold", q.relation_threshold)
+                .build(),
+        )
+        .raw(
+            "classes",
+            json::Object::new()
+                .int("kb1", q.classes_kb1 as u64)
+                .int("kb2", q.classes_kb2 as u64)
+                .build(),
+        )
+        .int("iterations", q.iterations as u64)
+        .bool("converged", q.converged)
+        .build())
+}
+
+/// One flame path with its nested children.
+fn flame_node_json(node: &obs::flame::FlameNode) -> String {
+    json::Object::new()
+        .str("name", node.name)
+        .int("count", node.count)
+        .int("total_ns", node.total_ns)
+        .int("self_ns", node.self_ns)
+        .int("p50_us", node.p50_us)
+        .int("p99_us", node.p99_us)
+        .raw(
+            "children",
+            json::array(node.children.iter().map(flame_node_json)),
+        )
+        .build()
+}
+
+/// `GET /v1/debug/profile`: the span ring folded into a flame tree —
+/// name paths with call counts, inclusive/self time, and per-path
+/// latency quantiles. `?root=<name>` re-roots the profile on spans of
+/// that name (e.g. `?root=iteration` to profile fixpoint passes only).
+fn debug_profile(state: &ServeState, req: &Request) -> Response {
+    if !state.spans.enabled() {
+        return error(404, "tracing is disabled (--trace-buffer 0)");
+    }
+    let spans = state.spans.recent(state.spans.capacity());
+    let root = req.query_param("root");
+    let nodes = obs::flame::aggregate(&spans, root);
+    let mut obj = json::Object::new().int("spans", spans.len() as u64);
+    if let Some(name) = root {
+        obj = obj.str("root", name);
+    }
+    ok(obj
+        .int("total_root_ns", obs::flame::total_root_ns(&nodes))
+        .int("total_self_ns", obs::flame::total_self_ns(&nodes))
+        .raw("roots", json::array(nodes.iter().map(flame_node_json)))
+        .build())
+}
+
+/// `GET /v1/debug/runs`: the persisted run history, oldest first —
+/// every completed align job with its generation, agreement against the
+/// previous generation of the same pair, and drift flag.
+fn debug_runs(state: &ServeState) -> Response {
+    let Some(runs) = &state.runs else {
+        return error(
+            404,
+            "run history is disabled (start with --run-history FILE)",
+        );
+    };
+    let records = runs.records();
+    ok(json::Object::new()
+        .str("file", &runs.path().to_string_lossy())
+        .int("runs", records.len() as u64)
+        .raw("records", json::array(records.iter().map(|r| r.api_json())))
+        .build())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2577,6 +2784,8 @@ mod tests {
             LogFormat::Off,
             true,
             DEFAULT_TRACE_BUFFER,
+            obs::span::SLOW_TRACES,
+            None,
             None,
         )
     }
@@ -2598,6 +2807,8 @@ mod tests {
             LogFormat::Off,
             true,
             DEFAULT_TRACE_BUFFER,
+            obs::span::SLOW_TRACES,
+            None,
             None,
         )
     }

@@ -24,7 +24,7 @@ use crate::json;
 /// classified by *path shape* (independent of the `/v1` prefix, so a
 /// legacy alias and its v1 spelling share one series) and fall back to
 /// `other` — the label set is bounded no matter what peers request.
-pub(crate) const ROUTE_CLASSES: [&str; 16] = [
+pub(crate) const ROUTE_CLASSES: [&str; 17] = [
     "healthz",
     "pairs",
     "manifest",
@@ -33,6 +33,7 @@ pub(crate) const ROUTE_CLASSES: [&str; 16] = [
     "explain",
     "query",
     "stats",
+    "diagnostics",
     "pair_healthz",
     "snapshot",
     "reload",
@@ -60,6 +61,7 @@ pub(crate) fn route_class(path: &str) -> &'static str {
             Some("explain") => "explain",
             Some("query") => "query",
             Some("stats") => "stats",
+            Some("diagnostics") => "diagnostics",
             Some("healthz") => "pair_healthz",
             Some("snapshot") => "snapshot",
             Some("reload") => "reload",
@@ -76,7 +78,13 @@ pub(crate) fn route_class(path: &str) -> &'static str {
         "/neighbors" => "neighbors",
         "/reload" => "reload",
         _ if p.starts_with("/jobs/") => "jobs",
-        _ if p == "/debug/traces" || p.starts_with("/debug/traces/") => "debug",
+        _ if p == "/debug/traces"
+            || p.starts_with("/debug/traces/")
+            || p == "/debug/profile"
+            || p == "/debug/runs" =>
+        {
+            "debug"
+        }
         _ => "other",
     }
 }
@@ -334,23 +342,26 @@ impl RequestLog {
         let _ = out.flush();
     }
 
-    /// Writes one `--slow-ms` slow-request line, carrying the trace id
-    /// (when tracing is on) so the operator can jump straight to
+    /// Writes one `--slow-ms` slow-request line, carrying the pair the
+    /// path addresses (when it names one) and the trace id (when
+    /// tracing is on) so the operator can jump straight to
     /// `GET /v1/debug/traces/<trace>` for the span tree.
     pub(crate) fn write_slow(
         &self,
         id: &str,
         method: &str,
         path: &str,
+        pair: Option<&str>,
         latency_us: u64,
         trace: Option<&str>,
     ) {
         let line = match self.format {
             LogFormat::Off => return,
             LogFormat::Text => {
+                let pair = pair.unwrap_or("-");
                 let trace = trace.unwrap_or("-");
                 format!(
-                    "slow_request id={id} method={method} path={path} \
+                    "slow_request id={id} method={method} path={path} pair={pair} \
                      latency_us={latency_us} trace={trace}\n"
                 )
             }
@@ -359,8 +370,11 @@ impl RequestLog {
                     .str("event", "slow_request")
                     .str("id", id)
                     .str("method", method)
-                    .str("path", path)
-                    .int("latency_us", latency_us);
+                    .str("path", path);
+                if let Some(pair) = pair {
+                    obj = obj.str("pair", pair);
+                }
+                obj = obj.int("latency_us", latency_us);
                 if let Some(trace) = trace {
                     obj = obj.str("trace", trace);
                 }
@@ -397,8 +411,11 @@ mod tests {
             ("/stats", "stats"),
             ("/reload", "reload"),
             ("/v1/jobs/3", "jobs"),
+            ("/v1/pairs/movies/diagnostics", "diagnostics"),
             ("/v1/debug/traces", "debug"),
             ("/v1/debug/traces/0af7651916cd43dd8448eb211c80319c", "debug"),
+            ("/v1/debug/profile", "debug"),
+            ("/v1/debug/runs", "debug"),
             ("/v1/pairs/movies", "other"),
             ("/nope", "other"),
         ] {

@@ -1,0 +1,398 @@
+//! Persisted run history — the durable half of the alignment
+//! observatory.
+//!
+//! When the daemon is started with `paris serve --run-history FILE`,
+//! every completed align job appends one JSON line to `FILE`: the pair
+//! name, a monotonically increasing *generation* (per pair), the
+//! outcome counters, and a bottom-k sketch of the final instance
+//! assignment. On startup the file is read back, so `GET
+//! /v1/debug/runs` keeps serving the full history across restarts.
+//!
+//! The sketch is what makes the history more than a log: each new run
+//! is compared against the *previous generation of the same pair*, and
+//! when the estimated assignment agreement falls below
+//! [`DRIFT_AGREEMENT`] the record
+//! is flagged `drift: true` — the alignment moved more than the
+//! threshold between two runs that an operator probably expected to be
+//! equivalent. Agreement is exact while assignments fit the sketch and
+//! a bottom-k estimate (±1/√k) beyond; see
+//! [`AssignmentSketch`].
+//!
+//! Sketch hashes are 64-bit and JSON numbers are doubles, so the
+//! sketch is persisted as one fixed-width hex string (16 chars per
+//! hash) — exact, compact, and order-preserving.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use paris_core::quality::DRIFT_AGREEMENT;
+use paris_core::AssignmentSketch;
+
+use crate::json::{self, Json};
+
+/// One completed align job, as recorded in the history file.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// Job id the run executed as (ids restart with the daemon, so
+    /// `(pair, generation)` is the stable key, not this).
+    pub job: u64,
+    /// Pair name, derived from the input snapshot file stems.
+    pub pair: String,
+    /// 1-based count of recorded runs of this pair, including this one.
+    pub generation: u64,
+    /// Fixpoint iterations the run took.
+    pub iterations: u64,
+    /// Whether the run converged before its iteration cap.
+    pub converged: bool,
+    /// Assigned KB-1 instances in the final alignment.
+    pub aligned_instances: u64,
+    /// Wall-clock run time.
+    pub seconds: f64,
+    /// Estimated assignment agreement with the previous generation of
+    /// the same pair; `None` for generation 1.
+    pub agreement: Option<f64>,
+    /// `true` when `agreement` fell below the drift threshold.
+    pub drift: bool,
+    /// Milliseconds since the Unix epoch when the run was recorded.
+    pub recorded_unix_ms: u64,
+    /// Bottom-k sketch of the final instance assignment.
+    sketch: AssignmentSketch,
+}
+
+impl RunRecord {
+    /// The record as served by `GET /v1/debug/runs` — everything but
+    /// the raw sketch hashes (kilobytes per record that only matter for
+    /// the *next* run's comparison).
+    pub fn api_json(&self) -> String {
+        let agreement = match self.agreement {
+            Some(a) => json::number(a),
+            None => "null".to_owned(),
+        };
+        json::Object::new()
+            .int("job", self.job)
+            .str("pair", &self.pair)
+            .int("generation", self.generation)
+            .int("iterations", self.iterations)
+            .bool("converged", self.converged)
+            .int("aligned_instances", self.aligned_instances)
+            .num("seconds", self.seconds)
+            .raw("agreement", agreement)
+            .bool("drift", self.drift)
+            .int("sketch_size", self.sketch.size())
+            .int("recorded_unix_ms", self.recorded_unix_ms)
+            .build()
+    }
+
+    /// The record as one history-file line: [`api_json`](Self::api_json)
+    /// plus the sketch itself, hex-encoded.
+    fn file_json(&self) -> String {
+        let agreement = match self.agreement {
+            Some(a) => json::number(a),
+            None => "null".to_owned(),
+        };
+        let mut hex = String::with_capacity(self.sketch.hashes().len() * 16);
+        for h in self.sketch.hashes() {
+            hex.push_str(&format!("{h:016x}"));
+        }
+        json::Object::new()
+            .int("job", self.job)
+            .str("pair", &self.pair)
+            .int("generation", self.generation)
+            .int("iterations", self.iterations)
+            .bool("converged", self.converged)
+            .int("aligned_instances", self.aligned_instances)
+            .num("seconds", self.seconds)
+            .raw("agreement", agreement)
+            .bool("drift", self.drift)
+            .int("sketch_size", self.sketch.size())
+            .str("sketch", &hex)
+            .int("recorded_unix_ms", self.recorded_unix_ms)
+            .build()
+    }
+
+    /// Parses one history-file line back into a record.
+    fn from_line(line: &str) -> Option<RunRecord> {
+        let v = json::parse(line).ok()?;
+        let hex = v.get("sketch").and_then(Json::as_str)?;
+        if hex.len() % 16 != 0 || !hex.is_ascii() {
+            return None;
+        }
+        let mut hashes = Vec::with_capacity(hex.len() / 16);
+        for chunk in hex.as_bytes().chunks(16) {
+            let s = std::str::from_utf8(chunk).ok()?;
+            hashes.push(u64::from_str_radix(s, 16).ok()?);
+        }
+        let size = v.get("sketch_size").and_then(Json::as_u64)?;
+        Some(RunRecord {
+            job: v.get("job").and_then(Json::as_u64)?,
+            pair: v.get("pair").and_then(Json::as_str)?.to_owned(),
+            generation: v.get("generation").and_then(Json::as_u64)?,
+            iterations: v.get("iterations").and_then(Json::as_u64)?,
+            converged: v.get("converged").and_then(Json::as_bool)?,
+            aligned_instances: v.get("aligned_instances").and_then(Json::as_u64)?,
+            seconds: v.get("seconds").and_then(Json::as_f64)?,
+            agreement: v.get("agreement").and_then(Json::as_f64),
+            drift: v.get("drift").and_then(Json::as_bool)?,
+            recorded_unix_ms: v
+                .get("recorded_unix_ms")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            sketch: AssignmentSketch::from_parts(size, hashes),
+        })
+    }
+}
+
+/// The outcome fields a finished job contributes to its record (the
+/// history computes generation, agreement, and drift itself).
+pub struct RunOutcome {
+    /// Job id.
+    pub job: u64,
+    /// Pair name.
+    pub pair: String,
+    /// Fixpoint iterations.
+    pub iterations: u64,
+    /// Whether the run converged.
+    pub converged: bool,
+    /// Assigned KB-1 instances.
+    pub aligned_instances: u64,
+    /// Wall-clock run time.
+    pub seconds: f64,
+    /// Sketch of the final instance assignment.
+    pub sketch: AssignmentSketch,
+}
+
+/// Append-only run history: an in-memory record list mirrored to a
+/// JSONL file, reloaded on open.
+pub struct RunHistory {
+    path: PathBuf,
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    records: Vec<RunRecord>,
+    file: File,
+}
+
+impl RunHistory {
+    /// Opens (creating if absent) a history file and loads its records.
+    /// Unparseable lines — e.g. a torn final line after a crash mid-
+    /// append — are skipped rather than poisoning the whole file.
+    pub fn open(path: &Path) -> std::io::Result<RunHistory> {
+        let mut records = Vec::new();
+        if path.exists() {
+            let reader = BufReader::new(File::open(path)?);
+            for line in reader.lines() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                if let Some(record) = RunRecord::from_line(&line) {
+                    records.push(record);
+                }
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(RunHistory {
+            path: path.to_owned(),
+            inner: Mutex::new(Inner { records, file }),
+        })
+    }
+
+    /// The file the history persists to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records one completed run: assigns its generation, compares its
+    /// sketch against the previous generation of the same pair, appends
+    /// the line to the file, and returns the finished record.
+    pub fn record(&self, outcome: RunOutcome) -> RunRecord {
+        let mut inner = self.inner.lock().expect("run history lock poisoned");
+        let previous = inner.records.iter().rfind(|r| r.pair == outcome.pair);
+        let generation = previous.map_or(1, |r| r.generation + 1);
+        let agreement = previous.map(|r| r.sketch.agreement(&outcome.sketch));
+        let drift = agreement.is_some_and(|a| a < DRIFT_AGREEMENT);
+        let recorded_unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0, |d| d.as_millis() as u64);
+        let record = RunRecord {
+            job: outcome.job,
+            pair: outcome.pair,
+            generation,
+            iterations: outcome.iterations,
+            converged: outcome.converged,
+            aligned_instances: outcome.aligned_instances,
+            seconds: outcome.seconds,
+            agreement,
+            drift,
+            recorded_unix_ms,
+            sketch: outcome.sketch,
+        };
+        // Best-effort append: a full disk loses persistence, not the
+        // in-memory record (and not the serving thread).
+        let line = record.file_json();
+        let _ = writeln!(inner.file, "{line}");
+        let _ = inner.file.flush();
+        inner.records.push(record.clone());
+        record
+    }
+
+    /// All records, oldest first.
+    pub fn records(&self) -> Vec<RunRecord> {
+        self.inner
+            .lock()
+            .expect("run history lock poisoned")
+            .records
+            .clone()
+    }
+
+    /// Number of recorded runs.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("run history lock poisoned")
+            .records
+            .len()
+    }
+
+    /// Whether the history is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sketch_of(pairs: &[(&str, &str)]) -> AssignmentSketch {
+        AssignmentSketch::from_pairs(pairs.iter().copied())
+    }
+
+    fn outcome(job: u64, pair: &str, sketch: AssignmentSketch) -> RunOutcome {
+        RunOutcome {
+            job,
+            pair: pair.to_owned(),
+            iterations: 3,
+            converged: true,
+            aligned_instances: 10,
+            seconds: 0.25,
+            sketch,
+        }
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("paris-runs-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("history.jsonl")
+    }
+
+    #[test]
+    fn generations_count_per_pair_and_survive_reopen() {
+        let path = temp_path("generations");
+        let _ = std::fs::remove_file(&path);
+        let sketch = sketch_of(&[("a", "x"), ("b", "y")]);
+        {
+            let history = RunHistory::open(&path).unwrap();
+            let first = history.record(outcome(1, "alpha", sketch.clone()));
+            assert_eq!(first.generation, 1);
+            assert_eq!(first.agreement, None);
+            assert!(!first.drift);
+            let other = history.record(outcome(2, "beta", sketch.clone()));
+            assert_eq!(other.generation, 1, "generations count per pair");
+        }
+        // Reopen: records reload from the file, and the next run of
+        // `alpha` continues its generation sequence with agreement 1.0.
+        let history = RunHistory::open(&path).unwrap();
+        assert_eq!(history.len(), 2);
+        let again = history.record(outcome(7, "alpha", sketch));
+        assert_eq!(again.generation, 2);
+        assert_eq!(again.agreement, Some(1.0));
+        assert!(!again.drift);
+    }
+
+    #[test]
+    fn drift_flags_a_changed_assignment() {
+        let path = temp_path("drift");
+        let _ = std::fs::remove_file(&path);
+        let history = RunHistory::open(&path).unwrap();
+        let base: Vec<(String, String)> = (0..100)
+            .map(|i| (format!("L{i}"), format!("R{i}")))
+            .collect();
+        let first = sketch_of(
+            &base
+                .iter()
+                .map(|(l, r)| (l.as_str(), r.as_str()))
+                .collect::<Vec<_>>(),
+        );
+        // Ten of a hundred assignments change: agreement 0.90 < 0.95.
+        let moved: Vec<(String, String)> = base
+            .iter()
+            .enumerate()
+            .map(|(i, (l, r))| {
+                if i < 10 {
+                    (l.clone(), format!("{r}-moved"))
+                } else {
+                    (l.clone(), r.clone())
+                }
+            })
+            .collect();
+        let second = sketch_of(
+            &moved
+                .iter()
+                .map(|(l, r)| (l.as_str(), r.as_str()))
+                .collect::<Vec<_>>(),
+        );
+        history.record(outcome(1, "alpha", first));
+        let record = history.record(outcome(2, "alpha", second));
+        assert!(record.agreement.unwrap() < DRIFT_AGREEMENT);
+        assert!(record.drift);
+    }
+
+    #[test]
+    fn torn_final_line_is_skipped_on_reload() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let history = RunHistory::open(&path).unwrap();
+            history.record(outcome(1, "alpha", sketch_of(&[("a", "x")])));
+        }
+        // Simulate a crash mid-append: a partial line at the tail.
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        write!(file, "{{\"job\":9,\"pair\":\"al").unwrap();
+        drop(file);
+        let history = RunHistory::open(&path).unwrap();
+        assert_eq!(history.len(), 1);
+        assert_eq!(history.records()[0].pair, "alpha");
+    }
+
+    #[test]
+    fn file_lines_round_trip_the_sketch_exactly() {
+        let sketch = sketch_of(&[("a", "x"), ("b", "y"), ("c", "z")]);
+        let record = RunRecord {
+            job: 4,
+            pair: "p".to_owned(),
+            generation: 2,
+            iterations: 5,
+            converged: false,
+            aligned_instances: 3,
+            seconds: 1.5,
+            agreement: Some(0.875),
+            drift: true,
+            recorded_unix_ms: 1_700_000_000_000,
+            sketch: sketch.clone(),
+        };
+        let back = RunRecord::from_line(&record.file_json()).unwrap();
+        assert_eq!(back.sketch, sketch);
+        assert_eq!(back.generation, 2);
+        assert_eq!(back.agreement, Some(0.875));
+        assert!(back.drift);
+        // The API rendering omits the sketch but keeps its size.
+        let api = back.api_json();
+        assert!(!api.contains("\"sketch\""));
+        assert!(api.contains("\"sketch_size\":3"));
+    }
+}

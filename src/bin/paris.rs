@@ -46,7 +46,7 @@ USAGE:
   paris serve <FILE.snap> [SERVE OPTIONS]
   paris serve --catalog <DIR> [SERVE OPTIONS]
   paris sync <URL> <DIR>
-  paris query <URL[,URL…]> <health|pairs|stats|metrics|traces|sameas|neighbors|explain|batch> [ARGS]
+  paris query <URL[,URL…]> <health|pairs|stats|diagnostics|metrics|traces|profile|runs|sameas|neighbors|explain|batch> [ARGS]
   paris version
 
 Input files may be N-Triples (.nt), Turtle (.ttl/.turtle), tab-separated
@@ -164,6 +164,13 @@ SERVE:
     GET  /v1/debug/traces         recent spans + tail-sampled slowest
                                   traces (see --trace-buffer)
     GET  /v1/debug/traces/<id>    one trace rendered as a span tree
+    GET  /v1/pairs/<p>/diagnostics  gold-standard-free quality summary:
+                                  coverage, score distribution, aligned
+                                  relation/class counts
+    GET  /v1/debug/profile        the span ring folded into a flame tree
+                                  (?root=NAME re-roots, e.g. iteration)
+    GET  /v1/debug/runs           persisted align-run history with drift
+                                  flags (see --run-history)
   Every pre-v1 route keeps working as a deprecated alias (same bytes,
   one Warning header); the bare /sameas, /neighbors, /stats, /reload
   aliases answer for the default pair ('default' if present, else
@@ -200,8 +207,15 @@ SERVE:
                           are tail-sampled and kept past eviction;
                           0 disables tracing          [default: 512]
   --slow-ms <MS>          also log one slow_request line (with the
-                          trace id) for every request at or above MS
-                          milliseconds                [default: off]
+                          pair and trace id) for every request at or
+                          above MS milliseconds       [default: off]
+  --trace-pinned <N>      how many slowest traces the tail sampler
+                          keeps past ring eviction; 0 disables
+                          pinning                     [default: 8]
+  --run-history <FILE>    append every completed align job to FILE
+                          (JSONL) and serve it at /v1/debug/runs;
+                          reloaded on restart, consecutive runs of a
+                          pair are compared and flagged on drift
 
 QUERY:
   `paris query` speaks the daemon's versioned /v1 API through the typed
@@ -213,9 +227,16 @@ QUERY:
     paris query URL stats [--pair NAME]             one pair's statistics
     paris query URL metrics [--format prometheus|json]
                                 the daemon's /v1/metrics telemetry
-    paris query URL traces      recent spans + slowest traces
-    paris query URL traces <TRACE-ID>
+    paris query URL traces [--format json]
+                                recent spans + slowest traces
+    paris query URL traces <TRACE-ID> [--format json]
                                 one trace's span tree, indented
+    paris query URL diagnostics [--pair NAME] [--format json]
+                                alignment quality summary of one pair
+    paris query URL profile [--root NAME] [--format json]
+                                the daemon's flame profile
+    paris query URL runs [--format json]
+                                the persisted align-run history
     paris query URL sameas <IRI> [--pair NAME] [--side left|right]
                                 [--threshold F]     best match of an instance
     paris query URL neighbors <IRI> [--pair NAME] [--side left|right]
@@ -1246,6 +1267,12 @@ fn serve(args: &[String]) -> Result<(), String> {
                         .map_err(|_| "bad --slow-ms value (milliseconds)".to_owned())?,
                 )
             }
+            "--trace-pinned" => {
+                config.trace_pinned = value_of("--trace-pinned")?
+                    .parse()
+                    .map_err(|_| "bad --trace-pinned value (slow traces, 0 disables)".to_owned())?
+            }
+            "--run-history" => config.run_history = Some(PathBuf::from(value_of("--run-history")?)),
             "--sync-interval" => {
                 let seconds: f64 = value_of("--sync-interval")?
                     .parse()
@@ -1398,6 +1425,22 @@ fn query(args: &[String]) -> Result<(), String> {
             .transpose()
     };
     let err = |e: paris_repro::client::ClientError| e.to_string();
+    // `--format json` on the observability commands prints the raw
+    // envelope body instead of the rendered view (mirrors `metrics`,
+    // which additionally accepts `prometheus`).
+    let wants_json = || -> Result<bool, String> {
+        match flag("--format") {
+            None => Ok(false),
+            Some("json") => Ok(true),
+            Some(other) => Err(format!("--format must be json, not '{other}'")),
+        }
+    };
+    let print_raw = |body: String| {
+        print!("{body}");
+        if !body.ends_with('\n') {
+            println!();
+        }
+    };
 
     match (command.as_str(), rest) {
         ("health", []) => {
@@ -1527,6 +1570,10 @@ fn query(args: &[String]) -> Result<(), String> {
         }
         ("traces", []) => {
             use paris_repro::client::json::Json;
+            if wants_json()? {
+                print_raw(client.get_raw("/v1/debug/traces").map_err(err)?);
+                return Ok(());
+            }
             let d = client.debug_traces().map_err(err)?;
             let int = |k: &str| d.get(k).and_then(Json::as_u64).unwrap_or(0);
             println!(
@@ -1563,6 +1610,17 @@ fn query(args: &[String]) -> Result<(), String> {
         }
         ("traces", [id]) => {
             use paris_repro::client::json::Json;
+            if wants_json()? {
+                if id.len() != 32 || !id.bytes().all(|b| b.is_ascii_hexdigit()) {
+                    return Err(format!("invalid trace id '{id}'"));
+                }
+                print_raw(
+                    client
+                        .get_raw(&format!("/v1/debug/traces/{id}"))
+                        .map_err(err)?,
+                );
+                return Ok(());
+            }
             let d = client.debug_trace(id).map_err(err)?;
             println!(
                 "trace {} ({} span(s)):",
@@ -1585,20 +1643,151 @@ fn query(args: &[String]) -> Result<(), String> {
                     ))
                 }
             };
-            print!("{body}");
-            if !body.ends_with('\n') {
-                println!();
+            print_raw(body);
+        }
+        ("diagnostics", []) => {
+            use paris_repro::client::json::Json;
+            if wants_json()? {
+                let path = client.diagnostics_path(pair).map_err(err)?;
+                print_raw(client.get_raw(&path).map_err(err)?);
+                return Ok(());
+            }
+            let d = client.diagnostics(pair).map_err(err)?;
+            let int = |o: Option<&Json>, k: &str| {
+                o.and_then(|o| o.get(k)).and_then(Json::as_u64).unwrap_or(0)
+            };
+            let num = |o: Option<&Json>, k: &str| {
+                o.and_then(|o| o.get(k))
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0)
+            };
+            let inst = d.get("instances");
+            let scores = d.get("scores");
+            let rel = d.get("relations");
+            let classes = d.get("classes");
+            println!(
+                "pair {} (generation {}): {}/{} instances assigned, coverage {:.1}%",
+                d.get("pair").and_then(Json::as_str).unwrap_or("?"),
+                d.get("generation").and_then(Json::as_u64).unwrap_or(0),
+                int(inst, "assigned"),
+                int(inst, "kb1"),
+                num(inst, "coverage") * 100.0,
+            );
+            println!(
+                "scores: mean {:.3}  p50 {:.3}  p90 {:.3}  p99 {:.3}",
+                num(scores, "mean"),
+                num(scores, "p50"),
+                num(scores, "p90"),
+                num(scores, "p99"),
+            );
+            println!(
+                "relations: {}/{} kb1→kb2, {}/{} kb2→kb1 aligned (threshold {})",
+                int(rel, "aligned_1to2"),
+                int(rel, "kb1"),
+                int(rel, "aligned_2to1"),
+                int(rel, "kb2"),
+                num(rel, "threshold"),
+            );
+            println!(
+                "classes: {} vs {}; {} iteration(s), converged {}",
+                int(classes, "kb1"),
+                int(classes, "kb2"),
+                d.get("iterations").and_then(Json::as_u64).unwrap_or(0),
+                d.get("converged").and_then(Json::as_bool).unwrap_or(false),
+            );
+        }
+        ("profile", []) => {
+            use paris_repro::client::json::Json;
+            let root = flag("--root");
+            if wants_json()? {
+                print_raw(
+                    client
+                        .get_raw(&ParisClient::profile_path(root))
+                        .map_err(err)?,
+                );
+                return Ok(());
+            }
+            let d = client.debug_profile(root).map_err(err)?;
+            println!(
+                "profile over {} span(s): total {:.3} ms, self-time sum {:.3} ms{}",
+                d.get("spans").and_then(Json::as_u64).unwrap_or(0),
+                d.get("total_root_ns").and_then(Json::as_u64).unwrap_or(0) as f64 / 1e6,
+                d.get("total_self_ns").and_then(Json::as_u64).unwrap_or(0) as f64 / 1e6,
+                d.get("root")
+                    .and_then(Json::as_str)
+                    .map(|r| format!("  (root filter: {r})"))
+                    .unwrap_or_default(),
+            );
+            for node in d.get("roots").and_then(Json::as_array).unwrap_or(&[]) {
+                print_flame_node(node, 0);
+            }
+        }
+        ("runs", []) => {
+            use paris_repro::client::json::Json;
+            if wants_json()? {
+                print_raw(client.get_raw("/v1/debug/runs").map_err(err)?);
+                return Ok(());
+            }
+            let d = client.debug_runs().map_err(err)?;
+            println!(
+                "{} recorded run(s) in {}",
+                d.get("runs").and_then(Json::as_u64).unwrap_or(0),
+                d.get("file").and_then(Json::as_str).unwrap_or("?"),
+            );
+            for r in d.get("records").and_then(Json::as_array).unwrap_or(&[]) {
+                let agreement = match r.get("agreement").and_then(Json::as_f64) {
+                    Some(a) => format!("{a:.3}"),
+                    None => "-".to_owned(),
+                };
+                println!(
+                    "  job {:>4}  {:<24} gen {:>3}  {:>3} iter(s)  {:>6} aligned  \
+                     {:>8.2}s  agreement {agreement}{}",
+                    r.get("job").and_then(Json::as_u64).unwrap_or(0),
+                    r.get("pair").and_then(Json::as_str).unwrap_or("?"),
+                    r.get("generation").and_then(Json::as_u64).unwrap_or(0),
+                    r.get("iterations").and_then(Json::as_u64).unwrap_or(0),
+                    r.get("aligned_instances")
+                        .and_then(Json::as_u64)
+                        .unwrap_or(0),
+                    r.get("seconds").and_then(Json::as_f64).unwrap_or(0.0),
+                    if r.get("drift").and_then(Json::as_bool).unwrap_or(false) {
+                        "  DRIFT"
+                    } else {
+                        ""
+                    },
+                );
             }
         }
         _ => {
             return Err(format!(
                 "unknown query command '{command}' (or wrong arguments); \
-                 expected health, pairs, stats, metrics, traces [TRACE-ID], \
-                 sameas IRI, neighbors IRI, explain LEFT RIGHT, or batch FILE"
+                 expected health, pairs, stats, diagnostics, metrics, \
+                 traces [TRACE-ID], profile, runs, sameas IRI, neighbors IRI, \
+                 explain LEFT RIGHT, or batch FILE"
             ))
         }
     }
     Ok(())
+}
+
+/// Prints one node of a `/v1/debug/profile` flame tree, indented by
+/// depth.
+fn print_flame_node(node: &paris_repro::client::json::Json, depth: usize) {
+    use paris_repro::client::json::Json;
+    println!(
+        "{:indent$}{}  ×{}  total {:.3} ms  self {:.3} ms  p50 {} µs  p99 {} µs",
+        "",
+        node.get("name").and_then(Json::as_str).unwrap_or("?"),
+        node.get("count").and_then(Json::as_u64).unwrap_or(0),
+        node.get("total_ns").and_then(Json::as_u64).unwrap_or(0) as f64 / 1e6,
+        node.get("self_ns").and_then(Json::as_u64).unwrap_or(0) as f64 / 1e6,
+        node.get("p50_us").and_then(Json::as_u64).unwrap_or(0),
+        node.get("p99_us").and_then(Json::as_u64).unwrap_or(0),
+        indent = depth * 2
+    );
+    for child in node.get("children").and_then(Json::as_array).unwrap_or(&[]) {
+        print_flame_node(child, depth + 1);
+    }
 }
 
 /// Prints one node of a `/v1/debug/traces/<id>` span tree, indented by

@@ -1,0 +1,170 @@
+//! Property tests for the observability kernel, driven by the in-tree
+//! deterministic `StdRng`:
+//!
+//! * [`HistogramSnapshot::merge`] is commutative and associative, and
+//!   merging two snapshots is *exact* — identical to having recorded
+//!   the concatenated sample stream into one histogram;
+//! * [`flame::aggregate`] conserves time on random well-nested span
+//!   forests: the self times across every tree sum to exactly the root
+//!   spans' wall time, regardless of depth, fan-out, gaps, orphans,
+//!   open spans, or input order.
+
+use paris_repro::obs::flame::{aggregate, total_root_ns, total_self_ns};
+use paris_repro::obs::span::{Span, SpanId, TraceId};
+use paris_repro::obs::{Histogram, HistogramSnapshot};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Samples spread across the histogram's bucket range: small latencies,
+/// mid-range, and far-tail values in one stream.
+fn random_samples(rng: &mut StdRng, n: usize) -> Vec<u64> {
+    (0..n)
+        .map(|_| match rng.random_range(0..3u32) {
+            0 => rng.random_range(0..100u64),
+            1 => rng.random_range(0..100_000u64),
+            _ => rng.random_range(0..10_000_000_000u64),
+        })
+        .collect()
+}
+
+fn snapshot_of(samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h.snapshot()
+}
+
+fn merged(a: &HistogramSnapshot, b: &HistogramSnapshot) -> HistogramSnapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+fn assert_snapshots_equal(a: &HistogramSnapshot, b: &HistogramSnapshot, what: &str) {
+    assert_eq!(a.buckets, b.buckets, "{what}: buckets");
+    assert_eq!(a.count, b.count, "{what}: count");
+    assert_eq!(a.sum, b.sum, "{what}: sum");
+    assert_eq!(a.max, b.max, "{what}: max");
+}
+
+#[test]
+fn histogram_merge_is_commutative_associative_and_exact() {
+    for seed in 0..50u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.random_range(0..200usize);
+        let xs = random_samples(&mut rng, n);
+        let n = rng.random_range(0..200usize);
+        let ys = random_samples(&mut rng, n);
+        let n = rng.random_range(0..200usize);
+        let zs = random_samples(&mut rng, n);
+        let (a, b, c) = (snapshot_of(&xs), snapshot_of(&ys), snapshot_of(&zs));
+
+        assert_snapshots_equal(&merged(&a, &b), &merged(&b, &a), "commutativity");
+        assert_snapshots_equal(
+            &merged(&merged(&a, &b), &c),
+            &merged(&a, &merged(&b, &c)),
+            "associativity",
+        );
+
+        // Merging snapshots loses nothing: same state as recording the
+        // concatenated stream into a single histogram.
+        let all: Vec<u64> = xs.iter().chain(&ys).chain(&zs).copied().collect();
+        assert_snapshots_equal(
+            &merged(&merged(&a, &b), &c),
+            &snapshot_of(&all),
+            "exactness vs one histogram",
+        );
+    }
+}
+
+const NAMES: [&str; 6] = ["request", "lookup", "render", "decode", "iteration", "pass"];
+
+/// Fills `[parent.start_ns, parent.end_ns)` with 0–3 disjoint child
+/// spans (random gaps between them), recursing up to depth 4. This is
+/// exactly the well-nested shape every span collector in the workspace
+/// produces: children contained in their parent, siblings disjoint.
+fn generate_children(
+    rng: &mut StdRng,
+    trace: TraceId,
+    parent: &Span,
+    depth: u32,
+    out: &mut Vec<Span>,
+) {
+    if depth >= 4 {
+        return;
+    }
+    let mut cursor = parent.start_ns;
+    for _ in 0..rng.random_range(0..4usize) {
+        let remaining = parent.end_ns.saturating_sub(cursor);
+        if remaining < 4 {
+            break;
+        }
+        let start = cursor + rng.random_range(0..remaining / 2);
+        let len = rng.random_range(1..=(parent.end_ns - start));
+        let mut child = Span::begin(
+            NAMES[rng.random_range(0..NAMES.len())],
+            trace,
+            Some(parent.id),
+        );
+        child.start_ns = start;
+        child.end_ns = start + len;
+        generate_children(rng, trace, &child, depth + 1, out);
+        cursor = child.end_ns;
+        out.push(child);
+    }
+}
+
+#[test]
+fn flame_aggregation_conserves_self_time_on_random_forests() {
+    for seed in 0..30u64 {
+        let mut rng = StdRng::seed_from_u64(1_000 + seed);
+        let trace = TraceId::random();
+        let mut forest = Vec::new();
+        let mut expected_wall = 0u64;
+
+        // Locally-rooted trees with random (possibly overlapping
+        // across roots) intervals.
+        for _ in 0..rng.random_range(1..5usize) {
+            let start = rng.random_range(0..1_000_000u64);
+            let len = rng.random_range(100..1_000_000u64);
+            let mut root = Span::begin(NAMES[rng.random_range(0..NAMES.len())], trace, None);
+            root.start_ns = start;
+            root.end_ns = start + len;
+            expected_wall += len;
+            generate_children(&mut rng, trace, &root, 0, &mut forest);
+            forest.push(root);
+        }
+
+        // Orphans — a parent id absent from the input (ring eviction)
+        // roots its own tree and contributes its own wall time.
+        for _ in 0..rng.random_range(0..3usize) {
+            let len = rng.random_range(1..10_000u64);
+            let mut orphan = Span::begin("pass", trace, Some(SpanId::random()));
+            orphan.start_ns = 0;
+            orphan.end_ns = len;
+            expected_wall += len;
+            forest.push(orphan);
+        }
+
+        // Open spans are skipped: completed work only.
+        forest.push(Span::begin("pending", trace, None));
+
+        // Input order must not matter: Fisher–Yates shuffle.
+        for i in (1..forest.len()).rev() {
+            forest.swap(i, rng.random_range(0..=i));
+        }
+
+        let nodes = aggregate(&forest, None);
+        assert_eq!(
+            total_root_ns(&nodes),
+            expected_wall,
+            "seed {seed}: roots account for every closed root span"
+        );
+        assert_eq!(
+            total_self_ns(&nodes),
+            total_root_ns(&nodes),
+            "seed {seed}: self times must sum to the root wall time"
+        );
+    }
+}

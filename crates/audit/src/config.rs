@@ -1,0 +1,218 @@
+//! Parser for `audit.toml`, the checked-in allowlist that drives the
+//! lint rules (docs/CORRECTNESS.md documents every key).
+//!
+//! The workspace has no external dependencies, so this is a deliberate
+//! TOML *subset*: `[section]` headers, `#` comments, and `key = value`
+//! entries where a value is a quoted string, an integer, or an array
+//! of quoted strings (arrays may span lines). That is the whole
+//! grammar `audit.toml` needs; anything else is a parse error, which
+//! the CI gate turns into a loud failure rather than a silently
+//! ignored rule.
+
+/// One configuration value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// An array of quoted strings.
+    List(Vec<String>),
+}
+
+/// The parsed configuration: sections of key/value entries.
+#[derive(Debug, Default)]
+pub struct Config {
+    sections: Vec<(String, Vec<(String, Value)>)>,
+}
+
+impl Config {
+    /// Parses the TOML subset. Errors carry the 1-based line number.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        let mut current: Option<usize> = None;
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let line_no = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                cfg.sections.push((name.trim().to_owned(), Vec::new()));
+                current = Some(cfg.sections.len() - 1);
+                continue;
+            }
+            let (key, value_text) = line
+                .split_once('=')
+                .ok_or_else(|| format!("audit.toml:{line_no}: expected `key = value`"))?;
+            let mut value_text = value_text.trim().to_owned();
+            // An array may span lines: keep consuming until brackets
+            // balance outside of quotes.
+            while value_text.starts_with('[') && !brackets_balance(&value_text) {
+                let (idx2, cont) = lines
+                    .next()
+                    .ok_or_else(|| format!("audit.toml:{line_no}: unterminated array"))?;
+                let _ = idx2;
+                value_text.push(' ');
+                value_text.push_str(strip_comment(cont).trim());
+            }
+            let value =
+                parse_value(&value_text).map_err(|e| format!("audit.toml:{line_no}: {e}"))?;
+            let section = current
+                .ok_or_else(|| format!("audit.toml:{line_no}: entry before any [section]"))?;
+            if let Some((_, entries)) = cfg.sections.get_mut(section) {
+                entries.push((key.trim().to_owned(), value));
+            }
+        }
+        Ok(cfg)
+    }
+
+    fn get(&self, section: &str, key: &str) -> Option<&Value> {
+        self.sections
+            .iter()
+            .find(|(name, _)| name == section)
+            .and_then(|(_, entries)| entries.iter().find(|(k, _)| k == key))
+            .map(|(_, v)| v)
+    }
+
+    /// A string-array value; missing keys yield an empty list.
+    pub fn list(&self, section: &str, key: &str) -> Vec<String> {
+        match self.get(section, key) {
+            Some(Value::List(items)) => items.clone(),
+            Some(Value::Str(s)) => vec![s.clone()],
+            _ => Vec::new(),
+        }
+    }
+
+    /// An integer value with a default.
+    pub fn int(&self, section: &str, key: &str, default: i64) -> i64 {
+        match self.get(section, key) {
+            Some(Value::Int(v)) => *v,
+            _ => default,
+        }
+    }
+}
+
+/// Strips a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return line.get(..i).unwrap_or(line),
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Whether `[` and `]` balance outside quoted strings.
+fn brackets_balance(text: &str) -> bool {
+    let mut depth = 0i64;
+    let mut in_str = false;
+    for c in text.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth <= 0
+}
+
+fn parse_value(text: &str) -> Result<Value, String> {
+    let text = text.trim();
+    if let Some(inner) = text.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or_else(|| "unterminated array".to_owned())?;
+        let mut items = Vec::new();
+        for item in split_items(inner) {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            match parse_value(item)? {
+                Value::Str(s) => items.push(s),
+                _ => return Err("arrays may only hold quoted strings".to_owned()),
+            }
+        }
+        return Ok(Value::List(items));
+    }
+    if let Some(inner) = text.strip_prefix('"') {
+        let inner = inner
+            .strip_suffix('"')
+            .ok_or_else(|| "unterminated string".to_owned())?;
+        if inner.contains('"') {
+            return Err("unexpected inner quote".to_owned());
+        }
+        return Ok(Value::Str(inner.to_owned()));
+    }
+    text.parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| format!("unrecognized value `{text}`"))
+}
+
+/// Splits array items on commas outside quotes.
+fn split_items(text: &str) -> Vec<&str> {
+    let mut items = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    for (i, c) in text.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                items.push(text.get(start..i).unwrap_or_default());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    items.push(text.get(start..).unwrap_or_default());
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_strings_ints_and_arrays() {
+        let cfg = Config::parse(
+            r#"
+# comment
+[lint]
+exclude = ["target", "fixtures"] # trailing comment
+max = 8
+
+[rule-a]
+files = [
+    "a/b.rs",
+    "c/d.rs",
+]
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.list("lint", "exclude"), vec!["target", "fixtures"]);
+        assert_eq!(cfg.int("lint", "max", 0), 8);
+        assert_eq!(cfg.list("rule-a", "files"), vec!["a/b.rs", "c/d.rs"]);
+        assert_eq!(cfg.int("lint", "missing", 7), 7);
+        assert!(cfg.list("missing", "files").is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Config::parse("key = 1").is_err(), "entry before section");
+        assert!(Config::parse("[s]\nkey 1").is_err(), "missing equals");
+        assert!(Config::parse("[s]\nkey = [\"a\"").is_err(), "open array");
+        assert!(Config::parse("[s]\nkey = nope").is_err(), "bare word");
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let cfg = Config::parse("[s]\nk = \"a#b\"").unwrap();
+        assert_eq!(cfg.list("s", "k"), vec!["a#b"]);
+    }
+}

@@ -1,0 +1,249 @@
+//! A minimal Rust surface lexer for the audit rules.
+//!
+//! The workspace forbids external dependencies, so there is no `syn`;
+//! the lint rules do not need a parse tree anyway — they match tokens.
+//! What they *do* need is to never match inside comments, string
+//! literals, or char literals (a doc comment mentioning `unwrap()` is
+//! not a violation). [`scan`] produces a *sanitized* copy of the
+//! source with the same byte length in which every comment and every
+//! literal body has been blanked with spaces (newlines are preserved,
+//! so offsets and line numbers carry over unchanged). Rules then run
+//! plain substring scans over the sanitized text and read the original
+//! text only for comment-borne directives (`// SAFETY:`,
+//! `// audit:allow(...)`).
+//!
+//! Handled: line comments, nested block comments, string literals with
+//! escapes, raw strings (`r"…"`, `r#"…"#`, any number of `#`s), byte
+//! and byte-raw strings, char literals (including escapes), and the
+//! char-versus-lifetime ambiguity (`'a'` blanks, `'a` does not).
+
+/// The sanitized view of one source file.
+pub struct Scan {
+    /// Same byte length as the input; comments and literal bodies are
+    /// spaces, newlines are kept.
+    pub sanitized: String,
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Blanks `out[i]` unless it is a newline (which must survive so line
+/// numbers stay aligned with the original).
+fn blank(out: &mut [u8], i: usize) {
+    if let Some(b) = out.get_mut(i) {
+        if *b != b'\n' {
+            *b = b' ';
+        }
+    }
+}
+
+/// Lexes `src` and blanks everything the rules must not match in.
+pub fn scan(src: &str) -> Scan {
+    let bytes = src.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        let prev_ident = i > 0 && bytes.get(i - 1).copied().is_some_and(is_ident);
+        match b {
+            b'/' if next == Some(b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    blank(&mut out, i);
+                    i += 1;
+                }
+            }
+            b'/' if next == Some(b'*') => {
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        blank(&mut out, i);
+                        blank(&mut out, i + 1);
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        blank(&mut out, i);
+                        blank(&mut out, i + 1);
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        blank(&mut out, i);
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if !prev_ident => {
+                // Possible raw/byte literal prefix: r", r#", b", br", b'.
+                let mut j = i + 1;
+                if b == b'b' && bytes.get(j) == Some(&b'r') {
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                while bytes.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                let raw = hashes > 0 || bytes.get(i + 1) == Some(&b'r') || b == b'r';
+                match bytes.get(j) {
+                    Some(&b'"') if raw || b == b'b' => {
+                        i = blank_string(&mut out, bytes, j, if raw { Some(hashes) } else { None });
+                    }
+                    Some(&b'\'') if b == b'b' && hashes == 0 => {
+                        i = blank_char(&mut out, bytes, j);
+                    }
+                    _ => i += 1,
+                }
+            }
+            b'"' => {
+                i = blank_string(&mut out, bytes, i, None);
+            }
+            b'\'' if !prev_ident => {
+                i = maybe_blank_char_or_lifetime(&mut out, bytes, i);
+            }
+            _ => i += 1,
+        }
+    }
+    Scan {
+        sanitized: String::from_utf8(out).unwrap_or_default(),
+    }
+}
+
+/// Blanks a string literal whose opening `"` is at `open`. For raw
+/// strings, `raw_hashes` is the number of `#`s that must follow the
+/// closing quote. Returns the index just past the literal.
+fn blank_string(out: &mut [u8], bytes: &[u8], open: usize, raw_hashes: Option<usize>) -> usize {
+    let mut i = open + 1;
+    while i < bytes.len() {
+        match (bytes[i], raw_hashes) {
+            (b'\\', None) => {
+                blank(out, i);
+                blank(out, i + 1);
+                i += 2;
+            }
+            (b'"', None) => return i + 1,
+            (b'"', Some(h)) => {
+                let tail = bytes.get(i + 1..i + 1 + h).unwrap_or_default();
+                if tail.len() == h && tail.iter().all(|&c| c == b'#') {
+                    return i + 1 + h;
+                }
+                blank(out, i);
+                i += 1;
+            }
+            _ => {
+                blank(out, i);
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Blanks a char literal whose opening `'` is at `open`; returns the
+/// index just past it.
+fn blank_char(out: &mut [u8], bytes: &[u8], open: usize) -> usize {
+    let mut i = open + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => {
+                blank(out, i);
+                blank(out, i + 1);
+                i += 2;
+            }
+            b'\'' => return i + 1,
+            _ => {
+                blank(out, i);
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Disambiguates `'` at `open`: a char literal is blanked, a lifetime
+/// is left alone. Returns the index to resume at.
+fn maybe_blank_char_or_lifetime(out: &mut [u8], bytes: &[u8], open: usize) -> usize {
+    match bytes.get(open + 1) {
+        Some(&b'\\') => blank_char(out, bytes, open),
+        Some(&c) if is_ident(c) => {
+            // `'x'` is a char; `'x` (no close after one char) is a
+            // lifetime. Multi-byte scalars ('é') always close.
+            let char_len = if c < 0x80 {
+                1
+            } else if c < 0xE0 {
+                2
+            } else if c < 0xF0 {
+                3
+            } else {
+                4
+            };
+            if bytes.get(open + 1 + char_len) == Some(&b'\'') {
+                blank_char(out, bytes, open)
+            } else {
+                open + 1
+            }
+        }
+        Some(_) => blank_char(out, bytes, open),
+        None => open + 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_line_and_block_comments() {
+        let s = scan("let a = 1; // unwrap()\n/* expect( */ let b;");
+        assert_eq!(s.sanitized, "let a = 1;            \n              let b;");
+    }
+
+    #[test]
+    fn blanks_nested_block_comments() {
+        let s = scan("a /* x /* y */ z */ b");
+        assert_eq!(s.sanitized, "a                   b");
+    }
+
+    #[test]
+    fn blanks_string_bodies_but_keeps_quotes() {
+        let s = scan(r#"err("unwrap() failed")"#);
+        assert_eq!(s.sanitized, r#"err("               ")"#);
+    }
+
+    #[test]
+    fn handles_escaped_quotes() {
+        let s = scan(r#"x("a\"b") + y"#);
+        assert_eq!(s.sanitized, r#"x("    ") + y"#);
+    }
+
+    #[test]
+    fn handles_raw_and_byte_strings() {
+        let s = scan(r##"a(r#"panic!"#) + b(b"[0]") + c"##);
+        assert_eq!(s.sanitized, r##"a(r#"      "#) + b(b"   ") + c"##);
+    }
+
+    #[test]
+    fn distinguishes_chars_from_lifetimes() {
+        let s = scan("fn f<'a>(x: &'a str) { m('['); }");
+        assert_eq!(s.sanitized, "fn f<'a>(x: &'a str) { m(' '); }");
+        let s = scan(r"let c = '\n'; let l: &'static str;");
+        assert_eq!(s.sanitized, "let c = '  '; let l: &'static str;");
+    }
+
+    #[test]
+    fn preserves_newlines_inside_literals() {
+        let s = scan("let d = \"a\nb\";");
+        assert_eq!(s.sanitized, "let d = \" \n \";");
+        assert_eq!(s.sanitized.len(), "let d = \"a\nb\";".len());
+    }
+
+    #[test]
+    fn multibyte_scalars_blank_to_ascii_spaces() {
+        let s = scan("let x = \"héllo\"; let c = 'é';");
+        assert!(s.sanitized.is_ascii());
+        assert_eq!(s.sanitized.len(), "let x = \"héllo\"; let c = 'é';".len());
+    }
+}

@@ -1,0 +1,28 @@
+//! # paris-audit — workspace invariant lints and decoder fuzzing
+//!
+//! The serving stack decodes bytes from disk, the network, and user
+//! input; the aligner promises deterministic fixpoints. Those are
+//! *invariants*, and this crate is the tool that keeps them true as
+//! the codebase grows:
+//!
+//! * **Lints** ([`rules`]) — five custom static checks driven by the
+//!   checked-in `audit.toml` allowlist, run as a hard CI gate
+//!   (`cargo run -p paris-audit -- lint`). No `syn`, no registry: a
+//!   [minimal lexer](lexer) blanks comments and literals, and the
+//!   rules are token scans over the sanitized text with `file:line`
+//!   diagnostics.
+//! * **Fuzzing** ([`fuzz`]) — deterministic, corpus-seeded,
+//!   structure-aware mutation of every untrusted decoder
+//!   (`cargo run -p paris-audit -- fuzz <target> --seed N --iters N`),
+//!   asserting *no panic, Err-not-abort*. Crashes are minimized and
+//!   checked into `tests/corpus/` as permanent regressions.
+//!
+//! docs/CORRECTNESS.md is the narrative companion: the rule catalog,
+//! the `audit.toml` format, and how to reproduce a CI fuzz failure.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod fuzz;
+pub mod lexer;
+pub mod rules;

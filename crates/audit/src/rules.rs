@@ -1,0 +1,675 @@
+//! The workspace invariant lints.
+//!
+//! Five rules, all driven by the checked-in `audit.toml` allowlist
+//! (docs/CORRECTNESS.md is the rule catalog):
+//!
+//! * `unsafe-inventory` — `unsafe` may appear only in allowlisted
+//!   files, and every occurrence needs a nearby `// SAFETY:` comment.
+//! * `no-panic-decode` — decoder modules may not `unwrap()`,
+//!   `expect(…)`, `panic!` (or its siblings), or bare-index a slice.
+//! * `checked-casts-in-decoders` — decoder modules may not use bare
+//!   `as usize` on wire-derived values; the checked `paris_kb::wire`
+//!   helpers exist for exactly this.
+//! * `no-wallclock-in-deterministic` — the aligner fixpoint and
+//!   ingest passes may not read `Instant::now` / `SystemTime::now`
+//!   directly (the sanctioned stopwatch is `paris_obs::span`).
+//! * `no-lock-across-call` — a `let`-bound `.lock()` / `.read()` /
+//!   `.write()` guard may not be live across a call into the
+//!   configured I/O function list (heuristic; see below).
+//!
+//! Rules scan the [`lexer`]-sanitized text, so comments
+//! and string literals never trigger them. `#[cfg(test)]` regions are
+//! skipped (tests are allowed to be blunt). A finding on one specific
+//! line can be waived in place with
+//! `// audit:allow(rule-name): reason` on the same line or the line
+//! above — the reason is mandatory prose for the reviewer, and the
+//! directive is deliberately loud in the diff.
+
+use std::path::{Path, PathBuf};
+
+use crate::config::Config;
+use crate::lexer;
+
+/// One rule violation, pointing at a file and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule that fired.
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable diagnosis.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Lints every `.rs` file under `root` (skipping `target/`, `.git/`,
+/// and the configured `[lint] exclude` prefixes). Findings are sorted
+/// by file then line.
+pub fn lint_root(root: &Path, cfg: &Config) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    let exclude = cfg.list("lint", "exclude");
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &exclude, &mut files)
+        .map_err(|e| format!("walking {}: {e}", root.display()))?;
+    files.sort();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        findings.extend(lint_source(&rel, &src, cfg));
+    }
+    Ok(findings)
+}
+
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    exclude: &[String],
+    out: &mut Vec<PathBuf>,
+) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if exclude
+            .iter()
+            .any(|p| rel == *p || rel.starts_with(&format!("{p}/")))
+        {
+            continue;
+        }
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            collect_rs_files(root, &path, exclude, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints one file's source text. Exposed separately so the fixture
+/// self-tests can drive the engine without touching the filesystem.
+pub fn lint_source(rel: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    let scan = lexer::scan(src);
+    let ctx = FileCtx {
+        rel,
+        orig_lines: src.lines().collect(),
+        san_lines: scan.sanitized.lines().map(str::to_owned).collect(),
+        test_line: test_region_lines(&scan.sanitized),
+    };
+    let mut findings = Vec::new();
+    rule_unsafe_inventory(&ctx, cfg, &mut findings);
+    rule_no_panic_decode(&ctx, cfg, &mut findings);
+    rule_checked_casts(&ctx, cfg, &mut findings);
+    rule_no_wallclock(&ctx, cfg, &mut findings);
+    rule_no_lock_across_call(&ctx, cfg, &mut findings);
+    findings
+}
+
+struct FileCtx<'a> {
+    rel: &'a str,
+    orig_lines: Vec<&'a str>,
+    san_lines: Vec<String>,
+    /// Per 0-based line: inside a `#[cfg(test)]` region?
+    test_line: Vec<bool>,
+}
+
+impl FileCtx<'_> {
+    /// Is finding `rule` waived at 1-based `line`? The directive may
+    /// sit on the flagged line or the one above.
+    fn allowed(&self, rule: &str, line: usize) -> bool {
+        let needle = format!("audit:allow({rule})");
+        [line, line.saturating_sub(1)]
+            .iter()
+            .filter(|&&l| l >= 1)
+            .filter_map(|&l| self.orig_lines.get(l - 1))
+            .any(|text| text.contains(&needle))
+    }
+
+    fn is_test_line(&self, line: usize) -> bool {
+        self.test_line.get(line - 1).copied().unwrap_or(false)
+    }
+
+    /// Non-test, sanitized lines as (1-based line, text).
+    fn code_lines(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.san_lines
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.as_str()))
+            .filter(|(n, _)| !self.is_test_line(*n))
+    }
+}
+
+/// Marks every line covered by a `#[cfg(test)]` attribute's item (the
+/// brace-matched block that follows it).
+fn test_region_lines(sanitized: &str) -> Vec<bool> {
+    let bytes = sanitized.as_bytes();
+    let num_lines = sanitized.lines().count();
+    let mut test = vec![false; num_lines];
+    let line_of = |pos: usize| bytes.iter().take(pos).filter(|&&b| b == b'\n').count();
+    let mut search = 0;
+    while let Some(hit) = sanitized.get(search..).and_then(|s| s.find("#[cfg(test)]")) {
+        let attr = search + hit;
+        search = attr + 1;
+        let Some(open_rel) = sanitized.get(attr..).and_then(|s| s.find('{')) else {
+            continue;
+        };
+        let open = attr + open_rel;
+        let mut depth = 0i64;
+        let mut close = bytes.len();
+        for (i, &b) in bytes.iter().enumerate().skip(open) {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = i;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for flag in test.iter_mut().take(line_of(close) + 1).skip(line_of(attr)) {
+            *flag = true;
+        }
+    }
+    test
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Occurrences of `word` in `line` with identifier boundaries on both
+/// sides, as byte offsets.
+fn word_positions(line: &str, word: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(hit) = line.get(from..).and_then(|s| s.find(word)) {
+        let at = from + hit;
+        from = at + word.len().max(1);
+        let before_ok = line
+            .get(..at)
+            .and_then(|s| s.chars().last())
+            .is_none_or(|c| !is_ident(c));
+        let after_ok = line
+            .get(at + word.len()..)
+            .and_then(|s| s.chars().next())
+            .is_none_or(|c| !is_ident(c));
+        if before_ok && after_ok {
+            out.push(at);
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// Rule: unsafe-inventory
+// ----------------------------------------------------------------------
+
+fn rule_unsafe_inventory(ctx: &FileCtx<'_>, cfg: &Config, findings: &mut Vec<Finding>) {
+    const RULE: &str = "unsafe-inventory";
+    let allow_files = cfg.list(RULE, "allow-files");
+    let lookback = cfg.int(RULE, "safety-comment-lines", 8).max(1) as usize;
+    let allowed_file = allow_files.iter().any(|f| f == ctx.rel);
+    for (line_no, line) in ctx
+        .san_lines
+        .iter()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.as_str()))
+    {
+        for _ in word_positions(line, "unsafe") {
+            if ctx.allowed(RULE, line_no) {
+                continue;
+            }
+            if !allowed_file {
+                findings.push(Finding {
+                    rule: RULE,
+                    file: ctx.rel.to_owned(),
+                    line: line_no,
+                    message: "`unsafe` outside the audited allowlist (audit.toml \
+                              [unsafe-inventory] allow-files)"
+                        .to_owned(),
+                });
+                continue;
+            }
+            let documented = (line_no.saturating_sub(lookback)..=line_no)
+                .filter(|&l| l >= 1)
+                .filter_map(|l| ctx.orig_lines.get(l - 1))
+                .any(|text| text.contains("SAFETY:"));
+            if !documented {
+                findings.push(Finding {
+                    rule: RULE,
+                    file: ctx.rel.to_owned(),
+                    line: line_no,
+                    message: format!(
+                        "`unsafe` without a `// SAFETY:` comment within {lookback} lines"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Rule: no-panic-decode
+// ----------------------------------------------------------------------
+
+/// Keywords that legitimately precede `[` without being an indexed
+/// expression (slice patterns, array types/literals, …).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "in", "if", "else", "match", "return", "mut", "ref", "move", "as", "break", "continue",
+    "loop", "while", "for", "where", "dyn", "impl", "fn", "pub", "use", "mod", "const", "static",
+    "type", "enum", "struct", "trait", "box", "yield",
+];
+
+fn rule_no_panic_decode(ctx: &FileCtx<'_>, cfg: &Config, findings: &mut Vec<Finding>) {
+    const RULE: &str = "no-panic-decode";
+    if !cfg.list(RULE, "files").iter().any(|f| f == ctx.rel) {
+        return;
+    }
+    for (line_no, line) in ctx.code_lines() {
+        if ctx.allowed(RULE, line_no) {
+            continue;
+        }
+        let mut report = |message: String| {
+            findings.push(Finding {
+                rule: RULE,
+                file: ctx.rel.to_owned(),
+                line: line_no,
+                message,
+            });
+        };
+        for method in ["unwrap", "expect"] {
+            for at in method_call_positions(line, method) {
+                let _ = at;
+                report(format!(
+                    "`.{method}(…)` in a decoder — propagate an error instead \
+                     (see paris_kb::wire for checked helpers)"
+                ));
+            }
+        }
+        for mac in ["panic!", "unreachable!", "todo!", "unimplemented!"] {
+            let bare = mac.trim_end_matches('!');
+            if !word_positions(line, bare).is_empty() && line.contains(mac) {
+                report(format!(
+                    "`{mac}` in a decoder — return a decode error instead"
+                ));
+            }
+        }
+        for at in bare_index_positions(line) {
+            let _ = at;
+            report(
+                "bare `[…]` indexing in a decoder — use `.get(…)` or the \
+                 paris_kb::wire helpers"
+                    .to_owned(),
+            );
+        }
+    }
+}
+
+/// Positions where `.method(` is called — `.method_or(…)` and other
+/// longer identifiers do not match.
+fn method_call_positions(line: &str, method: &str) -> Vec<usize> {
+    let needle = format!(".{method}");
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(hit) = line.get(from..).and_then(|s| s.find(&needle)) {
+        let at = from + hit;
+        from = at + needle.len();
+        let rest = line.get(at + needle.len()..).unwrap_or_default();
+        let mut chars = rest.chars();
+        match chars.next() {
+            Some(c) if is_ident(c) => continue, // .unwrap_or(…), .expect_byte(…)
+            Some('(') => out.push(at),
+            Some(c) if c.is_whitespace() => {
+                if chars.find(|c| !c.is_whitespace()) == Some('(') {
+                    out.push(at);
+                }
+            }
+            _ => continue,
+        }
+    }
+    out
+}
+
+/// Positions of `[` that index a value: the previous non-space token is
+/// an identifier (that is not a keyword), a `)`, or a `]`.
+fn bare_index_positions(line: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (at, c) in line.char_indices() {
+        if c != '[' {
+            continue;
+        }
+        let before = line.get(..at).unwrap_or_default().trim_end();
+        match before.chars().last() {
+            Some(')') | Some(']') => out.push(at),
+            Some(c) if is_ident(c) => {
+                let word: String = before
+                    .chars()
+                    .rev()
+                    .take_while(|&c| is_ident(c))
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .rev()
+                    .collect();
+                // `&'a [u8]` is a lifetime before a slice type, not an
+                // indexed expression.
+                let lifetime = before
+                    .get(..before.len() - word.len())
+                    .and_then(|s| s.chars().last())
+                    == Some('\'');
+                if !lifetime && !NON_INDEX_KEYWORDS.contains(&word.as_str()) {
+                    out.push(at);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// Rule: checked-casts-in-decoders
+// ----------------------------------------------------------------------
+
+fn rule_checked_casts(ctx: &FileCtx<'_>, cfg: &Config, findings: &mut Vec<Finding>) {
+    const RULE: &str = "checked-casts-in-decoders";
+    if !cfg.list(RULE, "files").iter().any(|f| f == ctx.rel) {
+        return;
+    }
+    for (line_no, line) in ctx.code_lines() {
+        if ctx.allowed(RULE, line_no) {
+            continue;
+        }
+        for at in word_positions(line, "as") {
+            let rest = line.get(at + 2..).unwrap_or_default().trim_start();
+            let target_is_usize = rest.starts_with("usize")
+                && rest
+                    .get("usize".len()..)
+                    .and_then(|s| s.chars().next())
+                    .is_none_or(|c| !is_ident(c));
+            if target_is_usize {
+                findings.push(Finding {
+                    rule: RULE,
+                    file: ctx.rel.to_owned(),
+                    line: line_no,
+                    message: "bare `as usize` in a decoder — use \
+                              paris_kb::wire::saturating_usize or try_into"
+                        .to_owned(),
+                });
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Rule: no-wallclock-in-deterministic
+// ----------------------------------------------------------------------
+
+fn rule_no_wallclock(ctx: &FileCtx<'_>, cfg: &Config, findings: &mut Vec<Finding>) {
+    const RULE: &str = "no-wallclock-in-deterministic";
+    if !cfg.list(RULE, "files").iter().any(|f| f == ctx.rel) {
+        return;
+    }
+    for (line_no, line) in ctx.code_lines() {
+        if ctx.allowed(RULE, line_no) {
+            continue;
+        }
+        for clock in ["Instant::now", "SystemTime::now"] {
+            if line.contains(clock) {
+                findings.push(Finding {
+                    rule: RULE,
+                    file: ctx.rel.to_owned(),
+                    line: line_no,
+                    message: format!(
+                        "`{clock}` in a deterministic pass — use \
+                         paris_obs::span::now_ns / seconds_since"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Rule: no-lock-across-call
+// ----------------------------------------------------------------------
+
+/// How many lines a guard is tracked for before the heuristic gives up
+/// (real guard scopes in this workspace are far shorter).
+const GUARD_SCAN_LINES: usize = 200;
+
+fn rule_no_lock_across_call(ctx: &FileCtx<'_>, cfg: &Config, findings: &mut Vec<Finding>) {
+    const RULE: &str = "no-lock-across-call";
+    let io_functions = cfg.list(RULE, "io-functions");
+    if io_functions.is_empty() {
+        return;
+    }
+    for (line_no, line) in ctx.code_lines() {
+        let Some(guard) = guard_binding(line) else {
+            continue;
+        };
+        if ctx.allowed(RULE, line_no) {
+            continue;
+        }
+        // Track the guard to the end of its enclosing block (or an
+        // explicit drop), flagging the first I/O call inside.
+        let mut depth = brace_delta(line);
+        for offset in 1..=GUARD_SCAN_LINES {
+            let later_no = line_no + offset;
+            let Some(later) = ctx.san_lines.get(later_no - 1) else {
+                break;
+            };
+            if later.contains(&format!("drop({guard})")) {
+                break;
+            }
+            if let Some(hit) = io_functions.iter().find(|f| later.contains(f.as_str())) {
+                if !ctx.allowed(RULE, later_no) && !ctx.is_test_line(later_no) {
+                    findings.push(Finding {
+                        rule: RULE,
+                        file: ctx.rel.to_owned(),
+                        line: later_no,
+                        message: format!(
+                            "I/O call `{hit}…` while sync guard `{guard}` \
+                             (acquired on line {line_no}) is still held"
+                        ),
+                    });
+                }
+                break;
+            }
+            depth += brace_delta(later);
+            if depth < 0 {
+                break;
+            }
+        }
+    }
+}
+
+fn brace_delta(line: &str) -> i64 {
+    line.chars().fold(0i64, |d, c| match c {
+        '{' => d + 1,
+        '}' => d - 1,
+        _ => d,
+    })
+}
+
+/// If `line` let-binds a synchronization guard (`let g = ….lock()…;`
+/// with *empty* parens — `io::Read::read(&mut buf)` never matches),
+/// returns the binding name.
+fn guard_binding(line: &str) -> Option<String> {
+    if ![".lock()", ".read()", ".write()"]
+        .iter()
+        .any(|m| line.contains(m))
+    {
+        return None;
+    }
+    let after_let = line.get(word_positions(line, "let").first()? + 3..)?;
+    let after_let = after_let.trim_start();
+    let after_let = after_let
+        .strip_prefix("mut ")
+        .unwrap_or(after_let)
+        .trim_start();
+    let name: String = after_let.chars().take_while(|&c| is_ident(c)).collect();
+    // `if let Ok(g) = …` patterns are skipped: the heuristic only
+    // understands plain bindings.
+    if name.is_empty() || name.chars().next().is_some_and(|c| c.is_uppercase()) {
+        return None;
+    }
+    Some(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(text: &str) -> Config {
+        Config::parse(text).expect("test config parses")
+    }
+
+    #[test]
+    fn panic_rule_matches_only_real_calls() {
+        let cfg = cfg("[no-panic-decode]\nfiles = [\"d.rs\"]");
+        let src = "fn f(v: Vec<u8>) {\n\
+                   let a = v.first().unwrap();\n\
+                   let b = v.iter().next().unwrap_or_default();\n\
+                   let c = r.expect_byte(b'x');\n\
+                   let d = v[0];\n\
+                   let [e] = pair;\n\
+                   }\n";
+        let hits = lint_source("d.rs", src, &cfg);
+        let lines: Vec<usize> = hits.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![2, 5], "{hits:?}");
+    }
+
+    #[test]
+    fn comments_and_strings_never_fire() {
+        let cfg = cfg("[no-panic-decode]\nfiles = [\"d.rs\"]");
+        let src = "// calling unwrap() would panic!\n\
+                   fn f() -> String { \"panic! at v[0].unwrap()\".into() }\n";
+        assert!(lint_source("d.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_regions_are_skipped() {
+        let cfg = cfg("[no-panic-decode]\nfiles = [\"d.rs\"]");
+        let src = "fn f() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn g(v: &[u8]) -> u8 { v[0] }\n\
+                   }\n";
+        assert!(lint_source("d.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn allow_directive_waives_one_line() {
+        let cfg = cfg("[no-panic-decode]\nfiles = [\"d.rs\"]");
+        let src = "fn f(v: &[u8], i: usize) -> u8 {\n\
+                   // audit:allow(no-panic-decode): i was bounds-checked above\n\
+                   v[i]\n\
+                   }\n\
+                   fn g(v: &[u8]) -> u8 { v[1] }\n";
+        let hits = lint_source("d.rs", src, &cfg);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits.first().map(|f| f.line), Some(5));
+    }
+
+    #[test]
+    fn unsafe_rule_demands_allowlist_and_safety_comment() {
+        let cfg = cfg("[unsafe-inventory]\nallow-files = [\"ok.rs\"]");
+        let bad = "fn f() { unsafe { std::hint::unreachable_unchecked() } }\n";
+        assert_eq!(lint_source("no.rs", bad, &cfg).len(), 1);
+        let undocumented = lint_source("ok.rs", bad, &cfg);
+        assert_eq!(undocumented.len(), 1);
+        assert!(undocumented
+            .first()
+            .is_some_and(|f| f.message.contains("SAFETY")));
+        let documented = "// SAFETY: provably unreachable\n\
+                          fn f() { unsafe { std::hint::unreachable_unchecked() } }\n";
+        assert!(lint_source("ok.rs", documented, &cfg).is_empty());
+    }
+
+    #[test]
+    fn cast_rule_flags_only_usize() {
+        let cfg = cfg("[checked-casts-in-decoders]\nfiles = [\"d.rs\"]");
+        let src = "fn f(n: u64) -> (usize, u32) { (n as usize, n as u32) }\n";
+        let hits = lint_source("d.rs", src, &cfg);
+        assert_eq!(hits.len(), 1);
+        assert!(lint_source("other.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn wallclock_rule() {
+        let cfg = cfg("[no-wallclock-in-deterministic]\nfiles = [\"p.rs\"]");
+        let src = "fn f() { let t = std::time::Instant::now(); let _ = t; }\n";
+        assert_eq!(lint_source("p.rs", src, &cfg).len(), 1);
+        assert!(lint_source("q.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn lock_rule_flags_io_under_guard() {
+        let cfg = cfg("[no-lock-across-call]\nio-functions = [\".write_all(\"]");
+        let src = "fn f(&self) {\n\
+                   let mut g = self.m.lock().unwrap_or_else(|e| e.into_inner());\n\
+                   g.push(1);\n\
+                   self.file.write_all(b\"x\").ok();\n\
+                   }\n";
+        let hits = lint_source("s.rs", src, &cfg);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits.first().map(|f| f.line), Some(4));
+    }
+
+    #[test]
+    fn lock_rule_respects_drop_and_scope() {
+        let cfg = cfg("[no-lock-across-call]\nio-functions = [\".write_all(\"]");
+        let dropped = "fn f(&self) {\n\
+                       let g = self.m.lock().unwrap_or_else(|e| e.into_inner());\n\
+                       drop(g);\n\
+                       self.file.write_all(b\"x\").ok();\n\
+                       }\n";
+        assert!(lint_source("s.rs", dropped, &cfg).is_empty());
+        let scoped = "fn f(&self) {\n\
+                      {\n\
+                      let g = self.m.lock().unwrap_or_else(|e| e.into_inner());\n\
+                      }\n\
+                      self.file.write_all(b\"x\").ok();\n\
+                      }\n";
+        assert!(lint_source("s.rs", scoped, &cfg).is_empty());
+    }
+
+    #[test]
+    fn io_read_with_args_is_not_a_guard() {
+        let cfg = cfg("[no-lock-across-call]\nio-functions = [\".write_all(\"]");
+        let src = "fn f(r: &mut impl std::io::Read, w: &mut impl std::io::Write) {\n\
+                   let mut buf = [0u8; 8];\n\
+                   let n = r.read(&mut buf).unwrap_or(0);\n\
+                   w.write_all(&buf).ok();\n\
+                   let _ = n;\n\
+                   }\n";
+        assert!(lint_source("s.rs", src, &cfg).is_empty());
+    }
+}

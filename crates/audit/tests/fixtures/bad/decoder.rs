@@ -1,0 +1,15 @@
+// Known-bad fixture for `no-panic-decode` and
+// `checked-casts-in-decoders`. Line numbers are asserted by
+// tests/lint_fixtures.rs — keep edits in sync.
+
+pub fn decode(bytes: &[u8]) -> u32 {
+    let first = *bytes.first().unwrap();
+    let second = *bytes.get(1).expect("need a second byte");
+    if bytes.len() < 4 {
+        panic!("truncated input");
+    }
+    let third = bytes[2];
+    let len = bytes.len() as u64;
+    let wide = len as usize;
+    u32::from(first) + u32::from(second) + u32::from(third) + (wide as u32)
+}

@@ -1,0 +1,19 @@
+// Known-bad fixture for `no-lock-across-call`: the log write happens
+// while the counter guard is still held.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+pub struct Log {
+    counters: Mutex<u64>,
+    file: std::fs::File,
+}
+
+impl Log {
+    pub fn record(&mut self) {
+        let mut guard = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        *guard += 1;
+        let line = format!("count={guard}\n");
+        let _ = self.file.write_all(line.as_bytes());
+    }
+}

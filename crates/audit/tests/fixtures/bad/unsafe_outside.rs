@@ -1,0 +1,11 @@
+// Known-bad fixture: `unsafe` in a file absent from the
+// [unsafe-inventory] allow-files list. A SAFETY: comment alone does
+// not make it allowlisted.
+
+pub fn peek(bytes: &[u8]) -> u8 {
+    if bytes.is_empty() {
+        return 0;
+    }
+    // SAFETY: emptiness was checked; still outside the allowlist.
+    unsafe { *bytes.as_ptr() }
+}

@@ -1,0 +1,6 @@
+// Known-bad fixture: this file IS on the allow-files list, but the
+// `unsafe` block below carries no safety comment in the lookback.
+
+pub fn peek(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr() }
+}

@@ -1,0 +1,10 @@
+// Known-bad fixture for `no-wallclock-in-deterministic`: both clock
+// reads below must be reported.
+
+pub fn stamp() -> (std::time::Instant, u64) {
+    let t = std::time::Instant::now();
+    let s = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    (t, s)
+}

@@ -1,0 +1,40 @@
+// Known-good fixture: everything here is the checked spelling of
+// something the decoder rules would flag if written bluntly, plus the
+// shapes that historically produced false positives (lifetimes before
+// slice types, slice patterns, `.unwrap_or*` methods, test modules).
+
+/// Comments may say unwrap() or panic! freely, and so may strings.
+pub fn decode<'a>(bytes: &'a [u8]) -> Result<(u8, usize), String> {
+    let first = bytes.first().copied().unwrap_or_default();
+    let rest = bytes.get(1..).unwrap_or_default();
+    let (a, b) = match *rest {
+        [a, b, ..] => (a, b),
+        _ => (0, 0),
+    };
+    let wide = usize::try_from(u64::from(first) + u64::from(a) + u64::from(b))
+        .unwrap_or(usize::MAX);
+    let msg = "never panic! or unwrap() here, and v[0] is fine in a string";
+    if msg.is_empty() {
+        return Err("unreachable".to_owned());
+    }
+    Ok((first, wide))
+}
+
+pub fn first_after_check(bytes: &[u8]) -> u8 {
+    if bytes.is_empty() {
+        return 0;
+    }
+    // audit:allow(no-panic-decode): emptiness was checked above
+    bytes[0]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_be_blunt() {
+        let v = vec![1u8, 2];
+        assert_eq!(v[0], 1);
+        let _ = v.first().unwrap();
+        let _ = v.len() as usize;
+    }
+}

@@ -1,0 +1,36 @@
+// Known-good fixture for `no-lock-across-call`: guards are released
+// (scope end or explicit drop) before any I/O, or the hold carries an
+// inline waiver.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+pub struct Log {
+    counters: Mutex<u64>,
+    file: std::fs::File,
+}
+
+impl Log {
+    pub fn record_scoped(&mut self) {
+        let line = {
+            let mut guard = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+            *guard += 1;
+            format!("count={guard}\n")
+        };
+        let _ = self.file.write_all(line.as_bytes());
+    }
+
+    pub fn record_dropped(&mut self) {
+        let mut guard = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        *guard += 1;
+        drop(guard);
+        let _ = self.file.write_all(b"tick\n");
+    }
+
+    pub fn record_waived(&mut self) {
+        // audit:allow(no-lock-across-call): single-writer log; the hold is deliberate
+        let mut guard = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        *guard += 1;
+        let _ = self.file.write_all(b"tick\n");
+    }
+}

@@ -1,0 +1,11 @@
+// Known-good fixture: allowlisted `unsafe` with the required safety
+// comment within the configured lookback.
+
+pub fn peek(bytes: &[u8]) -> u8 {
+    if bytes.is_empty() {
+        return 0;
+    }
+    // SAFETY: non-emptiness was checked above, so the pointer read is
+    // within the allocation.
+    unsafe { *bytes.as_ptr() }
+}

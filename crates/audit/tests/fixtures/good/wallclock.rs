@@ -1,0 +1,7 @@
+// Known-good fixture for `no-wallclock-in-deterministic`: elapsed time
+// comes from the sanctioned epoch-based stopwatch, never from a direct
+// clock read.
+
+pub fn elapsed_seconds(start_ns: u64) -> f64 {
+    paris_obs::span::seconds_since(start_ns)
+}

@@ -1,0 +1,95 @@
+//! Fixture self-tests for the lint engine.
+//!
+//! `tests/fixtures/bad/` holds files with deliberate violations;
+//! `tests/fixtures/good/` holds the checked spellings and every shape
+//! that historically produced a false positive. The tests drive
+//! [`lint_root`] over the whole fixture tree with a fixture-local
+//! config, then assert the bad files fire at *exactly* the expected
+//! `(file, rule, line)` triples and the good files produce nothing.
+//!
+//! The workspace `audit.toml` excludes this tree from the real lint
+//! run — the bad fixtures would otherwise fail CI by design.
+
+use std::path::Path;
+
+use paris_audit::config::Config;
+use paris_audit::rules::{lint_root, Finding};
+
+/// Mirrors the workspace `audit.toml`, retargeted at the fixture tree.
+const FIXTURE_CONFIG: &str = r#"
+[unsafe-inventory]
+allow-files = ["bad/unsafe_undocumented.rs", "good/unsafe_documented.rs"]
+safety-comment-lines = 8
+
+[no-panic-decode]
+files = ["bad/decoder.rs", "good/decoder.rs"]
+
+[checked-casts-in-decoders]
+files = ["bad/decoder.rs", "good/decoder.rs"]
+
+[no-wallclock-in-deterministic]
+files = ["bad/wallclock.rs", "good/wallclock.rs"]
+
+[no-lock-across-call]
+io-functions = [".write_all(", ".flush("]
+"#;
+
+fn fixture_findings() -> Vec<Finding> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let cfg = Config::parse(FIXTURE_CONFIG).expect("fixture config parses");
+    lint_root(&root, &cfg).expect("fixture walk succeeds")
+}
+
+#[test]
+fn known_bad_fixtures_fire_at_exact_lines() {
+    let mut got: Vec<(String, String, usize)> = fixture_findings()
+        .into_iter()
+        .filter(|f| f.file.starts_with("bad/"))
+        .map(|f| (f.file, f.rule.to_owned(), f.line))
+        .collect();
+    got.sort();
+    let mut want: Vec<(String, String, usize)> = [
+        ("bad/decoder.rs", "no-panic-decode", 6),
+        ("bad/decoder.rs", "no-panic-decode", 7),
+        ("bad/decoder.rs", "no-panic-decode", 9),
+        ("bad/decoder.rs", "no-panic-decode", 11),
+        ("bad/decoder.rs", "checked-casts-in-decoders", 13),
+        ("bad/lock_io.rs", "no-lock-across-call", 17),
+        ("bad/unsafe_outside.rs", "unsafe-inventory", 10),
+        ("bad/unsafe_undocumented.rs", "unsafe-inventory", 5),
+        ("bad/wallclock.rs", "no-wallclock-in-deterministic", 5),
+        ("bad/wallclock.rs", "no-wallclock-in-deterministic", 6),
+    ]
+    .iter()
+    .map(|&(f, r, l)| (f.to_owned(), r.to_owned(), l))
+    .collect();
+    want.sort();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn known_good_fixtures_are_clean() {
+    let false_positives: Vec<Finding> = fixture_findings()
+        .into_iter()
+        .filter(|f| f.file.starts_with("good/"))
+        .collect();
+    assert!(
+        false_positives.is_empty(),
+        "good fixtures must lint clean, got: {false_positives:?}"
+    );
+}
+
+#[test]
+fn diagnostics_render_as_file_line_rule() {
+    let rendered: Vec<String> = fixture_findings()
+        .iter()
+        .filter(|f| f.file == "bad/unsafe_undocumented.rs")
+        .map(Finding::to_string)
+        .collect();
+    assert_eq!(rendered.len(), 1);
+    let line = rendered.first().map(String::as_str).unwrap_or_default();
+    assert!(
+        line.starts_with("bad/unsafe_undocumented.rs:5: [unsafe-inventory]"),
+        "unexpected rendering: {line}"
+    );
+}

@@ -9,6 +9,8 @@
 //! Jaccard set-overlap of literal values, with no functionality weighting
 //! — whose failure modes motivate the probabilistic model.
 
+#![forbid(unsafe_code)]
+
 pub mod jaccard_match;
 pub mod label_match;
 

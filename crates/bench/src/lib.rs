@@ -7,6 +7,8 @@
 //! produced. (Runs are deterministic, so re-running with a smaller
 //! iteration cap reproduces the prefix of a longer run exactly.)
 
+#![forbid(unsafe_code)]
+
 pub mod timing;
 
 use paris_core::{Aligner, AlignmentResult, ParisConfig};

@@ -216,7 +216,7 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -226,7 +226,12 @@ impl Parser<'_> {
     }
 
     fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+        if self
+            .bytes
+            .get(self.pos..)
+            .unwrap_or_default()
+            .starts_with(word.as_bytes())
+        {
             self.pos += word.len();
             Ok(value)
         } else {
@@ -251,7 +256,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self, depth: usize) -> Result<Json, String> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -262,7 +267,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             members.push((key, self.value(depth + 1)?));
             self.skip_ws();
@@ -278,7 +283,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self, depth: usize) -> Result<Json, String> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -301,7 +306,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -356,7 +361,7 @@ impl Parser<'_> {
                         .map_err(|_| format!("non-UTF-8 string at offset {}", self.pos))?
                         .chars()
                         .next()
-                        .expect("non-empty valid chunk");
+                        .ok_or_else(|| format!("non-UTF-8 string at offset {}", self.pos))?;
                     out.push(c);
                     self.pos += len;
                 }
@@ -403,7 +408,9 @@ impl Parser<'_> {
         ) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let digits = self.bytes.get(start..self.pos).unwrap_or_default();
+        let text =
+            std::str::from_utf8(digits).map_err(|_| format!("bad number at offset {start}"))?;
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| format!("bad number '{text}' at offset {start}"))

@@ -55,6 +55,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod http_client;
 pub mod json;
 

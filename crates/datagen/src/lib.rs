@@ -20,6 +20,8 @@
 //! assert!(pair.gold_is_consistent());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod encyclopedia;
 pub mod gold;
 pub mod movies;

@@ -10,6 +10,8 @@
 //! — see [`relations`] and [`classes`] for exactly how predictions are
 //! judged.
 
+#![forbid(unsafe_code)]
+
 pub mod classes;
 pub mod instances;
 pub mod metrics;

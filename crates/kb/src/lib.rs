@@ -34,6 +34,7 @@ pub mod arena;
 pub mod builder;
 pub mod closure;
 pub mod delta;
+pub mod delta_apply;
 pub mod export;
 pub mod functionality;
 pub mod fxhash;
@@ -44,6 +45,7 @@ pub mod snapshot_v2;
 pub mod stats;
 pub mod store;
 pub mod tsv;
+pub mod wire;
 
 pub use arena::Arena;
 pub use builder::{kb_from_file, kb_from_ntriples, kb_from_turtle, KbBuilder};

@@ -81,6 +81,7 @@ use crate::snapshot::{
 };
 use crate::stats::KbStats;
 use crate::store::Kb;
+use crate::wire;
 
 /// The v2 format version number stored in the header.
 pub const FORMAT_VERSION_V2: u32 = 2;
@@ -140,27 +141,30 @@ pub fn checksum_v2(bytes: &[u8]) -> u64 {
     let mut lanes = SEEDS.map(|s| s ^ len_mix);
     let mut blocks = bytes.chunks_exact(32);
     for block in &mut blocks {
-        for (i, lane) in lanes.iter_mut().enumerate() {
-            let w = u64::from_le_bytes(block[8 * i..8 * i + 8].try_into().expect("8-byte word"));
-            *lane = (*lane ^ w).wrapping_mul(PRIME);
+        for (lane, word) in lanes.iter_mut().zip(block.chunks_exact(8)) {
+            *lane = (*lane ^ wire::le_u64(word, 0)).wrapping_mul(PRIME);
         }
     }
-    let mut words = blocks.remainder().chunks_exact(8);
-    let mut i = 0usize;
-    for word in &mut words {
-        let w = u64::from_le_bytes(word.try_into().expect("8-byte word"));
-        lanes[i & 3] = (lanes[i & 3] ^ w).wrapping_mul(PRIME);
-        i += 1;
+    // The remainder is < 32 bytes: at most four words, the last possibly
+    // partial — `wire::le_u64` zero-pads it exactly like the old explicit
+    // tail buffer, so the sum is unchanged.
+    for (word, lane) in blocks.remainder().chunks(8).zip(lanes.iter_mut()) {
+        *lane = (*lane ^ wire::le_u64(word, 0)).wrapping_mul(PRIME);
     }
-    let tail = words.remainder();
-    if !tail.is_empty() {
-        let mut last = [0u8; 8];
-        last[..tail.len()].copy_from_slice(tail);
-        lanes[i & 3] = (lanes[i & 3] ^ u64::from_le_bytes(last)).wrapping_mul(PRIME);
-    }
-    let mut out = lanes[0];
-    for &lane in &lanes[1..] {
-        out = (out ^ lane).wrapping_mul(PRIME).rotate_left(23);
+    fold_lanes(lanes)
+}
+
+/// Folds the four checksum lanes into one word (shared tail of
+/// [`checksum_v2`] and [`checksum_v2_stream`]).
+fn fold_lanes(lanes: [u64; 4]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut out = 0u64;
+    for (i, &lane) in lanes.iter().enumerate() {
+        if i == 0 {
+            out = lane;
+        } else {
+            out = (out ^ lane).wrapping_mul(PRIME).rotate_left(23);
+        }
     }
     out
 }
@@ -191,38 +195,24 @@ pub fn checksum_v2_stream(r: &mut impl std::io::Read, len: u64) -> std::io::Resu
         let want = buf
             .len()
             .min(usize::try_from(remaining).unwrap_or(buf.len()));
-        r.read_exact(&mut buf[..want])?;
+        let chunk = buf.get_mut(..want).unwrap_or_default();
+        r.read_exact(chunk)?;
         remaining -= want as u64;
-        let mut blocks = buf[..want].chunks_exact(32);
+        let mut blocks = chunk.chunks_exact(32);
         for block in &mut blocks {
-            for (i, lane) in lanes.iter_mut().enumerate() {
-                let w =
-                    u64::from_le_bytes(block[8 * i..8 * i + 8].try_into().expect("8-byte word"));
-                *lane = (*lane ^ w).wrapping_mul(PRIME);
+            for (lane, word) in lanes.iter_mut().zip(block.chunks_exact(8)) {
+                *lane = (*lane ^ wire::le_u64(word, 0)).wrapping_mul(PRIME);
             }
         }
         let rest = blocks.remainder();
         if !rest.is_empty() {
             debug_assert_eq!(remaining, 0, "only the final read may be partial");
-            let mut words = rest.chunks_exact(8);
-            let mut i = 0usize;
-            for word in &mut words {
-                let w = u64::from_le_bytes(word.try_into().expect("8-byte word"));
-                lanes[i & 3] = (lanes[i & 3] ^ w).wrapping_mul(PRIME);
-                i += 1;
-            }
-            let tail = words.remainder();
-            if !tail.is_empty() {
-                let mut last = [0u8; 8];
-                last[..tail.len()].copy_from_slice(tail);
-                lanes[i & 3] = (lanes[i & 3] ^ u64::from_le_bytes(last)).wrapping_mul(PRIME);
+            for (word, lane) in rest.chunks(8).zip(lanes.iter_mut()) {
+                *lane = (*lane ^ wire::le_u64(word, 0)).wrapping_mul(PRIME);
             }
         }
     }
-    let mut out = lanes[0];
-    for &lane in &lanes[1..] {
-        out = (out ^ lane).wrapping_mul(PRIME).rotate_left(23);
-    }
+    let out = fold_lanes(lanes);
     Ok(out)
 }
 
@@ -230,23 +220,7 @@ pub fn checksum_v2_stream(r: &mut impl std::io::Read, len: u64) -> std::io::Resu
 // Little-endian array helpers (shared with paris-core's alignment views)
 // ----------------------------------------------------------------------
 
-/// The `i`-th little-endian `u32` of a section.
-#[inline]
-pub fn le_u32(buf: &[u8], i: usize) -> u32 {
-    u32::from_le_bytes(buf[4 * i..4 * i + 4].try_into().expect("4-byte slice"))
-}
-
-/// The `i`-th little-endian `u64` of a section.
-#[inline]
-pub fn le_u64(buf: &[u8], i: usize) -> u64 {
-    u64::from_le_bytes(buf[8 * i..8 * i + 8].try_into().expect("8-byte slice"))
-}
-
-/// The `i`-th little-endian `f64` of a section.
-#[inline]
-pub fn le_f64(buf: &[u8], i: usize) -> f64 {
-    f64::from_bits(le_u64(buf, i))
-}
+pub use crate::wire::{le_f64, le_u32, le_u64};
 
 /// Validates that a section holds exactly `expected` bytes.
 pub fn expect_len(buf: &[u8], expected: usize, what: &str) -> Result<(), SnapshotError> {
@@ -275,7 +249,7 @@ pub fn check_offsets(
     let mut prev = 0u64;
     let mut monotonic = true;
     for word in buf.chunks_exact(8) {
-        let v = u64::from_le_bytes(word.try_into().expect("8-byte word"));
+        let v = wire::le_u64(word, 0);
         monotonic &= v >= prev;
         prev = v;
     }
@@ -311,7 +285,7 @@ pub fn check_ids(buf: &[u8], bound: u32, what: &str) -> Result<(), SnapshotError
     }
     let max = buf
         .chunks_exact(4)
-        .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte word")))
+        .map(|c| wire::le_u32(c, 0))
         .fold(0u32, u32::max);
     if max >= bound {
         let at = (0..buf.len() / 4)
@@ -410,7 +384,7 @@ type ChecksumJob = (Range<usize>, u64);
 /// greedily by byte count so the threads finish together.
 fn verify_checksums(buf: &[u8], jobs: &[ChecksumJob]) -> Result<(), SnapshotError> {
     let check = |(range, stored): &ChecksumJob| -> Result<(), SnapshotError> {
-        let actual = checksum_v2(&buf[range.start..range.end]);
+        let actual = checksum_v2(buf.get(range.clone()).unwrap_or_default());
         if actual != *stored {
             return Err(SnapshotError::ChecksumMismatch {
                 expected: *stored,
@@ -420,7 +394,7 @@ fn verify_checksums(buf: &[u8], jobs: &[ChecksumJob]) -> Result<(), SnapshotErro
         Ok(())
     };
     let total: usize = jobs.iter().map(|(r, _)| r.len()).sum();
-    let threads = validation_threads(total);
+    let threads = validation_threads(total).max(1);
     if threads <= 1 {
         return jobs.iter().try_for_each(check);
     }
@@ -429,21 +403,22 @@ fn verify_checksums(buf: &[u8], jobs: &[ChecksumJob]) -> Result<(), SnapshotErro
     order.sort_by_key(|(r, _)| std::cmp::Reverse(r.len()));
     let mut buckets: Vec<(usize, Vec<&ChecksumJob>)> = vec![(0, Vec::new()); threads];
     for job in order {
-        let lightest = buckets
-            .iter_mut()
-            .min_by_key(|(bytes, _)| *bytes)
-            .expect("at least one bucket");
-        lightest.0 += job.0.len();
-        lightest.1.push(job);
+        // `threads` is clamped to ≥1 above, so a lightest bucket exists;
+        // the `if let` keeps this provably panic-free anyway.
+        if let Some(lightest) = buckets.iter_mut().min_by_key(|(bytes, _)| *bytes) {
+            lightest.0 += job.0.len();
+            lightest.1.push(job);
+        }
     }
     std::thread::scope(|scope| {
         let handles: Vec<_> = buckets
             .iter()
             .map(|(_, bucket)| scope.spawn(move || bucket.iter().try_for_each(|j| check(j))))
             .collect();
-        handles
-            .into_iter()
-            .try_for_each(|h| h.join().expect("checksum thread panicked"))
+        handles.into_iter().try_for_each(|h| match h.join() {
+            Ok(result) => result,
+            Err(_) => Err(SnapshotError::corrupt("checksum worker panicked")),
+        })
     })
 }
 
@@ -508,11 +483,10 @@ impl SnapshotArena {
     /// exactly every section.
     pub fn verify_checksums_slice(&self, part: usize, parts: usize) -> Result<(), SnapshotError> {
         let buf = self.arena.bytes();
-        let mut order: Vec<usize> = (0..self.checksum_jobs.len()).collect();
-        order.sort_by_key(|&i| std::cmp::Reverse(self.checksum_jobs[i].0.len()));
-        for &i in order.iter().skip(part).step_by(parts.max(1)) {
-            let (range, stored) = &self.checksum_jobs[i];
-            let actual = checksum_v2(&buf[range.start..range.end]);
+        let mut order: Vec<&ChecksumJob> = self.checksum_jobs.iter().collect();
+        order.sort_by_key(|(range, _)| std::cmp::Reverse(range.len()));
+        for (range, stored) in order.into_iter().skip(part).step_by(parts.max(1)) {
+            let actual = checksum_v2(buf.get(range.clone()).unwrap_or_default());
             if actual != *stored {
                 return Err(SnapshotError::ChecksumMismatch {
                     expected: *stored,
@@ -528,21 +502,22 @@ impl SnapshotArena {
         if buf.len() < HEADER_LEN {
             return Err(SnapshotError::corrupt("file shorter than the v2 header"));
         }
-        if buf[..8] != MAGIC {
+        if !buf.starts_with(&MAGIC) {
             return Err(SnapshotError::BadMagic);
         }
-        let version = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
+        let version = wire::le_u32(buf, 2);
         if version != FORMAT_VERSION_V2 {
             return Err(SnapshotError::UnsupportedVersion(version));
         }
-        let kind = SnapshotKind::from_byte(buf[12])?;
+        let [kind_byte, reserved @ ..] = wire::le_u32(buf, 3).to_le_bytes();
+        let kind = SnapshotKind::from_byte(kind_byte)?;
         if kind == SnapshotKind::Delta {
             return Err(SnapshotError::corrupt("deltas have no v2 representation"));
         }
-        if buf[13..16] != [0, 0, 0] || buf[20..24] != [0, 0, 0, 0] {
+        if reserved != [0, 0, 0] || wire::le_u32(buf, 5) != 0 {
             return Err(SnapshotError::corrupt("nonzero reserved header bytes"));
         }
-        let count = u32::from_le_bytes(buf[16..20].try_into().expect("4 bytes")) as usize;
+        let count = wire::saturating_usize(u64::from(wire::le_u32(buf, 4)));
         if count > MAX_SECTIONS {
             return Err(SnapshotError::corrupt(format!(
                 "section count {count} exceeds the maximum {MAX_SECTIONS}"
@@ -561,16 +536,18 @@ impl SnapshotArena {
         let mut sections = Vec::with_capacity(count);
         let mut checksum_jobs: Vec<ChecksumJob> = Vec::with_capacity(count);
         for i in 0..count {
-            let entry = &buf[HEADER_LEN + i * SECTION_ENTRY_LEN..];
-            let id = u32::from_le_bytes(entry[0..4].try_into().expect("4 bytes"));
-            if entry[4..8] != [0, 0, 0, 0] {
+            let entry: [u8; SECTION_ENTRY_LEN] =
+                wire::array_at(buf, HEADER_LEN + i * SECTION_ENTRY_LEN)
+                    .ok_or_else(|| SnapshotError::corrupt("file shorter than the section table"))?;
+            let id = wire::le_u32(&entry, 0);
+            if wire::le_u32(&entry, 1) != 0 {
                 return Err(SnapshotError::corrupt(format!(
                     "nonzero reserved bytes in section entry {i}"
                 )));
             }
-            let offset = u64::from_le_bytes(entry[8..16].try_into().expect("8 bytes"));
-            let length = u64::from_le_bytes(entry[16..24].try_into().expect("8 bytes"));
-            let stored_sum = u64::from_le_bytes(entry[24..32].try_into().expect("8 bytes"));
+            let offset = wire::le_u64(&entry, 1);
+            let length = wire::le_u64(&entry, 2);
+            let stored_sum = wire::le_u64(&entry, 3);
             let offset = usize::try_from(offset)
                 .map_err(|_| SnapshotError::corrupt("section offset overflows"))?;
             let length = usize::try_from(length)
@@ -593,7 +570,12 @@ impl SnapshotArena {
                 .ok_or_else(|| {
                     SnapshotError::corrupt(format!("section {i} padding extends past end of file"))
                 })?;
-            if buf[end..padded_end].iter().any(|&b| b != 0) {
+            if buf
+                .get(end..padded_end)
+                .unwrap_or_default()
+                .iter()
+                .any(|&b| b != 0)
+            {
                 return Err(SnapshotError::corrupt(format!(
                     "nonzero padding after section {i}"
                 )));
@@ -608,7 +590,10 @@ impl SnapshotArena {
             ));
         }
         sections.sort_by_key(|&(id, _)| id);
-        if sections.windows(2).any(|w| w[0].0 == w[1].0) {
+        if sections
+            .windows(2)
+            .any(|w| matches!(w, [a, b] if a.0 == b.0))
+        {
             return Err(SnapshotError::corrupt("duplicate section id"));
         }
         Ok(SnapshotArena {
@@ -645,12 +630,14 @@ impl SnapshotArena {
         self.sections
             .binary_search_by_key(&id, |&(i, _)| i)
             .ok()
-            .map(|i| self.sections[i].1.clone())
+            .and_then(|i| self.sections.get(i))
+            .map(|(_, r)| r.clone())
     }
 
     /// Section contents, if present.
     pub fn section(&self, id: u32) -> Option<&[u8]> {
-        self.section_range(id).map(|r| &self.arena.bytes()[r])
+        self.section_range(id)
+            .map(|r| wire::slice(self.arena.bytes(), r))
     }
 
     /// Byte range of a required section.
@@ -696,14 +683,16 @@ pub fn encode_term_record(out: &mut Vec<u8>, term: &Term) {
             }
             LiteralKind::LanguageTagged(lang) => {
                 out.push(TAG_LANG);
-                let len = u32::try_from(l.value().len()).expect("literal longer than 4 GiB");
+                // audit:allow(no-panic-decode): encode side — in-memory literals are far below 4 GiB
+                let len = u32::try_from(l.value().len()).unwrap_or(u32::MAX);
                 out.extend_from_slice(&len.to_le_bytes());
                 out.extend_from_slice(l.value().as_bytes());
                 out.extend_from_slice(lang.as_bytes());
             }
             LiteralKind::Typed(dt) => {
                 out.push(TAG_TYPED);
-                let len = u32::try_from(l.value().len()).expect("literal longer than 4 GiB");
+                // audit:allow(no-panic-decode): encode side — in-memory literals are far below 4 GiB
+                let len = u32::try_from(l.value().len()).unwrap_or(u32::MAX);
                 out.extend_from_slice(&len.to_le_bytes());
                 out.extend_from_slice(l.value().as_bytes());
                 out.extend_from_slice(dt.as_str().as_bytes());
@@ -725,9 +714,10 @@ fn decode_term_record(rec: &[u8]) -> Term {
         Some((&TAG_IRI, rest)) => Term::Iri(Iri::new(lossy(rest))),
         Some((&TAG_PLAIN, rest)) => Term::Literal(Literal::plain(lossy(rest))),
         Some((&tag, rest)) if (tag == TAG_LANG || tag == TAG_TYPED) && rest.len() >= 4 => {
-            let vl = (le_u32(rest, 0) as usize).min(rest.len() - 4);
-            let value = lossy(&rest[4..4 + vl]);
-            let qualifier = &rest[4 + vl..];
+            let payload = rest.get(4..).unwrap_or_default();
+            let vl = wire::saturating_usize(u64::from(le_u32(rest, 0))).min(payload.len());
+            let (value_bytes, qualifier) = payload.split_at_checked(vl).unwrap_or((payload, &[]));
+            let value = lossy(value_bytes);
             if tag == TAG_LANG {
                 Term::Literal(Literal::lang_tagged(value, lossy(qualifier)))
             } else {
@@ -783,11 +773,13 @@ pub fn encode_kb_sections(kb: &Kb, base: u32, w: &mut SectionWriter) {
     w.add(base + KB_TERM_KINDS, &kinds);
 
     let mut sorted: Vec<u32> = (0..n as u32).collect();
-    sorted.sort_unstable_by(|&a, &b| {
-        let ra = &blob[bounds[a as usize]..bounds[a as usize + 1]];
-        let rb = &blob[bounds[b as usize]..bounds[b as usize + 1]];
-        ra.cmp(rb)
-    });
+    let record = |i: u32| {
+        let i = wire::saturating_usize(u64::from(i));
+        let start = bounds.get(i).copied().unwrap_or(0);
+        let end = bounds.get(i.wrapping_add(1)).copied().unwrap_or(start);
+        blob.get(start..end).unwrap_or_default()
+    };
+    sorted.sort_unstable_by(|&a, &b| record(a).cmp(record(b)));
     let mut sorted_bytes = PayloadWriter::new();
     for id in sorted {
         sorted_bytes.put_u32(id);
@@ -855,16 +847,15 @@ pub fn encode_kb_sections(kb: &Kb, base: u32, w: &mut SectionWriter) {
 }
 
 fn add_map_sections(w: &mut SectionWriter, base: u32, map: &FxHashMap<EntityId, Vec<EntityId>>) {
-    let mut keys: Vec<EntityId> = map.keys().copied().collect();
-    keys.sort_unstable();
+    let mut entries: Vec<(EntityId, &Vec<EntityId>)> = map.iter().map(|(&k, v)| (k, v)).collect();
+    entries.sort_unstable_by_key(|&(k, _)| k);
     let mut key_bytes = PayloadWriter::new();
     let mut offsets = PayloadWriter::new();
     let mut values = PayloadWriter::new();
     let mut total = 0u64;
     offsets.put_u64(0);
-    for k in keys {
+    for (k, row) in entries {
         key_bytes.put_u32(k.0);
-        let row = &map[&k];
         total += row.len() as u64;
         offsets.put_u64(total);
         for v in row {
@@ -906,8 +897,8 @@ impl MapLayout {
             )));
         }
         let num_keys = keys.len() / 4;
-        check_ids(&buf[keys.clone()], num_entities, &format!("{what} keys"))?;
-        let key_buf = &buf[keys.clone()];
+        let key_buf = wire::slice(buf, keys.clone());
+        check_ids(key_buf, num_entities, &format!("{what} keys"))?;
         for i in 1..num_keys {
             if le_u32(key_buf, i - 1) >= le_u32(key_buf, i) {
                 return Err(SnapshotError::corrupt(format!(
@@ -916,13 +907,13 @@ impl MapLayout {
             }
         }
         check_offsets(
-            &buf[offsets.clone()],
+            wire::slice(buf, offsets.clone()),
             num_keys,
             (values.len() / 4) as u64,
             &format!("{what} offsets"),
         )?;
         check_ids(
-            &buf[values.clone()],
+            wire::slice(buf, values.clone()),
             num_entities,
             &format!("{what} values"),
         )?;
@@ -967,22 +958,27 @@ impl KbLayout {
     pub fn validate(snap: &SnapshotArena, base: u32) -> Result<KbLayout, SnapshotError> {
         let buf = snap.bytes();
         let meta_range = snap.required(base + KB_META, "KB meta")?;
-        let mut meta = PayloadReader::new(&buf[meta_range]);
+        let mut meta = PayloadReader::new(wire::slice(buf, meta_range));
         let name = meta.get_str()?.to_owned();
-        let num_entities = meta.get_u64()? as usize;
-        let num_relations = meta.get_u64()? as usize;
-        let num_classes = meta.get_u64()? as usize;
+        // Range-check the counts as u64 *before* narrowing, so a hostile
+        // count cannot truncate into range on a 32-bit target.
+        let num_entities64 = meta.get_u64()?;
+        let num_relations64 = meta.get_u64()?;
+        let num_classes64 = meta.get_u64()?;
         if !meta.is_exhausted() {
             return Err(SnapshotError::corrupt("trailing bytes in KB meta"));
         }
-        if num_entities > u32::MAX as usize
-            || num_relations > (u32::MAX / 2) as usize
-            || num_classes > num_entities
+        if num_entities64 > u64::from(u32::MAX)
+            || num_relations64 > u64::from(u32::MAX / 2)
+            || num_classes64 > num_entities64
         {
             return Err(SnapshotError::corrupt("KB meta counts out of range"));
         }
+        let num_entities = wire::saturating_usize(num_entities64);
+        let num_relations = wire::saturating_usize(num_relations64);
+        let num_classes = wire::saturating_usize(num_classes64);
         let n = num_entities;
-        let n32 = n as u32;
+        let n32 = num_entities64 as u32;
         let nrel = num_relations;
 
         let term_blob = snap.required(base + KB_TERM_BLOB, "term blob")?;
@@ -992,15 +988,19 @@ impl KbLayout {
         // decoded defensively (see decode_term_record), so no per-record
         // scan is needed on the open path.
         check_offsets(
-            &buf[term_offsets.clone()],
+            wire::slice(buf, term_offsets.clone()),
             n,
             term_blob.len() as u64,
             "term offsets",
         )?;
 
         let term_kinds = snap.required(base + KB_TERM_KINDS, "term kinds")?;
-        expect_len(&buf[term_kinds.clone()], n, "term kinds")?;
-        if buf[term_kinds.clone()].iter().fold(0u8, |a, &k| a.max(k)) > 2 {
+        expect_len(wire::slice(buf, term_kinds.clone()), n, "term kinds")?;
+        if wire::slice(buf, term_kinds.clone())
+            .iter()
+            .fold(0u8, |a, &k| a.max(k))
+            > 2
+        {
             return Err(SnapshotError::corrupt("unknown entity kind"));
         }
 
@@ -1010,23 +1010,32 @@ impl KbLayout {
         // not re-proved per open. A crafted index degrades lookups to
         // wrong/absent answers, never to panics or out-of-bounds reads.
         let term_sorted = snap.required(base + KB_TERM_SORTED, "term lookup index")?;
-        expect_len(&buf[term_sorted.clone()], 4 * n, "term lookup index")?;
-        check_ids(&buf[term_sorted.clone()], n32.max(1), "term lookup index")?;
+        expect_len(
+            wire::slice(buf, term_sorted.clone()),
+            4 * n,
+            "term lookup index",
+        )?;
+        check_ids(
+            wire::slice(buf, term_sorted.clone()),
+            n32.max(1),
+            "term lookup index",
+        )?;
 
         let rel_blob = snap.required(base + KB_REL_BLOB, "relation blob")?;
         let rel_offsets = snap.required(base + KB_REL_OFFSETS, "relation offsets")?;
         check_offsets(
-            &buf[rel_offsets.clone()],
+            wire::slice(buf, rel_offsets.clone()),
             nrel,
             rel_blob.len() as u64,
             "relation offsets",
         )?;
-        let rel_offsets_buf = &buf[rel_offsets.clone()];
-        let rel_blob_buf = &buf[rel_blob.clone()];
+        let rel_offsets_buf = wire::slice(buf, rel_offsets.clone());
+        let rel_blob_buf = wire::slice(buf, rel_blob.clone());
         for i in 0..nrel {
-            let start = le_u64(rel_offsets_buf, i) as usize;
-            let end = le_u64(rel_offsets_buf, i + 1) as usize;
-            if std::str::from_utf8(&rel_blob_buf[start..end]).is_err() {
+            let start = wire::saturating_usize(le_u64(rel_offsets_buf, i));
+            let end = wire::saturating_usize(le_u64(rel_offsets_buf, i + 1));
+            let iri_bytes = rel_blob_buf.get(start..end).unwrap_or_default();
+            if std::str::from_utf8(iri_bytes).is_err() {
                 return Err(SnapshotError::corrupt("relation IRI is not UTF-8"));
             }
         }
@@ -1037,12 +1046,12 @@ impl KbLayout {
             return Err(SnapshotError::corrupt("pairs section is not (u32, u32)"));
         }
         check_offsets(
-            &buf[pair_offsets.clone()],
+            wire::slice(buf, pair_offsets.clone()),
             nrel,
             (pairs.len() / 8) as u64,
             "pair offsets",
         )?;
-        check_ids(&buf[pairs.clone()], n32.max(1), "pairs")?;
+        check_ids(wire::slice(buf, pairs.clone()), n32.max(1), "pairs")?;
         if n == 0 && !pairs.is_empty() {
             return Err(SnapshotError::corrupt("pairs without entities"));
         }
@@ -1055,7 +1064,7 @@ impl KbLayout {
             ));
         }
         check_offsets(
-            &buf[adj_offsets.clone()],
+            wire::slice(buf, adj_offsets.clone()),
             n,
             (adj.len() / 8) as u64,
             "adjacency offsets",
@@ -1063,12 +1072,12 @@ impl KbLayout {
         // Branch-free max-fold over both lanes of the (rel, entity)
         // entries — the adjacency is the largest section of a KB and
         // this is the open path.
-        let adj_buf = &buf[adj.clone()];
+        let adj_buf = wire::slice(buf, adj.clone());
         let directed = (2 * nrel) as u32;
         let (mut max_r, mut max_e) = (0u32, 0u32);
         for entry in adj_buf.chunks_exact(8) {
-            max_r = max_r.max(u32::from_le_bytes(entry[0..4].try_into().expect("4 bytes")));
-            max_e = max_e.max(u32::from_le_bytes(entry[4..8].try_into().expect("4 bytes")));
+            max_r = max_r.max(le_u32(entry, 0));
+            max_e = max_e.max(le_u32(entry, 1));
         }
         if !adj_buf.is_empty() && (max_r >= directed || max_e >= n32) {
             return Err(SnapshotError::corrupt(format!(
@@ -1078,15 +1087,23 @@ impl KbLayout {
         }
 
         let classes = snap.required(base + KB_CLASSES, "classes")?;
-        expect_len(&buf[classes.clone()], 4 * num_classes, "classes")?;
-        check_ids(&buf[classes.clone()], n32.max(1), "classes")?;
+        expect_len(
+            wire::slice(buf, classes.clone()),
+            4 * num_classes,
+            "classes",
+        )?;
+        check_ids(wire::slice(buf, classes.clone()), n32.max(1), "classes")?;
 
         let members = MapLayout::validate(snap, base + KB_MEMBERS, n32, "class members")?;
         let types_of = MapLayout::validate(snap, base + KB_TYPES, n32, "types")?;
         let superclasses = MapLayout::validate(snap, base + KB_SUPER, n32, "superclasses")?;
 
         let fun = snap.required(base + KB_FUN, "functionalities")?;
-        expect_len(&buf[fun.clone()], 8 * 2 * nrel, "functionalities")?;
+        expect_len(
+            wire::slice(buf, fun.clone()),
+            8 * 2 * nrel,
+            "functionalities",
+        )?;
 
         Ok(KbLayout {
             name,
@@ -1148,7 +1165,9 @@ pub struct KbView<'a> {
 impl<'a> KbView<'a> {
     #[inline]
     fn sec(&self, r: &Range<usize>) -> &'a [u8] {
-        &self.buf[r.start..r.end]
+        // Section ranges were bounds-validated when the arena was opened;
+        // the empty-slice fallback keeps this provably panic-free.
+        self.buf.get(r.start..r.end).unwrap_or_default()
     }
 
     /// The KB's display name.
@@ -1184,9 +1203,9 @@ impl<'a> KbView<'a> {
     /// The kind of an entity.
     #[inline]
     pub fn kind(&self, e: EntityId) -> EntityKind {
-        match self.sec(&self.layout.term_kinds)[e.index()] {
-            0 => EntityKind::Instance,
-            1 => EntityKind::Class,
+        match self.sec(&self.layout.term_kinds).get(e.index()) {
+            Some(0) => EntityKind::Instance,
+            Some(1) => EntityKind::Class,
             _ => EntityKind::Literal,
         }
     }
@@ -1195,9 +1214,11 @@ impl<'a> KbView<'a> {
     #[inline]
     fn term_record(&self, e: EntityId) -> &'a [u8] {
         let offsets = self.sec(&self.layout.term_offsets);
-        let start = le_u64(offsets, e.index()) as usize;
-        let end = le_u64(offsets, e.index() + 1) as usize;
-        &self.sec(&self.layout.term_blob)[start..end]
+        let start = wire::saturating_usize(le_u64(offsets, e.index()));
+        let end = wire::saturating_usize(le_u64(offsets, e.index() + 1));
+        self.sec(&self.layout.term_blob)
+            .get(start..end)
+            .unwrap_or_default()
     }
 
     /// Decodes the term of an entity (allocates for the one entity only).
@@ -1248,10 +1269,14 @@ impl<'a> KbView<'a> {
     /// The IRI of a directed relation's base relation.
     pub fn relation_iri_str(&self, r: RelationId) -> &'a str {
         let offsets = self.sec(&self.layout.rel_offsets);
-        let start = le_u64(offsets, r.base_index()) as usize;
-        let end = le_u64(offsets, r.base_index() + 1) as usize;
+        let start = wire::saturating_usize(le_u64(offsets, r.base_index()));
+        let end = wire::saturating_usize(le_u64(offsets, r.base_index() + 1));
+        let bytes = self
+            .sec(&self.layout.rel_blob)
+            .get(start..end)
+            .unwrap_or_default();
         // UTF-8 validated at open.
-        std::str::from_utf8(&self.sec(&self.layout.rel_blob)[start..end]).unwrap_or("")
+        std::str::from_utf8(bytes).unwrap_or("")
     }
 
     /// Looks up the forward direction of a relation by IRI (linear scan —
@@ -1272,15 +1297,17 @@ impl<'a> KbView<'a> {
     #[inline]
     pub fn facts_len(&self, e: EntityId) -> usize {
         let offsets = self.sec(&self.layout.adj_offsets);
-        (le_u64(offsets, e.index() + 1) - le_u64(offsets, e.index())) as usize
+        wire::saturating_usize(
+            le_u64(offsets, e.index() + 1).saturating_sub(le_u64(offsets, e.index())),
+        )
     }
 
     /// All statements `r(x, y)` with `x = e`, both directions, in the
     /// stored (sorted) order — the view equivalent of [`Kb::facts`].
     pub fn facts(&self, e: EntityId) -> impl ExactSizeIterator<Item = (RelationId, EntityId)> + 'a {
         let offsets = self.sec(&self.layout.adj_offsets);
-        let start = le_u64(offsets, e.index()) as usize;
-        let end = le_u64(offsets, e.index() + 1) as usize;
+        let start = wire::saturating_usize(le_u64(offsets, e.index()));
+        let end = wire::saturating_usize(le_u64(offsets, e.index() + 1));
         let adj = self.sec(&self.layout.adj);
         (start..end).map(move |i| {
             (
@@ -1296,8 +1323,8 @@ impl<'a> KbView<'a> {
         base: usize,
     ) -> impl ExactSizeIterator<Item = (EntityId, EntityId)> + 'a {
         let offsets = self.sec(&self.layout.pair_offsets);
-        let start = le_u64(offsets, base) as usize;
-        let end = le_u64(offsets, base + 1) as usize;
+        let start = wire::saturating_usize(le_u64(offsets, base));
+        let end = wire::saturating_usize(le_u64(offsets, base + 1));
         let pairs = self.sec(&self.layout.pairs);
         (start..end).map(move |i| {
             (
@@ -1321,8 +1348,8 @@ impl<'a> KbView<'a> {
         let offsets = self.sec(&map.offsets);
         let values = self.sec(&map.values);
         (0..map.num_keys).map(move |i| {
-            let start = le_u64(offsets, i) as usize;
-            let end = le_u64(offsets, i + 1) as usize;
+            let start = wire::saturating_usize(le_u64(offsets, i));
+            let end = wire::saturating_usize(le_u64(offsets, i + 1));
             let row = (start..end).map(|j| EntityId(le_u32(values, j))).collect();
             (EntityId(le_u32(keys, i)), row)
         })

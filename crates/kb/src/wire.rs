@@ -1,0 +1,142 @@
+//! Panic-free little-endian decode primitives for untrusted wire bytes.
+//!
+//! Every decoder in this crate (`snapshot`, `snapshot_v2`, `delta`) and
+//! the serving layers above them consume bytes that may arrive from a
+//! truncated file, a corrupt transfer, or a hostile peer. The workspace
+//! audit rules (`no-panic-decode`, `checked-casts-in-decoders` — see
+//! docs/CORRECTNESS.md) forbid bare indexing, `unwrap`/`expect`, and
+//! bare `as usize` casts inside those modules; this module is the
+//! checked vocabulary they use instead.
+//!
+//! Reads past the end of a buffer yield zero-padded values rather than
+//! panicking: a short read produces a value that downstream range
+//! checks reject, never a crash. Length/offset conversions saturate
+//! instead of truncating — a saturated `usize::MAX` always fails a
+//! later bounds check, while silent truncation on a 32-bit target could
+//! let a hostile 2^32-aligned offset slip through one.
+
+/// The `i`-th little-endian `u32` of a section, zero-padded past the end.
+#[inline]
+#[must_use]
+pub fn le_u32(buf: &[u8], i: usize) -> u32 {
+    let start = 4usize.saturating_mul(i);
+    match buf.get(start..start.wrapping_add(4)) {
+        Some(word) => match word.try_into() {
+            Ok(arr) => u32::from_le_bytes(arr),
+            Err(_) => 0,
+        },
+        None => u32::from_le_bytes(tail::<4>(buf, start)),
+    }
+}
+
+/// The `i`-th little-endian `u64` of a section, zero-padded past the end.
+#[inline]
+#[must_use]
+pub fn le_u64(buf: &[u8], i: usize) -> u64 {
+    let start = 8usize.saturating_mul(i);
+    match buf.get(start..start.wrapping_add(8)) {
+        Some(word) => match word.try_into() {
+            Ok(arr) => u64::from_le_bytes(arr),
+            Err(_) => 0,
+        },
+        None => u64::from_le_bytes(tail::<8>(buf, start)),
+    }
+}
+
+/// The `i`-th little-endian `f64` of a section, zero-padded past the end.
+#[inline]
+#[must_use]
+pub fn le_f64(buf: &[u8], i: usize) -> f64 {
+    f64::from_bits(le_u64(buf, i))
+}
+
+/// A fixed-size array read at a byte offset (not an element index), or
+/// `None` when fewer than `N` bytes remain.
+#[inline]
+#[must_use]
+pub fn array_at<const N: usize>(buf: &[u8], pos: usize) -> Option<[u8; N]> {
+    let word = buf.get(pos..pos.checked_add(N)?)?;
+    word.try_into().ok()
+}
+
+/// The sub-slice at `range`, or the empty slice when out of bounds —
+/// the panic-free spelling of `&buf[range]` for ranges derived from
+/// wire data (a clamped-empty slice fails downstream length checks the
+/// same way a short read does).
+#[inline]
+#[must_use]
+pub fn slice(buf: &[u8], range: std::ops::Range<usize>) -> &[u8] {
+    buf.get(range).unwrap_or_default()
+}
+
+/// Converts a wire-derived length or offset to `usize`, saturating.
+///
+/// Saturation is deliberate: on a 32-bit target a truncating `as usize`
+/// would map `2^32 + k` to `k` and *pass* a later bounds check, while a
+/// saturated `usize::MAX` always fails it.
+#[inline]
+#[must_use]
+pub fn saturating_usize(v: u64) -> usize {
+    usize::try_from(v).unwrap_or(usize::MAX)
+}
+
+/// The zero-padded trailing window starting at `start` (cold path of the
+/// `le_*` readers: the buffer ends inside the word).
+#[cold]
+fn tail<const N: usize>(buf: &[u8], start: usize) -> [u8; N] {
+    let mut word = [0u8; N];
+    let src = buf.get(start..).unwrap_or(&[]);
+    for (dst, &byte) in word.iter_mut().zip(src) {
+        *dst = byte;
+    }
+    word
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn le_readers_in_bounds() {
+        let buf: Vec<u8> = (1..=16).collect();
+        assert_eq!(le_u32(&buf, 0), u32::from_le_bytes([1, 2, 3, 4]));
+        assert_eq!(le_u32(&buf, 3), u32::from_le_bytes([13, 14, 15, 16]));
+        assert_eq!(
+            le_u64(&buf, 1),
+            u64::from_le_bytes([9, 10, 11, 12, 13, 14, 15, 16])
+        );
+        assert_eq!(le_f64(&[0u8; 8], 0), 0.0);
+    }
+
+    #[test]
+    fn le_readers_zero_pad_past_end() {
+        let buf = [0xAA, 0xBB];
+        assert_eq!(le_u32(&buf, 0), u32::from_le_bytes([0xAA, 0xBB, 0, 0]));
+        assert_eq!(le_u32(&buf, 1), 0);
+        assert_eq!(le_u32(&buf, usize::MAX), 0);
+        assert_eq!(
+            le_u64(&buf, 0),
+            u64::from_le_bytes([0xAA, 0xBB, 0, 0, 0, 0, 0, 0])
+        );
+        assert_eq!(le_u64(&[], 0), 0);
+        assert_eq!(le_u64(&buf, usize::MAX / 4), 0);
+    }
+
+    #[test]
+    fn array_at_bounds() {
+        let buf = [1u8, 2, 3, 4, 5];
+        assert_eq!(array_at::<4>(&buf, 0), Some([1, 2, 3, 4]));
+        assert_eq!(array_at::<4>(&buf, 1), Some([2, 3, 4, 5]));
+        assert_eq!(array_at::<4>(&buf, 2), None);
+        assert_eq!(array_at::<2>(&buf, usize::MAX), None);
+        assert_eq!(array_at::<0>(&buf, 5), Some([]));
+    }
+
+    #[test]
+    fn saturating_usize_saturates() {
+        assert_eq!(saturating_usize(7), 7);
+        if usize::BITS >= 64 {
+            assert_eq!(saturating_usize(u64::MAX), u64::MAX as usize);
+        }
+    }
+}

@@ -20,6 +20,8 @@
 //! assert_eq!(normalized.probability(&a, &b), 1.0); // ... and its fix
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod distance;
 pub mod normalize;
 pub mod numeric;

@@ -29,6 +29,8 @@
 //! flame-profile aggregation that folds recorded spans into name-path
 //! trees with self-time and per-path quantiles.
 
+#![forbid(unsafe_code)]
+
 pub mod flame;
 pub mod series;
 pub mod span;

@@ -48,6 +48,14 @@ pub fn now_ns() -> u64 {
     Instant::now().duration_since(epoch).as_nanos() as u64
 }
 
+/// Seconds elapsed since a [`now_ns`] reading — the sanctioned stopwatch
+/// for deterministic passes, where the `no-wallclock-in-deterministic`
+/// audit rule (docs/CORRECTNESS.md) forbids direct `Instant::now()` /
+/// `SystemTime::now()` calls.
+pub fn seconds_since(start_ns: u64) -> f64 {
+    now_ns().saturating_sub(start_ns) as f64 / 1e9
+}
+
 /// A process-unique-enough random value: the std SipHash keys (randomly
 /// seeded per `RandomState`) mixed with a global counter and the
 /// monotonic clock. Not cryptographic — trace ids need to be *distinct*,

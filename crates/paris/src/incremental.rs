@@ -33,8 +33,6 @@
 //! lower-level [`realign_incremental`] works on borrowed KBs for callers
 //! that manage their own storage.
 
-use std::time::Instant;
-
 use paris_kb::delta::{apply_owned, AppliedDelta, DeltaError, KbDelta};
 use paris_kb::{EntityId, EntityKind, FxHashSet, Kb, RelationId};
 
@@ -301,7 +299,7 @@ pub fn realign_incremental_traced<'a>(
         }
 
         // Instance pass over the dirty set only.
-        let t0 = Instant::now();
+        let t0 = paris_obs::span::now_ns();
         let mut subset: Vec<EntityId> = dirty_instances.iter().copied().collect();
         subset.sort_unstable();
         let partial = instance_pass_subset(kb1, kb2, &subset, &cand, &subrel, config);
@@ -341,7 +339,7 @@ pub fn realign_incremental_traced<'a>(
             equiv.replace_rows(changed_rows);
             cand = forward_view(kb1, &equiv, &bridge, config, informed);
         }
-        let instance_seconds = t0.elapsed().as_secs_f64();
+        let instance_seconds = paris_obs::span::seconds_since(t0);
 
         // Sub-relation passes over the dirty relations only, with the
         // fresh equalities — mirroring the full loop's ordering. Changed
@@ -350,7 +348,7 @@ pub fn realign_incremental_traced<'a>(
         // endpoints whose rows moved by Σδ can shift the score by at most
         // ~Σδ / #pairs; below `relation_epsilon` the rescoring could not
         // produce a material change and is skipped.
-        let t1 = Instant::now();
+        let t1 = paris_obs::span::now_ns();
         dirty_by_ratio(
             kb1,
             deltas1.iter().copied(),
@@ -383,7 +381,7 @@ pub fn realign_incremental_traced<'a>(
             }
         }
         report.rescored_relation_rows += dirty_rel1.len() + dirty_rel2.len();
-        let subrelation_seconds = t1.elapsed().as_secs_f64();
+        let subrelation_seconds = paris_obs::span::seconds_since(t1);
 
         let stats = IterationStats {
             iteration,
@@ -460,9 +458,9 @@ pub fn realign_incremental_traced<'a>(
     }
 
     // ---- final class pass (same as the full loop's last step) -----------
-    let t2 = Instant::now();
+    let t2 = paris_obs::span::now_ns();
     let classes = subclass_pass(kb1, kb2, &equiv, config);
-    let class_seconds = t2.elapsed().as_secs_f64();
+    let class_seconds = paris_obs::span::seconds_since(t2);
 
     IncrementalRun {
         result: AlignmentResult {

@@ -11,8 +11,6 @@
 //! [`LiteralBridge`]); convergence is declared when fewer than
 //! `convergence_change` of the instances change their maximal assignment.
 
-use std::time::Instant;
-
 use paris_kb::{EntityId, Kb};
 use paris_obs::trace::{AlignEvent, NullSink, TraceSink};
 use paris_rdf::Iri;
@@ -313,7 +311,7 @@ impl<'a> Aligner<'a> {
                 (Some((c, _)), Some(i)) => Some(c.begin_child("instance_pass", i.id)),
                 _ => None,
             };
-            let t0 = Instant::now();
+            let t0 = paris_obs::span::now_ns();
             let cand = forward_view(kb1, &equiv, &bridge, config, equiv_informed);
             let mut rows = instance_pass(kb1, kb2, &cand, &subrel, config);
             let damping = config.damping_at(iteration);
@@ -321,7 +319,7 @@ impl<'a> Aligner<'a> {
                 blend_rows(&mut rows, &equiv, damping, config.truncation);
             }
             let new_equiv = EquivStore::from_rows(rows, kb2.num_entities());
-            let instance_seconds = t0.elapsed().as_secs_f64();
+            let instance_seconds = paris_obs::span::seconds_since(t0);
 
             let changed = equiv.assignment_changes(&new_equiv);
             // The previous assignment is only materialized when someone
@@ -347,13 +345,13 @@ impl<'a> Aligner<'a> {
                 (Some((c, _)), Some(i)) => Some(c.begin_child("subrelation_pass", i.id)),
                 _ => None,
             };
-            let t1 = Instant::now();
+            let t1 = paris_obs::span::now_ns();
             let cand_fwd = forward_view(kb1, &equiv, &bridge, config, equiv_informed);
             let one = subrelation_pass(kb1, kb2, &cand_fwd, config);
             let cand_rev = reverse_view(kb2, &equiv, &bridge, config, equiv_informed);
             let two = subrelation_pass(kb2, kb1, &cand_rev, config);
             subrel = SubrelStore::from_rows(one, two);
-            let subrelation_seconds = t1.elapsed().as_secs_f64();
+            let subrelation_seconds = paris_obs::span::seconds_since(t1);
             if let (Some((c, _)), Some(mut s)) = (spanner, pass_span.take()) {
                 s.attr_int("entries", subrel.num_entries() as u64);
                 c.finish(s);
@@ -435,9 +433,9 @@ impl<'a> Aligner<'a> {
 
         // ---- final class pass (§5.1: "in a last step")
         let mut class_span = spanner.map(|(c, parent)| c.begin_child("class_pass", parent));
-        let t2 = Instant::now();
+        let t2 = paris_obs::span::now_ns();
         let classes = subclass_pass(kb1, kb2, &equiv, config);
-        let class_seconds = t2.elapsed().as_secs_f64();
+        let class_seconds = paris_obs::span::seconds_since(t2);
         if let (Some((c, _)), Some(mut s)) = (spanner, class_span.take()) {
             s.attr_int("classes_kb1", kb1.num_classes() as u64);
             s.attr_int("classes_kb2", kb2.num_classes() as u64);

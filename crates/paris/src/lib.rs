@@ -34,6 +34,8 @@
 //! [`incremental::update_snapshot`] for re-aligning after a
 //! [`KbDelta`](paris_kb::delta::KbDelta).
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod equiv;
 pub mod explain;

@@ -10,6 +10,8 @@
 //! stable across platforms and releases: the datasets a given seed
 //! produces are part of the reproduction's fixtures.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// A source of uniformly distributed 64-bit values.

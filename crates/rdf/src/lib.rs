@@ -30,6 +30,8 @@
 //! assert!(matches!(triples[1].object, Term::Literal(_)));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod namespace;
 pub mod ntriples;

@@ -63,10 +63,7 @@ impl Iterator for Parser<'_> {
             if self.input.is_empty() {
                 return None;
             }
-            let (raw_line, rest) = match self.input.find('\n') {
-                Some(i) => (&self.input[..i], &self.input[i + 1..]),
-                None => (self.input, ""),
-            };
+            let (raw_line, rest) = self.input.split_once('\n').unwrap_or((self.input, ""));
             self.input = rest;
             self.line += 1;
             let raw_line = raw_line.strip_suffix('\r').unwrap_or(raw_line);
@@ -184,7 +181,7 @@ pub fn parse_chunked<R: Read>(
         while chunk.len() < chunk_bytes {
             let old = chunk.len();
             chunk.resize(chunk_bytes, 0);
-            let n = reader.read(&mut chunk[old..])?;
+            let n = reader.read(chunk.get_mut(old..).unwrap_or_default())?;
             chunk.truncate(old + n);
             if n == 0 {
                 eof = true;
@@ -201,7 +198,7 @@ pub fn parse_chunked<R: Read>(
                 // newline (or EOF) shows up.
                 let old = chunk.len();
                 chunk.resize(old + (64 << 10), 0);
-                let n = reader.read(&mut chunk[old..])?;
+                let n = reader.read(chunk.get_mut(old..).unwrap_or_default())?;
                 chunk.truncate(old + n);
                 if n == 0 {
                     eof = true;
@@ -216,7 +213,9 @@ pub fn parse_chunked<R: Read>(
             Ok(t) => t,
             Err(e) => {
                 let line = next_line
-                    + chunk[..e.valid_up_to()]
+                    + chunk
+                        .get(..e.valid_up_to())
+                        .unwrap_or_default()
                         .iter()
                         .filter(|&&b| b == b'\n')
                         .count() as u64;
@@ -246,11 +245,12 @@ fn parse_chunk(
     let mut bounds = vec![0usize];
     for i in 1..threads {
         let target = text.len() * i / threads;
-        let cut = match text.as_bytes()[target..].iter().position(|&b| b == b'\n') {
+        let after = text.as_bytes().get(target..).unwrap_or_default();
+        let cut = match after.iter().position(|&b| b == b'\n') {
             Some(off) => target + off + 1,
             None => text.len(),
         };
-        if cut > *bounds.last().expect("non-empty") && cut < text.len() {
+        if cut > bounds.last().copied().unwrap_or(0) && cut < text.len() {
             bounds.push(cut);
         }
     }
@@ -263,13 +263,20 @@ fn parse_chunk(
             let handles: Vec<_> = bounds
                 .windows(2)
                 .map(|w| {
-                    let region = &text[w[0]..w[1]];
+                    let (start, end) = match *w {
+                        [a, b] => (a, b),
+                        _ => (0, 0),
+                    };
+                    let region = text.get(start..end).unwrap_or("");
                     scope.spawn(move || parse_region(region, quads))
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("parser worker panicked"))
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|_| Err((1, "parser worker panicked".to_string())))
+                })
                 .collect()
         })
     };
@@ -309,10 +316,7 @@ fn parse_region(text: &str, quads: bool) -> RegionResult {
     let mut rest = text;
     let mut line = 0u64;
     while !rest.is_empty() {
-        let (raw, tail) = match rest.find('\n') {
-            Some(i) => (&rest[..i], &rest[i + 1..]),
-            None => (rest, ""),
-        };
+        let (raw, tail) = rest.split_once('\n').unwrap_or((rest, ""));
         rest = tail;
         line += 1;
         match parse_line(raw, line, quads) {
@@ -443,9 +447,13 @@ impl<'a> Cursor<'a> {
                 Some(c) if c >= 0x80 => {
                     // Re-sync to the UTF-8 char boundary and take the char.
                     let start = self.pos - 1;
-                    let s = std::str::from_utf8(&self.bytes[start..])
-                        .map_err(|_| self.err("invalid UTF-8 in IRI"))?;
-                    let ch = s.chars().next().expect("non-empty by construction");
+                    let rest = self.bytes.get(start..).unwrap_or_default();
+                    let s =
+                        std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8 in IRI"))?;
+                    let ch = s
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("invalid UTF-8 in IRI"))?;
                     out.push(ch);
                     self.pos = start + ch.len_utf8();
                 }
@@ -475,11 +483,11 @@ impl<'a> Cursor<'a> {
     }
 
     fn hex_char(&mut self, len: usize) -> Result<char, RdfError> {
-        if self.pos + len > self.bytes.len() {
-            return Err(self.err("truncated unicode escape"));
-        }
-        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + len])
-            .map_err(|_| self.err("non-ASCII unicode escape"))?;
+        let window = self
+            .bytes
+            .get(self.pos..self.pos.saturating_add(len))
+            .ok_or_else(|| self.err("truncated unicode escape"))?;
+        let hex = std::str::from_utf8(window).map_err(|_| self.err("non-ASCII unicode escape"))?;
         let code =
             u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid hex in unicode escape"))?;
         self.pos += len;
@@ -500,8 +508,9 @@ impl<'a> Cursor<'a> {
         if self.pos == start {
             return Err(self.err("empty blank node label"));
         }
+        let label = self.bytes.get(start..self.pos).unwrap_or_default();
         let label =
-            std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII by construction");
+            std::str::from_utf8(label).map_err(|_| self.err("non-ASCII blank node label"))?;
         Ok(Iri::new(format!("bnode://{label}")))
     }
 
@@ -515,9 +524,13 @@ impl<'a> Cursor<'a> {
                 Some(c) if c < 0x80 => value.push(c as char),
                 Some(_) => {
                     let start = self.pos - 1;
-                    let s = std::str::from_utf8(&self.bytes[start..])
+                    let rest = self.bytes.get(start..).unwrap_or_default();
+                    let s = std::str::from_utf8(rest)
                         .map_err(|_| self.err("invalid UTF-8 in literal"))?;
-                    let ch = s.chars().next().expect("non-empty by construction");
+                    let ch = s
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("invalid UTF-8 in literal"))?;
                     value.push(ch);
                     self.pos = start + ch.len_utf8();
                 }
@@ -534,8 +547,9 @@ impl<'a> Cursor<'a> {
                 if self.pos == start {
                     return Err(self.err("empty language tag"));
                 }
-                let lang = std::str::from_utf8(&self.bytes[start..self.pos])
-                    .expect("ASCII by construction");
+                let lang = self.bytes.get(start..self.pos).unwrap_or_default();
+                let lang =
+                    std::str::from_utf8(lang).map_err(|_| self.err("non-ASCII language tag"))?;
                 Ok(Literal::lang_tagged(value, lang))
             }
             Some(b'^') => {
@@ -614,9 +628,11 @@ impl<W: IoWrite> Writer<W> {
 /// Serializes a slice of triples to an in-memory string.
 pub fn to_string(triples: &[Triple]) -> String {
     let mut w = Writer::new(Vec::new());
-    w.write_all(triples).expect("writing to Vec cannot fail");
-    String::from_utf8(w.into_inner().expect("flush to Vec cannot fail"))
-        .expect("writer emits UTF-8 only")
+    // A Vec sink never fails to write or flush; the writer emits UTF-8 only,
+    // so the lossy conversion is exact.
+    let _ = w.write_all(triples);
+    let bytes = w.into_inner().unwrap_or_default();
+    String::from_utf8_lossy(&bytes).into_owned()
 }
 
 fn write_iri(sink: &mut impl IoWrite, iri: &Iri) -> std::io::Result<()> {

@@ -39,6 +39,8 @@
 //! authentication (matching the server's trust model) — replicate over
 //! loopback, a private network, or a trusted tunnel.
 
+#![forbid(unsafe_code)]
+
 pub mod sync;
 
 pub use paris_client::{

@@ -104,7 +104,8 @@ fn read_line(r: &mut impl BufRead) -> Result<Option<String>, ParseError> {
                 return Err(ParseError::Malformed("connection closed mid-line".into()));
             }
             _ => {
-                if byte[0] == b'\n' {
+                let [b] = byte;
+                if b == b'\n' {
                     if line.last() == Some(&b'\r') {
                         line.pop();
                     }
@@ -115,7 +116,7 @@ fn read_line(r: &mut impl BufRead) -> Result<Option<String>, ParseError> {
                 if line.len() >= MAX_LINE {
                     return Err(ParseError::Malformed("header line too long".into()));
                 }
-                line.push(byte[0]);
+                line.push(b);
             }
         }
     }
@@ -225,8 +226,8 @@ pub fn percent_decode(s: &str) -> String {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
+    while let Some(&byte) = bytes.get(i) {
+        match byte {
             b'+' => {
                 out.push(b' ');
                 i += 1;
@@ -391,15 +392,17 @@ fn copy_exactly(mut file: &std::fs::File, w: &mut impl Write, len: u64) -> std::
     let mut buf = [0u8; 64 * 1024];
     let mut remaining = len;
     while remaining > 0 {
-        let want = buf.len().min(remaining as usize);
-        let got = file.read(&mut buf[..want])?;
+        let want = buf
+            .len()
+            .min(usize::try_from(remaining).unwrap_or(usize::MAX));
+        let got = file.read(buf.get_mut(..want).unwrap_or_default())?;
         if got == 0 {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,
                 "snapshot file shorter than its advertised length",
             ));
         }
-        w.write_all(&buf[..got])?;
+        w.write_all(buf.get(..got).unwrap_or_default())?;
         remaining -= got as u64;
     }
     Ok(())

@@ -92,6 +92,8 @@
 //! `paris-client` crate for the typed client (`ParisClient`) the
 //! `paris query` CLI speaks.
 
+#![forbid(unsafe_code)]
+
 pub mod http;
 pub mod jobs;
 pub mod json;

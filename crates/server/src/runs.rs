@@ -210,6 +210,9 @@ impl RunHistory {
     /// sketch against the previous generation of the same pair, appends
     /// the line to the file, and returns the finished record.
     pub fn record(&self, outcome: RunOutcome) -> RunRecord {
+        // Generation numbering requires the append to happen under the
+        // same lock that orders records — releasing it first could
+        // audit:allow(no-lock-across-call): interleave two runs' lines
         let mut inner = self.inner.lock().expect("run history lock poisoned");
         let previous = inner.records.iter().rfind(|r| r.pair == outcome.pair);
         let generation = previous.map_or(1, |r| r.generation + 1);

@@ -54,6 +54,8 @@
 //! assert_eq!(alice.as_str(), "http://b/a-smith");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use paris_baselines as baselines;
 pub use paris_client as client;
 pub use paris_core as paris;

@@ -44,7 +44,10 @@ impl CountingAlloc {
     }
 }
 
+// SAFETY: pure pass-through to the System allocator; the only added
+// behavior is relaxed atomic counter updates, which never allocate.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: delegates to System.alloc under the caller's contract.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = unsafe { System.alloc(layout) };
         if !p.is_null() {
@@ -53,11 +56,13 @@ unsafe impl GlobalAlloc for CountingAlloc {
         p
     }
 
+    // SAFETY: delegates to System.dealloc under the caller's contract.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         unsafe { System.dealloc(ptr, layout) };
         Self::sub(layout.size());
     }
 
+    // SAFETY: delegates to System.realloc under the caller's contract.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let p = unsafe { System.realloc(ptr, layout, new_size) };
         if !p.is_null() {
